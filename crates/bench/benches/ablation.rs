@@ -1,0 +1,108 @@
+//! Ablation benches for the design decisions called out in DESIGN.md §5:
+//! action-set richness, query choice, and the strategy library.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meda_core::{ActionConfig, RoutingMdp, UniformField};
+use meda_grid::Rect;
+use meda_synth::{synthesize, Query};
+
+fn mdp_with(config: &ActionConfig) -> RoutingMdp {
+    RoutingMdp::build(
+        Rect::new(1, 1, 4, 4),
+        Rect::new(17, 17, 20, 20),
+        Rect::new(1, 1, 20, 20),
+        &UniformField::new(0.85),
+        config,
+    )
+    .expect("geometry is consistent")
+}
+
+/// How much model size and solve time each action class costs (and what it
+/// buys: the expected-cycles value at the initial state drops as richer
+/// moves become available).
+fn bench_action_sets(c: &mut Criterion) {
+    let configs = [
+        ("cardinal", ActionConfig::cardinal_only()),
+        ("moves", ActionConfig::moves_only()),
+        ("full", ActionConfig::default()),
+    ];
+    let mut group = c.benchmark_group("ablation/action_set");
+    for (name, config) in configs {
+        let mdp = mdp_with(&config);
+        let value = synthesize(&mdp, Query::MinExpectedCycles)
+            .expect("feasible")
+            .value_at_init();
+        // Surface the quality side of the trade-off in the bench id.
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{name}_s{}_k{:.1}", mdp.stats().states, value)),
+            &mdp,
+            |b, mdp| b.iter(|| synthesize(mdp, Query::MinExpectedCycles).expect("feasible")),
+        );
+    }
+    group.finish();
+}
+
+/// Rmin vs Pmax on the same model (Section VI-C offers both).
+fn bench_queries(c: &mut Criterion) {
+    let mdp = mdp_with(&ActionConfig::default());
+    let mut group = c.benchmark_group("ablation/query");
+    group.bench_function("rmin", |b| {
+        b.iter(|| synthesize(&mdp, Query::MinExpectedCycles).expect("feasible"));
+    });
+    group.bench_function("pmax", |b| {
+        b.iter(|| synthesize(&mdp, Query::MaxReachProbability).expect("feasible"));
+    });
+    group.finish();
+}
+
+/// Cost of robust-game construction + worst-case solve vs the plain MDP
+/// (DESIGN.md X5): what the budget-B interference guarantee costs to
+/// compute.
+fn bench_robust(c: &mut Criterion) {
+    use meda_synth::{RobustGame, SolverOptions};
+    let mut group = c.benchmark_group("robust_game");
+    group.sample_size(10);
+    for budget in [0u32, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("budget{budget}")),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    let game = RobustGame::build(
+                        Rect::new(1, 1, 3, 3),
+                        Rect::new(12, 12, 14, 14),
+                        Rect::new(1, 1, 14, 14),
+                        &UniformField::new(0.85),
+                        &ActionConfig::moves_only(),
+                        budget,
+                    )
+                    .expect("geometry is consistent");
+                    game.min_expected_cycles(SolverOptions::default())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Bounded-horizon table vs unbounded solve (DESIGN.md X7).
+fn bench_horizon(c: &mut Criterion) {
+    use meda_synth::bounded_reach_probability;
+    let mdp = mdp_with(&ActionConfig::moves_only());
+    let mut group = c.benchmark_group("bounded_horizon");
+    for horizon in [20usize, 60] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{horizon}")),
+            &horizon,
+            |b, &horizon| b.iter(|| bounded_reach_probability(&mdp, horizon)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_action_sets, bench_queries, bench_robust, bench_horizon
+}
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for end-to-end bioassay execution: baseline vs
+//! adaptive routing on the paper chip (the simulation cost behind the
+//! Fig. 15/16 experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meda_bioassay::{benchmarks, BioassayPlan, RjHelper};
+use meda_grid::ChipDims;
+use meda_sim::{
+    AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip, DegradationConfig,
+    RunConfig,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn plan_for(sg: &meda_bioassay::SequencingGraph) -> BioassayPlan {
+    RjHelper::new(ChipDims::PAPER)
+        .plan(sg)
+        .expect("plans cleanly")
+}
+
+fn bench_runs(c: &mut Criterion) {
+    let runner = BioassayRunner::new(RunConfig::default());
+    let mut group = c.benchmark_group("execution");
+    group.sample_size(10);
+
+    for sg in [benchmarks::master_mix(), benchmarks::covid_rat()] {
+        let plan = plan_for(&sg);
+        group.bench_with_input(BenchmarkId::new("baseline", sg.name()), &plan, |b, plan| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut chip =
+                    Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
+                let mut router = BaselineRouter::new();
+                runner.run(plan, &mut chip, &mut router, &mut rng)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("adaptive", sg.name()), &plan, |b, plan| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut chip =
+                    Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
+                let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+                runner.run(plan, &mut chip, &mut router, &mut rng)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sensing(c: &mut Criterion) {
+    // Cost of one full-chip health read-out (every cycle in Algorithm 3).
+    let mut rng = StdRng::seed_from_u64(2);
+    let chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
+    c.bench_function("health_field/60x30", |b| b.iter(|| chip.health_field()));
+}
+
+criterion_group!(benches, bench_runs, bench_sensing);
+criterion_main!(benches);

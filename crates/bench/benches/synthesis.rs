@@ -1,0 +1,65 @@
+//! Criterion benches for the Table V quantities: MDP construction and
+//! strategy synthesis across routing-job areas and droplet sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meda_core::{ActionConfig, RoutingMdp, UniformField};
+use meda_grid::Rect;
+use meda_synth::{synthesize, Query};
+
+fn build_mdp(area: u32, droplet: u32, config: &ActionConfig) -> RoutingMdp {
+    let field = UniformField::new(0.9);
+    RoutingMdp::build(
+        Rect::with_size(1, 1, droplet, droplet),
+        Rect::with_size(
+            area as i32 - droplet as i32 + 1,
+            area as i32 - droplet as i32 + 1,
+            droplet,
+            droplet,
+        ),
+        Rect::new(1, 1, area as i32, area as i32),
+        &field,
+        config,
+    )
+    .expect("geometry is consistent")
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let config = ActionConfig::moves_only();
+    let mut group = c.benchmark_group("table5/construction");
+    for area in [10u32, 20, 30] {
+        for droplet in [3u32, 6] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{area}x{area}_d{droplet}")),
+                &(area, droplet),
+                |b, &(area, droplet)| b.iter(|| build_mdp(area, droplet, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let config = ActionConfig::moves_only();
+    let mut group = c.benchmark_group("table5/synthesis");
+    for area in [10u32, 20, 30] {
+        let mdp = build_mdp(area, 4, &config);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{area}x{area}_d4_rmin")),
+            &mdp,
+            |b, mdp| b.iter(|| synthesize(mdp, Query::MinExpectedCycles).expect("feasible")),
+        );
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{area}x{area}_d4_pmax")),
+            &mdp,
+            |b, mdp| b.iter(|| synthesize(mdp, Query::MaxReachProbability).expect("feasible")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_construction, bench_synthesis
+}
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Ablation: scheduling schemes of Section VI-D — pure-online synthesis
+//! vs the hybrid strategy library, cold and warm (offline pre-synthesis).
+//! Measures the per-run synthesis overhead the hybrid scheme hides.
+
+use meda_bench::{banner, header, row};
+use meda_bioassay::{benchmarks, RjHelper};
+use meda_core::HealthField;
+use meda_degradation::HealthLevel;
+use meda_grid::{ChipDims, Grid};
+use meda_sim::{
+    AdaptiveConfig, AdaptiveRouter, BioassayRunner, Biochip, DegradationConfig, RunConfig,
+};
+use rand::SeedableRng;
+
+fn main() {
+    banner(
+        "Ablation — scheduling schemes (Section VI-D, DESIGN.md §5.3)",
+        "Three back-to-back executions per scheme on a degrading chip; \
+         synthesis time is the online overhead between operations.",
+    );
+
+    let dims = ChipDims::PAPER;
+    let helper = RjHelper::new(dims);
+    let runner = BioassayRunner::new(RunConfig {
+        k_max: 3_000,
+        record_actuation: false,
+    });
+
+    let widths = [16, 24, 10, 8, 8, 14];
+    header(
+        &["bioassay", "scheme", "cycles", "hits", "misses", "synth ms"],
+        &widths,
+    );
+
+    for sg in [benchmarks::covid_rat(), benchmarks::serial_dilution()] {
+        let plan = helper.plan(&sg).expect("benchmark plans cleanly");
+        for scheme in [
+            "pure-online",
+            "hybrid (cold)",
+            "hybrid (warm)",
+            "static (no resynth)",
+        ] {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(777);
+            let mut chip = Biochip::generate(dims, &DegradationConfig::paper(), &mut rng);
+            let mut router = match scheme {
+                "pure-online" => AdaptiveRouter::new(AdaptiveConfig::pure_online()),
+                "static (no resynth)" => AdaptiveRouter::new(AdaptiveConfig {
+                    resynthesize: false,
+                    ..AdaptiveConfig::paper()
+                }),
+                _ => AdaptiveRouter::new(AdaptiveConfig::paper()),
+            };
+            if scheme == "hybrid (warm)" {
+                // Offline pre-synthesis against a pristine health matrix.
+                let pristine = HealthField::new(Grid::new(dims, HealthLevel::full(2)), 2);
+                router.warm_up(&plan, &pristine);
+            }
+            let offline_time = router.synthesis_time();
+
+            let mut cycles = 0;
+            for _ in 0..3 {
+                let outcome = runner.run(&plan, &mut chip, &mut router, &mut rng);
+                assert!(outcome.is_success(), "{scheme}: {:?}", outcome.status);
+                cycles += outcome.cycles;
+            }
+            let online_ms = (router.synthesis_time() - offline_time).as_secs_f64() * 1e3;
+            row(
+                &[
+                    sg.name().to_string(),
+                    scheme.to_string(),
+                    format!("{cycles}"),
+                    format!("{}", router.library().hits()),
+                    format!("{}", router.library().misses()),
+                    format!("{online_ms:.1}"),
+                ],
+                &widths,
+            );
+        }
+    }
+
+    println!(
+        "\nReading: the warm hybrid serves the first (still-healthy) \
+         execution from the offline library; once degradation changes the \
+         health digest, all schemes re-synthesize — the library wins \
+         whenever health is stable between repeats, at zero quality cost \
+         (cycle counts match)."
+    );
+}

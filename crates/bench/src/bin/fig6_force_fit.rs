@@ -1,0 +1,83 @@
+//! Fig. 6 — measured and fitted relative EWOD force versus the number of
+//! actuations: synthetic PCB measurements are fitted with the exponential
+//! model F̄ = τ^(2n/c) and must recover the paper's (τ, c) constants with
+//! R²_adj > 0.94.
+
+use meda_bench::{banner, header, row};
+use meda_degradation::{ActuationMode, DegradationParams, ExponentialFit, PcbExperiment};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    banner(
+        "Fig. 6 — relative EWOD force vs number of actuations",
+        "Markers: synthetic measurements from the PCB model. Lines: the \
+         fitted exponential F̄ = τ^(2n/c). Paper constants: (0.556, 822.7), \
+         (0.543, 805.5), (0.530, 788.4), all with R²_adj > 0.94.",
+    );
+
+    let cases = [
+        (
+            "2mm",
+            PcbExperiment::paper_2mm(ActuationMode::ChargeTrapping),
+            DegradationParams::PAPER_2MM,
+        ),
+        (
+            "3mm",
+            PcbExperiment::paper_3mm(ActuationMode::ChargeTrapping),
+            DegradationParams::PAPER_3MM,
+        ),
+        (
+            "4mm",
+            PcbExperiment::paper_4mm(ActuationMode::ChargeTrapping),
+            DegradationParams::PAPER_4MM,
+        ),
+    ];
+
+    let widths = [8, 12, 12, 12, 12, 10];
+    header(
+        &["size", "paper tau", "paper c", "fit c", "c error", "R2_adj"],
+        &widths,
+    );
+    let mut rng = StdRng::seed_from_u64(66);
+    let mut force_tables = Vec::new();
+    for (name, experiment, paper) in &cases {
+        let samples = experiment.force_measurements(&mut rng, 9, 100);
+        let fit = ExponentialFit::fit_force(&samples).expect("well-formed samples");
+        let recovered = fit.params_for_tau(paper.tau);
+        row(
+            &[
+                (*name).to_string(),
+                format!("{:.3}", paper.tau),
+                format!("{:.1}", paper.c),
+                format!("{:.1}", recovered.c),
+                format!("{:+.1}%", (recovered.c - paper.c) / paper.c * 100.0),
+                format!("{:.4}", fit.r2_adjusted),
+            ],
+            &widths,
+        );
+        force_tables.push((*name, samples, fit));
+    }
+
+    println!("\nMeasured (m) vs fitted (f) relative force:");
+    let widths = [8, 9, 9, 9, 9, 9, 9];
+    header(
+        &["n", "2mm m", "2mm f", "3mm m", "3mm f", "4mm m", "4mm f"],
+        &widths,
+    );
+    for i in 0..9 {
+        let n = force_tables[0].1[i].0;
+        let mut cells = vec![format!("{n}")];
+        for (_, samples, fit) in &force_tables {
+            cells.push(format!("{:.3}", samples[i].1));
+            cells.push(format!("{:.3}", fit.predict(n)));
+        }
+        row(&cells, &widths);
+    }
+
+    println!(
+        "\nPaper shape: monotone exponential decay, larger electrodes \
+         slightly faster (τ₂ > τ₃ > τ₄), fits within a few percent of the \
+         published constants."
+    );
+}

@@ -1,0 +1,34 @@
+//! Utility: nominal (pristine-chip) run length of every benchmark
+//! bioassay — the calibration quantity the Fig. 15/16 harnesses scale
+//! their cycle budgets from.
+
+use meda_bioassay::{benchmarks, RjHelper};
+use meda_grid::ChipDims;
+use meda_sim::{BaselineRouter, BioassayRunner, Biochip, DegradationConfig, RunConfig};
+use rand::SeedableRng;
+
+fn main() {
+    let dims = ChipDims::PAPER;
+    println!("nominal run lengths on a pristine {dims} chip (baseline router):\n");
+    for sg in benchmarks::evaluation_suite() {
+        let plan = RjHelper::new(dims)
+            .plan(&sg)
+            .expect("benchmark plans cleanly");
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut chip = Biochip::generate(dims, &DegradationConfig::pristine(), &mut rng);
+        let mut router = BaselineRouter::new();
+        let outcome = BioassayRunner::new(RunConfig {
+            k_max: 100_000,
+            record_actuation: false,
+        })
+        .run(&plan, &mut chip, &mut router, &mut rng);
+        println!(
+            "  {:18} {:>4} cycles  ({} ops, {} routing jobs, {:?})",
+            sg.name(),
+            outcome.cycles,
+            plan.operations().len(),
+            plan.total_jobs(),
+            outcome.status,
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Table V — model size (#states, #transitions, #choices) and synthesis
+//! runtime for routing-job areas 10×10 / 20×20 / 30×30 and droplet sizes
+//! 3×3…6×6, under the worst-case non-zero health matrix.
+
+use meda_bench::{banner, header, row};
+use meda_core::{ActionConfig, UniformField};
+use meda_synth::{measure_synthesis, Query};
+
+fn main() {
+    banner(
+        "Table V — synthesis performance vs RJ area and droplet size",
+        "Rmin query on the induced MDP; worst-case health (no zero \
+         elements, force 0.9 per cell). Absolute times are machine-\
+         dependent; the paper's shape is the monotone trends.",
+    );
+
+    // The paper's Table V counts match a movement-only action set
+    // (positions + ~3 PRISM bookkeeping states, ~10 choices/state);
+    // morphing would multiply the state space by the reachable shapes.
+    let config = ActionConfig::moves_only();
+    let field = UniformField::new(0.9);
+
+    let widths = [10, 9, 9, 13, 10, 14, 12, 10];
+    header(
+        &[
+            "RJ area",
+            "droplet",
+            "#states",
+            "#transitions",
+            "#choices",
+            "construct ms",
+            "synth ms",
+            "total ms",
+        ],
+        &widths,
+    );
+
+    for area in [(10u32, 10u32), (20, 20), (30, 30)] {
+        for size in [(3u32, 3u32), (4, 4), (5, 5), (6, 6)] {
+            let rec = measure_synthesis(area, size, &field, &config, Query::MinExpectedCycles)
+                .expect("geometry is consistent");
+            row(
+                &[
+                    format!("{}x{}", area.0, area.1),
+                    format!("{}x{}", size.0, size.1),
+                    format!("{}", rec.stats.states),
+                    format!("{}", rec.stats.transitions),
+                    format!("{}", rec.stats.choices),
+                    format!("{:.3}", rec.construction.as_secs_f64() * 1e3),
+                    format!("{:.3}", rec.synthesis.as_secs_f64() * 1e3),
+                    format!("{:.3}", rec.total().as_secs_f64() * 1e3),
+                ],
+                &widths,
+            );
+        }
+    }
+
+    println!(
+        "\nPaper shape: for a fixed RJ area, smaller droplets give larger \
+         models; model size grows ~quadratically with the area edge; and \
+         construction dominates synthesis time. Paper reference rows \
+         (states/transitions/choices): 10×10 3×3 → 67/1,913/697; \
+         20×20 4×4 → 292/9,599/3,325; 30×30 6×6 → 628/21,155/7,194."
+    );
+
+    println!("\nFull action set (doubles + ordinals + morphing), for scale:");
+    let full = ActionConfig::default();
+    let widths = [10, 9, 9, 13, 10, 12];
+    header(
+        &[
+            "RJ area",
+            "droplet",
+            "#states",
+            "#transitions",
+            "#choices",
+            "total ms",
+        ],
+        &widths,
+    );
+    for size in [(3u32, 3u32), (4, 4), (5, 5), (6, 6)] {
+        let rec = measure_synthesis((20, 20), size, &field, &full, Query::MinExpectedCycles)
+            .expect("geometry is consistent");
+        row(
+            &[
+                "20x20".to_string(),
+                format!("{}x{}", size.0, size.1),
+                format!("{}", rec.stats.states),
+                format!("{}", rec.stats.transitions),
+                format!("{}", rec.stats.choices),
+                format!("{:.3}", rec.total().as_secs_f64() * 1e3),
+            ],
+            &widths,
+        );
+    }
+}

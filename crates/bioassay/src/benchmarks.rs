@@ -1,0 +1,323 @@
+//! The benchmark bioassays of the paper's evaluation (Section VII-A) and
+//! degradation-pattern study (Section III-C).
+//!
+//! The paper's six evaluation bioassays — Master-Mix, COVID-RAT, CEP,
+//! COVID-PCR, NuIP, and Serial Dilution — plus the three assays of the
+//! Fig. 3 correlation study (ChIP, multiplex in-vitro, gene expression).
+//! The exact sequencing graphs are not published; these reconstructions
+//! match the protocols' qualitative structure and preserve the relative
+//! bioassay lengths the Fig. 15/16 results depend on (see `DESIGN.md` §3):
+//!
+//! ```text
+//! master_mix < covid_rat < cep < covid_pcr < nuip ≈ serial_dilution
+//! ```
+//!
+//! All graphs target the paper's 60 × 30 biochip (`ChipDims::PAPER`) and
+//! validate/plan cleanly through [`RjHelper`](crate::RjHelper).
+//!
+//! # Examples
+//!
+//! ```
+//! use meda_bioassay::{benchmarks, RjHelper};
+//! use meda_grid::ChipDims;
+//!
+//! let helper = RjHelper::new(ChipDims::PAPER);
+//! for sg in benchmarks::evaluation_suite() {
+//!     let plan = helper.plan(&sg)?;
+//!     assert!(plan.total_jobs() > 0, "{}", sg.name());
+//! }
+//! # Ok::<(), meda_bioassay::PlanError>(())
+//! ```
+
+use crate::SequencingGraph;
+
+/// Edge-adjacent dispense row near the south edge, safe for ≤ 6-cell
+/// droplets on the paper chip.
+const SOUTH: f64 = 3.5;
+/// Edge-adjacent dispense row near the north edge.
+const NORTH: f64 = 27.5;
+/// Output column near the east edge.
+const EAST_OUT: f64 = 55.5;
+
+/// Master-Mix preparation: three reagents mixed pairwise and collected —
+/// the shortest evaluation bioassay.
+#[must_use]
+pub fn master_mix() -> SequencingGraph {
+    let mut sg = SequencingGraph::new("master-mix");
+    let d1 = sg.dispense((10.5, SOUTH), (4, 4));
+    let d2 = sg.dispense((20.5, SOUTH), (4, 4));
+    let d3 = sg.dispense((30.5, SOUTH), (4, 4));
+    let m1 = sg.mix(&[d1, d2], (15.5, 10.5));
+    let m2 = sg.mix(&[m1, d3], (25.5, 15.5));
+    sg.output(m2, (EAST_OUT, 15.5));
+    sg
+}
+
+/// COVID-19 rapid antigen test: sample + conjugate buffer, incubation at a
+/// detection module, read-out.
+#[must_use]
+pub fn covid_rat() -> SequencingGraph {
+    let mut sg = SequencingGraph::new("covid-rat");
+    let sample = sg.dispense((10.5, SOUTH), (4, 4));
+    let buffer = sg.dispense((10.5, NORTH), (4, 4));
+    let m = sg.mix(&[sample, buffer], (20.5, 15.5));
+    let g = sg.magnetic(m, (40.5, 15.5));
+    sg.output(g, (EAST_OUT, 15.5));
+    sg
+}
+
+/// CEP bioprotocol: cell lysis, mRNA extraction, and mRNA purification
+/// (three chained sub-assays).
+#[must_use]
+pub fn cep() -> SequencingGraph {
+    let mut sg = SequencingGraph::new("cep");
+    // Cell lysis.
+    let cells = sg.dispense((8.5, SOUTH), (4, 4));
+    let lysis_buf = sg.dispense((8.5, NORTH), (4, 4));
+    let lysed = sg.mix(&[cells, lysis_buf], (12.5, 15.5));
+    let lysed = sg.magnetic(lysed, (20.5, 15.5));
+    // mRNA extraction on magnetic beads.
+    let beads = sg.dispense((30.5, SOUTH), (4, 4));
+    let bound = sg.mix(&[lysed, beads], (30.5, 15.5));
+    let bound = sg.magnetic(bound, (38.5, 15.5));
+    // Purification: separate eluate from waste.
+    let halves = sg.split(bound, (45.5, 8.5), (45.5, 22.5));
+    let eluate = sg.magnetic(halves, (52.5, 8.5));
+    sg.output(eluate, (EAST_OUT, 8.5));
+    sg.discard(halves, (45.5, NORTH));
+    sg
+}
+
+/// COVID-19 PCR test: RNA extraction, master-mix preparation, combination,
+/// and a three-station thermocycling approximation.
+#[must_use]
+pub fn covid_pcr() -> SequencingGraph {
+    let mut sg = SequencingGraph::new("covid-pcr");
+    // Extraction.
+    let sample = sg.dispense((8.5, SOUTH), (4, 4));
+    let lysis = sg.dispense((8.5, NORTH), (4, 4));
+    let extract = sg.mix(&[sample, lysis], (12.5, 15.5));
+    let extract = sg.magnetic(extract, (20.5, 15.5));
+    // PCR master mix.
+    let primers = sg.dispense((40.5, SOUTH), (4, 4));
+    let enzyme = sg.dispense((50.5, SOUTH), (4, 4));
+    let mm = sg.mix(&[primers, enzyme], (45.5, 10.5));
+    // Combine and thermocycle across three stations.
+    let rxn = sg.mix(&[extract, mm], (32.5, 15.5));
+    let c1 = sg.magnetic(rxn, (32.5, 22.5));
+    let c2 = sg.magnetic(c1, (44.5, 22.5));
+    let c3 = sg.magnetic(c2, (44.5, 8.5));
+    sg.output(c3, (55.5, 15.5));
+    sg
+}
+
+/// Nucleosome immunoprecipitation (NuIP): antibody incubation, bead
+/// capture, two wash cycles, and elution — one of the two longest
+/// evaluation bioassays.
+#[must_use]
+pub fn nuip() -> SequencingGraph {
+    let mut sg = SequencingGraph::new("nuip");
+    // Antibody binding.
+    let chromatin = sg.dispense((8.5, SOUTH), (4, 4));
+    let antibody = sg.dispense((8.5, NORTH), (4, 4));
+    let complex = sg.mix(&[chromatin, antibody], (12.5, 15.5));
+    let complex = sg.magnetic(complex, (20.5, 15.5));
+    // Bead capture.
+    let beads = sg.dispense((30.5, SOUTH), (4, 4));
+    let captured = sg.mix(&[complex, beads], (28.5, 15.5));
+    let mut held = sg.magnetic(captured, (36.5, 15.5));
+    // Two wash cycles: add buffer, mix, pull down, discard supernatant.
+    for (i, buffer_row) in [(0, SOUTH), (1, NORTH)] {
+        let y = 15.5 + if i == 0 { -1.0 } else { 1.0 };
+        let wash = sg.dispense((44.5, buffer_row), (4, 4));
+        let mixed = sg.mix(&[held, wash], (42.5, y));
+        let parts = sg.split(mixed, (42.5, y), (52.5, 23.5));
+        held = sg.magnetic(parts, (36.5, 9.5));
+        sg.discard(parts, (52.5, NORTH));
+    }
+    // Elution.
+    sg.output(held, (EAST_OUT, 9.5));
+    sg
+}
+
+/// Four-stage serial dilution: each stage mixes the carried sample with
+/// fresh buffer and splits off the surplus — together with NuIP the
+/// longest evaluation bioassay.
+#[must_use]
+pub fn serial_dilution() -> SequencingGraph {
+    let mut sg = SequencingGraph::new("serial-dilution");
+    let mut carried = sg.dispense((8.5, 12.5), (4, 4));
+    let mut pending_discard = None;
+    for i in 1..=4u32 {
+        let x = 12.5 + 9.0 * f64::from(i);
+        let buffer = sg.dispense((x, SOUTH), (4, 4));
+        let diluted = sg.dilute(&[carried, buffer], (x, 12.5), (x, 23.5));
+        // The kept half feeds the next stage; the surplus is discarded.
+        // The discard of stage i is declared after stage i+1's dilute so
+        // reference order assigns it the surplus output (slot 1).
+        if let Some((prev, px)) = pending_discard.take() {
+            sg.discard(prev, (px, NORTH));
+        }
+        pending_discard = Some((diluted, x));
+        carried = diluted;
+    }
+    let (last, lx) = pending_discard.expect("four stages ran");
+    sg.output(last, (EAST_OUT, 12.5));
+    sg.discard(last, (lx, NORTH));
+    sg
+}
+
+/// Chromatin immunoprecipitation (ChIP) — used in the Fig. 3 degradation-
+/// pattern study with a configurable droplet size.
+#[must_use]
+pub fn chip_assay(droplet: (u32, u32)) -> SequencingGraph {
+    let mut sg = SequencingGraph::new("chip");
+    let chromatin = sg.dispense((10.5, SOUTH), droplet);
+    let antibody = sg.dispense((10.5, NORTH), droplet);
+    let complex = sg.mix(&[chromatin, antibody], (18.5, 15.5));
+    let complex = sg.magnetic(complex, (28.5, 15.5));
+    let halves = sg.split(complex, (38.5, 9.5), (38.5, 21.5));
+    let ip = sg.magnetic(halves, (48.5, 9.5));
+    sg.output(ip, (EAST_OUT, 9.5));
+    sg.discard(halves, (38.5, NORTH));
+    sg
+}
+
+/// Multiplex in-vitro diagnostics: two independent sample/reagent pairs
+/// processed in parallel lanes (Fig. 3 study).
+#[must_use]
+pub fn multiplex_invitro(droplet: (u32, u32)) -> SequencingGraph {
+    let mut sg = SequencingGraph::new("multiplex-invitro");
+    let s1 = sg.dispense((10.5, SOUTH), droplet);
+    let r1 = sg.dispense((20.5, SOUTH), droplet);
+    let s2 = sg.dispense((10.5, NORTH), droplet);
+    let r2 = sg.dispense((20.5, NORTH), droplet);
+    let m1 = sg.mix(&[s1, r1], (28.5, 9.5));
+    let m2 = sg.mix(&[s2, r2], (28.5, 21.5));
+    let g1 = sg.magnetic(m1, (42.5, 9.5));
+    let g2 = sg.magnetic(m2, (42.5, 21.5));
+    sg.output(g1, (EAST_OUT, 9.5));
+    sg.output(g2, (EAST_OUT, 21.5));
+    sg
+}
+
+/// Gene-expression analysis: sample preparation followed by a dilution and
+/// read-out (Fig. 3 study).
+#[must_use]
+pub fn gene_expression(droplet: (u32, u32)) -> SequencingGraph {
+    let mut sg = SequencingGraph::new("gene-expression");
+    let sample = sg.dispense((10.5, SOUTH), droplet);
+    let reagent = sg.dispense((10.5, NORTH), droplet);
+    let buffer = sg.dispense((30.5, SOUTH), droplet);
+    let m = sg.mix(&[sample, reagent], (18.5, 15.5));
+    let g = sg.magnetic(m, (28.5, 15.5));
+    let d = sg.dilute(&[g, buffer], (38.5, 12.5), (38.5, 22.5));
+    sg.output(d, (53.5, 12.5));
+    // One extra row of south margin: the dilute halves can reach 8×7.
+    sg.discard(d, (38.5, 26.5));
+    sg
+}
+
+/// The six evaluation bioassays (Figs 15/16), shortest first.
+#[must_use]
+pub fn evaluation_suite() -> Vec<SequencingGraph> {
+    vec![
+        master_mix(),
+        covid_rat(),
+        cep(),
+        covid_pcr(),
+        nuip(),
+        serial_dilution(),
+    ]
+}
+
+/// The three Fig. 3 correlation-study bioassays at a given droplet size.
+#[must_use]
+pub fn correlation_suite(droplet: (u32, u32)) -> Vec<SequencingGraph> {
+    vec![
+        chip_assay(droplet),
+        multiplex_invitro(droplet),
+        gene_expression(droplet),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RjHelper;
+    use meda_grid::ChipDims;
+
+    fn helper() -> RjHelper {
+        RjHelper::new(ChipDims::PAPER)
+    }
+
+    #[test]
+    fn all_evaluation_assays_validate_and_plan() {
+        for sg in evaluation_suite() {
+            assert!(sg.validate().is_ok(), "{} invalid", sg.name());
+            let plan = helper().plan(&sg).unwrap_or_else(|e| {
+                panic!("{} failed to plan: {e}", sg.name());
+            });
+            assert!(plan.total_jobs() >= sg.len(), "{}", sg.name());
+        }
+    }
+
+    #[test]
+    fn correlation_assays_plan_at_all_four_sizes() {
+        for size in [(3, 3), (4, 4), (5, 5), (6, 6)] {
+            for sg in correlation_suite(size) {
+                helper().plan(&sg).unwrap_or_else(|e| {
+                    panic!("{} at {size:?} failed to plan: {e}", sg.name());
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn evaluation_suite_ordered_by_transport_length() {
+        // The Fig. 15/16 shape depends on the length ordering: Master-Mix
+        // and COVID-RAT shortest; NuIP and Serial Dilution longest.
+        let plans: Vec<_> = evaluation_suite()
+            .iter()
+            .map(|sg| helper().plan(sg).unwrap())
+            .collect();
+        let transport: Vec<f64> = plans.iter().map(|p| p.total_transport()).collect();
+        let shortest = transport[0].min(transport[1]);
+        let longest = transport[4].max(transport[5]);
+        assert!(
+            longest > 2.0 * shortest,
+            "long assays should dominate: {transport:?}"
+        );
+        assert!(transport[2] > shortest && transport[3] > shortest);
+    }
+
+    #[test]
+    fn serial_dilution_discards_every_surplus() {
+        let sg = serial_dilution();
+        let discards = sg
+            .iter()
+            .filter(|(_, op)| op.op == crate::MoType::Discard)
+            .count();
+        assert_eq!(discards, 4);
+        assert!(sg.validate().is_ok());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<_> = evaluation_suite()
+            .iter()
+            .map(|sg| sg.name().to_string())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "master-mix",
+                "covid-rat",
+                "cep",
+                "covid-pcr",
+                "nuip",
+                "serial-dilution"
+            ]
+        );
+    }
+}

@@ -1,0 +1,384 @@
+use std::fmt;
+
+use crate::{MicroOp, MoType};
+
+/// Identifier of a microfluidic operation within one sequencing graph.
+pub type MoId = usize;
+
+/// A bioassay sequencing graph: a DAG of microfluidic operations with
+/// planner-assigned module center locations (Section VI-A, Fig. 12).
+///
+/// The builder methods ([`dispense`](Self::dispense), [`mix`](Self::mix),
+/// …) append operations and wire predecessor edges;
+/// [`validate`](Self::validate) checks Table III arities and acyclicity
+/// (guaranteed by construction, re-checked defensively).
+///
+/// # Examples
+///
+/// ```
+/// use meda_bioassay::{MoType, SequencingGraph};
+///
+/// let mut sg = SequencingGraph::new("demo");
+/// let a = sg.dispense((17.5, 2.5), (4, 4));
+/// let b = sg.dispense((17.5, 28.5), (4, 4));
+/// let m = sg.mix(&[a, b], (10.5, 15.5));
+/// sg.output(m, (57.5, 15.5));
+/// assert_eq!(sg.len(), 4);
+/// assert!(sg.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SequencingGraph {
+    name: String,
+    ops: Vec<MicroOp>,
+}
+
+/// Error from sequencing-graph validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidateError {
+    /// Operation `id` has the wrong number of predecessors for its type.
+    BadArity {
+        /// The offending operation.
+        id: MoId,
+        /// Its type.
+        op: MoType,
+        /// Predecessors found.
+        found: usize,
+    },
+    /// Operation `id` references a predecessor that does not precede it.
+    ForwardEdge {
+        /// The offending operation.
+        id: MoId,
+        /// The out-of-order predecessor.
+        pre: MoId,
+    },
+    /// Operation `id` uses a consumed droplet: predecessor `pre`'s outputs
+    /// are over-subscribed.
+    OverConsumed {
+        /// The over-subscribed predecessor.
+        pre: MoId,
+    },
+    /// Operation `id` has the wrong number of center locations.
+    BadLocations {
+        /// The offending operation.
+        id: MoId,
+    },
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadArity { id, op, found } => write!(
+                f,
+                "operation M{id} ({op}) expects {} predecessors, found {found}",
+                op.inputs()
+            ),
+            Self::ForwardEdge { id, pre } => {
+                write!(f, "operation M{id} references later operation M{pre}")
+            }
+            Self::OverConsumed { pre } => {
+                write!(
+                    f,
+                    "outputs of operation M{pre} are consumed more than produced"
+                )
+            }
+            Self::BadLocations { id } => {
+                write!(f, "operation M{id} has the wrong number of locations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl SequencingGraph {
+    /// Creates an empty sequencing graph.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// The bioassay name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the graph has no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operation with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn op(&self, id: MoId) -> &MicroOp {
+        &self.ops[id]
+    }
+
+    /// Iterates over `(id, op)` pairs in topological (insertion) order.
+    pub fn iter(&self) -> impl Iterator<Item = (MoId, &MicroOp)> {
+        self.ops.iter().enumerate()
+    }
+
+    /// Appends a raw operation (builder methods are preferred).
+    pub fn push(&mut self, op: MicroOp) -> MoId {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Appends a dispense of a `size.0 × size.1` droplet centered at `loc`.
+    pub fn dispense(&mut self, loc: (f64, f64), size: (u32, u32)) -> MoId {
+        self.push(MicroOp {
+            op: MoType::Dispense,
+            pre: vec![],
+            locs: vec![loc],
+            dispense_size: Some(size),
+        })
+    }
+
+    /// Appends a mix of two predecessor droplets at `loc`.
+    pub fn mix(&mut self, pre: &[MoId; 2], loc: (f64, f64)) -> MoId {
+        self.push(MicroOp {
+            op: MoType::Mix,
+            pre: pre.to_vec(),
+            locs: vec![loc],
+            dispense_size: None,
+        })
+    }
+
+    /// Appends a split of `pre` into droplets at `loc0` and `loc1`.
+    pub fn split(&mut self, pre: MoId, loc0: (f64, f64), loc1: (f64, f64)) -> MoId {
+        self.push(MicroOp {
+            op: MoType::Split,
+            pre: vec![pre],
+            locs: vec![loc0, loc1],
+            dispense_size: None,
+        })
+    }
+
+    /// Appends a dilution of `pre[0]` with buffer `pre[1]`, mixed at `loc0`
+    /// with the surplus split off to `loc1`.
+    pub fn dilute(&mut self, pre: &[MoId; 2], loc0: (f64, f64), loc1: (f64, f64)) -> MoId {
+        self.push(MicroOp {
+            op: MoType::Dilute,
+            pre: pre.to_vec(),
+            locs: vec![loc0, loc1],
+            dispense_size: None,
+        })
+    }
+
+    /// Appends a magnetic-bead operation on `pre` at `loc`.
+    pub fn magnetic(&mut self, pre: MoId, loc: (f64, f64)) -> MoId {
+        self.push(MicroOp {
+            op: MoType::Magnetic,
+            pre: vec![pre],
+            locs: vec![loc],
+            dispense_size: None,
+        })
+    }
+
+    /// Appends an output of `pre` exiting near `loc` (should be at an edge).
+    pub fn output(&mut self, pre: MoId, loc: (f64, f64)) -> MoId {
+        self.push(MicroOp {
+            op: MoType::Output,
+            pre: vec![pre],
+            locs: vec![loc],
+            dispense_size: None,
+        })
+    }
+
+    /// Appends a discard of `pre` exiting near `loc`.
+    pub fn discard(&mut self, pre: MoId, loc: (f64, f64)) -> MoId {
+        self.push(MicroOp {
+            op: MoType::Discard,
+            pre: vec![pre],
+            locs: vec![loc],
+            dispense_size: None,
+        })
+    }
+
+    /// Validates Table III arities, location counts, topological order, and
+    /// droplet conservation (each output consumed at most once; dilute
+    /// consumes `pre[0]`'s droplet and `pre[1]`'s buffer).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidateError`] found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        let mut consumed = vec![0usize; self.ops.len()];
+        for (id, op) in self.iter() {
+            if op.pre.len() != op.op.inputs() {
+                return Err(ValidateError::BadArity {
+                    id,
+                    op: op.op,
+                    found: op.pre.len(),
+                });
+            }
+            if op.locs.len() != op.op.locations() {
+                return Err(ValidateError::BadLocations { id });
+            }
+            for &pre in &op.pre {
+                if pre >= id {
+                    return Err(ValidateError::ForwardEdge { id, pre });
+                }
+                consumed[pre] += 1;
+                if consumed[pre] > self.ops[pre].op.outputs() {
+                    return Err(ValidateError::OverConsumed { pre });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the sequencing graph in Graphviz DOT format (one node per
+    /// operation labelled `M<i>: <type>`, one edge per dependency) — handy
+    /// for documenting bioassays the way the paper draws Fig. 12.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use meda_bioassay::SequencingGraph;
+    ///
+    /// let mut sg = SequencingGraph::new("demo");
+    /// let a = sg.dispense((5.5, 3.5), (4, 4));
+    /// sg.output(a, (55.5, 3.5));
+    /// let dot = sg.to_dot();
+    /// assert!(dot.starts_with("digraph \"demo\""));
+    /// assert!(dot.contains("M1 -> M2"));
+    /// ```
+    #[must_use]
+    pub fn to_dot(&self) -> String {
+        let mut out = format!("digraph \"{}\" {{\n  rankdir=TB;\n", self.name);
+        for (id, op) in self.iter() {
+            out.push_str(&format!(
+                "  M{} [label=\"M{}: {}\", shape={}];\n",
+                id + 1,
+                id + 1,
+                op.op,
+                match op.op {
+                    MoType::Dispense => "invhouse",
+                    MoType::Output | MoType::Discard => "house",
+                    _ => "box",
+                }
+            ));
+        }
+        for (id, op) in self.iter() {
+            for &pre in &op.pre {
+                out.push_str(&format!("  M{} -> M{};\n", pre + 1, id + 1));
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Total droplets dispensed over the bioassay.
+    #[must_use]
+    pub fn dispense_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.op == MoType::Dispense).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig12_graph() -> SequencingGraph {
+        let mut sg = SequencingGraph::new("fig12");
+        let m1 = sg.dispense((17.5, 2.5), (4, 4));
+        let m2 = sg.dispense((17.5, 28.5), (4, 4));
+        let m3 = sg.mix(&[m1, m2], (10.5, 15.5));
+        sg.magnetic(m3, (40.5, 15.5));
+        sg
+    }
+
+    #[test]
+    fn fig12_graph_is_valid() {
+        assert!(fig12_graph().validate().is_ok());
+    }
+
+    #[test]
+    fn over_consumption_detected() {
+        let mut sg = SequencingGraph::new("bad");
+        let a = sg.dispense((5.0, 5.0), (4, 4));
+        sg.magnetic(a, (10.0, 10.0));
+        sg.magnetic(a, (20.0, 10.0)); // a's single output used twice
+        assert_eq!(sg.validate(), Err(ValidateError::OverConsumed { pre: a }));
+    }
+
+    #[test]
+    fn split_offers_two_outputs() {
+        let mut sg = SequencingGraph::new("split");
+        let a = sg.dispense((5.0, 5.0), (4, 4));
+        let s = sg.split(a, (10.0, 5.0), (10.0, 12.0));
+        sg.output(s, (1.0, 5.0));
+        sg.output(s, (1.0, 12.0));
+        assert!(sg.validate().is_ok());
+    }
+
+    #[test]
+    fn bad_arity_detected() {
+        let mut sg = SequencingGraph::new("bad");
+        let a = sg.dispense((5.0, 5.0), (4, 4));
+        sg.push(MicroOp {
+            op: MoType::Mix,
+            pre: vec![a],
+            locs: vec![(8.0, 8.0)],
+            dispense_size: None,
+        });
+        assert!(matches!(
+            sg.validate(),
+            Err(ValidateError::BadArity {
+                op: MoType::Mix,
+                found: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn forward_edge_detected() {
+        let mut sg = SequencingGraph::new("bad");
+        sg.push(MicroOp {
+            op: MoType::Magnetic,
+            pre: vec![1],
+            locs: vec![(8.0, 8.0)],
+            dispense_size: None,
+        });
+        sg.dispense((5.0, 5.0), (4, 4));
+        assert!(matches!(
+            sg.validate(),
+            Err(ValidateError::ForwardEdge { id: 0, pre: 1 })
+        ));
+    }
+
+    #[test]
+    fn dispense_count_counts() {
+        assert_eq!(fig12_graph().dispense_count(), 2);
+    }
+
+    #[test]
+    fn dot_export_lists_nodes_and_edges() {
+        let dot = fig12_graph().to_dot();
+        assert!(dot.contains("M3: mix"));
+        assert!(dot.contains("M1 -> M3"));
+        assert!(dot.contains("M2 -> M3"));
+        assert!(dot.contains("M3 -> M4"));
+        assert!(dot.ends_with("}\n"));
+        // Dispenses and the magnetic op get distinct shapes.
+        assert!(dot.contains("invhouse"));
+        assert!(dot.contains("shape=box"));
+    }
+}

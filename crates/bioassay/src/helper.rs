@@ -1,0 +1,386 @@
+use std::fmt;
+
+use meda_grid::{ChipDims, Rect};
+
+use crate::{fit_droplet_size, zone, MoId, MoType, RoutingJob, SequencingGraph, ValidateError};
+
+/// One planned microfluidic operation: its routing jobs and the droplet
+/// rectangles it leaves on the chip for successor operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedMo {
+    /// The operation id in the sequencing graph.
+    pub id: MoId,
+    /// The operation type.
+    pub op: MoType,
+    /// Predecessor operation ids (`pre`) — the dependencies Algorithm 3
+    /// checks before activating an operation.
+    pub pre: Vec<MoId>,
+    /// The droplet rectangles consumed from predecessor operations, in
+    /// input order (empty for `dis`).
+    pub inputs: Vec<Rect>,
+    /// The single-droplet routing jobs, in execution order (for `dlt`, the
+    /// two mix-phase jobs precede the two split-phase jobs).
+    pub jobs: Vec<RoutingJob>,
+    /// The droplet rectangles produced, in output order (empty for
+    /// `out`/`dsc`).
+    pub outputs: Vec<Rect>,
+}
+
+/// The RJ helper's decomposition of a whole bioassay: every operation with
+/// its routing jobs (Algorithm 1 applied over the sequencing graph).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BioassayPlan {
+    name: String,
+    planned: Vec<PlannedMo>,
+}
+
+impl BioassayPlan {
+    /// The bioassay name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The planned operations in topological order.
+    #[must_use]
+    pub fn operations(&self) -> &[PlannedMo] {
+        &self.planned
+    }
+
+    /// The routing jobs of one operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn jobs_for(&self, id: MoId) -> &[RoutingJob] {
+        &self.planned[id].jobs
+    }
+
+    /// Total routing jobs across the bioassay.
+    #[must_use]
+    pub fn total_jobs(&self) -> usize {
+        self.planned.iter().map(|p| p.jobs.len()).sum()
+    }
+
+    /// Sum of center-to-center Manhattan distances over all jobs — a lower
+    /// bound on total droplet transport.
+    #[must_use]
+    pub fn total_transport(&self) -> f64 {
+        self.planned
+            .iter()
+            .flat_map(|p| p.jobs.iter())
+            .map(RoutingJob::center_distance)
+            .sum()
+    }
+}
+
+/// Error planning a bioassay.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanError {
+    /// The sequencing graph failed validation.
+    Invalid(ValidateError),
+    /// An operation's droplet rectangle does not fit on the chip.
+    OffChip {
+        /// The offending operation.
+        id: MoId,
+        /// The rectangle that left the chip.
+        rect: Rect,
+    },
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Invalid(e) => write!(f, "invalid sequencing graph: {e}"),
+            Self::OffChip { id, rect } => {
+                write!(f, "operation M{id} places droplet {rect} off the chip")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+impl From<ValidateError> for PlanError {
+    fn from(e: ValidateError) -> Self {
+        Self::Invalid(e)
+    }
+}
+
+/// The MO-to-RJ helper of Algorithm 1, applied over a whole sequencing
+/// graph in topological order.
+///
+/// Droplet sizes flow through the graph: dispenses fix their own size;
+/// mixes add areas and refit (`|w − h| ≤ 1`, minimal area error); splits
+/// and dilutions halve; magnetic/output operations preserve size. Hazard
+/// bounds come from [`zone`] (3-MC margin, clipped to the chip).
+///
+/// # Examples
+///
+/// See the crate-level example, which reproduces Table IV.
+#[derive(Debug, Clone, Copy)]
+pub struct RjHelper {
+    dims: ChipDims,
+}
+
+impl RjHelper {
+    /// Creates a helper for a `W × H` biochip.
+    #[must_use]
+    pub fn new(dims: ChipDims) -> Self {
+        Self { dims }
+    }
+
+    /// Plans a bioassay: validates the graph and decomposes every MO into
+    /// routing jobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::Invalid`] for a malformed graph and
+    /// [`PlanError::OffChip`] when a droplet rectangle leaves the chip.
+    pub fn plan(&self, sg: &SequencingGraph) -> Result<BioassayPlan, PlanError> {
+        sg.validate()?;
+        let mut planned: Vec<PlannedMo> = Vec::with_capacity(sg.len());
+        // Next unconsumed output slot per operation.
+        let mut next_slot = vec![0usize; sg.len()];
+
+        for (id, mo) in sg.iter() {
+            // Resolve this operation's input rectangles.
+            let inputs: Vec<Rect> = mo
+                .pre
+                .iter()
+                .map(|&pre| {
+                    let slot = next_slot[pre];
+                    next_slot[pre] += 1;
+                    planned[pre].outputs[slot]
+                })
+                .collect();
+
+            let (jobs, outputs) = match mo.op {
+                MoType::Dispense => {
+                    let (w, h) = mo.dispense_size.expect("dispense carries a size");
+                    let goal = self.on_chip(id, Rect::centered_at(mo.loc().0, mo.loc().1, w, h))?;
+                    let job = RoutingJob::new(Rect::off_chip_origin(), goal, self.zone1(goal));
+                    (vec![job], vec![goal])
+                }
+                MoType::Output | MoType::Discard => {
+                    let start = inputs[0];
+                    let goal = self.sized_at(id, mo.loc(), start)?;
+                    let job = RoutingJob::new(start, goal, zone(start, goal, self.dims));
+                    (vec![job], vec![])
+                }
+                MoType::Magnetic => {
+                    let start = inputs[0];
+                    let goal = self.sized_at(id, mo.loc(), start)?;
+                    let job = RoutingJob::new(start, goal, zone(start, goal, self.dims));
+                    (vec![job], vec![goal])
+                }
+                MoType::Mix => {
+                    let (r0, r1) = (inputs[0], inputs[1]);
+                    // Each input routes (at its own size) to a goal region
+                    // centered on the mixing location (Table IV, M3).
+                    let g0 = self.sized_at(id, mo.loc(), r0)?;
+                    let g1 = self.sized_at(id, mo.loc(), r1)?;
+                    let jobs = vec![
+                        RoutingJob::new(r0, g0, zone(r0, g0, self.dims)),
+                        RoutingJob::new(r1, g1, zone(r1, g1, self.dims)),
+                    ];
+                    // The merged droplet refits the summed area (M4's start).
+                    let (w, h, _) = fit_droplet_size(r0.area() + r1.area());
+                    let merged =
+                        self.on_chip(id, Rect::centered_at(mo.loc().0, mo.loc().1, w, h))?;
+                    (jobs, vec![merged])
+                }
+                MoType::Split => {
+                    let r = inputs[0];
+                    let (w, h, _) = fit_droplet_size((r.area() / 2).max(1));
+                    let (cx, cy) = r.center();
+                    let half_at_src = self.on_chip(id, Rect::centered_at(cx, cy, w, h))?;
+                    let g0 =
+                        self.on_chip(id, Rect::centered_at(mo.locs[0].0, mo.locs[0].1, w, h))?;
+                    let g1 =
+                        self.on_chip(id, Rect::centered_at(mo.locs[1].0, mo.locs[1].1, w, h))?;
+                    let jobs = vec![
+                        RoutingJob::new(half_at_src, g0, zone(half_at_src, g0, self.dims)),
+                        RoutingJob::new(half_at_src, g1, zone(half_at_src, g1, self.dims)),
+                    ];
+                    (jobs, vec![g0, g1])
+                }
+                MoType::Dilute => {
+                    // Mix phase: both inputs to loc[0] (Algorithm 1, RJ0/RJ1).
+                    let (r0, r1) = (inputs[0], inputs[1]);
+                    let g0 = self.sized_at(id, mo.locs[0], r0)?;
+                    let g1 = self.sized_at(id, mo.locs[0], r1)?;
+                    let mut jobs = vec![
+                        RoutingJob::new(r0, g0, zone(r0, g0, self.dims)),
+                        RoutingJob::new(r1, g1, zone(r1, g1, self.dims)),
+                    ];
+                    // Split phase (RJ2/RJ3): halves of the mixture; one
+                    // settles at loc[0], the other routes to loc[1].
+                    let total = r0.area() + r1.area();
+                    let (hw, hh, _) = fit_droplet_size((total / 2).max(1));
+                    let keep =
+                        self.on_chip(id, Rect::centered_at(mo.locs[0].0, mo.locs[0].1, hw, hh))?;
+                    let away =
+                        self.on_chip(id, Rect::centered_at(mo.locs[1].0, mo.locs[1].1, hw, hh))?;
+                    jobs.push(RoutingJob::new(keep, keep, self.zone1(keep)));
+                    jobs.push(RoutingJob::new(keep, away, zone(keep, away, self.dims)));
+                    (jobs, vec![keep, away])
+                }
+            };
+
+            planned.push(PlannedMo {
+                id,
+                op: mo.op,
+                pre: mo.pre.clone(),
+                inputs,
+                jobs,
+                outputs,
+            });
+        }
+
+        Ok(BioassayPlan {
+            name: sg.name().to_string(),
+            planned,
+        })
+    }
+
+    /// Goal rectangle of the same size as `like`, centered at `loc`.
+    fn sized_at(&self, id: MoId, loc: (f64, f64), like: Rect) -> Result<Rect, PlanError> {
+        self.on_chip(
+            id,
+            Rect::centered_at(loc.0, loc.1, like.width(), like.height()),
+        )
+    }
+
+    fn zone1(&self, r: Rect) -> Rect {
+        zone(r, r, self.dims)
+    }
+
+    fn on_chip(&self, id: MoId, rect: Rect) -> Result<Rect, PlanError> {
+        if self.dims.contains_rect(rect) {
+            Ok(rect)
+        } else {
+            Err(PlanError::OffChip { id, rect })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIMS: ChipDims = ChipDims {
+        width: 60,
+        height: 30,
+    };
+
+    fn table_iv_graph() -> SequencingGraph {
+        let mut sg = SequencingGraph::new("table4");
+        let m1 = sg.dispense((17.5, 2.5), (4, 4));
+        let m2 = sg.dispense((17.5, 28.5), (4, 4));
+        let m3 = sg.mix(&[m1, m2], (10.5, 15.5));
+        sg.magnetic(m3, (40.5, 15.5));
+        sg
+    }
+
+    #[test]
+    fn table_iv_dispense_rows() {
+        let plan = RjHelper::new(DIMS).plan(&table_iv_graph()).unwrap();
+        let rj1 = plan.jobs_for(0)[0];
+        assert_eq!(rj1.start, Rect::off_chip_origin());
+        assert_eq!(rj1.goal, Rect::new(16, 1, 19, 4));
+        assert_eq!(rj1.bounds, Rect::new(13, 1, 22, 7));
+        let rj2 = plan.jobs_for(1)[0];
+        assert_eq!(rj2.goal, Rect::new(16, 27, 19, 30));
+        assert_eq!(rj2.bounds, Rect::new(13, 24, 22, 30));
+    }
+
+    #[test]
+    fn table_iv_mix_rows() {
+        let plan = RjHelper::new(DIMS).plan(&table_iv_graph()).unwrap();
+        let jobs = plan.jobs_for(2);
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].start, Rect::new(16, 1, 19, 4));
+        assert_eq!(jobs[0].goal, Rect::new(9, 14, 12, 17));
+        assert_eq!(jobs[0].bounds, Rect::new(6, 1, 22, 20));
+        assert_eq!(jobs[1].start, Rect::new(16, 27, 19, 30));
+        assert_eq!(jobs[1].goal, Rect::new(9, 14, 12, 17));
+        assert_eq!(jobs[1].bounds, Rect::new(6, 11, 22, 30));
+        // The merged droplet is 6×5 (area 32, 6.3% error).
+        assert_eq!(plan.operations()[2].outputs[0], Rect::new(8, 14, 13, 18));
+    }
+
+    #[test]
+    fn table_iv_mag_row() {
+        let plan = RjHelper::new(DIMS).plan(&table_iv_graph()).unwrap();
+        let rj = plan.jobs_for(3)[0];
+        assert_eq!(rj.start, Rect::new(8, 14, 13, 18));
+        assert_eq!(rj.goal, Rect::new(38, 14, 43, 18));
+        assert_eq!(rj.bounds, Rect::new(5, 11, 46, 21));
+    }
+
+    #[test]
+    fn split_produces_two_half_jobs() {
+        let mut sg = SequencingGraph::new("split");
+        let a = sg.dispense((10.5, 10.5), (4, 4));
+        let s = sg.split(a, (20.5, 10.5), (10.5, 20.5));
+        sg.output(s, (30.5, 10.5));
+        sg.output(s, (10.5, 28.5));
+        let plan = RjHelper::new(DIMS).plan(&sg).unwrap();
+        let jobs = plan.jobs_for(s);
+        assert_eq!(jobs.len(), 2);
+        // Halves of area 16 are 3×3 (area 9 error 1) vs 3×2=6 err 2 vs 2x3...
+        // fit_droplet_size(8) → 3×3 (|9−8| = 1).
+        assert_eq!(jobs[0].droplet_size(), (3, 3));
+        assert_eq!(jobs[0].start, jobs[1].start);
+        assert_ne!(jobs[0].goal, jobs[1].goal);
+    }
+
+    #[test]
+    fn dilute_produces_four_jobs() {
+        let mut sg = SequencingGraph::new("dlt");
+        let a = sg.dispense((10.5, 10.5), (4, 4));
+        let b = sg.dispense((30.5, 10.5), (4, 4));
+        let d = sg.dilute(&[a, b], (20.5, 10.5), (20.5, 20.5));
+        sg.output(d, (3.5, 10.5));
+        sg.discard(d, (3.5, 20.5));
+        let plan = RjHelper::new(DIMS).plan(&sg).unwrap();
+        let jobs = plan.jobs_for(d);
+        assert_eq!(jobs.len(), 4);
+        // The split-phase halves carry half the mixed area (32/2 = 16 → 4×4).
+        assert_eq!(jobs[3].droplet_size(), (4, 4));
+        assert_eq!(plan.operations()[d].outputs.len(), 2);
+    }
+
+    #[test]
+    fn consumption_order_matches_reference_order() {
+        // Two consumers of a split take its outputs in declaration order.
+        let mut sg = SequencingGraph::new("order");
+        let a = sg.dispense((10.5, 10.5), (6, 6));
+        let s = sg.split(a, (20.5, 8.5), (20.5, 16.5));
+        let m1 = sg.magnetic(s, (30.5, 8.5));
+        let m2 = sg.magnetic(s, (30.5, 16.5));
+        let plan = RjHelper::new(DIMS).plan(&sg).unwrap();
+        assert_eq!(plan.jobs_for(m1)[0].start, plan.operations()[s].outputs[0]);
+        assert_eq!(plan.jobs_for(m2)[0].start, plan.operations()[s].outputs[1]);
+    }
+
+    #[test]
+    fn off_chip_placement_rejected() {
+        let mut sg = SequencingGraph::new("bad");
+        sg.dispense((1.0, 1.0), (6, 6)); // centered at (1,1): hangs off chip
+        match RjHelper::new(DIMS).plan(&sg) {
+            Err(PlanError::OffChip { id: 0, .. }) => {}
+            other => panic!("expected OffChip, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plan_totals_are_consistent() {
+        let plan = RjHelper::new(DIMS).plan(&table_iv_graph()).unwrap();
+        assert_eq!(plan.total_jobs(), 5);
+        assert!(plan.total_transport() > 0.0);
+        assert_eq!(plan.name(), "table4");
+    }
+}

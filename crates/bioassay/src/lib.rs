@@ -1,0 +1,60 @@
+//! Sequencing graphs, microfluidic operations, and routing-job
+//! decomposition (Section VI-A/B of the paper).
+//!
+//! A bioassay is a [`SequencingGraph`] of [`MicroOp`]s — dispense, output,
+//! discard, mix, split, dilute, and magnetic-bead sensing (Table III). A
+//! planner has already placed each operation at a module center location;
+//! the [`RjHelper`] (Algorithm 1) decomposes every operation into
+//! single-droplet [`RoutingJob`]s `(δ_s, δ_g, δ_h)`, computing droplet
+//! sizes that minimize area error under `|w − h| ≤ 1` and hazard bounds via
+//! the `ZONE` construction (a 3-MC safety margin around the start/goal
+//! bounding box, clipped to the chip).
+//!
+//! The [`benchmarks`] module carries the nine bioassays used across the
+//! paper's experiments: Master-Mix, CEP, Serial Dilution, NuIP, COVID-RAT,
+//! COVID-PCR (Figs 15/16) and ChIP, multiplex in-vitro, gene expression
+//! (the Fig. 3 correlation study). Their sequencing graphs are
+//! reconstructions matching the paper's qualitative descriptions — see
+//! `DESIGN.md` §3.
+//!
+//! # Examples
+//!
+//! Table IV's worked example:
+//!
+//! ```
+//! use meda_bioassay::{MoType, RjHelper, SequencingGraph};
+//! use meda_grid::{ChipDims, Rect};
+//!
+//! let mut sg = SequencingGraph::new("example");
+//! let m1 = sg.dispense((17.5, 2.5), (4, 4));
+//! let m2 = sg.dispense((17.5, 28.5), (4, 4));
+//! let m3 = sg.mix(&[m1, m2], (10.5, 15.5));
+//! let _m4 = sg.magnetic(m3, (40.5, 15.5));
+//!
+//! let plan = RjHelper::new(ChipDims::new(60, 30)).plan(&sg)?;
+//! // M3 decomposes into two routing jobs with the same goal.
+//! let m3_jobs = &plan.jobs_for(m3);
+//! assert_eq!(m3_jobs.len(), 2);
+//! assert_eq!(m3_jobs[0].goal, m3_jobs[1].goal);
+//! # Ok::<(), meda_bioassay::PlanError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+mod graph;
+mod helper;
+mod mo;
+mod placer;
+mod rj;
+mod sizing;
+mod zone;
+
+pub use graph::{MoId, SequencingGraph, ValidateError};
+pub use helper::{BioassayPlan, PlanError, PlannedMo, RjHelper};
+pub use mo::{MicroOp, MoType};
+pub use placer::{AbstractOp, AssaySpec, PlaceError, Placer};
+pub use rj::RoutingJob;
+pub use sizing::fit_droplet_size;
+pub use zone::zone;

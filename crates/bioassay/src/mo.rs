@@ -1,0 +1,150 @@
+use std::fmt;
+
+/// The type of a microfluidic operation (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MoType {
+    /// `dis` — dispense a droplet from a reservoir onto the biochip
+    /// (0 in, 1 out).
+    Dispense,
+    /// `out` — route a droplet off the biochip as a product (1 in, 0 out).
+    Output,
+    /// `dsc` — route a droplet off the biochip as waste (1 in, 0 out).
+    Discard,
+    /// `mix` — merge two droplets into one (2 in, 1 out).
+    Mix,
+    /// `spt` — split a droplet into two (1 in, 2 out).
+    Split,
+    /// `dlt` — dilute a droplet using a buffer droplet: a mix followed by a
+    /// split (2 in, 2 out).
+    Dilute,
+    /// `mag` — magnetic-bead sensing/incubation at a module (1 in, 1 out).
+    Magnetic,
+}
+
+impl MoType {
+    /// Number of input droplets (Table III).
+    #[must_use]
+    pub const fn inputs(self) -> usize {
+        match self {
+            Self::Dispense => 0,
+            Self::Output | Self::Discard | Self::Split | Self::Magnetic => 1,
+            Self::Mix | Self::Dilute => 2,
+        }
+    }
+
+    /// Number of output droplets (Table III).
+    #[must_use]
+    pub const fn outputs(self) -> usize {
+        match self {
+            Self::Output | Self::Discard => 0,
+            Self::Dispense | Self::Mix | Self::Magnetic => 1,
+            Self::Split | Self::Dilute => 2,
+        }
+    }
+
+    /// Number of distinct center locations the operation needs (`loc` list):
+    /// split and dilute place their two outputs at two locations.
+    #[must_use]
+    pub const fn locations(self) -> usize {
+        match self {
+            Self::Split | Self::Dilute => 2,
+            _ => 1,
+        }
+    }
+
+    /// Operational cycles the module itself runs for once its droplets are
+    /// in place (mixing loops, bead incubation, …). Transport is extra.
+    /// These MCs are actuated every cycle of the operation, which is what
+    /// concentrates wear at module sites (Section VII-C's "excessive
+    /// actuation of the same set of MCs").
+    #[must_use]
+    pub const fn execution_cycles(self) -> u64 {
+        match self {
+            Self::Dispense | Self::Output | Self::Discard => 0,
+            Self::Split => 10,
+            Self::Mix => 15,
+            Self::Dilute => 25,
+            Self::Magnetic => 30,
+        }
+    }
+
+    /// The paper's abbreviation (`dis`, `out`, `dsc`, `mix`, `spt`, `dlt`,
+    /// `mag`).
+    #[must_use]
+    pub const fn abbrev(self) -> &'static str {
+        match self {
+            Self::Dispense => "dis",
+            Self::Output => "out",
+            Self::Discard => "dsc",
+            Self::Mix => "mix",
+            Self::Split => "spt",
+            Self::Dilute => "dlt",
+            Self::Magnetic => "mag",
+        }
+    }
+}
+
+impl fmt::Display for MoType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// One microfluidic operation `MO = (type, pre, loc)` (Section VI-A), plus
+/// the dispensed droplet size for `dis` operations (the only type whose
+/// droplet size is not inferred from its inputs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroOp {
+    /// Operation type.
+    pub op: MoType,
+    /// Predecessor operation ids (`pre`), in input order.
+    pub pre: Vec<usize>,
+    /// Center location(s) (`loc`); two entries for split/dilute.
+    pub locs: Vec<(f64, f64)>,
+    /// Dispensed droplet size `(w, h)`; `Some` only for `dis`.
+    pub dispense_size: Option<(u32, u32)>,
+}
+
+impl MicroOp {
+    /// The primary center location `loc[0]`.
+    #[must_use]
+    pub fn loc(&self) -> (f64, f64) {
+        self.locs[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_iii_droplet_counts() {
+        let expect = [
+            (MoType::Dispense, 0, 1),
+            (MoType::Output, 1, 0),
+            (MoType::Discard, 1, 0),
+            (MoType::Mix, 2, 1),
+            (MoType::Split, 1, 2),
+            (MoType::Dilute, 2, 2),
+            (MoType::Magnetic, 1, 1),
+        ];
+        for (t, inputs, outputs) in expect {
+            assert_eq!(t.inputs(), inputs, "{t} inputs");
+            assert_eq!(t.outputs(), outputs, "{t} outputs");
+        }
+    }
+
+    #[test]
+    fn split_and_dilute_need_two_locations() {
+        assert_eq!(MoType::Split.locations(), 2);
+        assert_eq!(MoType::Dilute.locations(), 2);
+        assert_eq!(MoType::Mix.locations(), 1);
+    }
+
+    #[test]
+    fn abbreviations_match_paper() {
+        assert_eq!(MoType::Dispense.to_string(), "dis");
+        assert_eq!(MoType::Discard.to_string(), "dsc");
+        assert_eq!(MoType::Dilute.to_string(), "dlt");
+    }
+}

@@ -1,0 +1,482 @@
+//! Automatic module placement — the planner stage the paper assumes
+//! upstream of the RJ helper (Section II-B: "a synthesis tool maps fluidic
+//! operations to fluidic modules on the electrode array").
+//!
+//! [`AssaySpec`] describes a bioassay abstractly (operations and
+//! dependencies, no coordinates); [`Placer`] assigns every operation a
+//! module center: dispenses to reservoir ports along the south/north
+//! edges, outputs/discards to the east edge, and interior operations to a
+//! grid of module slots chosen greedily to minimize transport from their
+//! predecessors. The result is an ordinary [`SequencingGraph`] that the
+//! [`RjHelper`](crate::RjHelper) plans like any hand-placed assay.
+
+use std::fmt;
+
+use meda_grid::ChipDims;
+
+use crate::{MoId, MoType, SequencingGraph};
+
+/// One abstract (location-free) microfluidic operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AbstractOp {
+    /// Operation type.
+    pub op: MoType,
+    /// Predecessor ids, in input order.
+    pub pre: Vec<MoId>,
+    /// Dispensed droplet size (`dis` only).
+    pub size: Option<(u32, u32)>,
+}
+
+/// A location-free bioassay description: what to do, not where.
+///
+/// # Examples
+///
+/// ```
+/// use meda_bioassay::{AssaySpec, Placer, RjHelper};
+/// use meda_grid::ChipDims;
+///
+/// let mut spec = AssaySpec::new("auto-rat");
+/// let sample = spec.dispense((4, 4));
+/// let buffer = spec.dispense((4, 4));
+/// let mixed = spec.mix(&[sample, buffer]);
+/// let read = spec.magnetic(mixed);
+/// spec.output(read);
+///
+/// let sg = Placer::new(ChipDims::PAPER).place(&spec)?;
+/// let plan = RjHelper::new(ChipDims::PAPER).plan(&sg)?;
+/// assert!(plan.total_jobs() >= 5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssaySpec {
+    name: String,
+    ops: Vec<AbstractOp>,
+}
+
+impl AssaySpec {
+    /// Creates an empty spec.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// The bioassay name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the spec is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in insertion (topological) order.
+    #[must_use]
+    pub fn ops(&self) -> &[AbstractOp] {
+        &self.ops
+    }
+
+    fn push(&mut self, op: AbstractOp) -> MoId {
+        self.ops.push(op);
+        self.ops.len() - 1
+    }
+
+    /// Appends a dispense of a `size.0 × size.1` droplet.
+    pub fn dispense(&mut self, size: (u32, u32)) -> MoId {
+        self.push(AbstractOp {
+            op: MoType::Dispense,
+            pre: vec![],
+            size: Some(size),
+        })
+    }
+
+    /// Appends a mix of two predecessors.
+    pub fn mix(&mut self, pre: &[MoId; 2]) -> MoId {
+        self.push(AbstractOp {
+            op: MoType::Mix,
+            pre: pre.to_vec(),
+            size: None,
+        })
+    }
+
+    /// Appends a split of `pre`.
+    pub fn split(&mut self, pre: MoId) -> MoId {
+        self.push(AbstractOp {
+            op: MoType::Split,
+            pre: vec![pre],
+            size: None,
+        })
+    }
+
+    /// Appends a dilution of `pre[0]` with buffer `pre[1]`.
+    pub fn dilute(&mut self, pre: &[MoId; 2]) -> MoId {
+        self.push(AbstractOp {
+            op: MoType::Dilute,
+            pre: pre.to_vec(),
+            size: None,
+        })
+    }
+
+    /// Appends a magnetic-bead operation on `pre`.
+    pub fn magnetic(&mut self, pre: MoId) -> MoId {
+        self.push(AbstractOp {
+            op: MoType::Magnetic,
+            pre: vec![pre],
+            size: None,
+        })
+    }
+
+    /// Appends an output of `pre`.
+    pub fn output(&mut self, pre: MoId) -> MoId {
+        self.push(AbstractOp {
+            op: MoType::Output,
+            pre: vec![pre],
+            size: None,
+        })
+    }
+
+    /// Appends a discard of `pre`.
+    pub fn discard(&mut self, pre: MoId) -> MoId {
+        self.push(AbstractOp {
+            op: MoType::Discard,
+            pre: vec![pre],
+            size: None,
+        })
+    }
+}
+
+/// Error placing an abstract bioassay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlaceError {
+    /// More dispenses than edge reservoir ports.
+    OutOfPorts {
+        /// Ports available on the chip.
+        available: usize,
+    },
+    /// More concurrent interior operations than module slots.
+    OutOfSlots {
+        /// Interior slots available on the chip.
+        available: usize,
+    },
+    /// The chip is too small to host any module.
+    ChipTooSmall,
+}
+
+impl fmt::Display for PlaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfPorts { available } => {
+                write!(
+                    f,
+                    "bioassay needs more reservoir ports than the {available} available"
+                )
+            }
+            Self::OutOfSlots { available } => {
+                write!(
+                    f,
+                    "bioassay needs more module slots than the {available} available"
+                )
+            }
+            Self::ChipTooSmall => write!(f, "chip too small to host a fluidic module"),
+        }
+    }
+}
+
+impl std::error::Error for PlaceError {}
+
+/// The greedy module placer (see module docs).
+#[derive(Debug, Clone, Copy)]
+pub struct Placer {
+    dims: ChipDims,
+    /// Margin (in MCs) from every edge to the interior module grid.
+    margin: u32,
+    /// Pitch between interior module slots.
+    pitch: u32,
+}
+
+impl Placer {
+    /// Creates a placer with an 8-MC interior pitch and 6-MC edge margin —
+    /// enough for the largest (≈8×8) merged droplets plus the 3-MC hazard
+    /// margin.
+    #[must_use]
+    pub fn new(dims: ChipDims) -> Self {
+        Self {
+            dims,
+            margin: 6,
+            pitch: 8,
+        }
+    }
+
+    /// Interior module-slot centers, row-major.
+    fn slots(&self) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        let w = self.dims.width as i32;
+        let h = self.dims.height as i32;
+        let (m, p) = (self.margin as i32, self.pitch as i32);
+        let mut y = m + 1;
+        while y <= h - m {
+            let mut x = m + 1;
+            while x <= w - m {
+                out.push((f64::from(x) + 0.5, f64::from(y) + 0.5));
+                x += p;
+            }
+            y += p;
+        }
+        out
+    }
+
+    /// Reservoir port centers along the south then north edges.
+    fn ports(&self) -> Vec<(f64, f64)> {
+        let w = self.dims.width as i32;
+        let mut out = Vec::new();
+        for row in [3.5, f64::from(self.dims.height) - 2.5] {
+            let mut x = 6;
+            while x <= w - 6 {
+                out.push((f64::from(x) + 0.5, row));
+                x += 8;
+            }
+        }
+        out
+    }
+
+    /// Output/discard port centers along the east edge.
+    fn exit_ports(&self) -> Vec<(f64, f64)> {
+        let h = self.dims.height as i32;
+        let x = f64::from(self.dims.width) - 4.5;
+        let mut out = Vec::new();
+        let mut y = 5;
+        while y <= h - 4 {
+            out.push((x, f64::from(y) + 0.5));
+            y += 6;
+        }
+        out
+    }
+
+    /// Places every operation of `spec`, producing a plannable sequencing
+    /// graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlaceError`] when the chip cannot host the assay.
+    pub fn place(&self, spec: &AssaySpec) -> Result<SequencingGraph, PlaceError> {
+        let slots = self.slots();
+        if slots.is_empty() {
+            return Err(PlaceError::ChipTooSmall);
+        }
+        let mut ports = self.ports().into_iter();
+        let mut exits = self.exit_ports().into_iter().cycle();
+        let exit_count = self.exit_ports().len();
+        if exit_count == 0 {
+            return Err(PlaceError::ChipTooSmall);
+        }
+
+        let mut sg = SequencingGraph::new(spec.name());
+        // Location of each placed op (primary center), for pred-distance
+        // scoring.
+        let mut placed: Vec<(f64, f64)> = Vec::with_capacity(spec.len());
+        // Interior slot occupancy: an op frees its slot once all its
+        // outputs are consumed; for simplicity slots are assigned
+        // round-robin by least use, which spreads wear (Section VII-C's
+        // concern) while keeping the placer deterministic.
+        let mut slot_use = vec![0u32; slots.len()];
+
+        for op in spec.ops() {
+            let loc = match op.op {
+                MoType::Dispense => ports.next().ok_or(PlaceError::OutOfPorts {
+                    available: self.ports().len(),
+                })?,
+                MoType::Output | MoType::Discard => exits.next().expect("cycled"),
+                _ => {
+                    // Centroid of predecessor locations, snapped to the
+                    // least-used nearest slot.
+                    let (mut cx, mut cy) = (0.0, 0.0);
+                    for &p in &op.pre {
+                        cx += placed[p].0;
+                        cy += placed[p].1;
+                    }
+                    let n = op.pre.len().max(1) as f64;
+                    let target = (cx / n, cy / n);
+                    let best = slots
+                        .iter()
+                        .enumerate()
+                        .min_by(|(i, a), (j, b)| {
+                            let da = dist(**a, target) + f64::from(slot_use[*i]) * 4.0;
+                            let db = dist(**b, target) + f64::from(slot_use[*j]) * 4.0;
+                            da.total_cmp(&db)
+                        })
+                        .map(|(i, &s)| (i, s))
+                        .ok_or(PlaceError::OutOfSlots {
+                            available: slots.len(),
+                        })?;
+                    slot_use[best.0] += 1;
+                    best.1
+                }
+            };
+            placed.push(loc);
+
+            match op.op {
+                MoType::Dispense => {
+                    sg.dispense(loc, op.size.unwrap_or((4, 4)));
+                }
+                MoType::Mix => {
+                    sg.mix(&[op.pre[0], op.pre[1]], loc);
+                }
+                MoType::Magnetic => {
+                    sg.magnetic(op.pre[0], loc);
+                }
+                MoType::Output => {
+                    sg.output(op.pre[0], loc);
+                }
+                MoType::Discard => {
+                    sg.discard(op.pre[0], loc);
+                }
+                MoType::Split => {
+                    // Second output lands one pitch away (clamped into the
+                    // slot field).
+                    let loc1 = self.offset_slot(&slots, loc);
+                    sg.split(op.pre[0], loc, loc1);
+                }
+                MoType::Dilute => {
+                    let loc1 = self.offset_slot(&slots, loc);
+                    sg.dilute(&[op.pre[0], op.pre[1]], loc, loc1);
+                }
+            }
+        }
+        Ok(sg)
+    }
+
+    /// A second location near `loc` for split/dilute outputs: the nearest
+    /// *other* slot.
+    fn offset_slot(&self, slots: &[(f64, f64)], loc: (f64, f64)) -> (f64, f64) {
+        slots
+            .iter()
+            .filter(|&&s| s != loc)
+            .min_by(|a, b| dist(**a, loc).total_cmp(&dist(**b, loc)))
+            .copied()
+            .unwrap_or(loc)
+    }
+}
+
+fn dist(a: (f64, f64), b: (f64, f64)) -> f64 {
+    (a.0 - b.0).abs() + (a.1 - b.1).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RjHelper;
+
+    fn rat_spec() -> AssaySpec {
+        let mut spec = AssaySpec::new("auto-rat");
+        let sample = spec.dispense((4, 4));
+        let buffer = spec.dispense((4, 4));
+        let mixed = spec.mix(&[sample, buffer]);
+        let read = spec.magnetic(mixed);
+        spec.output(read);
+        spec
+    }
+
+    #[test]
+    fn placed_assay_validates_and_plans() {
+        let sg = Placer::new(ChipDims::PAPER).place(&rat_spec()).unwrap();
+        assert!(sg.validate().is_ok());
+        let plan = RjHelper::new(ChipDims::PAPER).plan(&sg).unwrap();
+        assert_eq!(plan.operations().len(), 5);
+    }
+
+    #[test]
+    fn dispenses_land_on_edge_ports() {
+        let sg = Placer::new(ChipDims::PAPER).place(&rat_spec()).unwrap();
+        for (_, op) in sg.iter().filter(|(_, o)| o.op == MoType::Dispense) {
+            let (_, y) = op.loc();
+            assert!(y <= 4.0 || y >= f64::from(ChipDims::PAPER.height) - 3.0);
+        }
+    }
+
+    #[test]
+    fn split_outputs_get_distinct_locations() {
+        let mut spec = AssaySpec::new("split");
+        let a = spec.dispense((6, 6));
+        let s = spec.split(a);
+        spec.discard(s);
+        spec.discard(s);
+        let sg = Placer::new(ChipDims::PAPER).place(&spec).unwrap();
+        let (_, split_op) = sg.iter().find(|(_, o)| o.op == MoType::Split).unwrap();
+        assert_ne!(split_op.locs[0], split_op.locs[1]);
+    }
+
+    #[test]
+    fn slot_reuse_is_spread() {
+        // Chained mixes should not pile onto one slot.
+        let mut spec = AssaySpec::new("chain");
+        let mut acc = spec.dispense((4, 4));
+        let mut slots_needed = Vec::new();
+        for _ in 0..4 {
+            let b = spec.dispense((4, 4));
+            acc = spec.mix(&[acc, b]);
+            slots_needed.push(acc);
+        }
+        spec.output(acc);
+        let sg = Placer::new(ChipDims::PAPER).place(&spec).unwrap();
+        let mix_locs: Vec<_> = sg
+            .iter()
+            .filter(|(_, o)| o.op == MoType::Mix)
+            .map(|(_, o)| o.loc())
+            .collect();
+        let distinct: std::collections::HashSet<_> = mix_locs
+            .iter()
+            .map(|(x, y)| (x.to_bits(), y.to_bits()))
+            .collect();
+        assert!(
+            distinct.len() >= 3,
+            "mixes crowded onto {} slots",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn too_many_dispenses_run_out_of_ports() {
+        let mut spec = AssaySpec::new("greedy");
+        let available = Placer::new(ChipDims::PAPER).ports().len();
+        let mut last = None;
+        for _ in 0..=available {
+            last = Some(spec.dispense((4, 4)));
+        }
+        spec.output(last.unwrap());
+        // Consume the rest so validation would pass if placement did.
+        match Placer::new(ChipDims::PAPER).place(&spec) {
+            Err(PlaceError::OutOfPorts { .. }) => {}
+            other => panic!("expected OutOfPorts, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_chip_is_rejected() {
+        let mut spec = AssaySpec::new("tiny");
+        let a = spec.dispense((2, 2));
+        spec.output(a);
+        match Placer::new(ChipDims::new(8, 8)).place(&spec) {
+            Err(PlaceError::ChipTooSmall) => {}
+            other => panic!("expected ChipTooSmall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn placed_covid_like_assay_executes() {
+        // End-to-end sanity: the auto-placed assay must actually run.
+        let sg = Placer::new(ChipDims::PAPER).place(&rat_spec()).unwrap();
+        let plan = RjHelper::new(ChipDims::PAPER).plan(&sg).unwrap();
+        assert!(plan.total_transport() > 0.0);
+    }
+}

@@ -1,0 +1,134 @@
+use std::fmt;
+
+use meda_grid::Rect;
+
+/// A single-droplet routing job `RJ = (δ_s, δ_g, δ_h)` (Section VI-B):
+/// route a droplet from `start` to `goal`, never leaving the hazard bounds
+/// `bounds`.
+///
+/// Dispensing jobs use the off-chip origin `(0, 0, 0, 0)` as their start
+/// ([`RoutingJob::is_dispense`]); the paper routes those with a fixed
+/// perpendicular move from the chip edge rather than synthesis.
+///
+/// # Examples
+///
+/// ```
+/// use meda_bioassay::RoutingJob;
+/// use meda_grid::Rect;
+///
+/// let rj = RoutingJob::new(
+///     Rect::new(16, 1, 19, 4),
+///     Rect::new(9, 14, 12, 17),
+///     Rect::new(6, 1, 22, 20),
+/// );
+/// assert!(!rj.is_dispense());
+/// assert_eq!(rj.droplet_size(), (4, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RoutingJob {
+    /// Start droplet location `δ_s`.
+    pub start: Rect,
+    /// Goal region `δ_g`.
+    pub goal: Rect,
+    /// Hazard bounds `δ_h`.
+    pub bounds: Rect,
+}
+
+impl RoutingJob {
+    /// Creates a routing job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the goal lies outside the hazard bounds, or the start does
+    /// (unless it is the off-chip dispensing origin).
+    #[must_use]
+    pub fn new(start: Rect, goal: Rect, bounds: Rect) -> Self {
+        assert!(
+            bounds.contains_rect(goal),
+            "goal {goal} outside hazard bounds {bounds}"
+        );
+        assert!(
+            start.is_off_chip_origin() || bounds.contains_rect(start),
+            "start {start} outside hazard bounds {bounds}"
+        );
+        Self {
+            start,
+            goal,
+            bounds,
+        }
+    }
+
+    /// Whether this is a dispensing job (start off-chip).
+    #[must_use]
+    pub fn is_dispense(&self) -> bool {
+        self.start.is_off_chip_origin()
+    }
+
+    /// The droplet size `(w, h)` of the job, inferred from the goal for
+    /// dispensing jobs and from the start otherwise (Section V-A: size and
+    /// shape are coupled to the actuation pattern).
+    #[must_use]
+    pub fn droplet_size(&self) -> (u32, u32) {
+        let r = if self.is_dispense() {
+            self.goal
+        } else {
+            self.start
+        };
+        (r.width(), r.height())
+    }
+
+    /// Manhattan distance between the start and goal centers — the lower
+    /// bound on cycles used by the baseline shortest-path router.
+    #[must_use]
+    pub fn center_distance(&self) -> f64 {
+        let (sx, sy) = self.start.center();
+        let (gx, gy) = self.goal.center();
+        (gx - sx).abs() + (gy - sy).abs()
+    }
+}
+
+impl fmt::Display for RoutingJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RJ {{ start: {}, goal: {}, bounds: {} }}",
+            self.start, self.goal, self.bounds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispense_jobs_use_off_chip_origin() {
+        let rj = RoutingJob::new(
+            Rect::off_chip_origin(),
+            Rect::new(16, 1, 19, 4),
+            Rect::new(13, 1, 22, 7),
+        );
+        assert!(rj.is_dispense());
+        assert_eq!(rj.droplet_size(), (4, 4));
+    }
+
+    #[test]
+    fn center_distance_matches_table_iv_m4() {
+        let rj = RoutingJob::new(
+            Rect::new(8, 14, 13, 18),
+            Rect::new(38, 14, 43, 18),
+            Rect::new(5, 11, 46, 21),
+        );
+        assert_eq!(rj.center_distance(), 30.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside hazard bounds")]
+    fn goal_outside_bounds_rejected() {
+        let _ = RoutingJob::new(
+            Rect::new(1, 1, 2, 2),
+            Rect::new(9, 9, 10, 10),
+            Rect::new(1, 1, 8, 8),
+        );
+    }
+}

@@ -1,0 +1,106 @@
+/// Chooses the actuation-pattern size `(w, h)` for a droplet of fluid area
+/// `area`, minimizing the relative area error subject to the paper's
+/// near-square constraint `|w − h| ≤ 1` (Section VI-B). Ties prefer the
+/// wider pattern, matching Table IV (area 32 → `6 × 5`).
+///
+/// Returns `(w, h, relative_error)`.
+///
+/// # Panics
+///
+/// Panics if `area == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use meda_bioassay::fit_droplet_size;
+///
+/// // Table IV: a mix of two 4×4 droplets (area 32) becomes 6×5, 6.3% error.
+/// let (w, h, err) = fit_droplet_size(32);
+/// assert_eq!((w, h), (6, 5));
+/// assert!((err - 0.0625).abs() < 1e-9);
+///
+/// // Perfect squares are exact.
+/// assert_eq!(fit_droplet_size(16), (4, 4, 0.0));
+/// ```
+#[must_use]
+pub fn fit_droplet_size(area: u32) -> (u32, u32, f64) {
+    assert!(area > 0, "droplet area must be positive");
+    let root = (area as f64).sqrt();
+    let lo = root.floor() as u32;
+    let mut best: Option<(u32, u32, u32)> = None; // (w, h, |wh - area|)
+    for &(w, h) in &[(lo, lo), (lo + 1, lo), (lo, lo + 1), (lo + 1, lo + 1)] {
+        if w == 0 || h == 0 {
+            continue;
+        }
+        let err = (w * h).abs_diff(area);
+        let better = match best {
+            None => true,
+            Some((bw, _, berr)) => err < berr || (err == berr && w > bw),
+        };
+        if better {
+            best = Some((w, h, err));
+        }
+    }
+    let (w, h, err) = best.expect("at least one candidate");
+    (w, h, f64::from(err) / f64::from(area))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_squares_have_zero_error() {
+        for s in 1..=8 {
+            let (w, h, err) = fit_droplet_size(s * s);
+            assert_eq!((w, h), (s, s));
+            assert_eq!(err, 0.0);
+        }
+    }
+
+    #[test]
+    fn paper_mix_area_32_gives_6x5() {
+        assert_eq!(fit_droplet_size(32), (6, 5, 2.0 / 32.0));
+    }
+
+    #[test]
+    fn near_square_constraint_always_holds() {
+        for area in 1..200 {
+            let (w, h, _) = fit_droplet_size(area);
+            assert!(w.abs_diff(h) <= 1, "area {area}: {w}x{h}");
+        }
+    }
+
+    #[test]
+    fn error_is_minimal_among_candidates() {
+        for area in 1..200 {
+            let (w, h, err) = fit_droplet_size(area);
+            let chosen = (w * h).abs_diff(area);
+            // Exhaustive check over all |w−h| ≤ 1 patterns up to the area.
+            for cw in 1..=area + 1 {
+                for ch in cw.saturating_sub(1)..=cw + 1 {
+                    if ch == 0 || cw.abs_diff(ch) > 1 {
+                        continue;
+                    }
+                    assert!(
+                        (cw * ch).abs_diff(area) >= chosen,
+                        "area {area}: {cw}x{ch} beats {w}x{h} (err {err})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn half_area_of_a_mix_splits_back() {
+        // dlt: mix 4×4 + 4×4 (area 32) then split to two area-16 droplets.
+        let (w, h, err) = fit_droplet_size(16);
+        assert_eq!((w, h, err), (4, 4, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_area_rejected() {
+        let _ = fit_droplet_size(0);
+    }
+}

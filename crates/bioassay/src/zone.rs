@@ -1,0 +1,80 @@
+use meda_grid::{ChipDims, Rect};
+
+/// The hazard bounds `δ_h = ZONE(δ_s, δ_g)` of a routing job
+/// (Section VI-B): the bounding box of the start and goal rectangles,
+/// expanded by a 3-MC safety margin on each side to prevent accidental
+/// droplet merging, and clipped to the chip.
+///
+/// The paper's displayed formula contains two typos (it writes
+/// `min(x_a − 3, x_a' − 3, 1)` where clamping requires
+/// `max(min(x_a, x_a') − 3, 1)`, and `x_a + 3` where the upper corner needs
+/// `x_b + 3`); Table IV's worked values — e.g. M4's bounds
+/// `(5, 11, 46, 21)` from `δ_s = (8, 14, 13, 18)`, `δ_g = (38, 14, 43, 18)`
+/// — pin down the intended semantics implemented here.
+///
+/// # Examples
+///
+/// ```
+/// use meda_bioassay::zone;
+/// use meda_grid::{ChipDims, Rect};
+///
+/// let dims = ChipDims::new(60, 30);
+/// let bounds = zone(Rect::new(8, 14, 13, 18), Rect::new(38, 14, 43, 18), dims);
+/// assert_eq!(bounds, Rect::new(5, 11, 46, 21));
+/// ```
+#[must_use]
+pub fn zone(start: Rect, goal: Rect, dims: ChipDims) -> Rect {
+    let expanded = start.union(goal).expand(3);
+    expanded
+        .intersection(dims.bounds())
+        .expect("start/goal overlap the chip")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DIMS: ChipDims = ChipDims {
+        width: 60,
+        height: 30,
+    };
+
+    #[test]
+    fn table_iv_m3_bounds() {
+        // RJ3.0: δ_s = (16,01,19,04), δ_g = (09,14,12,17) → (06,01,22,20).
+        let b = zone(Rect::new(16, 1, 19, 4), Rect::new(9, 14, 12, 17), DIMS);
+        assert_eq!(b, Rect::new(6, 1, 22, 20));
+        // RJ3.1: δ_s = (16,27,19,30), δ_g = (09,14,12,17) → (06,11,22,30).
+        let b = zone(Rect::new(16, 27, 19, 30), Rect::new(9, 14, 12, 17), DIMS);
+        assert_eq!(b, Rect::new(6, 11, 22, 30));
+    }
+
+    #[test]
+    fn table_iv_m4_bounds() {
+        let b = zone(Rect::new(8, 14, 13, 18), Rect::new(38, 14, 43, 18), DIMS);
+        assert_eq!(b, Rect::new(5, 11, 46, 21));
+    }
+
+    #[test]
+    fn clips_to_chip_boundary() {
+        // A start at the south-west corner clips at (1, 1).
+        let b = zone(Rect::new(1, 1, 4, 4), Rect::new(10, 10, 13, 13), DIMS);
+        assert_eq!(b, Rect::new(1, 1, 16, 16));
+    }
+
+    #[test]
+    fn zone_contains_both_endpoints_with_margin() {
+        let s = Rect::new(20, 10, 23, 13);
+        let g = Rect::new(40, 20, 43, 23);
+        let b = zone(s, g, DIMS);
+        assert!(b.contains_rect(s.expand(3)));
+        assert!(b.contains_rect(g.expand(3)));
+    }
+
+    #[test]
+    fn zone_is_symmetric() {
+        let s = Rect::new(5, 5, 8, 8);
+        let g = Rect::new(30, 20, 33, 23);
+        assert_eq!(zone(s, g, DIMS), zone(g, s, DIMS));
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for droplet sizing, hazard zones, and the RJ
+//! helper's structural invariants.
+
+use meda_bioassay::{fit_droplet_size, zone, MoType, RjHelper, SequencingGraph};
+use meda_grid::{ChipDims, Rect};
+use proptest::prelude::*;
+
+fn arb_on_chip_rect(dims: ChipDims) -> impl Strategy<Value = Rect> {
+    let (w, h) = (dims.width as i32, dims.height as i32);
+    (1..=w, 1..=h, 0i32..6, 0i32..6).prop_filter_map(
+        "rect fits on chip",
+        move |(xa, ya, dw, dh)| {
+            let r = Rect::new(xa, ya, xa + dw, ya + dh);
+            dims.contains_rect(r).then_some(r)
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn droplet_sizing_is_near_square_and_optimal(area in 1u32..500) {
+        let (w, h, err) = fit_droplet_size(area);
+        prop_assert!(w.abs_diff(h) <= 1);
+        prop_assert!((err - f64::from((w * h).abs_diff(area)) / f64::from(area)).abs() < 1e-12);
+        // No candidate of the same constraint class does better.
+        let side = (area as f64).sqrt().ceil() as u32 + 1;
+        for cw in 1..=side {
+            for ch in cw.saturating_sub(1)..=cw + 1 {
+                if ch == 0 || cw.abs_diff(ch) > 1 {
+                    continue;
+                }
+                prop_assert!((cw * ch).abs_diff(area) >= (w * h).abs_diff(area));
+            }
+        }
+    }
+
+    #[test]
+    fn zone_contains_margined_endpoints_clipped_to_chip(
+        s in arb_on_chip_rect(ChipDims::PAPER), g in arb_on_chip_rect(ChipDims::PAPER)
+    ) {
+        let dims = ChipDims::PAPER;
+        let z = zone(s, g, dims);
+        prop_assert!(dims.contains_rect(z));
+        prop_assert!(z.contains_rect(s));
+        prop_assert!(z.contains_rect(g));
+        // The 3-cell margin is honoured wherever the chip allows it.
+        let ideal = s.union(g).expand(3);
+        prop_assert_eq!(z, ideal.intersection(dims.bounds()).unwrap());
+    }
+
+    /// For any two-dispense-mix-route chain placed randomly (but legally),
+    /// the plan obeys the structural rules of Algorithm 1.
+    #[test]
+    fn random_mix_chains_plan_consistently(
+        x1 in 6.0f64..25.0, x2 in 30.0f64..54.0, y in 6.0f64..24.0, mix_x in 10.0f64..50.0
+    ) {
+        let dims = ChipDims::PAPER;
+        let mut sg = SequencingGraph::new("prop");
+        let a = sg.dispense((x1, 5.5), (4, 4));
+        let b = sg.dispense((x2, 5.5), (4, 4));
+        let m = sg.mix(&[a, b], (mix_x, y));
+        sg.magnetic(m, (mix_x, y));
+
+        let plan = RjHelper::new(dims).plan(&sg).unwrap();
+        for planned in plan.operations() {
+            // Table III arities.
+            prop_assert_eq!(planned.inputs.len(), planned.op.inputs());
+            prop_assert_eq!(planned.outputs.len(), planned.op.outputs());
+            for job in &planned.jobs {
+                prop_assert!(job.bounds.contains_rect(job.goal));
+                prop_assert!(
+                    job.start.is_off_chip_origin() || job.bounds.contains_rect(job.start)
+                );
+                prop_assert!(dims.contains_rect(job.goal));
+            }
+            for output in &planned.outputs {
+                prop_assert!(dims.contains_rect(*output));
+            }
+        }
+        // Mix conserves area up to the |w−h| ≤ 1 refit.
+        let mix_out = plan.operations()[m].outputs[0];
+        let (w, h, _) = fit_droplet_size(32);
+        prop_assert_eq!((mix_out.width(), mix_out.height()), (w, h));
+    }
+
+    /// Splitting then re-mixing halves conserves the refit area.
+    #[test]
+    fn split_halves_cover_the_input_area(size in 4u32..8) {
+        let dims = ChipDims::PAPER;
+        let mut sg = SequencingGraph::new("prop-split");
+        let a = sg.dispense((15.5, 15.5), (size, size));
+        let s = sg.split(a, (30.5, 9.5), (30.5, 21.5));
+        sg.discard(s, (55.5, 9.5));
+        sg.discard(s, (55.5, 21.5));
+        let plan = RjHelper::new(dims).plan(&sg).unwrap();
+        let (hw, hh, _) = fit_droplet_size(size * size / 2);
+        for out in &plan.operations()[s].outputs {
+            prop_assert_eq!((out.width(), out.height()), (hw, hh));
+        }
+    }
+
+    #[test]
+    fn mo_arity_table_is_internally_consistent(op_idx in 0usize..7) {
+        let op = [
+            MoType::Dispense, MoType::Output, MoType::Discard, MoType::Mix,
+            MoType::Split, MoType::Dilute, MoType::Magnetic,
+        ][op_idx];
+        // Droplet conservation: at most two droplets in or out, and
+        // locations cover the outputs that need distinct placement.
+        prop_assert!(op.inputs() <= 2 && op.outputs() <= 2);
+        prop_assert!(op.locations() >= 1);
+        prop_assert!(op.locations() <= op.outputs().max(1));
+    }
+}

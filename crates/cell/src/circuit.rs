@@ -1,0 +1,216 @@
+//! Behavioral model of the MC control circuit (Fig. 1, Section III-B): the
+//! ACT / ACT_b / SEL control signals, the four transistors they drive, and
+//! the resulting bottom-plate connection in each operating phase.
+//!
+//! The paper's sensing sequence is modeled verbatim:
+//!
+//! 1. **Charge** — `ACT = 0, ACT_b = 1, SEL = 1`, top plate grounded:
+//!    T1, T2, T4 on, T3 off; the bottom plate connects to VDD (3.3 V) and
+//!    charges.
+//! 2. **Discharge** — the controller drops `ACT_b = 0`: T1, T3, T4 on,
+//!    T2 off; the bottom plate connects to ground and discharges, and the
+//!    DFF clock edges sample the node (see [`crate::SensingCircuit`]).
+//!
+//! During **actuation** (`ACT = 1`) the bottom plate is driven by the
+//! high-voltage EWOD rail instead.
+
+use std::fmt;
+
+/// The scan-register control signals of one MC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ControlSignals {
+    /// Actuation select.
+    pub act: bool,
+    /// Complement phase signal used during sensing.
+    pub act_b: bool,
+    /// Sensing select.
+    pub sel: bool,
+}
+
+/// On/off state of the four MC transistors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TransistorState {
+    /// T1 — sensing-path select.
+    pub t1: bool,
+    /// T2 — charge-path switch (bottom plate → VDD).
+    pub t2: bool,
+    /// T3 — discharge-path switch (bottom plate → ground).
+    pub t3: bool,
+    /// T4 — sense-node follower.
+    pub t4: bool,
+}
+
+/// What the bottom plate is connected to in a given phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rail {
+    /// The 3.3 V digital supply (sensing charge phase).
+    Vdd,
+    /// Ground (sensing discharge phase).
+    Ground,
+    /// The high-voltage EWOD actuation rail.
+    HighVoltage,
+    /// Disconnected.
+    Floating,
+}
+
+impl fmt::Display for Rail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rail::Vdd => "VDD",
+            Rail::Ground => "GND",
+            Rail::HighVoltage => "HV",
+            Rail::Floating => "floating",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Operating phase of one microelectrode cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum McPhase {
+    /// Droplet actuation: the electrode is driven by the EWOD rail.
+    Actuate,
+    /// Sensing, charge sub-phase (bottom plate rises to VDD).
+    SenseCharge,
+    /// Sensing, discharge sub-phase (bottom plate falls to ground; the
+    /// DFFs sample during this phase).
+    SenseDischarge,
+    /// Neither actuated nor selected.
+    Idle,
+}
+
+impl McPhase {
+    /// The control signals the scan register asserts in this phase
+    /// (Section III-B).
+    #[must_use]
+    pub const fn signals(self) -> ControlSignals {
+        match self {
+            McPhase::Actuate => ControlSignals {
+                act: true,
+                act_b: false,
+                sel: false,
+            },
+            McPhase::SenseCharge => ControlSignals {
+                act: false,
+                act_b: true,
+                sel: true,
+            },
+            McPhase::SenseDischarge => ControlSignals {
+                act: false,
+                act_b: false,
+                sel: true,
+            },
+            McPhase::Idle => ControlSignals {
+                act: false,
+                act_b: false,
+                sel: false,
+            },
+        }
+    }
+
+    /// The transistor pattern the signals produce.
+    #[must_use]
+    pub const fn transistors(self) -> TransistorState {
+        let s = self.signals();
+        TransistorState {
+            // T1 and T4 are the sensing-path pair: on whenever SEL is up.
+            t1: s.sel,
+            t4: s.sel,
+            // T2 charges (on with ACT_b high), T3 discharges (on with
+            // ACT_b low while sensing).
+            t2: s.sel && s.act_b,
+            t3: s.sel && !s.act_b,
+        }
+    }
+
+    /// The bottom-plate connection in this phase.
+    #[must_use]
+    pub const fn bottom_plate(self) -> Rail {
+        match self {
+            McPhase::Actuate => Rail::HighVoltage,
+            McPhase::SenseCharge => Rail::Vdd,
+            McPhase::SenseDischarge => Rail::Ground,
+            McPhase::Idle => Rail::Floating,
+        }
+    }
+
+    /// Whether the droplet above is being pulled (EWOD force active).
+    #[must_use]
+    pub const fn exerts_ewod_force(self) -> bool {
+        matches!(self, McPhase::Actuate)
+    }
+
+    /// The sensing sequence of one operational cycle (Section III-A):
+    /// charge then discharge.
+    #[must_use]
+    pub const fn sensing_sequence() -> [McPhase; 2] {
+        [McPhase::SenseCharge, McPhase::SenseDischarge]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charge_phase_matches_paper_truth_table() {
+        // "The controller sets ACT = 0, ACT_b = 1, and SEL = 1 …
+        //  transistors T1, T2, and T4 are switched on while T3 is off,
+        //  the bottom plate is connected to VDD."
+        let phase = McPhase::SenseCharge;
+        assert_eq!(
+            phase.signals(),
+            ControlSignals {
+                act: false,
+                act_b: true,
+                sel: true
+            }
+        );
+        let t = phase.transistors();
+        assert!(t.t1 && t.t2 && t.t4 && !t.t3);
+        assert_eq!(phase.bottom_plate(), Rail::Vdd);
+    }
+
+    #[test]
+    fn discharge_phase_matches_paper_truth_table() {
+        // "Next, the control circuit sets ACT_b = 0, and transistors T1,
+        //  T3 and T4 are switched on while T2 is switched off … the bottom
+        //  plate is now connected to ground."
+        let phase = McPhase::SenseDischarge;
+        let t = phase.transistors();
+        assert!(t.t1 && t.t3 && t.t4 && !t.t2);
+        assert_eq!(phase.bottom_plate(), Rail::Ground);
+    }
+
+    #[test]
+    fn actuation_drives_the_high_voltage_rail() {
+        let phase = McPhase::Actuate;
+        assert!(phase.signals().act);
+        assert!(!phase.signals().sel);
+        assert_eq!(phase.bottom_plate(), Rail::HighVoltage);
+        assert!(phase.exerts_ewod_force());
+        // The sensing path must be isolated while actuating.
+        let t = phase.transistors();
+        assert!(!t.t1 && !t.t2 && !t.t3 && !t.t4);
+    }
+
+    #[test]
+    fn idle_cell_floats() {
+        assert_eq!(McPhase::Idle.bottom_plate(), Rail::Floating);
+        assert!(!McPhase::Idle.exerts_ewod_force());
+    }
+
+    #[test]
+    fn sensing_sequence_charges_then_discharges() {
+        let [a, b] = McPhase::sensing_sequence();
+        assert_eq!(a.bottom_plate(), Rail::Vdd);
+        assert_eq!(b.bottom_plate(), Rail::Ground);
+    }
+
+    #[test]
+    fn only_actuation_exerts_force() {
+        for phase in [McPhase::SenseCharge, McPhase::SenseDischarge, McPhase::Idle] {
+            assert!(!phase.exerts_ewod_force(), "{phase:?}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+use meda_grid::{ChipDims, Grid};
+
+use crate::{CellParams, HealthReading, ScanChain, SensingCircuit};
+
+/// One MEDA *operational cycle* (Section III-A): shift an actuation
+/// bitstream into the array, actuate the MCs, sense droplet locations and
+/// health, and shift the sensing results out.
+///
+/// The cycle model is the hardware-facing seam between the controller (which
+/// produces actuation matrices **U** and consumes location matrix **Y** and
+/// health matrix **H**) and the physical chip, which in this workspace is
+/// simulated by `meda-sim`.
+///
+/// # Examples
+///
+/// ```
+/// use meda_cell::{CellParams, OperationalCycle};
+/// use meda_grid::{Cell, ChipDims, Grid, Rect};
+///
+/// let dims = ChipDims::new(8, 4);
+/// let cycle = OperationalCycle::new(dims, CellParams::paper());
+///
+/// // Electrode capacitances: all healthy.
+/// let caps = Grid::new(dims, CellParams::paper().cap_healthy);
+/// // A droplet covers (2,2)-(3,3).
+/// let mut droplet = Grid::new(dims, false);
+/// droplet.fill_rect(Rect::new(2, 2, 3, 3), true);
+///
+/// let mut actuation = Grid::new(dims, false);
+/// actuation.fill_rect(Rect::new(3, 2, 4, 3), true);
+///
+/// let report = cycle.run(&actuation, &caps, &droplet);
+/// assert_eq!(report.actuated_count, 4);
+/// assert!(report.locations[Cell::new(2, 2)]);
+/// assert!(!report.locations[Cell::new(5, 2)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OperationalCycle {
+    dims: ChipDims,
+    chain: ScanChain,
+    circuit: SensingCircuit,
+}
+
+/// The outputs of one operational cycle.
+#[derive(Debug, Clone)]
+pub struct CycleReport {
+    /// Droplet-location matrix **Y** sensed this cycle.
+    pub locations: Grid<bool>,
+    /// 2-bit health reading per MC from the dual-DFF sensing.
+    pub health: Grid<HealthReading>,
+    /// Number of MCs actuated this cycle.
+    pub actuated_count: usize,
+    /// Length in bits of the scan-out stream (location + 2-bit health).
+    pub scan_bits: usize,
+}
+
+impl OperationalCycle {
+    /// Creates an operational-cycle model for a `W × H` array.
+    #[must_use]
+    pub fn new(dims: ChipDims, params: CellParams) -> Self {
+        Self {
+            dims,
+            chain: ScanChain::new(dims),
+            circuit: SensingCircuit::new(params),
+        }
+    }
+
+    /// The chip dimensions.
+    #[must_use]
+    pub fn dims(&self) -> ChipDims {
+        self.dims
+    }
+
+    /// The per-cell sensing circuit.
+    #[must_use]
+    pub fn circuit(&self) -> &SensingCircuit {
+        &self.circuit
+    }
+
+    /// Runs one cycle: `actuation` is the scanned-in pattern **U**,
+    /// `capacitances` the present per-electrode capacitance (reflecting
+    /// degradation), and `droplet_cover` which MCs a droplet currently
+    /// covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any grid's dimensions differ from the cycle's.
+    #[must_use]
+    pub fn run(
+        &self,
+        actuation: &Grid<bool>,
+        capacitances: &Grid<f64>,
+        droplet_cover: &Grid<bool>,
+    ) -> CycleReport {
+        assert_eq!(actuation.dims(), self.dims, "actuation dims mismatch");
+        assert_eq!(capacitances.dims(), self.dims, "capacitance dims mismatch");
+        assert_eq!(droplet_cover.dims(), self.dims, "droplet dims mismatch");
+
+        // Scan in + actuate.
+        let scan_in = self.chain.serialize(actuation);
+        let actuated_count = scan_in.iter().filter(|b| **b).count();
+
+        // Sense locations and health per MC.
+        let locations = Grid::from_fn(self.dims, |c| {
+            self.circuit
+                .sense_droplet(capacitances[c], droplet_cover[c])
+        });
+        let health = Grid::from_fn(self.dims, |c| self.circuit.sense(capacitances[c]));
+
+        // Scan out: 1 location bit + 2 health bits per MC.
+        let health_bits = self.chain.serialize_health(&health.map(|_, r| r.bits()));
+        let location_bits = self.chain.serialize(&locations);
+        let scan_bits = location_bits.len() + health_bits.len();
+
+        CycleReport {
+            locations,
+            health,
+            actuated_count,
+            scan_bits,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meda_grid::{Cell, Rect};
+
+    fn setup(dims: ChipDims) -> (OperationalCycle, Grid<f64>, Grid<bool>) {
+        let params = CellParams::paper();
+        let cycle = OperationalCycle::new(dims, params);
+        let caps = Grid::new(dims, params.cap_healthy);
+        let cover = Grid::new(dims, false);
+        (cycle, caps, cover)
+    }
+
+    #[test]
+    fn healthy_chip_reads_all_healthy() {
+        let dims = ChipDims::new(5, 5);
+        let (cycle, caps, cover) = setup(dims);
+        let report = cycle.run(&Grid::new(dims, false), &caps, &cover);
+        assert!(report
+            .health
+            .iter()
+            .all(|(_, r)| *r == HealthReading::Healthy));
+        assert_eq!(report.actuated_count, 0);
+    }
+
+    #[test]
+    fn degraded_cells_read_degraded() {
+        let dims = ChipDims::new(4, 4);
+        let params = CellParams::paper();
+        let (cycle, mut caps, cover) = setup(dims);
+        caps[Cell::new(2, 2)] = params.cap_partial;
+        caps[Cell::new(3, 3)] = params.cap_degraded;
+        let report = cycle.run(&Grid::new(dims, false), &caps, &cover);
+        assert_eq!(report.health[Cell::new(2, 2)], HealthReading::Partial);
+        assert_eq!(report.health[Cell::new(3, 3)], HealthReading::Degraded);
+        assert_eq!(report.health[Cell::new(1, 1)], HealthReading::Healthy);
+    }
+
+    #[test]
+    fn droplet_location_sensed_exactly() {
+        let dims = ChipDims::new(6, 6);
+        let (cycle, caps, mut cover) = setup(dims);
+        let droplet = Rect::new(2, 3, 4, 5);
+        cover.fill_rect(droplet, true);
+        let report = cycle.run(&Grid::new(dims, false), &caps, &cover);
+        for (cell, sensed) in report.locations.iter() {
+            assert_eq!(*sensed, droplet.contains_cell(cell), "at {cell}");
+        }
+    }
+
+    #[test]
+    fn scan_stream_is_three_bits_per_cell() {
+        let dims = ChipDims::new(3, 3);
+        let (cycle, caps, cover) = setup(dims);
+        let report = cycle.run(&Grid::new(dims, false), &caps, &cover);
+        assert_eq!(report.scan_bits, 3 * dims.cell_count());
+    }
+
+    #[test]
+    fn actuated_count_matches_pattern() {
+        let dims = ChipDims::new(6, 6);
+        let (cycle, caps, cover) = setup(dims);
+        let mut pattern = Grid::new(dims, false);
+        pattern.fill_rect(Rect::new(1, 1, 3, 2), true);
+        let report = cycle.run(&pattern, &caps, &cover);
+        assert_eq!(report.actuated_count, 6);
+    }
+}

@@ -1,0 +1,53 @@
+//! Microelectrode-cell (MC) circuit model for MEDA biochips.
+//!
+//! Implements the new MC design of Section III of *"Formal Synthesis of
+//! Adaptive Droplet Routing for MEDA Biochips"* (DATE 2021): each MC carries
+//! a microelectrode, a control circuit, and a capacitive sensing module with
+//! **two** D flip-flops whose clock edges are skewed by 5 ns. Charge trapping
+//! raises the electrode capacitance (Table I), shifting the RC
+//! threshold-crossing time of the sensing node, so the pair of DFF samples
+//! yields a 2-bit health reading:
+//!
+//! | electrode state      | 2-bit reading |
+//! |----------------------|---------------|
+//! | healthy              | `11`          |
+//! | partially degraded   | `01`          |
+//! | completely degraded  | `00`          |
+//!
+//! The crate also models the *operational cycle* of Section III-A: shift an
+//! actuation bitstream into the MC array through the scan chain, actuate,
+//! sense droplet locations, and shift the sensing results out.
+//!
+//! The paper simulated this circuit in HSPICE with a 350 nm foundry library;
+//! here a first-order RC waveform model with Table I capacitances reproduces
+//! the same observable (the ordering and spacing of threshold crossings), as
+//! recorded in `DESIGN.md` §3.
+//!
+//! # Examples
+//!
+//! ```
+//! use meda_cell::{CellParams, HealthReading, SensingCircuit};
+//!
+//! let params = CellParams::paper();
+//! let circuit = SensingCircuit::new(params);
+//! assert_eq!(circuit.sense(params.cap_healthy), HealthReading::Healthy);
+//! assert_eq!(circuit.sense(params.cap_partial), HealthReading::Partial);
+//! assert_eq!(circuit.sense(params.cap_degraded), HealthReading::Degraded);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod circuit;
+mod cycle;
+mod params;
+mod rc;
+mod scan;
+mod sensing;
+
+pub use circuit::{ControlSignals, McPhase, Rail, TransistorState};
+pub use cycle::{CycleReport, OperationalCycle};
+pub use params::CellParams;
+pub use rc::RcWaveform;
+pub use scan::{ScanChain, ScanChainError};
+pub use sensing::{DualDff, HealthReading, SensingCircuit};

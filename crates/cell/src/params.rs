@@ -1,0 +1,145 @@
+/// Electrical parameters of a microelectrode cell (Table I of the paper).
+///
+/// The defaults of [`CellParams::paper`] reproduce Table I: a 50 × 50 µm²
+/// microelectrode under silicon oil (permittivity 19 pF/m) whose healthy,
+/// partially-degraded, and completely-degraded capacitances are 2.375 fF,
+/// 2.380 fF and 2.385 fF respectively, sensed at VDD = 3.3 V.
+///
+/// The sense resistance is chosen so consecutive threshold crossings are
+/// 5 ns apart — the clock skew the paper derives from its HSPICE simulation
+/// (Fig. 2) — and the two DFF clock edges straddle those crossings.
+///
+/// # Examples
+///
+/// ```
+/// use meda_cell::CellParams;
+///
+/// let p = CellParams::paper();
+/// // Table I: healthy capacitance 2.375 fF.
+/// assert!((p.cap_healthy - 2.375e-15).abs() < 1e-21);
+/// // Gap implied by C = ε·A/d is 20 µm.
+/// assert!((p.dielectric_gap() - 20e-6).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellParams {
+    /// Microelectrode side length in meters (Table I: 50 µm).
+    pub electrode_side: f64,
+    /// Filler-medium (silicon oil) permittivity in F/m (Table I: 19 pF/m).
+    pub oil_permittivity: f64,
+    /// Capacitance of a healthy microelectrode in farads (Table I: 2.375 fF).
+    pub cap_healthy: f64,
+    /// Capacitance of a partially degraded microelectrode (Table I: 2.380 fF).
+    pub cap_partial: f64,
+    /// Capacitance of a completely degraded microelectrode (Table I: 2.385 fF).
+    pub cap_degraded: f64,
+    /// Supply voltage VDD in volts (3.3 V for the TSMC 0.35 µm chip).
+    pub vdd: f64,
+    /// Logic threshold the DFF input crosses, in volts (VDD / 2).
+    pub vth: f64,
+    /// Effective sense-path resistance in ohms.
+    pub r_sense: f64,
+    /// Clock edge of the original DFF, in seconds after charge start.
+    pub t_clk_original: f64,
+    /// Skew of the added DFF's clock edge (Fig. 2: 5 ns).
+    pub dff_skew: f64,
+    /// Relative capacitance increase when a droplet covers the MC
+    /// (water ε≈80 vs oil ε≈19 ⇒ ~4.2×), used for location sensing.
+    pub droplet_cap_factor: f64,
+}
+
+impl CellParams {
+    /// The Table I / Fig. 2 parameter set.
+    #[must_use]
+    pub fn paper() -> Self {
+        let vdd: f64 = 3.3;
+        let vth = vdd / 2.0;
+        let cap_healthy = 2.375e-15;
+        let cap_partial = 2.380e-15;
+        let cap_degraded = 2.385e-15;
+        // Choose R so that the crossing-time spacing between consecutive
+        // degradation levels is exactly the paper's 5 ns DFF skew:
+        //   Δt = R · ΔC · ln(VDD / (VDD − Vth)),  ΔC = 5 aF.
+        let ln_ratio = (vdd / (vdd - vth)).ln();
+        let dff_skew = 5e-9;
+        let r_sense = dff_skew / ((cap_partial - cap_healthy) * ln_ratio);
+        // Place the original DFF edge half a skew after the healthy
+        // crossing, so healthy → 11, partial → 01, degraded → 00.
+        let t_clk_original = r_sense * cap_healthy * ln_ratio + dff_skew / 2.0;
+        Self {
+            electrode_side: 50e-6,
+            oil_permittivity: 19e-12,
+            cap_healthy,
+            cap_partial,
+            cap_degraded,
+            vdd,
+            vth,
+            r_sense,
+            t_clk_original,
+            dff_skew,
+            droplet_cap_factor: 80.0 / 19.0,
+        }
+    }
+
+    /// Microelectrode area `A` in m² (Table I: 2500 µm²).
+    #[must_use]
+    pub fn electrode_area(&self) -> f64 {
+        self.electrode_side * self.electrode_side
+    }
+
+    /// Dielectric gap implied by the parallel-plate relation `d = ε·A / C`
+    /// for the healthy capacitance.
+    #[must_use]
+    pub fn dielectric_gap(&self) -> f64 {
+        self.oil_permittivity * self.electrode_area() / self.cap_healthy
+    }
+
+    /// Clock edge of the added DFF (original edge + 5 ns skew).
+    #[must_use]
+    pub fn t_clk_added(&self) -> f64 {
+        self.t_clk_original + self.dff_skew
+    }
+
+    /// Capacitance of a healthy MC when a droplet covers it.
+    #[must_use]
+    pub fn cap_with_droplet(&self) -> f64 {
+        self.cap_healthy * self.droplet_cap_factor
+    }
+}
+
+impl Default for CellParams {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_capacitance_ordering() {
+        let p = CellParams::paper();
+        assert!(p.cap_healthy < p.cap_partial);
+        assert!(p.cap_partial < p.cap_degraded);
+    }
+
+    #[test]
+    fn electrode_area_matches_table_i() {
+        let p = CellParams::paper();
+        assert!((p.electrode_area() - 2500e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn added_dff_edge_is_5ns_later() {
+        let p = CellParams::paper();
+        assert!((p.t_clk_added() - p.t_clk_original - 5e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn droplet_capacitance_dominates_degradation_shift() {
+        // Droplet presence must be detectable regardless of health, i.e. the
+        // droplet factor must dwarf the degradation-induced shift.
+        let p = CellParams::paper();
+        assert!(p.cap_with_droplet() > 2.0 * p.cap_degraded);
+    }
+}

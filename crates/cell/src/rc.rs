@@ -1,0 +1,164 @@
+/// First-order RC charging waveform of the MC sensing node.
+///
+/// During a sensing phase the bottom plate is connected through the sense
+/// path (resistance `R`) to VDD and charges towards it:
+/// `V(t) = VDD · (1 − e^{−t/RC})`. The DFFs sample whether the node has
+/// crossed the logic threshold at their (skewed) clock edges. The same
+/// expression, with `Vpp` in place of VDD, is the charging law used in the
+/// paper's PCB degradation experiment (Section IV-A).
+///
+/// # Examples
+///
+/// ```
+/// use meda_cell::RcWaveform;
+///
+/// let w = RcWaveform::new(1.0e6, 1.0e-9, 3.3); // 1 MΩ, 1 nF, 3.3 V
+/// assert!(w.voltage_at(0.0) < 1e-12);
+/// // After 5 time constants the node is essentially at VDD.
+/// assert!((w.voltage_at(5.0e-3) - 3.3).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RcWaveform {
+    resistance: f64,
+    capacitance: f64,
+    v_supply: f64,
+}
+
+impl RcWaveform {
+    /// Creates a charging waveform for the given RC pair and supply voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is not finite and positive.
+    #[must_use]
+    pub fn new(resistance: f64, capacitance: f64, v_supply: f64) -> Self {
+        assert!(
+            resistance > 0.0 && resistance.is_finite(),
+            "resistance must be positive"
+        );
+        assert!(
+            capacitance > 0.0 && capacitance.is_finite(),
+            "capacitance must be positive"
+        );
+        assert!(
+            v_supply > 0.0 && v_supply.is_finite(),
+            "supply voltage must be positive"
+        );
+        Self {
+            resistance,
+            capacitance,
+            v_supply,
+        }
+    }
+
+    /// The time constant `τ = R·C` in seconds.
+    #[must_use]
+    pub fn time_constant(&self) -> f64 {
+        self.resistance * self.capacitance
+    }
+
+    /// Node voltage at time `t ≥ 0` (clamped to 0 for negative `t`).
+    #[must_use]
+    pub fn voltage_at(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            self.v_supply * (1.0 - (-t / self.time_constant()).exp())
+        }
+    }
+
+    /// Time at which the node first reaches `v_threshold`, or `None` if the
+    /// threshold is at or above the supply (never reached).
+    #[must_use]
+    pub fn crossing_time(&self, v_threshold: f64) -> Option<f64> {
+        if v_threshold <= 0.0 {
+            return Some(0.0);
+        }
+        if v_threshold >= self.v_supply {
+            return None;
+        }
+        Some(self.time_constant() * (self.v_supply / (self.v_supply - v_threshold)).ln())
+    }
+
+    /// Whether the node has crossed `v_threshold` by time `t` — exactly what
+    /// a DFF clocked at `t` captures.
+    #[must_use]
+    pub fn crossed_by(&self, v_threshold: f64, t: f64) -> bool {
+        self.voltage_at(t) >= v_threshold
+    }
+
+    /// Recovers the capacitance from an observed threshold-crossing time,
+    /// inverting `t = R·C·ln(V/(V−Vth))` — the oscilloscope read-out used in
+    /// the paper's PCB experiment to track electrode degradation.
+    ///
+    /// Returns `None` if the threshold is not strictly between 0 and the
+    /// supply voltage.
+    #[must_use]
+    pub fn capacitance_from_crossing(
+        resistance: f64,
+        v_supply: f64,
+        v_threshold: f64,
+        crossing_time: f64,
+    ) -> Option<f64> {
+        if v_threshold <= 0.0 || v_threshold >= v_supply || crossing_time <= 0.0 {
+            return None;
+        }
+        Some(crossing_time / (resistance * (v_supply / (v_supply - v_threshold)).ln()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn voltage_monotonically_increases() {
+        let w = RcWaveform::new(1e6, 1e-12, 3.3);
+        let mut prev = -1.0;
+        for i in 0..100 {
+            let v = w.voltage_at(i as f64 * 1e-7);
+            assert!(v >= prev);
+            prev = v;
+        }
+        assert!(prev < 3.3);
+    }
+
+    #[test]
+    fn crossing_time_matches_voltage() {
+        let w = RcWaveform::new(2e6, 3e-12, 3.3);
+        let t = w.crossing_time(1.65).unwrap();
+        assert!((w.voltage_at(t) - 1.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossing_time_scales_linearly_with_capacitance() {
+        let w1 = RcWaveform::new(1e6, 1e-12, 3.3);
+        let w2 = RcWaveform::new(1e6, 2e-12, 3.3);
+        let t1 = w1.crossing_time(1.0).unwrap();
+        let t2 = w2.crossing_time(1.0).unwrap();
+        assert!((t2 / t1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unreachable_threshold_is_none() {
+        let w = RcWaveform::new(1e6, 1e-12, 3.3);
+        assert_eq!(w.crossing_time(3.3), None);
+        assert_eq!(w.crossing_time(5.0), None);
+    }
+
+    #[test]
+    fn capacitance_recovery_roundtrip() {
+        let r = 1e6;
+        let c = 47e-12;
+        let w = RcWaveform::new(r, c, 200.0);
+        let t = w.crossing_time(100.0).unwrap();
+        let c_est = RcWaveform::capacitance_from_crossing(r, 200.0, 100.0, t).unwrap();
+        assert!((c_est - c).abs() / c < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn zero_capacitance_rejected() {
+        let _ = RcWaveform::new(1e6, 0.0, 3.3);
+    }
+}

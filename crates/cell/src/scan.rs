@@ -1,0 +1,161 @@
+use std::fmt;
+
+use meda_grid::{Cell, ChipDims, Grid};
+
+/// The scan chain that serially shifts actuation patterns into, and sensing
+/// results out of, the MC array (Section III-A).
+///
+/// The chain visits cells in row-major order (row 1 first, west to east).
+/// Actuation bits are shifted in most-significant-cell first, so after
+/// `W·H` clock ticks each MC holds its own bit; sensing results are shifted
+/// out in the same order.
+///
+/// # Examples
+///
+/// ```
+/// use meda_cell::ScanChain;
+/// use meda_grid::{Cell, ChipDims, Grid, Rect};
+///
+/// let dims = ChipDims::new(4, 2);
+/// let chain = ScanChain::new(dims);
+///
+/// let mut pattern = Grid::<bool>::new(dims, false);
+/// pattern.fill_rect(Rect::new(2, 1, 3, 2), true);
+///
+/// let bits = chain.serialize(&pattern);
+/// let restored = chain.deserialize(&bits)?;
+/// assert_eq!(restored, pattern);
+/// # Ok::<(), meda_cell::ScanChainError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanChain {
+    dims: ChipDims,
+}
+
+/// Error deserializing a scan bitstream of the wrong length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanChainError {
+    expected: usize,
+    actual: usize,
+}
+
+impl fmt::Display for ScanChainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "scan bitstream length {} does not match chain length {}",
+            self.actual, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ScanChainError {}
+
+impl ScanChain {
+    /// Creates a scan chain over a `W × H` MC array.
+    #[must_use]
+    pub fn new(dims: ChipDims) -> Self {
+        Self { dims }
+    }
+
+    /// Number of single-bit scan elements (`W · H`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dims.cell_count()
+    }
+
+    /// Whether the chain is empty (never true: chip dims are positive).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The scan-order position of a cell, or `None` if off-chip.
+    #[must_use]
+    pub fn position_of(&self, cell: Cell) -> Option<usize> {
+        self.dims.index_of(cell)
+    }
+
+    /// Serializes a boolean grid (actuation pattern or sensing snapshot)
+    /// into the scan-out bitstream.
+    #[must_use]
+    pub fn serialize(&self, grid: &Grid<bool>) -> Vec<bool> {
+        assert_eq!(grid.dims(), self.dims, "grid dimensions mismatch");
+        grid.as_slice().to_vec()
+    }
+
+    /// Deserializes a scan-in bitstream into a boolean grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScanChainError`] if the bitstream length differs from
+    /// `W · H`.
+    pub fn deserialize(&self, bits: &[bool]) -> Result<Grid<bool>, ScanChainError> {
+        if bits.len() != self.len() {
+            return Err(ScanChainError {
+                expected: self.len(),
+                actual: bits.len(),
+            });
+        }
+        Ok(Grid::from_fn(self.dims, |c| {
+            bits[self.dims.index_of(c).expect("cell from dims iterator")]
+        }))
+    }
+
+    /// Serializes a grid of 2-bit health readings into the pairs-of-bits
+    /// stream produced by the dual-DFF design (original bit first).
+    #[must_use]
+    pub fn serialize_health(&self, readings: &Grid<u8>) -> Vec<bool> {
+        assert_eq!(readings.dims(), self.dims, "grid dimensions mismatch");
+        let mut bits = Vec::with_capacity(self.len() * 2);
+        for (_, &r) in readings.iter() {
+            bits.push(r & 0b10 != 0);
+            bits.push(r & 0b01 != 0);
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meda_grid::Rect;
+
+    #[test]
+    fn roundtrip_preserves_pattern() {
+        let dims = ChipDims::new(6, 4);
+        let chain = ScanChain::new(dims);
+        let mut g = Grid::<bool>::new(dims, false);
+        g.fill_rect(Rect::new(2, 2, 4, 3), true);
+        let restored = chain.deserialize(&chain.serialize(&g)).unwrap();
+        assert_eq!(restored, g);
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let chain = ScanChain::new(ChipDims::new(3, 3));
+        let err = chain.deserialize(&[true; 8]).unwrap_err();
+        assert!(err.to_string().contains("does not match"));
+    }
+
+    #[test]
+    fn scan_order_is_row_major() {
+        let dims = ChipDims::new(3, 2);
+        let chain = ScanChain::new(dims);
+        assert_eq!(chain.position_of(Cell::new(1, 1)), Some(0));
+        assert_eq!(chain.position_of(Cell::new(3, 1)), Some(2));
+        assert_eq!(chain.position_of(Cell::new(1, 2)), Some(3));
+        assert_eq!(chain.position_of(Cell::new(0, 0)), None);
+    }
+
+    #[test]
+    fn health_stream_is_two_bits_per_cell() {
+        let dims = ChipDims::new(2, 2);
+        let chain = ScanChain::new(dims);
+        let readings = Grid::from_fn(dims, |c| if c.x == 1 { 0b11 } else { 0b01 });
+        let bits = chain.serialize_health(&readings);
+        assert_eq!(bits.len(), 8);
+        assert_eq!(&bits[0..2], &[true, true]); // (1,1) healthy
+        assert_eq!(&bits[2..4], &[false, true]); // (2,1) partial
+    }
+}

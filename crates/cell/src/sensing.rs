@@ -1,0 +1,253 @@
+use std::fmt;
+
+use crate::{CellParams, RcWaveform};
+
+/// The 2-bit health reading produced by the dual-DFF sensing circuit
+/// (Section III-B).
+///
+/// The discriminant encodes the `(original, added)` DFF pair as
+/// `original·2 + added`, matching the paper's "11" / "01" / "00" notation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum HealthReading {
+    /// Both DFFs captured `0`: completely degraded microelectrode (`00`).
+    Degraded = 0b00,
+    /// Original DFF `0`, added DFF `1`: partially degraded (`01`).
+    Partial = 0b01,
+    /// Both DFFs captured `1`: healthy microelectrode (`11`).
+    Healthy = 0b11,
+}
+
+impl HealthReading {
+    /// The raw 2-bit value shifted out on the scan chain.
+    #[must_use]
+    pub const fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// Decodes a 2-bit scan value. The pattern `10` (original `1`, added `0`)
+    /// cannot be produced by a monotonically charging node and is reported
+    /// as `None`.
+    #[must_use]
+    pub const fn from_bits(bits: u8) -> Option<Self> {
+        match bits {
+            0b00 => Some(Self::Degraded),
+            0b01 => Some(Self::Partial),
+            0b11 => Some(Self::Healthy),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for HealthReading {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:02b}", self.bits())
+    }
+}
+
+/// The pair of D flip-flops added to the MC design (Fig. 1(b)).
+///
+/// The original DFF samples at `t_clk_original`; the added DFF samples
+/// `dff_skew` (5 ns) later. Each captures whether the sensing node has
+/// crossed the logic threshold by its clock edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DualDff {
+    /// Clock edge of the original DFF in seconds.
+    pub t_original: f64,
+    /// Clock edge of the added DFF in seconds.
+    pub t_added: f64,
+}
+
+impl DualDff {
+    /// Creates the DFF pair from the cell parameters.
+    #[must_use]
+    pub fn from_params(params: &CellParams) -> Self {
+        Self {
+            t_original: params.t_clk_original,
+            t_added: params.t_clk_added(),
+        }
+    }
+
+    /// Samples the waveform at both edges, returning `(original, added)`.
+    #[must_use]
+    pub fn sample(&self, waveform: &RcWaveform, v_threshold: f64) -> (bool, bool) {
+        (
+            waveform.crossed_by(v_threshold, self.t_original),
+            waveform.crossed_by(v_threshold, self.t_added),
+        )
+    }
+}
+
+/// The complete capacitive sensing circuit of one microelectrode cell.
+///
+/// # Examples
+///
+/// Reproduces the Fig. 2 behaviour:
+///
+/// ```
+/// use meda_cell::{CellParams, HealthReading, SensingCircuit};
+///
+/// let p = CellParams::paper();
+/// let s = SensingCircuit::new(p);
+/// assert_eq!(s.sense(p.cap_healthy), HealthReading::Healthy);   // "11"
+/// assert_eq!(s.sense(p.cap_partial), HealthReading::Partial);   // "01"
+/// assert_eq!(s.sense(p.cap_degraded), HealthReading::Degraded); // "00"
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensingCircuit {
+    params: CellParams,
+    dffs: DualDff,
+}
+
+impl SensingCircuit {
+    /// Creates a sensing circuit with the given cell parameters.
+    #[must_use]
+    pub fn new(params: CellParams) -> Self {
+        let dffs = DualDff::from_params(&params);
+        Self { params, dffs }
+    }
+
+    /// The cell parameters in use.
+    #[must_use]
+    pub fn params(&self) -> &CellParams {
+        &self.params
+    }
+
+    /// The charging waveform of the sensing node for a given electrode
+    /// capacitance.
+    #[must_use]
+    pub fn waveform(&self, capacitance: f64) -> RcWaveform {
+        RcWaveform::new(self.params.r_sense, capacitance, self.params.vdd)
+    }
+
+    /// Runs one sensing phase on an electrode with capacitance `capacitance`
+    /// and decodes the dual-DFF samples into a 2-bit health reading.
+    ///
+    /// A node that crosses the threshold before both edges reads `11`
+    /// (healthy); between the edges `01` (partial); after both `00`
+    /// (degraded). The physically impossible `10` cannot occur because the
+    /// added edge is strictly later and the waveform is monotone.
+    #[must_use]
+    pub fn sense(&self, capacitance: f64) -> HealthReading {
+        let waveform = self.waveform(capacitance);
+        let (original, added) = self.dffs.sample(&waveform, self.params.vth);
+        match (original, added) {
+            (true, true) => HealthReading::Healthy,
+            (false, true) => HealthReading::Partial,
+            (false, false) => HealthReading::Degraded,
+            (true, false) => unreachable!("monotone waveform cannot uncross the threshold"),
+        }
+    }
+
+    /// Whether a droplet is present, from the location-sensing phase: a
+    /// droplet raises the MC capacitance by `droplet_cap_factor`, pushing the
+    /// crossing far past both DFF edges.
+    #[must_use]
+    pub fn sense_droplet(&self, base_capacitance: f64, droplet_present: bool) -> bool {
+        let cap = if droplet_present {
+            base_capacitance * self.params.droplet_cap_factor
+        } else {
+            base_capacitance
+        };
+        // Droplet present ⇔ slow charging ⇔ threshold NOT crossed by the
+        // original edge.
+        !self
+            .waveform(cap)
+            .crossed_by(self.params.vth, self.dffs.t_added + self.params.dff_skew)
+    }
+
+    /// Threshold-crossing time for a given capacitance — the quantity Fig. 2
+    /// plots for the three degradation levels.
+    #[must_use]
+    pub fn crossing_time(&self, capacitance: f64) -> f64 {
+        self.waveform(capacitance)
+            .crossing_time(self.params.vth)
+            .expect("vth < vdd by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circuit() -> SensingCircuit {
+        SensingCircuit::new(CellParams::paper())
+    }
+
+    #[test]
+    fn fig2_crossings_are_5ns_apart() {
+        let s = circuit();
+        let p = *s.params();
+        let t0 = s.crossing_time(p.cap_healthy);
+        let t1 = s.crossing_time(p.cap_partial);
+        let t2 = s.crossing_time(p.cap_degraded);
+        assert!((t1 - t0 - 5e-9).abs() < 1e-11, "healthy→partial spacing");
+        assert!((t2 - t1 - 5e-9).abs() < 1e-11, "partial→degraded spacing");
+    }
+
+    #[test]
+    fn dff_edges_straddle_crossings() {
+        let s = circuit();
+        let p = *s.params();
+        let d = DualDff::from_params(&p);
+        assert!(s.crossing_time(p.cap_healthy) < d.t_original);
+        assert!(s.crossing_time(p.cap_partial) > d.t_original);
+        assert!(s.crossing_time(p.cap_partial) < d.t_added);
+        assert!(s.crossing_time(p.cap_degraded) > d.t_added);
+    }
+
+    #[test]
+    fn readings_match_paper_encoding() {
+        let s = circuit();
+        let p = *s.params();
+        assert_eq!(s.sense(p.cap_healthy).bits(), 0b11);
+        assert_eq!(s.sense(p.cap_partial).bits(), 0b01);
+        assert_eq!(s.sense(p.cap_degraded).bits(), 0b00);
+    }
+
+    #[test]
+    fn reading_roundtrip_and_invalid_pattern() {
+        for r in [
+            HealthReading::Healthy,
+            HealthReading::Partial,
+            HealthReading::Degraded,
+        ] {
+            assert_eq!(HealthReading::from_bits(r.bits()), Some(r));
+        }
+        assert_eq!(HealthReading::from_bits(0b10), None);
+    }
+
+    #[test]
+    fn droplet_detection_independent_of_health() {
+        let s = circuit();
+        let p = *s.params();
+        for cap in [p.cap_healthy, p.cap_partial, p.cap_degraded] {
+            assert!(s.sense_droplet(cap, true));
+            assert!(!s.sense_droplet(cap, false));
+        }
+    }
+
+    #[test]
+    fn reading_monotone_in_capacitance() {
+        // More capacitance can only make the reading worse (lower), never
+        // better.
+        let s = circuit();
+        let p = *s.params();
+        let mut prev = HealthReading::Healthy;
+        let c0 = p.cap_healthy;
+        for i in 0..30 {
+            let cap = c0 + i as f64 * 0.5e-18;
+            let r = s.sense(cap);
+            assert!(r <= prev, "reading worsened out of order at step {i}");
+            prev = r;
+        }
+        assert_eq!(prev, HealthReading::Degraded);
+    }
+
+    #[test]
+    fn display_is_two_bits() {
+        assert_eq!(HealthReading::Healthy.to_string(), "11");
+        assert_eq!(HealthReading::Partial.to_string(), "01");
+        assert_eq!(HealthReading::Degraded.to_string(), "00");
+    }
+}

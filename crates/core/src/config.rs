@@ -1,0 +1,108 @@
+/// Configuration of the enabled microfluidic action classes and the
+/// aspect-ratio guard bound `r` (Section V-B).
+///
+/// The paper guards shape morphing so the droplet aspect ratio stays within
+/// `[1/r, r]` ("droplet aspect ratio may not go above 2/1 or below 1/2"),
+/// hence the default `aspect_ratio_max = 2.0`. The class toggles support the
+/// ablation benches called out in `DESIGN.md` §5.
+///
+/// # Examples
+///
+/// ```
+/// use meda_core::ActionConfig;
+///
+/// let full = ActionConfig::default();
+/// assert!(full.double_step && full.ordinal && full.morphing);
+///
+/// let cardinal_only = ActionConfig::cardinal_only();
+/// assert!(!cardinal_only.double_step);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActionConfig {
+    /// Maximum allowed aspect ratio `r ≥ 1` (allowed range `[1/r, r]`).
+    pub aspect_ratio_max: f64,
+    /// Whether double-step cardinal movements `𝒜_dd` are available.
+    pub double_step: bool,
+    /// Whether ordinal movements `𝒜_dd'` are available.
+    pub ordinal: bool,
+    /// Whether morphing `𝒜_↓ ∪ 𝒜_↑` is available.
+    pub morphing: bool,
+}
+
+impl ActionConfig {
+    /// Only single-step cardinal moves — the minimal action set, and the
+    /// configuration matching the paper's Table V model sizes.
+    #[must_use]
+    pub const fn cardinal_only() -> Self {
+        Self {
+            aspect_ratio_max: 2.0,
+            double_step: false,
+            ordinal: false,
+            morphing: false,
+        }
+    }
+
+    /// Cardinal + ordinal + double-step moves, no morphing.
+    #[must_use]
+    pub const fn moves_only() -> Self {
+        Self {
+            aspect_ratio_max: 2.0,
+            double_step: true,
+            ordinal: true,
+            morphing: false,
+        }
+    }
+}
+
+impl Default for ActionConfig {
+    fn default() -> Self {
+        Self {
+            aspect_ratio_max: 2.0,
+            double_step: true,
+            ordinal: true,
+            morphing: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, Dir, Ordinal};
+    use meda_grid::Rect;
+
+    #[test]
+    fn cardinal_only_enables_exactly_four_actions_in_open_space() {
+        let config = ActionConfig::cardinal_only();
+        let bounds = Rect::new(-100, -100, 100, 100);
+        let d = Rect::new(0, 0, 3, 3);
+        let enabled: Vec<_> = Action::ALL
+            .into_iter()
+            .filter(|a| a.is_enabled(d, bounds, &config))
+            .collect();
+        assert_eq!(enabled.len(), 4);
+        assert!(enabled.iter().all(|a| matches!(a, Action::Move(_))));
+    }
+
+    #[test]
+    fn default_enables_all_classes_for_a_4x4() {
+        let config = ActionConfig::default();
+        let bounds = Rect::new(-100, -100, 100, 100);
+        let d = Rect::new(0, 0, 3, 3); // 4×4: doubles enabled both axes
+        let enabled = Action::ALL
+            .into_iter()
+            .filter(|a| a.is_enabled(d, bounds, &config))
+            .count();
+        // 4 moves + 4 doubles + 4 ordinals + 8 morphs (4×4 → 5×3/3×5, AR 5/3 ≤ 2).
+        assert_eq!(enabled, 20);
+    }
+
+    #[test]
+    fn moves_only_excludes_morphing() {
+        let config = ActionConfig::moves_only();
+        let bounds = Rect::new(-100, -100, 100, 100);
+        let d = Rect::new(0, 0, 3, 3);
+        assert!(!Action::Widen(Ordinal::NE).is_enabled(d, bounds, &config));
+        assert!(Action::MoveDouble(Dir::N).is_enabled(d, bounds, &config));
+    }
+}

@@ -1,0 +1,246 @@
+use meda_grid::{Interval, Rect};
+
+use crate::{Action, Dir};
+
+/// The frontier-set function `Fr(δ; a, d)` of Table II: the microelectrodes
+/// that pull droplet `δ` in cardinal direction `d` when action `a` is
+/// applied. Returns `None` when the table entry is `∅` (the action exerts no
+/// pull in that direction) or the frontier is empty (degenerate droplet).
+///
+/// Frontier sets are always a single row or column, so they are returned as
+/// a [`Rect`].
+///
+/// # Examples
+///
+/// Example 2 of the paper — `δ = (3,2,7,5)` actuated under `a_NE`:
+///
+/// ```
+/// use meda_core::{frontier_set, Action, Dir, Ordinal};
+/// use meda_grid::Rect;
+///
+/// let d = Rect::new(3, 2, 7, 5);
+/// let a = Action::MoveOrdinal(Ordinal::NE);
+/// assert_eq!(frontier_set(d, a, Dir::E), Some(Rect::new(8, 3, 8, 6)));
+/// assert_eq!(frontier_set(d, a, Dir::N), Some(Rect::new(4, 6, 8, 6)));
+/// assert_eq!(frontier_set(d, a, Dir::S), None);
+/// ```
+#[must_use]
+pub fn frontier_set(delta: Rect, action: Action, dir: Dir) -> Option<Rect> {
+    let Rect { xa, ya, xb, yb } = delta;
+    let (xs, ys) = match (action, dir) {
+        // Single-step cardinal moves: the full adjacent row/column.
+        (Action::Move(Dir::N), Dir::N) => (Interval::new(xa, xb), Interval::point(yb + 1)),
+        (Action::Move(Dir::S), Dir::S) => (Interval::new(xa, xb), Interval::point(ya - 1)),
+        (Action::Move(Dir::E), Dir::E) => (Interval::point(xb + 1), Interval::new(ya, yb)),
+        (Action::Move(Dir::W), Dir::W) => (Interval::point(xa - 1), Interval::new(ya, yb)),
+        (Action::Move(_), _) => return None,
+
+        // Double-step moves use the single-step frontier for each step
+        // (Section V-B); the caller resolves the second step on the shifted
+        // droplet via `Action::intermediate`.
+        (Action::MoveDouble(d), dir) => return frontier_set(delta, Action::Move(d), dir),
+
+        // Ordinal moves (Table II rows a_NE .. a_SW): the adjacent row and
+        // column, both shifted one cell along the other axis.
+        (Action::MoveOrdinal(o), dir) => {
+            let (dx, dy) = o.delta();
+            if dir == o.vertical() {
+                (
+                    Interval::new(xa + dx, xb + dx),
+                    Interval::point(if dy > 0 { yb + 1 } else { ya - 1 }),
+                )
+            } else if dir == o.horizontal() {
+                (
+                    Interval::point(if dx > 0 { xb + 1 } else { xa - 1 }),
+                    Interval::new(ya + dy, yb + dy),
+                )
+            } else {
+                return None;
+            }
+        }
+
+        // Morphing a_↓ (widen): a new column, one cell short of full height.
+        (Action::Widen(o), dir) if dir == o.horizontal() => {
+            let x = if o.delta().0 > 0 { xb + 1 } else { xa - 1 };
+            let ys = if o.delta().1 > 0 {
+                Interval::new(ya + 1, yb) // NE / NW
+            } else {
+                Interval::new(ya, yb - 1) // SE / SW
+            };
+            (Interval::point(x), ys)
+        }
+        (Action::Widen(_), _) => return None,
+
+        // Morphing a_↑ (heighten): a new row, one cell short of full width.
+        (Action::Heighten(o), dir) if dir == o.vertical() => {
+            let y = if o.delta().1 > 0 { yb + 1 } else { ya - 1 };
+            let xs = if o.delta().0 > 0 {
+                Interval::new(xa + 1, xb) // NE / SE
+            } else {
+                Interval::new(xa, xb - 1) // NW / SW
+            };
+            (xs, Interval::point(y))
+        }
+        (Action::Heighten(_), _) => return None,
+    };
+    if xs.is_empty() || ys.is_empty() {
+        None
+    } else {
+        Some(Rect::new(xs.lo, ys.lo, xs.hi, ys.hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Ordinal;
+
+    const D: Rect = Rect {
+        xa: 3,
+        ya: 2,
+        xb: 7,
+        yb: 5,
+    };
+
+    /// Table II, rows a_N..a_W, sizes included.
+    #[test]
+    fn cardinal_frontiers_match_table_ii() {
+        let cases = [
+            (Dir::N, Rect::new(3, 6, 7, 6), 5),
+            (Dir::S, Rect::new(3, 1, 7, 1), 5),
+            (Dir::E, Rect::new(8, 2, 8, 5), 4),
+            (Dir::W, Rect::new(2, 2, 2, 5), 4),
+        ];
+        for (d, expected, size) in cases {
+            let fr = frontier_set(D, Action::Move(d), d).unwrap();
+            assert_eq!(fr, expected, "a_{d}");
+            assert_eq!(fr.area(), size, "a_{d} size");
+            // Other directions are ∅.
+            for other in Dir::ALL {
+                if other != d {
+                    assert_eq!(frontier_set(D, Action::Move(d), other), None);
+                }
+            }
+        }
+    }
+
+    /// Table II, rows a_NE..a_SW.
+    #[test]
+    fn ordinal_frontiers_match_table_ii() {
+        let cases = [
+            (
+                Ordinal::NE,
+                Rect::new(4, 6, 8, 6), // [[xa+,xb+]] × [[yb+,yb+]]
+                Rect::new(8, 3, 8, 6), // [[xb+,xb+]] × [[ya+,yb+]]
+            ),
+            (
+                Ordinal::NW,
+                Rect::new(2, 6, 6, 6), // [[xa-,xb-]] × [[yb+,yb+]]
+                Rect::new(2, 3, 2, 6), // [[xa-,xa-]] × [[ya+,yb+]]
+            ),
+            (
+                Ordinal::SE,
+                Rect::new(4, 1, 8, 1), // [[xa+,xb+]] × [[ya-,ya-]]
+                Rect::new(8, 1, 8, 4), // [[xb+,xb+]] × [[ya-,yb-]]
+            ),
+            (
+                Ordinal::SW,
+                Rect::new(2, 1, 6, 1), // [[xa-,xb-]] × [[ya-,ya-]]
+                Rect::new(2, 1, 2, 4), // [[xa-,xa-]] × [[ya-,yb-]]
+            ),
+        ];
+        for (o, vertical, horizontal) in cases {
+            let a = Action::MoveOrdinal(o);
+            assert_eq!(frontier_set(D, a, o.vertical()), Some(vertical), "{o} vert");
+            assert_eq!(
+                frontier_set(D, a, o.horizontal()),
+                Some(horizontal),
+                "{o} horiz"
+            );
+            assert_eq!(frontier_set(D, a, o.vertical()).unwrap().area(), 5);
+            assert_eq!(frontier_set(D, a, o.horizontal()).unwrap().area(), 4);
+        }
+    }
+
+    /// Table II, rows a_↓NE..a_↓SW (sizes y_b − y_a = 3 for D).
+    #[test]
+    fn widen_frontiers_match_table_ii() {
+        let cases = [
+            (Ordinal::NE, Rect::new(8, 3, 8, 5)),
+            (Ordinal::NW, Rect::new(2, 3, 2, 5)),
+            (Ordinal::SE, Rect::new(8, 2, 8, 4)),
+            (Ordinal::SW, Rect::new(2, 2, 2, 4)),
+        ];
+        for (o, expected) in cases {
+            let a = Action::Widen(o);
+            assert_eq!(frontier_set(D, a, o.horizontal()), Some(expected), "{o}");
+            assert_eq!(frontier_set(D, a, o.horizontal()).unwrap().area(), 3);
+            assert_eq!(frontier_set(D, a, o.vertical()), None);
+        }
+    }
+
+    /// Table II, rows a_↑NE..a_↑SW (sizes x_b − x_a = 4 for D).
+    #[test]
+    fn heighten_frontiers_match_table_ii() {
+        let cases = [
+            (Ordinal::NE, Rect::new(4, 6, 7, 6)),
+            (Ordinal::NW, Rect::new(3, 6, 6, 6)),
+            (Ordinal::SE, Rect::new(4, 1, 7, 1)),
+            (Ordinal::SW, Rect::new(3, 1, 6, 1)),
+        ];
+        for (o, expected) in cases {
+            let a = Action::Heighten(o);
+            assert_eq!(frontier_set(D, a, o.vertical()), Some(expected), "{o}");
+            assert_eq!(frontier_set(D, a, o.vertical()).unwrap().area(), 4);
+            assert_eq!(frontier_set(D, a, o.horizontal()), None);
+        }
+    }
+
+    #[test]
+    fn frontier_lies_inside_successful_outcome() {
+        // The pulling cells become part of the moved/morphed droplet.
+        for a in Action::ALL {
+            let target = a.apply(D);
+            for d in Dir::ALL {
+                if let Some(fr) = frontier_set(D, a, d) {
+                    if matches!(a, Action::MoveDouble(_)) {
+                        continue; // first-step frontier lies in the intermediate droplet
+                    }
+                    assert!(
+                        target.contains_rect(fr),
+                        "{a} dir {d}: frontier {fr} outside outcome {target}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_droplet_has_empty_morph_frontiers() {
+        let dot = Rect::new(5, 5, 5, 5);
+        assert_eq!(
+            frontier_set(dot, Action::Widen(Ordinal::NE), Dir::E),
+            None,
+            "1×1 droplet cannot be widened"
+        );
+        assert_eq!(
+            frontier_set(dot, Action::Heighten(Ordinal::SW), Dir::S),
+            None
+        );
+        // But it can still move.
+        assert_eq!(
+            frontier_set(dot, Action::Move(Dir::N), Dir::N),
+            Some(Rect::new(5, 6, 5, 6))
+        );
+    }
+
+    #[test]
+    fn double_step_first_frontier_equals_single() {
+        for d in Dir::ALL {
+            assert_eq!(
+                frontier_set(D, Action::MoveDouble(d), d),
+                frontier_set(D, Action::Move(d), d)
+            );
+        }
+    }
+}

@@ -1,0 +1,522 @@
+use std::collections::HashMap;
+use std::fmt;
+
+use meda_grid::Rect;
+
+use crate::{transitions, Action, ActionConfig, ForceProvider};
+
+/// The Markov decision process induced from the MEDA game for one routing
+/// job (Section VI-C): the health matrix is frozen at its current value
+/// (partial-order reduction over player ②'s moves) and the droplet is
+/// confined to the hazard bounds `δ_h`, so states are droplet rectangles.
+///
+/// * **States** — droplet locations reachable from `start` under the
+///   enabled actions, plus the absorbing goal states (droplets satisfying
+///   the `goal` label `x_a ≥ x_ag ∧ y_a ≥ y_ag ∧ x_b ≤ x_bg ∧ y_b ≤ y_bg`).
+/// * **Choices** — guard-enabled actions per non-goal state; actions whose
+///   successful outcome would leave the hazard bounds are disabled, which
+///   makes `□¬hazard` hold along every path (failed moves stay in place).
+/// * **Transitions** — the Section V-B outcome distributions under the
+///   frozen force field.
+///
+/// The structure is consumed by `meda-synth`'s value-iteration queries.
+///
+/// # Examples
+///
+/// ```
+/// use meda_core::{ActionConfig, RoutingMdp, UniformField};
+/// use meda_grid::Rect;
+///
+/// let mdp = RoutingMdp::build(
+///     Rect::new(1, 1, 3, 3),    // start
+///     Rect::new(8, 8, 10, 10),  // goal
+///     Rect::new(1, 1, 10, 10),  // hazard bounds
+///     &UniformField::pristine(),
+///     &ActionConfig::cardinal_only(),
+/// )?;
+/// // 8×8 droplet positions in a 10×10 area.
+/// assert_eq!(mdp.stats().states, 64);
+/// assert!(mdp.is_goal(mdp.state_index(Rect::new(8, 8, 10, 10)).unwrap()));
+/// # Ok::<(), meda_core::BuildError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingMdp {
+    states: Vec<Rect>,
+    index: HashMap<Rect, usize>,
+    /// Per state: the enabled actions with their outcome distributions.
+    choices: Vec<Vec<Choice>>,
+    goal_flags: Vec<bool>,
+    sink: Option<usize>,
+    init: usize,
+    goal: Rect,
+    bounds: Rect,
+}
+
+/// One enabled action of a state with its outcome distribution
+/// (successor index, probability).
+pub type Choice = (Action, Vec<(usize, f64)>);
+
+/// How the `□¬hazard` part of the routing objective is encoded in the MDP
+/// (DESIGN.md §5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum HazardHandling {
+    /// Disable any action whose *successful* outcome would exit the hazard
+    /// bounds. Because failed moves leave the droplet in place, this makes
+    /// `□¬hazard` hold structurally along every path, and is the smaller
+    /// model.
+    #[default]
+    GuardDisable,
+    /// Keep those actions and route their out-of-bounds outcomes into an
+    /// explicit absorbing (non-goal) hazard sink — closer to a literal
+    /// PRISM encoding of the `hazard` label. Optimal values are identical
+    /// (the optimizer simply never selects a sink-reaching action), at the
+    /// cost of a larger model.
+    AbsorbingSink,
+}
+
+/// Size statistics of a routing MDP — the quantities reported per row of
+/// the paper's Table V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MdpStats {
+    /// Number of states.
+    pub states: usize,
+    /// Total number of probabilistic branches.
+    pub transitions: usize,
+    /// Total number of state–action pairs.
+    pub choices: usize,
+}
+
+/// Error constructing a routing MDP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BuildError {
+    /// The start droplet does not lie within the hazard bounds.
+    StartOutsideBounds,
+    /// The goal region does not lie within the hazard bounds.
+    GoalOutsideBounds,
+    /// The goal region is smaller than the start droplet and can never be
+    /// satisfied by any reachable shape.
+    GoalSmallerThanDroplet,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::StartOutsideBounds => write!(f, "start droplet outside hazard bounds"),
+            Self::GoalOutsideBounds => write!(f, "goal region outside hazard bounds"),
+            Self::GoalSmallerThanDroplet => {
+                write!(f, "goal region cannot contain the droplet")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl RoutingMdp {
+    /// Builds the MDP for a routing job by breadth-first exploration from
+    /// `start`, under the frozen force `field` and action `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if `start` or `goal` lies outside `bounds`,
+    /// or the goal region is too small to ever contain the droplet.
+    pub fn build(
+        start: Rect,
+        goal: Rect,
+        bounds: Rect,
+        field: &dyn ForceProvider,
+        config: &ActionConfig,
+    ) -> Result<Self, BuildError> {
+        Self::build_with(
+            start,
+            goal,
+            bounds,
+            field,
+            config,
+            HazardHandling::GuardDisable,
+        )
+    }
+
+    /// [`RoutingMdp::build`] with an explicit [`HazardHandling`] choice —
+    /// used by the hazard-encoding ablation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RoutingMdp::build`].
+    pub fn build_with(
+        start: Rect,
+        goal: Rect,
+        bounds: Rect,
+        field: &dyn ForceProvider,
+        config: &ActionConfig,
+        hazard: HazardHandling,
+    ) -> Result<Self, BuildError> {
+        if !bounds.contains_rect(start) {
+            return Err(BuildError::StartOutsideBounds);
+        }
+        if !bounds.contains_rect(goal) {
+            return Err(BuildError::GoalOutsideBounds);
+        }
+        if goal.width() < start.width().min(start.height())
+            || goal.height() < start.width().min(start.height())
+        {
+            // Even the most favourable morph keeps min-dimension ≥ 1, but
+            // a goal thinner than any reachable shape is a planner bug;
+            // conservative check on the smallest reachable extent.
+            let s = start.width() + start.height();
+            let min_extent = (s as f64 / (1.0 + config.aspect_ratio_max)).floor() as u32;
+            if goal.width() < min_extent.max(1) || goal.height() < min_extent.max(1) {
+                return Err(BuildError::GoalSmallerThanDroplet);
+            }
+        }
+
+        let mut states = vec![start];
+        let mut index = HashMap::from([(start, 0usize)]);
+        let mut choices: Vec<Vec<Choice>> = Vec::new();
+        let mut goal_flags = vec![goal.contains_rect(start)];
+        let mut sink: Option<usize> = None;
+        let mut frontier = 0usize;
+
+        while frontier < states.len() {
+            let delta = states[frontier];
+            let mut state_choices = Vec::new();
+            let is_sink = Some(frontier) == sink;
+            if !goal_flags[frontier] && !is_sink {
+                for action in Action::ALL {
+                    let enabled = match hazard {
+                        HazardHandling::GuardDisable => action.is_enabled(delta, bounds, config),
+                        HazardHandling::AbsorbingSink => {
+                            // Keep bound-exiting actions; other guards
+                            // (class, aspect, double-step) still apply.
+                            action.is_applicable(delta)
+                                && action.is_enabled(delta, bounds.expand(4), config)
+                        }
+                    };
+                    if !enabled {
+                        continue;
+                    }
+                    let mut branch = Vec::new();
+                    for outcome in transitions(delta, action, field) {
+                        if outcome.probability <= 0.0 {
+                            continue;
+                        }
+                        let next = if bounds.contains_rect(outcome.droplet) {
+                            *index.entry(outcome.droplet).or_insert_with(|| {
+                                states.push(outcome.droplet);
+                                goal_flags.push(goal.contains_rect(outcome.droplet));
+                                states.len() - 1
+                            })
+                        } else {
+                            // Out of the hazard bounds: only reachable with
+                            // AbsorbingSink handling.
+                            debug_assert_eq!(hazard, HazardHandling::AbsorbingSink);
+                            *sink.get_or_insert_with(|| {
+                                // The sink is keyed by a sentinel rectangle
+                                // strictly outside the bounds so it cannot
+                                // collide with a real droplet state.
+                                let sentinel =
+                                    bounds.translate(2 * (bounds.xb - bounds.xa + 10), 0);
+                                states.push(sentinel);
+                                goal_flags.push(false);
+                                index.insert(sentinel, states.len() - 1);
+                                states.len() - 1
+                            })
+                        };
+                        branch.push((next, outcome.probability));
+                    }
+                    if !branch.is_empty() {
+                        state_choices.push((action, branch));
+                    }
+                }
+            }
+            choices.push(state_choices);
+            frontier += 1;
+        }
+
+        Ok(Self {
+            states,
+            index,
+            choices,
+            goal_flags,
+            sink,
+            init: 0,
+            goal,
+            bounds,
+        })
+    }
+
+    /// The absorbing hazard-sink state, if this MDP was built with
+    /// [`HazardHandling::AbsorbingSink`] and any action can exit the
+    /// bounds.
+    #[must_use]
+    pub fn hazard_sink(&self) -> Option<usize> {
+        self.sink
+    }
+
+    /// Number of states.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the MDP has no states (never true after a successful build).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The droplet rectangle of state `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn state(&self, i: usize) -> Rect {
+        self.states[i]
+    }
+
+    /// The index of a droplet rectangle, if it is a state.
+    #[must_use]
+    pub fn state_index(&self, droplet: Rect) -> Option<usize> {
+        self.index.get(&droplet).copied()
+    }
+
+    /// The initial-state index (the start droplet).
+    #[must_use]
+    pub fn init(&self) -> usize {
+        self.init
+    }
+
+    /// Whether state `i` satisfies the `goal` label. Goal states are
+    /// absorbing (no choices).
+    #[must_use]
+    pub fn is_goal(&self, i: usize) -> bool {
+        self.goal_flags[i]
+    }
+
+    /// The enabled actions and outcome distributions of state `i`.
+    #[must_use]
+    pub fn choices(&self, i: usize) -> &[Choice] {
+        &self.choices[i]
+    }
+
+    /// The goal region `δ_g`.
+    #[must_use]
+    pub fn goal(&self) -> Rect {
+        self.goal
+    }
+
+    /// The hazard bounds `δ_h`.
+    #[must_use]
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Iterates over all state indices.
+    pub fn state_indices(&self) -> impl Iterator<Item = usize> + use<> {
+        0..self.states.len()
+    }
+
+    /// Model-size statistics (Table V quantities).
+    #[must_use]
+    pub fn stats(&self) -> MdpStats {
+        let choices: usize = self.choices.iter().map(Vec::len).sum();
+        let transitions: usize = self
+            .choices
+            .iter()
+            .flat_map(|cs| cs.iter().map(|(_, branch)| branch.len()))
+            .sum();
+        MdpStats {
+            states: self.len(),
+            transitions,
+            choices,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformField;
+
+    fn build_simple(config: &ActionConfig) -> RoutingMdp {
+        RoutingMdp::build(
+            Rect::new(1, 1, 3, 3),
+            Rect::new(8, 8, 10, 10),
+            Rect::new(1, 1, 10, 10),
+            &UniformField::pristine(),
+            config,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cardinal_only_enumerates_all_positions() {
+        let mdp = build_simple(&ActionConfig::cardinal_only());
+        // A 3×3 droplet has 8×8 positions in a 10×10 area.
+        assert_eq!(mdp.len(), 64);
+    }
+
+    #[test]
+    fn goal_states_are_absorbing() {
+        let mdp = build_simple(&ActionConfig::cardinal_only());
+        let goal_idx = mdp.state_index(Rect::new(8, 8, 10, 10)).unwrap();
+        assert!(mdp.is_goal(goal_idx));
+        assert!(mdp.choices(goal_idx).is_empty());
+    }
+
+    #[test]
+    fn transition_probabilities_sum_to_one_per_choice() {
+        let mdp = build_simple(&ActionConfig::default());
+        for i in mdp.state_indices() {
+            for (a, branch) in mdp.choices(i) {
+                let total: f64 = branch.iter().map(|(_, p)| p).sum();
+                assert!((total - 1.0).abs() < 1e-9, "state {i} action {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_states_stay_within_bounds() {
+        let mdp = build_simple(&ActionConfig::default());
+        for i in mdp.state_indices() {
+            assert!(mdp.bounds().contains_rect(mdp.state(i)));
+        }
+    }
+
+    #[test]
+    fn morphing_enlarges_the_state_space() {
+        let without = build_simple(&ActionConfig::cardinal_only()).len();
+        let with = build_simple(&ActionConfig::default()).len();
+        assert!(with > without);
+    }
+
+    #[test]
+    fn larger_droplets_make_smaller_models() {
+        // Table V trend: for a fixed RJ area, model size shrinks as the
+        // droplet grows.
+        let config = ActionConfig::cardinal_only();
+        let field = UniformField::pristine();
+        let area = Rect::new(1, 1, 20, 20);
+        let mut prev = usize::MAX;
+        for size in 3..=6 {
+            let start = Rect::with_size(1, 1, size, size);
+            let goal = Rect::with_size(21 - size as i32, 21 - size as i32, size, size);
+            let mdp = RoutingMdp::build(start, goal, area, &field, &config).unwrap();
+            assert!(mdp.len() < prev, "size {size}");
+            prev = mdp.len();
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_geometry() {
+        let field = UniformField::pristine();
+        let config = ActionConfig::default();
+        assert_eq!(
+            RoutingMdp::build(
+                Rect::new(0, 0, 2, 2),
+                Rect::new(5, 5, 7, 7),
+                Rect::new(1, 1, 10, 10),
+                &field,
+                &config,
+            )
+            .unwrap_err(),
+            BuildError::StartOutsideBounds
+        );
+        assert_eq!(
+            RoutingMdp::build(
+                Rect::new(1, 1, 3, 3),
+                Rect::new(9, 9, 11, 11),
+                Rect::new(1, 1, 10, 10),
+                &field,
+                &config,
+            )
+            .unwrap_err(),
+            BuildError::GoalOutsideBounds
+        );
+    }
+
+    #[test]
+    fn dead_zone_prunes_zero_probability_branches() {
+        // A fully dead field: no movement has positive success probability,
+        // so every action keeps only the stay-in-place branch.
+        let mdp = RoutingMdp::build(
+            Rect::new(1, 1, 3, 3),
+            Rect::new(8, 8, 10, 10),
+            Rect::new(1, 1, 10, 10),
+            &UniformField::new(0.0),
+            &ActionConfig::cardinal_only(),
+        )
+        .unwrap();
+        assert_eq!(mdp.len(), 1, "no state beyond the start is reachable");
+        for (_, branch) in mdp.choices(mdp.init()) {
+            assert_eq!(branch.len(), 1);
+            assert_eq!(branch[0].0, mdp.init());
+        }
+    }
+
+    #[test]
+    fn absorbing_sink_model_is_larger_but_reaches_same_states() {
+        let field = UniformField::new(0.9);
+        let config = ActionConfig::default();
+        let args = (
+            Rect::new(1, 1, 3, 3),
+            Rect::new(8, 8, 10, 10),
+            Rect::new(1, 1, 10, 10),
+        );
+        let guard = RoutingMdp::build_with(
+            args.0,
+            args.1,
+            args.2,
+            &field,
+            &config,
+            HazardHandling::GuardDisable,
+        )
+        .unwrap();
+        let sink = RoutingMdp::build_with(
+            args.0,
+            args.1,
+            args.2,
+            &field,
+            &config,
+            HazardHandling::AbsorbingSink,
+        )
+        .unwrap();
+        assert!(guard.hazard_sink().is_none());
+        assert!(sink.hazard_sink().is_some());
+        assert_eq!(sink.len(), guard.len() + 1, "exactly the sink is added");
+        let s = sink.stats();
+        let g = guard.stats();
+        assert!(s.choices > g.choices);
+        assert!(s.transitions > g.transitions);
+    }
+
+    #[test]
+    fn sink_state_is_absorbing_and_not_goal() {
+        let mdp = RoutingMdp::build_with(
+            Rect::new(1, 1, 3, 3),
+            Rect::new(8, 8, 10, 10),
+            Rect::new(1, 1, 10, 10),
+            &UniformField::new(0.9),
+            &ActionConfig::default(),
+            HazardHandling::AbsorbingSink,
+        )
+        .unwrap();
+        let sink = mdp.hazard_sink().unwrap();
+        assert!(!mdp.is_goal(sink));
+        assert!(mdp.choices(sink).is_empty());
+        // The sentinel lies outside the hazard bounds.
+        assert!(!mdp.bounds().contains_rect(mdp.state(sink)));
+    }
+
+    #[test]
+    fn stats_count_choices_and_transitions() {
+        let mdp = build_simple(&ActionConfig::cardinal_only());
+        let stats = mdp.stats();
+        assert_eq!(stats.states, 64);
+        // Interior states have 4 actions with 2 branches each.
+        assert!(stats.choices > 0 && stats.transitions >= stats.choices);
+        let recount: usize = mdp.state_indices().map(|i| mdp.choices(i).len()).sum();
+        assert_eq!(stats.choices, recount);
+    }
+}

@@ -1,0 +1,278 @@
+use meda_degradation::HealthLevel;
+use meda_grid::{Cell, ChipDims, Grid, Rect};
+
+use crate::{transitions, Action, ActionConfig, HealthField, Outcome};
+
+/// Whose turn it is in the MEDA stochastic multiplayer game (Section V-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Player {
+    /// Player ① — the droplet controller, choosing microfluidic actions.
+    Controller,
+    /// Player ② — chip degradation, non-deterministically lowering MC
+    /// health levels.
+    Degradation,
+}
+
+/// A game state `s = (δ, H, λ)`: droplet location, health matrix, and the
+/// player to move.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GameState {
+    /// Droplet location `δ`.
+    pub droplet: Rect,
+    /// Health matrix **H**.
+    pub health: Grid<HealthLevel>,
+    /// Player to move `λ`.
+    pub player: Player,
+}
+
+/// A move of the degradation player: the set of MCs whose health level
+/// drops by one this turn. Player ② "can simultaneously take multiple
+/// actions (i.e., degrade multiple MCs at the same time)".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DegradationMove {
+    /// Cells to degrade by one level each.
+    pub cells: Vec<Cell>,
+}
+
+impl DegradationMove {
+    /// The empty move (no degradation this turn).
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A move degrading the given cells.
+    #[must_use]
+    pub fn cells(cells: impl IntoIterator<Item = Cell>) -> Self {
+        Self {
+            cells: cells.into_iter().collect(),
+        }
+    }
+}
+
+/// The MEDA biochip stochastic multiplayer game
+/// `𝒢 = (S, 𝒜₁ ∪ 𝒜₂, γ, s₀)` of Section V-C.
+///
+/// Player ① (controller) has the microfluidic action set `𝒜₁ = 𝒜`; its
+/// transitions are probabilistic per Section V-B, with forces derived from
+/// the *observable* health matrix **H** (the full-information game used for
+/// synthesis). Player ② (degradation) non-deterministically decrements
+/// health levels. Because **H** is monotone non-increasing, every play
+/// eventually stabilizes **H**, which is what justifies the paper's
+/// partial-order reduction into the per-routing-job MDP
+/// ([`crate::RoutingMdp`]).
+///
+/// # Examples
+///
+/// ```
+/// use meda_core::{ActionConfig, DegradationMove, GameState, MedaGame, Player};
+/// use meda_degradation::HealthLevel;
+/// use meda_grid::{Cell, ChipDims, Grid, Rect};
+///
+/// let game = MedaGame::new(ChipDims::new(20, 20), 2, ActionConfig::default());
+/// let s0 = game.initial_state(Rect::new(5, 5, 8, 8));
+/// assert_eq!(s0.player, Player::Controller);
+///
+/// // Controller moves east; every outcome hands the turn to degradation.
+/// let actions = game.controller_actions(&s0);
+/// let (next, _p) = &game.controller_transitions(&s0, actions[0])[0];
+/// assert_eq!(next.player, Player::Degradation);
+///
+/// // Degradation wears one MC, returning the turn.
+/// let s2 = game.degradation_step(next, &DegradationMove::cells([Cell::new(9, 5)]));
+/// assert_eq!(s2.player, Player::Controller);
+/// assert!(s2.health[Cell::new(9, 5)] < s0.health[Cell::new(9, 5)]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MedaGame {
+    dims: ChipDims,
+    bits: u8,
+    config: ActionConfig,
+}
+
+impl MedaGame {
+    /// Creates the game over a `W × H` chip with a `bits`-bit health sensor.
+    #[must_use]
+    pub fn new(dims: ChipDims, bits: u8, config: ActionConfig) -> Self {
+        Self { dims, bits, config }
+    }
+
+    /// The chip dimensions.
+    #[must_use]
+    pub fn dims(&self) -> ChipDims {
+        self.dims
+    }
+
+    /// The health-sensor resolution.
+    #[must_use]
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// The action configuration for player ①.
+    #[must_use]
+    pub fn config(&self) -> &ActionConfig {
+        &self.config
+    }
+
+    /// The initial state `s₀ = (δ⁽⁰⁾, H⁽⁰⁾, ①)` with a fully healthy chip.
+    #[must_use]
+    pub fn initial_state(&self, droplet: Rect) -> GameState {
+        GameState {
+            droplet,
+            health: Grid::new(self.dims, HealthLevel::full(self.bits)),
+            player: Player::Controller,
+        }
+    }
+
+    /// Controller actions enabled in `state` (guards of Section V-B, with
+    /// the chip boundary as the implicit hazard bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if it is not the controller's turn.
+    #[must_use]
+    pub fn controller_actions(&self, state: &GameState) -> Vec<Action> {
+        assert_eq!(state.player, Player::Controller, "not controller's turn");
+        let bounds = self.dims.bounds();
+        Action::ALL
+            .into_iter()
+            .filter(|a| a.is_enabled(state.droplet, bounds, &self.config))
+            .collect()
+    }
+
+    /// The probabilistic transition `γ(s, a, ·)` for a controller action:
+    /// droplet outcomes per Section V-B with **H**-derived forces, turn
+    /// passing to player ②.
+    ///
+    /// # Panics
+    ///
+    /// Panics if it is not the controller's turn.
+    #[must_use]
+    pub fn controller_transitions(
+        &self,
+        state: &GameState,
+        action: Action,
+    ) -> Vec<(GameState, f64)> {
+        assert_eq!(state.player, Player::Controller, "not controller's turn");
+        let field = HealthField::new(state.health.clone(), self.bits);
+        transitions(state.droplet, action, &field)
+            .into_iter()
+            .map(
+                |Outcome {
+                     droplet,
+                     probability,
+                 }| {
+                    (
+                        GameState {
+                            droplet,
+                            health: state.health.clone(),
+                            player: Player::Degradation,
+                        },
+                        probability,
+                    )
+                },
+            )
+            .collect()
+    }
+
+    /// The (deterministic) transition for a degradation move: each listed
+    /// MC loses one health level (saturating at 0), turn returns to ①.
+    ///
+    /// # Panics
+    ///
+    /// Panics if it is not the degradation player's turn.
+    #[must_use]
+    pub fn degradation_step(&self, state: &GameState, mv: &DegradationMove) -> GameState {
+        assert_eq!(state.player, Player::Degradation, "not degradation's turn");
+        let mut health = state.health.clone();
+        for &cell in &mv.cells {
+            if let Some(h) = health.get_mut(cell) {
+                *h = h.degraded_once();
+            }
+        }
+        GameState {
+            droplet: state.droplet,
+            health,
+            player: Player::Controller,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn game() -> MedaGame {
+        MedaGame::new(ChipDims::new(16, 16), 2, ActionConfig::default())
+    }
+
+    #[test]
+    fn turns_alternate() {
+        let g = game();
+        let s0 = g.initial_state(Rect::new(4, 4, 7, 7));
+        let a = g.controller_actions(&s0)[0];
+        for (s1, _) in g.controller_transitions(&s0, a) {
+            assert_eq!(s1.player, Player::Degradation);
+            let s2 = g.degradation_step(&s1, &DegradationMove::none());
+            assert_eq!(s2.player, Player::Controller);
+        }
+    }
+
+    #[test]
+    fn controller_probabilities_sum_to_one() {
+        let g = game();
+        let s0 = g.initial_state(Rect::new(4, 4, 7, 7));
+        for a in g.controller_actions(&s0) {
+            let total: f64 = g
+                .controller_transitions(&s0, a)
+                .iter()
+                .map(|(_, p)| p)
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "{a}");
+        }
+    }
+
+    #[test]
+    fn degradation_is_monotone_and_saturating() {
+        let g = game();
+        let s0 = g.initial_state(Rect::new(4, 4, 7, 7));
+        let a = g.controller_actions(&s0)[0];
+        let (s1, _) = g.controller_transitions(&s0, a).remove(0);
+        let target = Cell::new(2, 2);
+        let mut s = s1;
+        for _ in 0..10 {
+            s = g.degradation_step(&s, &DegradationMove::cells([target]));
+            let (next, _) = g
+                .controller_transitions(&s, Action::ALL[0])
+                .into_iter()
+                .next()
+                .unwrap();
+            s = next;
+        }
+        assert!(s.health[target].is_dead());
+        // Other cells untouched.
+        assert_eq!(s.health[Cell::new(9, 9)], HealthLevel::full(2));
+    }
+
+    #[test]
+    fn off_chip_degradation_cells_ignored() {
+        let g = game();
+        let s0 = g.initial_state(Rect::new(4, 4, 7, 7));
+        let a = g.controller_actions(&s0)[0];
+        let (s1, _) = g.controller_transitions(&s0, a).remove(0);
+        let s2 = g.degradation_step(&s1, &DegradationMove::cells([Cell::new(-3, 99)]));
+        assert_eq!(s2.health, s0.health);
+    }
+
+    #[test]
+    fn edge_droplet_cannot_leave_chip() {
+        let g = game();
+        let corner = Rect::new(1, 1, 3, 3);
+        let s0 = g.initial_state(corner);
+        for a in g.controller_actions(&s0) {
+            let out = a.apply(corner);
+            assert!(g.dims().contains_rect(out), "{a} leaves the chip");
+        }
+    }
+}

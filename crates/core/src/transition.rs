@@ -1,0 +1,308 @@
+use meda_grid::Rect;
+
+use crate::{frontier_set, Action, ForceProvider};
+
+/// One probabilistic outcome of executing an action: the resulting droplet
+/// location and its probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outcome {
+    /// Droplet location after the event.
+    pub droplet: Rect,
+    /// Probability of the event.
+    pub probability: f64,
+}
+
+/// The probability distribution over next droplet locations when `action`
+/// is executed on `delta` under force field `field` (Section V-B).
+///
+/// Outcomes with probability 0 are kept (the paper's event spaces are
+/// fixed); outcomes that coincide (e.g. the `ε` event) are merged. The
+/// probabilities always sum to 1.
+///
+/// * single-step `a_d`: succeeds with the mean frontier force, else stays;
+/// * double-step `a_dd`: second step conditioned on the first;
+/// * ordinal `a_dd'`: the two axes succeed independently, giving events
+///   `{dd', d, d', ε}`;
+/// * morphing `a_↓/a_↑`: succeeds with the mean force of its frontier.
+///
+/// # Examples
+///
+/// Example 3 of the paper:
+///
+/// ```
+/// use meda_core::{transitions, Action, Ordinal, RawField};
+/// use meda_grid::{ChipDims, Grid, Rect};
+///
+/// let dims = ChipDims::new(10, 8);
+/// let mut f = Grid::new(dims, 1.0);
+/// for (i, v) in [0.6, 0.5, 0.8, 0.9].iter().enumerate() {
+///     f[meda_grid::Cell::new(8, 3 + i as i32)] = *v;
+/// }
+/// for (i, v) in [0.9, 0.4, 0.9, 0.7, 0.9].iter().enumerate() {
+///     f[meda_grid::Cell::new(4 + i as i32, 6)] = *v;
+/// }
+/// let field = RawField::new(f);
+/// let delta = Rect::new(3, 2, 7, 5);
+/// let out = transitions(delta, Action::MoveOrdinal(Ordinal::NE), &field);
+/// let p_ne = out
+///     .iter()
+///     .find(|o| o.droplet == delta.translate(1, 1))
+///     .unwrap()
+///     .probability;
+/// assert!((p_ne - 0.532).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn transitions(delta: Rect, action: Action, field: &dyn ForceProvider) -> Vec<Outcome> {
+    if !action.is_applicable(delta) {
+        // Morphing a degenerate droplet has an empty frontier: no pull,
+        // the droplet stays with certainty.
+        return vec![Outcome {
+            droplet: delta,
+            probability: 1.0,
+        }];
+    }
+    let outcomes = match action {
+        Action::Move(d) => {
+            let p = mean_force(delta, action, d, field);
+            vec![
+                Outcome {
+                    droplet: action.apply(delta),
+                    probability: p,
+                },
+                Outcome {
+                    droplet: delta,
+                    probability: 1.0 - p,
+                },
+            ]
+        }
+        Action::MoveDouble(d) => {
+            let single = Action::Move(d);
+            let intermediate = action
+                .intermediate(delta)
+                .expect("double step has an intermediate");
+            let p1 = mean_force(delta, single, d, field);
+            let p2 = mean_force(intermediate, single, d, field);
+            vec![
+                Outcome {
+                    droplet: action.apply(delta),
+                    probability: p1 * p2,
+                },
+                Outcome {
+                    droplet: intermediate,
+                    probability: p1 * (1.0 - p2),
+                },
+                Outcome {
+                    droplet: delta,
+                    probability: 1.0 - p1,
+                },
+            ]
+        }
+        Action::MoveOrdinal(o) => {
+            let pd = mean_force(delta, action, o.vertical(), field);
+            let pd2 = mean_force(delta, action, o.horizontal(), field);
+            let (dx, dy) = o.delta();
+            vec![
+                Outcome {
+                    droplet: delta.translate(dx, dy),
+                    probability: pd * pd2,
+                },
+                Outcome {
+                    droplet: delta.translate(0, dy),
+                    probability: pd * (1.0 - pd2),
+                },
+                Outcome {
+                    droplet: delta.translate(dx, 0),
+                    probability: (1.0 - pd) * pd2,
+                },
+                Outcome {
+                    droplet: delta,
+                    probability: (1.0 - pd) * (1.0 - pd2),
+                },
+            ]
+        }
+        Action::Widen(o) => {
+            let p = mean_force(delta, action, o.horizontal(), field);
+            vec![
+                Outcome {
+                    droplet: action.apply(delta),
+                    probability: p,
+                },
+                Outcome {
+                    droplet: delta,
+                    probability: 1.0 - p,
+                },
+            ]
+        }
+        Action::Heighten(o) => {
+            let p = mean_force(delta, action, o.vertical(), field);
+            vec![
+                Outcome {
+                    droplet: action.apply(delta),
+                    probability: p,
+                },
+                Outcome {
+                    droplet: delta,
+                    probability: 1.0 - p,
+                },
+            ]
+        }
+    };
+    merge(outcomes)
+}
+
+/// Mean force over the frontier of `action` in direction `dir`, or 0 if the
+/// frontier is empty (the action cannot pull that way).
+fn mean_force(delta: Rect, action: Action, dir: crate::Dir, field: &dyn ForceProvider) -> f64 {
+    frontier_set(delta, action, dir).map_or(0.0, |fr| field.mean_force(fr))
+}
+
+fn merge(outcomes: Vec<Outcome>) -> Vec<Outcome> {
+    let mut merged: Vec<Outcome> = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        if let Some(existing) = merged.iter_mut().find(|m| m.droplet == o.droplet) {
+            existing.probability += o.probability;
+        } else {
+            merged.push(o);
+        }
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dir, Ordinal, RawField, UniformField};
+    use meda_grid::{Cell, ChipDims, Grid};
+
+    const D: Rect = Rect {
+        xa: 3,
+        ya: 2,
+        xb: 7,
+        yb: 5,
+    };
+
+    fn example3_field() -> RawField {
+        let dims = ChipDims::new(12, 8);
+        let mut f = Grid::new(dims, 1.0);
+        // D_(8, 3:6) = (0.6, 0.5, 0.8, 0.9)
+        for (i, v) in [0.6, 0.5, 0.8, 0.9].iter().enumerate() {
+            f[Cell::new(8, 3 + i as i32)] = *v;
+        }
+        // D_(4:8, 6) = (0.9, 0.4, 0.9, 0.7, 0.9)
+        for (i, v) in [0.9, 0.4, 0.9, 0.7, 0.9].iter().enumerate() {
+            f[Cell::new(4 + i as i32, 6)] = *v;
+        }
+        RawField::new(f)
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_for_all_actions() {
+        let field = UniformField::new(0.7);
+        for a in Action::ALL {
+            let total: f64 = transitions(D, a, &field)
+                .iter()
+                .map(|o| o.probability)
+                .sum();
+            assert!((total - 1.0).abs() < 1e-12, "{a}: sum {total}");
+        }
+    }
+
+    #[test]
+    fn paper_example_3_ne_probabilities() {
+        let field = example3_field();
+        let out = transitions(D, Action::MoveOrdinal(Ordinal::NE), &field);
+        let p = |target: Rect| {
+            out.iter()
+                .find(|o| o.droplet == target)
+                .map_or(0.0, |o| o.probability)
+        };
+        // p(NE) = 0.76 · 0.7 = 0.532
+        assert!((p(D.translate(1, 1)) - 0.532).abs() < 1e-9);
+        // Per the paper's own probability table, p(N) = p_N·(1−p_E) = 0.228
+        // and p(E) = (1−p_N)·p_E = 0.168; Example 3's prose swaps the two
+        // labels. We assert the table's formulas and that the residual-mass
+        // pair is exactly {0.168, 0.228}.
+        let p_north_only = p(D.translate(0, 1));
+        let p_east_only = p(D.translate(1, 0));
+        assert!((p_north_only - 0.76 * 0.3).abs() < 1e-9);
+        assert!((p_east_only - 0.24 * 0.7).abs() < 1e-9);
+        // Either pairing, the two residual masses are {0.228, 0.168}.
+        let mut pair = [p_north_only, p_east_only];
+        pair.sort_by(f64::total_cmp);
+        assert!((pair[0] - 0.168).abs() < 1e-9);
+        assert!((pair[1] - 0.228).abs() < 1e-9);
+        // ε keeps the rest.
+        assert!((p(D) - 0.24 * 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_move_two_outcomes() {
+        let field = UniformField::new(0.9);
+        let out = transitions(D, Action::Move(Dir::N), &field);
+        assert_eq!(out.len(), 2);
+        assert!((out[0].probability - 0.9).abs() < 1e-12);
+        assert_eq!(out[0].droplet, D.translate(0, 1));
+        assert_eq!(out[1].droplet, D);
+    }
+
+    #[test]
+    fn double_move_conditions_second_step() {
+        let field = UniformField::new(0.8);
+        let out = transitions(D, Action::MoveDouble(Dir::E), &field);
+        let p = |target: Rect| {
+            out.iter()
+                .find(|o| o.droplet == target)
+                .map_or(0.0, |o| o.probability)
+        };
+        assert!((p(D.translate(2, 0)) - 0.64).abs() < 1e-12);
+        assert!((p(D.translate(1, 0)) - 0.8 * 0.2).abs() < 1e-12);
+        assert!((p(D) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pristine_chip_always_succeeds() {
+        let field = UniformField::pristine();
+        for a in Action::ALL {
+            let out = transitions(D, a, &field);
+            let success = out
+                .iter()
+                .find(|o| o.droplet == a.apply(D))
+                .expect("success outcome present");
+            assert!(
+                (success.probability - 1.0).abs() < 1e-12,
+                "{a} should be certain on a pristine chip"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_frontier_means_no_motion() {
+        let dims = ChipDims::new(12, 8);
+        let mut f = Grid::new(dims, 1.0);
+        // Kill the column east of the droplet.
+        for y in 1..=8 {
+            f[Cell::new(8, y)] = 0.0;
+        }
+        let field = RawField::new(f);
+        let out = transitions(D, Action::Move(Dir::E), &field);
+        let stay = out.iter().find(|o| o.droplet == D).unwrap();
+        assert!((stay.probability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn morph_success_uses_partial_frontier() {
+        // a_↓NE frontier on D is (8,3)-(8,5): 3 cells.
+        let dims = ChipDims::new(12, 8);
+        let mut f = Grid::new(dims, 0.0);
+        f[Cell::new(8, 3)] = 0.9;
+        f[Cell::new(8, 4)] = 0.6;
+        f[Cell::new(8, 5)] = 0.3;
+        let field = RawField::new(f);
+        let out = transitions(D, Action::Widen(Ordinal::NE), &field);
+        let success = out
+            .iter()
+            .find(|o| o.droplet == Action::Widen(Ordinal::NE).apply(D))
+            .unwrap();
+        assert!((success.probability - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the MEDA stochastic game (Section V-C): turn
+//! structure, probability conservation, and health monotonicity under
+//! arbitrary adversary schedules.
+
+use meda_core::{ActionConfig, DegradationMove, GameState, MedaGame, Player};
+use meda_grid::{Cell, ChipDims, Rect};
+use proptest::prelude::*;
+
+fn arb_droplet_on(dims: ChipDims) -> impl Strategy<Value = Rect> {
+    let (w, h) = (dims.width as i32, dims.height as i32);
+    (1..w - 4, 1..h - 4, 1i32..4, 1i32..4)
+        .prop_map(|(xa, ya, dw, dh)| Rect::new(xa, ya, xa + dw, ya + dh))
+}
+
+fn arb_cells(dims: ChipDims) -> impl Strategy<Value = Vec<Cell>> {
+    proptest::collection::vec(
+        (1..=dims.width as i32, 1..=dims.height as i32).prop_map(|(x, y)| Cell::new(x, y)),
+        0..6,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every play alternates ① → ② → ① …, and controller distributions
+    /// always sum to one.
+    #[test]
+    fn plays_alternate_and_conserve_probability(
+        droplet in arb_droplet_on(ChipDims::new(16, 12)),
+        action_picks in proptest::collection::vec(0usize..20, 1..6),
+        adversary in proptest::collection::vec(arb_cells(ChipDims::new(16, 12)), 1..6)
+    ) {
+        let game = MedaGame::new(ChipDims::new(16, 12), 2, ActionConfig::default());
+        let mut state = game.initial_state(droplet);
+        for (pick, cells) in action_picks.iter().zip(&adversary) {
+            prop_assert_eq!(state.player, Player::Controller);
+            let actions = game.controller_actions(&state);
+            prop_assert!(!actions.is_empty(), "controller always has a move");
+            let action = actions[pick % actions.len()];
+            let successors = game.controller_transitions(&state, action);
+            let total: f64 = successors.iter().map(|(_, p)| p).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            // Take the most likely successor.
+            let (next, _) = successors
+                .into_iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty");
+            prop_assert_eq!(next.player, Player::Degradation);
+            state = game.degradation_step(&next, &DegradationMove::cells(cells.clone()));
+        }
+        prop_assert_eq!(state.player, Player::Controller);
+    }
+
+    /// Health is monotone non-increasing along any play, regardless of the
+    /// adversary's schedule — the property that justifies the paper's
+    /// replace-on-change strategy-library policy.
+    #[test]
+    fn health_never_recovers(
+        droplet in arb_droplet_on(ChipDims::new(16, 12)),
+        adversary in proptest::collection::vec(arb_cells(ChipDims::new(16, 12)), 1..8)
+    ) {
+        let dims = ChipDims::new(16, 12);
+        let game = MedaGame::new(dims, 2, ActionConfig::default());
+        let mut state = game.initial_state(droplet);
+        let mut last: Vec<u8> = dims.cells().map(|c| state.health[c].level()).collect();
+        for cells in &adversary {
+            let action = game.controller_actions(&state)[0];
+            let (next, _) = game.controller_transitions(&state, action).remove(0);
+            state = game.degradation_step(&next, &DegradationMove::cells(cells.clone()));
+            let now: Vec<u8> = dims.cells().map(|c| state.health[c].level()).collect();
+            for (before, after) in last.iter().zip(&now) {
+                prop_assert!(after <= before, "health recovered");
+            }
+            last = now;
+        }
+    }
+
+    /// The controller's enabled actions keep the droplet on-chip from any
+    /// legal position.
+    #[test]
+    fn enabled_actions_keep_droplet_on_chip(droplet in arb_droplet_on(ChipDims::new(16, 12))) {
+        let dims = ChipDims::new(16, 12);
+        let game = MedaGame::new(dims, 2, ActionConfig::default());
+        let state = game.initial_state(droplet);
+        for action in game.controller_actions(&state) {
+            prop_assert!(dims.contains_rect(action.apply(droplet)), "{}", action);
+        }
+    }
+
+    /// Degrading the same cell `2^b` times always kills it, and the
+    /// degradation move is idempotent once dead.
+    #[test]
+    fn repeated_degradation_kills_and_saturates(
+        droplet in arb_droplet_on(ChipDims::new(16, 12)),
+        target in (1i32..=16, 1i32..=12).prop_map(|(x, y)| Cell::new(x, y)),
+        extra in 0usize..4
+    ) {
+        let game = MedaGame::new(ChipDims::new(16, 12), 2, ActionConfig::default());
+        let mut state = game.initial_state(droplet);
+        for _ in 0..(4 + extra) {
+            let action = game.controller_actions(&state)[0];
+            let (next, _) = game.controller_transitions(&state, action).remove(0);
+            state = game.degradation_step(&next, &DegradationMove::cells([target]));
+        }
+        prop_assert!(state.health[target].is_dead());
+    }
+}
+
+/// The full-information game (health observable) and the induced MDP agree
+/// on the initial transition distribution when health is fresh.
+#[test]
+fn game_and_mdp_transition_distributions_agree() {
+    use meda_core::{transitions, HealthField};
+
+    let dims = ChipDims::new(16, 12);
+    let game = MedaGame::new(dims, 2, ActionConfig::default());
+    let droplet = Rect::new(4, 4, 7, 7);
+    let state: GameState = game.initial_state(droplet);
+    let field = HealthField::new(state.health.clone(), 2);
+
+    for action in game.controller_actions(&state) {
+        let via_game: Vec<(Rect, f64)> = game
+            .controller_transitions(&state, action)
+            .into_iter()
+            .map(|(s, p)| (s.droplet, p))
+            .collect();
+        let via_mdp: Vec<(Rect, f64)> = transitions(droplet, action, &field)
+            .into_iter()
+            .map(|o| (o.droplet, o.probability))
+            .collect();
+        assert_eq!(via_game.len(), via_mdp.len(), "{action}");
+        for ((ra, pa), (rb, pb)) in via_game.iter().zip(&via_mdp) {
+            assert_eq!(ra, rb, "{action}");
+            assert!((pa - pb).abs() < 1e-12, "{action}");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+use std::fmt;
+
+use crate::DegradationParams;
+
+/// Result of fitting the exponential force model `F̄(n) = τ^(2n/c)` to
+/// measured `(n, F̄)` samples (Fig. 6).
+///
+/// In log domain the model is a line through the origin,
+/// `ln F̄ = k·n` with `k = 2·ln τ / c`, so only the *slope* `k` is
+/// identifiable from force data alone — any `(τ, c)` pair on the curve
+/// `c = 2·ln τ / k` fits equally well. [`ExponentialFit::params_for_tau`]
+/// and [`ExponentialFit::params_for_c`] pin down the remaining degree of
+/// freedom the way the paper reports its constants.
+///
+/// # Examples
+///
+/// ```
+/// use meda_degradation::{DegradationParams, ExponentialFit};
+///
+/// let truth = DegradationParams::PAPER_2MM;
+/// let samples: Vec<(u64, f64)> =
+///     (0..=8).map(|i| (i * 100, truth.relative_force(i * 100))).collect();
+/// let fit = ExponentialFit::fit_force(&samples)?;
+/// let recovered = fit.params_for_tau(truth.tau);
+/// assert!((recovered.c - truth.c).abs() / truth.c < 1e-6);
+/// assert!(fit.r2_adjusted > 0.99);
+/// # Ok::<(), meda_degradation::FitError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialFit {
+    /// Fitted log-domain slope `k = 2·ln τ / c` (per actuation; negative).
+    pub slope: f64,
+    /// Adjusted coefficient of determination of the log-domain fit
+    /// (the paper reports `R²_adj > 0.94` for all three curves).
+    pub r2_adjusted: f64,
+    /// Number of samples used.
+    pub samples: usize,
+}
+
+/// Error fitting the exponential degradation model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two usable samples.
+    TooFewSamples,
+    /// A force sample was not strictly positive (log undefined).
+    NonPositiveForce,
+    /// All samples at `n = 0` — slope is undetermined.
+    DegenerateAbscissa,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TooFewSamples => write!(f, "need at least two samples to fit"),
+            Self::NonPositiveForce => write!(f, "force samples must be strictly positive"),
+            Self::DegenerateAbscissa => write!(f, "all samples at n = 0; slope undetermined"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+impl ExponentialFit {
+    /// Fits `ln F̄ = k·n` (least squares through the origin) to force
+    /// samples `(n, F̄)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`FitError`] if fewer than two samples are given, any force
+    /// is non-positive, or every sample is at `n = 0`.
+    pub fn fit_force(samples: &[(u64, f64)]) -> Result<Self, FitError> {
+        if samples.len() < 2 {
+            return Err(FitError::TooFewSamples);
+        }
+        if samples.iter().any(|&(_, force)| force <= 0.0) {
+            return Err(FitError::NonPositiveForce);
+        }
+        let sum_nn: f64 = samples.iter().map(|&(n, _)| (n as f64) * (n as f64)).sum();
+        if sum_nn == 0.0 {
+            return Err(FitError::DegenerateAbscissa);
+        }
+        let sum_ny: f64 = samples
+            .iter()
+            .map(|&(n, force)| n as f64 * force.ln())
+            .sum();
+        let slope = sum_ny / sum_nn;
+
+        // Adjusted R² in log domain with p = 1 predictor.
+        let ys: Vec<f64> = samples.iter().map(|&(_, force)| force.ln()).collect();
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|y| (y - mean).powi(2)).sum();
+        let ss_res: f64 = samples
+            .iter()
+            .map(|&(n, force)| (force.ln() - slope * n as f64).powi(2))
+            .sum();
+        let n = samples.len() as f64;
+        let r2 = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
+        let r2_adjusted = if n > 2.0 {
+            1.0 - (1.0 - r2) * (n - 1.0) / (n - 2.0)
+        } else {
+            r2
+        };
+
+        Ok(Self {
+            slope,
+            r2_adjusted,
+            samples: samples.len(),
+        })
+    }
+
+    /// The `(τ, c)` pair on the fitted curve with the given `τ`
+    /// (`c = 2·ln τ / k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fitted slope is non-negative (no degradation to
+    /// attribute) or `tau ∉ (0, 1)`.
+    #[must_use]
+    pub fn params_for_tau(&self, tau: f64) -> DegradationParams {
+        assert!(tau > 0.0 && tau < 1.0, "tau must be in (0, 1)");
+        assert!(self.slope < 0.0, "non-negative slope: no decay to fit");
+        DegradationParams::new(tau, 2.0 * tau.ln() / self.slope)
+    }
+
+    /// The `(τ, c)` pair on the fitted curve with the given `c`
+    /// (`τ = e^{k·c/2}`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c ≤ 0`.
+    #[must_use]
+    pub fn params_for_c(&self, c: f64) -> DegradationParams {
+        assert!(c > 0.0, "c must be positive");
+        DegradationParams::new((self.slope * c / 2.0).exp(), c)
+    }
+
+    /// Predicted relative force at `n` from the fitted slope.
+    #[must_use]
+    pub fn predict(&self, n: u64) -> f64 {
+        (self.slope * n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn noisy_samples(truth: DegradationParams, noise: f64, seed: u64) -> Vec<(u64, f64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..=8)
+            .map(|i| {
+                let n = i * 100;
+                let jitter = 1.0 + noise * (rng.gen::<f64>() * 2.0 - 1.0);
+                (n, truth.relative_force(n) * jitter)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_samples_recover_slope_exactly() {
+        let truth = DegradationParams::PAPER_3MM;
+        let samples: Vec<_> = (0..=8)
+            .map(|i| (i * 100, truth.relative_force(i * 100)))
+            .collect();
+        let fit = ExponentialFit::fit_force(&samples).unwrap();
+        assert!((fit.slope - 2.0 * truth.log_slope()).abs() < 1e-12);
+        assert!(fit.r2_adjusted > 0.999);
+    }
+
+    #[test]
+    fn noisy_fit_stays_close_and_r2_high() {
+        // Mirror the paper: R²_adj > 0.94 for all three electrode sizes.
+        for (seed, truth) in [
+            (1, DegradationParams::PAPER_2MM),
+            (2, DegradationParams::PAPER_3MM),
+            (3, DegradationParams::PAPER_4MM),
+        ] {
+            let samples = noisy_samples(truth, 0.03, seed);
+            let fit = ExponentialFit::fit_force(&samples).unwrap();
+            let rec = fit.params_for_tau(truth.tau);
+            assert!(
+                (rec.c - truth.c).abs() / truth.c < 0.10,
+                "recovered c {} vs {}",
+                rec.c,
+                truth.c
+            );
+            assert!(fit.r2_adjusted > 0.94, "R²_adj = {}", fit.r2_adjusted);
+        }
+    }
+
+    #[test]
+    fn params_for_c_and_tau_are_consistent() {
+        let truth = DegradationParams::new(0.6, 400.0);
+        let samples: Vec<_> = (1..=6)
+            .map(|i| (i * 150, truth.relative_force(i * 150)))
+            .collect();
+        let fit = ExponentialFit::fit_force(&samples).unwrap();
+        let via_tau = fit.params_for_tau(0.6);
+        let via_c = fit.params_for_c(via_tau.c);
+        assert!((via_c.tau - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_matches_model() {
+        let truth = DegradationParams::new(0.5, 200.0);
+        let samples: Vec<_> = (0..5)
+            .map(|i| (i * 50, truth.relative_force(i * 50)))
+            .collect();
+        let fit = ExponentialFit::fit_force(&samples).unwrap();
+        assert!((fit.predict(300) - truth.relative_force(300)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert_eq!(
+            ExponentialFit::fit_force(&[(0, 1.0)]),
+            Err(FitError::TooFewSamples)
+        );
+        assert_eq!(
+            ExponentialFit::fit_force(&[(0, 1.0), (100, 0.0)]),
+            Err(FitError::NonPositiveForce)
+        );
+        assert_eq!(
+            ExponentialFit::fit_force(&[(0, 1.0), (0, 0.9)]),
+            Err(FitError::DegenerateAbscissa)
+        );
+    }
+}

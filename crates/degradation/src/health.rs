@@ -1,0 +1,171 @@
+use std::fmt;
+
+/// A quantized microelectrode health level `H = ⌊2^b · D⌋` (Section IV-B).
+///
+/// For the fabricated 2-bit design the levels are `0..=3`; level `2^b − 1`
+/// (i.e. 3) is full health, level 0 is complete degradation. The raw level
+/// saturates at `2^b − 1` because `D = 1` would otherwise quantize to `2^b`.
+///
+/// # Examples
+///
+/// ```
+/// use meda_degradation::{quantize_health, HealthLevel};
+///
+/// assert_eq!(quantize_health(1.0, 2).level(), 3);
+/// assert_eq!(quantize_health(0.7, 2).level(), 2);
+/// assert_eq!(quantize_health(0.2, 2).level(), 0);
+/// // The observed degradation estimate is the lower bin edge.
+/// assert_eq!(quantize_health(0.7, 2).as_degradation(2), 0.5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct HealthLevel(u8);
+
+impl HealthLevel {
+    /// Creates a health level from a raw quantized value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `level ≥ 2^bits`.
+    #[must_use]
+    pub fn new(level: u8, bits: u8) -> Self {
+        assert!((1..=7).contains(&bits), "bits must be within 1..=7");
+        assert!(
+            level < (1 << bits),
+            "level {level} exceeds {bits}-bit range"
+        );
+        Self(level)
+    }
+
+    /// The raw quantized level.
+    #[must_use]
+    pub const fn level(self) -> u8 {
+        self.0
+    }
+
+    /// Full health for a `bits`-bit sensor (`2^b − 1`).
+    #[must_use]
+    pub fn full(bits: u8) -> Self {
+        Self::new((1 << bits) - 1, bits)
+    }
+
+    /// Whether the level is 0 — the MC is completely degraded and exerts
+    /// (observably) no force.
+    #[must_use]
+    pub const fn is_dead(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The degradation estimate the controller derives from the reading:
+    /// the lower edge of the quantization bin, `H / 2^b`. This is what the
+    /// synthesis uses for **H**-based force estimates (conservative: never
+    /// overestimates the true `D`).
+    #[must_use]
+    pub fn as_degradation(self, bits: u8) -> f64 {
+        f64::from(self.0) / f64::from(1u16 << bits)
+    }
+
+    /// Force estimate `(H / 2^b)²` derived from the reading (Eq. 1).
+    #[must_use]
+    pub fn as_relative_force(self, bits: u8) -> f64 {
+        let d = self.as_degradation(bits);
+        d * d
+    }
+
+    /// One level lower (saturating at 0) — the degradation player's
+    /// `a_ij` action in the SMG (Section V-C).
+    #[must_use]
+    pub fn degraded_once(self) -> Self {
+        Self(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Display for HealthLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Quantizes a degradation level `d ∈ [0, 1]` into a `bits`-bit health level
+/// `H = ⌊2^b · d⌋`, saturated at `2^b − 1` (Section IV-B).
+///
+/// # Panics
+///
+/// Panics if `d ∉ [0, 1]` or `bits ∉ 1..=7`.
+#[must_use]
+pub fn quantize_health(d: f64, bits: u8) -> HealthLevel {
+    assert!(
+        (0.0..=1.0).contains(&d),
+        "degradation level must be within [0, 1], got {d}"
+    );
+    assert!((1..=7).contains(&bits), "bits must be within 1..=7");
+    let max = (1u16 << bits) - 1;
+    let level = ((f64::from(1u16 << bits) * d).floor() as u16).min(max);
+    HealthLevel::new(level as u8, bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_bit_bins_match_paper() {
+        // b = 2: D ∈ [0, .25) → 0, [.25, .5) → 1, [.5, .75) → 2, [.75, 1] → 3.
+        assert_eq!(quantize_health(0.0, 2).level(), 0);
+        assert_eq!(quantize_health(0.24, 2).level(), 0);
+        assert_eq!(quantize_health(0.25, 2).level(), 1);
+        assert_eq!(quantize_health(0.49, 2).level(), 1);
+        assert_eq!(quantize_health(0.5, 2).level(), 2);
+        assert_eq!(quantize_health(0.74, 2).level(), 2);
+        assert_eq!(quantize_health(0.75, 2).level(), 3);
+        assert_eq!(quantize_health(1.0, 2).level(), 3);
+    }
+
+    #[test]
+    fn quantization_is_monotone() {
+        for bits in 1..=4 {
+            let mut prev = 0;
+            for i in 0..=100 {
+                let lvl = quantize_health(i as f64 / 100.0, bits).level();
+                assert!(lvl >= prev);
+                prev = lvl;
+            }
+            assert_eq!(prev, (1 << bits) - 1);
+        }
+    }
+
+    #[test]
+    fn estimate_never_exceeds_true_degradation() {
+        for i in 0..=100 {
+            let d = i as f64 / 100.0;
+            let h = quantize_health(d, 2);
+            assert!(h.as_degradation(2) <= d + 1e-12);
+        }
+    }
+
+    #[test]
+    fn degraded_once_saturates() {
+        let h = HealthLevel::new(1, 2);
+        assert_eq!(h.degraded_once().level(), 0);
+        assert_eq!(h.degraded_once().degraded_once().level(), 0);
+        assert!(h.degraded_once().is_dead());
+    }
+
+    #[test]
+    fn full_health_per_bits() {
+        assert_eq!(HealthLevel::full(1).level(), 1);
+        assert_eq!(HealthLevel::full(2).level(), 3);
+        assert_eq!(HealthLevel::full(4).level(), 15);
+    }
+
+    #[test]
+    fn force_estimate_is_squared() {
+        let h = quantize_health(0.5, 2); // level 2 → D̂ = 0.5
+        assert_eq!(h.as_relative_force(2), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn out_of_range_degradation_rejected() {
+        let _ = quantize_health(1.5, 2);
+    }
+}

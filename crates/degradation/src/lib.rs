@@ -1,0 +1,57 @@
+//! Electrode-degradation physics and the microelectrode health model
+//! (Section IV of the paper).
+//!
+//! Repeated actuation traps charge in the dielectric layer of an electrode,
+//! raising its capacitance and weakening the electro-wetting (EWOD) force it
+//! can exert. The paper validates this on fabricated PCB prototypes
+//! (Fig. 5), fits an exponential model to the measured relative force
+//! (Fig. 6), and derives the quantized health level a MEDA microelectrode
+//! reports through the dual-DFF sensing design (Fig. 7):
+//!
+//! * relative EWOD force   `F̄(n) ≈ τ^(2n/c)`           (Eq. 2)
+//! * degradation level     `D(n) = V(n)/Va ≈ τ^(n/c)`   (Eq. 3)
+//! * observed health level `H(n) = ⌊2^b · D(n)⌋`        (b = 2 on the chip)
+//!
+//! This crate provides:
+//!
+//! * [`DegradationParams`] — the `(τ, c)` pair with the force/degradation/
+//!   health laws and the paper's fitted constants for the three PCB
+//!   electrode sizes;
+//! * [`HealthLevel`] / [`quantize_health`] — b-bit health quantization;
+//! * [`PcbExperiment`] — a synthetic stand-in for the fabricated PCB testbed
+//!   (charge-trapping and residual-charge modes, Fig. 5) — see `DESIGN.md`
+//!   §3 for the substitution rationale;
+//! * [`ExponentialFit`] — the log-domain least-squares fit that recovers the
+//!   degradation constants from force measurements (Fig. 6), with adjusted
+//!   R²;
+//! * [`ParamDistribution`] — the per-MC uniform sampling
+//!   `c ~ U(c₁, c₂)`, `τ ~ U(τ₁, τ₂)` used by the simulator (Section VII).
+//!
+//! # Examples
+//!
+//! ```
+//! use meda_degradation::DegradationParams;
+//!
+//! // The paper's fitted constants for the 3 mm electrode.
+//! let p = DegradationParams::PAPER_3MM;
+//! assert!((p.relative_force(0) - 1.0).abs() < 1e-12);
+//! // Degradation decays exponentially with actuation count.
+//! assert!(p.degradation(1000) < p.degradation(100));
+//! // With b = 2 bits, a fresh electrode reads health 3 (binary 11).
+//! assert_eq!(p.health(0, 2).level(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fit;
+mod health;
+mod params;
+mod pcb;
+mod sampler;
+
+pub use fit::{ExponentialFit, FitError};
+pub use health::{quantize_health, HealthLevel};
+pub use params::DegradationParams;
+pub use pcb::{ActuationMode, PcbExperiment, PcbMeasurement};
+pub use sampler::ParamDistribution;

@@ -1,0 +1,209 @@
+use std::fmt;
+
+use crate::{quantize_health, HealthLevel};
+
+/// The `(τ, c)` degradation constants of one (micro)electrode (Eq. 2–3).
+///
+/// `τ ∈ [0, 1]` and `c > 0` capture how quickly the electrode degrades:
+/// after `n` actuations the relative actuation voltage is `D(n) = τ^(n/c)`
+/// and the relative EWOD force `F̄(n) = D(n)² = τ^(2n/c)`.
+///
+/// The constants fitted from the paper's PCB measurements (Fig. 6) are
+/// provided for the three electrode sizes:
+/// [`PAPER_2MM`](Self::PAPER_2MM), [`PAPER_3MM`](Self::PAPER_3MM),
+/// [`PAPER_4MM`](Self::PAPER_4MM).
+///
+/// # Examples
+///
+/// ```
+/// use meda_degradation::DegradationParams;
+///
+/// let p = DegradationParams::new(0.5, 800.0);
+/// // After c actuations the degradation level equals τ.
+/// assert!((p.degradation(800) - 0.5).abs() < 1e-12);
+/// // And the force is τ².
+/// assert!((p.relative_force(800) - 0.25).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationParams {
+    /// Degradation base `τ ∈ [0, 1]`.
+    pub tau: f64,
+    /// Degradation scale `c` in actuations.
+    pub c: f64,
+}
+
+impl DegradationParams {
+    /// Fitted constants for the 2 × 2 mm² PCB electrode:
+    /// `(τ₂, c₂) = (0.556, 822.7)`.
+    pub const PAPER_2MM: Self = Self {
+        tau: 0.556,
+        c: 822.7,
+    };
+    /// Fitted constants for the 3 × 3 mm² PCB electrode:
+    /// `(τ₃, c₃) = (0.543, 805.5)`.
+    pub const PAPER_3MM: Self = Self {
+        tau: 0.543,
+        c: 805.5,
+    };
+    /// Fitted constants for the 4 × 4 mm² PCB electrode:
+    /// `(τ₄, c₄) = (0.530, 788.4)`.
+    pub const PAPER_4MM: Self = Self {
+        tau: 0.530,
+        c: 788.4,
+    };
+
+    /// Creates degradation constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau ∉ [0, 1]` or `c ≤ 0`.
+    #[must_use]
+    pub fn new(tau: f64, c: f64) -> Self {
+        assert!((0.0..=1.0).contains(&tau), "tau must be within [0, 1]");
+        assert!(c > 0.0 && c.is_finite(), "c must be positive");
+        Self { tau, c }
+    }
+
+    /// An electrode that never degrades (`τ = 1`).
+    #[must_use]
+    pub const fn indestructible() -> Self {
+        Self { tau: 1.0, c: 1.0 }
+    }
+
+    /// Degradation level `D(n) = τ^(n/c) ∈ [0, 1]` (Eq. 3): the fraction of
+    /// the nominal actuation voltage the electrode still develops after `n`
+    /// actuations.
+    #[must_use]
+    pub fn degradation(&self, n: u64) -> f64 {
+        self.tau.powf(n as f64 / self.c)
+    }
+
+    /// Relative EWOD force `F̄(n) = (V/Va)² = τ^(2n/c)` (Eq. 1–2).
+    #[must_use]
+    pub fn relative_force(&self, n: u64) -> f64 {
+        self.tau.powf(2.0 * n as f64 / self.c)
+    }
+
+    /// Observed health level `H(n) = ⌊2^b · D(n)⌋` for a `bits`-bit sensor
+    /// (the fabricated design uses `bits = 2`).
+    #[must_use]
+    pub fn health(&self, n: u64, bits: u8) -> HealthLevel {
+        quantize_health(self.degradation(n), bits)
+    }
+
+    /// Smallest actuation count `n` at which the degradation level drops to
+    /// or below `d`, or `None` for non-degrading electrodes (`τ = 1`) asked
+    /// for `d < 1`.
+    ///
+    /// Inverts Eq. 3: `n = c · ln d / ln τ`.
+    #[must_use]
+    pub fn actuations_to_reach(&self, d: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&d), "degradation level in [0, 1]");
+        if d >= 1.0 {
+            return Some(0);
+        }
+        if self.tau >= 1.0 {
+            return None;
+        }
+        if d <= 0.0 {
+            return None; // exponential never reaches exactly zero
+        }
+        Some((self.c * d.ln() / self.tau.ln()).ceil() as u64)
+    }
+
+    /// The log-domain decay slope `k = ln τ / c`, i.e. `ln D(n) = k·n`.
+    /// This is the directly identifiable quantity in the Fig. 6 fit.
+    #[must_use]
+    pub fn log_slope(&self) -> f64 {
+        self.tau.ln() / self.c
+    }
+}
+
+impl Default for DegradationParams {
+    fn default() -> Self {
+        Self::PAPER_3MM
+    }
+}
+
+impl fmt::Display for DegradationParams {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(tau = {:.3}, c = {:.1})", self.tau, self.c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_electrode_is_pristine() {
+        let p = DegradationParams::PAPER_2MM;
+        assert_eq!(p.degradation(0), 1.0);
+        assert_eq!(p.relative_force(0), 1.0);
+        assert_eq!(p.health(0, 2).level(), 3);
+    }
+
+    #[test]
+    fn force_is_square_of_degradation() {
+        let p = DegradationParams::PAPER_4MM;
+        for n in [0_u64, 10, 100, 1000, 5000] {
+            let d = p.degradation(n);
+            assert!((p.relative_force(n) - d * d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degradation_is_monotone_decreasing() {
+        let p = DegradationParams::PAPER_3MM;
+        let mut prev = 1.0;
+        for n in (0..5000).step_by(100) {
+            let d = p.degradation(n);
+            assert!(d <= prev);
+            prev = d;
+        }
+        assert!(prev > 0.0);
+    }
+
+    #[test]
+    fn paper_constants_ordering() {
+        // Larger electrodes degrade faster in the fit: τ₂ > τ₃ > τ₄ and
+        // c₂ > c₃ > c₄.
+        let (p2, p3, p4) = (
+            DegradationParams::PAPER_2MM,
+            DegradationParams::PAPER_3MM,
+            DegradationParams::PAPER_4MM,
+        );
+        assert!(p2.tau > p3.tau && p3.tau > p4.tau);
+        assert!(p2.c > p3.c && p3.c > p4.c);
+    }
+
+    #[test]
+    fn actuations_to_reach_inverts_degradation() {
+        let p = DegradationParams::new(0.5, 500.0);
+        let n = p.actuations_to_reach(0.25).unwrap();
+        assert_eq!(n, 1000); // τ^(n/c) = 0.25 = 0.5² ⇒ n = 2c
+        assert!(p.degradation(n) <= 0.25);
+        assert!(p.degradation(n - 1) > 0.25 - 1e-9);
+    }
+
+    #[test]
+    fn indestructible_never_reaches_below_one() {
+        let p = DegradationParams::indestructible();
+        assert_eq!(p.degradation(1_000_000), 1.0);
+        assert_eq!(p.actuations_to_reach(0.5), None);
+        assert_eq!(p.actuations_to_reach(1.0), Some(0));
+    }
+
+    #[test]
+    fn log_slope_matches_model() {
+        let p = DegradationParams::new(0.6, 300.0);
+        let n = 750_u64;
+        assert!((p.degradation(n).ln() - p.log_slope() * n as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be within")]
+    fn tau_out_of_range_rejected() {
+        let _ = DegradationParams::new(1.2, 100.0);
+    }
+}

@@ -1,0 +1,136 @@
+use rand::Rng;
+
+use crate::DegradationParams;
+
+/// Uniform distribution over degradation constants, used by the simulator
+/// to assign each microelectrode its own `(τ, c)` pair (Section VII-A/B):
+/// `c ~ U(c₁, c₂)`, `τ ~ U(τ₁, τ₂)`.
+///
+/// # Examples
+///
+/// ```
+/// use meda_degradation::ParamDistribution;
+/// use rand::SeedableRng;
+///
+/// let dist = ParamDistribution::paper_normal();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let p = dist.sample(&mut rng);
+/// assert!(p.tau >= 0.5 && p.tau <= 0.9);
+/// assert!(p.c >= 200.0 && p.c <= 500.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamDistribution {
+    /// Range `(τ₁, τ₂)` of the degradation base.
+    pub tau_range: (f64, f64),
+    /// Range `(c₁, c₂)` of the degradation scale.
+    pub c_range: (f64, f64),
+}
+
+impl ParamDistribution {
+    /// The paper's normal-MC distribution for the Fig. 15/16 experiments:
+    /// `c ~ U(200, 500)`, `τ ~ U(0.5, 0.9)`.
+    #[must_use]
+    pub const fn paper_normal() -> Self {
+        Self {
+            tau_range: (0.5, 0.9),
+            c_range: (200.0, 500.0),
+        }
+    }
+
+    /// A fast-degrading distribution for faulty MCs (lower τ, smaller c),
+    /// used by fault-injection experiments before the sudden failure fires.
+    #[must_use]
+    pub const fn paper_faulty() -> Self {
+        Self {
+            tau_range: (0.3, 0.5),
+            c_range: (100.0, 250.0),
+        }
+    }
+
+    /// Creates a distribution from explicit ranges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a range is inverted, `τ` leaves `[0, 1]`, or `c₁ ≤ 0`.
+    #[must_use]
+    pub fn new(tau_range: (f64, f64), c_range: (f64, f64)) -> Self {
+        assert!(
+            0.0 <= tau_range.0 && tau_range.0 <= tau_range.1 && tau_range.1 <= 1.0,
+            "tau range must satisfy 0 <= tau1 <= tau2 <= 1"
+        );
+        assert!(
+            0.0 < c_range.0 && c_range.0 <= c_range.1,
+            "c range must satisfy 0 < c1 <= c2"
+        );
+        Self { tau_range, c_range }
+    }
+
+    /// Samples one `(τ, c)` pair.
+    #[must_use]
+    pub fn sample(&self, rng: &mut impl Rng) -> DegradationParams {
+        let tau = if self.tau_range.0 == self.tau_range.1 {
+            self.tau_range.0
+        } else {
+            rng.gen_range(self.tau_range.0..self.tau_range.1)
+        };
+        let c = if self.c_range.0 == self.c_range.1 {
+            self.c_range.0
+        } else {
+            rng.gen_range(self.c_range.0..self.c_range.1)
+        };
+        DegradationParams::new(tau, c)
+    }
+}
+
+impl Default for ParamDistribution {
+    fn default() -> Self {
+        Self::paper_normal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let dist = ParamDistribution::paper_normal();
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..500 {
+            let p = dist.sample(&mut rng);
+            assert!((0.5..0.9).contains(&p.tau));
+            assert!((200.0..500.0).contains(&p.c));
+        }
+    }
+
+    #[test]
+    fn degenerate_range_is_constant() {
+        let dist = ParamDistribution::new((0.7, 0.7), (300.0, 300.0));
+        let mut rng = StdRng::seed_from_u64(1);
+        let p = dist.sample(&mut rng);
+        assert_eq!(p.tau, 0.7);
+        assert_eq!(p.c, 300.0);
+    }
+
+    #[test]
+    fn faulty_mcs_degrade_faster_on_average() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let normal = ParamDistribution::paper_normal();
+        let faulty = ParamDistribution::paper_faulty();
+        let avg = |d: &ParamDistribution, rng: &mut StdRng| {
+            (0..200)
+                .map(|_| d.sample(rng).degradation(500))
+                .sum::<f64>()
+                / 200.0
+        };
+        assert!(avg(&faulty, &mut rng) < avg(&normal, &mut rng));
+    }
+
+    #[test]
+    #[should_panic(expected = "c range")]
+    fn inverted_c_range_rejected() {
+        let _ = ParamDistribution::new((0.5, 0.9), (500.0, 200.0));
+    }
+}

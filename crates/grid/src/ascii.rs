@@ -1,0 +1,215 @@
+//! ASCII grid fixtures: parse multi-line drawings into [`Grid`]s for tests
+//! and examples, with the same north-up orientation `meda-sim`'s renderers
+//! print.
+
+use std::fmt;
+
+use crate::{Cell, ChipDims, Grid};
+
+/// Error parsing an ASCII grid fixture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseGridError {
+    /// The drawing was empty.
+    Empty,
+    /// Row `row` (1-based from the top) has a different width than the
+    /// first row.
+    RaggedRow {
+        /// The offending row number.
+        row: usize,
+    },
+    /// An unrecognized character at `(column, row)` of the drawing.
+    BadChar {
+        /// The character found.
+        ch: char,
+        /// 1-based column.
+        column: usize,
+        /// 1-based row from the top.
+        row: usize,
+    },
+}
+
+impl fmt::Display for ParseGridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => write!(f, "empty grid drawing"),
+            Self::RaggedRow { row } => write!(f, "row {row} has a different width"),
+            Self::BadChar { ch, column, row } => {
+                write!(
+                    f,
+                    "unrecognized character {ch:?} at column {column}, row {row}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseGridError {}
+
+/// Parses a multi-line ASCII drawing into a grid, top row first (i.e. the
+/// first line is the chip's north edge, matching
+/// `meda-sim`'s render output). Leading/trailing blank lines and per-line
+/// indentation are ignored; `mapper` turns each character into a value.
+///
+/// # Errors
+///
+/// Returns [`ParseGridError`] for empty input, ragged rows, or characters
+/// the mapper rejects.
+///
+/// # Examples
+///
+/// ```
+/// use meda_grid::{ascii, Cell};
+///
+/// let walls = ascii::parse(
+///     "
+///     ..##..
+///     ......
+///     ",
+///     |ch| match ch {
+///         '#' => Some(true),
+///         '.' => Some(false),
+///         _ => None,
+///     },
+/// )?;
+/// assert_eq!(walls.dims().width, 6);
+/// assert!(walls[Cell::new(3, 2)]); // top row is the north edge (y = 2)
+/// assert!(!walls[Cell::new(3, 1)]);
+/// # Ok::<(), meda_grid::ascii::ParseGridError>(())
+/// ```
+pub fn parse<T: Clone>(
+    drawing: &str,
+    mut mapper: impl FnMut(char) -> Option<T>,
+) -> Result<Grid<T>, ParseGridError> {
+    let rows: Vec<&str> = drawing
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .collect();
+    if rows.is_empty() {
+        return Err(ParseGridError::Empty);
+    }
+    let width = rows[0].chars().count();
+    let height = rows.len();
+    let mut cells: Vec<Vec<T>> = Vec::with_capacity(height);
+    for (r, line) in rows.iter().enumerate() {
+        if line.chars().count() != width {
+            return Err(ParseGridError::RaggedRow { row: r + 1 });
+        }
+        let mut row = Vec::with_capacity(width);
+        for (c, ch) in line.chars().enumerate() {
+            let value = mapper(ch).ok_or(ParseGridError::BadChar {
+                ch,
+                column: c + 1,
+                row: r + 1,
+            })?;
+            row.push(value);
+        }
+        cells.push(row);
+    }
+
+    let dims = ChipDims::new(width as u32, height as u32);
+    Ok(Grid::from_fn(dims, |cell: Cell| {
+        // Row 0 of the drawing is the north edge (y = height).
+        let r = (dims.height as i32 - cell.y) as usize;
+        let c = (cell.x - 1) as usize;
+        cells[r][c].clone()
+    }))
+}
+
+/// Parses a boolean mask: `#`/`X`/`1` set, `.`/` `-like clear.
+///
+/// # Errors
+///
+/// Same as [`parse`].
+///
+/// # Examples
+///
+/// ```
+/// use meda_grid::ascii;
+///
+/// let mask = ascii::parse_mask("##.\n.##")?;
+/// assert_eq!(mask.count_set(), 4);
+/// # Ok::<(), meda_grid::ascii::ParseGridError>(())
+/// ```
+pub fn parse_mask(drawing: &str) -> Result<Grid<bool>, ParseGridError> {
+    parse(drawing, |ch| match ch {
+        '#' | 'X' | 'x' | '1' => Some(true),
+        '.' | '_' | '0' => Some(false),
+        _ => None,
+    })
+}
+
+/// Parses a digit grid (`0`–`9`), e.g. health levels or force tenths.
+///
+/// # Errors
+///
+/// Same as [`parse`].
+pub fn parse_digits(drawing: &str) -> Result<Grid<u8>, ParseGridError> {
+    parse(drawing, |ch| ch.to_digit(10).map(|d| d as u8))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orientation_is_north_up() {
+        let g = parse_mask(
+            "#..
+             ...
+             ..#",
+        )
+        .unwrap();
+        assert_eq!(g.dims(), ChipDims::new(3, 3));
+        assert!(g[Cell::new(1, 3)], "top-left of drawing is north-west");
+        assert!(g[Cell::new(3, 1)], "bottom-right is south-east");
+        assert!(!g[Cell::new(1, 1)]);
+    }
+
+    #[test]
+    fn digits_parse_values() {
+        let g = parse_digits("321\n000").unwrap();
+        assert_eq!(g[Cell::new(1, 2)], 3);
+        assert_eq!(g[Cell::new(3, 2)], 1);
+        assert_eq!(g[Cell::new(2, 1)], 0);
+    }
+
+    #[test]
+    fn ragged_rows_rejected() {
+        assert_eq!(
+            parse_mask("###\n##"),
+            Err(ParseGridError::RaggedRow { row: 2 })
+        );
+    }
+
+    #[test]
+    fn bad_characters_located() {
+        assert_eq!(
+            parse_mask("#.\n.q"),
+            Err(ParseGridError::BadChar {
+                ch: 'q',
+                column: 2,
+                row: 2
+            })
+        );
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert_eq!(parse_mask("\n   \n"), Err(ParseGridError::Empty));
+    }
+
+    #[test]
+    fn roundtrips_with_sim_render_orientation() {
+        // parse(render(x)) == x for the pattern renderer's format.
+        let g = parse_mask("##..\n..##").unwrap();
+        let mut lines = Vec::new();
+        for y in (1..=2).rev() {
+            let line: String = (1..=4)
+                .map(|x| if g[Cell::new(x, y)] { '#' } else { '.' })
+                .collect();
+            lines.push(line);
+        }
+        assert_eq!(lines.join("\n"), "##..\n..##");
+    }
+}

@@ -1,0 +1,130 @@
+use std::fmt;
+
+/// One microelectrode location on the biochip.
+///
+/// The paper indexes microelectrodes as `MC_ij` with `1 ≤ i ≤ W` and
+/// `1 ≤ j ≤ H`; `Cell { x, y }` mirrors that with `x` the column (east-west)
+/// and `y` the row (south-north). Coordinates are signed so off-chip
+/// locations (e.g. frontier cells one step past an edge) are representable
+/// and can be rejected by [`ChipDims::contains`](crate::ChipDims::contains).
+///
+/// # Examples
+///
+/// ```
+/// use meda_grid::Cell;
+///
+/// let a = Cell::new(3, 2);
+/// let b = Cell::new(5, 6);
+/// assert_eq!(a.manhattan_distance(b), 6);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cell {
+    /// Column index (1-based on chip).
+    pub x: i32,
+    /// Row index (1-based on chip).
+    pub y: i32,
+}
+
+impl Cell {
+    /// Creates a cell at `(x, y)`.
+    #[must_use]
+    pub const fn new(x: i32, y: i32) -> Self {
+        Self { x, y }
+    }
+
+    /// Manhattan (L1) distance to `other`, the metric used in the paper's
+    /// actuation-correlation study (Section III-C, Fig. 3).
+    ///
+    /// ```
+    /// use meda_grid::Cell;
+    /// assert_eq!(Cell::new(0, 0).manhattan_distance(Cell::new(3, -4)), 7);
+    /// ```
+    #[must_use]
+    pub fn manhattan_distance(self, other: Self) -> u32 {
+        self.x.abs_diff(other.x) + self.y.abs_diff(other.y)
+    }
+
+    /// Chebyshev (L∞) distance to `other`; two droplets closer than a given
+    /// Chebyshev distance risk accidental merging.
+    #[must_use]
+    pub fn chebyshev_distance(self, other: Self) -> u32 {
+        self.x.abs_diff(other.x).max(self.y.abs_diff(other.y))
+    }
+
+    /// The cell one step north (`y + 1`).
+    #[must_use]
+    pub const fn north(self) -> Self {
+        Self::new(self.x, self.y + 1)
+    }
+
+    /// The cell one step south (`y - 1`).
+    #[must_use]
+    pub const fn south(self) -> Self {
+        Self::new(self.x, self.y - 1)
+    }
+
+    /// The cell one step east (`x + 1`).
+    #[must_use]
+    pub const fn east(self) -> Self {
+        Self::new(self.x + 1, self.y)
+    }
+
+    /// The cell one step west (`x - 1`).
+    #[must_use]
+    pub const fn west(self) -> Self {
+        Self::new(self.x - 1, self.y)
+    }
+}
+
+impl From<(i32, i32)> for Cell {
+    fn from((x, y): (i32, i32)) -> Self {
+        Self::new(x, y)
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance_is_symmetric() {
+        let a = Cell::new(2, 9);
+        let b = Cell::new(-3, 4);
+        assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+        assert_eq!(a.manhattan_distance(b), 10);
+    }
+
+    #[test]
+    fn manhattan_distance_to_self_is_zero() {
+        let a = Cell::new(7, 7);
+        assert_eq!(a.manhattan_distance(a), 0);
+    }
+
+    #[test]
+    fn chebyshev_bounded_by_manhattan() {
+        let a = Cell::new(1, 1);
+        let b = Cell::new(4, 9);
+        assert!(a.chebyshev_distance(b) <= a.manhattan_distance(b));
+        assert_eq!(a.chebyshev_distance(b), 8);
+    }
+
+    #[test]
+    fn steps_move_one_unit() {
+        let c = Cell::new(5, 5);
+        assert_eq!(c.north(), Cell::new(5, 6));
+        assert_eq!(c.south(), Cell::new(5, 4));
+        assert_eq!(c.east(), Cell::new(6, 5));
+        assert_eq!(c.west(), Cell::new(4, 5));
+    }
+
+    #[test]
+    fn display_shows_coordinates() {
+        assert_eq!(Cell::new(3, -2).to_string(), "(3, -2)");
+    }
+}

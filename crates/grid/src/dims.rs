@@ -1,0 +1,154 @@
+use std::fmt;
+
+use crate::{Cell, Rect};
+
+/// Biochip dimensions `W × H` (columns × rows of microelectrodes).
+///
+/// The fabricated chip simulated throughout the paper is `60 × 30`
+/// ([`ChipDims::PAPER`]); Section VII-B also refers to it as `30 × 60 MCs`.
+///
+/// # Examples
+///
+/// ```
+/// use meda_grid::{Cell, ChipDims, Rect};
+///
+/// let dims = ChipDims::new(60, 30);
+/// assert!(dims.contains(Cell::new(1, 1)));
+/// assert!(dims.contains(Cell::new(60, 30)));
+/// assert!(!dims.contains(Cell::new(0, 1)));
+/// assert!(dims.contains_rect(Rect::new(16, 1, 19, 4)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChipDims {
+    /// Number of columns `W`.
+    pub width: u32,
+    /// Number of rows `H`.
+    pub height: u32,
+}
+
+impl ChipDims {
+    /// The `60 × 30` biochip used for the paper's simulations.
+    pub const PAPER: Self = Self {
+        width: 60,
+        height: 30,
+    };
+
+    /// Creates chip dimensions `W × H`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(width: u32, height: u32) -> Self {
+        assert!(width > 0 && height > 0, "chip dimensions must be positive");
+        Self { width, height }
+    }
+
+    /// Total number of microelectrode cells `W · H`.
+    #[must_use]
+    pub const fn cell_count(&self) -> usize {
+        self.width as usize * self.height as usize
+    }
+
+    /// Whether the (1-based) cell lies on the chip.
+    #[must_use]
+    pub const fn contains(&self, cell: Cell) -> bool {
+        cell.x >= 1 && cell.y >= 1 && cell.x <= self.width as i32 && cell.y <= self.height as i32
+    }
+
+    /// Whether the rectangle lies entirely on the chip.
+    #[must_use]
+    pub const fn contains_rect(&self, rect: Rect) -> bool {
+        rect.xa >= 1
+            && rect.ya >= 1
+            && rect.xb <= self.width as i32
+            && rect.yb <= self.height as i32
+    }
+
+    /// The full-chip rectangle `(1, 1, W, H)`.
+    #[must_use]
+    pub fn bounds(&self) -> Rect {
+        Rect::new(1, 1, self.width as i32, self.height as i32)
+    }
+
+    /// Row-major linear index of an on-chip cell, or `None` if off-chip.
+    #[must_use]
+    pub fn index_of(&self, cell: Cell) -> Option<usize> {
+        if self.contains(cell) {
+            Some((cell.y as usize - 1) * self.width as usize + (cell.x as usize - 1))
+        } else {
+            None
+        }
+    }
+
+    /// The cell at a row-major linear index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.cell_count()`.
+    #[must_use]
+    pub fn cell_at(&self, index: usize) -> Cell {
+        assert!(index < self.cell_count(), "cell index out of range");
+        let w = self.width as usize;
+        Cell::new((index % w) as i32 + 1, (index / w) as i32 + 1)
+    }
+
+    /// Iterates over all on-chip cells in row-major order.
+    pub fn cells(&self) -> impl Iterator<Item = Cell> + use<> {
+        self.bounds().cells()
+    }
+}
+
+impl fmt::Display for ChipDims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}", self.width, self.height)
+    }
+}
+
+impl Default for ChipDims {
+    fn default() -> Self {
+        Self::PAPER
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_chip_has_1800_cells() {
+        assert_eq!(ChipDims::PAPER.cell_count(), 1800);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let dims = ChipDims::new(7, 5);
+        for idx in 0..dims.cell_count() {
+            let cell = dims.cell_at(idx);
+            assert_eq!(dims.index_of(cell), Some(idx));
+        }
+    }
+
+    #[test]
+    fn off_chip_cells_have_no_index() {
+        let dims = ChipDims::new(4, 4);
+        assert_eq!(dims.index_of(Cell::new(0, 1)), None);
+        assert_eq!(dims.index_of(Cell::new(5, 1)), None);
+        assert_eq!(dims.index_of(Cell::new(1, 0)), None);
+        assert_eq!(dims.index_of(Cell::new(1, 5)), None);
+    }
+
+    #[test]
+    fn bounds_contains_exactly_the_chip() {
+        let dims = ChipDims::new(10, 3);
+        assert!(dims.contains_rect(dims.bounds()));
+        assert!(!dims.contains_rect(dims.bounds().expand(1)));
+        assert_eq!(dims.cells().count(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dims_rejected() {
+        let _ = ChipDims::new(0, 4);
+    }
+}

@@ -1,0 +1,259 @@
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+use crate::{Cell, ChipDims, Rect};
+
+/// A dense row-major `W × H` matrix over the biochip.
+///
+/// Used throughout the workspace for the actuation matrix **U**
+/// (`Grid<bool>`), the degradation matrix **D** (`Grid<f64>`), the health
+/// matrix **H** (`Grid<u8>`), and the actuation-count matrix **N**
+/// (`Grid<u64>`).
+///
+/// Indexing with a [`Cell`] panics off-chip; [`Grid::get`]/[`Grid::get_mut`]
+/// are the fallible accessors.
+///
+/// # Examples
+///
+/// ```
+/// use meda_grid::{Cell, ChipDims, Grid, Rect};
+///
+/// let mut n = Grid::<u64>::new(ChipDims::new(8, 8), 0);
+/// n.fill_rect(Rect::new(2, 2, 4, 4), 3);
+/// assert_eq!(n[Cell::new(3, 3)], 3);
+/// assert_eq!(n.iter().map(|(_, v)| *v).sum::<u64>(), 27);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid<T> {
+    dims: ChipDims,
+    data: Vec<T>,
+}
+
+/// Error returned by checked grid access for an off-chip cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridIndexError {
+    cell: Cell,
+    dims: ChipDims,
+}
+
+impl fmt::Display for GridIndexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cell {} is outside the {} biochip", self.cell, self.dims)
+    }
+}
+
+impl std::error::Error for GridIndexError {}
+
+impl<T: Clone> Grid<T> {
+    /// Creates a grid with every cell set to `fill`.
+    #[must_use]
+    pub fn new(dims: ChipDims, fill: T) -> Self {
+        Self {
+            dims,
+            data: vec![fill; dims.cell_count()],
+        }
+    }
+
+    /// Sets every cell in `rect ∩ chip` to `value`, returning the number of
+    /// cells written.
+    pub fn fill_rect(&mut self, rect: Rect, value: T) -> usize {
+        let mut written = 0;
+        if let Some(clipped) = rect.intersection(self.dims.bounds()) {
+            for cell in clipped.cells() {
+                self[cell] = value.clone();
+                written += 1;
+            }
+        }
+        written
+    }
+
+    /// Sets every cell to `value`.
+    pub fn fill(&mut self, value: T) {
+        self.data.fill(value);
+    }
+}
+
+impl<T> Grid<T> {
+    /// Creates a grid by evaluating `f` at every cell in row-major order.
+    #[must_use]
+    pub fn from_fn(dims: ChipDims, mut f: impl FnMut(Cell) -> T) -> Self {
+        let data = (0..dims.cell_count()).map(|i| f(dims.cell_at(i))).collect();
+        Self { dims, data }
+    }
+
+    /// The chip dimensions of the grid.
+    #[must_use]
+    pub fn dims(&self) -> ChipDims {
+        self.dims
+    }
+
+    /// Value at `cell`, or `None` if off-chip.
+    #[must_use]
+    pub fn get(&self, cell: Cell) -> Option<&T> {
+        self.dims.index_of(cell).map(|i| &self.data[i])
+    }
+
+    /// Mutable value at `cell`, or `None` if off-chip.
+    pub fn get_mut(&mut self, cell: Cell) -> Option<&mut T> {
+        self.dims.index_of(cell).map(move |i| &mut self.data[i])
+    }
+
+    /// Checked access returning an error instead of `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GridIndexError`] if `cell` is off-chip.
+    pub fn try_get(&self, cell: Cell) -> Result<&T, GridIndexError> {
+        self.get(cell).ok_or(GridIndexError {
+            cell,
+            dims: self.dims,
+        })
+    }
+
+    /// Iterates over `(cell, value)` pairs in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (Cell, &T)> {
+        self.data
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (self.dims.cell_at(i), v))
+    }
+
+    /// Iterates over `(cell, value)` pairs mutably in row-major order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Cell, &mut T)> {
+        let dims = self.dims;
+        self.data
+            .iter_mut()
+            .enumerate()
+            .map(move |(i, v)| (dims.cell_at(i), v))
+    }
+
+    /// Iterates over `(cell, value)` pairs within `rect ∩ chip`.
+    pub fn iter_rect(&self, rect: Rect) -> impl Iterator<Item = (Cell, &T)> {
+        rect.intersection(self.dims.bounds())
+            .into_iter()
+            .flat_map(|r| r.cells())
+            .map(move |c| (c, &self[c]))
+    }
+
+    /// The raw row-major data slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Applies `f` to every value in place.
+    pub fn map_in_place(&mut self, mut f: impl FnMut(Cell, &mut T)) {
+        for (cell, v) in self.iter_mut() {
+            f(cell, v);
+        }
+    }
+
+    /// A new grid with `f` applied to every value.
+    #[must_use]
+    pub fn map<U>(&self, mut f: impl FnMut(Cell, &T) -> U) -> Grid<U> {
+        Grid {
+            dims: self.dims,
+            data: self
+                .data
+                .iter()
+                .enumerate()
+                .map(|(i, v)| f(self.dims.cell_at(i), v))
+                .collect(),
+        }
+    }
+}
+
+impl<T> Index<Cell> for Grid<T> {
+    type Output = T;
+
+    fn index(&self, cell: Cell) -> &T {
+        let i = self
+            .dims
+            .index_of(cell)
+            .unwrap_or_else(|| panic!("cell {cell} outside {} biochip", self.dims));
+        &self.data[i]
+    }
+}
+
+impl<T> IndexMut<Cell> for Grid<T> {
+    fn index_mut(&mut self, cell: Cell) -> &mut T {
+        let i = self
+            .dims
+            .index_of(cell)
+            .unwrap_or_else(|| panic!("cell {cell} outside {} biochip", self.dims));
+        &mut self.data[i]
+    }
+}
+
+impl Grid<bool> {
+    /// Number of `true` cells — e.g. actuated MCs in the actuation matrix.
+    #[must_use]
+    pub fn count_set(&self) -> usize {
+        self.data.iter().filter(|v| **v).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_fills_uniformly() {
+        let g = Grid::<f64>::new(ChipDims::new(3, 2), 1.5);
+        assert!(g.iter().all(|(_, v)| *v == 1.5));
+        assert_eq!(g.as_slice().len(), 6);
+    }
+
+    #[test]
+    fn from_fn_sees_correct_cells() {
+        let g = Grid::from_fn(ChipDims::new(4, 3), |c| c.x * 10 + c.y);
+        assert_eq!(g[Cell::new(1, 1)], 11);
+        assert_eq!(g[Cell::new(4, 3)], 43);
+    }
+
+    #[test]
+    fn fill_rect_clips_to_chip() {
+        let mut g = Grid::<bool>::new(ChipDims::new(4, 4), false);
+        let written = g.fill_rect(Rect::new(3, 3, 6, 6), true);
+        assert_eq!(written, 4); // only the on-chip 2x2 corner
+        assert_eq!(g.count_set(), 4);
+        assert!(g[Cell::new(4, 4)]);
+    }
+
+    #[test]
+    fn fill_rect_fully_off_chip_writes_nothing() {
+        let mut g = Grid::<bool>::new(ChipDims::new(4, 4), false);
+        assert_eq!(g.fill_rect(Rect::new(10, 10, 12, 12), true), 0);
+        assert_eq!(g.count_set(), 0);
+    }
+
+    #[test]
+    fn get_is_none_off_chip() {
+        let g = Grid::<u8>::new(ChipDims::new(2, 2), 7);
+        assert_eq!(g.get(Cell::new(0, 1)), None);
+        assert_eq!(g.get(Cell::new(2, 2)), Some(&7));
+        assert!(g.try_get(Cell::new(3, 1)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn index_panics_off_chip() {
+        let g = Grid::<u8>::new(ChipDims::new(2, 2), 0);
+        let _ = g[Cell::new(3, 3)];
+    }
+
+    #[test]
+    fn iter_rect_visits_intersection_only() {
+        let g = Grid::from_fn(ChipDims::new(5, 5), |c| c.x + c.y);
+        let cells: Vec<_> = g.iter_rect(Rect::new(4, 4, 9, 9)).collect();
+        assert_eq!(cells.len(), 4);
+    }
+
+    #[test]
+    fn map_preserves_dims() {
+        let g = Grid::from_fn(ChipDims::new(3, 3), |c| c.x);
+        let doubled = g.map(|_, v| v * 2);
+        assert_eq!(doubled[Cell::new(3, 1)], 6);
+        assert_eq!(doubled.dims(), g.dims());
+    }
+}

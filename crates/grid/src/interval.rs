@@ -1,0 +1,143 @@
+use std::fmt;
+
+/// The discrete interval `[[a, b]] = { x | a ≤ x ≤ b }` of Section II-A.
+///
+/// An interval with `a > b` is empty; this arises naturally in the frontier
+/// sets of morphing actions on minimal droplets (Table II), where e.g.
+/// `[[x_a^+, x_b]]` is empty when the droplet is one cell wide.
+///
+/// # Examples
+///
+/// ```
+/// use meda_grid::Interval;
+///
+/// let iv = Interval::new(3, 7);
+/// assert_eq!(iv.len(), 5);
+/// assert!(iv.contains(5));
+/// assert_eq!(iv.iter().collect::<Vec<_>>(), vec![3, 4, 5, 6, 7]);
+///
+/// let empty = Interval::new(4, 3);
+/// assert!(empty.is_empty());
+/// assert_eq!(empty.len(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Interval {
+    /// Lower endpoint (inclusive).
+    pub lo: i32,
+    /// Upper endpoint (inclusive).
+    pub hi: i32,
+}
+
+impl Interval {
+    /// Creates the interval `[[lo, hi]]`. If `lo > hi` the interval is empty.
+    #[must_use]
+    pub const fn new(lo: i32, hi: i32) -> Self {
+        Self { lo, hi }
+    }
+
+    /// Creates the single-point interval `[[v, v]]`.
+    #[must_use]
+    pub const fn point(v: i32) -> Self {
+        Self { lo: v, hi: v }
+    }
+
+    /// Number of integers in the interval (0 when empty).
+    #[must_use]
+    pub const fn len(&self) -> u32 {
+        if self.lo > self.hi {
+            0
+        } else {
+            (self.hi - self.lo) as u32 + 1
+        }
+    }
+
+    /// Whether the interval contains no integers.
+    #[must_use]
+    pub const fn is_empty(&self) -> bool {
+        self.lo > self.hi
+    }
+
+    /// Whether `v ∈ [[lo, hi]]`.
+    #[must_use]
+    pub const fn contains(&self, v: i32) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Intersection `[[lo, hi]] ∩ [[other.lo, other.hi]]` (possibly empty).
+    #[must_use]
+    pub fn intersect(&self, other: Self) -> Self {
+        Self::new(self.lo.max(other.lo), self.hi.min(other.hi))
+    }
+
+    /// Iterates over the integers in the interval in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = i32> + use<> {
+        self.lo..=self.hi
+    }
+}
+
+impl IntoIterator for Interval {
+    type Item = i32;
+    type IntoIter = std::ops::RangeInclusive<i32>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.lo..=self.hi
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[[{}, {}]]", self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_interval_has_one_element() {
+        let iv = Interval::point(9);
+        assert_eq!(iv.len(), 1);
+        assert!(iv.contains(9));
+        assert!(!iv.contains(8));
+    }
+
+    #[test]
+    fn empty_interval_contains_nothing() {
+        let iv = Interval::new(5, 2);
+        assert!(iv.is_empty());
+        assert!(!iv.contains(3));
+        assert_eq!(iv.iter().count(), 0);
+    }
+
+    #[test]
+    fn intersect_overlapping() {
+        let a = Interval::new(1, 6);
+        let b = Interval::new(4, 9);
+        assert_eq!(a.intersect(b), Interval::new(4, 6));
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let a = Interval::new(1, 3);
+        let b = Interval::new(5, 9);
+        assert!(a.intersect(b).is_empty());
+    }
+
+    #[test]
+    fn len_matches_iteration() {
+        for (lo, hi) in [(0, 0), (-3, 3), (2, 10), (7, 6)] {
+            let iv = Interval::new(lo, hi);
+            assert_eq!(iv.len() as usize, iv.iter().count());
+        }
+    }
+
+    #[test]
+    fn into_iterator_in_for_loop() {
+        let mut sum = 0;
+        for v in Interval::new(1, 4) {
+            sum += v;
+        }
+        assert_eq!(sum, 10);
+    }
+}

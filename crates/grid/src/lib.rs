@@ -1,0 +1,53 @@
+//! Biochip geometry substrate for the MEDA workspace.
+//!
+//! A micro-electrode-dot-array (MEDA) biochip is a `W × H` array of
+//! microelectrode cells (MCs). Everything else in this workspace — droplets,
+//! actuation patterns, degradation matrices, health matrices — is expressed
+//! over that array. This crate provides the shared vocabulary:
+//!
+//! * [`Cell`] — one microelectrode location `(x, y)`, 1-based like the paper;
+//! * [`Interval`] — the discrete interval `[[a, b]]` of Section II-A;
+//! * [`Rect`] — an axis-aligned rectangle `(xa, ya, xb, yb)`, the shape of
+//!   both droplets and hazard bounds (Section V-A);
+//! * [`ChipDims`] — the biochip dimensions `W × H`;
+//! * [`Grid`] — a dense row-major `W × H` matrix used for the actuation
+//!   matrix **U**, degradation matrix **D**, health matrix **H**, and the
+//!   actuation-count matrix **N**.
+//!
+//! Coordinates are `i32` rather than `u32` so that off-chip locations such as
+//! the dispensing start `(0, 0, 0, 0)` and frontier computations like
+//! `x - 1` (Table II of the paper) never underflow.
+//!
+//! # Examples
+//!
+//! ```
+//! use meda_grid::{Cell, ChipDims, Grid, Rect};
+//!
+//! let dims = ChipDims::new(60, 30);
+//! let droplet = Rect::new(3, 2, 7, 5);
+//! assert_eq!(droplet.width(), 5);
+//! assert_eq!(droplet.height(), 4);
+//! assert_eq!(droplet.area(), 20);
+//! assert!(dims.contains_rect(droplet));
+//!
+//! let mut actuation = Grid::<bool>::new(dims, false);
+//! actuation.fill_rect(droplet, true);
+//! assert!(actuation[Cell::new(3, 2)]);
+//! assert!(!actuation[Cell::new(2, 2)]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ascii;
+mod cell;
+mod dims;
+mod grid;
+mod interval;
+mod rect;
+
+pub use cell::Cell;
+pub use dims::ChipDims;
+pub use grid::{Grid, GridIndexError};
+pub use interval::Interval;
+pub use rect::{Rect, RectError};

@@ -1,0 +1,136 @@
+//! Property-based tests for the geometry substrate.
+
+use meda_grid::{Cell, ChipDims, Grid, Interval, Rect};
+use proptest::prelude::*;
+
+fn arb_cell() -> impl Strategy<Value = Cell> {
+    (-100i32..100, -100i32..100).prop_map(|(x, y)| Cell::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (-50i32..50, -50i32..50, 0i32..20, 0i32..20)
+        .prop_map(|(xa, ya, w, h)| Rect::new(xa, ya, xa + w, ya + h))
+}
+
+fn arb_dims() -> impl Strategy<Value = ChipDims> {
+    (1u32..40, 1u32..40).prop_map(|(w, h)| ChipDims::new(w, h))
+}
+
+proptest! {
+    #[test]
+    fn manhattan_distance_is_a_metric(a in arb_cell(), b in arb_cell(), c in arb_cell()) {
+        prop_assert_eq!(a.manhattan_distance(a), 0);
+        prop_assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+        prop_assert!(
+            a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c)
+        );
+    }
+
+    #[test]
+    fn chebyshev_never_exceeds_manhattan(a in arb_cell(), b in arb_cell()) {
+        prop_assert!(a.chebyshev_distance(b) <= a.manhattan_distance(b));
+        prop_assert!(a.manhattan_distance(b) <= 2 * a.chebyshev_distance(b));
+    }
+
+    #[test]
+    fn interval_len_matches_iteration(lo in -50i32..50, hi in -50i32..50) {
+        let iv = Interval::new(lo, hi);
+        prop_assert_eq!(iv.len() as usize, iv.iter().count());
+        prop_assert_eq!(iv.is_empty(), iv.iter().next().is_none());
+    }
+
+    #[test]
+    fn interval_intersection_is_commutative_and_contained(
+        a_lo in -30i32..30, a_hi in -30i32..30, b_lo in -30i32..30, b_hi in -30i32..30
+    ) {
+        let a = Interval::new(a_lo, a_hi);
+        let b = Interval::new(b_lo, b_hi);
+        prop_assert_eq!(a.intersect(b), b.intersect(a));
+        for v in a.intersect(b) {
+            prop_assert!(a.contains(v) && b.contains(v));
+        }
+    }
+
+    #[test]
+    fn rect_cells_count_equals_area(r in arb_rect()) {
+        prop_assert_eq!(r.cells().count() as u32, r.area());
+        prop_assert!(r.cells().all(|c| r.contains_cell(c)));
+    }
+
+    #[test]
+    fn rect_union_contains_both_and_is_minimal_along_axes(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(b);
+        prop_assert!(u.contains_rect(a));
+        prop_assert!(u.contains_rect(b));
+        prop_assert_eq!(u.xa, a.xa.min(b.xa));
+        prop_assert_eq!(u.yb, a.yb.max(b.yb));
+    }
+
+    #[test]
+    fn rect_intersection_consistent_with_intersects(a in arb_rect(), b in arb_rect()) {
+        match a.intersection(b) {
+            Some(i) => {
+                prop_assert!(a.intersects(b));
+                prop_assert!(a.contains_rect(i) && b.contains_rect(i));
+            }
+            None => prop_assert!(!a.intersects(b)),
+        }
+    }
+
+    #[test]
+    fn rect_manhattan_gap_is_symmetric_and_zero_iff_intersecting(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.manhattan_gap(b), b.manhattan_gap(a));
+        prop_assert_eq!(a.manhattan_gap(b) == 0, a.intersects(b));
+    }
+
+    #[test]
+    fn rect_translate_preserves_shape(r in arb_rect(), dx in -20i32..20, dy in -20i32..20) {
+        let t = r.translate(dx, dy);
+        prop_assert_eq!(t.width(), r.width());
+        prop_assert_eq!(t.height(), r.height());
+        prop_assert_eq!(t.area(), r.area());
+        prop_assert_eq!(t.translate(-dx, -dy), r);
+    }
+
+    #[test]
+    fn centered_at_roundtrips_center(cx in -20.0f64..20.0, cy in -20.0f64..20.0,
+                                     w in 1u32..10, h in 1u32..10) {
+        // Snap the requested center to the representable half-cell grid.
+        let r = Rect::centered_at(cx, cy, w, h);
+        let (rx, ry) = r.center();
+        prop_assert!((rx - cx).abs() <= 0.5 + 1e-9);
+        prop_assert!((ry - cy).abs() <= 0.5 + 1e-9);
+        prop_assert_eq!((r.width(), r.height()), (w, h));
+    }
+
+    #[test]
+    fn dims_index_roundtrip(dims in arb_dims()) {
+        for idx in 0..dims.cell_count() {
+            let cell = dims.cell_at(idx);
+            prop_assert_eq!(dims.index_of(cell), Some(idx));
+            prop_assert!(dims.contains(cell));
+        }
+    }
+
+    #[test]
+    fn grid_fill_rect_writes_exactly_the_clipped_intersection(
+        dims in arb_dims(), r in arb_rect()
+    ) {
+        let mut g = Grid::<bool>::new(dims, false);
+        let written = g.fill_rect(r, true);
+        let expected = r
+            .intersection(dims.bounds())
+            .map_or(0, |c| c.area() as usize);
+        prop_assert_eq!(written, expected);
+        prop_assert_eq!(g.count_set(), expected);
+    }
+
+    #[test]
+    fn grid_map_preserves_structure(dims in arb_dims(), offset in -5i32..5) {
+        let g = Grid::from_fn(dims, |c| c.x + c.y);
+        let mapped = g.map(|_, v| v + offset);
+        for (cell, v) in g.iter() {
+            prop_assert_eq!(mapped[cell], v + offset);
+        }
+    }
+}

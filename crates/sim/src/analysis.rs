@@ -1,0 +1,162 @@
+//! Wear-distribution analysis: how evenly a router spreads actuation
+//! across the chip. Uneven wear is what kills biochips early (the
+//! "excessive actuation of the same set of MCs" of Section VII-C), so the
+//! spread — not just the total — is the lifetime-relevant statistic.
+
+use meda_grid::Cell;
+
+use crate::Biochip;
+
+/// Summary statistics of a chip's actuation-count distribution **N**.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearStats {
+    /// Total actuations across the chip.
+    pub total: u64,
+    /// Number of MCs actuated at least once.
+    pub touched: usize,
+    /// Maximum per-MC actuation count.
+    pub max: u64,
+    /// Mean actuations over *touched* MCs.
+    pub mean_touched: f64,
+    /// Gini coefficient of the per-MC actuation counts over the whole chip
+    /// (0 = perfectly even wear, → 1 = all wear on one MC).
+    pub gini: f64,
+    /// The most-worn cells, descending, up to 8.
+    pub hottest: Vec<(Cell, u64)>,
+}
+
+/// Computes wear statistics from a chip's actuation counts.
+///
+/// # Examples
+///
+/// ```
+/// use meda_grid::{ChipDims, Grid, Rect};
+/// use meda_sim::{analysis, Biochip, DegradationConfig};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut chip = Biochip::generate(ChipDims::new(8, 8), &DegradationConfig::pristine(), &mut rng);
+/// let mut pattern = Grid::new(chip.dims(), false);
+/// pattern.fill_rect(Rect::new(1, 1, 2, 2), true);
+/// chip.apply_actuation(&pattern);
+///
+/// let stats = analysis::wear_stats(&chip);
+/// assert_eq!(stats.total, 4);
+/// assert_eq!(stats.touched, 4);
+/// assert!(stats.gini > 0.9, "4 of 64 cells carry all the wear");
+/// ```
+#[must_use]
+pub fn wear_stats(chip: &Biochip) -> WearStats {
+    let dims = chip.dims();
+    let mut counts: Vec<(Cell, u64)> = dims.cells().map(|c| (c, chip.actuation_count(c))).collect();
+    let total: u64 = counts.iter().map(|(_, n)| n).sum();
+    let touched = counts.iter().filter(|(_, n)| *n > 0).count();
+    let max = counts.iter().map(|(_, n)| *n).max().unwrap_or(0);
+    let mean_touched = if touched == 0 {
+        0.0
+    } else {
+        total as f64 / touched as f64
+    };
+
+    // Gini via the sorted-rank formula.
+    let gini = if total == 0 {
+        0.0
+    } else {
+        let mut values: Vec<u64> = counts.iter().map(|(_, n)| *n).collect();
+        values.sort_unstable();
+        let n = values.len() as f64;
+        let weighted: f64 = values
+            .iter()
+            .enumerate()
+            .map(|(rank, &v)| (rank as f64 + 1.0) * v as f64)
+            .sum();
+        (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+    };
+
+    counts.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    counts.truncate(8);
+    counts.retain(|(_, n)| *n > 0);
+
+    WearStats {
+        total,
+        touched,
+        max,
+        mean_touched,
+        gini,
+        hottest: counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DegradationConfig;
+    use meda_grid::{ChipDims, Grid, Rect};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chip_with(patterns: &[(Rect, u32)]) -> Biochip {
+        let dims = ChipDims::new(10, 10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut chip = Biochip::generate(dims, &DegradationConfig::pristine(), &mut rng);
+        for (rect, reps) in patterns {
+            let mut p = Grid::new(dims, false);
+            p.fill_rect(*rect, true);
+            for _ in 0..*reps {
+                chip.apply_actuation(&p);
+            }
+        }
+        chip
+    }
+
+    #[test]
+    fn untouched_chip_has_zero_wear() {
+        let stats = wear_stats(&chip_with(&[]));
+        assert_eq!(stats.total, 0);
+        assert_eq!(stats.touched, 0);
+        assert_eq!(stats.gini, 0.0);
+        assert!(stats.hottest.is_empty());
+    }
+
+    #[test]
+    fn uniform_wear_has_zero_gini() {
+        let stats = wear_stats(&chip_with(&[(Rect::new(1, 1, 10, 10), 5)]));
+        assert_eq!(stats.total, 500);
+        assert_eq!(stats.touched, 100);
+        assert!(stats.gini.abs() < 1e-9);
+        assert_eq!(stats.mean_touched, 5.0);
+    }
+
+    #[test]
+    fn concentrated_wear_has_high_gini() {
+        let stats = wear_stats(&chip_with(&[(Rect::new(5, 5, 5, 5), 100)]));
+        assert_eq!(stats.touched, 1);
+        assert_eq!(stats.max, 100);
+        assert!(stats.gini > 0.98, "gini = {}", stats.gini);
+        assert_eq!(stats.hottest[0], (meda_grid::Cell::new(5, 5), 100));
+    }
+
+    #[test]
+    fn gini_orders_spreading_correctly() {
+        let narrow = wear_stats(&chip_with(&[(Rect::new(1, 1, 2, 2), 25)]));
+        let wide = wear_stats(&chip_with(&[(Rect::new(1, 1, 5, 5), 4)]));
+        assert_eq!(narrow.total, wide.total);
+        assert!(
+            narrow.gini > wide.gini,
+            "narrow {} vs wide {}",
+            narrow.gini,
+            wide.gini
+        );
+    }
+
+    #[test]
+    fn hottest_is_sorted_descending_and_capped() {
+        let stats = wear_stats(&chip_with(&[
+            (Rect::new(1, 1, 3, 3), 2),
+            (Rect::new(1, 1, 1, 1), 10),
+        ]));
+        assert!(stats.hottest.len() <= 8);
+        assert!(stats.hottest.windows(2).all(|w| w[0].1 >= w[1].1));
+        assert_eq!(stats.hottest[0].1, 12);
+    }
+}

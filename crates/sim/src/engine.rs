@@ -1,0 +1,488 @@
+use rand::Rng;
+
+use meda_bioassay::{BioassayPlan, RoutingJob};
+use meda_core::{transitions, Action, Dir};
+use meda_grid::{Grid, Rect};
+
+use crate::{Biochip, FifoScheduler, MoScheduler, Router};
+
+/// Configuration of a bioassay execution run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Maximum total cycles before the run is aborted (the paper uses
+    /// 1,000 for the Fig. 16 trials).
+    pub k_max: u64,
+    /// Record the actuation matrix **U** of every cycle (needed by the
+    /// Fig. 3 correlation analysis; costs memory).
+    pub record_actuation: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            k_max: 1_000,
+            record_actuation: false,
+        }
+    }
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Every microfluidic operation completed.
+    Success,
+    /// The cycle budget `k_max` was exhausted (stuck droplet or excessive
+    /// degradation).
+    CycleLimit,
+    /// The router declared a job infeasible (e.g. a fault wall with no
+    /// detour).
+    NoRoute,
+}
+
+/// The result of executing one bioassay on one chip.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Total operational cycles consumed.
+    pub cycles: u64,
+    /// Terminal status.
+    pub status: RunStatus,
+    /// Per-cycle actuation matrices, if recording was enabled.
+    pub trace: Option<Vec<Grid<bool>>>,
+}
+
+impl RunOutcome {
+    /// Whether the bioassay completed successfully.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        self.status == RunStatus::Success
+    }
+}
+
+/// Executes planned bioassays cycle by cycle — the control flow of Fig. 14
+/// and Algorithm 3.
+///
+/// Per cycle, the actuation matrix **U** is the union of the moving
+/// droplet's commanded pattern and the hold patterns of every other on-chip
+/// droplet (the paper's no-free-roaming rule: idle droplets are actuated in
+/// place, wearing their MCs). The moving droplet's outcome is sampled from
+/// the chip's hidden degradation matrix **D**; the router only ever sees
+/// the quantized health matrix **H**.
+///
+/// Operations execute when ready (all predecessors done), ordered by the
+/// active [`MoScheduler`] — plan order by default; droplets waiting for a
+/// partner are held in place.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BioassayRunner {
+    config: RunConfig,
+}
+
+impl BioassayRunner {
+    /// Creates a runner.
+    #[must_use]
+    pub fn new(config: RunConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs `plan` on `chip` with `router` in plan (FIFO) order, consuming
+    /// randomness from `rng`. The chip keeps its accumulated wear
+    /// afterwards, so repeated calls model biochip reuse (Section VII-B).
+    pub fn run(
+        &self,
+        plan: &BioassayPlan,
+        chip: &mut Biochip,
+        router: &mut dyn Router,
+        rng: &mut impl Rng,
+    ) -> RunOutcome {
+        self.run_with_scheduler(plan, chip, router, &mut FifoScheduler::new(), rng)
+    }
+
+    /// [`BioassayRunner::run`] with a runtime operation scheduler: each
+    /// step, the scheduler picks which *ready* operation (all of its input
+    /// droplets parked on chip) executes next — the paper-conclusion
+    /// extension implemented by
+    /// [`HealthAwareScheduler`](crate::HealthAwareScheduler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan deadlocks (an operation's inputs can never all
+    /// be produced) — impossible for plans from a validated sequencing
+    /// graph.
+    pub fn run_with_scheduler(
+        &self,
+        plan: &BioassayPlan,
+        chip: &mut Biochip,
+        router: &mut dyn Router,
+        scheduler: &mut dyn MoScheduler,
+        rng: &mut impl Rng,
+    ) -> RunOutcome {
+        let mut state = RunState {
+            cycles: 0,
+            resting: Vec::new(),
+            trace: self.config.record_actuation.then(Vec::new),
+        };
+        let total = plan.operations().len();
+        let mut done = vec![false; total];
+        let mut completed = 0;
+
+        while completed < total {
+            // Algorithm 3's readiness check: every predecessor operation is
+            // done (not droplet-value matching — distinct droplets can park
+            // at identical rectangles, e.g. before and after an in-place
+            // magnetic operation).
+            let ready: Vec<usize> = plan
+                .operations()
+                .iter()
+                .filter(|mo| !done[mo.id] && mo.pre.iter().all(|&p| done[p]))
+                .map(|mo| mo.id)
+                .collect();
+            assert!(!ready.is_empty(), "bioassay plan deadlocked");
+            debug_assert!(ready
+                .iter()
+                .all(|&id| inputs_available(&plan.operations()[id].inputs, &state.resting)));
+            let picked = scheduler.pick(&ready, plan, &chip.health_field());
+            debug_assert!(ready.contains(&picked), "scheduler picked a non-ready op");
+            let mo = &plan.operations()[picked];
+            // Consume this operation's inputs: they stop being held and
+            // become the routed droplets (or pieces) of its jobs.
+            for input in &mo.inputs {
+                if let Some(pos) = state.resting.iter().position(|r| r == input) {
+                    state.resting.swap_remove(pos);
+                }
+            }
+
+            let mut arrived: Vec<Rect> = Vec::new();
+            for (job_idx, job) in mo.jobs.iter().enumerate() {
+                // Everything else on the chip is held in place this job:
+                // parked outputs, this operation's not-yet-routed droplets,
+                // and already-arrived partners.
+                let mut held = state.resting.clone();
+                held.extend(
+                    mo.jobs[job_idx + 1..]
+                        .iter()
+                        .map(|j| j.start)
+                        .filter(|r| !r.is_off_chip_origin()),
+                );
+                held.extend(arrived.iter().copied());
+
+                let landed = if job.is_dispense() {
+                    self.run_dispense(job, chip, &held, rng, &mut state)
+                } else {
+                    self.run_routed(job, chip, router, &held, rng, &mut state)
+                };
+                match landed {
+                    Ok(rect) => arrived.push(rect),
+                    Err(status) => {
+                        return RunOutcome {
+                            cycles: state.cycles,
+                            status,
+                            trace: state.trace,
+                        }
+                    }
+                }
+            }
+            // The module itself now runs (mixing loops, incubation, …),
+            // actuating its droplets in place for the operation's duration
+            // while everything else on the chip is held.
+            for _ in 0..mo.op.execution_cycles() {
+                if state.cycles >= self.config.k_max {
+                    return RunOutcome {
+                        cycles: state.cycles,
+                        status: RunStatus::CycleLimit,
+                        trace: state.trace,
+                    };
+                }
+                let mut pattern = Grid::new(chip.dims(), false);
+                for rect in state.resting.iter().chain(mo.outputs.iter()) {
+                    pattern.fill_rect(*rect, true);
+                }
+                chip.apply_actuation(&pattern);
+                state.cycles += 1;
+                if let Some(trace) = state.trace.as_mut() {
+                    trace.push(pattern);
+                }
+            }
+
+            // The operation completes: its outputs appear, arrivals merge
+            // or exit.
+            state.resting.extend(mo.outputs.iter().copied());
+            done[picked] = true;
+            completed += 1;
+        }
+
+        RunOutcome {
+            cycles: state.cycles,
+            status: RunStatus::Success,
+            trace: state.trace,
+        }
+    }
+
+    /// Dispensing (Section VI-B): the droplet enters from the nearest chip
+    /// edge and is pushed perpendicular to it; each step still samples the
+    /// EWOD outcome, so a degraded dispense corridor slows entry.
+    fn run_dispense(
+        &self,
+        job: &RoutingJob,
+        chip: &mut Biochip,
+        held: &[Rect],
+        rng: &mut impl Rng,
+        state: &mut RunState,
+    ) -> Result<Rect, RunStatus> {
+        let goal = job.goal;
+        let dims = chip.dims();
+        // Distance to each edge and the inward push direction.
+        let to_edges = [
+            (goal.ya - 1, Dir::N),
+            (dims.height as i32 - goal.yb, Dir::S),
+            (goal.xa - 1, Dir::E),
+            (dims.width as i32 - goal.xb, Dir::W),
+        ];
+        let &(dist, dir) = to_edges.iter().min_by_key(|(d, _)| *d).expect("four edges");
+        let (dx, dy) = dir.delta();
+        let mut droplet = goal.translate(-dx * dist, -dy * dist);
+
+        while droplet != goal {
+            if state.cycles >= self.config.k_max {
+                return Err(RunStatus::CycleLimit);
+            }
+            let action = Action::Move(dir);
+            self.actuate(chip, action.apply(droplet), held, state);
+            droplet = sample_outcome(droplet, action, chip, rng);
+        }
+        Ok(goal)
+    }
+
+    /// A routed (non-dispense) job under the router's control.
+    fn run_routed(
+        &self,
+        job: &RoutingJob,
+        chip: &mut Biochip,
+        router: &mut dyn Router,
+        held: &[Rect],
+        rng: &mut impl Rng,
+        state: &mut RunState,
+    ) -> Result<Rect, RunStatus> {
+        if !router.begin_job(job, &chip.health_field()) {
+            return Err(RunStatus::NoRoute);
+        }
+        let mut droplet = job.start;
+        while !job.goal.contains_rect(droplet) {
+            if state.cycles >= self.config.k_max {
+                return Err(RunStatus::CycleLimit);
+            }
+            let Some(action) = router.next_action(droplet, &chip.health_field()) else {
+                return Err(RunStatus::NoRoute);
+            };
+            self.actuate(chip, action.apply(droplet), held, state);
+            droplet = sample_outcome(droplet, action, chip, rng);
+        }
+        Ok(droplet)
+    }
+
+    /// Builds and applies one cycle's actuation matrix: the commanded
+    /// pattern plus hold patterns for every waiting droplet.
+    fn actuate(&self, chip: &mut Biochip, command: Rect, held: &[Rect], state: &mut RunState) {
+        let mut pattern = Grid::new(chip.dims(), false);
+        pattern.fill_rect(command, true);
+        for rect in held {
+            pattern.fill_rect(*rect, true);
+        }
+        chip.apply_actuation(&pattern);
+        state.cycles += 1;
+        if let Some(trace) = state.trace.as_mut() {
+            trace.push(pattern);
+        }
+    }
+}
+
+struct RunState {
+    cycles: u64,
+    resting: Vec<Rect>,
+    trace: Option<Vec<Grid<bool>>>,
+}
+
+/// Whether every input rectangle is currently parked (multiset
+/// containment: duplicated rects need duplicated parkings).
+fn inputs_available(inputs: &[Rect], resting: &[Rect]) -> bool {
+    let mut pool = resting.to_vec();
+    inputs.iter().all(|input| {
+        if let Some(pos) = pool.iter().position(|r| r == input) {
+            pool.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    })
+}
+
+/// Samples the droplet's next location from the Section V-B outcome
+/// distribution under the chip's ground-truth degradation.
+fn sample_outcome(droplet: Rect, action: Action, chip: &Biochip, rng: &mut impl Rng) -> Rect {
+    let field = chip.degradation_field();
+    let outcomes = transitions(droplet, action, &field);
+    let mut roll: f64 = rng.gen();
+    for outcome in &outcomes {
+        if roll < outcome.probability {
+            return outcome.droplet;
+        }
+        roll -= outcome.probability;
+    }
+    outcomes.last().map_or(droplet, |o| o.droplet)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdaptiveConfig, AdaptiveRouter, BaselineRouter, DegradationConfig};
+    use meda_bioassay::{benchmarks, RjHelper};
+    use meda_grid::ChipDims;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plan(sg: &meda_bioassay::SequencingGraph) -> BioassayPlan {
+        RjHelper::new(ChipDims::PAPER).plan(sg).unwrap()
+    }
+
+    #[test]
+    fn master_mix_succeeds_on_pristine_chip_with_baseline() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::pristine(), &mut rng);
+        let mut router = BaselineRouter::new();
+        let outcome = BioassayRunner::new(RunConfig::default()).run(
+            &plan(&benchmarks::master_mix()),
+            &mut chip,
+            &mut router,
+            &mut rng,
+        );
+        assert!(outcome.is_success(), "{:?}", outcome.status);
+        assert!(outcome.cycles > 0);
+    }
+
+    #[test]
+    fn master_mix_succeeds_with_adaptive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
+        let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+        let outcome = BioassayRunner::new(RunConfig::default()).run(
+            &plan(&benchmarks::master_mix()),
+            &mut chip,
+            &mut router,
+            &mut rng,
+        );
+        assert!(outcome.is_success(), "{:?}", outcome.status);
+    }
+
+    #[test]
+    fn all_benchmarks_complete_on_pristine_chip() {
+        for sg in benchmarks::evaluation_suite() {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut chip =
+                Biochip::generate(ChipDims::PAPER, &DegradationConfig::pristine(), &mut rng);
+            let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+            let outcome = BioassayRunner::new(RunConfig::default()).run(
+                &plan(&sg),
+                &mut chip,
+                &mut router,
+                &mut rng,
+            );
+            assert!(
+                outcome.is_success(),
+                "{} -> {:?}",
+                sg.name(),
+                outcome.status
+            );
+        }
+    }
+
+    #[test]
+    fn runs_accumulate_wear_on_the_same_chip() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
+        let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+        let runner = BioassayRunner::new(RunConfig::default());
+        let p = plan(&benchmarks::covid_rat());
+        let _ = runner.run(&p, &mut chip, &mut router, &mut rng);
+        let wear_after_one = chip.total_actuations();
+        let _ = runner.run(&p, &mut chip, &mut router, &mut rng);
+        assert!(chip.total_actuations() > wear_after_one);
+    }
+
+    #[test]
+    fn trace_records_one_pattern_per_cycle() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::pristine(), &mut rng);
+        let mut router = BaselineRouter::new();
+        let outcome = BioassayRunner::new(RunConfig {
+            record_actuation: true,
+            ..RunConfig::default()
+        })
+        .run(
+            &plan(&benchmarks::covid_rat()),
+            &mut chip,
+            &mut router,
+            &mut rng,
+        );
+        let trace = outcome.trace.expect("recording enabled");
+        assert_eq!(trace.len() as u64, outcome.cycles);
+        assert!(trace.iter().all(|u| u.count_set() > 0));
+    }
+
+    #[test]
+    fn dispense_enters_from_the_nearest_edge() {
+        // Goals hugging each edge must sweep in perpendicular to it: the
+        // swept corridor (and nothing across the chip) accumulates wear.
+        let dims = ChipDims::new(20, 20);
+        let cases = [
+            (Rect::new(9, 2, 12, 5), "south"),
+            (Rect::new(9, 16, 12, 19), "north"),
+            (Rect::new(2, 9, 5, 12), "west"),
+            (Rect::new(16, 9, 19, 12), "east"),
+        ];
+        for (goal, edge) in cases {
+            let mut rng = StdRng::seed_from_u64(8);
+            let mut chip = Biochip::generate(dims, &DegradationConfig::pristine(), &mut rng);
+            let mut sg = meda_bioassay::SequencingGraph::new("edge");
+            let (cx, cy) = goal.center();
+            sg.dispense((cx, cy), (4, 4));
+            let plan = RjHelper::new(dims).plan(&sg).unwrap();
+            let mut router = BaselineRouter::new();
+            let outcome = BioassayRunner::new(RunConfig::default()).run(
+                &plan,
+                &mut chip,
+                &mut router,
+                &mut rng,
+            );
+            assert!(outcome.is_success(), "{edge}");
+            // Each sweep step actuates its *target* pattern (U(a(δ)) = 1),
+            // and these goals sit one cell from their edge, so the worn
+            // region is exactly the goal rectangle — nothing across the
+            // chip.
+            for cell in dims.cells() {
+                let worn = chip.actuation_count(cell) > 0;
+                assert_eq!(
+                    worn,
+                    goal.contains_cell(cell),
+                    "{edge}: unexpected wear state at {cell}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_cycle_budget_aborts() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::pristine(), &mut rng);
+        let mut router = BaselineRouter::new();
+        let outcome = BioassayRunner::new(RunConfig {
+            k_max: 3,
+            ..RunConfig::default()
+        })
+        .run(
+            &plan(&benchmarks::master_mix()),
+            &mut chip,
+            &mut router,
+            &mut rng,
+        );
+        assert_eq!(outcome.status, RunStatus::CycleLimit);
+        assert!(outcome.cycles <= 3);
+    }
+}

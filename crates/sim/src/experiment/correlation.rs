@@ -1,0 +1,177 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use meda_bioassay::BioassayPlan;
+use meda_grid::{Cell, ChipDims};
+
+use crate::{BaselineRouter, BioassayRunner, Biochip, DegradationConfig, RunConfig};
+
+/// One point of the Fig. 3 study: the mean Pearson correlation between the
+/// actuation vectors of MC pairs at a given Manhattan distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorrelationPoint {
+    /// Manhattan distance between the paired MCs.
+    pub distance: u32,
+    /// Mean correlation coefficient over all (variance-bearing) pairs.
+    pub coefficient: f64,
+    /// Number of pairs contributing.
+    pub pairs: usize,
+}
+
+/// The Section III-C degradation-pattern study: execute a bioassay on a
+/// pristine chip, record each MC's actuation vector `A_ij ∈ {0,1}^N`, and
+/// compute the mean correlation coefficient `ρ` between MCs at Manhattan
+/// distances `distances` (the paper uses 1–5).
+///
+/// Pairs where either MC was never actuated (zero variance) are skipped:
+/// `ρ` is undefined there, and including the chip's idle margins would just
+/// measure placement, not actuation clustering.
+///
+/// # Panics
+///
+/// Panics if the bioassay does not complete (it runs on a pristine chip, so
+/// only a malformed plan can fail).
+pub fn actuation_correlation(
+    plan: &BioassayPlan,
+    dims: ChipDims,
+    distances: &[u32],
+    seed: u64,
+) -> Vec<CorrelationPoint> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut chip = Biochip::generate(dims, &DegradationConfig::pristine(), &mut rng);
+    let mut router = BaselineRouter::new();
+    let outcome = BioassayRunner::new(RunConfig {
+        k_max: 10_000,
+        record_actuation: true,
+    })
+    .run(plan, &mut chip, &mut router, &mut rng);
+    assert!(
+        outcome.is_success(),
+        "correlation study requires a completed run, got {:?}",
+        outcome.status
+    );
+    let trace = outcome.trace.expect("recording enabled");
+    let cycles = trace.len();
+
+    // Per-cell actuation counts and per-pair overlap come from the boolean
+    // trace; Pearson over {0,1} vectors needs only Σx, Σy, and Σxy.
+    let n_cells = dims.cell_count();
+    let mut ones = vec![0u32; n_cells];
+    for pattern in &trace {
+        for (idx, &on) in pattern.as_slice().iter().enumerate() {
+            if on {
+                ones[idx] += 1;
+            }
+        }
+    }
+
+    let overlap = |a: usize, b: usize| -> u32 {
+        trace
+            .iter()
+            .filter(|p| p.as_slice()[a] && p.as_slice()[b])
+            .count() as u32
+    };
+
+    distances
+        .iter()
+        .map(|&d| {
+            // Each unordered pair is visited once via the canonical
+            // half-plane of offsets: dx > 0, or dx == 0 and dy > 0.
+            let mut offsets = Vec::new();
+            for dx in 1..=d as i32 {
+                let rem = d as i32 - dx;
+                offsets.push((dx, rem));
+                if rem > 0 {
+                    offsets.push((dx, -rem));
+                }
+            }
+            offsets.push((0, d as i32));
+
+            let mut sum = 0.0;
+            let mut pairs = 0usize;
+            for idx in 0..n_cells {
+                if ones[idx] == 0 {
+                    continue;
+                }
+                let cell = dims.cell_at(idx);
+                for &(dx, dy) in &offsets {
+                    let other = Cell::new(cell.x + dx, cell.y + dy);
+                    let Some(jdx) = dims.index_of(other) else {
+                        continue;
+                    };
+                    if ones[jdx] == 0 {
+                        continue;
+                    }
+                    if let Some(rho) =
+                        pearson_boolean(cycles as u32, ones[idx], ones[jdx], overlap(idx, jdx))
+                    {
+                        sum += rho;
+                        pairs += 1;
+                    }
+                }
+            }
+            CorrelationPoint {
+                distance: d,
+                coefficient: if pairs > 0 { sum / pairs as f64 } else { 0.0 },
+                pairs,
+            }
+        })
+        .collect()
+}
+
+/// Pearson correlation of two boolean vectors of length `n` with `sx`/`sy`
+/// ones and `sxy` co-occurrences; `None` when either is constant.
+fn pearson_boolean(n: u32, sx: u32, sy: u32, sxy: u32) -> Option<f64> {
+    let (n, sx, sy, sxy) = (f64::from(n), f64::from(sx), f64::from(sy), f64::from(sxy));
+    let var_x = n * sx - sx * sx;
+    let var_y = n * sy - sy * sy;
+    if var_x <= 0.0 || var_y <= 0.0 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / (var_x * var_y).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meda_bioassay::{benchmarks, RjHelper};
+
+    #[test]
+    fn pearson_boolean_basics() {
+        // Identical vectors correlate perfectly.
+        assert!((pearson_boolean(10, 4, 4, 4).unwrap() - 1.0).abs() < 1e-12);
+        // Disjoint vectors anticorrelate.
+        assert!(pearson_boolean(10, 5, 5, 0).unwrap() < -0.9);
+        // Constant vectors are undefined.
+        assert_eq!(pearson_boolean(10, 0, 4, 0), None);
+        assert_eq!(pearson_boolean(10, 10, 4, 4), None);
+    }
+
+    #[test]
+    fn adjacent_cells_correlate_more_than_distant_ones() {
+        let plan = RjHelper::new(ChipDims::PAPER)
+            .plan(&benchmarks::chip_assay((4, 4)))
+            .unwrap();
+        let points = actuation_correlation(&plan, ChipDims::PAPER, &[1, 5], 9);
+        assert!(points[0].pairs > 0 && points[1].pairs > 0);
+        assert!(
+            points[0].coefficient > points[1].coefficient,
+            "d=1 ({:.3}) should beat d=5 ({:.3})",
+            points[0].coefficient,
+            points[1].coefficient
+        );
+    }
+
+    #[test]
+    fn larger_droplets_correlate_more() {
+        // The Fig. 3 trend: the correlation at fixed distance grows with
+        // droplet size.
+        let corr_for = |size: (u32, u32)| {
+            let plan = RjHelper::new(ChipDims::PAPER)
+                .plan(&benchmarks::chip_assay(size))
+                .unwrap();
+            actuation_correlation(&plan, ChipDims::PAPER, &[3], 5)[0].coefficient
+        };
+        assert!(corr_for((6, 6)) > corr_for((3, 3)));
+    }
+}

@@ -1,0 +1,11 @@
+//! The paper's evaluation experiments (Section VII): the Fig. 15
+//! probability-of-success sweep, the Fig. 16 fault-injection trials, and
+//! the Fig. 3 actuation-correlation study.
+
+mod correlation;
+mod pos;
+mod trials;
+
+pub use correlation::{actuation_correlation, CorrelationPoint};
+pub use pos::{pos_sweep, PosPoint};
+pub use trials::{fault_trials, TrialStats};

@@ -1,0 +1,154 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use meda_bioassay::BioassayPlan;
+use meda_grid::ChipDims;
+
+use crate::{BioassayRunner, Biochip, DegradationConfig, Router, RunConfig};
+
+/// One point of the Fig. 15 curve: the probability of successful bioassay
+/// completion (PoS) at a given cycle budget `k_max`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PosPoint {
+    /// The per-run cycle budget.
+    pub k_max: u64,
+    /// Fraction of runs (across chips and repeated executions) that
+    /// completed within the budget.
+    pub pos: f64,
+}
+
+/// The Fig. 15 experiment: repeatedly execute a bioassay on reused
+/// (progressively degrading) biochips and measure the probability that a
+/// run completes within `k_max`, for each budget in `k_values`.
+///
+/// Per budget, `chips` fresh biochips are generated (seeded from `seed`),
+/// and each executes the bioassay `runs_per_chip` times back-to-back with a
+/// fresh router from `make_router` — the reuse scenario of Section VII-B,
+/// where a CMOS chip should serve e.g. a whole diagnostic panel.
+///
+/// # Panics
+///
+/// Panics if `chips == 0` or `runs_per_chip == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn pos_sweep<R: Router>(
+    plan: &BioassayPlan,
+    dims: ChipDims,
+    degradation: &DegradationConfig,
+    make_router: impl Fn() -> R + Sync,
+    k_values: &[u64],
+    runs_per_chip: u32,
+    chips: u32,
+    seed: u64,
+) -> Vec<PosPoint> {
+    assert!(chips > 0 && runs_per_chip > 0, "need at least one run");
+
+    // Each (budget, chip) cell is independent — per-cell chip, router, and
+    // seeded RNG — so cells fan out across cores with results identical to
+    // a serial sweep.
+    let run_cell = |(k_max, chip_idx): (u64, u32)| -> u32 {
+        let runner = BioassayRunner::new(RunConfig {
+            k_max,
+            record_actuation: false,
+        });
+        let mut rng = StdRng::seed_from_u64(
+            seed ^ (u64::from(chip_idx) << 32) ^ k_max.wrapping_mul(0x9e37_79b9),
+        );
+        let mut chip = Biochip::generate(dims, degradation, &mut rng);
+        let mut router = make_router();
+        let mut successes = 0u32;
+        for _ in 0..runs_per_chip {
+            if runner
+                .run(plan, &mut chip, &mut router, &mut rng)
+                .is_success()
+            {
+                successes += 1;
+            }
+        }
+        successes
+    };
+
+    let cells: Vec<(u64, u32)> = k_values
+        .iter()
+        .flat_map(|&k| (0..chips).map(move |c| (k, c)))
+        .collect();
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let chunk = cells.len().div_ceil(threads).max(1);
+    let per_cell: Vec<((u64, u32), u32)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .chunks(chunk)
+            .map(|batch| {
+                let run_cell = &run_cell;
+                scope.spawn(move |_| {
+                    batch
+                        .iter()
+                        .map(|&cell| (cell, run_cell(cell)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep thread panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+
+    k_values
+        .iter()
+        .map(|&k_max| {
+            let successes: u32 = per_cell
+                .iter()
+                .filter(|((k, _), _)| *k == k_max)
+                .map(|(_, s)| s)
+                .sum();
+            PosPoint {
+                k_max,
+                pos: f64::from(successes) / f64::from(chips * runs_per_chip),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdaptiveConfig, AdaptiveRouter, BaselineRouter};
+    use meda_bioassay::{benchmarks, RjHelper};
+
+    fn plan() -> BioassayPlan {
+        RjHelper::new(ChipDims::PAPER)
+            .plan(&benchmarks::master_mix())
+            .unwrap()
+    }
+
+    #[test]
+    fn pos_is_monotone_in_k_max_on_a_pristine_chip() {
+        let points = pos_sweep(
+            &plan(),
+            ChipDims::PAPER,
+            &DegradationConfig::pristine(),
+            BaselineRouter::new,
+            &[10, 1_000],
+            2,
+            2,
+            42,
+        );
+        assert!(points[0].pos < points[1].pos);
+        assert_eq!(points[1].pos, 1.0, "pristine chip always completes");
+    }
+
+    #[test]
+    fn adaptive_reaches_full_pos_with_ample_budget() {
+        let points = pos_sweep(
+            &plan(),
+            ChipDims::PAPER,
+            &DegradationConfig::paper(),
+            || AdaptiveRouter::new(AdaptiveConfig::paper()),
+            &[2_000],
+            2,
+            2,
+            7,
+        );
+        assert!(points[0].pos > 0.7, "pos = {}", points[0].pos);
+    }
+}

@@ -1,0 +1,196 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use meda_bioassay::BioassayPlan;
+use meda_grid::ChipDims;
+
+use crate::{BioassayRunner, Biochip, DegradationConfig, Router, RunConfig};
+
+/// Aggregate statistics of the Fig. 16 repeated-execution trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrialStats {
+    /// Mean total cycles per trial.
+    pub mean_cycles: f64,
+    /// Standard deviation of total cycles across trials.
+    pub sd_cycles: f64,
+    /// Number of trials.
+    pub trials: u32,
+    /// Fraction of trials that reached the target number of successful
+    /// executions before exhausting the cycle budget.
+    pub completion_rate: f64,
+    /// Mean number of successful executions per trial (≤ the target).
+    pub mean_successes: f64,
+}
+
+/// The Fig. 16 experiment: each *trial* repeatedly executes the bioassay on
+/// the same (fault-injected) biochip until `target_successes` executions
+/// succeed or the cumulative cycle count exceeds `k_max` (the paper uses 5
+/// and 1,000). Reports the mean and standard deviation of total cycles over
+/// `trials` trials, each on a freshly generated chip and router.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `target_successes == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn fault_trials<R: Router>(
+    plan: &BioassayPlan,
+    dims: ChipDims,
+    degradation: &DegradationConfig,
+    make_router: impl Fn() -> R + Sync,
+    trials: u32,
+    target_successes: u32,
+    k_max: u64,
+    seed: u64,
+) -> TrialStats {
+    assert!(
+        trials > 0 && target_successes > 0,
+        "need at least one trial"
+    );
+
+    // Trials are independent — per-trial chip, router, and seeded RNG — so
+    // they fan out across the available cores; seeding keeps the result
+    // identical to a serial run.
+    let run_trial = |trial: u32| -> (f64, u32) {
+        let mut rng = StdRng::seed_from_u64(seed ^ (u64::from(trial).wrapping_mul(0x517c_c1b7)));
+        let mut chip = Biochip::generate(dims, degradation, &mut rng);
+        let mut router = make_router();
+        let mut spent = 0u64;
+        let mut successes = 0u32;
+
+        while successes < target_successes && spent < k_max {
+            let runner = BioassayRunner::new(RunConfig {
+                k_max: k_max - spent,
+                record_actuation: false,
+            });
+            let outcome = runner.run(plan, &mut chip, &mut router, &mut rng);
+            spent += outcome.cycles;
+            if outcome.is_success() {
+                successes += 1;
+            } else {
+                // NoRoute or budget exhausted: the chip is no longer usable.
+                if outcome.cycles == 0 {
+                    // Avoid spinning on an instantly-infeasible job.
+                    spent = k_max;
+                }
+                break;
+            }
+        }
+        (spent as f64, successes)
+    };
+
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let chunk = (trials as usize).div_ceil(threads).max(1);
+    let ids: Vec<u32> = (0..trials).collect();
+    let results: Vec<(f64, u32)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .chunks(chunk)
+            .map(|batch| {
+                let run_trial = &run_trial;
+                scope.spawn(move |_| batch.iter().map(|&t| run_trial(t)).collect::<Vec<_>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("trial thread panicked"))
+            .collect()
+    })
+    .expect("thread scope");
+
+    let mut totals = Vec::with_capacity(trials as usize);
+    let mut completions = 0u32;
+    let mut successes_sum = 0u32;
+    for (spent, successes) in results {
+        if successes >= target_successes {
+            completions += 1;
+        }
+        successes_sum += successes;
+        totals.push(spent);
+    }
+
+    let n = totals.len() as f64;
+    let mean = totals.iter().sum::<f64>() / n;
+    let var = totals.iter().map(|k| (k - mean).powi(2)).sum::<f64>() / n;
+    TrialStats {
+        mean_cycles: mean,
+        sd_cycles: var.sqrt(),
+        trials,
+        completion_rate: f64::from(completions) / n,
+        mean_successes: f64::from(successes_sum) / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdaptiveConfig, AdaptiveRouter, BaselineRouter, FaultMode};
+    use meda_bioassay::{benchmarks, RjHelper};
+
+    fn plan() -> BioassayPlan {
+        RjHelper::new(ChipDims::PAPER)
+            .plan(&benchmarks::master_mix())
+            .unwrap()
+    }
+
+    #[test]
+    fn pristine_trials_always_complete() {
+        let stats = fault_trials(
+            &plan(),
+            ChipDims::PAPER,
+            &DegradationConfig::pristine(),
+            BaselineRouter::new,
+            3,
+            2,
+            1_000,
+            1,
+        );
+        assert_eq!(stats.completion_rate, 1.0);
+        assert_eq!(stats.mean_successes, 2.0);
+        assert!(stats.mean_cycles > 0.0);
+    }
+
+    #[test]
+    fn clustered_faults_hurt_the_baseline() {
+        let config = DegradationConfig::paper_with_faults(FaultMode::Clustered, 0.05);
+        let baseline = fault_trials(
+            &plan(),
+            ChipDims::PAPER,
+            &config,
+            BaselineRouter::new,
+            4,
+            2,
+            1_000,
+            11,
+        );
+        let adaptive = fault_trials(
+            &plan(),
+            ChipDims::PAPER,
+            &config,
+            || AdaptiveRouter::new(AdaptiveConfig::paper()),
+            4,
+            2,
+            1_000,
+            11,
+        );
+        assert!(
+            adaptive.completion_rate >= baseline.completion_rate,
+            "adaptive {adaptive:?} vs baseline {baseline:?}"
+        );
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let stats = fault_trials(
+            &plan(),
+            ChipDims::PAPER,
+            &DegradationConfig::paper(),
+            BaselineRouter::new,
+            5,
+            1,
+            500,
+            3,
+        );
+        assert_eq!(stats.trials, 5);
+        assert!(stats.sd_cycles >= 0.0);
+        assert!(stats.completion_rate >= 0.0 && stats.completion_rate <= 1.0);
+    }
+}

@@ -1,0 +1,125 @@
+use rand::Rng;
+
+use meda_grid::{Cell, ChipDims, Rect};
+
+/// How faulty microelectrodes are placed across the biochip
+/// (Section VII-A/C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FaultMode {
+    /// No injected faults; MCs only wear through normal degradation.
+    #[default]
+    None,
+    /// Faulty MCs are placed uniformly at random.
+    Uniform,
+    /// Faulty MCs appear as randomly placed `2 × 2` clusters — the pattern
+    /// the Section III-C correlation study predicts, and the harder case
+    /// because clusters act as roadblocks.
+    Clustered,
+}
+
+impl FaultMode {
+    /// Selects the faulty cells for a chip, targeting `fraction` of all MCs
+    /// (clusters of 4 for [`FaultMode::Clustered`], rounding up to whole
+    /// clusters; duplicates between overlapping clusters collapse).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction ∉ [0, 1]`.
+    pub fn place(self, dims: ChipDims, fraction: f64, rng: &mut impl Rng) -> Vec<Cell> {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fault fraction must be in [0, 1]"
+        );
+        let target = (dims.cell_count() as f64 * fraction).round() as usize;
+        let mut cells = Vec::new();
+        match self {
+            FaultMode::None => {}
+            FaultMode::Uniform => {
+                let mut chosen = std::collections::HashSet::new();
+                while chosen.len() < target {
+                    let x = rng.gen_range(1..=dims.width as i32);
+                    let y = rng.gen_range(1..=dims.height as i32);
+                    chosen.insert(Cell::new(x, y));
+                }
+                cells.extend(chosen);
+            }
+            FaultMode::Clustered => {
+                let mut chosen = std::collections::HashSet::new();
+                while chosen.len() < target {
+                    let x = rng.gen_range(1..=dims.width as i32 - 1);
+                    let y = rng.gen_range(1..=dims.height as i32 - 1);
+                    for cell in Rect::new(x, y, x + 1, y + 1).cells() {
+                        chosen.insert(cell);
+                    }
+                }
+                cells.extend(chosen);
+            }
+        }
+        cells.sort_unstable();
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const DIMS: ChipDims = ChipDims {
+        width: 30,
+        height: 20,
+    };
+
+    #[test]
+    fn none_places_nothing() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(FaultMode::None.place(DIMS, 0.5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn uniform_hits_the_target_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let cells = FaultMode::Uniform.place(DIMS, 0.1, &mut rng);
+        assert_eq!(cells.len(), 60);
+        assert!(cells.iter().all(|&c| DIMS.contains(c)));
+    }
+
+    #[test]
+    fn uniform_cells_are_unique() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let cells = FaultMode::Uniform.place(DIMS, 0.2, &mut rng);
+        let unique: std::collections::HashSet<_> = cells.iter().collect();
+        assert_eq!(unique.len(), cells.len());
+    }
+
+    #[test]
+    fn clustered_cells_come_in_2x2_blocks() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let cells = FaultMode::Clustered.place(DIMS, 0.05, &mut rng);
+        assert!(cells.len() >= 30);
+        let set: std::collections::HashSet<_> = cells.iter().copied().collect();
+        // Every faulty cell has at least one faulty neighbour in a 2×2
+        // arrangement (diagonal + the two adjacent cells of some block).
+        for &c in &cells {
+            let has_block_neighbor = [(1, 0), (-1, 0), (0, 1), (0, -1)]
+                .iter()
+                .any(|&(dx, dy)| set.contains(&Cell::new(c.x + dx, c.y + dy)));
+            assert!(has_block_neighbor, "isolated faulty cell {c}");
+        }
+    }
+
+    #[test]
+    fn clustered_cells_stay_on_chip() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let cells = FaultMode::Clustered.place(DIMS, 0.3, &mut rng);
+        assert!(cells.iter().all(|&c| DIMS.contains(c)));
+    }
+
+    #[test]
+    fn zero_fraction_places_nothing() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(FaultMode::Uniform.place(DIMS, 0.0, &mut rng).is_empty());
+        assert!(FaultMode::Clustered.place(DIMS, 0.0, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Cycle-accurate MEDA biochip simulator, routers, and the experiment
+//! harness behind the paper's evaluation (Section VII, Figs 14–16).
+//!
+//! The simulator is the *incomplete-information* twin of the MEDA game
+//! (Section V-C): droplet-movement outcomes are sampled from the hidden
+//! real-valued degradation matrix **D**, while routers only observe the
+//! quantized health matrix **H** read out by the dual-DFF sensing design.
+//!
+//! * [`Biochip`] — per-MC `(τ, c)` degradation, actuation counting, sudden
+//!   faults (uniform or clustered 2×2 injection, Section VII-C);
+//! * [`Router`] — the control seam: [`BaselineRouter`] is the
+//!   degradation-unaware shortest-path baseline, [`AdaptiveRouter`] the
+//!   paper's hybrid-scheduled formal-synthesis router (Algorithms 2–3);
+//! * [`BioassayRunner`] — executes a planned bioassay cycle by cycle:
+//!   waiting droplets are held in place (and keep degrading their MCs),
+//!   moving droplets follow the router, outcomes are sampled from **D**;
+//! * [`experiment`] — the Fig 15 probability-of-success sweep, the Fig 16
+//!   repeated-trial fault-injection study, and the Fig 3 actuation
+//!   correlation analysis;
+//! * extras: [`RecoveryRouter`] (reactive error recovery, §II-C),
+//!   [`MoScheduler`] runtime operation ordering (the paper-conclusion
+//!   extension), [`sensing`] droplet-location reconstruction from the
+//!   sensed **Y** matrix, [`analysis`] wear statistics, and [`render`]
+//!   ASCII chip maps.
+//!
+//! # Examples
+//!
+//! ```
+//! use meda_bioassay::{benchmarks, RjHelper};
+//! use meda_grid::ChipDims;
+//! use meda_sim::{AdaptiveRouter, BioassayRunner, Biochip, DegradationConfig, RunConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let plan = RjHelper::new(ChipDims::PAPER).plan(&benchmarks::master_mix())?;
+//! let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
+//! let mut router = AdaptiveRouter::new(Default::default());
+//! let outcome = BioassayRunner::new(RunConfig::default())
+//!     .run(&plan, &mut chip, &mut router, &mut rng);
+//! assert!(outcome.is_success());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod adaptive;
+pub mod analysis;
+mod biochip;
+mod engine;
+pub mod experiment;
+mod fault;
+mod recovery;
+pub mod render;
+mod router;
+mod scheduler;
+pub mod sensing;
+
+pub use adaptive::{AdaptiveConfig, AdaptiveRouter};
+pub use biochip::{Biochip, DegradationConfig};
+pub use engine::{BioassayRunner, RunConfig, RunOutcome, RunStatus};
+pub use fault::FaultMode;
+pub use recovery::RecoveryRouter;
+pub use router::{BaselineRouter, Router};
+pub use scheduler::{FifoScheduler, HealthAwareScheduler, MoScheduler};

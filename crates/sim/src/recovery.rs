@@ -1,0 +1,223 @@
+//! A retrial-based *reactive* error-recovery router (Section II-C) — the
+//! literature approach the paper positions itself against.
+//!
+//! Reactive recovery does not monitor health proactively: it routes
+//! shortest-path like the baseline, detects an error only when the droplet
+//! has visibly stalled (no movement across several sensing cycles), and
+//! only then consults the chip state to re-route around the blockage. The
+//! stall-detection latency, and any operations wasted before the stall, are
+//! precisely the costs the paper's proactive approach avoids.
+
+use meda_bioassay::RoutingJob;
+use meda_core::{Action, ActionConfig, HealthField, RoutingMdp};
+use meda_grid::Rect;
+use meda_synth::{synthesize, Query, RoutingStrategy};
+
+use crate::{BaselineRouter, Router};
+
+/// Retrial-based reactive recovery: shortest-path until a stall is
+/// detected, then a one-off health-aware re-route from the stall point.
+///
+/// # Examples
+///
+/// ```
+/// use meda_sim::{RecoveryRouter, Router};
+/// let router = RecoveryRouter::new(8);
+/// assert_eq!(router.name(), "recovery");
+/// ```
+#[derive(Debug)]
+pub struct RecoveryRouter {
+    inner: BaselineRouter,
+    patience: u32,
+    job: Option<RoutingJob>,
+    last_position: Option<Rect>,
+    stalled_for: u32,
+    detour: Option<RoutingStrategy>,
+    recoveries: u64,
+}
+
+impl RecoveryRouter {
+    /// Creates a recovery router that declares a stall after `patience`
+    /// consecutive cycles without droplet movement (the error-detection
+    /// latency of the reactive scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `patience == 0`.
+    #[must_use]
+    pub fn new(patience: u32) -> Self {
+        assert!(patience > 0, "stall detection needs at least one cycle");
+        Self {
+            inner: BaselineRouter::new(),
+            patience,
+            job: None,
+            last_position: None,
+            stalled_for: 0,
+            detour: None,
+            recoveries: 0,
+        }
+    }
+
+    /// Number of recovery (re-route) events triggered so far.
+    #[must_use]
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    fn try_recover(&mut self, droplet: Rect, health: &HealthField) -> Option<Action> {
+        let job = self.job?;
+        let mdp = RoutingMdp::build(
+            droplet,
+            job.goal,
+            job.bounds,
+            health,
+            &ActionConfig::default(),
+        )
+        .ok()?;
+        let strategy = synthesize(&mdp, Query::MinExpectedCycles)
+            .or_else(|_| synthesize(&mdp, Query::MaxReachProbability))
+            .ok()?;
+        let action = strategy.decide(droplet);
+        self.detour = Some(strategy);
+        self.recoveries += 1;
+        action
+    }
+}
+
+impl Router for RecoveryRouter {
+    fn name(&self) -> &str {
+        "recovery"
+    }
+
+    fn begin_job(&mut self, job: &RoutingJob, health: &HealthField) -> bool {
+        self.job = Some(*job);
+        self.last_position = None;
+        self.stalled_for = 0;
+        self.detour = None;
+        self.inner.begin_job(job, health)
+    }
+
+    fn next_action(&mut self, droplet: Rect, health: &HealthField) -> Option<Action> {
+        // Stall detection from the sensed droplet position.
+        if self.last_position == Some(droplet) {
+            self.stalled_for += 1;
+        } else {
+            self.stalled_for = 0;
+            self.last_position = Some(droplet);
+            // Movement clears an active detour once it leaves the stall
+            // region; keep following it until the droplet escapes the
+            // synthesized state set (decide returns None) or the job ends.
+        }
+
+        if let Some(detour) = &self.detour {
+            if let Some(action) = detour.decide(droplet) {
+                if self.stalled_for < self.patience {
+                    return Some(action);
+                }
+                // Stalled *again* on the detour: re-plan from here.
+                self.stalled_for = 0;
+                return self.try_recover(droplet, health).or(Some(action));
+            }
+            self.detour = None;
+        }
+
+        if self.stalled_for >= self.patience {
+            // Error detected: only now is the health matrix consulted.
+            self.stalled_for = 0;
+            if let Some(action) = self.try_recover(droplet, health) {
+                return Some(action);
+            }
+        }
+        self.inner.next_action(droplet, health)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meda_degradation::HealthLevel;
+    use meda_grid::{Cell, ChipDims, Grid};
+
+    fn health_with_wall(dead_rows: std::ops::RangeInclusive<i32>) -> HealthField {
+        let dims = ChipDims::new(20, 10);
+        let mut grid = Grid::new(dims, HealthLevel::full(2));
+        for y in dead_rows {
+            grid[Cell::new(8, y)] = HealthLevel::new(0, 2);
+            grid[Cell::new(9, y)] = HealthLevel::new(0, 2);
+        }
+        HealthField::new(grid, 2)
+    }
+
+    fn job() -> RoutingJob {
+        RoutingJob::new(
+            Rect::new(1, 1, 3, 3),
+            Rect::new(14, 1, 16, 3),
+            Rect::new(1, 1, 18, 9),
+        )
+    }
+
+    #[test]
+    fn follows_baseline_until_stalled() {
+        let health = health_with_wall(1..=6);
+        let mut r = RecoveryRouter::new(4);
+        assert!(r.begin_job(&job(), &health));
+        // Fresh droplet, no stall: greedy east like the baseline.
+        let a = r.next_action(Rect::new(1, 1, 3, 3), &health).unwrap();
+        assert_eq!(a, Action::Move(meda_core::Dir::E));
+        assert_eq!(r.recoveries(), 0);
+    }
+
+    #[test]
+    fn stall_triggers_health_aware_recovery() {
+        let health = health_with_wall(1..=6);
+        let mut r = RecoveryRouter::new(3);
+        assert!(r.begin_job(&job(), &health));
+        let stuck_at = Rect::new(5, 1, 7, 3); // pressed against the dead wall
+        let mut last = None;
+        for _ in 0..=4 {
+            last = r.next_action(stuck_at, &health);
+        }
+        assert_eq!(r.recoveries(), 1, "stall must trigger exactly one re-route");
+        // The recovery move cannot press into the dead wall again.
+        assert_ne!(last, Some(Action::Move(meda_core::Dir::E)));
+        assert_ne!(last, Some(Action::MoveDouble(meda_core::Dir::E)));
+    }
+
+    #[test]
+    fn recovery_detour_reaches_the_goal_region() {
+        use meda_core::transitions;
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        let health = health_with_wall(1..=6);
+        let mut r = RecoveryRouter::new(2);
+        assert!(r.begin_job(&job(), &health));
+        // Execute against the model itself: outcomes sampled from the
+        // Section V-B distribution with the health field as ground truth,
+        // so a fully dead frontier blocks and a partially dead one slows.
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut droplet = Rect::new(1, 1, 3, 3);
+        let mut steps = 0;
+        while !job().goal.contains_rect(droplet) {
+            let action = r.next_action(droplet, &health).expect("an action");
+            let outcomes = transitions(droplet, action, &health);
+            let mut roll: f64 = rng.gen();
+            for o in &outcomes {
+                if roll < o.probability {
+                    droplet = o.droplet;
+                    break;
+                }
+                roll -= o.probability;
+            }
+            steps += 1;
+            assert!(steps < 500, "recovery router is stuck at {droplet}");
+        }
+        assert!(r.recoveries() >= 1, "the dead wall must trigger recovery");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cycle")]
+    fn zero_patience_rejected() {
+        let _ = RecoveryRouter::new(0);
+    }
+}

@@ -1,0 +1,153 @@
+//! ASCII rendering of chip state — health maps, droplet overlays, and wear
+//! maps — for examples, debugging, and experiment logs.
+
+use meda_core::HealthField;
+use meda_grid::{Cell, Grid, Rect};
+
+use crate::Biochip;
+
+/// Renders the health matrix as one digit per MC (`0..=2^b-1`), north row
+/// first. Droplets in `droplets` are overlaid as `#`.
+///
+/// # Examples
+///
+/// ```
+/// use meda_core::HealthField;
+/// use meda_degradation::HealthLevel;
+/// use meda_grid::{ChipDims, Grid, Rect};
+/// use meda_sim::render;
+///
+/// let health = HealthField::new(
+///     Grid::new(ChipDims::new(4, 2), HealthLevel::full(2)), 2);
+/// let map = render::health_map(&health, &[Rect::new(1, 1, 2, 1)]);
+/// assert_eq!(map, "3333\n##33");
+/// ```
+#[must_use]
+pub fn health_map(health: &HealthField, droplets: &[Rect]) -> String {
+    let grid = health.health();
+    let dims = grid.dims();
+    let mut lines = Vec::with_capacity(dims.height as usize);
+    for y in (1..=dims.height as i32).rev() {
+        let mut line = String::with_capacity(dims.width as usize);
+        for x in 1..=dims.width as i32 {
+            let cell = Cell::new(x, y);
+            if droplets.iter().any(|d| d.contains_cell(cell)) {
+                line.push('#');
+            } else {
+                line.push(level_char(grid[cell].level()));
+            }
+        }
+        lines.push(line);
+    }
+    lines.join("\n")
+}
+
+/// Renders the chip's actuation-count matrix **N** as a log-scale heat map
+/// (`.` untouched, then `1`–`9` per decade-ish bucket).
+#[must_use]
+pub fn wear_map(chip: &Biochip) -> String {
+    let dims = chip.dims();
+    let mut lines = Vec::with_capacity(dims.height as usize);
+    for y in (1..=dims.height as i32).rev() {
+        let mut line = String::with_capacity(dims.width as usize);
+        for x in 1..=dims.width as i32 {
+            line.push(wear_char(chip.actuation_count(Cell::new(x, y))));
+        }
+        lines.push(line);
+    }
+    lines.join("\n")
+}
+
+/// Renders a boolean actuation pattern (`#` actuated, `.` idle).
+#[must_use]
+pub fn pattern_map(pattern: &Grid<bool>) -> String {
+    let dims = pattern.dims();
+    let mut lines = Vec::with_capacity(dims.height as usize);
+    for y in (1..=dims.height as i32).rev() {
+        let mut line = String::with_capacity(dims.width as usize);
+        for x in 1..=dims.width as i32 {
+            line.push(if pattern[Cell::new(x, y)] { '#' } else { '.' });
+        }
+        lines.push(line);
+    }
+    lines.join("\n")
+}
+
+fn level_char(level: u8) -> char {
+    char::from_digit(u32::from(level).min(9), 10).unwrap_or('?')
+}
+
+fn wear_char(n: u64) -> char {
+    match n {
+        0 => '.',
+        1..=9 => '1',
+        10..=31 => '2',
+        32..=99 => '3',
+        100..=315 => '4',
+        316..=999 => '5',
+        1_000..=3_161 => '6',
+        3_162..=9_999 => '7',
+        10_000..=31_622 => '8',
+        _ => '9',
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DegradationConfig;
+    use meda_degradation::HealthLevel;
+    use meda_grid::ChipDims;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn health_map_orients_north_up() {
+        let dims = ChipDims::new(3, 2);
+        let mut grid = Grid::new(dims, HealthLevel::full(2));
+        grid[Cell::new(1, 2)] = HealthLevel::new(0, 2); // north-west corner
+        let health = HealthField::new(grid, 2);
+        let map = health_map(&health, &[]);
+        assert_eq!(map, "033\n333");
+    }
+
+    #[test]
+    fn droplet_overlay_wins_over_health() {
+        let dims = ChipDims::new(3, 1);
+        let health = HealthField::new(Grid::new(dims, HealthLevel::full(2)), 2);
+        assert_eq!(health_map(&health, &[Rect::new(2, 1, 3, 1)]), "3##");
+    }
+
+    #[test]
+    fn wear_map_buckets_are_monotone() {
+        let mut prev = '.';
+        for n in [0u64, 1, 10, 32, 100, 316, 1_000, 3_162, 10_000, 100_000] {
+            let c = wear_char(n);
+            assert!(c >= prev || prev == '.', "bucket regressed at n = {n}");
+            prev = c;
+        }
+        assert_eq!(wear_char(0), '.');
+        assert_eq!(wear_char(50_000), '9');
+    }
+
+    #[test]
+    fn wear_map_reflects_actuation() {
+        let dims = ChipDims::new(4, 1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut chip = Biochip::generate(dims, &DegradationConfig::pristine(), &mut rng);
+        let mut pattern = Grid::new(dims, false);
+        pattern[Cell::new(2, 1)] = true;
+        for _ in 0..50 {
+            chip.apply_actuation(&pattern);
+        }
+        assert_eq!(wear_map(&chip), ".3..");
+    }
+
+    #[test]
+    fn pattern_map_roundtrips_shape() {
+        let dims = ChipDims::new(4, 2);
+        let mut p = Grid::new(dims, false);
+        p.fill_rect(Rect::new(1, 1, 2, 2), true);
+        assert_eq!(pattern_map(&p), "##..\n##..");
+    }
+}

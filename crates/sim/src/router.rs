@@ -1,0 +1,200 @@
+use meda_bioassay::RoutingJob;
+use meda_core::{Action, Dir, HealthField};
+use meda_grid::Rect;
+
+/// A droplet router: the control seam between the scheduler and the chip.
+///
+/// The engine calls [`begin_job`](Router::begin_job) once per routing job
+/// and then [`next_action`](Router::next_action) every cycle with the
+/// droplet's current (sensed) location and the current health matrix —
+/// everything a real controller could observe.
+pub trait Router {
+    /// Short name for reports ("baseline", "adaptive").
+    fn name(&self) -> &str;
+
+    /// Prepares for a routing job. Returning `false` declares the job
+    /// infeasible (the engine aborts the run).
+    fn begin_job(&mut self, job: &RoutingJob, health: &HealthField) -> bool;
+
+    /// The action to apply this cycle, or `None` if the router has no move
+    /// (the engine aborts the run; goal arrival is detected by the engine
+    /// before asking).
+    fn next_action(&mut self, droplet: Rect, health: &HealthField) -> Option<Action>;
+}
+
+/// The degradation-unaware baseline of Section VII-A: a shortest-path
+/// strategy minimizing the distance traveled, never consulting the health
+/// matrix. It repeats the same greedy move until it (eventually) succeeds —
+/// exactly how it gets stuck on failed microelectrodes.
+///
+/// # Examples
+///
+/// ```
+/// use meda_bioassay::RoutingJob;
+/// use meda_core::{Action, Dir, HealthField};
+/// use meda_degradation::HealthLevel;
+/// use meda_grid::{ChipDims, Grid, Rect};
+/// use meda_sim::{BaselineRouter, Router};
+///
+/// let health = HealthField::new(
+///     Grid::new(ChipDims::new(20, 20), HealthLevel::full(2)), 2);
+/// let job = RoutingJob::new(
+///     Rect::new(1, 1, 3, 3), Rect::new(9, 1, 11, 3), Rect::new(1, 1, 14, 6));
+/// let mut router = BaselineRouter::new();
+/// assert!(router.begin_job(&job, &health));
+/// assert_eq!(
+///     router.next_action(Rect::new(1, 1, 3, 3), &health),
+///     Some(Action::Move(meda_core::Dir::E))
+/// );
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BaselineRouter {
+    goal: Rect,
+    double_steps: bool,
+}
+
+impl BaselineRouter {
+    /// Creates the paper's baseline: single-step moves only (the paper's
+    /// baseline minimizes the *distance traveled*, for which double steps
+    /// buy nothing).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A cycle-minimizing variant that also takes double steps where the
+    /// Section V-B guard allows — used by the fairness ablation to separate
+    /// the adaptive router's action-set advantage from its health
+    /// adaptivity.
+    #[must_use]
+    pub fn with_double_steps() -> Self {
+        Self {
+            goal: Rect::default(),
+            double_steps: true,
+        }
+    }
+}
+
+impl Router for BaselineRouter {
+    fn name(&self) -> &str {
+        "baseline"
+    }
+
+    fn begin_job(&mut self, job: &RoutingJob, _health: &HealthField) -> bool {
+        self.goal = job.goal;
+        true
+    }
+
+    fn next_action(&mut self, droplet: Rect, _health: &HealthField) -> Option<Action> {
+        // Greedy: close the larger axis gap first; x-gap wins ties.
+        let dx = if droplet.xa < self.goal.xa {
+            self.goal.xa - droplet.xa
+        } else if droplet.xb > self.goal.xb {
+            self.goal.xb - droplet.xb // negative
+        } else {
+            0
+        };
+        let dy = if droplet.ya < self.goal.ya {
+            self.goal.ya - droplet.ya
+        } else if droplet.yb > self.goal.yb {
+            self.goal.yb - droplet.yb
+        } else {
+            0
+        };
+        if dx == 0 && dy == 0 {
+            return None; // already inside the goal region
+        }
+        let (dir, gap) = if dx.abs() >= dy.abs() {
+            (if dx > 0 { Dir::E } else { Dir::W }, dx.abs())
+        } else {
+            (if dy > 0 { Dir::N } else { Dir::S }, dy.abs())
+        };
+        let extent = if dir.is_vertical() {
+            droplet.height()
+        } else {
+            droplet.width()
+        };
+        if self.double_steps && gap >= 2 && extent >= 4 {
+            Some(Action::MoveDouble(dir))
+        } else {
+            Some(Action::Move(dir))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meda_degradation::HealthLevel;
+    use meda_grid::{ChipDims, Grid};
+
+    fn health() -> HealthField {
+        HealthField::new(Grid::new(ChipDims::new(30, 30), HealthLevel::full(2)), 2)
+    }
+
+    fn job(start: Rect, goal: Rect) -> RoutingJob {
+        RoutingJob::new(start, goal, Rect::new(1, 1, 30, 30))
+    }
+
+    #[test]
+    fn moves_along_larger_gap_first() {
+        let mut r = BaselineRouter::new();
+        assert!(r.begin_job(
+            &job(Rect::new(1, 1, 2, 2), Rect::new(10, 5, 11, 6)),
+            &health()
+        ));
+        assert_eq!(
+            r.next_action(Rect::new(1, 1, 2, 2), &health()),
+            Some(Action::Move(Dir::E))
+        );
+        // Once x is closer than y, it turns north.
+        assert_eq!(
+            r.next_action(Rect::new(8, 1, 9, 2), &health()),
+            Some(Action::Move(Dir::N))
+        );
+    }
+
+    #[test]
+    fn handles_all_four_directions() {
+        let mut r = BaselineRouter::new();
+        let g = Rect::new(10, 10, 11, 11);
+        assert!(r.begin_job(&job(Rect::new(20, 10, 21, 11), g), &health()));
+        assert_eq!(
+            r.next_action(Rect::new(20, 10, 21, 11), &health()),
+            Some(Action::Move(Dir::W))
+        );
+        assert_eq!(
+            r.next_action(Rect::new(10, 20, 11, 21), &health()),
+            Some(Action::Move(Dir::S))
+        );
+    }
+
+    #[test]
+    fn no_action_inside_goal() {
+        let mut r = BaselineRouter::new();
+        let g = Rect::new(5, 5, 8, 8);
+        assert!(r.begin_job(&job(Rect::new(1, 1, 2, 2), g), &health()));
+        assert_eq!(r.next_action(Rect::new(6, 6, 7, 7), &health()), None);
+    }
+
+    #[test]
+    fn ignores_health_entirely() {
+        // The baseline presses into a dead column rather than detour.
+        let dims = ChipDims::new(30, 30);
+        let mut grid = Grid::new(dims, HealthLevel::full(2));
+        for y in 1..=30 {
+            grid[meda_grid::Cell::new(5, y)] = HealthLevel::new(0, 2);
+        }
+        let degraded = HealthField::new(grid, 2);
+        let mut r = BaselineRouter::new();
+        assert!(r.begin_job(
+            &job(Rect::new(1, 1, 2, 2), Rect::new(10, 1, 11, 2)),
+            &degraded
+        ));
+        assert_eq!(
+            r.next_action(Rect::new(3, 1, 4, 2), &degraded),
+            Some(Action::Move(Dir::E)),
+            "baseline should still push east into the dead column"
+        );
+    }
+}

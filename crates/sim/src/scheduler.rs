@@ -1,0 +1,149 @@
+use meda_bioassay::{BioassayPlan, MoId};
+use meda_core::{ForceProvider, HealthField};
+use meda_grid::Rect;
+
+/// Runtime microfluidic-operation scheduler: picks which *ready* operation
+/// (all input droplets parked on chip) executes next.
+///
+/// The paper's evaluation executes operations in plan order; its conclusion
+/// calls out "a scheduler that can optimize the order in which the
+/// microfluidic operations are executed in runtime" as the natural next
+/// step. [`FifoScheduler`] is the paper's behaviour;
+/// [`HealthAwareScheduler`] is that extension.
+pub trait MoScheduler {
+    /// Short name for reports.
+    fn name(&self) -> &str;
+
+    /// Chooses one of `ready` (non-empty, ascending ids) to execute next.
+    fn pick(&mut self, ready: &[MoId], plan: &BioassayPlan, health: &HealthField) -> MoId;
+}
+
+/// Plan-order scheduling: always the lowest-id ready operation — the
+/// execution order of the paper's experiments.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FifoScheduler;
+
+impl FifoScheduler {
+    /// Creates the FIFO scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl MoScheduler for FifoScheduler {
+    fn name(&self) -> &str {
+        "fifo"
+    }
+
+    fn pick(&mut self, ready: &[MoId], _plan: &BioassayPlan, _health: &HealthField) -> MoId {
+        ready[0]
+    }
+}
+
+/// Health-aware scheduling (the paper's future-work extension): among the
+/// ready operations, execute the one whose routing corridors are currently
+/// healthiest, deferring work through degraded regions until they must run.
+///
+/// Deferral helps in two ways: an op scheduled later may find its corridor
+/// re-planned around (the adaptive router sees fresher health), and
+/// spreading execution across chip regions evens out wear between parallel
+/// branches.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HealthAwareScheduler;
+
+impl HealthAwareScheduler {
+    /// Creates the health-aware scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Mean per-cell relative force over the union of the operation's job
+    /// corridors — the health score used for ordering.
+    #[must_use]
+    pub fn corridor_health(plan: &BioassayPlan, mo: MoId, health: &HealthField) -> f64 {
+        let jobs = plan.jobs_for(mo);
+        let mut total = 0.0;
+        let mut count = 0u32;
+        for job in jobs {
+            let bounds: Rect = job.bounds;
+            total += health.mean_force(bounds) * bounds.area() as f64;
+            count += bounds.area();
+        }
+        if count == 0 {
+            1.0
+        } else {
+            total / f64::from(count)
+        }
+    }
+}
+
+impl MoScheduler for HealthAwareScheduler {
+    fn name(&self) -> &str {
+        "health-aware"
+    }
+
+    fn pick(&mut self, ready: &[MoId], plan: &BioassayPlan, health: &HealthField) -> MoId {
+        *ready
+            .iter()
+            .max_by(|&&a, &&b| {
+                Self::corridor_health(plan, a, health)
+                    .total_cmp(&Self::corridor_health(plan, b, health))
+            })
+            .expect("ready list is non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meda_bioassay::{benchmarks, RjHelper};
+    use meda_degradation::HealthLevel;
+    use meda_grid::{Cell, ChipDims, Grid};
+
+    fn setup() -> (BioassayPlan, HealthField) {
+        let dims = ChipDims::PAPER;
+        let plan = RjHelper::new(dims)
+            .plan(&benchmarks::multiplex_invitro((4, 4)))
+            .unwrap();
+        let health = HealthField::new(Grid::new(dims, HealthLevel::full(2)), 2);
+        (plan, health)
+    }
+
+    #[test]
+    fn fifo_picks_lowest_id() {
+        let (plan, health) = setup();
+        let mut s = FifoScheduler::new();
+        assert_eq!(s.pick(&[2, 5, 7], &plan, &health), 2);
+        assert_eq!(s.name(), "fifo");
+    }
+
+    #[test]
+    fn health_aware_matches_fifo_on_a_uniform_chip() {
+        // With identical corridor health, max_by keeps the last maximum;
+        // either way the pick must be a ready op.
+        let (plan, health) = setup();
+        let mut s = HealthAwareScheduler::new();
+        let pick = s.pick(&[4, 5], &plan, &health);
+        assert!(pick == 4 || pick == 5);
+    }
+
+    #[test]
+    fn health_aware_prefers_the_healthier_corridor() {
+        let (plan, _) = setup();
+        // The multiplex assay's two mixes (ids 4 and 5) run in the south
+        // and north halves; degrade the south corridor.
+        let dims = ChipDims::PAPER;
+        let mut grid = Grid::new(dims, HealthLevel::full(2));
+        for cell in plan.jobs_for(4)[0].bounds.cells() {
+            grid[Cell::new(cell.x, cell.y)] = HealthLevel::new(1, 2);
+        }
+        let health = HealthField::new(grid, 2);
+        let mut s = HealthAwareScheduler::new();
+        assert_eq!(s.pick(&[4, 5], &plan, &health), 5);
+        let h4 = HealthAwareScheduler::corridor_health(&plan, 4, &health);
+        let h5 = HealthAwareScheduler::corridor_health(&plan, 5, &health);
+        assert!(h4 < h5);
+    }
+}

@@ -1,0 +1,199 @@
+//! Droplet-location reconstruction from the sensed location matrix **Y**
+//! (Algorithm 3, line 6: "Read Y and update the droplet location of each
+//! MO").
+//!
+//! The scan chain delivers one droplet-presence bit per MC; the controller
+//! must turn that bitmap back into droplet rectangles before it can look up
+//! `π(δ)`. Droplets are connected clusters of set bits; under the paper's
+//! rectangular-actuation-pattern model each cluster's bounding box *is* the
+//! droplet. [`locate_droplets`] performs that reconstruction and
+//! [`SensedDroplet::is_rectangular`] flags clusters that deviate (a droplet
+//! mid-split, an unexpected merge, or a sensing fault).
+
+use meda_grid::{Cell, Grid, Rect};
+
+/// One connected cluster of sensed droplet presence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SensedDroplet {
+    /// Bounding box of the cluster.
+    pub bounds: Rect,
+    /// Number of set cells in the cluster.
+    pub cells: u32,
+}
+
+impl SensedDroplet {
+    /// Whether the cluster exactly fills its bounding box — true for any
+    /// healthy rectangular actuation pattern; false signals a malformed
+    /// droplet (mid-split fragment, partial merge, or sensing error).
+    #[must_use]
+    pub fn is_rectangular(&self) -> bool {
+        self.cells == self.bounds.area()
+    }
+}
+
+/// Reconstructs droplets from a sensed location matrix: 4-connected
+/// components of set cells, reported as bounding boxes with their fill
+/// counts, in row-major order of their south-west corners.
+///
+/// # Examples
+///
+/// ```
+/// use meda_grid::{ChipDims, Grid, Rect};
+/// use meda_sim::sensing::locate_droplets;
+///
+/// let mut y = Grid::new(ChipDims::new(10, 6), false);
+/// y.fill_rect(Rect::new(2, 2, 4, 4), true);
+/// y.fill_rect(Rect::new(7, 1, 9, 3), true);
+///
+/// let found = locate_droplets(&y);
+/// assert_eq!(found.len(), 2);
+/// assert_eq!(found[0].bounds, Rect::new(7, 1, 9, 3));
+/// assert!(found.iter().all(|d| d.is_rectangular()));
+/// ```
+#[must_use]
+pub fn locate_droplets(locations: &Grid<bool>) -> Vec<SensedDroplet> {
+    let dims = locations.dims();
+    let mut visited = Grid::new(dims, false);
+    let mut found = Vec::new();
+
+    for start in dims.cells() {
+        if !locations[start] || visited[start] {
+            continue;
+        }
+        // Flood fill the 4-connected component.
+        let mut stack = vec![start];
+        visited[start] = true;
+        let mut bounds = Rect::new(start.x, start.y, start.x, start.y);
+        let mut count = 0u32;
+        while let Some(cell) = stack.pop() {
+            count += 1;
+            bounds = bounds.union(Rect::new(cell.x, cell.y, cell.x, cell.y));
+            for next in [cell.north(), cell.south(), cell.east(), cell.west()] {
+                if dims.contains(next) && locations[next] && !visited[next] {
+                    visited[next] = true;
+                    stack.push(next);
+                }
+            }
+        }
+        found.push(SensedDroplet {
+            bounds,
+            cells: count,
+        });
+    }
+    found
+}
+
+/// Matches sensed droplets against a set of expected rectangles, returning
+/// for each expected rectangle the sensed cluster that contains its center
+/// (if any). Unmatched expectations mean a lost droplet; surplus clusters
+/// mean contamination or an unexpected split.
+#[must_use]
+pub fn match_expected<'a>(
+    sensed: &'a [SensedDroplet],
+    expected: &[Rect],
+) -> Vec<Option<&'a SensedDroplet>> {
+    expected
+        .iter()
+        .map(|rect| {
+            let (cx, cy) = rect.center();
+            let center = Cell::new(cx.round() as i32, cy.round() as i32);
+            sensed.iter().find(|d| d.bounds.contains_cell(center))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meda_grid::ChipDims;
+
+    fn grid_with(rects: &[Rect]) -> Grid<bool> {
+        let mut g = Grid::new(ChipDims::new(20, 12), false);
+        for r in rects {
+            g.fill_rect(*r, true);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_chip_has_no_droplets() {
+        assert!(locate_droplets(&grid_with(&[])).is_empty());
+    }
+
+    #[test]
+    fn separated_droplets_are_distinguished() {
+        let rects = [
+            Rect::new(1, 1, 4, 4),
+            Rect::new(8, 2, 10, 5),
+            Rect::new(15, 8, 18, 11),
+        ];
+        let found = locate_droplets(&grid_with(&rects));
+        assert_eq!(found.len(), 3);
+        let mut bounds: Vec<_> = found.iter().map(|d| d.bounds).collect();
+        bounds.sort();
+        let mut expected = rects.to_vec();
+        expected.sort();
+        assert_eq!(bounds, expected);
+        assert!(found.iter().all(SensedDroplet::is_rectangular));
+    }
+
+    #[test]
+    fn touching_droplets_read_as_one_merge() {
+        // Adjacent rectangles are one 4-connected component — exactly how a
+        // real merge (or accidental contamination) is sensed.
+        let found = locate_droplets(&grid_with(&[Rect::new(2, 2, 4, 4), Rect::new(5, 2, 7, 4)]));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].bounds, Rect::new(2, 2, 7, 4));
+        assert!(found[0].is_rectangular());
+    }
+
+    #[test]
+    fn diagonal_contact_does_not_merge() {
+        let found = locate_droplets(&grid_with(&[Rect::new(2, 2, 3, 3), Rect::new(4, 4, 5, 5)]));
+        assert_eq!(found.len(), 2);
+    }
+
+    #[test]
+    fn l_shaped_cluster_is_flagged_non_rectangular() {
+        let mut g = grid_with(&[Rect::new(2, 2, 5, 3)]);
+        g.fill_rect(Rect::new(2, 4, 3, 5), true);
+        let found = locate_droplets(&g);
+        assert_eq!(found.len(), 1);
+        assert!(!found[0].is_rectangular());
+        assert_eq!(found[0].bounds, Rect::new(2, 2, 5, 5));
+        assert_eq!(found[0].cells, 8 + 4);
+    }
+
+    #[test]
+    fn match_expected_finds_and_reports_losses() {
+        let rects = [Rect::new(2, 2, 5, 5), Rect::new(10, 2, 13, 5)];
+        let found = locate_droplets(&grid_with(&rects[..1]));
+        let matched = match_expected(&found, &rects);
+        assert!(matched[0].is_some());
+        assert!(matched[1].is_none(), "the second droplet was lost");
+    }
+
+    #[test]
+    fn reconstruction_roundtrips_through_the_cell_crate() {
+        // End-to-end: droplet cover → operational-cycle sensing → Y matrix
+        // → reconstruction recovers the droplet rectangles.
+        use meda_cell::{CellParams, OperationalCycle};
+
+        let dims = ChipDims::new(16, 8);
+        let params = CellParams::paper();
+        let cycle = OperationalCycle::new(dims, params);
+        let caps = Grid::new(dims, params.cap_healthy);
+
+        let droplets = [Rect::new(2, 2, 5, 5), Rect::new(9, 3, 12, 6)];
+        let mut cover = Grid::new(dims, false);
+        for d in &droplets {
+            cover.fill_rect(*d, true);
+        }
+        let report = cycle.run(&Grid::new(dims, false), &caps, &cover);
+        let found = locate_droplets(&report.locations);
+        assert_eq!(found.len(), 2);
+        let mut bounds: Vec<_> = found.iter().map(|d| d.bounds).collect();
+        bounds.sort();
+        assert_eq!(bounds, droplets.to_vec());
+    }
+}

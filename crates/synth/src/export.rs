@@ -1,0 +1,190 @@
+//! Export of the induced routing MDP in PRISM's explicit-state format —
+//! the `.sta` / `.tra` / `.lab` triple `prism -importmodel` consumes.
+//!
+//! The paper runs its queries through PRISM-games; this crate solves them
+//! natively (DESIGN.md §3). The exporter closes the loop: any model this
+//! library builds can be re-checked in PRISM with
+//!
+//! ```text
+//! prism -importmodel model.sta,model.tra,model.lab -mdp \
+//!       -pf 'Rmin=? [ F "goal" ]'
+//! ```
+//!
+//! and the result compared against [`crate::min_expected_cycles`]. (The
+//! `□¬hazard` part is structural in the exported model — see
+//! [`meda_core::HazardHandling`].)
+
+use std::fmt::Write as _;
+
+use meda_core::RoutingMdp;
+
+/// The PRISM explicit-state description of a routing MDP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrismModel {
+    /// `.sta` — state index to `(xa, ya, xb, yb)` valuation.
+    pub states: String,
+    /// `.tra` — `state choice successor probability [action]` rows.
+    pub transitions: String,
+    /// `.lab` — `init` and `goal` labels.
+    pub labels: String,
+}
+
+/// Exports a routing MDP to PRISM's explicit format.
+///
+/// # Examples
+///
+/// ```
+/// use meda_core::{ActionConfig, RoutingMdp, UniformField};
+/// use meda_grid::Rect;
+/// use meda_synth::to_prism_explicit;
+///
+/// let mdp = RoutingMdp::build(
+///     Rect::new(1, 1, 2, 2),
+///     Rect::new(4, 4, 5, 5),
+///     Rect::new(1, 1, 5, 5),
+///     &UniformField::pristine(),
+///     &ActionConfig::cardinal_only(),
+/// )?;
+/// let model = to_prism_explicit(&mdp);
+/// assert!(model.states.starts_with("(xa,ya,xb,yb)"));
+/// assert!(model.labels.contains("0=\"init\""));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn to_prism_explicit(mdp: &RoutingMdp) -> PrismModel {
+    let mut states = String::from("(xa,ya,xb,yb)\n");
+    for i in mdp.state_indices() {
+        let r = mdp.state(i);
+        let _ = writeln!(states, "{i}:({},{},{},{})", r.xa, r.ya, r.xb, r.yb);
+    }
+
+    // Header: #states #choices #transitions.
+    let stats = mdp.stats();
+    // Absorbing states need an explicit self-loop choice in PRISM's
+    // explicit format (deadlocks are rejected).
+    let absorbing = mdp
+        .state_indices()
+        .filter(|&i| mdp.choices(i).is_empty())
+        .count();
+    let mut transitions = format!(
+        "{} {} {}\n",
+        mdp.len(),
+        stats.choices + absorbing,
+        stats.transitions + absorbing
+    );
+    for i in mdp.state_indices() {
+        if mdp.choices(i).is_empty() {
+            let _ = writeln!(transitions, "{i} 0 {i} 1 done");
+            continue;
+        }
+        for (choice_idx, (action, branch)) in mdp.choices(i).iter().enumerate() {
+            for &(j, p) in branch {
+                let _ = writeln!(transitions, "{i} {choice_idx} {j} {p} {action}");
+            }
+        }
+    }
+
+    let mut labels = String::from("0=\"init\" 1=\"deadlock\" 2=\"goal\"\n");
+    let _ = writeln!(labels, "{}: 0", mdp.init());
+    for i in mdp.state_indices() {
+        if mdp.is_goal(i) {
+            let _ = writeln!(labels, "{i}: 2");
+        }
+    }
+
+    PrismModel {
+        states,
+        transitions,
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meda_core::{ActionConfig, UniformField};
+    use meda_grid::Rect;
+
+    fn model() -> (RoutingMdp, PrismModel) {
+        let mdp = RoutingMdp::build(
+            Rect::new(1, 1, 2, 2),
+            Rect::new(4, 4, 5, 5),
+            Rect::new(1, 1, 5, 5),
+            &UniformField::new(0.8),
+            &ActionConfig::cardinal_only(),
+        )
+        .unwrap();
+        let prism = to_prism_explicit(&mdp);
+        (mdp, prism)
+    }
+
+    #[test]
+    fn state_file_lists_every_state_once() {
+        let (mdp, prism) = model();
+        // Header line + one line per state.
+        assert_eq!(prism.states.lines().count(), mdp.len() + 1);
+        let init = mdp.state(mdp.init());
+        assert!(prism.states.contains(&format!(
+            "0:({},{},{},{})",
+            init.xa, init.ya, init.xb, init.yb
+        )));
+    }
+
+    #[test]
+    fn transition_header_matches_body() {
+        let (_, prism) = model();
+        let mut lines = prism.transitions.lines();
+        let header: Vec<usize> = lines
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        let body: Vec<&str> = lines.collect();
+        assert_eq!(header[2], body.len(), "transition count matches");
+        // Choices: distinct (state, choice) pairs.
+        let mut pairs = std::collections::HashSet::new();
+        for line in &body {
+            let mut tok = line.split_whitespace();
+            let s: usize = tok.next().unwrap().parse().unwrap();
+            let c: usize = tok.next().unwrap().parse().unwrap();
+            pairs.insert((s, c));
+        }
+        assert_eq!(header[1], pairs.len(), "choice count matches");
+    }
+
+    #[test]
+    fn per_choice_probabilities_sum_to_one() {
+        let (_, prism) = model();
+        let mut sums: std::collections::HashMap<(usize, usize), f64> =
+            std::collections::HashMap::new();
+        for line in prism.transitions.lines().skip(1) {
+            let mut tok = line.split_whitespace();
+            let s: usize = tok.next().unwrap().parse().unwrap();
+            let c: usize = tok.next().unwrap().parse().unwrap();
+            let _succ: usize = tok.next().unwrap().parse().unwrap();
+            let p: f64 = tok.next().unwrap().parse().unwrap();
+            *sums.entry((s, c)).or_insert(0.0) += p;
+        }
+        for ((s, c), total) in sums {
+            assert!((total - 1.0).abs() < 1e-9, "state {s} choice {c}: {total}");
+        }
+    }
+
+    #[test]
+    fn goal_states_are_labelled_and_self_looping() {
+        let (mdp, prism) = model();
+        let goal_idx = mdp.state_index(Rect::new(4, 4, 5, 5)).unwrap();
+        assert!(prism.labels.contains(&format!("{goal_idx}: 2")));
+        assert!(prism
+            .transitions
+            .lines()
+            .any(|l| l == format!("{goal_idx} 0 {goal_idx} 1 done")));
+    }
+
+    #[test]
+    fn init_label_points_at_state_zero() {
+        let (_, prism) = model();
+        assert!(prism.labels.lines().any(|l| l == "0: 0"));
+    }
+}

@@ -1,0 +1,243 @@
+//! Bounded-horizon reachability: `Pmax=? [ F≤k goal ]` — the analytic
+//! counterpart of the paper's probability-of-success metric, which asks
+//! whether a bioassay completes within a cycle budget `k_max` (Fig. 15).
+//!
+//! Finite-horizon value iteration computes, for every state and every
+//! remaining budget `0..=k`, the maximal probability of reaching the goal
+//! in at most that many cycles. Unlike the unbounded [`crate::max_reach_probability`]
+//! (which is 1 whenever every frontier keeps positive force), the bounded
+//! value is sensitive to *how degraded* the chip is — a droplet crawling
+//! at success probability 0.2 per step may reach the goal almost surely
+//! eventually, but rarely within budget.
+
+use meda_core::{Action, RoutingMdp};
+
+/// The bounded-horizon value table: `P[F≤b goal]` per state and budget.
+#[derive(Debug, Clone)]
+pub struct HorizonValues {
+    /// `values[b][i]` = max probability of reaching the goal from state
+    /// `i` within `b` cycles.
+    values: Vec<Vec<f64>>,
+    /// Optimal first action per state at each remaining budget.
+    choice: Vec<Vec<Option<Action>>>,
+}
+
+impl HorizonValues {
+    /// The maximal probability of reaching the goal from `state` within
+    /// `budget` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `budget` is out of range.
+    #[must_use]
+    pub fn at(&self, state: usize, budget: usize) -> f64 {
+        self.values[budget][state]
+    }
+
+    /// The horizon the table was computed to.
+    #[must_use]
+    pub fn horizon(&self) -> usize {
+        self.values.len() - 1
+    }
+
+    /// The optimal action at `state` with `budget` cycles remaining (time-
+    /// dependent: bounded-optimal strategies are *not* memoryless in
+    /// general — with little budget left, risky shortcuts become optimal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` or `budget` is out of range.
+    #[must_use]
+    pub fn action_at(&self, state: usize, budget: usize) -> Option<Action> {
+        self.choice[budget][state]
+    }
+
+    /// The smallest budget at which the probability from `state` reaches
+    /// `target`, if any within the computed horizon — "how many cycles do
+    /// I need to budget for a 99 % success chance?".
+    #[must_use]
+    pub fn budget_for(&self, state: usize, target: f64) -> Option<usize> {
+        (0..self.values.len()).find(|&b| self.values[b][state] >= target)
+    }
+}
+
+/// Computes `Pmax[F≤k goal]` for all states and budgets `0..=horizon` by
+/// backward induction.
+///
+/// # Examples
+///
+/// ```
+/// use meda_core::{ActionConfig, RoutingMdp, UniformField};
+/// use meda_grid::Rect;
+/// use meda_synth::bounded_reach_probability;
+///
+/// let mdp = RoutingMdp::build(
+///     Rect::new(1, 1, 1, 1),
+///     Rect::new(5, 1, 5, 1),
+///     Rect::new(1, 1, 5, 1),
+///     &UniformField::new(0.5),
+///     &ActionConfig::cardinal_only(),
+/// )?;
+/// let table = bounded_reach_probability(&mdp, 20);
+/// // Exactly 4 steps at p = 0.5 each: P[F≤4] = 0.5⁴.
+/// assert!((table.at(mdp.init(), 4) - 0.0625).abs() < 1e-12);
+/// // More budget, more probability.
+/// assert!(table.at(mdp.init(), 20) > table.at(mdp.init(), 8));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn bounded_reach_probability(mdp: &RoutingMdp, horizon: usize) -> HorizonValues {
+    let n = mdp.len();
+    let mut values: Vec<Vec<f64>> = Vec::with_capacity(horizon + 1);
+    let mut choice: Vec<Vec<Option<Action>>> = Vec::with_capacity(horizon + 1);
+
+    // Budget 0: only states already at the goal succeed.
+    let base: Vec<f64> = (0..n)
+        .map(|i| if mdp.is_goal(i) { 1.0 } else { 0.0 })
+        .collect();
+    values.push(base);
+    choice.push(vec![None; n]);
+
+    for b in 1..=horizon {
+        let prev = &values[b - 1];
+        let mut now = vec![0.0f64; n];
+        let mut act: Vec<Option<Action>> = vec![None; n];
+        for i in 0..n {
+            if mdp.is_goal(i) {
+                now[i] = 1.0;
+                continue;
+            }
+            let mut best = 0.0f64;
+            let mut best_action = None;
+            for (action, branch) in mdp.choices(i) {
+                let v: f64 = branch.iter().map(|&(j, p)| p * prev[j]).sum();
+                if v > best {
+                    best = v;
+                    best_action = Some(*action);
+                }
+            }
+            now[i] = best;
+            act[i] = best_action;
+        }
+        values.push(now);
+        choice.push(act);
+        let _ = b;
+    }
+
+    HorizonValues { values, choice }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{max_reach_probability, SolverOptions};
+    use meda_core::{ActionConfig, RawField, UniformField};
+    use meda_grid::{Cell, ChipDims, Grid, Rect};
+
+    fn corridor(force: f64, len: i32) -> RoutingMdp {
+        RoutingMdp::build(
+            Rect::new(1, 1, 1, 1),
+            Rect::new(len, 1, len, 1),
+            Rect::new(1, 1, len, 1),
+            &UniformField::new(force),
+            &ActionConfig::cardinal_only(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_binomial_value_on_a_corridor() {
+        // Reaching distance d in exactly d steps requires d successes:
+        // P[F≤d] = p^d; P[F≤d+1] adds d ways to fail once: + d·p^d·(1−p).
+        let p = 0.6f64;
+        let mdp = corridor(p, 4); // distance 3
+        let table = bounded_reach_probability(&mdp, 10);
+        let init = mdp.init();
+        assert!((table.at(init, 3) - p.powi(3)).abs() < 1e-12);
+        let expected4 = p.powi(3) + 3.0 * p.powi(3) * (1.0 - p);
+        assert!((table.at(init, 4) - expected4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn values_are_monotone_in_budget_and_bounded() {
+        let mdp = corridor(0.4, 6);
+        let table = bounded_reach_probability(&mdp, 60);
+        let init = mdp.init();
+        let mut prev = 0.0;
+        for b in 0..=60 {
+            let v = table.at(init, b);
+            assert!((0.0..=1.0 + 1e-12).contains(&v));
+            assert!(v >= prev - 1e-12, "budget {b}");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn converges_to_the_unbounded_value() {
+        let mdp = corridor(0.5, 5);
+        let table = bounded_reach_probability(&mdp, 200);
+        let unbounded = max_reach_probability(&mdp, SolverOptions::default());
+        assert!(
+            (table.at(mdp.init(), 200) - unbounded.values[mdp.init()]).abs() < 1e-6,
+            "bounded({}) vs unbounded({})",
+            table.at(mdp.init(), 200),
+            unbounded.values[mdp.init()]
+        );
+    }
+
+    #[test]
+    fn budget_for_finds_the_quantile() {
+        let mdp = corridor(0.5, 5);
+        let table = bounded_reach_probability(&mdp, 100);
+        let init = mdp.init();
+        let b90 = table.budget_for(init, 0.9).expect("within horizon");
+        assert!(table.at(init, b90) >= 0.9);
+        assert!(b90 == 0 || table.at(init, b90 - 1) < 0.9);
+        // The unreachable target returns None.
+        assert_eq!(table.budget_for(init, 1.1), None);
+    }
+
+    #[test]
+    fn risky_shortcut_becomes_optimal_under_pressure() {
+        // Two routes to the goal: a short one over a weak cell and a long
+        // healthy one. With a tight budget the weak shortcut maximizes
+        // P[F≤k]; with slack the healthy detour does.
+        let dims = ChipDims::new(5, 3);
+        let mut f = Grid::new(dims, 1.0);
+        f[Cell::new(3, 1)] = 0.3; // weak cell mid-shortcut
+        let field = RawField::new(f);
+        let mdp = RoutingMdp::build(
+            Rect::new(1, 1, 1, 1),
+            Rect::new(5, 1, 5, 1),
+            Rect::new(1, 1, 5, 3),
+            &field,
+            &ActionConfig::cardinal_only(),
+        )
+        .unwrap();
+        let table = bounded_reach_probability(&mdp, 50);
+        let init = mdp.init();
+        // With exactly 4 cycles only the straight route can possibly land.
+        let tight = table.at(init, 4);
+        assert!(tight > 0.0);
+        assert!(
+            (tight - 0.3).abs() < 1e-9,
+            "must gamble on the weak cell: {tight}"
+        );
+        // With slack, the detour raises the probability well beyond the
+        // gamble.
+        assert!(table.at(init, 12) > 0.9);
+        // And the time-dependent policy differs between the two regimes.
+        let tight_action = table.action_at(init, 4);
+        assert_eq!(tight_action, Some(Action::Move(meda_core::Dir::E)));
+    }
+
+    #[test]
+    fn goal_state_is_certain_at_every_budget() {
+        let mdp = corridor(0.7, 4);
+        let goal_idx = mdp.state_index(Rect::new(4, 1, 4, 1)).unwrap();
+        let table = bounded_reach_probability(&mdp, 10);
+        for b in 0..=10 {
+            assert_eq!(table.at(goal_idx, b), 1.0);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+use std::fmt;
+
+/// A synthesis query over the reach-avoid objective
+/// `φ : □(¬hazard) ∧ ◇goal` (Section VI-C).
+///
+/// # Examples
+///
+/// ```
+/// use meda_synth::Query;
+///
+/// assert_eq!(
+///     Query::MaxReachProbability.to_string(),
+///     "Pmax=? [ G !hazard & F goal ]"
+/// );
+/// assert_eq!(
+///     Query::MinExpectedCycles.to_string(),
+///     "R{cycles}min=? [ G !hazard & F goal ]"
+/// );
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Query {
+    /// `φ_p : Pmax=? [□¬hazard ∧ ◇goal]` — maximize the probability of
+    /// reaching the goal without entering the hazard zone.
+    MaxReachProbability,
+    /// `φ_r : Rmin=? [□¬hazard ∧ ◇goal]` with the cycle-count reward `r_k`
+    /// — minimize the expected number of cycles to the goal. This is the
+    /// query Algorithm 2 uses.
+    #[default]
+    MinExpectedCycles,
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::MaxReachProbability => write!(f, "Pmax=? [ G !hazard & F goal ]"),
+            Self::MinExpectedCycles => write!(f, "R{{cycles}}min=? [ G !hazard & F goal ]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_algorithm_2_query() {
+        assert_eq!(Query::default(), Query::MinExpectedCycles);
+    }
+
+    #[test]
+    fn display_is_prism_like() {
+        assert!(Query::MaxReachProbability.to_string().starts_with("Pmax"));
+        assert!(Query::MinExpectedCycles.to_string().contains("min=?"));
+    }
+}

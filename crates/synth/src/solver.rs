@@ -1,0 +1,303 @@
+use meda_core::{Action, RoutingMdp};
+
+/// Options for the value-iteration solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOptions {
+    /// Convergence threshold on the max value change per sweep.
+    pub epsilon: f64,
+    /// Hard cap on Gauss–Seidel sweeps.
+    pub max_iterations: usize,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        Self {
+            epsilon: 1e-9,
+            max_iterations: 100_000,
+        }
+    }
+}
+
+/// The outcome of a value-iteration run: the per-state value vector and the
+/// optimizing action per state (`None` for absorbing/hopeless states).
+#[derive(Debug, Clone)]
+pub struct SolverResult {
+    /// Optimal value per state (probability, or expected cycles).
+    pub values: Vec<f64>,
+    /// Optimal memoryless deterministic choice per state.
+    pub choice: Vec<Option<Action>>,
+    /// Number of Gauss–Seidel sweeps performed.
+    pub iterations: usize,
+    /// Whether the run converged within `max_iterations`.
+    pub converged: bool,
+}
+
+/// Computes `Pmax[◇goal]` over the routing MDP by Gauss–Seidel value
+/// iteration (hazard avoidance is structural — see [`meda_core::RoutingMdp`]).
+///
+/// Values start at 1 on goal states and 0 elsewhere; each sweep applies
+/// `v(s) ← max_a Σ_s' p(s'|s,a) · v(s')`. The iteration is monotone from
+/// below, so the fixed point is the least fixed point — the correct maximal
+/// reachability probability.
+///
+/// # Examples
+///
+/// ```
+/// use meda_core::{ActionConfig, RoutingMdp, UniformField};
+/// use meda_grid::Rect;
+/// use meda_synth::{max_reach_probability, SolverOptions};
+///
+/// let mdp = RoutingMdp::build(
+///     Rect::new(1, 1, 2, 2),
+///     Rect::new(4, 4, 5, 5),
+///     Rect::new(1, 1, 5, 5),
+///     &UniformField::new(0.5),
+///     &ActionConfig::cardinal_only(),
+/// )?;
+/// let result = max_reach_probability(&mdp, SolverOptions::default());
+/// // Every move eventually succeeds, so the goal is reached almost surely.
+/// assert!((result.values[mdp.init()] - 1.0).abs() < 1e-6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn max_reach_probability(mdp: &RoutingMdp, options: SolverOptions) -> SolverResult {
+    let n = mdp.len();
+    let mut values: Vec<f64> = (0..n)
+        .map(|i| if mdp.is_goal(i) { 1.0 } else { 0.0 })
+        .collect();
+    let mut choice: Vec<Option<Action>> = vec![None; n];
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < options.max_iterations {
+        iterations += 1;
+        let mut delta = 0.0_f64;
+        for i in 0..n {
+            if mdp.is_goal(i) {
+                continue;
+            }
+            let mut best = 0.0_f64;
+            let mut best_action = None;
+            for (action, branch) in mdp.choices(i) {
+                let v: f64 = branch.iter().map(|&(j, p)| p * values[j]).sum();
+                if v > best {
+                    best = v;
+                    best_action = Some(*action);
+                }
+            }
+            delta = delta.max((best - values[i]).abs());
+            values[i] = best;
+            choice[i] = best_action;
+        }
+        if delta < options.epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    SolverResult {
+        values,
+        choice,
+        iterations,
+        converged,
+    }
+}
+
+/// Computes `Rmin[◇goal]` (minimum expected number of cycles to the goal)
+/// by Gauss–Seidel value iteration on the stochastic-shortest-path Bellman
+/// operator `v(s) ← 1 + min_a Σ_s' p(s'|s,a) · v(s')`.
+///
+/// States from which the goal is not reachable with probability 1 under any
+/// strategy keep the value `∞` (the `(π, k) = (∅, ∞)` case of Algorithm 2).
+/// An action with an `∞`-valued successor is skipped unless all actions are,
+/// and a pure self-loop contributes `∞` directly.
+#[must_use]
+pub fn min_expected_cycles(mdp: &RoutingMdp, options: SolverOptions) -> SolverResult {
+    let n = mdp.len();
+    // Only states with Pmax = 1 admit finite expected time; seed the rest
+    // with ∞ so the SSP iteration cannot cheat through them.
+    let reach = max_reach_probability(mdp, options);
+    let mut values: Vec<f64> = (0..n)
+        .map(|i| {
+            if mdp.is_goal(i) {
+                0.0
+            } else if reach.values[i] < 1.0 - 1e-6 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let mut choice: Vec<Option<Action>> = vec![None; n];
+
+    let mut iterations = 0;
+    let mut converged = false;
+    while iterations < options.max_iterations {
+        iterations += 1;
+        let mut delta = 0.0_f64;
+        for i in 0..n {
+            if mdp.is_goal(i) || values[i].is_infinite() {
+                continue;
+            }
+            let mut best = f64::INFINITY;
+            let mut best_action = None;
+            for (action, branch) in mdp.choices(i) {
+                // Solve the one-step equation with the self-loop factored
+                // out: v = (1 + Σ_{j≠i} p_j v_j) / (1 − p_self). This makes
+                // convergence exact for stay-in-place failure branches.
+                let mut p_self = 0.0;
+                let mut rest = 0.0;
+                let mut infinite = false;
+                for &(j, p) in branch {
+                    if j == i {
+                        p_self += p;
+                    } else if values[j].is_infinite() {
+                        infinite = true;
+                        break;
+                    } else {
+                        rest += p * values[j];
+                    }
+                }
+                if infinite || p_self >= 1.0 - 1e-12 {
+                    continue;
+                }
+                let v = (1.0 + rest) / (1.0 - p_self);
+                if v < best {
+                    best = v;
+                    best_action = Some(*action);
+                }
+            }
+            if best.is_finite() {
+                delta = delta.max((best - values[i]).abs());
+                values[i] = best;
+                choice[i] = best_action;
+            }
+        }
+        if delta < options.epsilon {
+            converged = true;
+            break;
+        }
+    }
+
+    SolverResult {
+        values,
+        choice,
+        iterations,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meda_core::{ActionConfig, RawField, UniformField};
+    use meda_grid::{Cell, ChipDims, Grid, Rect};
+
+    fn line_mdp(force: f64) -> RoutingMdp {
+        // 1×1 droplet on a 1-row corridor of length 5.
+        RoutingMdp::build(
+            Rect::new(1, 1, 1, 1),
+            Rect::new(5, 1, 5, 1),
+            Rect::new(1, 1, 5, 1),
+            &UniformField::new(force),
+            &ActionConfig::cardinal_only(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn pristine_corridor_reaches_in_distance_steps() {
+        let mdp = line_mdp(1.0);
+        let r = min_expected_cycles(&mdp, SolverOptions::default());
+        assert!((r.values[mdp.init()] - 4.0).abs() < 1e-6);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn expected_cycles_scale_inversely_with_force() {
+        // Per-step success probability p ⇒ expected steps per cell = 1/p.
+        let mdp = line_mdp(0.5);
+        let r = min_expected_cycles(&mdp, SolverOptions::default());
+        assert!((r.values[mdp.init()] - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reach_probability_is_one_with_positive_force() {
+        let mdp = line_mdp(0.1);
+        let r = max_reach_probability(&mdp, SolverOptions::default());
+        assert!((r.values[mdp.init()] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn blocked_corridor_gives_zero_probability_and_infinite_cycles() {
+        // Kill the middle cell of the corridor: the droplet can never pass.
+        let dims = ChipDims::new(5, 1);
+        let mut f = Grid::new(dims, 1.0);
+        f[Cell::new(3, 1)] = 0.0;
+        let mdp = RoutingMdp::build(
+            Rect::new(1, 1, 1, 1),
+            Rect::new(5, 1, 5, 1),
+            Rect::new(1, 1, 5, 1),
+            &RawField::new(f),
+            &ActionConfig::cardinal_only(),
+        )
+        .unwrap();
+        let p = max_reach_probability(&mdp, SolverOptions::default());
+        assert!(p.values[mdp.init()] < 1e-9);
+        let r = min_expected_cycles(&mdp, SolverOptions::default());
+        assert!(r.values[mdp.init()].is_infinite());
+        assert_eq!(r.choice[mdp.init()], None);
+    }
+
+    #[test]
+    fn detour_chosen_around_degraded_column() {
+        // 2D field with a weak column: the optimal strategy routes around
+        // it when a healthy detour exists.
+        let dims = ChipDims::new(7, 5);
+        let mut f = Grid::new(dims, 1.0);
+        for y in 1..=4 {
+            f[Cell::new(4, y)] = 0.05; // weak wall with a gap at y = 5
+        }
+        let field = RawField::new(f);
+        let mdp = RoutingMdp::build(
+            Rect::new(1, 1, 1, 1),
+            Rect::new(7, 1, 7, 1),
+            Rect::new(1, 1, 7, 5),
+            &field,
+            &ActionConfig::cardinal_only(),
+        )
+        .unwrap();
+        let r = min_expected_cycles(&mdp, SolverOptions::default());
+        // Straight through: ~2·(1/0.05) = 40+ cycles. Detour via row 5:
+        // 6 east + 8 vertical = 14 cycles.
+        let v = r.values[mdp.init()];
+        assert!(v < 20.0, "expected detour cost < 20, got {v}");
+        // And the strategy's first move must not push into the wall.
+        let a = r.choice[mdp.init()].unwrap();
+        assert_ne!(a, Action::Move(meda_core::Dir::W));
+    }
+
+    #[test]
+    fn goal_state_has_zero_cost_probability_one() {
+        let mdp = line_mdp(0.9);
+        let goal_idx = mdp.state_index(Rect::new(5, 1, 5, 1)).unwrap();
+        let p = max_reach_probability(&mdp, SolverOptions::default());
+        let r = min_expected_cycles(&mdp, SolverOptions::default());
+        assert_eq!(p.values[goal_idx], 1.0);
+        assert_eq!(r.values[goal_idx], 0.0);
+    }
+
+    #[test]
+    fn iteration_cap_reported_as_unconverged() {
+        let mdp = line_mdp(0.5);
+        let r = min_expected_cycles(
+            &mdp,
+            SolverOptions {
+                epsilon: 0.0,
+                max_iterations: 2,
+            },
+        );
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 2);
+    }
+}

@@ -1,0 +1,198 @@
+//! Scenario tests: degradation landscapes drawn as ASCII maps, with the
+//! synthesized strategies checked against the geometry a human can read
+//! off the drawing. Digits are per-cell force in tenths (`9` = 0.9,
+//! `0` = dead).
+
+use meda_core::{ActionConfig, ForceProvider, RawField, RoutingMdp};
+use meda_grid::{ascii, Cell, Rect};
+use meda_synth::{synthesize, Query};
+
+/// Parses a force map: digit = force in tenths.
+fn force_field(drawing: &str) -> RawField {
+    let digits = ascii::parse_digits(drawing).expect("well-formed drawing");
+    RawField::new(digits.map(|_, d| f64::from(*d) / 10.0))
+}
+
+fn solve(
+    field: &RawField,
+    start: Rect,
+    goal: Rect,
+    bounds: Rect,
+) -> (RoutingMdp, meda_synth::RoutingStrategy) {
+    let mdp = RoutingMdp::build(start, goal, bounds, field, &ActionConfig::cardinal_only())
+        .expect("geometry is consistent");
+    let pi = synthesize(&mdp, Query::MinExpectedCycles).expect("feasible");
+    (mdp, pi)
+}
+
+#[test]
+fn straight_corridor_goes_straight() {
+    let field = force_field(
+        "9999999999
+         9999999999
+         9999999999",
+    );
+    let (_, pi) = solve(
+        &field,
+        Rect::new(1, 1, 2, 2),
+        Rect::new(9, 1, 10, 2),
+        Rect::new(1, 1, 10, 3),
+    );
+    let path = pi.nominal_path();
+    assert_eq!(path.len(), 9, "8 single steps east");
+    assert!(path.windows(2).all(|w| w[1].xa == w[0].xa + 1));
+}
+
+#[test]
+fn weak_band_is_bypassed_through_the_strong_lane() {
+    // Middle rows weak (0.1); top lane healthy. The optimal 2×2 route dips
+    // into the top lane and back down.
+    let field = force_field(
+        "9999999999
+         9999999999
+         9911111199
+         9911111199",
+    );
+    let start = Rect::new(1, 1, 2, 2); // bottom-left (row 1 is the drawing's last line)
+    let goal = Rect::new(9, 1, 10, 2);
+    let (_, pi) = solve(&field, start, goal, Rect::new(1, 1, 10, 4));
+    let path = pi.nominal_path();
+    // The path must climb: some droplet position reaches the top rows.
+    assert!(
+        path.iter().any(|r| r.yb >= 4),
+        "expected a detour through the healthy top lane: {path:?}"
+    );
+    assert!(
+        pi.value_at_init() < 8.0 / 0.1,
+        "detour must beat pushing through"
+    );
+}
+
+#[test]
+fn dead_maze_forces_the_long_way_round() {
+    // An S-shaped maze of dead cells; only one corridor survives.
+    let field = force_field(
+        "9999999999
+         0000000099
+         9999999999
+         9900000000
+         9999999999",
+    );
+    // Start at the bottom-right: row 2 blocks x = 3..10 and row 4 blocks
+    // x = 1..8, so the only route snakes west, up through the x ≤ 2 gap,
+    // east along row 3, and up through the x ≥ 9 gap.
+    let start = Rect::new(10, 1, 10, 1);
+    let goal = Rect::new(10, 5, 10, 5);
+    let (mdp, pi) = solve(&field, start, goal, Rect::new(1, 1, 10, 5));
+    let path = pi.nominal_path();
+    assert!(pi.is_goal(*path.last().unwrap()));
+    let manhattan = 4;
+    assert!(
+        path.len() - 1 > manhattan,
+        "maze detour must exceed Manhattan distance: {} steps",
+        path.len() - 1
+    );
+    // And it never visits a dead cell.
+    for r in &path {
+        for cell in r.cells() {
+            assert!(
+                field.cell_force(cell) > 0.0,
+                "path stands on dead cell {cell}"
+            );
+        }
+    }
+    assert!(mdp.stats().states > 0);
+}
+
+#[test]
+fn bottleneck_width_decides_between_two_corridors() {
+    // Two corridors: a short one at force 0.3 and a long healthy one. For
+    // a tight budget of attempts the long healthy one wins on expectation.
+    let field = force_field(
+        "999999999
+         900000009
+         933333339
+         900000009
+         999999999",
+    );
+    let start = Rect::new(1, 3, 1, 3); // middle-left, on the 0.3 corridor... row 3 = the 3s row
+    let goal = Rect::new(9, 3, 9, 3);
+    let (_, pi) = solve(&field, start, goal, Rect::new(1, 1, 9, 5));
+    // Straight through: 8 steps at p=0.3 ⇒ ~26.7 expected cycles.
+    // Around (up 2, east 8, down 2): 12 steps at p≈0.9 ⇒ ~13.3.
+    let v = pi.value_at_init();
+    assert!(v < 16.0, "the healthy ring should win: {v:.1}");
+    let path = pi.nominal_path();
+    assert!(path.iter().any(|r| r.ya != 3), "path leaves the weak row");
+}
+
+#[test]
+fn pmax_and_rmin_agree_on_fully_connected_maps() {
+    let field = force_field(
+        "9753
+         9753
+         9753",
+    );
+    let start = Rect::new(1, 1, 1, 1);
+    let goal = Rect::new(4, 3, 4, 3);
+    let bounds = Rect::new(1, 1, 4, 3);
+    let mdp =
+        RoutingMdp::build(start, goal, bounds, &field, &ActionConfig::cardinal_only()).unwrap();
+    let pmax = synthesize(&mdp, Query::MaxReachProbability).unwrap();
+    let rmin = synthesize(&mdp, Query::MinExpectedCycles).unwrap();
+    assert!((pmax.value_at_init() - 1.0).abs() < 1e-6);
+    assert!(rmin.value_at_init().is_finite());
+}
+
+#[test]
+fn single_dead_cell_in_frontier_slows_but_does_not_stop() {
+    let field = force_field(
+        "9999999999
+         9999099999
+         9999999999",
+    );
+    let start = Rect::new(1, 1, 2, 2);
+    let goal = Rect::new(9, 1, 10, 2);
+    let (_, pi) = solve(&field, start, goal, Rect::new(1, 1, 10, 3));
+    let v = pi.value_at_init();
+    // Dead cell at (5, 2): frontiers crossing it halve momentarily.
+    assert!(v.is_finite());
+    assert!(v >= 8.0 / 0.81, "some slowdown is unavoidable: {v:.2}");
+    assert!(v < 14.0, "a single dead cell must not dominate: {v:.2}");
+}
+
+#[test]
+fn scenario_values_respect_hand_computed_bounds() {
+    // Uniform force f: value = distance / f exactly (cardinal set).
+    for (digit, force) in [('9', 0.9), ('5', 0.5), ('2', 0.2)] {
+        let drawing: String = (0..3)
+            .map(|_| digit.to_string().repeat(8))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let field = force_field(&drawing);
+        let (_, pi) = solve(
+            &field,
+            Rect::new(1, 1, 1, 1),
+            Rect::new(8, 1, 8, 1),
+            Rect::new(1, 1, 8, 3),
+        );
+        let expected = 7.0 / force;
+        assert!(
+            (pi.value_at_init() - expected).abs() < 1e-6,
+            "digit {digit}: {} vs {expected}",
+            pi.value_at_init()
+        );
+    }
+}
+
+#[test]
+fn drawn_field_matches_cell_lookup() {
+    let field = force_field(
+        "19
+         91",
+    );
+    assert!((field.cell_force(Cell::new(1, 2)) - 0.1).abs() < 1e-12);
+    assert!((field.cell_force(Cell::new(2, 2)) - 0.9).abs() < 1e-12);
+    assert!((field.cell_force(Cell::new(1, 1)) - 0.9).abs() < 1e-12);
+    assert!((field.cell_force(Cell::new(2, 1)) - 0.1).abs() < 1e-12);
+}

@@ -1,0 +1,74 @@
+//! Serial dilution under degradation: the paper's headline comparison.
+//!
+//! Runs the longest benchmark bioassay (four-stage serial dilution)
+//! repeatedly on the same degrading biochip with the degradation-unaware
+//! shortest-path baseline and with the adaptive formal-synthesis router,
+//! and reports how many executions each survives — the Fig. 15/16 story in
+//! one program.
+//!
+//! ```sh
+//! cargo run --release --example serial_dilution
+//! ```
+
+use meda::bioassay::{benchmarks, RjHelper};
+use meda::grid::ChipDims;
+use meda::sim::{
+    AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip, DegradationConfig,
+    Router, RunConfig,
+};
+use rand::SeedableRng;
+
+fn survival(router_name: &str, mut router: impl Router, seed: u64) {
+    let dims = ChipDims::PAPER;
+    let plan = RjHelper::new(dims)
+        .plan(&benchmarks::serial_dilution())
+        .expect("benchmark plans cleanly");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut chip = Biochip::generate(dims, &DegradationConfig::paper(), &mut rng);
+    let runner = BioassayRunner::new(RunConfig {
+        k_max: 700,
+        record_actuation: false,
+    });
+
+    println!("\n--- {router_name} ---");
+    let mut successes = 0;
+    for run in 1..=8 {
+        let outcome = runner.run(&plan, &mut chip, &mut router, &mut rng);
+        println!(
+            "run {run}: {:?} after {} cycles (cumulative wear {})",
+            outcome.status,
+            outcome.cycles,
+            chip.total_actuations()
+        );
+        if outcome.is_success() {
+            successes += 1;
+        } else {
+            println!("chip considered exhausted for this router; stopping");
+            break;
+        }
+    }
+    println!("{router_name}: {successes} successful executions before first failure");
+    println!("final wear map (log-scale actuation counts, north up):");
+    for line in meda::sim::render::wear_map(&chip).lines() {
+        println!("  {line}");
+    }
+}
+
+fn main() {
+    println!(
+        "Serial dilution (26 routing jobs) on a reused 60x30 chip, \
+         k_max = 700 cycles per run."
+    );
+    // Same seed ⇒ both routers face an identically-degrading chip model.
+    survival("baseline shortest-path", BaselineRouter::new(), 2024);
+    survival(
+        "adaptive formal synthesis",
+        AdaptiveRouter::new(AdaptiveConfig::paper()),
+        2024,
+    );
+    println!(
+        "\nExpected shape (paper Fig. 15): the adaptive router sustains \
+         more executions within the same budget because it steers around \
+         worn microelectrodes instead of re-stressing the same corridor."
+    );
+}

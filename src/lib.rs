@@ -1,0 +1,57 @@
+//! `meda` — formal synthesis of adaptive droplet routing for MEDA biochips.
+//!
+//! A from-scratch Rust reproduction of *"Formal Synthesis of Adaptive
+//! Droplet Routing for MEDA Biochips"* (Elfar, Liang, Chakrabarty, Pajic —
+//! DATE 2021). This umbrella crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`grid`] | `meda-grid` | cells, rectangles, chip dims, dense matrices |
+//! | [`cell`] | `meda-cell` | microelectrode circuit + dual-DFF 2-bit health sensing |
+//! | [`degradation`] | `meda-degradation` | charge-trapping physics, `τ^(n/c)` health model |
+//! | [`core`] | `meda-core` | droplet/actuation model, frontier sets, SMG, routing MDP |
+//! | [`synth`] | `meda-synth` | value-iteration synthesis (Pmax / Rmin), strategy library |
+//! | [`bioassay`] | `meda-bioassay` | sequencing graphs, MO→RJ helper, benchmark bioassays |
+//! | [`sim`] | `meda-sim` | biochip simulator, routers, schedulers, fault injection, sensing reconstruction, wear analysis, experiments |
+//!
+//! # Quickstart
+//!
+//! Synthesize an adaptive routing strategy and execute a bioassay on a
+//! degrading chip:
+//!
+//! ```
+//! use meda::bioassay::{benchmarks, RjHelper};
+//! use meda::grid::ChipDims;
+//! use meda::sim::{AdaptiveConfig, AdaptiveRouter, BioassayRunner, Biochip,
+//!                 DegradationConfig, RunConfig};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let plan = RjHelper::new(ChipDims::PAPER).plan(&benchmarks::covid_rat())?;
+//! let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
+//! let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+//!
+//! let outcome = BioassayRunner::new(RunConfig::default())
+//!     .run(&plan, &mut chip, &mut router, &mut rng);
+//! assert!(outcome.is_success());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every reproduced table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The contents of `TUTORIAL.md`, included here so its code snippets are
+/// compiled and run as doctests.
+#[doc = include_str!("../TUTORIAL.md")]
+pub mod tutorial {}
+
+pub use meda_bioassay as bioassay;
+pub use meda_cell as cell;
+pub use meda_core as core;
+pub use meda_degradation as degradation;
+pub use meda_grid as grid;
+pub use meda_sim as sim;
+pub use meda_synth as synth;

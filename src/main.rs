@@ -1,0 +1,288 @@
+//! `meda` — command-line front end to the MEDA reproduction workspace.
+//!
+//! ```text
+//! meda list                                  benchmark bioassays + stats
+//! meda plan <assay>                          Table IV-style RJ decomposition
+//! meda run <assay> [options]                 execute on a simulated chip
+//! meda synth [options]                       synthesize one routing job
+//! meda export-prism <assay> <job#> [--dir D] PRISM explicit-format export
+//! meda wear <assay> [options]                run repeatedly, print wear map
+//! ```
+//!
+//! Run `meda <command> --help` (or no arguments) for the option lists.
+
+use std::process::ExitCode;
+
+use meda::bioassay::{benchmarks, BioassayPlan, RjHelper, SequencingGraph};
+use meda::core::{ActionConfig, RoutingMdp, UniformField};
+use meda::grid::{ChipDims, Rect};
+use meda::sim::{
+    render, AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip,
+    DegradationConfig, FaultMode, RecoveryRouter, Router, RunConfig,
+};
+use meda::synth::{synthesize, to_prism_explicit, Query};
+use rand::SeedableRng;
+
+const USAGE: &str = "\
+meda — formal synthesis of adaptive droplet routing for MEDA biochips
+
+USAGE:
+  meda list
+  meda plan <assay>
+  meda run <assay> [--router adaptive|baseline|recovery] [--seed N]
+                   [--faults uniform|clustered] [--fraction F] [--runs N]
+                   [--k-max N]
+  meda synth [--area WxH] [--droplet WxH] [--force F] [--query rmin|pmax]
+  meda export-prism <assay> <job-index>
+  meda wear <assay> [--runs N] [--seed N]
+
+Assays: master-mix, covid-rat, cep, covid-pcr, nuip, serial-dilution";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => cmd_list(),
+        Some("plan") => cmd_plan(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("synth") => cmd_synth(&args[1..]),
+        Some("export-prism") => cmd_export(&args[1..]),
+        Some("wear") => cmd_wear(&args[1..]),
+        _ => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn assay_by_name(name: &str) -> Result<SequencingGraph, String> {
+    benchmarks::evaluation_suite()
+        .into_iter()
+        .find(|sg| sg.name() == name)
+        .ok_or_else(|| format!("unknown assay '{name}' (see `meda list`)"))
+}
+
+fn plan_assay(name: &str) -> Result<BioassayPlan, String> {
+    let sg = assay_by_name(name)?;
+    RjHelper::new(ChipDims::PAPER)
+        .plan(&sg)
+        .map_err(|e| e.to_string())
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_size(text: &str) -> Result<(u32, u32), String> {
+    let (w, h) = text
+        .split_once('x')
+        .ok_or_else(|| format!("expected WxH, got '{text}'"))?;
+    Ok((
+        w.parse().map_err(|_| format!("bad width '{w}'"))?,
+        h.parse().map_err(|_| format!("bad height '{h}'"))?,
+    ))
+}
+
+fn cmd_list() -> Result<(), String> {
+    let helper = RjHelper::new(ChipDims::PAPER);
+    println!(
+        "{:18} {:>5} {:>6} {:>11}",
+        "assay", "ops", "jobs", "transport"
+    );
+    for sg in benchmarks::evaluation_suite() {
+        let plan = helper.plan(&sg).map_err(|e| e.to_string())?;
+        println!(
+            "{:18} {:>5} {:>6} {:>11.1}",
+            sg.name(),
+            plan.operations().len(),
+            plan.total_jobs(),
+            plan.total_transport()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("usage: meda plan <assay>")?;
+    let plan = plan_assay(name)?;
+    println!(
+        "{:6} {:5} {:>20} {:>20} {:>20}",
+        "RJ", "type", "start", "goal", "bounds"
+    );
+    for mo in plan.operations() {
+        for (j, job) in mo.jobs.iter().enumerate() {
+            println!(
+                "{:6} {:5} {:>20} {:>20} {:>20}",
+                format!("RJ{}.{j}", mo.id + 1),
+                mo.op.to_string(),
+                job.start.to_string(),
+                job.goal.to_string(),
+                job.bounds.to_string()
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("usage: meda run <assay> [options]")?;
+    let plan = plan_assay(name)?;
+    let seed: u64 =
+        flag(args, "--seed").map_or(Ok(1), |s| s.parse().map_err(|_| format!("bad seed '{s}'")))?;
+    let runs: u32 = flag(args, "--runs").map_or(Ok(1), |s| {
+        s.parse().map_err(|_| format!("bad run count '{s}'"))
+    })?;
+    let k_max: u64 = flag(args, "--k-max").map_or(Ok(2_000), |s| {
+        s.parse().map_err(|_| format!("bad k-max '{s}'"))
+    })?;
+    let fraction: f64 = flag(args, "--fraction").map_or(Ok(0.05), |s| {
+        s.parse().map_err(|_| format!("bad fraction '{s}'"))
+    })?;
+    let degradation = match flag(args, "--faults").as_deref() {
+        None => DegradationConfig::paper(),
+        Some("uniform") => DegradationConfig::paper_with_faults(FaultMode::Uniform, fraction),
+        Some("clustered") => DegradationConfig::paper_with_faults(FaultMode::Clustered, fraction),
+        Some(other) => return Err(format!("unknown fault mode '{other}'")),
+    };
+    let router_name = flag(args, "--router").unwrap_or_else(|| "adaptive".into());
+    let mut router: Box<dyn Router> = match router_name.as_str() {
+        "adaptive" => Box::new(AdaptiveRouter::new(AdaptiveConfig::paper())),
+        "baseline" => Box::new(BaselineRouter::new()),
+        "recovery" => Box::new(RecoveryRouter::new(8)),
+        other => return Err(format!("unknown router '{other}'")),
+    };
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut chip = Biochip::generate(ChipDims::PAPER, &degradation, &mut rng);
+    let runner = BioassayRunner::new(RunConfig {
+        k_max,
+        record_actuation: false,
+    });
+    for run in 1..=runs {
+        let outcome = runner.run(&plan, &mut chip, router.as_mut(), &mut rng);
+        println!(
+            "run {run}: {:?} in {} cycles (total chip actuations {})",
+            outcome.status,
+            outcome.cycles,
+            chip.total_actuations()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), String> {
+    let (aw, ah) = flag(args, "--area").map_or(Ok((20, 20)), |s| parse_size(&s))?;
+    let (dw, dh) = flag(args, "--droplet").map_or(Ok((4, 4)), |s| parse_size(&s))?;
+    let force: f64 = flag(args, "--force").map_or(Ok(0.9), |s| {
+        s.parse().map_err(|_| format!("bad force '{s}'"))
+    })?;
+    let query = match flag(args, "--query").as_deref() {
+        None | Some("rmin") => Query::MinExpectedCycles,
+        Some("pmax") => Query::MaxReachProbability,
+        Some(other) => return Err(format!("unknown query '{other}'")),
+    };
+    if dw >= aw || dh >= ah {
+        return Err("droplet must be smaller than the area".into());
+    }
+
+    let start = Rect::with_size(1, 1, dw, dh);
+    let goal = Rect::with_size(aw as i32 - dw as i32 + 1, ah as i32 - dh as i32 + 1, dw, dh);
+    let bounds = Rect::new(1, 1, aw as i32, ah as i32);
+    let mdp = RoutingMdp::build(
+        start,
+        goal,
+        bounds,
+        &UniformField::new(force),
+        &ActionConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let stats = mdp.stats();
+    println!(
+        "model: {} states, {} transitions, {} choices (query {query})",
+        stats.states, stats.transitions, stats.choices
+    );
+    let strategy = synthesize(&mdp, query).map_err(|e| e.to_string())?;
+    println!("value at start: {:.4}", strategy.value_at_init());
+
+    let rects = strategy.nominal_path();
+    let mut rendered = vec![format!("{}", rects[0])];
+    for pair in rects.windows(2) {
+        let action = strategy.decide(pair[0]).expect("interior step");
+        rendered.push(format!("-[{action}]-> {}", pair[1]));
+    }
+    println!("nominal path: {}", rendered.join(" "));
+    println!(
+        "policy map (anchor positions, north up):\n{}",
+        strategy.policy_map()
+    );
+    Ok(())
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .ok_or("usage: meda export-prism <assay> <job-index>")?;
+    let index: usize = args
+        .get(1)
+        .ok_or("usage: meda export-prism <assay> <job-index>")?
+        .parse()
+        .map_err(|_| "job index must be a number".to_string())?;
+    let plan = plan_assay(name)?;
+    let job = plan
+        .operations()
+        .iter()
+        .flat_map(|mo| mo.jobs.iter())
+        .filter(|j| !j.is_dispense())
+        .nth(index)
+        .ok_or_else(|| format!("assay has fewer than {} routed jobs", index + 1))?;
+    let mdp = RoutingMdp::build(
+        job.start,
+        job.goal,
+        job.bounds,
+        &UniformField::new(0.9),
+        &ActionConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let model = to_prism_explicit(&mdp);
+    println!("== {name}-{index}.sta ==\n{}", model.states);
+    println!("== {name}-{index}.tra ==\n{}", model.transitions);
+    println!("== {name}-{index}.lab ==\n{}", model.labels);
+    Ok(())
+}
+
+fn cmd_wear(args: &[String]) -> Result<(), String> {
+    let name = args.first().ok_or("usage: meda wear <assay> [options]")?;
+    let plan = plan_assay(name)?;
+    let runs: u32 = flag(args, "--runs").map_or(Ok(3), |s| {
+        s.parse().map_err(|_| format!("bad run count '{s}'"))
+    })?;
+    let seed: u64 =
+        flag(args, "--seed").map_or(Ok(1), |s| s.parse().map_err(|_| format!("bad seed '{s}'")))?;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
+    let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+    let runner = BioassayRunner::new(RunConfig {
+        k_max: 5_000,
+        record_actuation: false,
+    });
+    for _ in 0..runs {
+        let outcome = runner.run(&plan, &mut chip, &mut router, &mut rng);
+        if !outcome.is_success() {
+            println!("run aborted: {:?}", outcome.status);
+            break;
+        }
+    }
+    println!("wear after {runs} runs of {name} (log-scale buckets, north up):");
+    println!("{}", render::wear_map(&chip));
+    println!("\nhealth map:");
+    println!("{}", render::health_map(&chip.health_field(), &[]));
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Integration tests for the `meda` command-line tool, driving the real
+//! binary.
+
+use std::process::Command;
+
+fn meda(args: &[&str]) -> (String, String, bool) {
+    let output = Command::new(env!("CARGO_BIN_EXE_meda"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+        output.status.success(),
+    )
+}
+
+#[test]
+fn no_arguments_prints_usage() {
+    let (stdout, _, ok) = meda(&[]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("meda run"));
+}
+
+#[test]
+fn list_shows_all_six_benchmarks() {
+    let (stdout, _, ok) = meda(&["list"]);
+    assert!(ok);
+    for name in [
+        "master-mix",
+        "covid-rat",
+        "cep",
+        "covid-pcr",
+        "nuip",
+        "serial-dilution",
+    ] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn plan_reproduces_rj_rows() {
+    let (stdout, _, ok) = meda(&["plan", "covid-rat"]);
+    assert!(ok);
+    assert!(stdout.contains("RJ1.0"));
+    assert!(stdout.contains("dis"));
+    assert!(stdout.contains("mag"));
+}
+
+#[test]
+fn run_is_seed_deterministic() {
+    let (a, _, ok_a) = meda(&["run", "master-mix", "--seed", "5", "--router", "baseline"]);
+    let (b, _, ok_b) = meda(&["run", "master-mix", "--seed", "5", "--router", "baseline"]);
+    assert!(ok_a && ok_b);
+    assert_eq!(a, b);
+    assert!(a.contains("Success"));
+}
+
+#[test]
+fn synth_prints_model_and_path() {
+    let (stdout, _, ok) = meda(&[
+        "synth",
+        "--area",
+        "12x8",
+        "--droplet",
+        "3x3",
+        "--force",
+        "0.8",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("states"));
+    assert!(stdout.contains("nominal path"));
+}
+
+#[test]
+fn export_prism_emits_three_sections() {
+    let (stdout, _, ok) = meda(&["export-prism", "covid-rat", "0"]);
+    assert!(ok);
+    assert!(stdout.contains(".sta =="));
+    assert!(stdout.contains(".tra =="));
+    assert!(stdout.contains(".lab =="));
+    assert!(stdout.contains("(xa,ya,xb,yb)"));
+}
+
+#[test]
+fn unknown_assay_fails_with_message() {
+    let (_, stderr, ok) = meda(&["plan", "no-such-assay"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown assay"));
+}
+
+#[test]
+fn bad_flag_values_fail_cleanly() {
+    let (_, stderr, ok) = meda(&["run", "cep", "--seed", "banana"]);
+    assert!(!ok);
+    assert!(stderr.contains("bad seed"));
+    let (_, stderr, ok) = meda(&["synth", "--droplet", "20x20", "--area", "10x10"]);
+    assert!(!ok);
+    assert!(stderr.contains("smaller than the area"));
+}

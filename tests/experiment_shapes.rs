@@ -1,0 +1,115 @@
+//! Miniature versions of the paper's evaluation experiments, asserting
+//! the qualitative *shapes* the paper reports (full-size regenerations
+//! live in `crates/bench/src/bin`).
+
+use meda::bioassay::{benchmarks, RjHelper};
+use meda::grid::ChipDims;
+use meda::sim::experiment::{actuation_correlation, fault_trials, pos_sweep};
+use meda::sim::{AdaptiveConfig, AdaptiveRouter, BaselineRouter, DegradationConfig, FaultMode};
+
+/// Fig. 3 shape: correlation falls with distance and rises with droplet
+/// size.
+#[test]
+fn correlation_trends_match_fig3() {
+    let dims = ChipDims::PAPER;
+    let helper = RjHelper::new(dims);
+    let small = helper.plan(&benchmarks::multiplex_invitro((3, 3))).unwrap();
+    let large = helper.plan(&benchmarks::multiplex_invitro((6, 6))).unwrap();
+
+    let c_small = actuation_correlation(&small, dims, &[1, 4], 21);
+    let c_large = actuation_correlation(&large, dims, &[1, 4], 21);
+
+    assert!(
+        c_small[0].coefficient > c_small[1].coefficient,
+        "falls with distance"
+    );
+    assert!(
+        c_large[0].coefficient > c_large[1].coefficient,
+        "falls with distance"
+    );
+    assert!(
+        c_large[1].coefficient > c_small[1].coefficient,
+        "rises with droplet size: {} vs {}",
+        c_large[1].coefficient,
+        c_small[1].coefficient
+    );
+}
+
+/// Fig. 15 shape: at a tight budget the adaptive router's PoS dominates
+/// the baseline's; both saturate with slack.
+#[test]
+fn pos_gap_matches_fig15() {
+    let dims = ChipDims::PAPER;
+    let plan = RjHelper::new(dims)
+        .plan(&benchmarks::serial_dilution())
+        .unwrap();
+    let degradation = DegradationConfig::paper();
+    // ~1.1× and ~3× the nominal run length (≈253 cycles).
+    let k_values = [280, 800];
+
+    let base = pos_sweep(
+        &plan,
+        dims,
+        &degradation,
+        BaselineRouter::new,
+        &k_values,
+        4,
+        2,
+        33,
+    );
+    let adap = pos_sweep(
+        &plan,
+        dims,
+        &degradation,
+        || AdaptiveRouter::new(AdaptiveConfig::paper()),
+        &k_values,
+        4,
+        2,
+        33,
+    );
+
+    assert!(
+        adap[0].pos >= base[0].pos,
+        "tight budget: adaptive {} vs baseline {}",
+        adap[0].pos,
+        base[0].pos
+    );
+    assert!(adap[1].pos >= adap[0].pos, "PoS is monotone in k_max");
+    assert!(adap[1].pos > 0.9, "ample budget saturates: {}", adap[1].pos);
+}
+
+/// Fig. 16 shape: under clustered faults the adaptive router needs no more
+/// cycles than the baseline and completes at least as many executions.
+#[test]
+fn fault_trial_ordering_matches_fig16() {
+    let dims = ChipDims::PAPER;
+    let plan = RjHelper::new(dims).plan(&benchmarks::covid_rat()).unwrap();
+    let config = DegradationConfig::paper_with_faults(FaultMode::Clustered, 0.08);
+
+    let base = fault_trials(&plan, dims, &config, BaselineRouter::new, 3, 3, 800, 44);
+    let adap = fault_trials(
+        &plan,
+        dims,
+        &config,
+        || AdaptiveRouter::new(AdaptiveConfig::paper()),
+        3,
+        3,
+        800,
+        44,
+    );
+
+    assert!(
+        adap.mean_successes >= base.mean_successes,
+        "adaptive completes at least as many executions ({} vs {})",
+        adap.mean_successes,
+        base.mean_successes
+    );
+    if (adap.mean_successes - base.mean_successes).abs() < f64::EPSILON {
+        assert!(
+            adap.mean_cycles <= base.mean_cycles * 1.02,
+            "equal successes must not cost more cycles: {} vs {}",
+            adap.mean_cycles,
+            base.mean_cycles
+        );
+    }
+}

@@ -1,0 +1,165 @@
+//! The paper's worked Examples 1–5, verified end-to-end across crates.
+
+use meda::bioassay::{RjHelper, SequencingGraph};
+use meda::core::{frontier_set, transitions, Action, Dir, Ordinal, RawField};
+use meda::grid::{Cell, ChipDims, Grid, Rect};
+
+/// Example 1: droplet δ = (3, 2, 7, 5) geometry and actuation matrix.
+#[test]
+fn example_1_droplet_model() {
+    let delta = Rect::new(3, 2, 7, 5);
+    assert_eq!(delta.width(), 5);
+    assert_eq!(delta.height(), 4);
+    assert_eq!(delta.area(), 20);
+    assert!((delta.aspect_ratio() - 1.25).abs() < 1e-12);
+
+    // U_ij = 1 exactly on [[3,7]] × [[2,5]].
+    let dims = ChipDims::new(10, 8);
+    let mut u = Grid::new(dims, false);
+    u.fill_rect(delta, true);
+    for cell in dims.cells() {
+        assert_eq!(u[cell], delta.contains_cell(cell), "at {cell}");
+    }
+    assert_eq!(u.count_set(), 20);
+}
+
+/// Example 2: frontier sets of a_NE on δ = (3, 2, 7, 5).
+#[test]
+fn example_2_frontier_sets() {
+    let delta = Rect::new(3, 2, 7, 5);
+    let a = Action::MoveOrdinal(Ordinal::NE);
+    assert_eq!(
+        frontier_set(delta, a, Dir::E),
+        Some(Rect::new(8, 3, 8, 6)),
+        "Fr(δ; a_NE, E) = [[8,8]] × [[3,6]]"
+    );
+    assert_eq!(
+        frontier_set(delta, a, Dir::N),
+        Some(Rect::new(4, 6, 8, 6)),
+        "Fr(δ; a_NE, N) = [[4,8]] × [[6,6]]"
+    );
+}
+
+/// Example 3: transition probabilities under the given degradation values.
+#[test]
+fn example_3_transition_probabilities() {
+    let dims = ChipDims::new(12, 8);
+    let mut f = Grid::new(dims, 1.0);
+    for (i, v) in [0.6, 0.5, 0.8, 0.9].iter().enumerate() {
+        f[Cell::new(8, 3 + i as i32)] = *v;
+    }
+    for (i, v) in [0.9, 0.4, 0.9, 0.7, 0.9].iter().enumerate() {
+        f[Cell::new(4 + i as i32, 6)] = *v;
+    }
+    let field = RawField::new(f);
+    let delta = Rect::new(3, 2, 7, 5);
+    let out = transitions(delta, Action::MoveOrdinal(Ordinal::NE), &field);
+    let p = |r: Rect| {
+        out.iter()
+            .find(|o| o.droplet == r)
+            .map_or(0.0, |o| o.probability)
+    };
+    assert!((p(delta.translate(1, 1)) - 0.532).abs() < 1e-9, "p(NE)");
+    // Example 3 reports the one-axis residuals {0.168, 0.228}.
+    let mut residuals = [p(delta.translate(0, 1)), p(delta.translate(1, 0))];
+    residuals.sort_by(f64::total_cmp);
+    assert!((residuals[0] - 0.168).abs() < 1e-9);
+    assert!((residuals[1] - 0.228).abs() < 1e-9);
+}
+
+/// Example 4: the Fig. 12 sequence graph and its center locations.
+#[test]
+fn example_4_sequence_graph() {
+    let mut sg = SequencingGraph::new("fig12");
+    let m1 = sg.dispense((17.5, 2.5), (4, 4));
+    let m2 = sg.dispense((17.5, 28.5), (4, 4));
+    let m3 = sg.mix(&[m1, m2], (10.5, 15.5));
+    let m4 = sg.magnetic(m3, (40.5, 15.5));
+    assert!(sg.validate().is_ok());
+
+    // M1's 4×4 droplet (16, 1, 19, 4) has center (17.5, 2.5).
+    let plan = RjHelper::new(ChipDims::PAPER).plan(&sg).unwrap();
+    let d1 = plan.operations()[m1].outputs[0];
+    assert_eq!(d1, Rect::new(16, 1, 19, 4));
+    assert_eq!(d1.center(), (17.5, 2.5));
+    assert_eq!(plan.operations()[m4].op.inputs(), 1);
+}
+
+/// Example 5 / Table IV: the complete RJ decomposition.
+#[test]
+fn example_5_rj_helper_table_iv() {
+    let mut sg = SequencingGraph::new("table-iv");
+    let m1 = sg.dispense((17.5, 2.5), (4, 4));
+    let m2 = sg.dispense((17.5, 28.5), (4, 4));
+    let m3 = sg.mix(&[m1, m2], (10.5, 15.5));
+    let m4 = sg.magnetic(m3, (40.5, 15.5));
+    let plan = RjHelper::new(ChipDims::PAPER).plan(&sg).unwrap();
+
+    let expect = [
+        (
+            m1,
+            0,
+            Rect::off_chip_origin(),
+            Rect::new(16, 1, 19, 4),
+            Rect::new(13, 1, 22, 7),
+        ),
+        (
+            m2,
+            0,
+            Rect::off_chip_origin(),
+            Rect::new(16, 27, 19, 30),
+            Rect::new(13, 24, 22, 30),
+        ),
+        (
+            m3,
+            0,
+            Rect::new(16, 1, 19, 4),
+            Rect::new(9, 14, 12, 17),
+            Rect::new(6, 1, 22, 20),
+        ),
+        (
+            m3,
+            1,
+            Rect::new(16, 27, 19, 30),
+            Rect::new(9, 14, 12, 17),
+            Rect::new(6, 11, 22, 30),
+        ),
+        (
+            m4,
+            0,
+            Rect::new(8, 14, 13, 18),
+            Rect::new(38, 14, 43, 18),
+            Rect::new(5, 11, 46, 21),
+        ),
+    ];
+    for (mo, j, start, goal, bounds) in expect {
+        let job = plan.jobs_for(mo)[j];
+        assert_eq!(job.start, start, "RJ{}.{j} start", mo + 1);
+        assert_eq!(job.goal, goal, "RJ{}.{j} goal", mo + 1);
+        assert_eq!(job.bounds, bounds, "RJ{}.{j} bounds", mo + 1);
+    }
+    // The mix output is the 6×5 (area 32, 6.3% error) pattern of Table IV.
+    assert_eq!(plan.operations()[m3].outputs[0], Rect::new(8, 14, 13, 18));
+}
+
+/// The paper's guard example: r = 3/2 on δ = (3, 2, 7, 5) enables a_↑ and
+/// disables a_↓.
+#[test]
+fn guard_example_from_section_v() {
+    let delta = Rect::new(3, 2, 7, 5);
+    let config = meda::core::ActionConfig {
+        aspect_ratio_max: 1.5,
+        ..meda::core::ActionConfig::default()
+    };
+    let roomy = Rect::new(-20, -20, 30, 30);
+    for o in Ordinal::ALL {
+        assert!(
+            Action::Heighten(o).is_enabled(delta, roomy, &config),
+            "g_↑ = 1"
+        );
+        assert!(
+            !Action::Widen(o).is_enabled(delta, roomy, &config),
+            "g_↓ = 0"
+        );
+    }
+}
