@@ -7,10 +7,10 @@ use meda_bioassay::{benchmarks, RjHelper};
 use meda_core::HealthField;
 use meda_degradation::HealthLevel;
 use meda_grid::{ChipDims, Grid};
+use meda_rng::SeedableRng;
 use meda_sim::{
     AdaptiveConfig, AdaptiveRouter, BioassayRunner, Biochip, DegradationConfig, RunConfig,
 };
-use rand::SeedableRng;
 
 fn main() {
     banner(
@@ -40,7 +40,7 @@ fn main() {
             "hybrid (warm)",
             "static (no resynth)",
         ] {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(777);
+            let mut rng = meda_rng::StdRng::seed_from_u64(777);
             let mut chip = Biochip::generate(dims, &DegradationConfig::paper(), &mut rng);
             let mut router = match scheme {
                 "pure-online" => AdaptiveRouter::new(AdaptiveConfig::pure_online()),

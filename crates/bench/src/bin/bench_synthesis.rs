@@ -1,0 +1,374 @@
+//! Synthesis-performance benchmark: per-Table-V-cell model construction
+//! and solve wall-clock, written to `BENCH_synthesis.json`.
+//!
+//! Two builders are timed on identical inputs:
+//!
+//! * **hashmap** — a faithful reimplementation of the original
+//!   `HashMap<Rect, usize>`-indexed, nested-`Vec` construction this
+//!   workspace used before the dense-index/CSR rewrite (DESIGN.md §7);
+//! * **csr** — the current [`meda_core::RoutingMdp`] builder (perfect
+//!   dense state index + CSR transition arrays).
+//!
+//! On the solver side, the cold Gauss–Seidel `Rmin` solve is compared
+//! against a warm-started re-solve on a degraded field seeded with the
+//! healthy-field values (the mid-job re-synthesis path).
+//!
+//! Run with `--smoke` for a single small cell (CI wiring).
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use meda_bench::{banner, header, row};
+use meda_core::{
+    frontier_set, Action, ActionConfig, ForceProvider, HealthField, Outcome, RoutingMdp,
+};
+use meda_degradation::HealthLevel;
+use meda_grid::{ChipDims, Grid, Rect};
+use meda_synth::{min_expected_cycles, SolverOptions};
+
+/// The pre-rewrite outcome generation, kept verbatim for the baseline: a
+/// fresh `Vec` per match arm plus a second one in `merge`. The in-tree
+/// [`transitions`] now fills a reusable buffer, so timing the baseline
+/// against it would understate the original builder's allocation cost.
+fn transitions_baseline(delta: Rect, action: Action, field: &dyn ForceProvider) -> Vec<Outcome> {
+    let mean =
+        |d: Rect, a: Action, dir| frontier_set(d, a, dir).map_or(0.0, |fr| field.mean_force(fr));
+    let outcome = |droplet, probability| Outcome {
+        droplet,
+        probability,
+    };
+    if !action.is_applicable(delta) {
+        return vec![outcome(delta, 1.0)];
+    }
+    let outcomes = match action {
+        Action::Move(d) => {
+            let p = mean(delta, action, d);
+            vec![outcome(action.apply(delta), p), outcome(delta, 1.0 - p)]
+        }
+        Action::MoveDouble(d) => {
+            let single = Action::Move(d);
+            let intermediate = action
+                .intermediate(delta)
+                .expect("double step has an intermediate");
+            let p1 = mean(delta, single, d);
+            let p2 = mean(intermediate, single, d);
+            vec![
+                outcome(action.apply(delta), p1 * p2),
+                outcome(intermediate, p1 * (1.0 - p2)),
+                outcome(delta, 1.0 - p1),
+            ]
+        }
+        Action::MoveOrdinal(o) => {
+            let pd = mean(delta, action, o.vertical());
+            let pd2 = mean(delta, action, o.horizontal());
+            let (dx, dy) = o.delta();
+            vec![
+                outcome(delta.translate(dx, dy), pd * pd2),
+                outcome(delta.translate(0, dy), pd * (1.0 - pd2)),
+                outcome(delta.translate(dx, 0), (1.0 - pd) * pd2),
+                outcome(delta, (1.0 - pd) * (1.0 - pd2)),
+            ]
+        }
+        Action::Widen(o) => {
+            let p = mean(delta, action, o.horizontal());
+            vec![outcome(action.apply(delta), p), outcome(delta, 1.0 - p)]
+        }
+        Action::Heighten(o) => {
+            let p = mean(delta, action, o.vertical());
+            vec![outcome(action.apply(delta), p), outcome(delta, 1.0 - p)]
+        }
+    };
+    let mut merged: Vec<Outcome> = Vec::with_capacity(outcomes.len());
+    for o in outcomes {
+        if let Some(existing) = merged.iter_mut().find(|m| m.droplet == o.droplet) {
+            existing.probability += o.probability;
+        } else {
+            merged.push(o);
+        }
+    }
+    merged
+}
+
+/// One state's choices in the baseline's nested-`Vec` transition layout.
+type ChoiceRow = Vec<(Action, Vec<(usize, f64)>)>;
+
+/// The original hash-map construction, kept verbatim as the timing
+/// baseline (the checked-in builder no longer has this code path).
+fn build_hashmap_baseline(
+    start: Rect,
+    goal: Rect,
+    bounds: Rect,
+    field: &dyn ForceProvider,
+    config: &ActionConfig,
+) -> (usize, usize, usize) {
+    let mut states = vec![start];
+    let mut index: HashMap<Rect, usize> = HashMap::new();
+    index.insert(start, 0);
+    let mut choices: Vec<ChoiceRow> = Vec::new();
+    let mut goal_flags = vec![goal.contains_rect(start)];
+
+    let mut frontier = 0;
+    while frontier < states.len() {
+        let delta = states[frontier];
+        let mut row = Vec::new();
+        if !goal_flags[frontier] {
+            for action in Action::ALL {
+                if !action.is_enabled(delta, bounds, config) {
+                    continue;
+                }
+                let mut branch = Vec::new();
+                for outcome in transitions_baseline(delta, action, field) {
+                    if outcome.probability <= 0.0 {
+                        continue;
+                    }
+                    let next = *index.entry(outcome.droplet).or_insert_with(|| {
+                        states.push(outcome.droplet);
+                        goal_flags.push(goal.contains_rect(outcome.droplet));
+                        states.len() - 1
+                    });
+                    branch.push((next, outcome.probability));
+                }
+                if !branch.is_empty() {
+                    row.push((action, branch));
+                }
+            }
+        }
+        choices.push(row);
+        frontier += 1;
+    }
+
+    let n_choices: usize = choices.iter().map(Vec::len).sum();
+    let n_transitions: usize = choices.iter().flatten().map(|(_, b)| b.len()).sum();
+    (states.len(), n_choices, n_transitions)
+}
+
+/// Deterministic non-uniform health matrix — synthesis always plans on a
+/// [`HealthField`], so that is the representative construction workload.
+/// `wear` shifts every reading down one bin, modelling mid-job
+/// degradation (pointwise, so healthy values stay a valid warm-start
+/// lower bound for the degraded re-solve).
+fn planning_field(area: (u32, u32), wear: u8) -> HealthField {
+    const BITS: u8 = 3;
+    // Two cells of margin so frontier lookups beyond the routing bounds
+    // stay on-chip.
+    let dims = ChipDims::new(area.0 + 2, area.1 + 2);
+    let health = Grid::from_fn(dims, |c| {
+        let spread = ((c.x * 7 + c.y * 13) % 3) as u8;
+        HealthLevel::new(7 - spread - wear, BITS)
+    });
+    HealthField::new(health, BITS)
+}
+
+fn geometry(area: (u32, u32), droplet: (u32, u32)) -> (Rect, Rect, Rect) {
+    let (aw, ah) = area;
+    let (dw, dh) = droplet;
+    let bounds = Rect::new(1, 1, aw as i32, ah as i32);
+    let start = Rect::with_size(1, 1, dw, dh);
+    let goal = Rect::with_size(aw as i32 - dw as i32 + 1, ah as i32 - dh as i32 + 1, dw, dh);
+    (start, goal, bounds)
+}
+
+/// Wall-clock of the fastest of `reps` runs of `f` (first run included —
+/// both builders touch freshly allocated memory either way).
+fn best_of<T>(reps: u32, mut f: impl FnMut() -> T) -> (f64, T) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        out = Some(v);
+    }
+    (best, out.unwrap())
+}
+
+struct CellResult {
+    area: (u32, u32),
+    droplet: (u32, u32),
+    states: usize,
+    choices: usize,
+    transitions: usize,
+    construct_hashmap_ms: f64,
+    construct_csr_ms: f64,
+    solve_cold_ms: f64,
+    solve_cold_iterations: usize,
+    resolve_cold_ms: f64,
+    resolve_cold_iterations: usize,
+    resolve_warm_ms: f64,
+    resolve_warm_iterations: usize,
+}
+
+fn measure_cell(area: (u32, u32), droplet: (u32, u32), reps: u32) -> CellResult {
+    let config = ActionConfig::moves_only();
+    let healthy = planning_field(area, 0);
+    let degraded = planning_field(area, 1);
+    let (start, goal, bounds) = geometry(area, droplet);
+
+    let (construct_hashmap_ms, baseline) = best_of(reps, || {
+        build_hashmap_baseline(start, goal, bounds, &healthy, &config)
+    });
+    let (construct_csr_ms, mdp) = best_of(reps, || {
+        RoutingMdp::build(start, goal, bounds, &healthy, &config).expect("consistent geometry")
+    });
+    let stats = mdp.stats();
+    assert_eq!(
+        (stats.states, stats.choices, stats.transitions),
+        baseline,
+        "builders disagree on model size"
+    );
+
+    let (solve_cold_ms, cold) =
+        best_of(reps, || min_expected_cycles(&mdp, SolverOptions::default()));
+
+    // Mid-job re-synthesis: same geometry on a degraded field, seeded with
+    // the healthy values (a pointwise lower bound — health only decays).
+    let mdp2 =
+        RoutingMdp::build(start, goal, bounds, &degraded, &config).expect("consistent geometry");
+    let seed: Vec<f64> = (0..mdp2.len())
+        .map(|i| {
+            mdp2.state_index(mdp2.state(i))
+                .and_then(|_| mdp.state_index(mdp2.state(i)))
+                .map_or(0.0, |j| cold.values[j])
+        })
+        .collect();
+    let (resolve_cold_ms, cold2) = best_of(reps, || {
+        min_expected_cycles(&mdp2, SolverOptions::default())
+    });
+    let (resolve_warm_ms, warm2) = best_of(reps, || {
+        min_expected_cycles(
+            &mdp2,
+            SolverOptions {
+                warm_start: Some(seed.clone()),
+                ..SolverOptions::default()
+            },
+        )
+    });
+    assert!(
+        warm2.iterations <= cold2.iterations,
+        "warm start took more sweeps"
+    );
+
+    CellResult {
+        area,
+        droplet,
+        states: stats.states,
+        choices: stats.choices,
+        transitions: stats.transitions,
+        construct_hashmap_ms,
+        construct_csr_ms,
+        solve_cold_ms,
+        solve_cold_iterations: cold.iterations,
+        resolve_cold_ms,
+        resolve_cold_iterations: cold2.iterations,
+        resolve_warm_ms,
+        resolve_warm_iterations: warm2.iterations,
+    }
+}
+
+fn to_json(results: &[CellResult], mode: &str) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"benchmark\": \"synthesis\",");
+    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
+    let _ = writeln!(
+        out,
+        "  \"note\": \"construct_hashmap_ms is the pre-rewrite HashMap/nested-Vec builder reimplemented as a baseline; construct_csr_ms is the dense-index/CSR builder; resolve_* re-solve the same geometry on a degraded field, cold vs warm-started from the healthy-field values\","
+    );
+    let _ = writeln!(out, "  \"cells\": [");
+    for (k, c) in results.iter().enumerate() {
+        let comma = if k + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"area\": [{}, {}], \"droplet\": [{}, {}], \"states\": {}, \"choices\": {}, \"transitions\": {}, \"construct_hashmap_ms\": {:.4}, \"construct_csr_ms\": {:.4}, \"construct_speedup\": {:.2}, \"solve_cold_ms\": {:.4}, \"solve_cold_iterations\": {}, \"resolve_cold_ms\": {:.4}, \"resolve_cold_iterations\": {}, \"resolve_warm_ms\": {:.4}, \"resolve_warm_iterations\": {}}}{comma}",
+            c.area.0,
+            c.area.1,
+            c.droplet.0,
+            c.droplet.1,
+            c.states,
+            c.choices,
+            c.transitions,
+            c.construct_hashmap_ms,
+            c.construct_csr_ms,
+            c.construct_hashmap_ms / c.construct_csr_ms,
+            c.solve_cold_ms,
+            c.solve_cold_iterations,
+            c.resolve_cold_ms,
+            c.resolve_cold_iterations,
+            c.resolve_warm_ms,
+            c.resolve_warm_iterations,
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    out.push_str("}\n");
+    out
+}
+
+/// One Table V cell: chip area (MCs) and droplet size (MCs).
+type Cell = ((u32, u32), (u32, u32));
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    banner(
+        "Synthesis performance — HashMap baseline vs dense-index/CSR builder",
+        "Per Table V cell: model size, construction time under both state\n\
+         indexes, and cold vs warm-started Rmin solve. Fastest of N runs.",
+    );
+
+    let (cells, reps): (&[Cell], u32) = if smoke {
+        (&[((10, 10), (3, 3))], 2)
+    } else {
+        (
+            &[
+                ((10, 10), (3, 3)),
+                ((10, 10), (4, 4)),
+                ((20, 20), (3, 3)),
+                ((20, 20), (4, 4)),
+                ((20, 20), (6, 6)),
+                ((30, 30), (3, 3)),
+                ((30, 30), (4, 4)),
+                ((30, 30), (6, 6)),
+            ],
+            5,
+        )
+    };
+
+    let widths = [8, 8, 8, 12, 11, 9, 9, 10, 10];
+    header(
+        &[
+            "area",
+            "droplet",
+            "#states",
+            "hashmap ms",
+            "csr ms",
+            "speedup",
+            "solve ms",
+            "re-cold it",
+            "re-warm it",
+        ],
+        &widths,
+    );
+    let mut results = Vec::new();
+    for &(area, droplet) in cells {
+        let c = measure_cell(area, droplet, reps);
+        row(
+            &[
+                format!("{}x{}", c.area.0, c.area.1),
+                format!("{}x{}", c.droplet.0, c.droplet.1),
+                format!("{}", c.states),
+                format!("{:.3}", c.construct_hashmap_ms),
+                format!("{:.3}", c.construct_csr_ms),
+                format!("{:.2}x", c.construct_hashmap_ms / c.construct_csr_ms),
+                format!("{:.3}", c.solve_cold_ms),
+                format!("{}", c.resolve_cold_iterations),
+                format!("{}", c.resolve_warm_iterations),
+            ],
+            &widths,
+        );
+        results.push(c);
+    }
+
+    let json = to_json(&results, if smoke { "smoke" } else { "full" });
+    let path = "BENCH_synthesis.json";
+    std::fs::write(path, &json).expect("write BENCH_synthesis.json");
+    println!("\nWrote {path}");
+}

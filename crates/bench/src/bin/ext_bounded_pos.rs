@@ -7,9 +7,9 @@
 use meda_bench::{banner, bar, header, row};
 use meda_core::{transitions, ActionConfig, ForceProvider, RawField, RoutingMdp};
 use meda_grid::{Cell, ChipDims, Grid, Rect};
+use meda_rng::StdRng;
+use meda_rng::{Rng, SeedableRng};
 use meda_synth::bounded_reach_probability;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");

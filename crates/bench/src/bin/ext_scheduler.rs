@@ -6,11 +6,11 @@
 use meda_bench::{banner, header, row};
 use meda_bioassay::{benchmarks, RjHelper};
 use meda_grid::ChipDims;
+use meda_rng::SeedableRng;
 use meda_sim::{
     AdaptiveConfig, AdaptiveRouter, BioassayRunner, Biochip, DegradationConfig, FaultMode,
     FifoScheduler, HealthAwareScheduler, MoScheduler, RunConfig,
 };
-use rand::SeedableRng;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -41,7 +41,7 @@ fn main() {
         let mut cycles_sum = 0u64;
         let mut resynth_sum = 0u64;
         for trial in 0..trials {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(3_000 + trial);
+            let mut rng = meda_rng::StdRng::seed_from_u64(3_000 + trial);
             let mut chip = Biochip::generate(dims, &config, &mut rng);
             let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
             let mut scheduler = make();

@@ -7,11 +7,11 @@
 use meda_bench::{banner, header, row};
 use meda_bioassay::{benchmarks, RjHelper};
 use meda_grid::ChipDims;
+use meda_rng::SeedableRng;
 use meda_sim::{
     analysis, AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip,
     DegradationConfig, Router, RunConfig,
 };
-use rand::SeedableRng;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -44,7 +44,7 @@ fn main() {
     for sg in [benchmarks::covid_rat(), benchmarks::serial_dilution()] {
         let plan = helper.plan(&sg).expect("benchmark plans cleanly");
         let measure = |name: &str, router: &mut dyn Router| {
-            let mut rng = rand::rngs::StdRng::seed_from_u64(808);
+            let mut rng = meda_rng::StdRng::seed_from_u64(808);
             let mut chip = Biochip::generate(dims, &DegradationConfig::paper(), &mut rng);
             let runner = BioassayRunner::new(RunConfig {
                 k_max: 3_000,

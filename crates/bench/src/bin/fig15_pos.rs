@@ -5,12 +5,12 @@
 use meda_bench::{banner, bar, header, row};
 use meda_bioassay::{benchmarks, RjHelper};
 use meda_grid::ChipDims;
+use meda_rng::SeedableRng;
 use meda_sim::experiment::pos_sweep;
 use meda_sim::{
     AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip, DegradationConfig,
     RunConfig,
 };
-use rand::SeedableRng;
 
 fn main() {
     // Heavier run when --full is passed (the committed defaults keep
@@ -34,7 +34,7 @@ fn main() {
         let plan = helper.plan(&sg).expect("benchmark plans cleanly");
 
         // Calibrate the nominal run length on a pristine chip.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng = meda_rng::StdRng::seed_from_u64(99);
         let mut pristine = Biochip::generate(dims, &DegradationConfig::pristine(), &mut rng);
         let mut cal_router = BaselineRouter::new();
         let nominal = BioassayRunner::new(RunConfig {

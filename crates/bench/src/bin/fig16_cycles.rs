@@ -6,12 +6,12 @@
 use meda_bench::{banner, header, row};
 use meda_bioassay::{benchmarks, RjHelper};
 use meda_grid::ChipDims;
+use meda_rng::SeedableRng;
 use meda_sim::experiment::{fault_trials, TrialStats};
 use meda_sim::{
     AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip, DegradationConfig,
     FaultMode, RunConfig,
 };
-use rand::SeedableRng;
 
 fn main() {
     let full = std::env::args().any(|a| a == "--full");
@@ -53,7 +53,7 @@ fn main() {
         let plan = helper.plan(&sg).expect("benchmark plans cleanly");
 
         // Calibrate the nominal run length on a pristine chip.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        let mut rng = meda_rng::StdRng::seed_from_u64(77);
         let mut pristine = Biochip::generate(dims, &DegradationConfig::pristine(), &mut rng);
         let mut cal = BaselineRouter::new();
         let nominal = BioassayRunner::new(RunConfig {

@@ -4,8 +4,8 @@
 
 use meda_bench::{banner, header, row};
 use meda_degradation::{ActuationMode, PcbExperiment};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
+use meda_rng::StdRng;
 
 fn print_panel(title: &str, mode: ActuationMode, seed: u64) {
     println!("\n{title}");

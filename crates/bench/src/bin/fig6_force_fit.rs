@@ -5,8 +5,8 @@
 
 use meda_bench::{banner, header, row};
 use meda_degradation::{ActuationMode, DegradationParams, ExponentialFit, PcbExperiment};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
+use meda_rng::StdRng;
 
 fn main() {
     banner(

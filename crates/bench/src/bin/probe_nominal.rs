@@ -4,8 +4,8 @@
 
 use meda_bioassay::{benchmarks, RjHelper};
 use meda_grid::ChipDims;
+use meda_rng::SeedableRng;
 use meda_sim::{BaselineRouter, BioassayRunner, Biochip, DegradationConfig, RunConfig};
-use rand::SeedableRng;
 
 fn main() {
     let dims = ChipDims::PAPER;
@@ -14,7 +14,7 @@ fn main() {
         let plan = RjHelper::new(dims)
             .plan(&sg)
             .expect("benchmark plans cleanly");
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = meda_rng::StdRng::seed_from_u64(1);
         let mut chip = Biochip::generate(dims, &DegradationConfig::pristine(), &mut rng);
         let mut router = BaselineRouter::new();
         let outcome = BioassayRunner::new(RunConfig {

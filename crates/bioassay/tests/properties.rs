@@ -1,27 +1,33 @@
-//! Property-based tests for droplet sizing, hazard zones, and the RJ
-//! helper's structural invariants.
+//! Property-style tests for droplet sizing, hazard zones, and the RJ
+//! helper's structural invariants, replayed over a deterministic seeded
+//! input space.
 
 use meda_bioassay::{fit_droplet_size, zone, MoType, RjHelper, SequencingGraph};
 use meda_grid::{ChipDims, Rect};
-use proptest::prelude::*;
+use meda_rng::{Rng, SeedableRng, StdRng};
 
-fn arb_on_chip_rect(dims: ChipDims) -> impl Strategy<Value = Rect> {
+const CASES: usize = 128;
+
+fn arb_on_chip_rect(dims: ChipDims, rng: &mut StdRng) -> Rect {
     let (w, h) = (dims.width as i32, dims.height as i32);
-    (1..=w, 1..=h, 0i32..6, 0i32..6).prop_filter_map(
-        "rect fits on chip",
-        move |(xa, ya, dw, dh)| {
-            let r = Rect::new(xa, ya, xa + dw, ya + dh);
-            dims.contains_rect(r).then_some(r)
-        },
-    )
+    loop {
+        let (xa, ya) = (rng.gen_range(1..=w), rng.gen_range(1..=h));
+        let (dw, dh) = (rng.gen_range(0..6), rng.gen_range(0..6));
+        let r = Rect::new(xa, ya, xa + dw, ya + dh);
+        if dims.contains_rect(r) {
+            return r;
+        }
+    }
 }
 
-proptest! {
-    #[test]
-    fn droplet_sizing_is_near_square_and_optimal(area in 1u32..500) {
+#[test]
+fn droplet_sizing_is_near_square_and_optimal() {
+    let mut rng = StdRng::seed_from_u64(0xB10A);
+    for _ in 0..CASES {
+        let area = rng.gen_range(1..500u32);
         let (w, h, err) = fit_droplet_size(area);
-        prop_assert!(w.abs_diff(h) <= 1);
-        prop_assert!((err - f64::from((w * h).abs_diff(area)) / f64::from(area)).abs() < 1e-12);
+        assert!(w.abs_diff(h) <= 1);
+        assert!((err - f64::from((w * h).abs_diff(area)) / f64::from(area)).abs() < 1e-12);
         // No candidate of the same constraint class does better.
         let side = (area as f64).sqrt().ceil() as u32 + 1;
         for cw in 1..=side {
@@ -29,32 +35,40 @@ proptest! {
                 if ch == 0 || cw.abs_diff(ch) > 1 {
                     continue;
                 }
-                prop_assert!((cw * ch).abs_diff(area) >= (w * h).abs_diff(area));
+                assert!((cw * ch).abs_diff(area) >= (w * h).abs_diff(area));
             }
         }
     }
+}
 
-    #[test]
-    fn zone_contains_margined_endpoints_clipped_to_chip(
-        s in arb_on_chip_rect(ChipDims::PAPER), g in arb_on_chip_rect(ChipDims::PAPER)
-    ) {
-        let dims = ChipDims::PAPER;
+#[test]
+fn zone_contains_margined_endpoints_clipped_to_chip() {
+    let dims = ChipDims::PAPER;
+    let mut rng = StdRng::seed_from_u64(0xB10B);
+    for _ in 0..CASES {
+        let s = arb_on_chip_rect(dims, &mut rng);
+        let g = arb_on_chip_rect(dims, &mut rng);
         let z = zone(s, g, dims);
-        prop_assert!(dims.contains_rect(z));
-        prop_assert!(z.contains_rect(s));
-        prop_assert!(z.contains_rect(g));
+        assert!(dims.contains_rect(z));
+        assert!(z.contains_rect(s));
+        assert!(z.contains_rect(g));
         // The 3-cell margin is honoured wherever the chip allows it.
         let ideal = s.union(g).expand(3);
-        prop_assert_eq!(z, ideal.intersection(dims.bounds()).unwrap());
+        assert_eq!(z, ideal.intersection(dims.bounds()).unwrap());
     }
+}
 
-    /// For any two-dispense-mix-route chain placed randomly (but legally),
-    /// the plan obeys the structural rules of Algorithm 1.
-    #[test]
-    fn random_mix_chains_plan_consistently(
-        x1 in 6.0f64..25.0, x2 in 30.0f64..54.0, y in 6.0f64..24.0, mix_x in 10.0f64..50.0
-    ) {
-        let dims = ChipDims::PAPER;
+/// For any two-dispense-mix-route chain placed randomly (but legally),
+/// the plan obeys the structural rules of Algorithm 1.
+#[test]
+fn random_mix_chains_plan_consistently() {
+    let dims = ChipDims::PAPER;
+    let mut rng = StdRng::seed_from_u64(0xB10C);
+    for _ in 0..32 {
+        let x1 = rng.gen_range(6.0..25.0);
+        let x2 = rng.gen_range(30.0..54.0);
+        let y = rng.gen_range(6.0..24.0);
+        let mix_x = rng.gen_range(10.0..50.0);
         let mut sg = SequencingGraph::new("prop");
         let a = sg.dispense((x1, 5.5), (4, 4));
         let b = sg.dispense((x2, 5.5), (4, 4));
@@ -64,29 +78,31 @@ proptest! {
         let plan = RjHelper::new(dims).plan(&sg).unwrap();
         for planned in plan.operations() {
             // Table III arities.
-            prop_assert_eq!(planned.inputs.len(), planned.op.inputs());
-            prop_assert_eq!(planned.outputs.len(), planned.op.outputs());
+            assert_eq!(planned.inputs.len(), planned.op.inputs());
+            assert_eq!(planned.outputs.len(), planned.op.outputs());
             for job in &planned.jobs {
-                prop_assert!(job.bounds.contains_rect(job.goal));
-                prop_assert!(
-                    job.start.is_off_chip_origin() || job.bounds.contains_rect(job.start)
-                );
-                prop_assert!(dims.contains_rect(job.goal));
+                assert!(job.bounds.contains_rect(job.goal));
+                assert!(job.start.is_off_chip_origin() || job.bounds.contains_rect(job.start));
+                assert!(dims.contains_rect(job.goal));
             }
             for output in &planned.outputs {
-                prop_assert!(dims.contains_rect(*output));
+                assert!(dims.contains_rect(*output));
             }
         }
         // Mix conserves area up to the |w−h| ≤ 1 refit.
         let mix_out = plan.operations()[m].outputs[0];
         let (w, h, _) = fit_droplet_size(32);
-        prop_assert_eq!((mix_out.width(), mix_out.height()), (w, h));
+        assert_eq!((mix_out.width(), mix_out.height()), (w, h));
     }
+}
 
-    /// Splitting then re-mixing halves conserves the refit area.
-    #[test]
-    fn split_halves_cover_the_input_area(size in 4u32..8) {
-        let dims = ChipDims::PAPER;
+/// Splitting then re-mixing halves conserves the refit area.
+#[test]
+fn split_halves_cover_the_input_area() {
+    let dims = ChipDims::PAPER;
+    let mut rng = StdRng::seed_from_u64(0xB10D);
+    for _ in 0..CASES {
+        let size = rng.gen_range(4..8u32);
         let mut sg = SequencingGraph::new("prop-split");
         let a = sg.dispense((15.5, 15.5), (size, size));
         let s = sg.split(a, (30.5, 9.5), (30.5, 21.5));
@@ -95,20 +111,26 @@ proptest! {
         let plan = RjHelper::new(dims).plan(&sg).unwrap();
         let (hw, hh, _) = fit_droplet_size(size * size / 2);
         for out in &plan.operations()[s].outputs {
-            prop_assert_eq!((out.width(), out.height()), (hw, hh));
+            assert_eq!((out.width(), out.height()), (hw, hh));
         }
     }
+}
 
-    #[test]
-    fn mo_arity_table_is_internally_consistent(op_idx in 0usize..7) {
-        let op = [
-            MoType::Dispense, MoType::Output, MoType::Discard, MoType::Mix,
-            MoType::Split, MoType::Dilute, MoType::Magnetic,
-        ][op_idx];
+#[test]
+fn mo_arity_table_is_internally_consistent() {
+    for op in [
+        MoType::Dispense,
+        MoType::Output,
+        MoType::Discard,
+        MoType::Mix,
+        MoType::Split,
+        MoType::Dilute,
+        MoType::Magnetic,
+    ] {
         // Droplet conservation: at most two droplets in or out, and
         // locations cover the outputs that need distinct placement.
-        prop_assert!(op.inputs() <= 2 && op.outputs() <= 2);
-        prop_assert!(op.locations() >= 1);
-        prop_assert!(op.locations() <= op.outputs().max(1));
+        assert!(op.inputs() <= 2 && op.outputs() <= 2);
+        assert!(op.locations() >= 1);
+        assert!(op.locations() <= op.outputs().max(1));
     }
 }

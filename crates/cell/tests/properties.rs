@@ -1,73 +1,79 @@
-//! Property-based tests for the microelectrode-cell circuit model:
-//! RC-waveform laws and sensing monotonicity over the capacitance range.
+//! Property-style tests for the microelectrode-cell circuit model:
+//! RC-waveform laws and sensing monotonicity over the capacitance range,
+//! replayed over a deterministic seeded input space.
 
 use meda_cell::{CellParams, HealthReading, RcWaveform, ScanChain, SensingCircuit};
 use meda_grid::{ChipDims, Grid, Rect};
-use proptest::prelude::*;
+use meda_rng::{Rng, SeedableRng, StdRng};
 
-proptest! {
-    /// The RC waveform is monotone in time and in capacitance, and the
-    /// crossing time scales exactly linearly with C (t = RC·ln(V/(V−Vth))).
-    #[test]
-    fn rc_waveform_laws(
-        r_mohm in 0.1f64..10.0, c_pf in 0.1f64..100.0, scale in 1.1f64..5.0
-    ) {
-        let r = r_mohm * 1e6;
-        let c = c_pf * 1e-12;
+const CASES: usize = 256;
+
+#[test]
+fn rc_waveform_laws() {
+    let mut rng = StdRng::seed_from_u64(0xCE11);
+    for _ in 0..CASES {
+        let r = rng.gen_range(0.1..10.0) * 1e6;
+        let c = rng.gen_range(0.1..100.0) * 1e-12;
+        let scale = rng.gen_range(1.1..5.0);
         let w = RcWaveform::new(r, c, 3.3);
         let tau = w.time_constant();
-        prop_assert!(w.voltage_at(tau) < w.voltage_at(2.0 * tau));
+        assert!(w.voltage_at(tau) < w.voltage_at(2.0 * tau));
         // 1 − 1/e at one time constant.
-        prop_assert!((w.voltage_at(tau) / 3.3 - (1.0 - (-1.0f64).exp())).abs() < 1e-9);
+        assert!((w.voltage_at(tau) / 3.3 - (1.0 - (-1.0f64).exp())).abs() < 1e-9);
         // Crossing time linear in C.
         let w2 = RcWaveform::new(r, c * scale, 3.3);
         let t1 = w.crossing_time(1.65).unwrap();
         let t2 = w2.crossing_time(1.65).unwrap();
-        prop_assert!((t2 / t1 - scale).abs() < 1e-9);
+        assert!((t2 / t1 - scale).abs() < 1e-9);
         // Capacitance recovery inverts exactly.
         let c_est = RcWaveform::capacitance_from_crossing(r, 3.3, 1.65, t1).unwrap();
-        prop_assert!((c_est - c).abs() / c < 1e-9);
+        assert!((c_est - c).abs() / c < 1e-9);
     }
+}
 
-    /// The 2-bit reading is monotone non-increasing in capacitance over the
-    /// whole degradation range, and hits each paper level in its band.
-    #[test]
-    fn sensing_is_monotone_in_capacitance(step in 0.0f64..1.0) {
+#[test]
+fn sensing_is_monotone_in_capacitance() {
+    let mut rng = StdRng::seed_from_u64(0xCE12);
+    for _ in 0..CASES {
+        let step: f64 = rng.gen();
         let params = CellParams::paper();
         let circuit = SensingCircuit::new(params);
         let lo = params.cap_healthy;
         let hi = params.cap_degraded + 1e-18;
         let mid = lo + (hi - lo) * step;
         let readings = [circuit.sense(lo), circuit.sense(mid), circuit.sense(hi)];
-        prop_assert!(readings[0] >= readings[1] && readings[1] >= readings[2]);
-        prop_assert_eq!(readings[0], HealthReading::Healthy);
-        prop_assert_eq!(readings[2], HealthReading::Degraded);
+        assert!(readings[0] >= readings[1] && readings[1] >= readings[2]);
+        assert_eq!(readings[0], HealthReading::Healthy);
+        assert_eq!(readings[2], HealthReading::Degraded);
     }
+}
 
-    /// Scan-chain round trips preserve arbitrary patterns.
-    #[test]
-    fn scan_chain_roundtrips(
-        w in 1u32..12, h in 1u32..12,
-        rects in proptest::collection::vec((0i32..12, 0i32..12, 0i32..4, 0i32..4), 0..5)
-    ) {
-        let dims = ChipDims::new(w, h);
+#[test]
+fn scan_chain_roundtrips() {
+    let mut rng = StdRng::seed_from_u64(0xCE13);
+    for _ in 0..CASES {
+        let dims = ChipDims::new(rng.gen_range(1..12u32), rng.gen_range(1..12u32));
         let chain = ScanChain::new(dims);
         let mut pattern = Grid::new(dims, false);
-        for (xa, ya, dw, dh) in rects {
+        for _ in 0..rng.gen_range(0..5usize) {
+            let (xa, ya) = (rng.gen_range(0..12), rng.gen_range(0..12));
+            let (dw, dh) = (rng.gen_range(0..4), rng.gen_range(0..4));
             pattern.fill_rect(Rect::new(xa + 1, ya + 1, xa + 1 + dw, ya + 1 + dh), true);
         }
         let restored = chain.deserialize(&chain.serialize(&pattern)).unwrap();
-        prop_assert_eq!(restored, pattern);
+        assert_eq!(restored, pattern);
     }
+}
 
-    /// Droplet-presence sensing is invariant to the MC's health state: a
-    /// degraded electrode must never masquerade as a droplet (or hide one).
-    #[test]
-    fn droplet_sensing_is_health_invariant(step in 0.0f64..1.0) {
+#[test]
+fn droplet_sensing_is_health_invariant() {
+    let mut rng = StdRng::seed_from_u64(0xCE14);
+    for _ in 0..CASES {
+        let step: f64 = rng.gen();
         let params = CellParams::paper();
         let circuit = SensingCircuit::new(params);
         let cap = params.cap_healthy + (params.cap_degraded - params.cap_healthy) * step;
-        prop_assert!(circuit.sense_droplet(cap, true));
-        prop_assert!(!circuit.sense_droplet(cap, false));
+        assert!(circuit.sense_droplet(cap, true));
+        assert!(!circuit.sense_droplet(cap, false));
     }
 }

@@ -225,9 +225,18 @@ impl Action {
     /// * the action class must be enabled in `config`.
     #[must_use]
     pub fn is_enabled(self, delta: Rect, bounds: Rect, config: &ActionConfig) -> bool {
+        self.class_enabled(delta, config) && bounds.contains_rect(self.apply(delta))
+    }
+
+    /// The configuration- and shape-dependent part of the guard — all of
+    /// [`Action::is_enabled`] except the hazard-bound check. Depends on
+    /// `delta` only through its shape, so bulk consumers (the MDP builder)
+    /// evaluate it once per `(width, height)` rather than per state.
+    #[must_use]
+    pub fn class_enabled(self, delta: Rect, config: &ActionConfig) -> bool {
         let w = (delta.xb - delta.xa) as f64 + 1.0;
         let h = (delta.yb - delta.ya) as f64 + 1.0;
-        let class_ok = match self {
+        match self {
             Action::Move(_) => true,
             Action::MoveDouble(d) => {
                 config.double_step && if d.is_vertical() { h >= 4.0 } else { w >= 4.0 }
@@ -240,8 +249,7 @@ impl Action {
             Action::Heighten(_) => {
                 config.morphing && w > 1.0 && (h + 1.0) / (w - 1.0) <= config.aspect_ratio_max
             }
-        };
-        class_ok && bounds.contains_rect(self.apply(delta))
+        }
     }
 
     /// Whether the action is geometrically applicable to `delta` at all:

@@ -52,6 +52,8 @@ pub use force::{
     DegradationField, ForceProvider, HealthField, HealthInterpretation, RawField, UniformField,
 };
 pub use frontier::frontier_set;
-pub use mdp::{BuildError, Choice, HazardHandling, MdpStats, RoutingMdp};
+pub use mdp::{
+    Branch, BuildError, Choice, Choices, ChoicesIter, CsrView, HazardHandling, MdpStats, RoutingMdp,
+};
 pub use smg::{DegradationMove, GameState, MedaGame, Player};
-pub use transition::{transitions, Outcome};
+pub use transition::{transitions, transitions_into, Outcome};

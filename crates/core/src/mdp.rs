@@ -1,9 +1,104 @@
-use std::collections::HashMap;
 use std::fmt;
 
 use meda_grid::Rect;
 
-use crate::{transitions, Action, ActionConfig, ForceProvider};
+use crate::transition::TransitionCache;
+use crate::{Action, ActionConfig, ForceProvider, Outcome};
+
+/// Sentinel for "no entry" in the dense index and offset tables.
+const EMPTY: u32 = u32::MAX;
+
+/// A perfect dense index over droplet rectangles within the hazard
+/// bounds: state lookup is two array reads, no hashing, no allocation on
+/// the hot path.
+///
+/// Rectangles are keyed by `(width, height)` pages; each page holds one
+/// slot per anchor position `(xa, ya)` that keeps the rectangle inside
+/// the bounds. Pages are allocated lazily — a routing job only ever
+/// visits a handful of shapes (morphing preserves the half-perimeter),
+/// so the live footprint stays near the state count rather than the
+/// full `O(n_x² n_y²)` rectangle space.
+#[derive(Debug, Clone)]
+struct DenseIndex {
+    bounds: Rect,
+    nx: usize,
+    ny: usize,
+    /// Per `(w, h)`: starting offset of that shape's page in `slots`,
+    /// or [`EMPTY`] while unallocated. Indexed `(h-1)·nx + (w-1)`.
+    page_offset: Vec<u32>,
+    /// State index per anchor position, or [`EMPTY`].
+    slots: Vec<u32>,
+    /// Last shape inserted with its page base and row stride — without
+    /// morphing every lookup hits one shape, skipping the page table.
+    last_shape: (usize, usize),
+    last_base: usize,
+    last_stride: usize,
+}
+
+impl DenseIndex {
+    fn new(bounds: Rect) -> Self {
+        let nx = bounds.width() as usize;
+        let ny = bounds.height() as usize;
+        Self {
+            bounds,
+            nx,
+            ny,
+            page_offset: vec![EMPTY; nx * ny],
+            slots: Vec::new(),
+            last_shape: (0, 0),
+            last_base: 0,
+            last_stride: 0,
+        }
+    }
+
+    /// The slot for `r`, allocating its `(w, h)` page on first use.
+    /// `r` must lie within the bounds.
+    fn slot_index(&mut self, r: Rect) -> usize {
+        let w = r.width() as usize;
+        let h = r.height() as usize;
+        debug_assert!(self.bounds.contains_rect(r));
+        let (base, stride) = if (w, h) == self.last_shape {
+            (self.last_base, self.last_stride)
+        } else {
+            let key = (h - 1) * self.nx + (w - 1);
+            let page_len = (self.nx - w + 1) * (self.ny - h + 1);
+            let base = if self.page_offset[key] == EMPTY {
+                let base = self.slots.len();
+                self.page_offset[key] =
+                    u32::try_from(base).expect("dense index exceeds u32 address space");
+                self.slots.resize(base + page_len, EMPTY);
+                base
+            } else {
+                self.page_offset[key] as usize
+            };
+            self.last_shape = (w, h);
+            self.last_base = base;
+            self.last_stride = self.nx - w + 1;
+            (base, self.last_stride)
+        };
+        let dx = (r.xa - self.bounds.xa) as usize;
+        let dy = (r.ya - self.bounds.ya) as usize;
+        base + dy * stride + dx
+    }
+
+    /// O(1) lookup without allocation; `None` for rectangles outside the
+    /// bounds or never inserted.
+    fn get(&self, r: Rect) -> Option<usize> {
+        if !self.bounds.contains_rect(r) {
+            return None;
+        }
+        let w = r.width() as usize;
+        let h = r.height() as usize;
+        let base = self.page_offset[(h - 1) * self.nx + (w - 1)];
+        if base == EMPTY {
+            return None;
+        }
+        let dx = (r.xa - self.bounds.xa) as usize;
+        let dy = (r.ya - self.bounds.ya) as usize;
+        let v = self.slots[base as usize + dy * (self.nx - w + 1) + dx];
+        (v != EMPTY).then_some(v as usize)
+    }
+}
 
 /// The Markov decision process induced from the MEDA game for one routing
 /// job (Section VI-C): the health matrix is frozen at its current value
@@ -19,7 +114,12 @@ use crate::{transitions, Action, ActionConfig, ForceProvider};
 /// * **Transitions** — the Section V-B outcome distributions under the
 ///   frozen force field.
 ///
-/// The structure is consumed by `meda-synth`'s value-iteration queries.
+/// Transitions are stored in a CSR (compressed-sparse-row) layout — flat
+/// successor/probability arrays with per-state choice and per-choice
+/// branch offsets — so `meda-synth`'s value-iteration sweeps stream
+/// through memory linearly without chasing per-state `Vec`s. State lookup
+/// uses a perfect dense index over `(xa, ya, w, h)` instead of a hash
+/// map.
 ///
 /// # Examples
 ///
@@ -42,19 +142,177 @@ use crate::{transitions, Action, ActionConfig, ForceProvider};
 #[derive(Debug, Clone)]
 pub struct RoutingMdp {
     states: Vec<Rect>,
-    index: HashMap<Rect, usize>,
-    /// Per state: the enabled actions with their outcome distributions.
-    choices: Vec<Vec<Choice>>,
+    index: DenseIndex,
     goal_flags: Vec<bool>,
     sink: Option<usize>,
     init: usize,
     goal: Rect,
     bounds: Rect,
+    /// CSR row offsets: state `i`'s choices are
+    /// `state_choice_start[i]..state_choice_start[i + 1]`.
+    state_choice_start: Vec<u32>,
+    /// Action of each choice, flat across all states.
+    choice_action: Vec<Action>,
+    /// CSR branch offsets: choice `c`'s branches are
+    /// `choice_branch_start[c]..choice_branch_start[c + 1]`.
+    choice_branch_start: Vec<u32>,
+    /// Successor state of every probabilistic branch, flat.
+    branch_target: Vec<u32>,
+    /// Probability of every branch, parallel to `branch_target`.
+    branch_prob: Vec<f64>,
 }
 
-/// One enabled action of a state with its outcome distribution
-/// (successor index, probability).
+/// One materialized choice: an action with its outcome distribution
+/// (successor index, probability). The in-memory representation is CSR —
+/// use [`Branch::to_vec`] to materialize a branch in this form.
 pub type Choice = (Action, Vec<(usize, f64)>);
+
+/// Borrowed view of one state's enabled choices in the CSR layout.
+///
+/// Iterates as `(Action, Branch)` pairs; `Copy`, so it can be consumed
+/// by value in `for` loops like the former slice API.
+#[derive(Debug, Clone, Copy)]
+pub struct Choices<'a> {
+    actions: &'a [Action],
+    /// `actions.len() + 1` absolute offsets into `targets`/`probs`.
+    branch_start: &'a [u32],
+    targets: &'a [u32],
+    probs: &'a [f64],
+}
+
+impl<'a> Choices<'a> {
+    /// Number of enabled actions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Whether the state has no enabled action (absorbing).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// The `k`-th choice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`.
+    #[must_use]
+    pub fn get(&self, k: usize) -> (Action, Branch<'a>) {
+        let lo = self.branch_start[k] as usize;
+        let hi = self.branch_start[k + 1] as usize;
+        (
+            self.actions[k],
+            Branch {
+                targets: &self.targets[lo..hi],
+                probs: &self.probs[lo..hi],
+            },
+        )
+    }
+
+    /// Iterates over `(action, branch)` pairs.
+    pub fn iter(&self) -> ChoicesIter<'a> {
+        ChoicesIter {
+            choices: *self,
+            k: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for Choices<'a> {
+    type Item = (Action, Branch<'a>);
+    type IntoIter = ChoicesIter<'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        ChoicesIter {
+            choices: self,
+            k: 0,
+        }
+    }
+}
+
+/// Iterator over a state's choices.
+#[derive(Debug, Clone)]
+pub struct ChoicesIter<'a> {
+    choices: Choices<'a>,
+    k: usize,
+}
+
+impl<'a> Iterator for ChoicesIter<'a> {
+    type Item = (Action, Branch<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.k < self.choices.len() {
+            let item = self.choices.get(self.k);
+            self.k += 1;
+            Some(item)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.choices.len() - self.k;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for ChoicesIter<'_> {}
+
+/// Borrowed view of one choice's outcome distribution: parallel
+/// successor/probability slices from the CSR arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct Branch<'a> {
+    targets: &'a [u32],
+    probs: &'a [f64],
+}
+
+impl<'a> Branch<'a> {
+    /// Number of probabilistic branches.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the distribution is empty (never true for a stored choice).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Iterates `(successor index, probability)` pairs by value.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = (usize, f64)> + 'a {
+        self.targets
+            .iter()
+            .zip(self.probs)
+            .map(|(&t, &p)| (t as usize, p))
+    }
+
+    /// Materializes the distribution as a [`Choice`]-style vector.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<(usize, f64)> {
+        self.iter().collect()
+    }
+}
+
+/// Raw borrowed view of the CSR transition arrays — the representation
+/// `meda-synth`'s value-iteration inner loops consume directly for
+/// cache-linear, bounds-check-light sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct CsrView<'a> {
+    /// `n + 1` offsets: state `i`'s choices span
+    /// `state_choice_start[i]..state_choice_start[i + 1]`.
+    pub state_choice_start: &'a [u32],
+    /// Action per choice.
+    pub choice_action: &'a [Action],
+    /// `choices + 1` offsets into the branch arrays.
+    pub choice_branch_start: &'a [u32],
+    /// Successor state per branch.
+    pub branch_target: &'a [u32],
+    /// Probability per branch.
+    pub branch_prob: &'a [f64],
+}
 
 /// How the `□¬hazard` part of the routing objective is encoded in the MDP
 /// (DESIGN.md §5.1).
@@ -170,42 +428,90 @@ impl RoutingMdp {
             }
         }
 
-        let mut states = vec![start];
-        let mut index = HashMap::from([(start, 0usize)]);
-        let mut choices: Vec<Vec<Choice>> = Vec::new();
-        let mut goal_flags = vec![goal.contains_rect(start)];
-        let mut sink: Option<usize> = None;
-        let mut frontier = 0usize;
+        // Capacity hints from the translation-only page of the start shape;
+        // morphing configs grow past this, but the estimate removes the
+        // bulk of reallocation churn either way.
+        let est_states = ((bounds.width() - start.width() + 1)
+            * (bounds.height() - start.height() + 1)) as usize;
 
+        let mut states = Vec::with_capacity(est_states);
+        states.push(start);
+        let mut index = DenseIndex::new(bounds);
+        let start_slot = index.slot_index(start);
+        index.slots[start_slot] = 0;
+        let mut goal_flags = Vec::with_capacity(est_states);
+        goal_flags.push(goal.contains_rect(start));
+        let mut sink: Option<usize> = None;
+
+        let mut state_choice_start: Vec<u32> = Vec::with_capacity(est_states + 1);
+        state_choice_start.push(0);
+        let mut choice_action: Vec<Action> = Vec::with_capacity(est_states * 4);
+        let mut choice_branch_start: Vec<u32> = Vec::with_capacity(est_states * 4 + 1);
+        choice_branch_start.push(0);
+        let mut branch_target: Vec<u32> = Vec::with_capacity(est_states * 8);
+        let mut branch_prob: Vec<f64> = Vec::with_capacity(est_states * 8);
+
+        // One outcome buffer for the whole exploration (cleared and
+        // refilled per action, so the hot loop never allocates), and a
+        // memo of cardinal frontier means — double-step and ordinal
+        // frontiers revisit the same (rectangle, direction) pairs.
+        let mut outcomes: Vec<Outcome> = Vec::with_capacity(4);
+        let mut gen = TransitionCache::new(field, bounds);
+
+        // The class part of the action guard depends on the droplet only
+        // through its shape, so it is evaluated once per (w, h) here; the
+        // per-state residue is just the hazard-bound check. AbsorbingSink
+        // keeps bound-exiting actions (routed to the sink below) by
+        // checking against expanded bounds.
+        let guard_bounds = match hazard {
+            HazardHandling::GuardDisable => bounds,
+            HazardHandling::AbsorbingSink => bounds.expand(4),
+        };
+        let mut class_cache: Vec<((u32, u32), Vec<Action>)> = Vec::new();
+
+        let mut frontier = 0usize;
         while frontier < states.len() {
             let delta = states[frontier];
-            let mut state_choices = Vec::new();
             let is_sink = Some(frontier) == sink;
             if !goal_flags[frontier] && !is_sink {
-                for action in Action::ALL {
-                    let enabled = match hazard {
-                        HazardHandling::GuardDisable => action.is_enabled(delta, bounds, config),
-                        HazardHandling::AbsorbingSink => {
-                            // Keep bound-exiting actions; other guards
-                            // (class, aspect, double-step) still apply.
-                            action.is_applicable(delta)
-                                && action.is_enabled(delta, bounds.expand(4), config)
-                        }
-                    };
-                    if !enabled {
+                let shape = (delta.width(), delta.height());
+                let ci = match class_cache.iter().position(|(s, _)| *s == shape) {
+                    Some(k) => k,
+                    None => {
+                        let list: Vec<Action> = Action::ALL
+                            .into_iter()
+                            .filter(|a| a.class_enabled(delta, config))
+                            .collect();
+                        class_cache.push((shape, list));
+                        class_cache.len() - 1
+                    }
+                };
+                for &action in &class_cache[ci].1 {
+                    if !guard_bounds.contains_rect(action.apply(delta)) {
                         continue;
                     }
-                    let mut branch = Vec::new();
-                    for outcome in transitions(delta, action, field) {
+                    // Append branches directly to the flat arrays; if the
+                    // distribution turns out empty the arrays are untouched
+                    // and the choice is simply not recorded.
+                    let mark = branch_target.len();
+                    gen.transitions_into(delta, action, &mut outcomes);
+                    for &outcome in &outcomes {
                         if outcome.probability <= 0.0 {
                             continue;
                         }
                         let next = if bounds.contains_rect(outcome.droplet) {
-                            *index.entry(outcome.droplet).or_insert_with(|| {
+                            let slot = index.slot_index(outcome.droplet);
+                            let found = index.slots[slot];
+                            if found == EMPTY {
+                                let id = u32::try_from(states.len())
+                                    .expect("state space exceeds u32 address space");
+                                index.slots[slot] = id;
                                 states.push(outcome.droplet);
                                 goal_flags.push(goal.contains_rect(outcome.droplet));
-                                states.len() - 1
-                            })
+                                id
+                            } else {
+                                found
+                            }
                         } else {
                             // Out of the hazard bounds: only reachable with
                             // AbsorbingSink handling.
@@ -218,30 +524,35 @@ impl RoutingMdp {
                                     bounds.translate(2 * (bounds.xb - bounds.xa + 10), 0);
                                 states.push(sentinel);
                                 goal_flags.push(false);
-                                index.insert(sentinel, states.len() - 1);
                                 states.len() - 1
-                            })
+                            }) as u32
                         };
-                        branch.push((next, outcome.probability));
+                        branch_target.push(next);
+                        branch_prob.push(outcome.probability);
                     }
-                    if !branch.is_empty() {
-                        state_choices.push((action, branch));
+                    if branch_target.len() > mark {
+                        choice_action.push(action);
+                        choice_branch_start.push(branch_target.len() as u32);
                     }
                 }
             }
-            choices.push(state_choices);
+            state_choice_start.push(choice_action.len() as u32);
             frontier += 1;
         }
 
         Ok(Self {
             states,
             index,
-            choices,
             goal_flags,
             sink,
             init: 0,
             goal,
             bounds,
+            state_choice_start,
+            choice_action,
+            choice_branch_start,
+            branch_target,
+            branch_prob,
         })
     }
 
@@ -275,10 +586,16 @@ impl RoutingMdp {
         self.states[i]
     }
 
-    /// The index of a droplet rectangle, if it is a state.
+    /// The index of a droplet rectangle, if it is a state. O(1): two
+    /// array reads in the dense index.
     #[must_use]
     pub fn state_index(&self, droplet: Rect) -> Option<usize> {
-        self.index.get(&droplet).copied()
+        if let Some(i) = self.index.get(droplet) {
+            return Some(i);
+        }
+        // The hazard-sink sentinel lies outside the bounds and therefore
+        // outside the dense index.
+        self.sink.filter(|&s| self.states[s] == droplet)
     }
 
     /// The initial-state index (the start droplet).
@@ -294,10 +611,30 @@ impl RoutingMdp {
         self.goal_flags[i]
     }
 
-    /// The enabled actions and outcome distributions of state `i`.
+    /// The enabled actions and outcome distributions of state `i`, as a
+    /// borrowed CSR view.
     #[must_use]
-    pub fn choices(&self, i: usize) -> &[Choice] {
-        &self.choices[i]
+    pub fn choices(&self, i: usize) -> Choices<'_> {
+        let lo = self.state_choice_start[i] as usize;
+        let hi = self.state_choice_start[i + 1] as usize;
+        Choices {
+            actions: &self.choice_action[lo..hi],
+            branch_start: &self.choice_branch_start[lo..=hi],
+            targets: &self.branch_target,
+            probs: &self.branch_prob,
+        }
+    }
+
+    /// The raw CSR transition arrays, for allocation-free solver sweeps.
+    #[must_use]
+    pub fn csr(&self) -> CsrView<'_> {
+        CsrView {
+            state_choice_start: &self.state_choice_start,
+            choice_action: &self.choice_action,
+            choice_branch_start: &self.choice_branch_start,
+            branch_target: &self.branch_target,
+            branch_prob: &self.branch_prob,
+        }
     }
 
     /// The goal region `δ_g`.
@@ -317,19 +654,14 @@ impl RoutingMdp {
         0..self.states.len()
     }
 
-    /// Model-size statistics (Table V quantities).
+    /// Model-size statistics (Table V quantities) — O(1) reads off the
+    /// CSR array lengths.
     #[must_use]
     pub fn stats(&self) -> MdpStats {
-        let choices: usize = self.choices.iter().map(Vec::len).sum();
-        let transitions: usize = self
-            .choices
-            .iter()
-            .flat_map(|cs| cs.iter().map(|(_, branch)| branch.len()))
-            .sum();
         MdpStats {
             states: self.len(),
-            transitions,
-            choices,
+            transitions: self.branch_target.len(),
+            choices: self.choice_action.len(),
         }
     }
 }
@@ -451,7 +783,7 @@ mod tests {
         assert_eq!(mdp.len(), 1, "no state beyond the start is reachable");
         for (_, branch) in mdp.choices(mdp.init()) {
             assert_eq!(branch.len(), 1);
-            assert_eq!(branch[0].0, mdp.init());
+            assert_eq!(branch.iter().next().unwrap().0, mdp.init());
         }
     }
 
@@ -507,6 +839,8 @@ mod tests {
         assert!(mdp.choices(sink).is_empty());
         // The sentinel lies outside the hazard bounds.
         assert!(!mdp.bounds().contains_rect(mdp.state(sink)));
+        // And it is still resolvable through `state_index`.
+        assert_eq!(mdp.state_index(mdp.state(sink)), Some(sink));
     }
 
     #[test]
@@ -518,5 +852,16 @@ mod tests {
         assert!(stats.choices > 0 && stats.transitions >= stats.choices);
         let recount: usize = mdp.state_indices().map(|i| mdp.choices(i).len()).sum();
         assert_eq!(stats.choices, recount);
+    }
+
+    #[test]
+    fn state_index_is_a_bijection_over_states() {
+        let mdp = build_simple(&ActionConfig::default());
+        for i in mdp.state_indices() {
+            assert_eq!(mdp.state_index(mdp.state(i)), Some(i));
+        }
+        // Rectangles outside the bounds or never reached resolve to None.
+        assert_eq!(mdp.state_index(Rect::new(0, 0, 2, 2)), None);
+        assert_eq!(mdp.state_index(Rect::new(1, 1, 10, 10)), None);
     }
 }

@@ -1,6 +1,6 @@
 use meda_grid::Rect;
 
-use crate::{frontier_set, Action, ForceProvider};
+use crate::{frontier_set, Action, Dir, ForceProvider};
 
 /// One probabilistic outcome of executing an action: the resulting droplet
 /// location and its probability.
@@ -53,101 +53,214 @@ pub struct Outcome {
 /// ```
 #[must_use]
 pub fn transitions(delta: Rect, action: Action, field: &dyn ForceProvider) -> Vec<Outcome> {
+    let mut out = Vec::with_capacity(4);
+    transitions_into(delta, action, field, &mut out);
+    out
+}
+
+/// [`transitions`] writing into a caller-provided buffer (cleared first),
+/// so bulk consumers — the MDP builder visits every (state, action) pair —
+/// reuse one allocation across the whole sweep.
+///
+/// Outcomes that coincide are merged as they are pushed, which yields the
+/// same first-occurrence order and summed probabilities as [`transitions`].
+pub fn transitions_into(
+    delta: Rect,
+    action: Action,
+    field: &dyn ForceProvider,
+    out: &mut Vec<Outcome>,
+) {
+    expand_into(
+        delta,
+        action,
+        |r, d| mean_force(r, Action::Move(d), d, field),
+        |r, a, d| mean_force(r, a, d, field),
+        out,
+    );
+}
+
+/// The shared expansion core: outcome structure per action class, with the
+/// frontier means supplied by the caller. `move_mean(r, d)` is the mean of
+/// the single-step frontier `Fr(r; a_d, d)`; every move-class frontier of
+/// Table II reduces to it on a (possibly shifted) same-shape rectangle,
+/// which is what lets [`TransitionCache`] memoize them. Morphing frontiers
+/// go through `morph_mean` uncached.
+fn expand_into(
+    delta: Rect,
+    action: Action,
+    mut move_mean: impl FnMut(Rect, Dir) -> f64,
+    mut morph_mean: impl FnMut(Rect, Action, Dir) -> f64,
+    out: &mut Vec<Outcome>,
+) {
+    out.clear();
     if !action.is_applicable(delta) {
         // Morphing a degenerate droplet has an empty frontier: no pull,
         // the droplet stays with certainty.
-        return vec![Outcome {
-            droplet: delta,
-            probability: 1.0,
-        }];
+        push_merged(out, delta, 1.0);
+        return;
     }
-    let outcomes = match action {
+    match action {
         Action::Move(d) => {
-            let p = mean_force(delta, action, d, field);
-            vec![
-                Outcome {
-                    droplet: action.apply(delta),
-                    probability: p,
-                },
-                Outcome {
-                    droplet: delta,
-                    probability: 1.0 - p,
-                },
-            ]
+            let p = move_mean(delta, d);
+            push_merged(out, action.apply(delta), p);
+            push_merged(out, delta, 1.0 - p);
         }
         Action::MoveDouble(d) => {
-            let single = Action::Move(d);
             let intermediate = action
                 .intermediate(delta)
                 .expect("double step has an intermediate");
-            let p1 = mean_force(delta, single, d, field);
-            let p2 = mean_force(intermediate, single, d, field);
-            vec![
-                Outcome {
-                    droplet: action.apply(delta),
-                    probability: p1 * p2,
-                },
-                Outcome {
-                    droplet: intermediate,
-                    probability: p1 * (1.0 - p2),
-                },
-                Outcome {
-                    droplet: delta,
-                    probability: 1.0 - p1,
-                },
-            ]
+            let p1 = move_mean(delta, d);
+            let p2 = move_mean(intermediate, d);
+            push_merged(out, action.apply(delta), p1 * p2);
+            push_merged(out, intermediate, p1 * (1.0 - p2));
+            push_merged(out, delta, 1.0 - p1);
         }
         Action::MoveOrdinal(o) => {
-            let pd = mean_force(delta, action, o.vertical(), field);
-            let pd2 = mean_force(delta, action, o.horizontal(), field);
             let (dx, dy) = o.delta();
-            vec![
-                Outcome {
-                    droplet: delta.translate(dx, dy),
-                    probability: pd * pd2,
-                },
-                Outcome {
-                    droplet: delta.translate(0, dy),
-                    probability: pd * (1.0 - pd2),
-                },
-                Outcome {
-                    droplet: delta.translate(dx, 0),
-                    probability: (1.0 - pd) * pd2,
-                },
-                Outcome {
-                    droplet: delta,
-                    probability: (1.0 - pd) * (1.0 - pd2),
-                },
-            ]
+            // Fr(δ; a_dd', d) = Fr(δ shifted one cell along d'; a_d, d):
+            // the ordinal frontier is the cardinal one, pre-shifted along
+            // the other axis (Table II).
+            let pd = move_mean(delta.translate(dx, 0), o.vertical());
+            let pd2 = move_mean(delta.translate(0, dy), o.horizontal());
+            push_merged(out, delta.translate(dx, dy), pd * pd2);
+            push_merged(out, delta.translate(0, dy), pd * (1.0 - pd2));
+            push_merged(out, delta.translate(dx, 0), (1.0 - pd) * pd2);
+            push_merged(out, delta, (1.0 - pd) * (1.0 - pd2));
         }
         Action::Widen(o) => {
-            let p = mean_force(delta, action, o.horizontal(), field);
-            vec![
-                Outcome {
-                    droplet: action.apply(delta),
-                    probability: p,
-                },
-                Outcome {
-                    droplet: delta,
-                    probability: 1.0 - p,
-                },
-            ]
+            let p = morph_mean(delta, action, o.horizontal());
+            push_merged(out, action.apply(delta), p);
+            push_merged(out, delta, 1.0 - p);
         }
         Action::Heighten(o) => {
-            let p = mean_force(delta, action, o.vertical(), field);
-            vec![
-                Outcome {
-                    droplet: action.apply(delta),
-                    probability: p,
-                },
-                Outcome {
-                    droplet: delta,
-                    probability: 1.0 - p,
-                },
-            ]
+            let p = morph_mean(delta, action, o.vertical());
+            push_merged(out, action.apply(delta), p);
+            push_merged(out, delta, 1.0 - p);
         }
-    };
-    merge(outcomes)
+    }
+}
+
+/// Sentinel for an unallocated [`TransitionCache`] shape page.
+const UNALLOCATED: u32 = u32::MAX;
+
+/// Per-build memo of single-step cardinal frontier means, the dominant
+/// cost of model construction.
+///
+/// Every move-class frontier of Table II is the single-step frontier
+/// `Fr(r; a_d, d)` of a same-shape rectangle: a double step evaluates it
+/// at `δ` and at the intermediate rectangle, and an ordinal move at `δ`
+/// shifted one cell along the other axis — rectangles the BFS also visits
+/// as states of their own. Construction therefore evaluates each
+/// (rectangle, direction) mean up to five times; this cache computes it
+/// once. Keyed like the builder's dense state index: lazily allocated
+/// `(w, h)` shape pages over anchor positions (extended one cell beyond
+/// the bounds for the shifted lookups), four direction slots per anchor.
+pub(crate) struct TransitionCache<'f> {
+    field: &'f dyn ForceProvider,
+    /// Anchor-space origin: one cell outside the bounds corner.
+    x0: i32,
+    y0: i32,
+    /// Anchor extents per page (bounds extent + 2).
+    ax: usize,
+    ay: usize,
+    /// Shape extents (bounds width/height).
+    nx: usize,
+    ny: usize,
+    /// Per `(w, h)`: offset of that shape's page in `means`, or
+    /// [`UNALLOCATED`]. Indexed `(h-1)·nx + (w-1)`.
+    page_offset: Vec<u32>,
+    /// Four direction means per anchor slot; NaN marks "not yet computed".
+    means: Vec<f64>,
+    /// Last shape looked up and its page base — without morphing a job
+    /// has exactly one shape, so this skips the page table entirely.
+    last_shape: (usize, usize),
+    last_base: usize,
+}
+
+impl<'f> TransitionCache<'f> {
+    pub(crate) fn new(field: &'f dyn ForceProvider, bounds: Rect) -> Self {
+        let nx = bounds.width() as usize;
+        let ny = bounds.height() as usize;
+        Self {
+            field,
+            x0: bounds.xa - 1,
+            y0: bounds.ya - 1,
+            ax: nx + 2,
+            ay: ny + 2,
+            nx,
+            ny,
+            page_offset: vec![UNALLOCATED; nx * ny],
+            means: Vec::new(),
+            last_shape: (0, 0),
+            last_base: 0,
+        }
+    }
+
+    /// [`transitions_into`] with the cardinal frontier means memoized.
+    pub(crate) fn transitions_into(&mut self, delta: Rect, action: Action, out: &mut Vec<Outcome>) {
+        let field = self.field;
+        expand_into(
+            delta,
+            action,
+            |r, d| self.move_mean(r, d),
+            |r, a, d| mean_force(r, a, d, field),
+            out,
+        );
+    }
+
+    /// Memoized mean of the single-step frontier `Fr(r; a_d, d)`.
+    fn move_mean(&mut self, r: Rect, d: Dir) -> f64 {
+        let w = r.width() as usize;
+        let h = r.height() as usize;
+        let ix = r.xa - self.x0;
+        let iy = r.ya - self.y0;
+        if w > self.nx
+            || h > self.ny
+            || ix < 0
+            || iy < 0
+            || ix as usize >= self.ax
+            || iy as usize >= self.ay
+        {
+            // Outside the cacheable window (cannot arise from the builder,
+            // which only expands in-bounds states).
+            return mean_force(r, Action::Move(d), d, self.field);
+        }
+        let base = if (w, h) == self.last_shape {
+            self.last_base
+        } else {
+            let key = (h - 1) * self.nx + (w - 1);
+            let base = if self.page_offset[key] == UNALLOCATED {
+                let base = self.means.len();
+                self.page_offset[key] =
+                    u32::try_from(base).expect("frontier cache exceeds u32 address space");
+                self.means.resize(base + self.ax * self.ay * 4, f64::NAN);
+                base
+            } else {
+                self.page_offset[key] as usize
+            };
+            self.last_shape = (w, h);
+            self.last_base = base;
+            base
+        };
+        let slot = base + (iy as usize * self.ax + ix as usize) * 4 + dir_slot(d);
+        let cached = self.means[slot];
+        if cached.is_nan() {
+            let m = mean_force(r, Action::Move(d), d, self.field);
+            self.means[slot] = m;
+            m
+        } else {
+            cached
+        }
+    }
+}
+
+fn dir_slot(d: Dir) -> usize {
+    match d {
+        Dir::N => 0,
+        Dir::S => 1,
+        Dir::E => 2,
+        Dir::W => 3,
+    }
 }
 
 /// Mean force over the frontier of `action` in direction `dir`, or 0 if the
@@ -156,16 +269,15 @@ fn mean_force(delta: Rect, action: Action, dir: crate::Dir, field: &dyn ForcePro
     frontier_set(delta, action, dir).map_or(0.0, |fr| field.mean_force(fr))
 }
 
-fn merge(outcomes: Vec<Outcome>) -> Vec<Outcome> {
-    let mut merged: Vec<Outcome> = Vec::with_capacity(outcomes.len());
-    for o in outcomes {
-        if let Some(existing) = merged.iter_mut().find(|m| m.droplet == o.droplet) {
-            existing.probability += o.probability;
-        } else {
-            merged.push(o);
-        }
+fn push_merged(out: &mut Vec<Outcome>, droplet: Rect, probability: f64) {
+    if let Some(existing) = out.iter_mut().find(|m| m.droplet == droplet) {
+        existing.probability += probability;
+    } else {
+        out.push(Outcome {
+            droplet,
+            probability,
+        });
     }
-    merged
 }
 
 #[cfg(test)]

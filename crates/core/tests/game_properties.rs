@@ -1,65 +1,77 @@
-//! Property-based tests for the MEDA stochastic game (Section V-C): turn
+//! Property-style tests for the MEDA stochastic game (Section V-C): turn
 //! structure, probability conservation, and health monotonicity under
-//! arbitrary adversary schedules.
+//! arbitrary adversary schedules, replayed over a deterministic seeded
+//! input space.
 
 use meda_core::{ActionConfig, DegradationMove, GameState, MedaGame, Player};
 use meda_grid::{Cell, ChipDims, Rect};
-use proptest::prelude::*;
+use meda_rng::{Rng, SeedableRng, StdRng};
 
-fn arb_droplet_on(dims: ChipDims) -> impl Strategy<Value = Rect> {
+const CASES: usize = 48;
+
+fn arb_droplet_on(dims: ChipDims, rng: &mut StdRng) -> Rect {
     let (w, h) = (dims.width as i32, dims.height as i32);
-    (1..w - 4, 1..h - 4, 1i32..4, 1i32..4)
-        .prop_map(|(xa, ya, dw, dh)| Rect::new(xa, ya, xa + dw, ya + dh))
+    let (xa, ya) = (rng.gen_range(1..w - 4), rng.gen_range(1..h - 4));
+    let (dw, dh) = (rng.gen_range(1..4), rng.gen_range(1..4));
+    Rect::new(xa, ya, xa + dw, ya + dh)
 }
 
-fn arb_cells(dims: ChipDims) -> impl Strategy<Value = Vec<Cell>> {
-    proptest::collection::vec(
-        (1..=dims.width as i32, 1..=dims.height as i32).prop_map(|(x, y)| Cell::new(x, y)),
-        0..6,
-    )
+fn arb_cells(dims: ChipDims, rng: &mut StdRng) -> Vec<Cell> {
+    let n = rng.gen_range(0..6usize);
+    (0..n)
+        .map(|_| {
+            Cell::new(
+                rng.gen_range(1..=dims.width as i32),
+                rng.gen_range(1..=dims.height as i32),
+            )
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every play alternates ① → ② → ① …, and controller distributions
-    /// always sum to one.
-    #[test]
-    fn plays_alternate_and_conserve_probability(
-        droplet in arb_droplet_on(ChipDims::new(16, 12)),
-        action_picks in proptest::collection::vec(0usize..20, 1..6),
-        adversary in proptest::collection::vec(arb_cells(ChipDims::new(16, 12)), 1..6)
-    ) {
-        let game = MedaGame::new(ChipDims::new(16, 12), 2, ActionConfig::default());
+/// Every play alternates ① → ② → ① …, and controller distributions
+/// always sum to one.
+#[test]
+fn plays_alternate_and_conserve_probability() {
+    let dims = ChipDims::new(16, 12);
+    let mut rng = StdRng::seed_from_u64(0x6A3E);
+    for _ in 0..CASES {
+        let droplet = arb_droplet_on(dims, &mut rng);
+        let rounds = rng.gen_range(1..6usize);
+        let action_picks: Vec<usize> = (0..rounds).map(|_| rng.gen_range(0..20usize)).collect();
+        let adversary: Vec<Vec<Cell>> = (0..rounds).map(|_| arb_cells(dims, &mut rng)).collect();
+        let game = MedaGame::new(dims, 2, ActionConfig::default());
         let mut state = game.initial_state(droplet);
         for (pick, cells) in action_picks.iter().zip(&adversary) {
-            prop_assert_eq!(state.player, Player::Controller);
+            assert_eq!(state.player, Player::Controller);
             let actions = game.controller_actions(&state);
-            prop_assert!(!actions.is_empty(), "controller always has a move");
+            assert!(!actions.is_empty(), "controller always has a move");
             let action = actions[pick % actions.len()];
             let successors = game.controller_transitions(&state, action);
             let total: f64 = successors.iter().map(|(_, p)| p).sum();
-            prop_assert!((total - 1.0).abs() < 1e-9);
+            assert!((total - 1.0).abs() < 1e-9);
             // Take the most likely successor.
             let (next, _) = successors
                 .into_iter()
                 .max_by(|a, b| a.1.total_cmp(&b.1))
                 .expect("non-empty");
-            prop_assert_eq!(next.player, Player::Degradation);
+            assert_eq!(next.player, Player::Degradation);
             state = game.degradation_step(&next, &DegradationMove::cells(cells.clone()));
         }
-        prop_assert_eq!(state.player, Player::Controller);
+        assert_eq!(state.player, Player::Controller);
     }
+}
 
-    /// Health is monotone non-increasing along any play, regardless of the
-    /// adversary's schedule — the property that justifies the paper's
-    /// replace-on-change strategy-library policy.
-    #[test]
-    fn health_never_recovers(
-        droplet in arb_droplet_on(ChipDims::new(16, 12)),
-        adversary in proptest::collection::vec(arb_cells(ChipDims::new(16, 12)), 1..8)
-    ) {
-        let dims = ChipDims::new(16, 12);
+/// Health is monotone non-increasing along any play, regardless of the
+/// adversary's schedule — the property that justifies the paper's
+/// replace-on-change strategy-library policy.
+#[test]
+fn health_never_recovers() {
+    let dims = ChipDims::new(16, 12);
+    let mut rng = StdRng::seed_from_u64(0x6A3F);
+    for _ in 0..CASES {
+        let droplet = arb_droplet_on(dims, &mut rng);
+        let rounds = rng.gen_range(1..8usize);
+        let adversary: Vec<Vec<Cell>> = (0..rounds).map(|_| arb_cells(dims, &mut rng)).collect();
         let game = MedaGame::new(dims, 2, ActionConfig::default());
         let mut state = game.initial_state(droplet);
         let mut last: Vec<u8> = dims.cells().map(|c| state.health[c].level()).collect();
@@ -69,40 +81,47 @@ proptest! {
             state = game.degradation_step(&next, &DegradationMove::cells(cells.clone()));
             let now: Vec<u8> = dims.cells().map(|c| state.health[c].level()).collect();
             for (before, after) in last.iter().zip(&now) {
-                prop_assert!(after <= before, "health recovered");
+                assert!(after <= before, "health recovered");
             }
             last = now;
         }
     }
+}
 
-    /// The controller's enabled actions keep the droplet on-chip from any
-    /// legal position.
-    #[test]
-    fn enabled_actions_keep_droplet_on_chip(droplet in arb_droplet_on(ChipDims::new(16, 12))) {
-        let dims = ChipDims::new(16, 12);
+/// The controller's enabled actions keep the droplet on-chip from any
+/// legal position.
+#[test]
+fn enabled_actions_keep_droplet_on_chip() {
+    let dims = ChipDims::new(16, 12);
+    let mut rng = StdRng::seed_from_u64(0x6A40);
+    for _ in 0..CASES {
+        let droplet = arb_droplet_on(dims, &mut rng);
         let game = MedaGame::new(dims, 2, ActionConfig::default());
         let state = game.initial_state(droplet);
         for action in game.controller_actions(&state) {
-            prop_assert!(dims.contains_rect(action.apply(droplet)), "{}", action);
+            assert!(dims.contains_rect(action.apply(droplet)), "{action}");
         }
     }
+}
 
-    /// Degrading the same cell `2^b` times always kills it, and the
-    /// degradation move is idempotent once dead.
-    #[test]
-    fn repeated_degradation_kills_and_saturates(
-        droplet in arb_droplet_on(ChipDims::new(16, 12)),
-        target in (1i32..=16, 1i32..=12).prop_map(|(x, y)| Cell::new(x, y)),
-        extra in 0usize..4
-    ) {
-        let game = MedaGame::new(ChipDims::new(16, 12), 2, ActionConfig::default());
+/// Degrading the same cell `2^b` times always kills it, and the
+/// degradation move is idempotent once dead.
+#[test]
+fn repeated_degradation_kills_and_saturates() {
+    let dims = ChipDims::new(16, 12);
+    let mut rng = StdRng::seed_from_u64(0x6A41);
+    for _ in 0..CASES {
+        let droplet = arb_droplet_on(dims, &mut rng);
+        let target = Cell::new(rng.gen_range(1..=16), rng.gen_range(1..=12));
+        let extra = rng.gen_range(0..4usize);
+        let game = MedaGame::new(dims, 2, ActionConfig::default());
         let mut state = game.initial_state(droplet);
         for _ in 0..(4 + extra) {
             let action = game.controller_actions(&state)[0];
             let (next, _) = game.controller_transitions(&state, action).remove(0);
             state = game.degradation_step(&next, &DegradationMove::cells([target]));
         }
-        prop_assert!(state.health[target].is_dead());
+        assert!(state.health[target].is_dead());
     }
 }
 

@@ -1,98 +1,126 @@
-//! Property-based tests for the droplet/actuation model: Table II frontier
+//! Property-style tests for the droplet/actuation model: Table II frontier
 //! invariants, Section V-B probability laws, guard soundness, and MDP
-//! structure.
+//! structure — replayed over a deterministic seeded input space.
 
 use meda_core::{
     frontier_set, transitions, Action, ActionConfig, Dir, ForceProvider, RawField, RoutingMdp,
     UniformField,
 };
 use meda_grid::{ChipDims, Grid, Rect};
-use proptest::prelude::*;
+use meda_rng::{Rng, SeedableRng, StdRng};
 
-fn arb_droplet() -> impl Strategy<Value = Rect> {
-    (5i32..30, 5i32..30, 0i32..8, 0i32..8)
-        .prop_map(|(xa, ya, w, h)| Rect::new(xa, ya, xa + w, ya + h))
+const CASES: usize = 256;
+
+fn arb_droplet(rng: &mut StdRng) -> Rect {
+    let (xa, ya) = (rng.gen_range(5..30), rng.gen_range(5..30));
+    let (w, h) = (rng.gen_range(0..8), rng.gen_range(0..8));
+    Rect::new(xa, ya, xa + w, ya + h)
 }
 
-fn arb_force() -> impl Strategy<Value = f64> {
-    0.0f64..=1.0
+fn arb_force(rng: &mut StdRng) -> f64 {
+    rng.gen_range(0.0..=1.0)
 }
 
-fn arb_action() -> impl Strategy<Value = Action> {
-    prop::sample::select(Action::ALL.to_vec())
+fn arb_action(rng: &mut StdRng) -> Action {
+    Action::ALL[rng.gen_range(0..Action::ALL.len())]
 }
 
-proptest! {
-    /// Table II size formulas: cardinal frontiers span the full facing
-    /// edge; ordinal frontiers the shifted edge; morphing frontiers one
-    /// cell less.
-    #[test]
-    fn frontier_sizes_match_table_ii(delta in arb_droplet()) {
+/// Table II size formulas: cardinal frontiers span the full facing
+/// edge; ordinal frontiers the shifted edge; morphing frontiers one
+/// cell less.
+#[test]
+fn frontier_sizes_match_table_ii() {
+    let mut rng = StdRng::seed_from_u64(0xC0E0);
+    for _ in 0..CASES {
+        let delta = arb_droplet(&mut rng);
         let w = delta.width();
         let h = delta.height();
         for action in Action::ALL {
             for dir in Dir::ALL {
-                let Some(fr) = frontier_set(delta, action, dir) else { continue };
+                let Some(fr) = frontier_set(delta, action, dir) else {
+                    continue;
+                };
                 let expected = match action {
                     Action::Move(_) | Action::MoveDouble(_) | Action::MoveOrdinal(_) => {
-                        if dir.is_vertical() { w } else { h }
+                        if dir.is_vertical() {
+                            w
+                        } else {
+                            h
+                        }
                     }
                     Action::Widen(_) => h - 1,
                     Action::Heighten(_) => w - 1,
                 };
-                prop_assert_eq!(fr.area(), expected, "{} {}", action, dir);
+                assert_eq!(fr.area(), expected, "{action} {dir}");
                 // Frontiers are always a single row or column.
-                prop_assert!(fr.width() == 1 || fr.height() == 1);
+                assert!(fr.width() == 1 || fr.height() == 1);
                 // And they never overlap the current droplet.
-                prop_assert!(!fr.intersects(delta), "{} {}", action, dir);
+                assert!(!fr.intersects(delta), "{action} {dir}");
             }
         }
     }
+}
 
-    /// The success outcome of an action always contains every frontier it
-    /// pulls with (the pulling MCs end up under the droplet) — except the
-    /// double step, whose first-step frontier lies under the intermediate.
-    #[test]
-    fn frontiers_end_up_under_the_droplet(delta in arb_droplet(), action in arb_action()) {
-        prop_assume!(action.is_applicable(delta));
+/// The success outcome of an action always contains every frontier it
+/// pulls with (the pulling MCs end up under the droplet) — except the
+/// double step, whose first-step frontier lies under the intermediate.
+#[test]
+fn frontiers_end_up_under_the_droplet() {
+    let mut rng = StdRng::seed_from_u64(0xC0E1);
+    for _ in 0..CASES {
+        let delta = arb_droplet(&mut rng);
+        let action = arb_action(&mut rng);
+        if !action.is_applicable(delta) {
+            continue;
+        }
         let target = match action {
             Action::MoveDouble(_) => action.intermediate(delta).unwrap(),
             _ => action.apply(delta),
         };
         for dir in Dir::ALL {
             if let Some(fr) = frontier_set(delta, action, dir) {
-                prop_assert!(target.contains_rect(fr), "{} {}", action, dir);
+                assert!(target.contains_rect(fr), "{action} {dir}");
             }
         }
     }
+}
 
-    /// Probabilities over outcomes always form a distribution, for any
-    /// force field value.
-    #[test]
-    fn outcome_probabilities_form_a_distribution(
-        delta in arb_droplet(), force in arb_force(), action in arb_action()
-    ) {
+/// Probabilities over outcomes always form a distribution, for any
+/// force field value.
+#[test]
+fn outcome_probabilities_form_a_distribution() {
+    let mut rng = StdRng::seed_from_u64(0xC0E2);
+    for _ in 0..CASES {
+        let delta = arb_droplet(&mut rng);
+        let force = arb_force(&mut rng);
+        let action = arb_action(&mut rng);
         let field = UniformField::new(force);
         let outcomes = transitions(delta, action, &field);
         let total: f64 = outcomes.iter().map(|o| o.probability).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
         for o in &outcomes {
-            prop_assert!(o.probability >= -1e-12 && o.probability <= 1.0 + 1e-12);
+            assert!(o.probability >= -1e-12 && o.probability <= 1.0 + 1e-12);
             // Every outcome preserves droplet area except morphing.
             match action {
                 Action::Widen(_) | Action::Heighten(_) => {}
-                _ => prop_assert_eq!(o.droplet.area(), delta.area()),
+                _ => assert_eq!(o.droplet.area(), delta.area()),
             }
         }
     }
+}
 
-    /// Monotonicity: more force never decreases the success probability.
-    #[test]
-    fn success_probability_is_monotone_in_force(
-        delta in arb_droplet(), action in arb_action(),
-        f1 in arb_force(), f2 in arb_force()
-    ) {
-        prop_assume!(action.is_applicable(delta));
+/// Monotonicity: more force never decreases the success probability.
+#[test]
+fn success_probability_is_monotone_in_force() {
+    let mut rng = StdRng::seed_from_u64(0xC0E3);
+    for _ in 0..CASES {
+        let delta = arb_droplet(&mut rng);
+        let action = arb_action(&mut rng);
+        let f1 = arb_force(&mut rng);
+        let f2 = arb_force(&mut rng);
+        if !action.is_applicable(delta) {
+            continue;
+        }
         let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
         let p = |f: f64| {
             transitions(delta, action, &UniformField::new(f))
@@ -100,27 +128,28 @@ proptest! {
                 .find(|o| o.droplet == action.apply(delta))
                 .map_or(0.0, |o| o.probability)
         };
-        prop_assert!(p(lo) <= p(hi) + 1e-12);
+        assert!(p(lo) <= p(hi) + 1e-12);
     }
+}
 
-    /// Guard soundness: an enabled action's successful outcome stays within
-    /// the bounds, and morphing preserves the half-perimeter and the aspect
-    /// limit.
-    #[test]
-    fn enabled_actions_respect_bounds_and_aspect(
-        delta in arb_droplet(), action in arb_action(), margin in 0i32..6
-    ) {
+/// Guard soundness: an enabled action's successful outcome stays within
+/// the bounds, and morphing preserves the half-perimeter and the aspect
+/// limit.
+#[test]
+fn enabled_actions_respect_bounds_and_aspect() {
+    let mut rng = StdRng::seed_from_u64(0xC0E4);
+    for _ in 0..CASES {
+        let delta = arb_droplet(&mut rng);
+        let action = arb_action(&mut rng);
+        let margin = rng.gen_range(0..6);
         let bounds = delta.expand(margin + 2);
         let config = ActionConfig::default();
         if action.is_enabled(delta, bounds, &config) {
             let out = action.apply(delta);
-            prop_assert!(bounds.contains_rect(out));
+            assert!(bounds.contains_rect(out));
             match action {
                 Action::Widen(_) | Action::Heighten(_) => {
-                    prop_assert_eq!(
-                        out.width() + out.height(),
-                        delta.width() + delta.height()
-                    );
+                    assert_eq!(out.width() + out.height(), delta.width() + delta.height());
                     // The paper's guard is one-directional: it bounds the
                     // ratio in the direction the morph grows (so a morph
                     // may still *correct* an already-extreme droplet).
@@ -128,35 +157,49 @@ proptest! {
                         Action::Widen(_) => out.aspect_ratio(),
                         _ => 1.0 / out.aspect_ratio(),
                     };
-                    prop_assert!(grown <= config.aspect_ratio_max + 1e-9);
+                    assert!(grown <= config.aspect_ratio_max + 1e-9);
                 }
                 Action::MoveDouble(d) => {
-                    let extent = if d.is_vertical() { delta.height() } else { delta.width() };
-                    prop_assert!(extent >= 4);
+                    let extent = if d.is_vertical() {
+                        delta.height()
+                    } else {
+                        delta.width()
+                    };
+                    assert!(extent >= 4);
                 }
                 _ => {}
             }
         }
     }
+}
 
-    /// The mean frontier force is the arithmetic mean of the per-cell
-    /// forces, with off-chip cells contributing zero.
-    #[test]
-    fn mean_force_is_clipped_average(xa in 1i32..12, ya in 1i32..12, len in 1u32..6) {
+/// The mean frontier force is the arithmetic mean of the per-cell
+/// forces, with off-chip cells contributing zero.
+#[test]
+fn mean_force_is_clipped_average() {
+    let mut rng = StdRng::seed_from_u64(0xC0E5);
+    for _ in 0..CASES {
+        let (xa, ya) = (rng.gen_range(1..12), rng.gen_range(1..12));
+        let len = rng.gen_range(1..6u32);
         let dims = ChipDims::new(10, 10);
         let field = RawField::new(Grid::new(dims, 0.8));
         let fr = Rect::with_size(xa, ya, 1, len);
         let on_chip = fr.intersection(dims.bounds()).map_or(0, |c| c.area());
         let expected = 0.8 * f64::from(on_chip) / f64::from(fr.area());
-        prop_assert!((field.mean_force(fr) - expected).abs() < 1e-12);
+        assert!((field.mean_force(fr) - expected).abs() < 1e-12);
     }
+}
 
-    /// Routing MDPs are well-formed for arbitrary geometry: states within
-    /// bounds, distributions normalized, goal states absorbing.
-    #[test]
-    fn routing_mdp_is_well_formed(
-        w in 6u32..14, h in 6u32..14, droplet in 2u32..4, force in 0.05f64..1.0
-    ) {
+/// Routing MDPs are well-formed for arbitrary geometry: states within
+/// bounds, distributions normalized, goal states absorbing.
+#[test]
+fn routing_mdp_is_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0xC0E6);
+    for _ in 0..24 {
+        let w = rng.gen_range(6..14u32);
+        let h = rng.gen_range(6..14u32);
+        let droplet = rng.gen_range(2..4u32);
+        let force = rng.gen_range(0.05..1.0);
         let bounds = Rect::new(1, 1, w as i32, h as i32);
         let start = Rect::with_size(1, 1, droplet, droplet);
         let goal = Rect::with_size(
@@ -166,19 +209,24 @@ proptest! {
             droplet,
         );
         let mdp = RoutingMdp::build(
-            start, goal, bounds, &UniformField::new(force), &ActionConfig::default(),
-        ).unwrap();
+            start,
+            goal,
+            bounds,
+            &UniformField::new(force),
+            &ActionConfig::default(),
+        )
+        .unwrap();
         for i in mdp.state_indices() {
-            prop_assert!(bounds.contains_rect(mdp.state(i)));
+            assert!(bounds.contains_rect(mdp.state(i)));
             if mdp.is_goal(i) {
-                prop_assert!(mdp.choices(i).is_empty());
+                assert!(mdp.choices(i).is_empty());
             }
             for (_, branch) in mdp.choices(i) {
                 let total: f64 = branch.iter().map(|(_, p)| p).sum();
-                prop_assert!((total - 1.0).abs() < 1e-9);
+                assert!((total - 1.0).abs() < 1e-9);
             }
         }
         let stats = mdp.stats();
-        prop_assert!(stats.transitions >= stats.choices);
+        assert!(stats.transitions >= stats.choices);
     }
 }

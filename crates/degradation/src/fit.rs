@@ -148,8 +148,8 @@ impl ExponentialFit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use meda_rng::StdRng;
+    use meda_rng::{Rng, SeedableRng};
 
     fn noisy_samples(truth: DegradationParams, noise: f64, seed: u64) -> Vec<(u64, f64)> {
         let mut rng = StdRng::seed_from_u64(seed);

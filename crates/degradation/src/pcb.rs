@@ -1,4 +1,4 @@
-use rand::Rng;
+use meda_rng::Rng;
 
 use crate::DegradationParams;
 
@@ -58,9 +58,9 @@ pub struct PcbMeasurement {
 ///
 /// ```
 /// use meda_degradation::{ActuationMode, PcbExperiment};
-/// use rand::SeedableRng;
+/// use meda_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = meda_rng::StdRng::seed_from_u64(7);
 /// let exp = PcbExperiment::paper_3mm(ActuationMode::ChargeTrapping);
 /// let series = exp.run(&mut rng, 10, 100);
 /// assert_eq!(series.len(), 10);
@@ -189,8 +189,8 @@ impl PcbExperiment {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use meda_rng::SeedableRng;
+    use meda_rng::StdRng;
 
     #[test]
     fn capacitance_growth_is_linear() {

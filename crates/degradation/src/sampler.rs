@@ -1,4 +1,4 @@
-use rand::Rng;
+use meda_rng::Rng;
 
 use crate::DegradationParams;
 
@@ -10,10 +10,10 @@ use crate::DegradationParams;
 ///
 /// ```
 /// use meda_degradation::ParamDistribution;
-/// use rand::SeedableRng;
+/// use meda_rng::SeedableRng;
 ///
 /// let dist = ParamDistribution::paper_normal();
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let mut rng = meda_rng::StdRng::seed_from_u64(3);
 /// let p = dist.sample(&mut rng);
 /// assert!(p.tau >= 0.5 && p.tau <= 0.9);
 /// assert!(p.c >= 200.0 && p.c <= 500.0);
@@ -91,8 +91,8 @@ impl Default for ParamDistribution {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use meda_rng::SeedableRng;
+    use meda_rng::StdRng;
 
     #[test]
     fn samples_stay_in_range() {

@@ -1,98 +1,141 @@
-//! Property-based tests for the degradation model: monotonicity,
-//! quantization soundness, and fit recovery.
+//! Property-style tests for the degradation model: monotonicity,
+//! quantization soundness, and fit recovery, replayed over a
+//! deterministic seeded input space.
 
 use meda_degradation::{
     quantize_health, ActuationMode, DegradationParams, ExponentialFit, ParamDistribution,
     PcbExperiment,
 };
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use meda_rng::{Rng, SeedableRng, StdRng};
 
-fn arb_params() -> impl Strategy<Value = DegradationParams> {
-    (0.1f64..0.99, 50.0f64..1000.0).prop_map(|(tau, c)| DegradationParams::new(tau, c))
+const CASES: usize = 256;
+
+fn arb_params(rng: &mut StdRng) -> DegradationParams {
+    DegradationParams::new(rng.gen_range(0.1..0.99), rng.gen_range(50.0..1000.0))
 }
 
-proptest! {
-    #[test]
-    fn degradation_decreases_monotonically(p in arb_params(), n1 in 0u64..5000, n2 in 0u64..5000) {
+#[test]
+fn degradation_decreases_monotonically() {
+    let mut rng = StdRng::seed_from_u64(0xDE60);
+    for _ in 0..CASES {
+        let p = arb_params(&mut rng);
+        let n1 = rng.gen_range(0..5000u64);
+        let n2 = rng.gen_range(0..5000u64);
         let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
-        prop_assert!(p.degradation(hi) <= p.degradation(lo) + 1e-12);
-        prop_assert!(p.relative_force(hi) <= p.relative_force(lo) + 1e-12);
+        assert!(p.degradation(hi) <= p.degradation(lo) + 1e-12);
+        assert!(p.relative_force(hi) <= p.relative_force(lo) + 1e-12);
     }
+}
 
-    #[test]
-    fn degradation_stays_in_unit_interval(p in arb_params(), n in 0u64..100_000) {
+#[test]
+fn degradation_stays_in_unit_interval() {
+    let mut rng = StdRng::seed_from_u64(0xDE61);
+    for _ in 0..CASES {
+        let p = arb_params(&mut rng);
+        let n = rng.gen_range(0..100_000u64);
         let d = p.degradation(n);
-        prop_assert!((0.0..=1.0).contains(&d));
-        prop_assert!((p.relative_force(n) - d * d).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&d));
+        assert!((p.relative_force(n) - d * d).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn actuations_to_reach_is_a_true_inverse(p in arb_params(), level in 0.01f64..0.99) {
+#[test]
+fn actuations_to_reach_is_a_true_inverse() {
+    let mut rng = StdRng::seed_from_u64(0xDE62);
+    for _ in 0..CASES {
+        let p = arb_params(&mut rng);
+        let level = rng.gen_range(0.01..0.99);
         let n = p.actuations_to_reach(level).unwrap();
-        prop_assert!(p.degradation(n) <= level + 1e-9);
+        assert!(p.degradation(n) <= level + 1e-9);
         if n > 0 {
-            prop_assert!(p.degradation(n - 1) > level - 1e-9);
+            assert!(p.degradation(n - 1) > level - 1e-9);
         }
     }
+}
 
-    #[test]
-    fn quantization_is_monotone_and_conservative(d in 0.0f64..=1.0, bits in 1u8..=4) {
+#[test]
+fn quantization_is_monotone_and_conservative() {
+    let mut rng = StdRng::seed_from_u64(0xDE63);
+    for _ in 0..CASES {
+        let d = rng.gen_range(0.0..=1.0);
+        let bits = rng.gen_range(1..=4u32) as u8;
         let h = quantize_health(d, bits);
         // Conservative: the implied estimate never exceeds the true level.
-        prop_assert!(h.as_degradation(bits) <= d + 1e-12);
+        assert!(h.as_degradation(bits) <= d + 1e-12);
         // Off by less than one bin.
-        prop_assert!(d - h.as_degradation(bits) < 1.0 / f64::from(1u16 << bits) + 1e-12);
+        assert!(d - h.as_degradation(bits) < 1.0 / f64::from(1u16 << bits) + 1e-12);
     }
+}
 
-    #[test]
-    fn quantization_never_increases_under_wear(
-        p in arb_params(), bits in 1u8..=3, n1 in 0u64..3000, n2 in 0u64..3000
-    ) {
+#[test]
+fn quantization_never_increases_under_wear() {
+    let mut rng = StdRng::seed_from_u64(0xDE64);
+    for _ in 0..CASES {
+        let p = arb_params(&mut rng);
+        let bits = rng.gen_range(1..=3u32) as u8;
+        let n1 = rng.gen_range(0..3000u64);
+        let n2 = rng.gen_range(0..3000u64);
         let (lo, hi) = if n1 <= n2 { (n1, n2) } else { (n2, n1) };
-        prop_assert!(p.health(hi, bits) <= p.health(lo, bits));
+        assert!(p.health(hi, bits) <= p.health(lo, bits));
     }
+}
 
-    #[test]
-    fn fit_recovers_slope_from_exact_samples(p in arb_params(), step in 20u64..200) {
-        let samples: Vec<_> = (0..=8).map(|i| (i * step, p.relative_force(i * step))).collect();
+#[test]
+fn fit_recovers_slope_from_exact_samples() {
+    let mut rng = StdRng::seed_from_u64(0xDE65);
+    for _ in 0..CASES {
+        let p = arb_params(&mut rng);
+        let step = rng.gen_range(20..200u64);
+        let samples: Vec<_> = (0..=8)
+            .map(|i| (i * step, p.relative_force(i * step)))
+            .collect();
         // Skip degenerate data where the force underflows to ~0.
-        prop_assume!(samples.iter().all(|&(_, f)| f > 1e-12));
+        if samples.iter().any(|&(_, f)| f <= 1e-12) {
+            continue;
+        }
         let fit = ExponentialFit::fit_force(&samples).unwrap();
-        prop_assert!((fit.slope - 2.0 * p.log_slope()).abs() < 1e-6 * p.log_slope().abs());
+        assert!((fit.slope - 2.0 * p.log_slope()).abs() < 1e-6 * p.log_slope().abs());
         let recovered = fit.params_for_tau(p.tau);
-        prop_assert!((recovered.c - p.c).abs() / p.c < 1e-6);
+        assert!((recovered.c - p.c).abs() / p.c < 1e-6);
     }
+}
 
-    #[test]
-    fn distribution_samples_stay_in_declared_ranges(
-        t1 in 0.1f64..0.5, t2 in 0.5f64..0.9, c1 in 50.0f64..200.0, c2 in 200.0f64..500.0,
-        seed in 0u64..1000
-    ) {
+#[test]
+fn distribution_samples_stay_in_declared_ranges() {
+    let mut rng = StdRng::seed_from_u64(0xDE66);
+    for _ in 0..64 {
+        let t1 = rng.gen_range(0.1..0.5);
+        let t2 = rng.gen_range(0.5..0.9);
+        let c1 = rng.gen_range(50.0..200.0);
+        let c2 = rng.gen_range(200.0..500.0);
+        let seed = rng.gen_range(0..1000u64);
         let dist = ParamDistribution::new((t1, t2), (c1, c2));
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sample_rng = StdRng::seed_from_u64(seed);
         for _ in 0..50 {
-            let p = dist.sample(&mut rng);
-            prop_assert!(p.tau >= t1 && p.tau <= t2);
-            prop_assert!(p.c >= c1 && p.c <= c2);
+            let p = dist.sample(&mut sample_rng);
+            assert!(p.tau >= t1 && p.tau <= t2);
+            assert!(p.c >= c1 && p.c <= c2);
         }
     }
+}
 
-    #[test]
-    fn pcb_capacitance_is_strictly_increasing(seed in 0u64..500) {
-        // Noise-free law is strictly increasing; sampled read-outs drift
-        // but the underlying model must be.
-        let exp = PcbExperiment::paper_3mm(ActuationMode::ChargeTrapping);
-        let mut prev = 0.0;
-        for n in (0..1000).step_by(100) {
-            let c = exp.capacitance_at(n);
-            prop_assert!(c > prev);
-            prev = c;
-        }
-        // And the generator is reproducible per seed.
+#[test]
+fn pcb_capacitance_is_strictly_increasing() {
+    // Noise-free law is strictly increasing; sampled read-outs drift
+    // but the underlying model must be.
+    let exp = PcbExperiment::paper_3mm(ActuationMode::ChargeTrapping);
+    let mut prev = 0.0;
+    for n in (0..1000).step_by(100) {
+        let c = exp.capacitance_at(n);
+        assert!(c > prev);
+        prev = c;
+    }
+    // And the generator is reproducible per seed.
+    let mut rng = StdRng::seed_from_u64(0xDE67);
+    for _ in 0..32 {
+        let seed = rng.gen_range(0..500u64);
         let a = exp.run(&mut StdRng::seed_from_u64(seed), 5, 100);
         let b = exp.run(&mut StdRng::seed_from_u64(seed), 5, 100);
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
 }

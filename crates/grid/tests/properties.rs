@@ -1,136 +1,187 @@
-//! Property-based tests for the geometry substrate.
+//! Property-style tests for the geometry substrate, driven by a
+//! deterministic seeded sampler (no external proptest dependency): each
+//! test replays the same randomized input space on every run.
 
 use meda_grid::{Cell, ChipDims, Grid, Interval, Rect};
-use proptest::prelude::*;
+use meda_rng::{Rng, SeedableRng, StdRng};
 
-fn arb_cell() -> impl Strategy<Value = Cell> {
-    (-100i32..100, -100i32..100).prop_map(|(x, y)| Cell::new(x, y))
+const CASES: usize = 256;
+
+fn arb_cell(rng: &mut StdRng) -> Cell {
+    Cell::new(rng.gen_range(-100..100), rng.gen_range(-100..100))
 }
 
-fn arb_rect() -> impl Strategy<Value = Rect> {
-    (-50i32..50, -50i32..50, 0i32..20, 0i32..20)
-        .prop_map(|(xa, ya, w, h)| Rect::new(xa, ya, xa + w, ya + h))
+fn arb_rect(rng: &mut StdRng) -> Rect {
+    let (xa, ya) = (rng.gen_range(-50..50), rng.gen_range(-50..50));
+    let (w, h) = (rng.gen_range(0..20), rng.gen_range(0..20));
+    Rect::new(xa, ya, xa + w, ya + h)
 }
 
-fn arb_dims() -> impl Strategy<Value = ChipDims> {
-    (1u32..40, 1u32..40).prop_map(|(w, h)| ChipDims::new(w, h))
+fn arb_dims(rng: &mut StdRng) -> ChipDims {
+    ChipDims::new(rng.gen_range(1..40u32), rng.gen_range(1..40u32))
 }
 
-proptest! {
-    #[test]
-    fn manhattan_distance_is_a_metric(a in arb_cell(), b in arb_cell(), c in arb_cell()) {
-        prop_assert_eq!(a.manhattan_distance(a), 0);
-        prop_assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
-        prop_assert!(
-            a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c)
-        );
+#[test]
+fn manhattan_distance_is_a_metric() {
+    let mut rng = StdRng::seed_from_u64(0xA110);
+    for _ in 0..CASES {
+        let (a, b, c) = (arb_cell(&mut rng), arb_cell(&mut rng), arb_cell(&mut rng));
+        assert_eq!(a.manhattan_distance(a), 0);
+        assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
+        assert!(a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c));
     }
+}
 
-    #[test]
-    fn chebyshev_never_exceeds_manhattan(a in arb_cell(), b in arb_cell()) {
-        prop_assert!(a.chebyshev_distance(b) <= a.manhattan_distance(b));
-        prop_assert!(a.manhattan_distance(b) <= 2 * a.chebyshev_distance(b));
+#[test]
+fn chebyshev_never_exceeds_manhattan() {
+    let mut rng = StdRng::seed_from_u64(0xA111);
+    for _ in 0..CASES {
+        let (a, b) = (arb_cell(&mut rng), arb_cell(&mut rng));
+        assert!(a.chebyshev_distance(b) <= a.manhattan_distance(b));
+        assert!(a.manhattan_distance(b) <= 2 * a.chebyshev_distance(b));
     }
+}
 
-    #[test]
-    fn interval_len_matches_iteration(lo in -50i32..50, hi in -50i32..50) {
-        let iv = Interval::new(lo, hi);
-        prop_assert_eq!(iv.len() as usize, iv.iter().count());
-        prop_assert_eq!(iv.is_empty(), iv.iter().next().is_none());
+#[test]
+fn interval_len_matches_iteration() {
+    let mut rng = StdRng::seed_from_u64(0xA112);
+    for _ in 0..CASES {
+        let iv = Interval::new(rng.gen_range(-50..50), rng.gen_range(-50..50));
+        assert_eq!(iv.len() as usize, iv.iter().count());
+        assert_eq!(iv.is_empty(), iv.iter().next().is_none());
     }
+}
 
-    #[test]
-    fn interval_intersection_is_commutative_and_contained(
-        a_lo in -30i32..30, a_hi in -30i32..30, b_lo in -30i32..30, b_hi in -30i32..30
-    ) {
-        let a = Interval::new(a_lo, a_hi);
-        let b = Interval::new(b_lo, b_hi);
-        prop_assert_eq!(a.intersect(b), b.intersect(a));
+#[test]
+fn interval_intersection_is_commutative_and_contained() {
+    let mut rng = StdRng::seed_from_u64(0xA113);
+    for _ in 0..CASES {
+        let a = Interval::new(rng.gen_range(-30..30), rng.gen_range(-30..30));
+        let b = Interval::new(rng.gen_range(-30..30), rng.gen_range(-30..30));
+        assert_eq!(a.intersect(b), b.intersect(a));
         for v in a.intersect(b) {
-            prop_assert!(a.contains(v) && b.contains(v));
+            assert!(a.contains(v) && b.contains(v));
         }
     }
+}
 
-    #[test]
-    fn rect_cells_count_equals_area(r in arb_rect()) {
-        prop_assert_eq!(r.cells().count() as u32, r.area());
-        prop_assert!(r.cells().all(|c| r.contains_cell(c)));
+#[test]
+fn rect_cells_count_equals_area() {
+    let mut rng = StdRng::seed_from_u64(0xA114);
+    for _ in 0..CASES {
+        let r = arb_rect(&mut rng);
+        assert_eq!(r.cells().count() as u32, r.area());
+        assert!(r.cells().all(|c| r.contains_cell(c)));
     }
+}
 
-    #[test]
-    fn rect_union_contains_both_and_is_minimal_along_axes(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_union_contains_both_and_is_minimal_along_axes() {
+    let mut rng = StdRng::seed_from_u64(0xA115);
+    for _ in 0..CASES {
+        let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
         let u = a.union(b);
-        prop_assert!(u.contains_rect(a));
-        prop_assert!(u.contains_rect(b));
-        prop_assert_eq!(u.xa, a.xa.min(b.xa));
-        prop_assert_eq!(u.yb, a.yb.max(b.yb));
+        assert!(u.contains_rect(a));
+        assert!(u.contains_rect(b));
+        assert_eq!(u.xa, a.xa.min(b.xa));
+        assert_eq!(u.yb, a.yb.max(b.yb));
     }
+}
 
-    #[test]
-    fn rect_intersection_consistent_with_intersects(a in arb_rect(), b in arb_rect()) {
+#[test]
+fn rect_intersection_consistent_with_intersects() {
+    let mut rng = StdRng::seed_from_u64(0xA116);
+    for _ in 0..CASES {
+        let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
         match a.intersection(b) {
             Some(i) => {
-                prop_assert!(a.intersects(b));
-                prop_assert!(a.contains_rect(i) && b.contains_rect(i));
+                assert!(a.intersects(b));
+                assert!(a.contains_rect(i) && b.contains_rect(i));
             }
-            None => prop_assert!(!a.intersects(b)),
+            None => assert!(!a.intersects(b)),
         }
     }
+}
 
-    #[test]
-    fn rect_manhattan_gap_is_symmetric_and_zero_iff_intersecting(a in arb_rect(), b in arb_rect()) {
-        prop_assert_eq!(a.manhattan_gap(b), b.manhattan_gap(a));
-        prop_assert_eq!(a.manhattan_gap(b) == 0, a.intersects(b));
+#[test]
+fn rect_manhattan_gap_is_symmetric_and_zero_iff_intersecting() {
+    let mut rng = StdRng::seed_from_u64(0xA117);
+    for _ in 0..CASES {
+        let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
+        assert_eq!(a.manhattan_gap(b), b.manhattan_gap(a));
+        assert_eq!(a.manhattan_gap(b) == 0, a.intersects(b));
     }
+}
 
-    #[test]
-    fn rect_translate_preserves_shape(r in arb_rect(), dx in -20i32..20, dy in -20i32..20) {
+#[test]
+fn rect_translate_preserves_shape() {
+    let mut rng = StdRng::seed_from_u64(0xA118);
+    for _ in 0..CASES {
+        let r = arb_rect(&mut rng);
+        let (dx, dy) = (rng.gen_range(-20..20), rng.gen_range(-20..20));
         let t = r.translate(dx, dy);
-        prop_assert_eq!(t.width(), r.width());
-        prop_assert_eq!(t.height(), r.height());
-        prop_assert_eq!(t.area(), r.area());
-        prop_assert_eq!(t.translate(-dx, -dy), r);
+        assert_eq!(t.width(), r.width());
+        assert_eq!(t.height(), r.height());
+        assert_eq!(t.area(), r.area());
+        assert_eq!(t.translate(-dx, -dy), r);
     }
+}
 
-    #[test]
-    fn centered_at_roundtrips_center(cx in -20.0f64..20.0, cy in -20.0f64..20.0,
-                                     w in 1u32..10, h in 1u32..10) {
+#[test]
+fn centered_at_roundtrips_center() {
+    let mut rng = StdRng::seed_from_u64(0xA119);
+    for _ in 0..CASES {
+        let cx = rng.gen_range(-20.0..20.0);
+        let cy = rng.gen_range(-20.0..20.0);
+        let (w, h) = (rng.gen_range(1..10u32), rng.gen_range(1..10u32));
         // Snap the requested center to the representable half-cell grid.
         let r = Rect::centered_at(cx, cy, w, h);
         let (rx, ry) = r.center();
-        prop_assert!((rx - cx).abs() <= 0.5 + 1e-9);
-        prop_assert!((ry - cy).abs() <= 0.5 + 1e-9);
-        prop_assert_eq!((r.width(), r.height()), (w, h));
+        assert!((rx - cx).abs() <= 0.5 + 1e-9);
+        assert!((ry - cy).abs() <= 0.5 + 1e-9);
+        assert_eq!((r.width(), r.height()), (w, h));
     }
+}
 
-    #[test]
-    fn dims_index_roundtrip(dims in arb_dims()) {
+#[test]
+fn dims_index_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xA11A);
+    for _ in 0..64 {
+        let dims = arb_dims(&mut rng);
         for idx in 0..dims.cell_count() {
             let cell = dims.cell_at(idx);
-            prop_assert_eq!(dims.index_of(cell), Some(idx));
-            prop_assert!(dims.contains(cell));
+            assert_eq!(dims.index_of(cell), Some(idx));
+            assert!(dims.contains(cell));
         }
     }
+}
 
-    #[test]
-    fn grid_fill_rect_writes_exactly_the_clipped_intersection(
-        dims in arb_dims(), r in arb_rect()
-    ) {
+#[test]
+fn grid_fill_rect_writes_exactly_the_clipped_intersection() {
+    let mut rng = StdRng::seed_from_u64(0xA11B);
+    for _ in 0..CASES {
+        let dims = arb_dims(&mut rng);
+        let r = arb_rect(&mut rng);
         let mut g = Grid::<bool>::new(dims, false);
         let written = g.fill_rect(r, true);
         let expected = r
             .intersection(dims.bounds())
             .map_or(0, |c| c.area() as usize);
-        prop_assert_eq!(written, expected);
-        prop_assert_eq!(g.count_set(), expected);
+        assert_eq!(written, expected);
+        assert_eq!(g.count_set(), expected);
     }
+}
 
-    #[test]
-    fn grid_map_preserves_structure(dims in arb_dims(), offset in -5i32..5) {
+#[test]
+fn grid_map_preserves_structure() {
+    let mut rng = StdRng::seed_from_u64(0xA11C);
+    for _ in 0..64 {
+        let dims = arb_dims(&mut rng);
+        let offset = rng.gen_range(-5..5);
         let g = Grid::from_fn(dims, |c| c.x + c.y);
         let mapped = g.map(|_, v| v + offset);
         for (cell, v) in g.iter() {
-            prop_assert_eq!(mapped[cell], v + offset);
+            assert_eq!(mapped[cell], v + offset);
         }
     }
 }

@@ -4,7 +4,9 @@ use std::time::{Duration, Instant};
 use meda_bioassay::{BioassayPlan, RoutingJob};
 use meda_core::{Action, ActionConfig, HealthField, RoutingMdp};
 use meda_grid::Rect;
-use meda_synth::{synthesize, LibraryKey, Query, RoutingStrategy, StrategyLibrary};
+use meda_synth::{
+    synthesize, synthesize_with, LibraryKey, Query, RoutingStrategy, SolverOptions, StrategyLibrary,
+};
 
 use crate::Router;
 
@@ -100,7 +102,7 @@ impl AdaptiveRouter {
                 if job.is_dispense() || job.goal.contains_rect(job.start) {
                     continue;
                 }
-                if self.synthesize_for(job, job.start, health).is_some() {
+                if self.synthesize_for(job, job.start, health, None).is_some() {
                     stored += 1;
                 }
             }
@@ -133,6 +135,7 @@ impl AdaptiveRouter {
         job: &RoutingJob,
         start: Rect,
         health: &HealthField,
+        previous: Option<&RoutingStrategy>,
     ) -> Option<Arc<RoutingStrategy>> {
         let digest = health.digest(job.bounds);
         let key = LibraryKey {
@@ -150,7 +153,17 @@ impl AdaptiveRouter {
         let result = (|| {
             let mdp = RoutingMdp::build(start, job.goal, job.bounds, health, &self.config.actions)
                 .ok()?;
-            let strategy = synthesize(&mdp, self.config.query)
+            let mut options = SolverOptions::default();
+            if self.config.query == Query::MinExpectedCycles {
+                // Warm-start re-synthesis from the superseded strategy:
+                // health only degrades, so its Rmin values lower-bound the
+                // new fixed point. Only valid for this query direction —
+                // Pmax seeds are rejected by the solver.
+                if let Some(prev) = previous.filter(|p| p.query() == Query::MinExpectedCycles) {
+                    options.warm_start = Some(prev.warm_start_seed(&mdp));
+                }
+            }
+            let strategy = synthesize_with(&mdp, self.config.query, options)
                 .or_else(|_| synthesize(&mdp, Query::MaxReachProbability))
                 .ok()?;
             if strategy.query() == Query::MaxReachProbability && strategy.value_at_init() <= 0.0 {
@@ -175,7 +188,7 @@ impl Router for AdaptiveRouter {
 
     fn begin_job(&mut self, job: &RoutingJob, health: &HealthField) -> bool {
         self.digest = health.digest(job.bounds);
-        self.strategy = self.synthesize_for(job, job.start, health);
+        self.strategy = self.synthesize_for(job, job.start, health, None);
         self.job = Some(*job);
         self.strategy.is_some()
     }
@@ -186,8 +199,12 @@ impl Router for AdaptiveRouter {
             let digest = health.digest(job.bounds);
             if digest != self.digest {
                 self.digest = digest;
-                // Re-synthesize from the droplet's *current* location.
-                if let Some(strategy) = self.synthesize_for(&job, droplet, health) {
+                // Re-synthesize from the droplet's *current* location,
+                // warm-started from the superseded strategy's values.
+                let previous = self.strategy.clone();
+                if let Some(strategy) =
+                    self.synthesize_for(&job, droplet, health, previous.as_deref())
+                {
                     self.strategy = Some(strategy);
                     self.resynth_count += 1;
                 }
@@ -195,12 +212,12 @@ impl Router for AdaptiveRouter {
                 // worse than fresh, better than freezing.
             }
         }
-        let strategy = self.strategy.as_ref()?;
+        let strategy = Arc::clone(self.strategy.as_ref()?);
         strategy.decide(droplet).or_else(|| {
             // The droplet drifted off the synthesized state set (e.g. a
             // partial ordinal move under a stale strategy); re-synthesize
-            // from here.
-            let refreshed = self.synthesize_for(&job, droplet, health)?;
+            // from here, seeded with the stale strategy's values.
+            let refreshed = self.synthesize_for(&job, droplet, health, Some(&strategy))?;
             let action = refreshed.decide(droplet);
             self.strategy = Some(refreshed);
             action

@@ -32,9 +32,9 @@ pub struct WearStats {
 /// ```
 /// use meda_grid::{ChipDims, Grid, Rect};
 /// use meda_sim::{analysis, Biochip, DegradationConfig};
-/// use rand::SeedableRng;
+/// use meda_rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = meda_rng::StdRng::seed_from_u64(1);
 /// let mut chip = Biochip::generate(ChipDims::new(8, 8), &DegradationConfig::pristine(), &mut rng);
 /// let mut pattern = Grid::new(chip.dims(), false);
 /// pattern.fill_rect(Rect::new(1, 1, 2, 2), true);
@@ -92,8 +92,8 @@ mod tests {
     use super::*;
     use crate::DegradationConfig;
     use meda_grid::{ChipDims, Grid, Rect};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use meda_rng::SeedableRng;
+    use meda_rng::StdRng;
 
     fn chip_with(patterns: &[(Rect, u32)]) -> Biochip {
         let dims = ChipDims::new(10, 10);

@@ -1,4 +1,4 @@
-use rand::Rng;
+use meda_rng::Rng;
 
 use meda_core::{DegradationField, HealthField};
 use meda_degradation::{DegradationParams, ParamDistribution};
@@ -191,8 +191,8 @@ mod tests {
     use super::*;
     use meda_core::ForceProvider;
     use meda_grid::Rect;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use meda_rng::SeedableRng;
+    use meda_rng::StdRng;
 
     fn chip(config: &DegradationConfig, seed: u64) -> Biochip {
         let mut rng = StdRng::seed_from_u64(seed);

@@ -1,4 +1,4 @@
-use rand::Rng;
+use meda_rng::Rng;
 
 use meda_bioassay::{BioassayPlan, RoutingJob};
 use meda_core::{transitions, Action, Dir};
@@ -335,8 +335,8 @@ mod tests {
     use crate::{AdaptiveConfig, AdaptiveRouter, BaselineRouter, DegradationConfig};
     use meda_bioassay::{benchmarks, RjHelper};
     use meda_grid::ChipDims;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use meda_rng::SeedableRng;
+    use meda_rng::StdRng;
 
     fn plan(sg: &meda_bioassay::SequencingGraph) -> BioassayPlan {
         RjHelper::new(ChipDims::PAPER).plan(sg).unwrap()

@@ -1,5 +1,5 @@
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
+use meda_rng::StdRng;
 
 use meda_bioassay::BioassayPlan;
 use meda_grid::{Cell, ChipDims};

@@ -1,5 +1,5 @@
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
+use meda_rng::StdRng;
 
 use meda_bioassay::BioassayPlan;
 use meda_grid::ChipDims;
@@ -73,12 +73,12 @@ pub fn pos_sweep<R: Router>(
         .collect();
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
     let chunk = cells.len().div_ceil(threads).max(1);
-    let per_cell: Vec<((u64, u32), u32)> = crossbeam::thread::scope(|scope| {
+    let per_cell: Vec<((u64, u32), u32)> = std::thread::scope(|scope| {
         let handles: Vec<_> = cells
             .chunks(chunk)
             .map(|batch| {
                 let run_cell = &run_cell;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     batch
                         .iter()
                         .map(|&cell| (cell, run_cell(cell)))
@@ -90,8 +90,7 @@ pub fn pos_sweep<R: Router>(
             .into_iter()
             .flat_map(|h| h.join().expect("sweep thread panicked"))
             .collect()
-    })
-    .expect("thread scope");
+    });
 
     k_values
         .iter()

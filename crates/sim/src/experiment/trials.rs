@@ -1,5 +1,5 @@
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
+use meda_rng::StdRng;
 
 use meda_bioassay::BioassayPlan;
 use meda_grid::ChipDims;
@@ -81,20 +81,19 @@ pub fn fault_trials<R: Router>(
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
     let chunk = (trials as usize).div_ceil(threads).max(1);
     let ids: Vec<u32> = (0..trials).collect();
-    let results: Vec<(f64, u32)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(f64, u32)> = std::thread::scope(|scope| {
         let handles: Vec<_> = ids
             .chunks(chunk)
             .map(|batch| {
                 let run_trial = &run_trial;
-                scope.spawn(move |_| batch.iter().map(|&t| run_trial(t)).collect::<Vec<_>>())
+                scope.spawn(move || batch.iter().map(|&t| run_trial(t)).collect::<Vec<_>>())
             })
             .collect();
         handles
             .into_iter()
             .flat_map(|h| h.join().expect("trial thread panicked"))
             .collect()
-    })
-    .expect("thread scope");
+    });
 
     let mut totals = Vec::with_capacity(trials as usize);
     let mut completions = 0u32;

@@ -1,4 +1,4 @@
-use rand::Rng;
+use meda_rng::Rng;
 
 use meda_grid::{Cell, ChipDims, Rect};
 
@@ -63,8 +63,8 @@ impl FaultMode {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use meda_rng::SeedableRng;
+    use meda_rng::StdRng;
 
     const DIMS: ChipDims = ChipDims {
         width: 30,

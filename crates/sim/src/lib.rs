@@ -29,9 +29,9 @@
 //! use meda_bioassay::{benchmarks, RjHelper};
 //! use meda_grid::ChipDims;
 //! use meda_sim::{AdaptiveRouter, BioassayRunner, Biochip, DegradationConfig, RunConfig};
-//! use rand::SeedableRng;
+//! use meda_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut rng = meda_rng::StdRng::seed_from_u64(7);
 //! let plan = RjHelper::new(ChipDims::PAPER).plan(&benchmarks::master_mix())?;
 //! let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
 //! let mut router = AdaptiveRouter::new(Default::default());

@@ -186,8 +186,8 @@ mod tests {
     #[test]
     fn recovery_detour_reaches_the_goal_region() {
         use meda_core::transitions;
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use meda_rng::StdRng;
+        use meda_rng::{Rng, SeedableRng};
 
         let health = health_with_wall(1..=6);
         let mut r = RecoveryRouter::new(2);

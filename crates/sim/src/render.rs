@@ -98,8 +98,8 @@ mod tests {
     use crate::DegradationConfig;
     use meda_degradation::HealthLevel;
     use meda_grid::ChipDims;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use meda_rng::SeedableRng;
+    use meda_rng::StdRng;
 
     #[test]
     fn health_map_orients_north_up() {

@@ -1,28 +1,27 @@
-//! Property-based tests for the simulator: chip physics invariants,
-//! fault-placement guarantees, and execution-engine conservation laws.
+//! Property-style tests for the simulator: chip physics invariants,
+//! fault-placement guarantees, and execution-engine conservation laws,
+//! replayed over a deterministic seeded input space.
 
 use meda_bioassay::{benchmarks, RjHelper};
 use meda_grid::{Cell, ChipDims, Grid, Rect};
+use meda_rng::{Rng, SeedableRng, StdRng};
 use meda_sim::{BaselineRouter, BioassayRunner, Biochip, DegradationConfig, FaultMode, RunConfig};
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Degradation is monotone under any actuation sequence: more wear can
-    /// never raise any cell's degradation level.
-    #[test]
-    fn chip_degradation_is_monotone_under_wear(
-        seed in 0u64..500,
-        rects in proptest::collection::vec((1i32..8, 1i32..8, 0i32..4, 0i32..4), 1..8)
-    ) {
+/// Degradation is monotone under any actuation sequence: more wear can
+/// never raise any cell's degradation level.
+#[test]
+fn chip_degradation_is_monotone_under_wear() {
+    let mut meta = StdRng::seed_from_u64(0x51A0);
+    for _ in 0..24 {
+        let seed = meta.gen_range(0..500u64);
+        let n_rects = meta.gen_range(1..8usize);
         let dims = ChipDims::new(12, 12);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut chip = Biochip::generate(dims, &DegradationConfig::paper(), &mut rng);
         let mut last: Vec<f64> = dims.cells().map(|c| chip.degradation_at(c)).collect();
-        for (xa, ya, w, h) in rects {
+        for _ in 0..n_rects {
+            let (xa, ya) = (meta.gen_range(1..8), meta.gen_range(1..8));
+            let (w, h) = (meta.gen_range(0..4), meta.gen_range(0..4));
             let mut pattern = Grid::new(dims, false);
             pattern.fill_rect(Rect::new(xa, ya, xa + w, ya + h), true);
             for _ in 0..50 {
@@ -30,16 +29,21 @@ proptest! {
             }
             let now: Vec<f64> = dims.cells().map(|c| chip.degradation_at(c)).collect();
             for (before, after) in last.iter().zip(&now) {
-                prop_assert!(after <= &(before + 1e-12));
+                assert!(after <= &(before + 1e-12));
             }
             last = now;
         }
     }
+}
 
-    /// The health read-out is always the exact quantization of the hidden
-    /// degradation, for any wear state.
-    #[test]
-    fn health_readout_is_exact_quantization(seed in 0u64..500, wear in 0u32..2000) {
+/// The health read-out is always the exact quantization of the hidden
+/// degradation, for any wear state.
+#[test]
+fn health_readout_is_exact_quantization() {
+    let mut meta = StdRng::seed_from_u64(0x51A1);
+    for _ in 0..24 {
+        let seed = meta.gen_range(0..500u64);
+        let wear = meta.gen_range(0..2000u32);
         let dims = ChipDims::new(10, 6);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut chip = Biochip::generate(dims, &DegradationConfig::paper(), &mut rng);
@@ -50,36 +54,45 @@ proptest! {
         let health = chip.health_field();
         for cell in dims.cells() {
             let d = chip.degradation_at(cell);
-            prop_assert_eq!(
+            assert_eq!(
                 health.health()[cell],
                 meda_degradation::quantize_health(d, 2),
-                "at {}", cell
+                "at {cell}"
             );
         }
     }
+}
 
-    /// Fault placement honours the requested fraction (uniform exactly;
-    /// clustered within one cluster of slack) and chip bounds.
-    #[test]
-    fn fault_placement_counts_and_bounds(seed in 0u64..500, pct in 1u32..20) {
+/// Fault placement honours the requested fraction (uniform exactly;
+/// clustered within one cluster of slack) and chip bounds.
+#[test]
+fn fault_placement_counts_and_bounds() {
+    let mut meta = StdRng::seed_from_u64(0x51A2);
+    for _ in 0..24 {
+        let seed = meta.gen_range(0..500u64);
+        let pct = meta.gen_range(1..20u32);
         let dims = ChipDims::new(30, 20);
         let fraction = f64::from(pct) / 100.0;
         let mut rng = StdRng::seed_from_u64(seed);
         let uniform = FaultMode::Uniform.place(dims, fraction, &mut rng);
         let target = (dims.cell_count() as f64 * fraction).round() as usize;
-        prop_assert_eq!(uniform.len(), target);
-        prop_assert!(uniform.iter().all(|&c| dims.contains(c)));
+        assert_eq!(uniform.len(), target);
+        assert!(uniform.iter().all(|&c| dims.contains(c)));
 
         let clustered = FaultMode::Clustered.place(dims, fraction, &mut rng);
-        prop_assert!(clustered.len() >= target);
-        prop_assert!(clustered.len() < target + 4);
-        prop_assert!(clustered.iter().all(|&c| dims.contains(c)));
+        assert!(clustered.len() >= target);
+        assert!(clustered.len() < target + 4);
+        assert!(clustered.iter().all(|&c| dims.contains(c)));
     }
+}
 
-    /// Execution is a pure function of (plan, chip seed, rng seed): same
-    /// seeds, same cycles and same final wear.
-    #[test]
-    fn runs_are_seed_deterministic(seed in 0u64..200) {
+/// Execution is a pure function of (plan, chip seed, rng seed): same
+/// seeds, same cycles and same final wear.
+#[test]
+fn runs_are_seed_deterministic() {
+    let mut meta = StdRng::seed_from_u64(0x51A3);
+    for _ in 0..8 {
+        let seed = meta.gen_range(0..200u64);
         let dims = ChipDims::PAPER;
         let plan = RjHelper::new(dims).plan(&benchmarks::master_mix()).unwrap();
         let runner = BioassayRunner::new(RunConfig::default());
@@ -88,16 +101,24 @@ proptest! {
             let mut chip = Biochip::generate(dims, &DegradationConfig::paper(), &mut rng);
             let mut router = BaselineRouter::new();
             let outcome = runner.run(&plan, &mut chip, &mut router, &mut rng);
-            (outcome.cycles, outcome.is_success(), chip.total_actuations())
+            (
+                outcome.cycles,
+                outcome.is_success(),
+                chip.total_actuations(),
+            )
         };
-        prop_assert_eq!(go(seed), go(seed));
+        assert_eq!(go(seed), go(seed));
     }
+}
 
-    /// Cycle/wear conservation: every cycle actuates at least one MC, so
-    /// total actuations ≥ cycles; and the recorded trace length equals the
-    /// cycle count exactly.
-    #[test]
-    fn cycles_and_wear_are_conserved(seed in 0u64..100) {
+/// Cycle/wear conservation: every cycle actuates at least one MC, so
+/// total actuations ≥ cycles; and the recorded trace length equals the
+/// cycle count exactly.
+#[test]
+fn cycles_and_wear_are_conserved() {
+    let mut meta = StdRng::seed_from_u64(0x51A4);
+    for _ in 0..6 {
+        let seed = meta.gen_range(0..100u64);
         let dims = ChipDims::PAPER;
         let plan = RjHelper::new(dims).plan(&benchmarks::covid_rat()).unwrap();
         let mut rng = StdRng::seed_from_u64(seed);
@@ -108,17 +129,17 @@ proptest! {
             record_actuation: true,
         })
         .run(&plan, &mut chip, &mut router, &mut rng);
-        prop_assert!(outcome.is_success());
+        assert!(outcome.is_success());
         let trace = outcome.trace.as_ref().unwrap();
-        prop_assert_eq!(trace.len() as u64, outcome.cycles);
+        assert_eq!(trace.len() as u64, outcome.cycles);
         let from_trace: u64 = trace.iter().map(|p| p.count_set() as u64).sum();
-        prop_assert_eq!(from_trace, chip.total_actuations());
-        prop_assert!(chip.total_actuations() >= outcome.cycles);
+        assert_eq!(from_trace, chip.total_actuations());
+        assert!(chip.total_actuations() >= outcome.cycles);
     }
 }
 
-/// Non-proptest sanity: a dead cell stays dead (degradation is absorbing
-/// at zero for faulted MCs).
+/// A dead cell stays dead (degradation is absorbing at zero for faulted
+/// MCs).
 #[test]
 fn sudden_faults_are_absorbing() {
     let dims = ChipDims::new(8, 8);

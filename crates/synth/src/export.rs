@@ -78,7 +78,7 @@ pub fn to_prism_explicit(mdp: &RoutingMdp) -> PrismModel {
             continue;
         }
         for (choice_idx, (action, branch)) in mdp.choices(i).iter().enumerate() {
-            for &(j, p) in branch {
+            for (j, p) in branch.iter() {
                 let _ = writeln!(transitions, "{i} {choice_idx} {j} {p} {action}");
             }
         }

@@ -110,26 +110,25 @@ impl RobustGame {
             let delta = base.state(i);
             let mut per_action = Vec::new();
             for (action, base_branch) in base.choices(i) {
-                let mut list: Vec<Variant> = vec![(false, base_branch.clone())];
-                for cell in interference_targets(delta, *action) {
+                let mut list: Vec<Variant> = vec![(false, base_branch.to_vec())];
+                for cell in interference_targets(delta, action) {
                     let knocked = Knockout {
                         inner: field,
                         dead: cell,
                     };
-                    let branch: Vec<(usize, f64)> =
-                        meda_core::transitions(delta, *action, &knocked)
-                            .into_iter()
-                            .filter(|o| o.probability > 0.0)
-                            .map(|o| {
-                                let j = base
-                                    .state_index(o.droplet)
-                                    .expect("knockout cannot create new outcomes");
-                                (j, o.probability)
-                            })
-                            .collect();
+                    let branch: Vec<(usize, f64)> = meda_core::transitions(delta, action, &knocked)
+                        .into_iter()
+                        .filter(|o| o.probability > 0.0)
+                        .map(|o| {
+                            let j = base
+                                .state_index(o.droplet)
+                                .expect("knockout cannot create new outcomes");
+                            (j, o.probability)
+                        })
+                        .collect();
                     list.push((true, branch));
                 }
-                per_action.push((*action, list));
+                per_action.push((action, list));
             }
             variants.push(per_action);
         }
@@ -185,7 +184,7 @@ impl RobustGame {
         // reaches the goal a.s. without interference still does under a
         // finite budget (the adversary runs out).
         if cycles {
-            let reach = crate::max_reach_probability(&self.base, options);
+            let reach = crate::max_reach_probability(&self.base, options.clone());
             for i in 0..n {
                 if !self.base.is_goal(i) && reach.values[i] < 1.0 - 1e-6 {
                     for b in 0..width {
@@ -358,7 +357,9 @@ mod tests {
         let mut prev = 0.0;
         for budget in 0..=3 {
             let g = game(budget);
-            let v = g.min_expected_cycles(opts).at(g.base().init(), budget);
+            let v = g
+                .min_expected_cycles(opts.clone())
+                .at(g.base().init(), budget);
             assert!(
                 v >= prev - 1e-9,
                 "budget {budget}: worst-case cost fell from {prev} to {v}"
@@ -374,7 +375,9 @@ mod tests {
         let mut prev = 1.0;
         for budget in 0..=3 {
             let g = game(budget);
-            let p = g.max_reach_probability(opts).at(g.base().init(), budget);
+            let p = g
+                .max_reach_probability(opts.clone())
+                .at(g.base().init(), budget);
             assert!(p <= prev + 1e-9, "budget {budget}: {p} > {prev}");
             assert!(p > 0.0);
             prev = p;

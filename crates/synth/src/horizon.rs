@@ -110,10 +110,10 @@ pub fn bounded_reach_probability(mdp: &RoutingMdp, horizon: usize) -> HorizonVal
             let mut best = 0.0f64;
             let mut best_action = None;
             for (action, branch) in mdp.choices(i) {
-                let v: f64 = branch.iter().map(|&(j, p)| p * prev[j]).sum();
+                let v: f64 = branch.iter().map(|(j, p)| p * prev[j]).sum();
                 if v > best {
                     best = v;
-                    best_action = Some(*action);
+                    best_action = Some(action);
                 }
             }
             now[i] = best;

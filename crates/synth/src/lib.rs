@@ -59,5 +59,8 @@ pub use horizon::{bounded_reach_probability, HorizonValues};
 pub use library::{LibraryKey, StrategyLibrary};
 pub use perf::{measure_synthesis, PerfRecord};
 pub use query::Query;
-pub use solver::{max_reach_probability, min_expected_cycles, SolverOptions, SolverResult};
+pub use solver::{
+    max_reach_probability, min_expected_cycles, min_expected_cycles_with_reach, SolverOptions,
+    SolverResult,
+};
 pub use strategy::{synthesize, synthesize_with, RoutingStrategy, SynthesisError};

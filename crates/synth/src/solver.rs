@@ -1,12 +1,30 @@
 use meda_core::{Action, RoutingMdp};
 
 /// Options for the value-iteration solver.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolverOptions {
     /// Convergence threshold on the max value change per sweep.
     pub epsilon: f64,
-    /// Hard cap on Gauss–Seidel sweeps.
+    /// Hard cap on value-iteration sweeps.
     pub max_iterations: usize,
+    /// Optional per-state initial value seed for `Rmin` solves.
+    ///
+    /// Health only ever degrades, so expected completion times only ever
+    /// increase — a previous solve's values are a pointwise *lower* bound
+    /// on the new fixed point and make a sound monotone-from-below seed
+    /// (warm start). Ignored by [`max_reach_probability`]: `v ≡ 1` is a
+    /// fixed point of the `Pmax` operator (every failure branch self-
+    /// loops), so `Pmax` iteration must start from 0 to converge to the
+    /// *least* fixed point. Seeds of the wrong length are ignored.
+    pub warm_start: Option<Vec<f64>>,
+    /// Opt into parallel Jacobi sweeps for models with at least
+    /// [`SolverOptions::parallel_threshold`] states. Below the threshold
+    /// (and by default) the solver keeps serial Gauss–Seidel, which needs
+    /// fewer sweeps and has no thread overhead.
+    pub parallel: bool,
+    /// Minimum state count before [`SolverOptions::parallel`] takes
+    /// effect.
+    pub parallel_threshold: usize,
 }
 
 impl Default for SolverOptions {
@@ -14,6 +32,9 @@ impl Default for SolverOptions {
         Self {
             epsilon: 1e-9,
             max_iterations: 100_000,
+            warm_start: None,
+            parallel: false,
+            parallel_threshold: 16_384,
         }
     }
 }
@@ -26,19 +47,125 @@ pub struct SolverResult {
     pub values: Vec<f64>,
     /// Optimal memoryless deterministic choice per state.
     pub choice: Vec<Option<Action>>,
-    /// Number of Gauss–Seidel sweeps performed.
+    /// Number of value-iteration sweeps performed.
     pub iterations: usize,
     /// Whether the run converged within `max_iterations`.
     pub converged: bool,
 }
 
-/// Computes `Pmax[◇goal]` over the routing MDP by Gauss–Seidel value
-/// iteration (hazard avoidance is structural — see [`meda_core::RoutingMdp`]).
+/// Runs value iteration with the per-state update `eval` until the sweep
+/// delta drops below `epsilon`: serial Gauss–Seidel (in-place, each state
+/// sees already-updated predecessors) or — when opted in and the model is
+/// large enough — parallel Jacobi sweeps over `std::thread::scope`, where
+/// each sweep reads the previous iterate.
+fn iterate<F>(
+    eval: F,
+    options: &SolverOptions,
+    values: &mut Vec<f64>,
+    choice: &mut Vec<Option<Action>>,
+) -> (usize, bool)
+where
+    F: Fn(usize, &[f64], &[Option<Action>]) -> (f64, Option<Action>) + Sync,
+{
+    let n = values.len();
+    let parallel = options.parallel && n >= options.parallel_threshold;
+    let mut iterations = 0;
+    let mut converged = false;
+    if parallel {
+        let mut next_values = values.clone();
+        let mut next_choice = choice.clone();
+        while iterations < options.max_iterations {
+            iterations += 1;
+            let delta = jacobi_sweep(&eval, values, choice, &mut next_values, &mut next_choice);
+            std::mem::swap(values, &mut next_values);
+            std::mem::swap(choice, &mut next_choice);
+            if delta < options.epsilon {
+                converged = true;
+                break;
+            }
+        }
+    } else {
+        while iterations < options.max_iterations {
+            iterations += 1;
+            let mut delta = 0.0_f64;
+            for i in 0..n {
+                let (v, a) = eval(i, values, choice);
+                // `v == values[i]` also covers matching infinities, where
+                // the subtraction would produce NaN.
+                if v != values[i] {
+                    delta = delta.max((v - values[i]).abs());
+                }
+                values[i] = v;
+                choice[i] = a;
+            }
+            if delta < options.epsilon {
+                converged = true;
+                break;
+            }
+        }
+    }
+    (iterations, converged)
+}
+
+/// One parallel Jacobi sweep: evaluates every state against the previous
+/// iterate, writing into `next_*`, and returns the max value change.
+fn jacobi_sweep<F>(
+    eval: &F,
+    values: &[f64],
+    choice: &[Option<Action>],
+    next_values: &mut [f64],
+    next_choice: &mut [Option<Action>],
+) -> f64
+where
+    F: Fn(usize, &[f64], &[Option<Action>]) -> (f64, Option<Action>) + Sync,
+{
+    let n = values.len();
+    let threads = std::thread::available_parallelism()
+        .map_or(1, std::num::NonZeroUsize::get)
+        .min(n.max(1));
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (t, (values_chunk, choice_chunk)) in next_values
+            .chunks_mut(chunk)
+            .zip(next_choice.chunks_mut(chunk))
+            .enumerate()
+        {
+            let start = t * chunk;
+            handles.push(scope.spawn(move || {
+                let mut delta = 0.0_f64;
+                for (k, (v_out, c_out)) in values_chunk
+                    .iter_mut()
+                    .zip(choice_chunk.iter_mut())
+                    .enumerate()
+                {
+                    let i = start + k;
+                    let (v, a) = eval(i, values, choice);
+                    if v != values[i] {
+                        delta = delta.max((v - values[i]).abs());
+                    }
+                    *v_out = v;
+                    *c_out = a;
+                }
+                delta
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("solver sweep thread panicked"))
+            .fold(0.0, f64::max)
+    })
+}
+
+/// Computes `Pmax[◇goal]` over the routing MDP by value iteration on the
+/// flat CSR transition arrays (hazard avoidance is structural — see
+/// [`meda_core::RoutingMdp`]).
 ///
 /// Values start at 1 on goal states and 0 elsewhere; each sweep applies
 /// `v(s) ← max_a Σ_s' p(s'|s,a) · v(s')`. The iteration is monotone from
 /// below, so the fixed point is the least fixed point — the correct maximal
-/// reachability probability.
+/// reachability probability. [`SolverOptions::warm_start`] is ignored here
+/// (see its docs).
 ///
 /// # Examples
 ///
@@ -61,40 +188,37 @@ pub struct SolverResult {
 /// ```
 #[must_use]
 pub fn max_reach_probability(mdp: &RoutingMdp, options: SolverOptions) -> SolverResult {
+    let csr = mdp.csr();
     let n = mdp.len();
     let mut values: Vec<f64> = (0..n)
         .map(|i| if mdp.is_goal(i) { 1.0 } else { 0.0 })
         .collect();
     let mut choice: Vec<Option<Action>> = vec![None; n];
 
-    let mut iterations = 0;
-    let mut converged = false;
-    while iterations < options.max_iterations {
-        iterations += 1;
-        let mut delta = 0.0_f64;
-        for i in 0..n {
-            if mdp.is_goal(i) {
-                continue;
-            }
-            let mut best = 0.0_f64;
-            let mut best_action = None;
-            for (action, branch) in mdp.choices(i) {
-                let v: f64 = branch.iter().map(|&(j, p)| p * values[j]).sum();
-                if v > best {
-                    best = v;
-                    best_action = Some(*action);
-                }
-            }
-            delta = delta.max((best - values[i]).abs());
-            values[i] = best;
-            choice[i] = best_action;
+    let eval = |i: usize, values: &[f64], _choice: &[Option<Action>]| {
+        if mdp.is_goal(i) {
+            return (1.0, None);
         }
-        if delta < options.epsilon {
-            converged = true;
-            break;
+        let mut best = 0.0_f64;
+        let mut best_action = None;
+        let c_lo = csr.state_choice_start[i] as usize;
+        let c_hi = csr.state_choice_start[i + 1] as usize;
+        for c in c_lo..c_hi {
+            let b_lo = csr.choice_branch_start[c] as usize;
+            let b_hi = csr.choice_branch_start[c + 1] as usize;
+            let mut v = 0.0;
+            for b in b_lo..b_hi {
+                v += csr.branch_prob[b] * values[csr.branch_target[b] as usize];
+            }
+            if v > best {
+                best = v;
+                best_action = Some(csr.choice_action[c]);
+            }
         }
-    }
+        (best, best_action)
+    };
 
+    let (iterations, converged) = iterate(eval, &options, &mut values, &mut choice);
     SolverResult {
         values,
         choice,
@@ -104,19 +228,50 @@ pub fn max_reach_probability(mdp: &RoutingMdp, options: SolverOptions) -> Solver
 }
 
 /// Computes `Rmin[◇goal]` (minimum expected number of cycles to the goal)
-/// by Gauss–Seidel value iteration on the stochastic-shortest-path Bellman
-/// operator `v(s) ← 1 + min_a Σ_s' p(s'|s,a) · v(s')`.
+/// by value iteration on the stochastic-shortest-path Bellman operator
+/// `v(s) ← 1 + min_a Σ_s' p(s'|s,a) · v(s')` over the CSR arrays.
 ///
 /// States from which the goal is not reachable with probability 1 under any
 /// strategy keep the value `∞` (the `(π, k) = (∅, ∞)` case of Algorithm 2).
 /// An action with an `∞`-valued successor is skipped unless all actions are,
 /// and a pure self-loop contributes `∞` directly.
+///
+/// Computes the required `Pmax` reachability internally; callers that
+/// already hold it should use [`min_expected_cycles_with_reach`].
 #[must_use]
 pub fn min_expected_cycles(mdp: &RoutingMdp, options: SolverOptions) -> SolverResult {
+    let reach = max_reach_probability(
+        mdp,
+        SolverOptions {
+            warm_start: None,
+            ..options.clone()
+        },
+    );
+    min_expected_cycles_with_reach(mdp, options, &reach)
+}
+
+/// [`min_expected_cycles`] reusing an already-computed
+/// [`max_reach_probability`] result for the `Pmax = 1` pre-seeding, so the
+/// reachability fixed point is not recomputed.
+///
+/// If [`SolverOptions::warm_start`] is set, finite seed values initialize
+/// the almost-surely-reaching states; since expected cycles only grow as
+/// health degrades, the converged values must dominate the seed — asserted
+/// in debug builds.
+#[must_use]
+pub fn min_expected_cycles_with_reach(
+    mdp: &RoutingMdp,
+    options: SolverOptions,
+    reach: &SolverResult,
+) -> SolverResult {
+    let csr = mdp.csr();
     let n = mdp.len();
+    assert_eq!(reach.values.len(), n, "reach result from a different MDP");
+    let seed = options.warm_start.as_deref().filter(|s| s.len() == n);
     // Only states with Pmax = 1 admit finite expected time; seed the rest
-    // with ∞ so the SSP iteration cannot cheat through them.
-    let reach = max_reach_probability(mdp, options);
+    // with ∞ so the SSP iteration cannot cheat through them. The remainder
+    // start from the warm-start seed (a lower bound — see
+    // `SolverOptions::warm_start`) or 0.
     let mut values: Vec<f64> = (0..n)
         .map(|i| {
             if mdp.is_goal(i) {
@@ -124,59 +279,71 @@ pub fn min_expected_cycles(mdp: &RoutingMdp, options: SolverOptions) -> SolverRe
             } else if reach.values[i] < 1.0 - 1e-6 {
                 f64::INFINITY
             } else {
-                0.0
+                match seed {
+                    Some(s) if s[i].is_finite() && s[i] > 0.0 => s[i],
+                    _ => 0.0,
+                }
             }
         })
         .collect();
     let mut choice: Vec<Option<Action>> = vec![None; n];
 
-    let mut iterations = 0;
-    let mut converged = false;
-    while iterations < options.max_iterations {
-        iterations += 1;
-        let mut delta = 0.0_f64;
-        for i in 0..n {
-            if mdp.is_goal(i) || values[i].is_infinite() {
+    let eval = |i: usize, values: &[f64], choice: &[Option<Action>]| {
+        if mdp.is_goal(i) {
+            return (0.0, None);
+        }
+        let current = values[i];
+        if current.is_infinite() {
+            return (current, None);
+        }
+        let mut best = f64::INFINITY;
+        let mut best_action = None;
+        let c_lo = csr.state_choice_start[i] as usize;
+        let c_hi = csr.state_choice_start[i + 1] as usize;
+        'choices: for c in c_lo..c_hi {
+            // Solve the one-step equation with the self-loop factored
+            // out: v = (1 + Σ_{j≠i} p_j v_j) / (1 − p_self). This makes
+            // convergence exact for stay-in-place failure branches.
+            let mut p_self = 0.0;
+            let mut rest = 0.0;
+            let b_lo = csr.choice_branch_start[c] as usize;
+            let b_hi = csr.choice_branch_start[c + 1] as usize;
+            for b in b_lo..b_hi {
+                let j = csr.branch_target[b] as usize;
+                let p = csr.branch_prob[b];
+                if j == i {
+                    p_self += p;
+                } else if values[j].is_infinite() {
+                    continue 'choices;
+                } else {
+                    rest += p * values[j];
+                }
+            }
+            if p_self >= 1.0 - 1e-12 {
                 continue;
             }
-            let mut best = f64::INFINITY;
-            let mut best_action = None;
-            for (action, branch) in mdp.choices(i) {
-                // Solve the one-step equation with the self-loop factored
-                // out: v = (1 + Σ_{j≠i} p_j v_j) / (1 − p_self). This makes
-                // convergence exact for stay-in-place failure branches.
-                let mut p_self = 0.0;
-                let mut rest = 0.0;
-                let mut infinite = false;
-                for &(j, p) in branch {
-                    if j == i {
-                        p_self += p;
-                    } else if values[j].is_infinite() {
-                        infinite = true;
-                        break;
-                    } else {
-                        rest += p * values[j];
-                    }
-                }
-                if infinite || p_self >= 1.0 - 1e-12 {
-                    continue;
-                }
-                let v = (1.0 + rest) / (1.0 - p_self);
-                if v < best {
-                    best = v;
-                    best_action = Some(*action);
-                }
-            }
-            if best.is_finite() {
-                delta = delta.max((best - values[i]).abs());
-                values[i] = best;
-                choice[i] = best_action;
+            let v = (1.0 + rest) / (1.0 - p_self);
+            if v < best {
+                best = v;
+                best_action = Some(csr.choice_action[c]);
             }
         }
-        if delta < options.epsilon {
-            converged = true;
-            break;
+        if best.is_finite() {
+            (best, best_action)
+        } else {
+            (current, choice[i])
         }
+    };
+
+    let (iterations, converged) = iterate(eval, &options, &mut values, &mut choice);
+
+    if let Some(s) = seed {
+        // Degradation monotonicity: the new fixed point dominates any
+        // honestly-obtained seed pointwise.
+        debug_assert!(
+            (0..n).all(|i| !values[i].is_finite() || !s[i].is_finite() || values[i] >= s[i] - 1e-6),
+            "warm-start seed was not a lower bound on the Rmin fixed point"
+        );
     }
 
     SolverResult {
@@ -199,6 +366,17 @@ mod tests {
             Rect::new(1, 1, 1, 1),
             Rect::new(5, 1, 5, 1),
             Rect::new(1, 1, 5, 1),
+            &UniformField::new(force),
+            &ActionConfig::cardinal_only(),
+        )
+        .unwrap()
+    }
+
+    fn area_mdp(force: f64) -> RoutingMdp {
+        RoutingMdp::build(
+            Rect::new(1, 1, 2, 2),
+            Rect::new(9, 9, 10, 10),
+            Rect::new(1, 1, 10, 10),
             &UniformField::new(force),
             &ActionConfig::cardinal_only(),
         )
@@ -295,9 +473,132 @@ mod tests {
             SolverOptions {
                 epsilon: 0.0,
                 max_iterations: 2,
+                ..SolverOptions::default()
             },
         );
         assert!(!r.converged);
         assert_eq!(r.iterations, 2);
+    }
+
+    #[test]
+    fn with_reach_matches_recomputed_reach() {
+        let mdp = area_mdp(0.6);
+        let opts = SolverOptions::default();
+        let reach = max_reach_probability(&mdp, opts.clone());
+        let via = min_expected_cycles_with_reach(&mdp, opts.clone(), &reach);
+        let direct = min_expected_cycles(&mdp, opts);
+        assert_eq!(via.values, direct.values);
+        assert_eq!(via.choice, direct.choice);
+    }
+
+    #[test]
+    fn warm_start_reaches_same_fixed_point_in_fewer_sweeps() {
+        // Solve on a healthy field, then on a degraded one, cold vs seeded
+        // with the healthy values (a valid lower bound: health only
+        // degrades, values only grow).
+        let healthy = min_expected_cycles(&area_mdp(1.0), SolverOptions::default());
+        let degraded = area_mdp(0.5);
+        let cold = min_expected_cycles(&degraded, SolverOptions::default());
+        let warm = min_expected_cycles(
+            &degraded,
+            SolverOptions {
+                warm_start: Some(healthy.values),
+                ..SolverOptions::default()
+            },
+        );
+        assert!(cold.converged && warm.converged);
+        for (c, w) in cold.values.iter().zip(&warm.values) {
+            assert!((c - w).abs() < 1e-9, "cold {c} vs warm {w}");
+        }
+        assert!(
+            warm.iterations <= cold.iterations,
+            "warm {} !<= cold {}",
+            warm.iterations,
+            cold.iterations
+        );
+        // Seeding with the exact fixed point converges immediately.
+        let exact = min_expected_cycles(
+            &degraded,
+            SolverOptions {
+                warm_start: Some(cold.values.clone()),
+                ..SolverOptions::default()
+            },
+        );
+        assert!(exact.iterations < cold.iterations);
+        for (c, e) in cold.values.iter().zip(&exact.values) {
+            assert!((c - e).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn warm_start_is_ignored_by_pmax() {
+        // Seeding Pmax from above would freeze it at a spurious fixed
+        // point (v ≡ 1 through self-loops); the solver must ignore it.
+        let dims = ChipDims::new(5, 1);
+        let mut f = Grid::new(dims, 1.0);
+        f[Cell::new(3, 1)] = 0.0;
+        let mdp = RoutingMdp::build(
+            Rect::new(1, 1, 1, 1),
+            Rect::new(5, 1, 5, 1),
+            Rect::new(1, 1, 5, 1),
+            &RawField::new(f),
+            &ActionConfig::cardinal_only(),
+        )
+        .unwrap();
+        let seeded = max_reach_probability(
+            &mdp,
+            SolverOptions {
+                warm_start: Some(vec![1.0; mdp.len()]),
+                ..SolverOptions::default()
+            },
+        );
+        assert!(seeded.values[mdp.init()] < 1e-9);
+    }
+
+    #[test]
+    fn parallel_jacobi_matches_serial_gauss_seidel() {
+        let mdp = area_mdp(0.7);
+        let serial = min_expected_cycles(&mdp, SolverOptions::default());
+        let parallel = min_expected_cycles(
+            &mdp,
+            SolverOptions {
+                parallel: true,
+                parallel_threshold: 0, // force the Jacobi path
+                ..SolverOptions::default()
+            },
+        );
+        assert!(serial.converged && parallel.converged);
+        for (s, p) in serial.values.iter().zip(&parallel.values) {
+            assert!((s - p).abs() < 1e-7, "serial {s} vs parallel {p}");
+        }
+        let pr = max_reach_probability(
+            &mdp,
+            SolverOptions {
+                parallel: true,
+                parallel_threshold: 0,
+                ..SolverOptions::default()
+            },
+        );
+        let sr = max_reach_probability(&mdp, SolverOptions::default());
+        for (s, p) in sr.values.iter().zip(&pr.values) {
+            assert!((s - p).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn below_threshold_stays_serial() {
+        // With the default threshold a small model must not pay for
+        // threads: same result, same (Gauss–Seidel) iteration count.
+        let mdp = line_mdp(0.5);
+        let serial = min_expected_cycles(&mdp, SolverOptions::default());
+        let gated = min_expected_cycles(
+            &mdp,
+            SolverOptions {
+                parallel: true,
+                ..SolverOptions::default()
+            },
+        );
+        assert_eq!(serial.iterations, gated.iterations);
+        assert_eq!(serial.values, gated.values);
     }
 }

@@ -3,7 +3,7 @@ use std::fmt;
 use meda_core::{Action, RoutingMdp};
 use meda_grid::Rect;
 
-use crate::{max_reach_probability, min_expected_cycles, Query, SolverOptions};
+use crate::{max_reach_probability, min_expected_cycles_with_reach, Query, SolverOptions};
 
 /// A synthesized memoryless droplet-routing strategy `π : S₁ → 𝒜₁` together
 /// with its optimal value — the `(π, k)` pair returned by Algorithm 2.
@@ -89,9 +89,20 @@ pub fn synthesize_with(
     query: Query,
     options: SolverOptions,
 ) -> Result<RoutingStrategy, SynthesisError> {
+    // Both queries need the Pmax fixed point (Rmin for its ∞-seeding, and
+    // the NoStrategy diagnostics for the reported probability) — compute it
+    // once and reuse it.
+    let reach = max_reach_probability(
+        mdp,
+        SolverOptions {
+            warm_start: None,
+            ..options.clone()
+        },
+    );
+    let reach_at_init = reach.values[mdp.init()];
     let result = match query {
-        Query::MaxReachProbability => max_reach_probability(mdp, options),
-        Query::MinExpectedCycles => min_expected_cycles(mdp, options),
+        Query::MaxReachProbability => reach,
+        Query::MinExpectedCycles => min_expected_cycles_with_reach(mdp, options, &reach),
     };
     if !result.converged {
         return Err(SynthesisError::NotConverged);
@@ -102,9 +113,8 @@ pub fn synthesize_with(
         Query::MinExpectedCycles => v0.is_finite(),
     };
     if !feasible && !mdp.is_goal(mdp.init()) {
-        let reach = max_reach_probability(mdp, options).values[mdp.init()];
         return Err(SynthesisError::NoStrategy {
-            reach_probability: reach,
+            reach_probability: reach_at_init,
         });
     }
     Ok(RoutingStrategy {
@@ -142,6 +152,27 @@ impl RoutingStrategy {
         self.mdp
             .state_index(droplet)
             .is_some_and(|i| self.mdp.is_goal(i))
+    }
+
+    /// The full value vector, indexed like the strategy's own MDP states.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Builds a [`SolverOptions::warm_start`] seed for re-synthesis on
+    /// `mdp` (the model rebuilt after a health change over the same job):
+    /// each of the new model's states is seeded with this strategy's value
+    /// at the same droplet rectangle, 0 where unknown.
+    ///
+    /// Only meaningful for [`Query::MinExpectedCycles`] strategies — health
+    /// only degrades, so old `Rmin` values lower-bound the new fixed point
+    /// (see [`SolverOptions::warm_start`]).
+    #[must_use]
+    pub fn warm_start_seed(&self, mdp: &RoutingMdp) -> Vec<f64> {
+        (0..mdp.len())
+            .map(|i| self.value_at(mdp.state(i)).unwrap_or(0.0))
+            .collect()
     }
 
     /// The query this strategy optimizes.
@@ -188,7 +219,14 @@ impl RoutingStrategy {
         while let Some(action) = self.decide(droplet) {
             droplet = action.apply(droplet);
             path.push(droplet);
-            debug_assert!(path.len() <= self.mdp.len() + 1, "policy cycles");
+            // A Pmax-optimal policy may cycle among probability-1 states
+            // (ties at 1.0 give it no reason to make progress), so the walk
+            // must be bounded: any acyclic path visits each state at most
+            // once. Truncating — rather than looping forever — keeps the
+            // display usable for such policies.
+            if path.len() > self.mdp.len() {
+                break;
+            }
         }
         path
     }

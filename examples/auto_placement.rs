@@ -13,7 +13,7 @@ use meda::sim::{
     AdaptiveConfig, AdaptiveRouter, BioassayRunner, Biochip, DegradationConfig, FaultMode,
     HealthAwareScheduler, RunConfig,
 };
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe the protocol abstractly: a two-sample comparative assay.
@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Execute with clustered fault injection and the health-aware
     //    runtime scheduler (the independent A/B lanes can reorder).
-    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let mut rng = meda_rng::StdRng::seed_from_u64(31);
     let mut chip = Biochip::generate(
         dims,
         &DegradationConfig::paper_with_faults(FaultMode::Clustered, 0.05),

@@ -11,7 +11,7 @@ use meda::sim::{
     AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip, DegradationConfig,
     FaultMode, RunConfig,
 };
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dims = ChipDims::PAPER;
@@ -32,12 +32,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for trial in 0..trials {
         let seed = 900 + trial;
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = meda_rng::StdRng::seed_from_u64(seed);
         let mut chip = Biochip::generate(dims, &config, &mut rng);
         let mut baseline = BaselineRouter::new();
         let b = runner.run(&plan, &mut chip, &mut baseline, &mut rng);
 
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = meda_rng::StdRng::seed_from_u64(seed);
         let mut chip = Biochip::generate(dims, &config, &mut rng);
         let mut adaptive = AdaptiveRouter::new(AdaptiveConfig::paper());
         let a = runner.run(&plan, &mut chip, &mut adaptive, &mut rng);

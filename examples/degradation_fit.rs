@@ -7,10 +7,10 @@
 //! ```
 
 use meda::degradation::{ActuationMode, ExponentialFit, PcbExperiment};
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let mut rng = meda_rng::StdRng::seed_from_u64(12);
 
     for (label, experiment) in [
         (

@@ -13,11 +13,11 @@ use meda::cell::{CellParams, OperationalCycle};
 use meda::degradation::DegradationParams;
 use meda::grid::{Cell, ChipDims, Grid, Rect};
 use meda::sim::{Biochip, DegradationConfig};
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
 
 fn main() {
     let dims = ChipDims::new(24, 10);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = meda_rng::StdRng::seed_from_u64(5);
     let mut chip = Biochip::generate(dims, &DegradationConfig::paper(), &mut rng);
 
     // Stress a corridor the way a repeatedly-used droplet route would.

@@ -12,7 +12,7 @@ use meda::sim::{
     AdaptiveConfig, AdaptiveRouter, BioassayRunner, Biochip, DegradationConfig, RunConfig,
 };
 use meda::synth::{synthesize, Query};
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Part 1: one routing job, by hand. -------------------------------
@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         plan.total_jobs()
     );
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = meda_rng::StdRng::seed_from_u64(42);
     let mut chip = Biochip::generate(dims, &DegradationConfig::paper(), &mut rng);
     let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
     let runner = BioassayRunner::new(RunConfig::default());

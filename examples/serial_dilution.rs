@@ -16,14 +16,14 @@ use meda::sim::{
     AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip, DegradationConfig,
     Router, RunConfig,
 };
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
 
 fn survival(router_name: &str, mut router: impl Router, seed: u64) {
     let dims = ChipDims::PAPER;
     let plan = RjHelper::new(dims)
         .plan(&benchmarks::serial_dilution())
         .expect("benchmark plans cleanly");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = meda_rng::StdRng::seed_from_u64(seed);
     let mut chip = Biochip::generate(dims, &DegradationConfig::paper(), &mut rng);
     let runner = BioassayRunner::new(RunConfig {
         k_max: 700,

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, tier-1 build + tests, bench smoke.
+# Everything runs without network access (the workspace has zero
+# third-party dependencies — see DESIGN.md §6).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "==> bench smoke (bench_synthesis --smoke)"
+cargo run --release -p meda-bench --bin bench_synthesis -- --smoke
+
+echo "ci.sh: all checks passed"

@@ -24,9 +24,9 @@
 //! use meda::grid::ChipDims;
 //! use meda::sim::{AdaptiveConfig, AdaptiveRouter, BioassayRunner, Biochip,
 //!                 DegradationConfig, RunConfig};
-//! use rand::SeedableRng;
+//! use meda_rng::SeedableRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let mut rng = meda_rng::StdRng::seed_from_u64(1);
 //! let plan = RjHelper::new(ChipDims::PAPER).plan(&benchmarks::covid_rat())?;
 //! let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
 //! let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());

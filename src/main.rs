@@ -21,7 +21,7 @@ use meda::sim::{
     DegradationConfig, FaultMode, RecoveryRouter, Router, RunConfig,
 };
 use meda::synth::{synthesize, to_prism_explicit, Query};
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
 
 const USAGE: &str = "\
 meda — formal synthesis of adaptive droplet routing for MEDA biochips
@@ -160,7 +160,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown router '{other}'")),
     };
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = meda_rng::StdRng::seed_from_u64(seed);
     let mut chip = Biochip::generate(ChipDims::PAPER, &degradation, &mut rng);
     let runner = BioassayRunner::new(RunConfig {
         k_max,
@@ -266,7 +266,7 @@ fn cmd_wear(args: &[String]) -> Result<(), String> {
     })?;
     let seed: u64 =
         flag(args, "--seed").map_or(Ok(1), |s| s.parse().map_err(|_| format!("bad seed '{s}'")))?;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = meda_rng::StdRng::seed_from_u64(seed);
     let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
     let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
     let runner = BioassayRunner::new(RunConfig {

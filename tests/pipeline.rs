@@ -10,8 +10,8 @@ use meda::sim::{
     FaultMode, RunConfig, RunStatus,
 };
 use meda::synth::{synthesize, Query};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
+use meda_rng::StdRng;
 
 /// Every routing job of every benchmark bioassay admits a synthesized
 /// strategy on a fully healthy chip, with finite expected completion time

@@ -9,8 +9,8 @@ use meda::sim::{
     AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip, DegradationConfig,
     FifoScheduler, HealthAwareScheduler, RunConfig,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use meda_rng::SeedableRng;
+use meda_rng::StdRng;
 
 /// Both schedulers complete every benchmark bioassay on a pristine chip,
 /// and FIFO reproduces `run` exactly.
