@@ -24,6 +24,7 @@ fn main() {
     let runner = BioassayRunner::new(RunConfig {
         k_max: 3_000,
         record_actuation: false,
+        sensed_feedback: false,
     });
 
     let widths = [16, 24, 10, 8, 8, 14];

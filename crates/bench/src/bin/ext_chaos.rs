@@ -1,0 +1,121 @@
+//! Extension: closed sensing loop under chaos — probability of success
+//! and graceful degradation vs sensor-fault rate.
+//!
+//! Every run closes the loop ([`RunConfig::sensed_feedback`]): the router
+//! is driven by droplet positions reconstructed from the sensed **Y**
+//! matrix, which a [`FaultPlan`] corrupts with stuck-at sensor bits. Four
+//! control stacks face identical chips and fault plans:
+//!
+//!   1. baseline: degradation-unaware shortest path,
+//!   2. recovery: reactive stall-triggered re-route,
+//!   3. adaptive: the paper's formal-synthesis router,
+//!   4. supervised-adaptive: adaptive under the [`Supervisor`]'s
+//!      escalation ladder (re-sense → re-synthesize → detour → abort the
+//!      operation and continue).
+//!
+//! The headline: with faulty sensors the unsupervised stacks are
+//! all-or-nothing, while the supervised stack aborts only the poisoned
+//! operation and completes the rest — higher mean completion at the same
+//! fault rate.
+//!
+//! [`RunConfig::sensed_feedback`]: meda_sim::RunConfig
+//! [`FaultPlan`]: meda_sim::FaultPlan
+//! [`Supervisor`]: meda_sim::Supervisor
+
+use meda_bench::{banner, header, row};
+use meda_bioassay::{benchmarks, RjHelper};
+use meda_grid::ChipDims;
+use meda_sim::experiment::{chaos_sweep, ChaosVariant};
+use meda_sim::DegradationConfig;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let full = std::env::args().any(|a| a == "--full");
+    let trials: u32 = if smoke {
+        2
+    } else if full {
+        10
+    } else {
+        4
+    };
+    let rates: &[f64] = if smoke {
+        &[0.0, 0.02]
+    } else {
+        &[0.0, 0.01, 0.02, 0.05]
+    };
+
+    banner(
+        "Extension — sensed-feedback chaos sweep (supervised recovery)",
+        "Sensed feedback on: routers see Y-matrix reconstructions, not \
+         ground truth. Stuck-at sensor bits corrupt Y at the given per-MC \
+         rate. PoS counts fully-completed bioassays; 'compl' is the mean \
+         fraction of microfluidic operations completed per trial.",
+    );
+    println!("trials per cell: {trials}\n");
+
+    let dims = ChipDims::PAPER;
+    let plan = RjHelper::new(dims)
+        .plan(&benchmarks::multiplex_invitro((4, 4)))
+        .expect("benchmark plans cleanly");
+    let config = DegradationConfig::paper();
+
+    let widths = [10, 22, 6, 7, 26];
+    header(
+        &[
+            "stuck",
+            "stack",
+            "PoS",
+            "compl",
+            "ladder (rs/rsy/det/abort)",
+        ],
+        &widths,
+    );
+
+    let points = chaos_sweep(
+        &plan,
+        dims,
+        &config,
+        &ChaosVariant::ALL,
+        rates,
+        trials,
+        2_000,
+        616,
+    );
+    for &rate in rates {
+        for point in points
+            .iter()
+            .filter(|p| (p.stuck_rate - rate).abs() < f64::EPSILON)
+        {
+            let ladder = if point.variant == ChaosVariant::SupervisedAdaptive {
+                format!(
+                    "{}/{}/{}/{}",
+                    point.rungs.resense,
+                    point.rungs.resynth,
+                    point.rungs.detour,
+                    point.rungs.aborted_ops
+                )
+            } else {
+                "-".to_string()
+            };
+            row(
+                &[
+                    format!("{:.0}%", rate * 100.0),
+                    point.variant.name().to_string(),
+                    format!("{:.2}", point.pos),
+                    format!("{:.3}", point.mean_completion),
+                    ladder,
+                ],
+                &widths,
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "Reading: with clean sensors every stack completes; as stuck bits \
+         corrupt Y, the unsupervised stacks lose whole bioassays to one \
+         wedged estimate, while the supervisor's ladder re-senses and \
+         detours — and when a job is truly unrecoverable, aborts only \
+         that operation, salvaging the independent lane."
+    );
+}

@@ -31,6 +31,7 @@ fn main() {
     let runner = BioassayRunner::new(RunConfig {
         k_max: 2_000,
         record_actuation: false,
+        sensed_feedback: false,
     });
 
     let widths = [16, 10, 10, 12];

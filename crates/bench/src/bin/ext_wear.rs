@@ -49,6 +49,7 @@ fn main() {
             let runner = BioassayRunner::new(RunConfig {
                 k_max: 3_000,
                 record_actuation: false,
+                sensed_feedback: false,
             });
             let mut ok = 0;
             for _ in 0..runs {

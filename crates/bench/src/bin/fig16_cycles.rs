@@ -59,6 +59,7 @@ fn main() {
         let nominal = BioassayRunner::new(RunConfig {
             k_max: 100_000,
             record_actuation: false,
+            sensed_feedback: false,
         })
         .run(&plan, &mut pristine, &mut cal, &mut rng)
         .cycles;

@@ -20,6 +20,7 @@ fn main() {
         let outcome = BioassayRunner::new(RunConfig {
             k_max: 100_000,
             record_actuation: false,
+            sensed_feedback: false,
         })
         .run(&plan, &mut chip, &mut router, &mut rng);
         println!(

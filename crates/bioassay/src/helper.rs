@@ -35,6 +35,18 @@ pub struct BioassayPlan {
 }
 
 impl BioassayPlan {
+    /// Assembles a plan directly from pre-planned operations, bypassing the
+    /// RJ helper. Intended for tests that need plans the helper would never
+    /// emit (malformed dependency graphs, hand-placed jobs); no validation
+    /// is performed.
+    #[must_use]
+    pub fn from_parts(name: impl Into<String>, planned: Vec<PlannedMo>) -> Self {
+        Self {
+            name: name.into(),
+            planned,
+        }
+    }
+
     /// The bioassay name.
     #[must_use]
     pub fn name(&self) -> &str {

@@ -50,4 +50,4 @@ pub use cycle::{CycleReport, OperationalCycle};
 pub use params::CellParams;
 pub use rc::RcWaveform;
 pub use scan::{ScanChain, ScanChainError};
-pub use sensing::{DualDff, HealthReading, SensingCircuit};
+pub use sensing::{apply_stuck_bits, DualDff, HealthReading, SensingCircuit, StuckBit};

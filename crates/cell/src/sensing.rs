@@ -1,5 +1,7 @@
 use std::fmt;
 
+use meda_grid::{Cell, Grid};
+
 use crate::{CellParams, RcWaveform};
 
 /// The 2-bit health reading produced by the dual-DFF sensing circuit
@@ -166,6 +168,46 @@ impl SensingCircuit {
     }
 }
 
+/// A location-sensing DFF stuck at a constant value.
+///
+/// The droplet-presence bit of one MC always scans out as `reads`,
+/// regardless of the actual cover — the sensed location matrix **Y** is
+/// corrupted while the degradation matrix **D** (and the health bits) stay
+/// untouched. Stuck-at-1 bits fabricate phantom droplet cells; stuck-at-0
+/// bits punch holes into real droplets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StuckBit {
+    /// The affected microelectrode cell.
+    pub cell: Cell,
+    /// The constant value the location bit reads.
+    pub reads: bool,
+}
+
+/// Applies stuck location bits to a sensed location matrix **Y** in place.
+/// Faults whose cell lies off the grid are ignored (a scan-chain position
+/// that does not exist cannot be read).
+///
+/// # Examples
+///
+/// ```
+/// use meda_cell::{apply_stuck_bits, StuckBit};
+/// use meda_grid::{Cell, ChipDims, Grid};
+///
+/// let mut y = Grid::new(ChipDims::new(4, 4), false);
+/// apply_stuck_bits(
+///     &mut y,
+///     &[StuckBit { cell: Cell::new(2, 2), reads: true }],
+/// );
+/// assert!(y[Cell::new(2, 2)]);
+/// ```
+pub fn apply_stuck_bits(locations: &mut Grid<bool>, faults: &[StuckBit]) {
+    for fault in faults {
+        if let Some(bit) = locations.get_mut(fault.cell) {
+            *bit = fault.reads;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,5 +291,35 @@ mod tests {
         assert_eq!(HealthReading::Healthy.to_string(), "11");
         assert_eq!(HealthReading::Partial.to_string(), "01");
         assert_eq!(HealthReading::Degraded.to_string(), "00");
+    }
+
+    #[test]
+    fn stuck_bits_override_cover_both_ways() {
+        use meda_grid::{Cell, ChipDims, Grid, Rect};
+
+        let dims = ChipDims::new(6, 6);
+        let mut y = Grid::new(dims, false);
+        y.fill_rect(Rect::new(2, 2, 4, 4), true);
+        apply_stuck_bits(
+            &mut y,
+            &[
+                StuckBit {
+                    cell: Cell::new(3, 3),
+                    reads: false,
+                },
+                StuckBit {
+                    cell: Cell::new(1, 1),
+                    reads: true,
+                },
+                // Off-grid faults are ignored, not a panic.
+                StuckBit {
+                    cell: Cell::new(40, 40),
+                    reads: true,
+                },
+            ],
+        );
+        assert!(!y[Cell::new(3, 3)], "stuck-at-0 punches a hole");
+        assert!(y[Cell::new(1, 1)], "stuck-at-1 fabricates a phantom");
+        assert!(y[Cell::new(2, 2)], "other cover cells are untouched");
     }
 }

@@ -184,6 +184,15 @@ impl Biochip {
     pub fn total_actuations(&self) -> u64 {
         self.actuations.iter().map(|(_, n)| *n).sum()
     }
+
+    /// Kills one MC outright: its degradation drops to 0 from now on, as if
+    /// a sudden-failure threshold already passed. Used by the chaos harness
+    /// for scheduled mid-run electrode death. Off-chip cells are ignored.
+    pub fn kill_cell(&mut self, cell: Cell) {
+        if let Some(slot) = self.fault_at.get_mut(cell) {
+            *slot = Some(0);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -267,6 +276,18 @@ mod tests {
             let h = c.health_field().health()[cell];
             assert_eq!(h, meda_degradation::quantize_health(d, 2), "at {cell}");
         }
+    }
+
+    #[test]
+    fn kill_cell_zeroes_degradation_immediately() {
+        let mut c = chip(&DegradationConfig::pristine(), 6);
+        let victim = Cell::new(4, 4);
+        assert_eq!(c.degradation_at(victim), 1.0);
+        c.kill_cell(victim);
+        assert_eq!(c.degradation_at(victim), 0.0);
+        assert_eq!(c.degradation_at(Cell::new(5, 5)), 1.0);
+        // Off-chip kill is a no-op, not a panic.
+        c.kill_cell(Cell::new(999, 999));
     }
 
     #[test]

@@ -1,10 +1,12 @@
 use meda_rng::Rng;
 
-use meda_bioassay::{BioassayPlan, RoutingJob};
-use meda_core::{transitions, Action, Dir};
-use meda_grid::{Grid, Rect};
+use meda_bioassay::{BioassayPlan, PlannedMo, RoutingJob};
+use meda_cell::apply_stuck_bits;
+use meda_core::{transitions, Action, DegradationField, Dir};
+use meda_grid::{Cell, Grid, Rect};
 
-use crate::{Biochip, FifoScheduler, MoScheduler, Router};
+use crate::sensing::{locate_droplets, snap_to_size};
+use crate::{Biochip, FaultPlan, FifoScheduler, MoScheduler, Router, SuddenDeath};
 
 /// Configuration of a bioassay execution run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -15,6 +17,14 @@ pub struct RunConfig {
     /// Record the actuation matrix **U** of every cycle (needed by the
     /// Fig. 3 correlation analysis; costs memory).
     pub record_actuation: bool,
+    /// Drive the router from droplet positions *reconstructed from the
+    /// sensed location matrix* **Y** (Algorithm 3, line 6) instead of the
+    /// simulator's ground truth. With this on, stuck sensor bits and
+    /// unexpected merges become visible to the run as
+    /// [`RunStatus::DropletLost`] / [`RunStatus::DropletMerged`]; off
+    /// (the default, used for the paper figures), the router is handed the
+    /// true droplet rectangle every cycle.
+    pub sensed_feedback: bool,
 }
 
 impl Default for RunConfig {
@@ -22,6 +32,7 @@ impl Default for RunConfig {
         Self {
             k_max: 1_000,
             record_actuation: false,
+            sensed_feedback: false,
         }
     }
 }
@@ -37,6 +48,22 @@ pub enum RunStatus {
     /// The router declared a job infeasible (e.g. a fault wall with no
     /// detour).
     NoRoute,
+    /// The plan has an operation whose predecessors can never all complete
+    /// (malformed dependency graph) — reported instead of crashing the
+    /// harness.
+    Deadlock,
+    /// Sensed feedback lost track of a droplet: no sensed cluster matches
+    /// where it should be (stuck-at-0 sensors swallowing it, or drift past
+    /// the estimate).
+    DropletLost,
+    /// Sensed feedback saw two droplets' clusters merge into one —
+    /// accidental contamination, the error cyberphysical DMFB work guards
+    /// against.
+    DropletMerged,
+    /// A single routing attempt exceeded the supervisor's per-attempt
+    /// watchdog budget without reaching its goal — retryable, unlike the
+    /// global [`RunStatus::CycleLimit`].
+    Stalled,
 }
 
 /// The result of executing one bioassay on one chip.
@@ -46,6 +73,10 @@ pub struct RunOutcome {
     pub cycles: u64,
     /// Terminal status.
     pub status: RunStatus,
+    /// Microfluidic operations completed before the run ended.
+    pub completed_ops: usize,
+    /// Total microfluidic operations in the plan.
+    pub total_ops: usize,
     /// Per-cycle actuation matrices, if recording was enabled.
     pub trace: Option<Vec<Grid<bool>>>,
 }
@@ -55,6 +86,17 @@ impl RunOutcome {
     #[must_use]
     pub fn is_success(&self) -> bool {
         self.status == RunStatus::Success
+    }
+
+    /// Fraction of the plan's operations that completed (1 for an empty
+    /// plan).
+    #[must_use]
+    pub fn completion_fraction(&self) -> f64 {
+        if self.total_ops == 0 {
+            1.0
+        } else {
+            self.completed_ops as f64 / self.total_ops as f64
+        }
     }
 }
 
@@ -66,7 +108,9 @@ impl RunOutcome {
 /// droplet (the paper's no-free-roaming rule: idle droplets are actuated in
 /// place, wearing their MCs). The moving droplet's outcome is sampled from
 /// the chip's hidden degradation matrix **D**; the router only ever sees
-/// the quantized health matrix **H**.
+/// the quantized health matrix **H** — and, with
+/// [`RunConfig::sensed_feedback`], a droplet position reconstructed from
+/// the sensed location matrix **Y** rather than the ground truth.
 ///
 /// Operations execute when ready (all predecessors done), ordered by the
 /// active [`MoScheduler`] — plan order by default; droplets waiting for a
@@ -101,12 +145,6 @@ impl BioassayRunner {
     /// droplets parked on chip) executes next — the paper-conclusion
     /// extension implemented by
     /// [`HealthAwareScheduler`](crate::HealthAwareScheduler).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the plan deadlocks (an operation's inputs can never all
-    /// be produced) — impossible for plans from a validated sequencing
-    /// graph.
     pub fn run_with_scheduler(
         &self,
         plan: &BioassayPlan,
@@ -115,12 +153,26 @@ impl BioassayRunner {
         scheduler: &mut dyn MoScheduler,
         rng: &mut impl Rng,
     ) -> RunOutcome {
-        let mut state = RunState {
-            cycles: 0,
-            resting: Vec::new(),
-            trace: self.config.record_actuation.then(Vec::new),
-        };
+        self.run_with_chaos(plan, chip, router, scheduler, &FaultPlan::none(), rng)
+    }
+
+    /// [`BioassayRunner::run_with_scheduler`] under a scripted chaos
+    /// scenario: scheduled electrode deaths fire as cycles pass,
+    /// intermittent cells glitch each movement cycle, and stuck sensor bits
+    /// corrupt the **Y** matrix that sensed feedback reads. An empty plan
+    /// ([`FaultPlan::none`]) adds no cycles and consumes no randomness, so
+    /// the run stays bit-identical to [`BioassayRunner::run_with_scheduler`].
+    pub fn run_with_chaos(
+        &self,
+        plan: &BioassayPlan,
+        chip: &mut Biochip,
+        router: &mut dyn Router,
+        scheduler: &mut dyn MoScheduler,
+        chaos: &FaultPlan,
+        rng: &mut impl Rng,
+    ) -> RunOutcome {
         let total = plan.operations().len();
+        let mut exec = Exec::new(self.config, chip, rng, chaos);
         let mut done = vec![false; total];
         let mut completed = 0;
 
@@ -135,100 +187,191 @@ impl BioassayRunner {
                 .filter(|mo| !done[mo.id] && mo.pre.iter().all(|&p| done[p]))
                 .map(|mo| mo.id)
                 .collect();
-            assert!(!ready.is_empty(), "bioassay plan deadlocked");
+            if ready.is_empty() {
+                return exec.finish(RunStatus::Deadlock, completed, total);
+            }
             debug_assert!(ready
                 .iter()
-                .all(|&id| inputs_available(&plan.operations()[id].inputs, &state.resting)));
-            let picked = scheduler.pick(&ready, plan, &chip.health_field());
+                .all(|&id| inputs_available(&plan.operations()[id].inputs, &exec.resting)));
+            let picked = scheduler.pick(&ready, plan, &exec.chip.health_field());
             debug_assert!(ready.contains(&picked), "scheduler picked a non-ready op");
             let mo = &plan.operations()[picked];
-            // Consume this operation's inputs: they stop being held and
-            // become the routed droplets (or pieces) of its jobs.
-            for input in &mo.inputs {
-                if let Some(pos) = state.resting.iter().position(|r| r == input) {
-                    state.resting.swap_remove(pos);
-                }
-            }
-
-            let mut arrived: Vec<Rect> = Vec::new();
-            for (job_idx, job) in mo.jobs.iter().enumerate() {
-                // Everything else on the chip is held in place this job:
-                // parked outputs, this operation's not-yet-routed droplets,
-                // and already-arrived partners.
-                let mut held = state.resting.clone();
-                held.extend(
-                    mo.jobs[job_idx + 1..]
-                        .iter()
-                        .map(|j| j.start)
-                        .filter(|r| !r.is_off_chip_origin()),
-                );
-                held.extend(arrived.iter().copied());
-
-                let landed = if job.is_dispense() {
-                    self.run_dispense(job, chip, &held, rng, &mut state)
+            let result = exec.exec_mo(mo, &mut |e, job, held, _| {
+                if job.is_dispense() {
+                    e.run_dispense(job, held)
                 } else {
-                    self.run_routed(job, chip, router, &held, rng, &mut state)
-                };
-                match landed {
-                    Ok(rect) => arrived.push(rect),
-                    Err(status) => {
-                        return RunOutcome {
-                            cycles: state.cycles,
-                            status,
-                            trace: state.trace,
-                        }
-                    }
+                    e.run_routed(job, router, held)
                 }
+            });
+            match result {
+                Ok(()) => {
+                    done[picked] = true;
+                    completed += 1;
+                }
+                Err(err) => return exec.finish(err.status, completed, total),
             }
-            // The module itself now runs (mixing loops, incubation, …),
-            // actuating its droplets in place for the operation's duration
-            // while everything else on the chip is held.
-            for _ in 0..mo.op.execution_cycles() {
-                if state.cycles >= self.config.k_max {
-                    return RunOutcome {
-                        cycles: state.cycles,
-                        status: RunStatus::CycleLimit,
-                        trace: state.trace,
-                    };
-                }
-                let mut pattern = Grid::new(chip.dims(), false);
-                for rect in state.resting.iter().chain(mo.outputs.iter()) {
-                    pattern.fill_rect(*rect, true);
-                }
-                chip.apply_actuation(&pattern);
-                state.cycles += 1;
-                if let Some(trace) = state.trace.as_mut() {
-                    trace.push(pattern);
-                }
-            }
-
-            // The operation completes: its outputs appear, arrivals merge
-            // or exit.
-            state.resting.extend(mo.outputs.iter().copied());
-            done[picked] = true;
-            completed += 1;
         }
 
+        exec.finish(RunStatus::Success, completed, total)
+    }
+}
+
+/// A failed routing job: why, and where the droplet was last believed to
+/// be.
+pub(crate) struct JobError {
+    /// The failure class (never `Success`).
+    pub(crate) status: RunStatus,
+    /// Last believed droplet position (the sensed estimate under sensed
+    /// feedback, the true rectangle otherwise).
+    pub(crate) at: Rect,
+}
+
+/// The execution core shared by [`BioassayRunner`] and the
+/// [`Supervisor`](crate::Supervisor): owns the cycle counter, parked
+/// droplets, trace, and chaos bookkeeping, and executes one microfluidic
+/// operation at a time. The runner and the supervisor differ only in the
+/// per-job closure they hand to [`Exec::exec_mo`] — everything else (input
+/// consumption, hold patterns, module cycles, output parking) is this one
+/// code path, which is what keeps supervised fault-free runs bit-identical
+/// to plain ones.
+pub(crate) struct Exec<'a, R: Rng> {
+    pub(crate) config: RunConfig,
+    pub(crate) chip: &'a mut Biochip,
+    pub(crate) rng: &'a mut R,
+    chaos: &'a FaultPlan,
+    /// Scheduled deaths sorted by cycle; `next_death` marks the first not
+    /// yet fired.
+    deaths: Vec<SuddenDeath>,
+    next_death: usize,
+    pub(crate) cycles: u64,
+    pub(crate) resting: Vec<Rect>,
+    pub(crate) trace: Option<Vec<Grid<bool>>>,
+    /// Ground-truth position of the droplet whose job just failed —
+    /// consumed by the next attempt so retries stay physically continuous,
+    /// and readable (without consuming) by [`Exec::resense`].
+    pub(crate) pending: Option<Rect>,
+    /// Per-attempt watchdog: when set (by the supervisor), a single
+    /// [`Exec::run_routed`] call that burns this many cycles without
+    /// reaching its goal fails with the retryable [`RunStatus::Stalled`]
+    /// instead of silently eating the global budget.
+    pub(crate) attempt_budget: Option<u64>,
+}
+
+impl<'a, R: Rng> Exec<'a, R> {
+    pub(crate) fn new(
+        config: RunConfig,
+        chip: &'a mut Biochip,
+        rng: &'a mut R,
+        chaos: &'a FaultPlan,
+    ) -> Self {
+        let mut deaths = chaos.sudden_deaths.clone();
+        deaths.sort_by_key(|d| d.at_cycle);
+        Self {
+            config,
+            chip,
+            rng,
+            chaos,
+            deaths,
+            next_death: 0,
+            cycles: 0,
+            resting: Vec::new(),
+            trace: config.record_actuation.then(Vec::new),
+            pending: None,
+            attempt_budget: None,
+        }
+    }
+
+    pub(crate) fn finish(
+        self,
+        status: RunStatus,
+        completed_ops: usize,
+        total_ops: usize,
+    ) -> RunOutcome {
         RunOutcome {
-            cycles: state.cycles,
-            status: RunStatus::Success,
-            trace: state.trace,
+            cycles: self.cycles,
+            status,
+            completed_ops,
+            total_ops,
+            trace: self.trace,
         }
+    }
+
+    /// Executes one microfluidic operation: consumes its inputs from the
+    /// parked droplets, runs every routing job through `run_one` (with the
+    /// rest of the chip held in place), then the module's execution cycles,
+    /// then parks the outputs. On `Err` the operation is abandoned
+    /// mid-flight: inputs stay consumed and no outputs appear (the
+    /// operation's droplets are considered sent to waste).
+    pub(crate) fn exec_mo<F>(&mut self, mo: &PlannedMo, run_one: &mut F) -> Result<(), JobError>
+    where
+        F: FnMut(&mut Self, &RoutingJob, &[Rect], usize) -> Result<Rect, JobError>,
+    {
+        // Consume this operation's inputs: they stop being held and become
+        // the routed droplets (or pieces) of its jobs.
+        for input in &mo.inputs {
+            if let Some(pos) = self.resting.iter().position(|r| r == input) {
+                self.resting.swap_remove(pos);
+            }
+        }
+
+        let mut arrived: Vec<Rect> = Vec::new();
+        for (job_idx, job) in mo.jobs.iter().enumerate() {
+            // Everything else on the chip is held in place this job:
+            // parked outputs, this operation's not-yet-routed droplets,
+            // and already-arrived partners.
+            let mut held = self.resting.clone();
+            held.extend(
+                mo.jobs[job_idx + 1..]
+                    .iter()
+                    .map(|j| j.start)
+                    .filter(|r| !r.is_off_chip_origin()),
+            );
+            held.extend(arrived.iter().copied());
+
+            let landed = run_one(self, job, &held, job_idx)?;
+            arrived.push(landed);
+        }
+
+        // The module itself now runs (mixing loops, incubation, …),
+        // actuating its droplets in place for the operation's duration
+        // while everything else on the chip is held.
+        self.module_cycles(mo)?;
+
+        // The operation completes: its outputs appear, arrivals merge or
+        // exit.
+        self.resting.extend(mo.outputs.iter().copied());
+        Ok(())
+    }
+
+    fn module_cycles(&mut self, mo: &PlannedMo) -> Result<(), JobError> {
+        for _ in 0..mo.op.execution_cycles() {
+            if self.cycles >= self.config.k_max {
+                return Err(JobError {
+                    status: RunStatus::CycleLimit,
+                    at: mo.outputs.first().copied().unwrap_or_default(),
+                });
+            }
+            let mut pattern = Grid::new(self.chip.dims(), false);
+            for rect in self.resting.iter().chain(mo.outputs.iter()) {
+                pattern.fill_rect(*rect, true);
+            }
+            self.apply_cycle(pattern);
+        }
+        Ok(())
     }
 
     /// Dispensing (Section VI-B): the droplet enters from the nearest chip
     /// edge and is pushed perpendicular to it; each step still samples the
-    /// EWOD outcome, so a degraded dispense corridor slows entry.
-    fn run_dispense(
-        &self,
+    /// EWOD outcome, so a degraded dispense corridor slows entry. Dispense
+    /// is tracked by the dispenser hardware, not the location sensors, so
+    /// sensed feedback does not apply here.
+    pub(crate) fn run_dispense(
+        &mut self,
         job: &RoutingJob,
-        chip: &mut Biochip,
         held: &[Rect],
-        rng: &mut impl Rng,
-        state: &mut RunState,
-    ) -> Result<Rect, RunStatus> {
+    ) -> Result<Rect, JobError> {
         let goal = job.goal;
-        let dims = chip.dims();
+        let dims = self.chip.dims();
         // Distance to each edge and the inward push direction.
         let to_edges = [
             (goal.ya - 1, Dir::N),
@@ -241,63 +384,262 @@ impl BioassayRunner {
         let mut droplet = goal.translate(-dx * dist, -dy * dist);
 
         while droplet != goal {
-            if state.cycles >= self.config.k_max {
-                return Err(RunStatus::CycleLimit);
+            if self.cycles >= self.config.k_max {
+                self.pending = Some(droplet);
+                return Err(JobError {
+                    status: RunStatus::CycleLimit,
+                    at: droplet,
+                });
             }
             let action = Action::Move(dir);
-            self.actuate(chip, action.apply(droplet), held, state);
-            droplet = sample_outcome(droplet, action, chip, rng);
+            self.actuate(action.apply(droplet), held);
+            droplet = self.sample(droplet, action);
         }
+        self.pending = None;
         Ok(goal)
     }
 
-    /// A routed (non-dispense) job under the router's control.
-    fn run_routed(
-        &self,
+    /// A routed (non-dispense) job under the router's control. The router
+    /// is fed the ground-truth rectangle, or — with
+    /// [`RunConfig::sensed_feedback`] — the estimate reconstructed from the
+    /// corrupted **Y** matrix each cycle; the commanded actuation pattern
+    /// follows the estimate while the physics follows the truth.
+    pub(crate) fn run_routed(
+        &mut self,
         job: &RoutingJob,
-        chip: &mut Biochip,
         router: &mut dyn Router,
         held: &[Rect],
-        rng: &mut impl Rng,
-        state: &mut RunState,
-    ) -> Result<Rect, RunStatus> {
-        if !router.begin_job(job, &chip.health_field()) {
-            return Err(RunStatus::NoRoute);
+    ) -> Result<Rect, JobError> {
+        if !router.begin_job(job, &self.chip.health_field()) {
+            return Err(JobError {
+                status: RunStatus::NoRoute,
+                at: job.start,
+            });
         }
-        let mut droplet = job.start;
-        while !job.goal.contains_rect(droplet) {
-            if state.cycles >= self.config.k_max {
-                return Err(RunStatus::CycleLimit);
+        // Physical continuity: a retry of a failed job resumes from the
+        // true droplet position its predecessor left behind, even though
+        // the router only knows the (possibly wrong) estimate in
+        // `job.start`.
+        let mut actual = self.pending.take().unwrap_or(job.start);
+        let mut sensed = job.start;
+        let attempt_start = self.cycles;
+        while !job.goal.contains_rect(sensed) {
+            if self.cycles >= self.config.k_max {
+                self.pending = Some(actual);
+                return Err(JobError {
+                    status: RunStatus::CycleLimit,
+                    at: sensed,
+                });
             }
-            let Some(action) = router.next_action(droplet, &chip.health_field()) else {
-                return Err(RunStatus::NoRoute);
+            if let Some(limit) = self.attempt_budget {
+                if self.cycles - attempt_start >= limit {
+                    self.pending = Some(actual);
+                    return Err(JobError {
+                        status: RunStatus::Stalled,
+                        at: sensed,
+                    });
+                }
+            }
+            let Some(action) = router.next_action(sensed, &self.chip.health_field()) else {
+                self.pending = Some(actual);
+                return Err(JobError {
+                    status: RunStatus::NoRoute,
+                    at: sensed,
+                });
             };
-            self.actuate(chip, action.apply(droplet), held, state);
-            droplet = sample_outcome(droplet, action, chip, rng);
+            let commanded = action.apply(sensed);
+            self.actuate(commanded, held);
+            actual = self.sample(actual, action);
+            if self.config.sensed_feedback {
+                match self.sense(actual, sensed, commanded, held) {
+                    Ok(estimate) => sensed = estimate,
+                    Err(status) => {
+                        self.pending = Some(actual);
+                        return Err(JobError { status, at: sensed });
+                    }
+                }
+            } else {
+                sensed = actual;
+            }
         }
-        Ok(droplet)
+        self.pending = None;
+        Ok(sensed)
     }
 
     /// Builds and applies one cycle's actuation matrix: the commanded
     /// pattern plus hold patterns for every waiting droplet.
-    fn actuate(&self, chip: &mut Biochip, command: Rect, held: &[Rect], state: &mut RunState) {
-        let mut pattern = Grid::new(chip.dims(), false);
+    fn actuate(&mut self, command: Rect, held: &[Rect]) {
+        let mut pattern = Grid::new(self.chip.dims(), false);
         pattern.fill_rect(command, true);
         for rect in held {
             pattern.fill_rect(*rect, true);
         }
-        chip.apply_actuation(&pattern);
-        state.cycles += 1;
-        if let Some(trace) = state.trace.as_mut() {
+        self.apply_cycle(pattern);
+    }
+
+    /// The single point every cycle goes through: fire scheduled electrode
+    /// deaths, wear the chip, advance the clock, record the trace.
+    fn apply_cycle(&mut self, pattern: Grid<bool>) {
+        while self.next_death < self.deaths.len()
+            && self.deaths[self.next_death].at_cycle <= self.cycles
+        {
+            self.chip.kill_cell(self.deaths[self.next_death].cell);
+            self.next_death += 1;
+        }
+        self.chip.apply_actuation(&pattern);
+        self.cycles += 1;
+        if let Some(trace) = self.trace.as_mut() {
             trace.push(pattern);
         }
     }
-}
 
-struct RunState {
-    cycles: u64,
-    resting: Vec<Rect>,
-    trace: Option<Vec<Grid<bool>>>,
+    /// Samples the droplet's next location from the Section V-B outcome
+    /// distribution under the chip's ground-truth degradation, with this
+    /// cycle's intermittent glitches (if any) zeroing their cells. Draws
+    /// one `gen_bool` per intermittent cell plus the outcome roll — and
+    /// exactly the outcome roll when the plan has no intermittent cells,
+    /// preserving seed reproducibility.
+    fn sample(&mut self, droplet: Rect, action: Action) -> Rect {
+        let chaos = self.chaos;
+        let field = if chaos.intermittent.is_empty() {
+            self.chip.degradation_field()
+        } else {
+            let mut grid = Grid::from_fn(self.chip.dims(), |c| self.chip.degradation_at(c));
+            for glitch in &chaos.intermittent {
+                if self.rng.gen_bool(glitch.probability) {
+                    if let Some(d) = grid.get_mut(glitch.cell) {
+                        *d = 0.0;
+                    }
+                }
+            }
+            DegradationField::new(grid)
+        };
+        let outcomes = transitions(droplet, action, &field);
+        let mut roll: f64 = self.rng.gen();
+        for outcome in &outcomes {
+            if roll < outcome.probability {
+                return outcome.droplet;
+            }
+            roll -= outcome.probability;
+        }
+        outcomes.last().map_or(droplet, |o| o.droplet)
+    }
+
+    /// Reads the location sensors: builds the **Y** matrix from the true
+    /// droplet cover, applies stuck sensor bits, subtracts the hold
+    /// patterns the controller itself commanded, and reconstructs the
+    /// moving droplet from the remaining clusters. Consumes no randomness.
+    ///
+    /// Returns the moving droplet's new estimate — its cluster's bounds
+    /// when cleanly rectangular and droplet-sized, a [`snap_to_size`]
+    /// estimate when the cluster is malformed. While the droplet is fully
+    /// occluded by a hold pattern (routes may legitimately pass over a
+    /// parked partner's cells — the model has no droplet collisions), the
+    /// controller dead-reckons on the commanded position instead. Only when
+    /// no cluster is near the previous estimate *and* dead reckoning cannot
+    /// explain the blank read is the failure class returned: the droplet
+    /// vanished next to a parked droplet ([`RunStatus::DropletMerged`]) or
+    /// is simply gone from the sensors ([`RunStatus::DropletLost`]).
+    fn sense(
+        &mut self,
+        actual: Rect,
+        last_sensed: Rect,
+        commanded: Rect,
+        held: &[Rect],
+    ) -> Result<Rect, RunStatus> {
+        let chaos = self.chaos;
+        let mut y = Grid::new(self.chip.dims(), false);
+        y.fill_rect(actual, true);
+        for rect in held {
+            y.fill_rect(*rect, true);
+        }
+        apply_stuck_bits(&mut y, &chaos.stuck_sensors);
+        // The controller commanded the hold patterns itself, so it can
+        // subtract them from Y; the remainder is the moving droplet plus
+        // sensor noise. (Without the subtraction, routing merely adjacent
+        // to a parked droplet would read as a merge.)
+        for rect in held {
+            y.fill_rect(*rect, false);
+        }
+        let clusters = locate_droplets(&y);
+
+        // The droplet moves at most two cells per cycle, so its cluster
+        // must contain the previous estimate's center or at least overlap
+        // the previous estimate.
+        let (cx, cy) = last_sensed.center();
+        let center = Cell::new(cx.round() as i32, cy.round() as i32);
+        let moving = clusters
+            .iter()
+            .find(|d| d.bounds.contains_cell(center))
+            .or_else(|| {
+                clusters
+                    .iter()
+                    .filter(|d| d.bounds.intersects(last_sensed.expand(1)))
+                    .min_by_key(|d| d.bounds.manhattan_gap(last_sensed))
+            });
+        let Some(moving) = moving else {
+            // A blank read with the commanded position overlapping a hold
+            // pattern just means the subtraction occluded the droplet;
+            // dead-reckon on the command until it re-emerges.
+            if held.iter().any(|rect| rect.intersects(commanded)) {
+                return Ok(commanded);
+            }
+            let merged = held
+                .iter()
+                .any(|rect| rect.expand(1).intersects(last_sensed));
+            return Err(if merged {
+                RunStatus::DropletMerged
+            } else {
+                RunStatus::DropletLost
+            });
+        };
+        let clean = moving.is_rectangular()
+            && moving.bounds.width() == last_sensed.width()
+            && moving.bounds.height() == last_sensed.height();
+        if clean {
+            return Ok(moving.bounds);
+        }
+        // A truncated cluster can still validate the commanded position as
+        // a prediction: when the visible remainder of a droplet sitting at
+        // `commanded` matches the observation, the droplet is partially
+        // occluded by a hold pattern, not malformed.
+        let visible: Vec<Cell> = commanded
+            .cells()
+            .filter(|c| !held.iter().any(|r| r.contains_cell(*c)))
+            .collect();
+        if visible.len() as u32 == moving.cells
+            && visible.iter().all(|c| moving.bounds.contains_cell(*c))
+        {
+            return Ok(commanded);
+        }
+        Ok(snap_to_size(moving.bounds, last_sensed))
+    }
+
+    /// A fresh global read of the location sensors around a failed job —
+    /// the supervisor's first escalation rung. Unlike the per-cycle
+    /// [`Exec::sense`], the search is chip-wide: hold patterns are
+    /// subtracted from **Y** and the remaining cluster nearest the last
+    /// estimate, snapped to droplet size, becomes the new position
+    /// estimate. Returns `None` when no cluster is left (the droplet is
+    /// truly invisible). Consumes no randomness and leaves
+    /// [`Exec::pending`] in place for the retry.
+    pub(crate) fn resense(&mut self, last_estimate: Rect, held: &[Rect]) -> Option<Rect> {
+        let chaos = self.chaos;
+        let actual = self.pending.unwrap_or(last_estimate);
+        let mut y = Grid::new(self.chip.dims(), false);
+        y.fill_rect(actual, true);
+        for rect in held {
+            y.fill_rect(*rect, true);
+        }
+        apply_stuck_bits(&mut y, &chaos.stuck_sensors);
+        for rect in held {
+            y.fill_rect(*rect, false);
+        }
+        locate_droplets(&y)
+            .iter()
+            .min_by_key(|c| c.bounds.manhattan_gap(last_estimate))
+            .map(|c| snap_to_size(c.bounds, last_estimate))
+    }
 }
 
 /// Whether every input rectangle is currently parked (multiset
@@ -312,21 +654,6 @@ fn inputs_available(inputs: &[Rect], resting: &[Rect]) -> bool {
             false
         }
     })
-}
-
-/// Samples the droplet's next location from the Section V-B outcome
-/// distribution under the chip's ground-truth degradation.
-fn sample_outcome(droplet: Rect, action: Action, chip: &Biochip, rng: &mut impl Rng) -> Rect {
-    let field = chip.degradation_field();
-    let outcomes = transitions(droplet, action, &field);
-    let mut roll: f64 = rng.gen();
-    for outcome in &outcomes {
-        if roll < outcome.probability {
-            return outcome.droplet;
-        }
-        roll -= outcome.probability;
-    }
-    outcomes.last().map_or(droplet, |o| o.droplet)
 }
 
 #[cfg(test)]
@@ -355,6 +682,8 @@ mod tests {
         );
         assert!(outcome.is_success(), "{:?}", outcome.status);
         assert!(outcome.cycles > 0);
+        assert_eq!(outcome.completed_ops, outcome.total_ops);
+        assert_eq!(outcome.completion_fraction(), 1.0);
     }
 
     #[test]
@@ -391,6 +720,61 @@ mod tests {
                 outcome.status
             );
         }
+    }
+
+    #[test]
+    fn all_benchmarks_complete_with_sensed_feedback() {
+        // Closing the sensing loop on a pristine chip (no sensor faults)
+        // must not change the verdict: the Y reconstruction feeds the
+        // router positions equivalent to the ground truth.
+        for sg in benchmarks::evaluation_suite() {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut chip =
+                Biochip::generate(ChipDims::PAPER, &DegradationConfig::pristine(), &mut rng);
+            let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+            let outcome = BioassayRunner::new(RunConfig {
+                sensed_feedback: true,
+                ..RunConfig::default()
+            })
+            .run(&plan(&sg), &mut chip, &mut router, &mut rng);
+            assert!(
+                outcome.is_success(),
+                "{} -> {:?}",
+                sg.name(),
+                outcome.status
+            );
+        }
+    }
+
+    #[test]
+    fn pristine_sensing_is_bit_identical_to_ground_truth() {
+        // On a pristine chip every commanded move succeeds, so the Y
+        // reconstruction (including dead-reckoning through hold-pattern
+        // occlusion) must track ground truth exactly: same seeds, same
+        // cycle counts, same wear, same RNG stream position.
+        let p = plan(&benchmarks::master_mix());
+        let go = |sensed: bool| {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut chip =
+                Biochip::generate(ChipDims::PAPER, &DegradationConfig::pristine(), &mut rng);
+            let mut router = BaselineRouter::new();
+            let outcome = BioassayRunner::new(RunConfig {
+                sensed_feedback: sensed,
+                ..RunConfig::default()
+            })
+            .run(&p, &mut chip, &mut router, &mut rng);
+            (
+                outcome.cycles,
+                outcome.status,
+                chip.total_actuations(),
+                rng.gen::<u64>(),
+            )
+        };
+        assert_eq!(
+            go(false),
+            go(true),
+            "pristine sensing must not perturb the run"
+        );
     }
 
     #[test]
@@ -484,5 +868,93 @@ mod tests {
         );
         assert_eq!(outcome.status, RunStatus::CycleLimit);
         assert!(outcome.cycles <= 3);
+        assert!(outcome.completed_ops < outcome.total_ops);
+    }
+
+    #[test]
+    fn malformed_plan_reports_deadlock_instead_of_panicking() {
+        // An operation that depends on itself can never become ready.
+        use meda_bioassay::{MoType, PlannedMo};
+        let stuck = BioassayPlan::from_parts(
+            "deadlocked",
+            vec![PlannedMo {
+                id: 0,
+                op: MoType::Mix,
+                pre: vec![0],
+                inputs: vec![],
+                jobs: vec![],
+                outputs: vec![],
+            }],
+        );
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::pristine(), &mut rng);
+        let mut router = BaselineRouter::new();
+        let outcome =
+            BioassayRunner::new(RunConfig::default()).run(&stuck, &mut chip, &mut router, &mut rng);
+        assert_eq!(outcome.status, RunStatus::Deadlock);
+        assert_eq!(outcome.cycles, 0);
+        assert_eq!(outcome.completed_ops, 0);
+        assert_eq!(outcome.total_ops, 1);
+    }
+
+    #[test]
+    fn scheduled_death_fires_at_its_cycle() {
+        use meda_grid::Cell;
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::pristine(), &mut rng);
+        let victim = Cell::new(30, 15);
+        let chaos = FaultPlan {
+            sudden_deaths: vec![SuddenDeath {
+                cell: victim,
+                at_cycle: 5,
+            }],
+            ..FaultPlan::none()
+        };
+        let mut router = BaselineRouter::new();
+        let outcome = BioassayRunner::new(RunConfig::default()).run_with_chaos(
+            &plan(&benchmarks::master_mix()),
+            &mut chip,
+            &mut router,
+            &mut FifoScheduler::new(),
+            &chaos,
+            &mut rng,
+        );
+        assert!(outcome.cycles > 5);
+        assert_eq!(
+            chip.degradation_at(victim),
+            0.0,
+            "the scheduled death must have fired"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        let p = plan(&benchmarks::master_mix());
+        let go = |chaotic: bool| {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut chip =
+                Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
+            let mut router = BaselineRouter::new();
+            let runner = BioassayRunner::new(RunConfig::default());
+            let outcome = if chaotic {
+                runner.run_with_chaos(
+                    &p,
+                    &mut chip,
+                    &mut router,
+                    &mut FifoScheduler::new(),
+                    &FaultPlan::none(),
+                    &mut rng,
+                )
+            } else {
+                runner.run(&p, &mut chip, &mut router, &mut rng)
+            };
+            (
+                outcome.cycles,
+                outcome.status,
+                chip.total_actuations(),
+                rng.gen::<u64>(),
+            )
+        };
+        assert_eq!(go(false), go(true));
     }
 }

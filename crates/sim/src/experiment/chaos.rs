@@ -1,0 +1,315 @@
+use meda_rng::StdRng;
+use meda_rng::{Rng, SeedableRng};
+
+use meda_bioassay::BioassayPlan;
+use meda_grid::ChipDims;
+
+use crate::{
+    AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip, DegradationConfig,
+    FaultPlan, FifoScheduler, RecoveryRouter, RunConfig, RungCounts, Supervisor, SupervisorConfig,
+};
+
+/// One control stack evaluated by the chaos sweep. The first three run
+/// unsupervised (the first routing failure aborts the bioassay); the
+/// supervised variant wraps the adaptive router in the [`Supervisor`]'s
+/// escalation ladder and degrades gracefully instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosVariant {
+    /// Degradation-unaware shortest-path routing.
+    Baseline,
+    /// Reactive error recovery (re-route on stall).
+    Recovery,
+    /// The paper's formal-synthesis adaptive router.
+    Adaptive,
+    /// Adaptive routing under the supervisor's retry ladder.
+    SupervisedAdaptive,
+}
+
+impl ChaosVariant {
+    /// All four variants, in presentation order.
+    pub const ALL: [ChaosVariant; 4] = [
+        ChaosVariant::Baseline,
+        ChaosVariant::Recovery,
+        ChaosVariant::Adaptive,
+        ChaosVariant::SupervisedAdaptive,
+    ];
+
+    /// Human-readable variant name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosVariant::Baseline => "baseline",
+            ChaosVariant::Recovery => "recovery",
+            ChaosVariant::Adaptive => "adaptive",
+            ChaosVariant::SupervisedAdaptive => "supervised-adaptive",
+        }
+    }
+
+    /// Runs one trial with sensed feedback closed over the chaos plan.
+    /// Returns `(full success, completion fraction, ladder counts)` —
+    /// unsupervised variants report zero ladder activity.
+    fn run_one(
+        self,
+        plan: &BioassayPlan,
+        chip: &mut Biochip,
+        chaos: &FaultPlan,
+        k_max: u64,
+        detour_patience: u32,
+        rng: &mut impl Rng,
+    ) -> (bool, f64, RungCounts) {
+        let run = RunConfig {
+            k_max,
+            record_actuation: false,
+            sensed_feedback: true,
+        };
+        match self {
+            ChaosVariant::Baseline => {
+                let mut router = BaselineRouter::new();
+                let outcome = BioassayRunner::new(run).run_with_chaos(
+                    plan,
+                    chip,
+                    &mut router,
+                    &mut FifoScheduler::new(),
+                    chaos,
+                    rng,
+                );
+                (
+                    outcome.is_success(),
+                    outcome.completion_fraction(),
+                    RungCounts::default(),
+                )
+            }
+            ChaosVariant::Recovery => {
+                let mut router = RecoveryRouter::new(detour_patience);
+                let outcome = BioassayRunner::new(run).run_with_chaos(
+                    plan,
+                    chip,
+                    &mut router,
+                    &mut FifoScheduler::new(),
+                    chaos,
+                    rng,
+                );
+                (
+                    outcome.is_success(),
+                    outcome.completion_fraction(),
+                    RungCounts::default(),
+                )
+            }
+            ChaosVariant::Adaptive => {
+                let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+                let outcome = BioassayRunner::new(run).run_with_chaos(
+                    plan,
+                    chip,
+                    &mut router,
+                    &mut FifoScheduler::new(),
+                    chaos,
+                    rng,
+                );
+                (
+                    outcome.is_success(),
+                    outcome.completion_fraction(),
+                    RungCounts::default(),
+                )
+            }
+            ChaosVariant::SupervisedAdaptive => {
+                let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+                let report = Supervisor::new(SupervisorConfig {
+                    run,
+                    detour_patience,
+                    ..SupervisorConfig::default()
+                })
+                .run(plan, chip, &mut router, chaos, rng);
+                (
+                    report.is_success(),
+                    report.completion_fraction(),
+                    report.rungs,
+                )
+            }
+        }
+    }
+}
+
+/// One `(variant, rate index, trial)` sweep cell.
+type ChaosCell = (ChaosVariant, usize, u32);
+/// One trial's outcome: `(full success, completion fraction, ladder counts)`.
+type ChaosOutcome = (bool, f64, RungCounts);
+
+/// One aggregated point of the chaos sweep: a control stack at one stuck
+/// sensor-bit rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPoint {
+    /// The control stack.
+    pub variant: ChaosVariant,
+    /// Per-MC probability of a stuck sensor bit.
+    pub stuck_rate: f64,
+    /// Fraction of trials that completed the whole bioassay.
+    pub pos: f64,
+    /// Mean fraction of microfluidic operations completed per trial —
+    /// the graceful-degradation headline number.
+    pub mean_completion: f64,
+    /// Ladder activity summed over all trials (supervised variants only).
+    pub rungs: RungCounts,
+}
+
+/// The `ext_chaos` experiment: probability of success and mean completion
+/// fraction under sensor faults, for each `(variant, stuck rate)` pair.
+///
+/// Every trial draws a fresh chip and a fresh [`FaultPlan`] whose stuck
+/// sensor bits corrupt the **Y** matrix behind
+/// [`RunConfig::sensed_feedback`] — the run itself is otherwise the
+/// Section VII-B reuse setup. Cells are independent and deterministically
+/// seeded, so the sweep parallelizes across cores with results identical
+/// to a serial loop.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn chaos_sweep(
+    plan: &BioassayPlan,
+    dims: ChipDims,
+    degradation: &DegradationConfig,
+    variants: &[ChaosVariant],
+    stuck_rates: &[f64],
+    trials: u32,
+    k_max: u64,
+    seed: u64,
+) -> Vec<ChaosPoint> {
+    assert!(trials > 0, "need at least one trial");
+    let detour_patience = SupervisorConfig::default().detour_patience;
+
+    let run_cell = |(variant, rate_idx, trial): ChaosCell| {
+        let rate = stuck_rates[rate_idx];
+        // The variant does not enter the seed: every stack faces the same
+        // chip and the same fault plan at a given (rate, trial) cell.
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ ((rate_idx as u64) << 40) ^ (u64::from(trial) << 8));
+        let mut chip = Biochip::generate(dims, degradation, &mut rng);
+        let chaos = FaultPlan::none().with_stuck_sensors(dims, rate, &mut rng);
+        variant.run_one(plan, &mut chip, &chaos, k_max, detour_patience, &mut rng)
+    };
+
+    let cells: Vec<ChaosCell> = variants
+        .iter()
+        .flat_map(|&v| {
+            (0..stuck_rates.len()).flat_map(move |r| (0..trials).map(move |t| (v, r, t)))
+        })
+        .collect();
+    let threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let chunk = cells.len().div_ceil(threads).max(1);
+    let per_cell: Vec<(ChaosCell, ChaosOutcome)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = cells
+            .chunks(chunk)
+            .map(|batch| {
+                let run_cell = &run_cell;
+                scope.spawn(move || {
+                    batch
+                        .iter()
+                        .map(|&cell| (cell, run_cell(cell)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("chaos sweep thread panicked"))
+            .collect()
+    });
+
+    variants
+        .iter()
+        .flat_map(|&variant| {
+            let per_cell = &per_cell;
+            stuck_rates
+                .iter()
+                .enumerate()
+                .map(move |(rate_idx, &rate)| {
+                    let mut successes = 0u32;
+                    let mut completion = 0.0f64;
+                    let mut rungs = RungCounts::default();
+                    for ((v, r, _), (ok, frac, counts)) in per_cell {
+                        if *v == variant && *r == rate_idx {
+                            successes += u32::from(*ok);
+                            completion += frac;
+                            rungs.resense += counts.resense;
+                            rungs.resynth += counts.resynth;
+                            rungs.detour += counts.detour;
+                            rungs.aborted_ops += counts.aborted_ops;
+                        }
+                    }
+                    ChaosPoint {
+                        variant,
+                        stuck_rate: rate,
+                        pos: f64::from(successes) / f64::from(trials),
+                        mean_completion: completion / f64::from(trials),
+                        rungs,
+                    }
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meda_bioassay::{benchmarks, RjHelper};
+
+    fn plan() -> BioassayPlan {
+        RjHelper::new(ChipDims::PAPER)
+            .plan(&benchmarks::master_mix())
+            .unwrap()
+    }
+
+    #[test]
+    fn clean_sensors_complete_for_every_variant() {
+        let points = chaos_sweep(
+            &plan(),
+            ChipDims::PAPER,
+            &DegradationConfig::pristine(),
+            &ChaosVariant::ALL,
+            &[0.0],
+            2,
+            2_000,
+            11,
+        );
+        for p in &points {
+            assert_eq!(p.pos, 1.0, "{} failed with clean sensors", p.variant.name());
+            assert_eq!(p.mean_completion, 1.0);
+        }
+    }
+
+    #[test]
+    fn supervised_adaptive_beats_unsupervised_under_sensor_faults() {
+        // The acceptance bar: at >= 1% stuck sensor bits the supervised
+        // stack completes strictly more operations than the unsupervised
+        // adaptive stack facing the identical chips and fault plans. The
+        // two-lane multiplex assay gives abort-and-continue something to
+        // salvage: losing one lane must not cost the other.
+        let p = RjHelper::new(ChipDims::PAPER)
+            .plan(&benchmarks::multiplex_invitro((4, 4)))
+            .unwrap();
+        let points = chaos_sweep(
+            &p,
+            ChipDims::PAPER,
+            &DegradationConfig::paper(),
+            &[ChaosVariant::Adaptive, ChaosVariant::SupervisedAdaptive],
+            &[0.02],
+            6,
+            2_000,
+            23,
+        );
+        let completion = |v: ChaosVariant| {
+            points
+                .iter()
+                .find(|p| p.variant == v)
+                .map(|p| p.mean_completion)
+                .unwrap()
+        };
+        assert!(
+            completion(ChaosVariant::SupervisedAdaptive) > completion(ChaosVariant::Adaptive),
+            "supervised {} vs unsupervised {}",
+            completion(ChaosVariant::SupervisedAdaptive),
+            completion(ChaosVariant::Adaptive),
+        );
+    }
+}

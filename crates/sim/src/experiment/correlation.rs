@@ -43,6 +43,7 @@ pub fn actuation_correlation(
     let outcome = BioassayRunner::new(RunConfig {
         k_max: 10_000,
         record_actuation: true,
+        sensed_feedback: false,
     })
     .run(plan, &mut chip, &mut router, &mut rng);
     assert!(

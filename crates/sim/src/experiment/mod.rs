@@ -1,11 +1,14 @@
 //! The paper's evaluation experiments (Section VII): the Fig. 15
-//! probability-of-success sweep, the Fig. 16 fault-injection trials, and
-//! the Fig. 3 actuation-correlation study.
+//! probability-of-success sweep, the Fig. 16 fault-injection trials, the
+//! Fig. 3 actuation-correlation study, and the `ext_chaos` sensor-fault
+//! robustness sweep.
 
+mod chaos;
 mod correlation;
 mod pos;
 mod trials;
 
+pub use chaos::{chaos_sweep, ChaosPoint, ChaosVariant};
 pub use correlation::{actuation_correlation, CorrelationPoint};
 pub use pos::{pos_sweep, PosPoint};
 pub use trials::{fault_trials, TrialStats};

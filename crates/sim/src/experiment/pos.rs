@@ -49,6 +49,7 @@ pub fn pos_sweep<R: Router>(
         let runner = BioassayRunner::new(RunConfig {
             k_max,
             record_actuation: false,
+            sensed_feedback: false,
         });
         let mut rng = StdRng::seed_from_u64(
             seed ^ (u64::from(chip_idx) << 32) ^ k_max.wrapping_mul(0x9e37_79b9),

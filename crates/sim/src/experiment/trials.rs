@@ -61,6 +61,7 @@ pub fn fault_trials<R: Router>(
             let runner = BioassayRunner::new(RunConfig {
                 k_max: k_max - spent,
                 record_actuation: false,
+                sensed_feedback: false,
             });
             let outcome = runner.run(plan, &mut chip, &mut router, &mut rng);
             spent += outcome.cycles;

@@ -1,5 +1,6 @@
 use meda_rng::Rng;
 
+use meda_cell::StuckBit;
 use meda_grid::{Cell, ChipDims, Rect};
 
 /// How faulty microelectrodes are placed across the biochip
@@ -17,10 +18,24 @@ pub enum FaultMode {
     Clustered,
 }
 
+/// Rejection budget for the placement loop, scaled to the chip: after this
+/// many rejected draws the loop stops sampling and fills the remaining
+/// target deterministically — fractions near 1.0 would otherwise spin for a
+/// long time hunting the last few free cells. The budget comfortably covers
+/// the coupon-collector cost of any ordinary fraction, so the fallback only
+/// fires on pathological inputs.
+fn rejection_budget(dims: ChipDims) -> usize {
+    (16 * dims.cell_count()).max(64)
+}
+
 impl FaultMode {
     /// Selects the faulty cells for a chip, targeting `fraction` of all MCs
     /// (clusters of 4 for [`FaultMode::Clustered`], rounding up to whole
-    /// clusters; duplicates between overlapping clusters collapse).
+    /// clusters; duplicates between overlapping clusters collapse; clusters
+    /// are clipped to the chip on `1 × N` / `N × 1` arrays). When random
+    /// draws keep hitting already-chosen cells — fractions near 1.0 — the
+    /// remaining target is filled deterministically in row-major order, so
+    /// placement always terminates.
     ///
     /// # Panics
     ///
@@ -30,34 +45,201 @@ impl FaultMode {
             (0.0..=1.0).contains(&fraction),
             "fault fraction must be in [0, 1]"
         );
-        let target = (dims.cell_count() as f64 * fraction).round() as usize;
-        let mut cells = Vec::new();
+        let target =
+            ((dims.cell_count() as f64 * fraction).round() as usize).min(dims.cell_count());
+        let mut chosen = std::collections::HashSet::new();
+        let mut rejected = 0usize;
+        let budget = rejection_budget(dims);
         match self {
             FaultMode::None => {}
             FaultMode::Uniform => {
-                let mut chosen = std::collections::HashSet::new();
-                while chosen.len() < target {
+                while chosen.len() < target && rejected < budget {
                     let x = rng.gen_range(1..=dims.width as i32);
                     let y = rng.gen_range(1..=dims.height as i32);
-                    chosen.insert(Cell::new(x, y));
-                }
-                cells.extend(chosen);
-            }
-            FaultMode::Clustered => {
-                let mut chosen = std::collections::HashSet::new();
-                while chosen.len() < target {
-                    let x = rng.gen_range(1..=dims.width as i32 - 1);
-                    let y = rng.gen_range(1..=dims.height as i32 - 1);
-                    for cell in Rect::new(x, y, x + 1, y + 1).cells() {
-                        chosen.insert(cell);
+                    if !chosen.insert(Cell::new(x, y)) {
+                        rejected += 1;
                     }
                 }
-                cells.extend(chosen);
+            }
+            FaultMode::Clustered => {
+                // Cluster anchors leave room for the 2×2 block where the
+                // chip allows it; on degenerate 1-wide / 1-tall arrays the
+                // block is clipped to the chip instead of panicking on an
+                // empty anchor range.
+                let max_x = (dims.width as i32 - 1).max(1);
+                let max_y = (dims.height as i32 - 1).max(1);
+                while chosen.len() < target && rejected < budget {
+                    let x = rng.gen_range(1..=max_x);
+                    let y = rng.gen_range(1..=max_y);
+                    let block = Rect::new(
+                        x,
+                        y,
+                        (x + 1).min(dims.width as i32),
+                        (y + 1).min(dims.height as i32),
+                    );
+                    let mut grew = false;
+                    for cell in block.cells() {
+                        grew |= chosen.insert(cell);
+                    }
+                    if !grew {
+                        rejected += 1;
+                    }
+                }
             }
         }
+        if chosen.len() < target && self != FaultMode::None {
+            // Deterministic bail-out: sweep the chip in row-major order and
+            // take the first free cells until the target is met.
+            for cell in dims.cells() {
+                if chosen.len() >= target {
+                    break;
+                }
+                chosen.insert(cell);
+            }
+        }
+        let mut cells: Vec<Cell> = chosen.into_iter().collect();
         cells.sort_unstable();
         cells
     }
+}
+
+/// An electrode that dies suddenly at a scheduled operational cycle —
+/// mid-run hard failure, as opposed to the actuation-count thresholds of
+/// [`DegradationConfig`](crate::DegradationConfig) which only trip under
+/// wear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SuddenDeath {
+    /// The cell that dies.
+    pub cell: Cell,
+    /// The cycle at which its degradation drops to 0 for good.
+    pub at_cycle: u64,
+}
+
+/// An electrode that glitches intermittently: each cycle it acts completely
+/// dead with probability `probability`, then recovers. Glitches affect the
+/// droplet-movement outcome of that cycle only; the health matrix **H**
+/// never shows them (they are faster than the sensing window).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IntermittentCell {
+    /// The glitching cell.
+    pub cell: Cell,
+    /// Per-cycle probability of acting dead, in `[0, 1]`.
+    pub probability: f64,
+}
+
+/// A scripted chaos scenario layered on top of the placement-time faults of
+/// [`FaultMode`]: scheduled electrode deaths, per-cycle intermittent
+/// glitches, and stuck location-sensor bits that corrupt the sensed **Y**
+/// matrix without ever touching the ground-truth **D**.
+///
+/// An empty plan ([`FaultPlan::none`]) is free: the execution engine skips
+/// every chaos hook, consuming no cycles and no randomness, so fault-free
+/// runs stay bit-identical to the plain runner.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Electrodes that die outright at a scheduled cycle.
+    pub sudden_deaths: Vec<SuddenDeath>,
+    /// Electrodes that glitch with a per-cycle probability.
+    pub intermittent: Vec<IntermittentCell>,
+    /// Location-sensor bits stuck at 0 or 1.
+    pub stuck_sensors: Vec<StuckBit>,
+}
+
+impl FaultPlan {
+    /// The empty plan: no scheduled chaos at all.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Whether the plan schedules nothing.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.sudden_deaths.is_empty()
+            && self.intermittent.is_empty()
+            && self.stuck_sensors.is_empty()
+    }
+
+    /// Adds stuck sensor bits: each MC's location bit is stuck with
+    /// probability `rate` (clamped to `[0, 1]`), at 0 or 1 with equal
+    /// probability. Returns `self` for chaining.
+    #[must_use]
+    pub fn with_stuck_sensors(mut self, dims: ChipDims, rate: f64, rng: &mut impl Rng) -> Self {
+        let rate = rate.clamp(0.0, 1.0);
+        for cell in dims.cells() {
+            if rng.gen_bool(rate) {
+                self.stuck_sensors.push(StuckBit {
+                    cell,
+                    reads: rng.gen(),
+                });
+            }
+        }
+        self
+    }
+
+    /// Adds `count` sudden electrode deaths at uniformly random cells and
+    /// cycles in `cycle_window` (inclusive). Returns `self` for chaining.
+    #[must_use]
+    pub fn with_sudden_deaths(
+        mut self,
+        dims: ChipDims,
+        count: usize,
+        cycle_window: (u64, u64),
+        rng: &mut impl Rng,
+    ) -> Self {
+        let (lo, hi) = cycle_window;
+        let hi = hi.max(lo);
+        for _ in 0..count {
+            self.sudden_deaths.push(SuddenDeath {
+                cell: random_cell(dims, rng),
+                at_cycle: rng.gen_range(lo..=hi),
+            });
+        }
+        self
+    }
+
+    /// Adds `count` intermittent cells with the given per-cycle glitch
+    /// probability (clamped to `[0, 1]`). Returns `self` for chaining.
+    #[must_use]
+    pub fn with_intermittent(
+        mut self,
+        dims: ChipDims,
+        count: usize,
+        probability: f64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let probability = probability.clamp(0.0, 1.0);
+        for _ in 0..count {
+            self.intermittent.push(IntermittentCell {
+                cell: random_cell(dims, rng),
+                probability,
+            });
+        }
+        self
+    }
+
+    /// A random chaos scenario of bounded severity, for property tests and
+    /// the chaos bench: up to ~2% stuck sensors, a handful of scheduled
+    /// deaths inside the first `k_max` cycles, and a few mildly
+    /// intermittent cells.
+    #[must_use]
+    pub fn random(dims: ChipDims, k_max: u64, rng: &mut impl Rng) -> Self {
+        let stuck_rate = rng.gen_range(0.0..0.02);
+        let deaths = rng.gen_range(0..6usize);
+        let flaky = rng.gen_range(0..4usize);
+        let flake_p = rng.gen_range(0.0..0.3);
+        Self::none()
+            .with_stuck_sensors(dims, stuck_rate, rng)
+            .with_sudden_deaths(dims, deaths, (1, k_max.max(1)), rng)
+            .with_intermittent(dims, flaky, flake_p, rng)
+    }
+}
+
+fn random_cell(dims: ChipDims, rng: &mut impl Rng) -> Cell {
+    Cell::new(
+        rng.gen_range(1..=dims.width as i32),
+        rng.gen_range(1..=dims.height as i32),
+    )
 }
 
 #[cfg(test)]
@@ -121,5 +303,52 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         assert!(FaultMode::Uniform.place(DIMS, 0.0, &mut rng).is_empty());
         assert!(FaultMode::Clustered.place(DIMS, 0.0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn full_fraction_terminates_and_covers_the_chip() {
+        for mode in [FaultMode::Uniform, FaultMode::Clustered] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let cells = mode.place(DIMS, 1.0, &mut rng);
+            assert_eq!(cells.len(), DIMS.cell_count(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn clustered_handles_one_wide_chips() {
+        // Width 1 used to panic on an empty `gen_range` anchor interval.
+        for dims in [
+            ChipDims::new(1, 16),
+            ChipDims::new(16, 1),
+            ChipDims::new(1, 1),
+        ] {
+            let mut rng = StdRng::seed_from_u64(8);
+            let cells = FaultMode::Clustered.place(dims, 0.5, &mut rng);
+            let target = (dims.cell_count() as f64 * 0.5).round() as usize;
+            assert!(cells.len() >= target, "{dims:?}");
+            assert!(cells.iter().all(|&c| dims.contains(c)), "{dims:?}");
+        }
+    }
+
+    #[test]
+    fn fault_plan_none_is_empty_and_free() {
+        assert!(FaultPlan::none().is_none());
+        assert!(!FaultPlan::none()
+            .with_stuck_sensors(DIMS, 1.0, &mut StdRng::seed_from_u64(9))
+            .is_none());
+    }
+
+    #[test]
+    fn random_plans_stay_on_chip_and_in_range() {
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let plan = FaultPlan::random(DIMS, 500, &mut rng);
+            assert!(plan.sudden_deaths.iter().all(|d| DIMS.contains(d.cell)));
+            assert!(plan
+                .intermittent
+                .iter()
+                .all(|i| DIMS.contains(i.cell) && (0.0..=1.0).contains(&i.probability)));
+            assert!(plan.stuck_sensors.iter().all(|s| DIMS.contains(s.cell)));
+        }
     }
 }

@@ -17,6 +17,13 @@
 //! * [`experiment`] — the Fig 15 probability-of-success sweep, the Fig 16
 //!   repeated-trial fault-injection study, and the Fig 3 actuation
 //!   correlation analysis;
+//! * [`Supervisor`] — supervised execution with a per-job retry ladder
+//!   (re-sense → re-synthesize → detour → abort the operation) and a
+//!   structured [`FailureReport`] for graceful partial completion;
+//! * [`FaultPlan`] — scripted chaos on top of placement-time faults:
+//!   scheduled electrode death, intermittent glitches, and stuck sensor
+//!   bits corrupting the sensed **Y** matrix
+//!   ([`RunConfig::sensed_feedback`] closes that loop);
 //! * extras: [`RecoveryRouter`] (reactive error recovery, §II-C),
 //!   [`MoScheduler`] runtime operation ordering (the paper-conclusion
 //!   extension), [`sensing`] droplet-location reconstruction from the
@@ -55,11 +62,14 @@ pub mod render;
 mod router;
 mod scheduler;
 pub mod sensing;
+mod supervisor;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveRouter};
 pub use biochip::{Biochip, DegradationConfig};
 pub use engine::{BioassayRunner, RunConfig, RunOutcome, RunStatus};
-pub use fault::FaultMode;
+pub use fault::{FaultMode, FaultPlan, IntermittentCell, SuddenDeath};
+pub use meda_cell::StuckBit;
 pub use recovery::RecoveryRouter;
 pub use router::{BaselineRouter, Router};
 pub use scheduler::{FifoScheduler, HealthAwareScheduler, MoScheduler};
+pub use supervisor::{FailureReport, MoFailure, RungCounts, Supervisor, SupervisorConfig};

@@ -85,21 +85,60 @@ pub fn locate_droplets(locations: &Grid<bool>) -> Vec<SensedDroplet> {
 
 /// Matches sensed droplets against a set of expected rectangles, returning
 /// for each expected rectangle the sensed cluster that contains its center
-/// (if any). Unmatched expectations mean a lost droplet; surplus clusters
-/// mean contamination or an unexpected split.
+/// (if any). Assignment is unique and greedy in expectation order: once a
+/// cluster is matched it cannot match a second expectation, so two droplets
+/// merged into one cluster report as one match plus one loss rather than
+/// two matches. Unmatched expectations mean a lost droplet; surplus
+/// clusters mean contamination or an unexpected split.
 #[must_use]
 pub fn match_expected<'a>(
     sensed: &'a [SensedDroplet],
     expected: &[Rect],
 ) -> Vec<Option<&'a SensedDroplet>> {
+    let mut used = vec![false; sensed.len()];
     expected
         .iter()
         .map(|rect| {
             let (cx, cy) = rect.center();
             let center = Cell::new(cx.round() as i32, cy.round() as i32);
-            sensed.iter().find(|d| d.bounds.contains_cell(center))
+            let hit = sensed
+                .iter()
+                .enumerate()
+                .find(|(i, d)| !used[*i] && d.bounds.contains_cell(center));
+            hit.map(|(i, d)| {
+                used[i] = true;
+                d
+            })
         })
         .collect()
+}
+
+/// Best rectangular estimate of a droplet's position from a malformed
+/// sensed cluster: slides a `last_known`-sized window to the placement
+/// nearest `last_known` that still covers the cluster (or sits inside it,
+/// when the cluster is larger than the droplet on an axis). This recovers a
+/// usable position when stuck sensor bits punch holes into the cluster,
+/// graft phantom cells onto it, or a neighbouring droplet partially merges
+/// with it — cases where the cluster's raw bounding box would misstate the
+/// droplet.
+#[must_use]
+pub fn snap_to_size(cluster: Rect, last_known: Rect) -> Rect {
+    let snap_axis = |lo: i32, hi: i32, span: i32, preferred: i32| -> i32 {
+        // Allowed window origins: keep the window inside [lo, hi] when the
+        // cluster is at least window-sized, else make the window contain
+        // the whole cluster interval.
+        let (min_at, max_at) = if hi - lo + 1 >= span {
+            (lo, hi - span + 1)
+        } else {
+            (hi - span + 1, lo)
+        };
+        preferred.clamp(min_at, max_at)
+    };
+    let w = last_known.width() as i32;
+    let h = last_known.height() as i32;
+    let xa = snap_axis(cluster.xa, cluster.xb, w, last_known.xa);
+    let ya = snap_axis(cluster.ya, cluster.yb, h, last_known.ya);
+    Rect::new(xa, ya, xa + w - 1, ya + h - 1)
 }
 
 #[cfg(test)]
@@ -171,6 +210,51 @@ mod tests {
         let matched = match_expected(&found, &rects);
         assert!(matched[0].is_some());
         assert!(matched[1].is_none(), "the second droplet was lost");
+    }
+
+    #[test]
+    fn merge_matches_once_and_loses_once() {
+        // Two expected droplets whose clusters touched and merged into one:
+        // unique assignment gives one match and one loss, never two matches
+        // of the same cluster.
+        let rects = [Rect::new(2, 2, 4, 4), Rect::new(5, 2, 7, 4)];
+        let found = locate_droplets(&grid_with(&rects));
+        assert_eq!(found.len(), 1, "touching droplets merge");
+        let matched = match_expected(&found, &rects);
+        assert!(matched[0].is_some());
+        assert!(matched[1].is_none(), "merged partner reports as lost");
+    }
+
+    #[test]
+    fn snap_keeps_window_inside_large_clusters() {
+        // Merged cluster twice the droplet width: the window stays inside
+        // the cluster, at the edge nearest the last known position.
+        let cluster = Rect::new(2, 2, 7, 4);
+        let last = Rect::new(1, 2, 3, 4);
+        assert_eq!(snap_to_size(cluster, last), Rect::new(2, 2, 4, 4));
+        let last_right = Rect::new(9, 2, 11, 4);
+        assert_eq!(snap_to_size(cluster, last_right), Rect::new(5, 2, 7, 4));
+    }
+
+    #[test]
+    fn snap_covers_small_clusters() {
+        // A stuck-at-0 hole shrank the cluster below droplet size: the
+        // window must cover the whole cluster while staying nearest the
+        // last known position.
+        let cluster = Rect::new(5, 5, 5, 6);
+        let last = Rect::new(4, 4, 6, 6);
+        let snapped = snap_to_size(cluster, last);
+        assert_eq!((snapped.width(), snapped.height()), (3, 3));
+        assert!(snapped.contains_rect(cluster));
+        assert_eq!(snapped, Rect::new(4, 4, 6, 6));
+    }
+
+    #[test]
+    fn snap_is_identity_on_exact_fit() {
+        let r = Rect::new(3, 3, 5, 5);
+        assert_eq!(snap_to_size(r, r), r);
+        // Same size elsewhere: snaps onto the cluster exactly.
+        assert_eq!(snap_to_size(r, Rect::new(10, 10, 12, 12)), r);
     }
 
     #[test]

@@ -1,0 +1,341 @@
+//! Supervised bioassay execution with graceful degradation.
+//!
+//! The plain [`BioassayRunner`](crate::BioassayRunner) is all-or-nothing:
+//! the first failed routing job aborts the whole bioassay. Cyberphysical
+//! DMFB practice instead detects errors through the sensing loop and
+//! re-executes bounded portions of the assay. The [`Supervisor`] implements
+//! that discipline on top of the shared execution core: every failed
+//! routing job climbs an escalation ladder — re-sense the droplet and
+//! retry, re-synthesize with a widened corridor from the refreshed health
+//! matrix, detour via the reactive [`RecoveryRouter`] — and only when the
+//! retry budget is exhausted is the operation aborted, its dependents
+//! skipped, and the rest of the plan continued. The result is a structured
+//! [`FailureReport`] with a per-operation completion fraction instead of a
+//! single terminal status.
+
+use meda_rng::Rng;
+
+use meda_bioassay::{BioassayPlan, RoutingJob};
+use meda_grid::Rect;
+
+use crate::engine::{Exec, JobError};
+use crate::{Biochip, FaultPlan, RecoveryRouter, Router, RunConfig, RunStatus};
+
+/// Configuration of supervised execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisorConfig {
+    /// The underlying run configuration (cycle budget, sensed feedback).
+    pub run: RunConfig,
+    /// Retries allowed per routing job beyond its first attempt. Each
+    /// retry climbs one rung of the escalation ladder; retry 3 and beyond
+    /// stay on the detour rung.
+    pub retry_budget: u32,
+    /// Stall patience of the [`RecoveryRouter`] used on the detour rung.
+    pub detour_patience: u32,
+    /// Watchdog: cycles one routing attempt may burn before it is declared
+    /// [`RunStatus::Stalled`] and retried. Without it, a wedged position
+    /// estimate (e.g. stuck sensors swallowing the goal region) silently
+    /// eats the whole global `k_max` — terminal for supervised and
+    /// unsupervised runs alike.
+    pub attempt_cycles: u64,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            run: RunConfig::default(),
+            retry_budget: 3,
+            detour_patience: 4,
+            attempt_cycles: 256,
+        }
+    }
+}
+
+/// One aborted microfluidic operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MoFailure {
+    /// The operation's id in the plan.
+    pub mo: usize,
+    /// Index of the routing job that exhausted its retries.
+    pub job: usize,
+    /// The failure class of the final attempt.
+    pub status: RunStatus,
+    /// Where the droplet was last believed to be.
+    pub last_position: Rect,
+    /// Retries consumed before giving up.
+    pub retries: u32,
+}
+
+/// How often each rung of the escalation ladder fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RungCounts {
+    /// Rung 1: global re-sense, retry with the same router.
+    pub resense: u64,
+    /// Rung 2: re-synthesis from the refreshed health matrix with a
+    /// widened routing corridor.
+    pub resynth: u64,
+    /// Rung 3: detour via a fresh reactive [`RecoveryRouter`].
+    pub detour: u64,
+    /// Rung 4: operations aborted after the budget ran out.
+    pub aborted_ops: u64,
+}
+
+/// The structured outcome of a supervised run: what completed, what was
+/// aborted and why, and how hard the supervisor had to work.
+#[derive(Debug, Clone)]
+pub struct FailureReport {
+    /// Total operational cycles consumed.
+    pub cycles: u64,
+    /// [`RunStatus::Success`] when every operation completed; otherwise
+    /// the root cause — the status of the earliest failure,
+    /// [`RunStatus::CycleLimit`] when the budget died, or
+    /// [`RunStatus::Deadlock`] for a malformed plan.
+    pub status: RunStatus,
+    /// Operations that completed.
+    pub completed_ops: usize,
+    /// Total operations in the plan.
+    pub total_ops: usize,
+    /// Every aborted operation, in failure order.
+    pub failures: Vec<MoFailure>,
+    /// Operations skipped because a (transitive) predecessor was aborted.
+    pub skipped: Vec<usize>,
+    /// Escalation-ladder statistics.
+    pub rungs: RungCounts,
+}
+
+impl FailureReport {
+    /// Whether every operation completed.
+    #[must_use]
+    pub fn is_success(&self) -> bool {
+        self.completed_ops == self.total_ops
+    }
+
+    /// Fraction of the plan's operations that completed (1 for an empty
+    /// plan).
+    #[must_use]
+    pub fn completion_fraction(&self) -> f64 {
+        if self.total_ops == 0 {
+            1.0
+        } else {
+            self.completed_ops as f64 / self.total_ops as f64
+        }
+    }
+}
+
+/// Supervised execution: [`BioassayRunner`](crate::BioassayRunner)
+/// semantics plus a per-job retry ladder and partial completion.
+///
+/// # Examples
+///
+/// ```
+/// use meda_bioassay::{benchmarks, RjHelper};
+/// use meda_grid::ChipDims;
+/// use meda_rng::SeedableRng;
+/// use meda_sim::{
+///     BaselineRouter, Biochip, DegradationConfig, FaultPlan, Supervisor, SupervisorConfig,
+/// };
+///
+/// let mut rng = meda_rng::StdRng::seed_from_u64(7);
+/// let plan = RjHelper::new(ChipDims::PAPER).plan(&benchmarks::master_mix())?;
+/// let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
+/// let mut router = BaselineRouter::new();
+/// let report = Supervisor::new(SupervisorConfig::default())
+///     .run(&plan, &mut chip, &mut router, &FaultPlan::none(), &mut rng);
+/// assert!(report.is_success());
+/// assert_eq!(report.completion_fraction(), 1.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Supervisor {
+    config: SupervisorConfig,
+}
+
+impl Supervisor {
+    /// Creates a supervisor.
+    #[must_use]
+    pub fn new(config: SupervisorConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs `plan` on `chip` under `chaos`, retrying failed jobs up the
+    /// escalation ladder and skipping the dependents of aborted
+    /// operations. With [`FaultPlan::none`] and sensed feedback off, the
+    /// execution is bit-identical to
+    /// [`BioassayRunner::run`](crate::BioassayRunner::run) — the ladder
+    /// only exists on the failure path.
+    pub fn run(
+        &self,
+        plan: &BioassayPlan,
+        chip: &mut Biochip,
+        router: &mut dyn Router,
+        chaos: &FaultPlan,
+        rng: &mut impl Rng,
+    ) -> FailureReport {
+        let total = plan.operations().len();
+        let mut exec = Exec::new(self.config.run, chip, rng, chaos);
+        let mut done = vec![false; total];
+        let mut failed = vec![false; total];
+        let mut completed = 0usize;
+        let mut failures: Vec<MoFailure> = Vec::new();
+        let mut skipped: Vec<usize> = Vec::new();
+        let mut rungs = RungCounts::default();
+        let mut out_of_budget = false;
+
+        loop {
+            // Transitively skip the dependents of aborted operations. Plan
+            // ids are topological (predecessors have smaller ids), so one
+            // increasing pass reaches a fixpoint.
+            for id in 0..total {
+                let mo = &plan.operations()[id];
+                if !done[id] && !failed[id] && mo.pre.iter().any(|&p| failed[p]) {
+                    failed[id] = true;
+                    skipped.push(id);
+                }
+            }
+            let ready: Vec<usize> = plan
+                .operations()
+                .iter()
+                .filter(|mo| !done[mo.id] && !failed[mo.id] && mo.pre.iter().all(|&p| done[p]))
+                .map(|mo| mo.id)
+                .collect();
+            let Some(&picked) = ready.first() else {
+                break;
+            };
+            let mo = &plan.operations()[picked];
+
+            let mut fail_job = 0usize;
+            let mut fail_retries = 0u32;
+            let result = exec.exec_mo(mo, &mut |e, job, held, job_idx| {
+                fail_job = job_idx;
+                fail_retries = 0;
+                self.run_job_with_ladder(e, job, router, held, &mut rungs, &mut fail_retries)
+            });
+            match result {
+                Ok(()) => {
+                    done[picked] = true;
+                    completed += 1;
+                }
+                Err(err) => {
+                    failures.push(MoFailure {
+                        mo: picked,
+                        job: fail_job,
+                        status: err.status,
+                        last_position: err.at,
+                        retries: fail_retries,
+                    });
+                    // The aborted operation's droplets go to waste; make
+                    // sure the next job does not inherit a stale physical
+                    // position.
+                    exec.pending = None;
+                    if err.status == RunStatus::CycleLimit {
+                        // The shared cycle budget is gone: nothing further
+                        // can execute, matching the plain runner's
+                        // accounting cycle for cycle.
+                        out_of_budget = true;
+                        break;
+                    }
+                    failed[picked] = true;
+                    rungs.aborted_ops += 1;
+                }
+            }
+        }
+
+        let status = if completed == total {
+            RunStatus::Success
+        } else if out_of_budget {
+            RunStatus::CycleLimit
+        } else if let Some(first) = failures.first() {
+            first.status
+        } else {
+            // Nothing failed, yet operations remain: the plan's dependency
+            // graph can never release them.
+            RunStatus::Deadlock
+        };
+        FailureReport {
+            cycles: exec.cycles,
+            status,
+            completed_ops: completed,
+            total_ops: total,
+            failures,
+            skipped,
+            rungs,
+        }
+    }
+
+    /// One routing job under the escalation ladder. Dispense jobs are not
+    /// retried (their only failure mode is the shared cycle budget).
+    fn run_job_with_ladder<R: Rng>(
+        &self,
+        exec: &mut Exec<'_, R>,
+        job: &RoutingJob,
+        router: &mut dyn Router,
+        held: &[Rect],
+        rungs: &mut RungCounts,
+        retries_out: &mut u32,
+    ) -> Result<Rect, JobError> {
+        if job.is_dispense() {
+            return exec.run_dispense(job, held);
+        }
+        let chip_bounds = exec.chip.dims().bounds();
+        let mut attempt = *job;
+        let mut retries = 0u32;
+        exec.attempt_budget = Some(self.config.attempt_cycles);
+        let result = loop {
+            let result = if retries >= 3 {
+                let mut detour = RecoveryRouter::new(self.config.detour_patience);
+                exec.run_routed(&attempt, &mut detour, held)
+            } else {
+                exec.run_routed(&attempt, router, held)
+            };
+            match result {
+                Ok(rect) => break Ok(rect),
+                Err(err) => {
+                    *retries_out = retries;
+                    if err.status == RunStatus::CycleLimit || retries >= self.config.retry_budget {
+                        break Err(err);
+                    }
+                    retries += 1;
+                    *retries_out = retries;
+                    // Rung 1: a fresh global sensor read relocates the
+                    // droplet. Without it there is nothing to retry from.
+                    let Some(estimate) = exec.resense(err.at, held) else {
+                        break Err(JobError {
+                            status: RunStatus::DropletLost,
+                            at: err.at,
+                        });
+                    };
+                    let bounds = match retries {
+                        1 => {
+                            rungs.resense += 1;
+                            attempt.bounds
+                        }
+                        2 => {
+                            // Rung 2: widening the corridor changes the
+                            // synthesis query, forcing strategy-backed
+                            // routers to re-synthesize from the refreshed
+                            // health matrix with more room to detour.
+                            rungs.resynth += 1;
+                            attempt
+                                .bounds
+                                .expand(2)
+                                .intersection(chip_bounds)
+                                .expect("job bounds lie on the chip")
+                        }
+                        _ => {
+                            rungs.detour += 1;
+                            attempt
+                                .bounds
+                                .expand(2)
+                                .intersection(chip_bounds)
+                                .expect("job bounds lie on the chip")
+                        }
+                    };
+                    attempt =
+                        RoutingJob::new(estimate, job.goal, bounds.union(estimate).union(job.goal));
+                }
+            }
+        };
+        exec.attempt_budget = None;
+        result
+    }
+}

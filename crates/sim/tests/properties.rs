@@ -127,6 +127,7 @@ fn cycles_and_wear_are_conserved() {
         let outcome = BioassayRunner::new(RunConfig {
             k_max: 5_000,
             record_actuation: true,
+            sensed_feedback: false,
         })
         .run(&plan, &mut chip, &mut router, &mut rng);
         assert!(outcome.is_success());

@@ -64,6 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let runner = BioassayRunner::new(RunConfig {
         k_max: 2_000,
         record_actuation: false,
+        sensed_feedback: false,
     });
     for run in 1..=3 {
         let outcome =

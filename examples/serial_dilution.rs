@@ -28,6 +28,7 @@ fn survival(router_name: &str, mut router: impl Router, seed: u64) {
     let runner = BioassayRunner::new(RunConfig {
         k_max: 700,
         record_actuation: false,
+        sensed_feedback: false,
     });
 
     println!("\n--- {router_name} ---");

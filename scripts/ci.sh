@@ -20,4 +20,7 @@ cargo test --workspace --quiet
 echo "==> bench smoke (bench_synthesis --smoke)"
 cargo run --release -p meda-bench --bin bench_synthesis -- --smoke
 
+echo "==> chaos smoke (ext_chaos --smoke)"
+cargo run --release -p meda-bench --bin ext_chaos -- --smoke
+
 echo "ci.sh: all checks passed"

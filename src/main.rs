@@ -18,7 +18,8 @@ use meda::core::{ActionConfig, RoutingMdp, UniformField};
 use meda::grid::{ChipDims, Rect};
 use meda::sim::{
     render, AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip,
-    DegradationConfig, FaultMode, RecoveryRouter, Router, RunConfig,
+    DegradationConfig, FaultMode, FaultPlan, FifoScheduler, RecoveryRouter, Router, RunConfig,
+    Supervisor, SupervisorConfig,
 };
 use meda::synth::{synthesize, to_prism_explicit, Query};
 use meda_rng::SeedableRng;
@@ -31,7 +32,7 @@ USAGE:
   meda plan <assay>
   meda run <assay> [--router adaptive|baseline|recovery] [--seed N]
                    [--faults uniform|clustered] [--fraction F] [--runs N]
-                   [--k-max N]
+                   [--k-max N] [--chaos] [--stuck-rate F] [--supervised]
   meda synth [--area WxH] [--droplet WxH] [--force F] [--query rmin|pmax]
   meda export-prism <assay> <job-index>
   meda wear <assay> [--runs N] [--seed N]
@@ -160,20 +161,72 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown router '{other}'")),
     };
 
+    // Chaos mode closes the sensing loop: the router sees Y-matrix
+    // reconstructions, and stuck sensor bits corrupt Y at --stuck-rate.
+    let chaos_on = args.iter().any(|a| a == "--chaos");
+    let supervised = args.iter().any(|a| a == "--supervised");
+    let stuck_rate: f64 = flag(args, "--stuck-rate").map_or(Ok(0.02), |s| {
+        s.parse().map_err(|_| format!("bad stuck rate '{s}'"))
+    })?;
+
     let mut rng = meda_rng::StdRng::seed_from_u64(seed);
     let mut chip = Biochip::generate(ChipDims::PAPER, &degradation, &mut rng);
-    let runner = BioassayRunner::new(RunConfig {
+    let config = RunConfig {
         k_max,
         record_actuation: false,
-    });
+        sensed_feedback: chaos_on,
+    };
     for run in 1..=runs {
-        let outcome = runner.run(&plan, &mut chip, router.as_mut(), &mut rng);
-        println!(
-            "run {run}: {:?} in {} cycles (total chip actuations {})",
-            outcome.status,
-            outcome.cycles,
-            chip.total_actuations()
-        );
+        let chaos = if chaos_on {
+            FaultPlan::none().with_stuck_sensors(ChipDims::PAPER, stuck_rate, &mut rng)
+        } else {
+            FaultPlan::none()
+        };
+        if supervised {
+            let report = Supervisor::new(SupervisorConfig {
+                run: config,
+                ..SupervisorConfig::default()
+            })
+            .run(&plan, &mut chip, router.as_mut(), &chaos, &mut rng);
+            println!(
+                "run {run}: {:?} in {} cycles — {}/{} ops complete, \
+                 ladder resense/resynth/detour/abort {}/{}/{}/{}",
+                report.status,
+                report.cycles,
+                report.completed_ops,
+                report.total_ops,
+                report.rungs.resense,
+                report.rungs.resynth,
+                report.rungs.detour,
+                report.rungs.aborted_ops
+            );
+            for failure in &report.failures {
+                println!(
+                    "  aborted MO {} (job {}) after {} retries: {:?} near {}",
+                    failure.mo, failure.job, failure.retries, failure.status, failure.last_position
+                );
+            }
+            if !report.skipped.is_empty() {
+                println!("  skipped dependents: {:?}", report.skipped);
+            }
+        } else {
+            let outcome = BioassayRunner::new(config).run_with_chaos(
+                &plan,
+                &mut chip,
+                router.as_mut(),
+                &mut FifoScheduler::new(),
+                &chaos,
+                &mut rng,
+            );
+            println!(
+                "run {run}: {:?} in {} cycles — {}/{} ops complete (total chip actuations {})",
+                outcome.status,
+                outcome.cycles,
+                outcome.completed_ops,
+                outcome.total_ops,
+                chip.total_actuations()
+            );
+        }
     }
     Ok(())
 }
@@ -272,6 +325,7 @@ fn cmd_wear(args: &[String]) -> Result<(), String> {
     let runner = BioassayRunner::new(RunConfig {
         k_max: 5_000,
         record_actuation: false,
+        sensed_feedback: false,
     });
     for _ in 0..runs {
         let outcome = runner.run(&plan, &mut chip, &mut router, &mut rng);

@@ -124,6 +124,7 @@ fn adaptive_detours_where_baseline_stalls() {
     let runner = BioassayRunner::new(RunConfig {
         k_max: 150,
         record_actuation: false,
+        sensed_feedback: false,
     });
     let mut sg = meda::bioassay::SequencingGraph::new("wall");
     let a = sg.dispense((3.5, 3.5), (4, 4));

@@ -79,6 +79,7 @@ fn health_aware_scheduler_respects_dependencies() {
     let outcome = BioassayRunner::new(RunConfig {
         k_max: 3_000,
         record_actuation: false,
+        sensed_feedback: false,
     })
     .run_with_scheduler(
         &plan,
