@@ -1,0 +1,72 @@
+//! Owned snapshot of a routing MDP's transition structure.
+//!
+//! The auditor never trusts the builder: it re-checks every invariant on a
+//! plain-old-data copy of the CSR arrays. Keeping the artifact owned (rather
+//! than borrowing [`meda_core::CsrView`]) also makes it *corruptible*, which
+//! is exactly what the seeded corruption corpus in the test suite needs —
+//! each test case mutates one field of a pristine artifact and asserts the
+//! auditor flags it.
+
+use meda_core::{Action, RoutingMdp};
+
+/// An owned, auditable snapshot of a [`RoutingMdp`]'s structure.
+///
+/// All fields are public so corruption tests (and external tooling) can
+/// construct or mutate artifacts freely; the auditor assumes nothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelArtifact {
+    /// Number of states.
+    pub states: usize,
+    /// Initial state index.
+    pub init: usize,
+    /// Explicit absorbing hazard sink, if the model encodes one
+    /// ([`meda_core::HazardHandling::AbsorbingSink`]).
+    pub sink: Option<usize>,
+    /// `goal_flags[i]` — whether state `i` satisfies the goal predicate.
+    pub goal_flags: Vec<bool>,
+    /// `states + 1` CSR row offsets: state `i`'s choices span
+    /// `state_choice_start[i]..state_choice_start[i + 1]`.
+    pub state_choice_start: Vec<u32>,
+    /// Action per choice, flat across all states.
+    pub choice_action: Vec<Action>,
+    /// `choices + 1` CSR offsets into the branch arrays.
+    pub choice_branch_start: Vec<u32>,
+    /// Successor state per probabilistic branch.
+    pub branch_target: Vec<u32>,
+    /// Probability per branch, parallel to `branch_target`.
+    pub branch_prob: Vec<f64>,
+}
+
+impl From<&RoutingMdp> for ModelArtifact {
+    fn from(mdp: &RoutingMdp) -> Self {
+        let csr = mdp.csr();
+        Self {
+            states: mdp.len(),
+            init: mdp.init(),
+            sink: mdp.hazard_sink(),
+            goal_flags: (0..mdp.len()).map(|i| mdp.is_goal(i)).collect(),
+            state_choice_start: csr.state_choice_start.to_vec(),
+            choice_action: csr.choice_action.to_vec(),
+            choice_branch_start: csr.choice_branch_start.to_vec(),
+            branch_target: csr.branch_target.to_vec(),
+            branch_prob: csr.branch_prob.to_vec(),
+        }
+    }
+}
+
+impl ModelArtifact {
+    /// The choice-index range of state `i`.
+    ///
+    /// Only meaningful on artifacts whose offset arrays passed the
+    /// structural audit; callers inside the auditor gate on that first.
+    #[must_use]
+    pub fn choice_range(&self, i: usize) -> std::ops::Range<usize> {
+        self.state_choice_start[i] as usize..self.state_choice_start[i + 1] as usize
+    }
+
+    /// The branch-index range of choice `c`.
+    #[must_use]
+    pub fn branch_range(&self, c: usize) -> std::ops::Range<usize> {
+        self.choice_branch_start[c] as usize..self.choice_branch_start[c + 1] as usize
+    }
+}

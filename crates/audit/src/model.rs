@@ -1,0 +1,290 @@
+//! Structural well-formedness audit of a [`ModelArtifact`].
+
+use crate::{AuditReport, Census, ModelArtifact, Violation};
+
+/// Tolerance on each choice's outcome-probability mass (`|Σp − 1| ≤ ε`).
+///
+/// The builder computes branch probabilities as short products of per-MC
+/// success rates, so a pristine model's mass error is at the scale of a few
+/// ULPs; `1e-9` leaves five orders of magnitude of slack while still
+/// catching any real corruption.
+pub const MASS_EPSILON: f64 = 1e-9;
+
+/// Audits the structural invariants of a model artifact.
+///
+/// Checks, in order:
+///
+/// 1. **Array lengths** — `state_choice_start` has `states + 1` entries,
+///    `choice_branch_start` covers `choice_action`, `branch_prob` parallels
+///    `branch_target`, `goal_flags` covers every state.
+/// 2. **CSR integrity** — both offset arrays start at 0, are monotone
+///    non-decreasing, and end exactly at the length of the array they
+///    index; no branch targets a state outside `0..states`.
+/// 3. **Stochasticity** — every branch probability is in `(0, 1]` and not
+///    NaN; every choice's distribution sums to 1 within [`MASS_EPSILON`];
+///    no choice is an empty distribution.
+/// 4. **Absorption** — goal states and the hazard sink (which must not be a
+///    goal) carry no choices.
+/// 5. **Census** — BFS from the initial state; unreachable states and
+///    reachable non-goal dead ends are violations, and both are listed in
+///    full in [`AuditReport::census`].
+///
+/// Checks 2–5 are skipped when check 1 fails (the arrays cannot be indexed
+/// safely); checks 4–5 are skipped when the offsets are broken. Every early
+/// exit still returns the violations found so far, so a corrupted artifact
+/// is always flagged.
+#[must_use]
+pub fn audit_model(art: &ModelArtifact) -> AuditReport {
+    let mut report = AuditReport::default();
+    let n = art.states;
+
+    if !check_lengths(art, &mut report.violations) {
+        return report;
+    }
+    let offsets_ok = check_offsets(art, &mut report.violations);
+    check_probabilities(art, offsets_ok, &mut report.violations);
+    if !offsets_ok {
+        return report;
+    }
+    check_absorption(art, &mut report.violations);
+    if art.init >= n {
+        report.violations.push(Violation::InitOutOfRange {
+            init: art.init,
+            states: n,
+        });
+        return report;
+    }
+    report.census = census(art);
+    for &s in &report.census.unreachable {
+        report
+            .violations
+            .push(Violation::UnreachableState { state: s });
+    }
+    for &s in &report.census.dead_ends {
+        report.violations.push(Violation::DeadEnd { state: s });
+    }
+    report
+}
+
+/// Check 1: companion arrays have mutually consistent lengths.
+fn check_lengths(art: &ModelArtifact, out: &mut Vec<Violation>) -> bool {
+    let mut ok = true;
+    let mut expect = |array: &'static str, expected: usize, found: usize| {
+        if expected != found {
+            out.push(Violation::ArrayLength {
+                array,
+                expected,
+                found,
+            });
+            ok = false;
+        }
+    };
+    expect(
+        "state_choice_start",
+        art.states + 1,
+        art.state_choice_start.len(),
+    );
+    expect("goal_flags", art.states, art.goal_flags.len());
+    expect(
+        "choice_branch_start",
+        art.choice_action.len() + 1,
+        art.choice_branch_start.len(),
+    );
+    expect(
+        "branch_prob",
+        art.branch_target.len(),
+        art.branch_prob.len(),
+    );
+    ok
+}
+
+/// Check 2: offsets are monotone, anchored at 0, and cover their arrays.
+fn check_offsets(art: &ModelArtifact, out: &mut Vec<Violation>) -> bool {
+    let before = out.len();
+    check_offset_array(
+        "state_choice_start",
+        &art.state_choice_start,
+        art.choice_action.len(),
+        out,
+    );
+    check_offset_array(
+        "choice_branch_start",
+        &art.choice_branch_start,
+        art.branch_target.len(),
+        out,
+    );
+    for (b, &t) in art.branch_target.iter().enumerate() {
+        if (t as usize) >= art.states {
+            out.push(Violation::DanglingTarget {
+                branch: b,
+                target: t,
+                states: art.states,
+            });
+        }
+    }
+    out.len() == before
+}
+
+fn check_offset_array(
+    array: &'static str,
+    offsets: &[u32],
+    covered_len: usize,
+    out: &mut Vec<Violation>,
+) {
+    if let Some(&first) = offsets.first() {
+        if first != 0 {
+            out.push(Violation::OffsetOutOfRange {
+                array,
+                index: 0,
+                found: first,
+                limit: 0,
+            });
+        }
+    }
+    for i in 1..offsets.len() {
+        if offsets[i] < offsets[i - 1] {
+            out.push(Violation::NonMonotoneOffsets {
+                array,
+                index: i,
+                prev: offsets[i - 1],
+                found: offsets[i],
+            });
+        }
+    }
+    if let Some(&last) = offsets.last() {
+        if last as usize != covered_len {
+            out.push(Violation::OffsetOutOfRange {
+                array,
+                index: offsets.len() - 1,
+                found: last,
+                limit: covered_len,
+            });
+        }
+    }
+}
+
+/// Check 3: every branch probability is a probability, every choice's mass
+/// is 1. Runs per-branch checks even when the offsets are broken (the flat
+/// probability array is still meaningful); per-choice mass checks need
+/// valid offsets.
+fn check_probabilities(art: &ModelArtifact, offsets_ok: bool, out: &mut Vec<Violation>) {
+    let owner = |c: usize| -> usize {
+        if offsets_ok {
+            // Largest i with state_choice_start[i] <= c.
+            art.state_choice_start
+                .partition_point(|&o| o as usize <= c)
+                .saturating_sub(1)
+        } else {
+            0
+        }
+    };
+    if !offsets_ok {
+        for (b, &p) in art.branch_prob.iter().enumerate() {
+            if p.is_nan() || p <= 0.0 || p > 1.0 + MASS_EPSILON {
+                out.push(Violation::BadProbability {
+                    branch: b,
+                    state: 0,
+                    prob: p,
+                });
+            }
+        }
+        return;
+    }
+    for c in 0..art.choice_action.len() {
+        let state = owner(c);
+        let range = art.branch_range(c);
+        if range.is_empty() {
+            out.push(Violation::EmptyBranch { choice: c, state });
+            continue;
+        }
+        let mut sum = 0.0_f64;
+        let mut branch_ok = true;
+        for b in range {
+            let p = art.branch_prob[b];
+            if p.is_nan() || p <= 0.0 || p > 1.0 + MASS_EPSILON {
+                out.push(Violation::BadProbability {
+                    branch: b,
+                    state,
+                    prob: p,
+                });
+                branch_ok = false;
+            }
+            sum += p;
+        }
+        if branch_ok && (sum - 1.0).abs() > MASS_EPSILON {
+            out.push(Violation::MassMismatch {
+                choice: c,
+                state,
+                sum,
+            });
+        }
+    }
+}
+
+/// Check 4: goal states and the hazard sink are absorbing.
+fn check_absorption(art: &ModelArtifact, out: &mut Vec<Violation>) {
+    for (i, &is_goal) in art.goal_flags.iter().enumerate() {
+        if is_goal {
+            let choices = art.choice_range(i).len();
+            if choices != 0 {
+                out.push(Violation::GoalNotAbsorbing { state: i, choices });
+            }
+        }
+    }
+    if let Some(sink) = art.sink {
+        if sink >= art.states {
+            out.push(Violation::SinkOutOfRange {
+                sink,
+                states: art.states,
+            });
+        } else {
+            if art.goal_flags[sink] {
+                out.push(Violation::SinkIsGoal { state: sink });
+            }
+            let choices = art.choice_range(sink).len();
+            if choices != 0 {
+                out.push(Violation::SinkNotAbsorbing {
+                    state: sink,
+                    choices,
+                });
+            }
+        }
+    }
+}
+
+/// Check 5: BFS reachability census from the initial state.
+#[must_use]
+pub fn census(art: &ModelArtifact) -> Census {
+    let n = art.states;
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    if art.init < n {
+        seen[art.init] = true;
+        queue.push_back(art.init);
+    }
+    let mut reachable = 0_usize;
+    let mut dead_ends = Vec::new();
+    while let Some(i) = queue.pop_front() {
+        reachable += 1;
+        let choices = art.choice_range(i);
+        if choices.is_empty() && !art.goal_flags[i] && art.sink != Some(i) {
+            dead_ends.push(i);
+        }
+        for c in choices {
+            for b in art.branch_range(c) {
+                let t = art.branch_target[b] as usize;
+                if t < n && !seen[t] {
+                    seen[t] = true;
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+    let unreachable = (0..n).filter(|&i| !seen[i]).collect();
+    dead_ends.sort_unstable();
+    Census {
+        reachable,
+        unreachable,
+        dead_ends,
+    }
+}

@@ -1,0 +1,93 @@
+//! Totality and closure audit of a memoryless routing strategy.
+
+use meda_core::Action;
+
+use crate::{ModelArtifact, ValueKind, Violation};
+
+/// Audits a memoryless strategy (`choice[i]` = the action to take in state
+/// `i`) against a model artifact and its certified value vector.
+///
+/// Walks the Markov chain the strategy induces from the initial state and
+/// checks **totality** — every reachable state that is still *hopeful*
+/// (positive reach probability for [`ValueKind::Reachability`], finite
+/// expected cycles for [`ValueKind::ExpectedCycles`]) has a decision — and
+/// **closure** — every decision names an action actually enabled at that
+/// state, decisions never appear at absorbing states, and following the
+/// strategy never leaves the artifact's state set.
+///
+/// Hopeless states (zero reach probability / infinite expected cycles) are
+/// legitimately undecided: they are the `(π, k) = (∅, ∞)` case of the
+/// paper's Algorithm 2, surfaced to the caller as "no strategy exists".
+/// The walk does not continue through them.
+///
+/// The artifact must have passed [`crate::audit_model`]; `values` must have
+/// passed [`crate::audit_values`] for the same `kind`.
+#[must_use]
+pub fn audit_strategy(
+    art: &ModelArtifact,
+    choice: &[Option<Action>],
+    values: &[f64],
+    kind: ValueKind,
+) -> Vec<Violation> {
+    let n = art.states;
+    let mut violations = Vec::new();
+    if choice.len() != n {
+        violations.push(Violation::StrategyLength {
+            expected: n,
+            found: choice.len(),
+        });
+        return violations;
+    }
+    if values.len() != n {
+        violations.push(Violation::ValueLength {
+            expected: n,
+            found: values.len(),
+        });
+        return violations;
+    }
+    let hopeful = |i: usize| match kind {
+        ValueKind::Reachability => values[i] > 1e-12,
+        ValueKind::ExpectedCycles => values[i].is_finite(),
+    };
+    let mut seen = vec![false; n];
+    let mut stack = vec![art.init];
+    seen[art.init] = true;
+    while let Some(i) = stack.pop() {
+        let absorbing = art.goal_flags[i] || art.sink == Some(i);
+        if absorbing {
+            if choice[i].is_some() {
+                violations.push(Violation::StrategyChoiceAtAbsorbing { state: i });
+            }
+            continue;
+        }
+        if !hopeful(i) {
+            continue;
+        }
+        let Some(action) = choice[i] else {
+            violations.push(Violation::StrategyIncomplete { state: i });
+            continue;
+        };
+        let Some(c) = art
+            .choice_range(i)
+            .find(|&c| art.choice_action[c] == action)
+        else {
+            violations.push(Violation::StrategyInvalidAction { state: i, action });
+            continue;
+        };
+        for b in art.branch_range(c) {
+            let t = art.branch_target[b] as usize;
+            if t >= n {
+                violations.push(Violation::StrategyEscapes {
+                    state: i,
+                    target: art.branch_target[b],
+                });
+                continue;
+            }
+            if !seen[t] {
+                seen[t] = true;
+                stack.push(t);
+            }
+        }
+    }
+    violations
+}

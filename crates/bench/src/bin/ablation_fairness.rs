@@ -6,6 +6,7 @@
 //!   2. the same baseline with double steps (minimizes cycles, still
 //!      degradation-unaware),
 //!   3. the adaptive formal-synthesis router.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_bioassay::{benchmarks, RjHelper};

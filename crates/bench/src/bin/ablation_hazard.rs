@@ -2,6 +2,7 @@
 //! absorbing hazard sink (the literal PRISM-style encoding). Optimal
 //! values coincide; the guard encoding is strictly smaller and faster
 //! (DESIGN.md §5.1).
+#![forbid(unsafe_code)]
 
 use std::time::Instant;
 

@@ -1,6 +1,7 @@
 //! Ablation: scheduling schemes of Section VI-D — pure-online synthesis
 //! vs the hybrid strategy library, cold and warm (offline pre-synthesis).
 //! Measures the per-run synthesis overhead the hybrid scheme hides.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_bioassay::{benchmarks, RjHelper};

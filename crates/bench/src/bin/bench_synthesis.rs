@@ -14,6 +14,7 @@
 //! healthy-field values (the mid-job re-synthesis path).
 //!
 //! Run with `--smoke` for a single small cell (CI wiring).
+#![forbid(unsafe_code)]
 
 use std::collections::HashMap;
 use std::fmt::Write as _;

@@ -3,6 +3,7 @@
 //! counterpart of the paper's Fig. 15 PoS metric; this harness
 //! cross-validates it against Monte-Carlo simulation of the very same
 //! model — solver and simulator must agree within sampling error.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, bar, header, row};
 use meda_core::{transitions, ActionConfig, ForceProvider, RawField, RoutingMdp};

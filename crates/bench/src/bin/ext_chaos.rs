@@ -21,6 +21,7 @@
 //! [`RunConfig::sensed_feedback`]: meda_sim::RunConfig
 //! [`FaultPlan`]: meda_sim::FaultPlan
 //! [`Supervisor`]: meda_sim::Supervisor
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_bioassay::{benchmarks, RjHelper};

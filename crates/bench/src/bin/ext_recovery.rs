@@ -7,6 +7,7 @@
 //!   1. baseline: degradation-unaware shortest path (no recovery at all),
 //!   2. recovery: reactive — shortest path + stall-triggered re-route,
 //!   3. adaptive: proactive — the paper's formal-synthesis router.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_bioassay::{benchmarks, RjHelper};

@@ -5,6 +5,7 @@
 //! out one frontier microelectrode per spent unit, and the worst-case
 //! guaranteed values quantify how much a bounded amount of mid-job
 //! degradation can actually cost.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_core::ActionConfig;

@@ -2,6 +2,7 @@
 //! Compares FIFO (plan-order, the paper's behaviour) with the
 //! health-aware scheduler that defers operations whose corridors are
 //! currently degraded, on fault-injected chips.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_bioassay::{benchmarks, RjHelper};

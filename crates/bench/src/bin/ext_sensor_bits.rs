@@ -2,6 +2,7 @@
 //! model "is valid for any general b" but the fabricated design uses
 //! b = 2; this experiment measures what routing quality each extra sensing
 //! bit buys on a degrading, fault-injected chip.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_bioassay::{benchmarks, RjHelper};

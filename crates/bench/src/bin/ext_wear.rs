@@ -3,6 +3,7 @@
 //! MCs"; this harness quantifies the wear *distribution* each router
 //! leaves behind after repeated executions — total wear, Gini coefficient
 //! (0 = even, 1 = concentrated), and the hottest cells.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_bioassay::{benchmarks, RjHelper};

@@ -1,6 +1,7 @@
 //! Fig. 15 — probability of successful bioassay completion (PoS) versus
 //! the cycle budget k_max, for the six benchmark bioassays on a reused
 //! (progressively degrading) 60×30 biochip, baseline vs adaptive routing.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, bar, header, row};
 use meda_bioassay::{benchmarks, RjHelper};

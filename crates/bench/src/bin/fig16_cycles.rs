@@ -2,6 +2,7 @@
 //! bioassay on the same fault-injected biochip (five successful executions
 //! per trial, k_max = 1,000), baseline vs adaptive routing, under uniform
 //! and clustered fault injection.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_bioassay::{benchmarks, RjHelper};

@@ -2,6 +2,7 @@
 //! charging waveforms for healthy / partially degraded / completely
 //! degraded MCs, the two skewed DFF clock edges, and the resulting 2-bit
 //! health readings.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_cell::{CellParams, SensingCircuit};

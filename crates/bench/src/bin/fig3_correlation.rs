@@ -1,6 +1,7 @@
 //! Fig. 3 — correlation coefficient between MC actuation vectors versus
 //! Manhattan distance, for droplet sizes 3×3…6×6 on three bioassays
 //! (ChIP, multiplex in-vitro, gene expression) on the 60×30 chip.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_bioassay::{benchmarks, RjHelper};

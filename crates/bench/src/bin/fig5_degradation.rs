@@ -1,6 +1,7 @@
 //! Fig. 5 — electrode capacitance versus number of actuations on the PCB
 //! testbed: (a) charge trapping (1 s actuations) and (b) residual charge
 //! (5 s actuations), for the 2/3/4 mm electrodes.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_degradation::{ActuationMode, PcbExperiment};

@@ -2,6 +2,7 @@
 //! actuations: synthetic PCB measurements are fitted with the exponential
 //! model F̄ = τ^(2n/c) and must recover the paper's (τ, c) constants with
 //! R²_adj > 0.94.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_degradation::{ActuationMode, DegradationParams, ExponentialFit, PcbExperiment};

@@ -1,6 +1,7 @@
 //! Fig. 7 — impact of the number of actuations n on the actual degradation
 //! level D and the observed (quantized) MC health H under different
 //! (τ, c, b) configurations.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, bar, header, row};
 use meda_degradation::DegradationParams;

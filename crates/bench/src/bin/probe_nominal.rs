@@ -1,6 +1,7 @@
 //! Utility: nominal (pristine-chip) run length of every benchmark
 //! bioassay — the calibration quantity the Fig. 15/16 harnesses scale
 //! their cycle budgets from.
+#![forbid(unsafe_code)]
 
 use meda_bioassay::{benchmarks, RjHelper};
 use meda_grid::ChipDims;

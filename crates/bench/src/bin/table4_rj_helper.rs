@@ -1,6 +1,7 @@
 //! Table IV — the worked MO→RJ decomposition example: four microfluidic
 //! operations (two dispenses, a mix, a magnetic sensing op) on the 60×30
 //! biochip, reproduced row by row.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_bioassay::{RjHelper, SequencingGraph};

@@ -1,6 +1,7 @@
 //! Table V — model size (#states, #transitions, #choices) and synthesis
 //! runtime for routing-job areas 10×10 / 20×20 / 30×30 and droplet sizes
 //! 3×3…6×6, under the worst-case non-zero health matrix.
+#![forbid(unsafe_code)]
 
 use meda_bench::{banner, header, row};
 use meda_core::{ActionConfig, UniformField};

@@ -540,7 +540,7 @@ impl RoutingMdp {
             frontier += 1;
         }
 
-        Ok(Self {
+        let mdp = Self {
             states,
             index,
             goal_flags,
@@ -553,7 +553,79 @@ impl RoutingMdp {
             choice_branch_start,
             branch_target,
             branch_prob,
-        })
+        };
+        // Construction-time well-formedness hook: in dev builds every model
+        // leaving the builder is structurally verified (the same invariants
+        // `meda-audit` re-checks downstream; duplicated here because `core`
+        // sits below the audit crate in the dependency graph).
+        debug_assert_eq!(
+            mdp.debug_well_formed(),
+            Ok(()),
+            "builder produced an ill-formed MDP"
+        );
+        Ok(mdp)
+    }
+
+    /// Structural self-check backing the builder's `debug_assert!` hook:
+    /// CSR offsets monotone and covering, probabilities in `(0, 1]` with
+    /// unit mass per choice, branch targets in range, goal states and the
+    /// hazard sink absorbing.
+    fn debug_well_formed(&self) -> Result<(), String> {
+        let n = self.states.len();
+        if self.state_choice_start.len() != n + 1 || self.goal_flags.len() != n {
+            return Err("offset/flag arrays do not cover the state set".into());
+        }
+        if self.choice_branch_start.len() != self.choice_action.len() + 1
+            || self.branch_prob.len() != self.branch_target.len()
+        {
+            return Err("choice/branch arrays are not parallel".into());
+        }
+        for w in self.state_choice_start.windows(2) {
+            if w[1] < w[0] {
+                return Err("state_choice_start is not monotone".into());
+            }
+        }
+        for w in self.choice_branch_start.windows(2) {
+            if w[1] < w[0] {
+                return Err("choice_branch_start is not monotone".into());
+            }
+        }
+        if self.state_choice_start.last().copied() != Some(self.choice_action.len() as u32)
+            || self.choice_branch_start.last().copied() != Some(self.branch_target.len() as u32)
+        {
+            return Err("CSR offsets do not cover their arrays".into());
+        }
+        for c in 0..self.choice_action.len() {
+            let lo = self.choice_branch_start[c] as usize;
+            let hi = self.choice_branch_start[c + 1] as usize;
+            if lo == hi {
+                return Err(format!("choice {c} has an empty distribution"));
+            }
+            let mut mass = 0.0_f64;
+            for b in lo..hi {
+                let p = self.branch_prob[b];
+                if p.is_nan() || p <= 0.0 || p > 1.0 + 1e-9 {
+                    return Err(format!("branch {b} has probability {p}"));
+                }
+                if self.branch_target[b] as usize >= n {
+                    return Err(format!("branch {b} targets a nonexistent state"));
+                }
+                mass += p;
+            }
+            if (mass - 1.0).abs() > 1e-9 {
+                return Err(format!("choice {c} has outcome mass {mass}"));
+            }
+        }
+        for (i, &g) in self.goal_flags.iter().enumerate() {
+            let choices = self.state_choice_start[i + 1] - self.state_choice_start[i];
+            if g && choices != 0 {
+                return Err(format!("goal state {i} is not absorbing"));
+            }
+            if self.sink == Some(i) && (g || choices != 0) {
+                return Err(format!("hazard sink {i} is not an absorbing non-goal"));
+            }
+        }
+        Ok(())
     }
 
     /// The absorbing hazard-sink state, if this MDP was built with

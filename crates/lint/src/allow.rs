@@ -1,0 +1,111 @@
+//! Parser for `lint-allow.toml` — the repo's declared lint exceptions.
+//!
+//! The workspace is zero-dependency (DESIGN.md §6), so this is a
+//! hand-rolled reader for the tiny TOML subset the allowlist uses:
+//! comments, `[[allow]]` array-of-table headers, and `key = "string"`
+//! pairs. Anything else is a hard error — an unparseable allowlist must
+//! fail the lint run, not silently allow everything.
+
+use crate::rules::Finding;
+
+/// One declared exception: a finding matching `rule` + `file` (and
+/// `pattern`, when given, as a substring of the offending line) is
+/// suppressed. `reason` is mandatory — an exception nobody can justify is
+/// not an exception.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// Rule name the entry applies to (e.g. `no-unwrap`).
+    pub rule: String,
+    /// Workspace-relative file, forward slashes.
+    pub file: String,
+    /// Optional substring of the offending line; an entry without a
+    /// pattern matches every finding of `rule` in `file`.
+    pub pattern: Option<String>,
+    /// Why this exception is sound.
+    pub reason: String,
+}
+
+/// Parses the allowlist source. Line-based: `[[allow]]` opens an entry,
+/// `key = "value"` fills it, `#` starts a comment.
+pub fn parse_allowlist(source: &str) -> Result<Vec<AllowEntry>, String> {
+    let mut entries: Vec<AllowEntry> = Vec::new();
+    for (n, raw) in source.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[allow]]" {
+            entries.push(AllowEntry::default());
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(format!(
+                "lint-allow.toml:{}: expected key = \"value\"",
+                n + 1
+            ));
+        };
+        let Some(entry) = entries.last_mut() else {
+            return Err(format!(
+                "lint-allow.toml:{}: key outside any [[allow]] entry",
+                n + 1
+            ));
+        };
+        let value = value.trim();
+        let Some(value) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+            return Err(format!(
+                "lint-allow.toml:{}: value must be a double-quoted string",
+                n + 1
+            ));
+        };
+        match key.trim() {
+            "rule" => entry.rule = value.to_string(),
+            "file" => entry.file = value.to_string(),
+            "pattern" => entry.pattern = Some(value.to_string()),
+            "reason" => entry.reason = value.to_string(),
+            other => {
+                return Err(format!("lint-allow.toml:{}: unknown key `{other}`", n + 1));
+            }
+        }
+    }
+    for (i, e) in entries.iter().enumerate() {
+        if e.rule.is_empty() || e.file.is_empty() || e.reason.is_empty() {
+            return Err(format!(
+                "lint-allow.toml: entry {} must set rule, file, and reason",
+                i + 1
+            ));
+        }
+    }
+    Ok(entries)
+}
+
+/// Splits findings into (kept, suppressed-count) and reports which entries
+/// never matched anything — stale exceptions should be pruned.
+pub fn apply_allowlist(
+    findings: Vec<Finding>,
+    entries: &[AllowEntry],
+) -> (Vec<Finding>, usize, Vec<AllowEntry>) {
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    let mut suppressed = 0_usize;
+    for f in findings {
+        let hit = entries.iter().position(|e| {
+            e.rule == f.rule.name()
+                && e.file == f.file
+                && e.pattern.as_deref().is_none_or(|p| f.excerpt.contains(p))
+        });
+        match hit {
+            Some(i) => {
+                used[i] = true;
+                suppressed += 1;
+            }
+            None => kept.push(f),
+        }
+    }
+    let unused = entries
+        .iter()
+        .zip(&used)
+        .filter(|(_, &u)| !u)
+        .map(|(e, _)| e.clone())
+        .collect();
+    (kept, suppressed, unused)
+}

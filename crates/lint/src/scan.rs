@@ -1,0 +1,286 @@
+//! Lexical preprocessing of Rust sources.
+//!
+//! The lint rules are deliberately lexical (DESIGN.md §6 rules out a real
+//! parser dependency), but naive substring matching would trip over
+//! comments, doc text, and string literals — including this crate's own
+//! rule patterns. [`scan`] therefore *sanitizes* a source first: comment
+//! and literal contents are blanked to spaces (newlines preserved, so line
+//! numbers survive), and `#[cfg(test)]` / `#[test]` item spans are marked
+//! so rules can exempt test code.
+
+/// A sanitized source file: literal/comment-free text plus a per-line mask
+/// of test-only code.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// The source with comment and literal contents blanked to spaces.
+    /// Same length in lines as the input.
+    pub sanitized: String,
+    /// `test_mask[line]` — whether 0-based `line` lies inside a
+    /// `#[cfg(test)]` or `#[test]` item.
+    pub test_mask: Vec<bool>,
+}
+
+impl ScannedFile {
+    /// Iterates `(0-based line number, sanitized line, in_test)`.
+    pub fn lines(&self) -> impl Iterator<Item = (usize, &str, bool)> {
+        self.sanitized
+            .lines()
+            .enumerate()
+            .map(|(n, l)| (n, l, self.test_mask.get(n).copied().unwrap_or(false)))
+    }
+}
+
+/// Sanitizes `source` and computes its test mask.
+#[must_use]
+pub fn scan(source: &str) -> ScannedFile {
+    let sanitized = sanitize(source);
+    let test_mask = mask_test_items(&sanitized);
+    ScannedFile {
+        sanitized,
+        test_mask,
+    }
+}
+
+/// Blanks comments, string/char literals, and raw strings to spaces while
+/// preserving newlines (and therefore line/column positions).
+fn sanitize(source: &str) -> String {
+    let cs: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let blank = |c: char| if c == '\n' { '\n' } else { ' ' };
+    let mut i = 0;
+    while i < cs.len() {
+        let c = cs[i];
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == '/' && cs.get(i + 1) == Some(&'/') {
+            while i < cs.len() && cs[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment — Rust block comments nest.
+        if c == '/' && cs.get(i + 1) == Some(&'*') {
+            let mut depth = 0;
+            while i < cs.len() {
+                if cs[i] == '/' && cs.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if cs[i] == '*' && cs.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(blank(cs[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw (and raw-byte) string literal: r"…", r#"…"#, br#"…"#….
+        if let Some(skip) = raw_string_len(&cs, i) {
+            for k in 0..skip {
+                out.push(blank(cs[i + k]));
+            }
+            i += skip;
+            continue;
+        }
+        // Plain string or byte-string literal.
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < cs.len() {
+                if cs[i] == '\\' && i + 1 < cs.len() {
+                    out.push(' ');
+                    out.push(blank(cs[i + 1]));
+                    i += 2;
+                } else if cs[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                } else {
+                    out.push(blank(cs[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Char literal vs. lifetime: `'x'` and `'\n'` are literals;
+        // `'a` followed by anything but a closing quote is a lifetime.
+        if c == '\'' {
+            let next = cs.get(i + 1);
+            let is_literal = match next {
+                Some('\\') => true,
+                Some(_) => cs.get(i + 2) == Some(&'\''),
+                None => false,
+            };
+            if is_literal {
+                out.push(' ');
+                i += 1;
+                while i < cs.len() {
+                    if cs[i] == '\\' && i + 1 < cs.len() {
+                        out.push(' ');
+                        out.push(blank(cs[i + 1]));
+                        i += 2;
+                    } else if cs[i] == '\'' {
+                        out.push(' ');
+                        i += 1;
+                        break;
+                    } else {
+                        out.push(blank(cs[i]));
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// If a raw-string literal starts at `cs[i]`, returns its total length.
+fn raw_string_len(cs: &[char], i: usize) -> Option<usize> {
+    // Must not be the tail of an identifier (`attr"x"` is not a prefix).
+    if i > 0 && (cs[i - 1].is_alphanumeric() || cs[i - 1] == '_') {
+        return None;
+    }
+    let mut j = i;
+    if cs.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if cs.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0;
+    while cs.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if cs.get(j) != Some(&'"') {
+        return None;
+    }
+    j += 1;
+    // Scan for the closing `"` followed by `hashes` hashes.
+    while j < cs.len() {
+        if cs[j] == '"' && cs[j + 1..].iter().take_while(|&&c| c == '#').count() >= hashes {
+            return Some(j + 1 + hashes - i);
+        }
+        j += 1;
+    }
+    Some(cs.len() - i)
+}
+
+/// Marks the line spans of `#[cfg(test)]` and `#[test]` items by brace
+/// matching on the sanitized text (safe: literals are already blanked).
+///
+/// An attributed item that ends in `;` before any `{` at nesting depth 0
+/// (e.g. `#[cfg(test)] use …;`) is masked up to that semicolon.
+fn mask_test_items(sanitized: &str) -> Vec<bool> {
+    let cs: Vec<char> = sanitized.chars().collect();
+    let lines = sanitized.lines().count();
+    let mut mask = vec![false; lines];
+    let mut line = 0;
+    let mut i = 0;
+    while i < cs.len() {
+        if cs[i] == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if cs[i] == '#' && cs.get(i + 1) == Some(&'[') {
+            let start_line = line;
+            let (attr, after, after_line) = read_attribute(&cs, i, line);
+            if attr.contains("cfg(test") || attr.trim() == "test" {
+                let end_line = mark_item(&cs, after, after_line);
+                let last = end_line.min(lines.saturating_sub(1));
+                mask[start_line..=last].fill(true);
+                line = end_line;
+                i = advance_to_line(&cs, after, after_line, end_line);
+                continue;
+            }
+            i = after;
+            line = after_line;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Reads the bracketed attribute starting at `#`, returning its inner
+/// text, the index just past `]`, and the line there.
+fn read_attribute(cs: &[char], start: usize, mut line: usize) -> (String, usize, usize) {
+    let mut i = start + 2;
+    let mut depth = 1;
+    let mut inner = String::new();
+    while i < cs.len() && depth > 0 {
+        match cs[i] {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            '\n' => line += 1,
+            _ => {}
+        }
+        if depth > 0 {
+            inner.push(cs[i]);
+        }
+        i += 1;
+    }
+    (inner, i, line)
+}
+
+/// From just past a test attribute, finds the end line of the item it
+/// decorates: the matching `}` of its first depth-0 `{`, or a depth-0 `;`.
+fn mark_item(cs: &[char], mut i: usize, mut line: usize) -> usize {
+    let mut depth = 0_i64;
+    // Paren/bracket nesting, so a `;` inside e.g. `[u8; 3]` in a signature
+    // does not terminate the item early.
+    let mut inner = 0_i64;
+    let mut opened = false;
+    while i < cs.len() {
+        match cs[i] {
+            '\n' => line += 1,
+            '(' | '[' => inner += 1,
+            ')' | ']' => inner -= 1,
+            '{' => {
+                depth += 1;
+                opened = true;
+            }
+            '}' => {
+                depth -= 1;
+                if opened && depth == 0 {
+                    return line;
+                }
+            }
+            ';' if !opened && depth == 0 && inner == 0 => return line,
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Returns the char index of the first character on `target_line`,
+/// starting the search at `i` / `line`.
+fn advance_to_line(cs: &[char], mut i: usize, mut line: usize, target_line: usize) -> usize {
+    while i < cs.len() && line < target_line {
+        if cs[i] == '\n' {
+            line += 1;
+        }
+        i += 1;
+    }
+    i
+}

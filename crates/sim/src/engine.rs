@@ -379,7 +379,14 @@ impl<'a, R: Rng> Exec<'a, R> {
             (goal.xa - 1, Dir::E),
             (dims.width as i32 - goal.xb, Dir::W),
         ];
-        let &(dist, dir) = to_edges.iter().min_by_key(|(d, _)| *d).expect("four edges");
+        // Fold instead of `min_by_key(..).expect(..)`: the array is
+        // structurally non-empty, so no panic path is needed. Strict `<`
+        // keeps the first minimum, matching `min_by_key`.
+        let (dist, dir) =
+            to_edges[1..].iter().fold(
+                to_edges[0],
+                |best, &cand| if cand.0 < best.0 { cand } else { best },
+            );
         let (dx, dy) = dir.delta();
         let mut droplet = goal.translate(-dx * dist, -dy * dist);
 

@@ -47,7 +47,10 @@ impl FaultMode {
         );
         let target =
             ((dims.cell_count() as f64 * fraction).round() as usize).min(dims.cell_count());
-        let mut chosen = std::collections::HashSet::new();
+        // BTreeSet, not HashSet: the bail-out sweep and the returned order
+        // must be independent of `RandomState`, or placements stop being
+        // reproducible run-to-run.
+        let mut chosen = std::collections::BTreeSet::new();
         let mut rejected = 0usize;
         let budget = rejection_budget(dims);
         match self {
@@ -97,9 +100,8 @@ impl FaultMode {
                 chosen.insert(cell);
             }
         }
-        let mut cells: Vec<Cell> = chosen.into_iter().collect();
-        cells.sort_unstable();
-        cells
+        // BTreeSet iterates in ascending order — already sorted.
+        chosen.into_iter().collect()
     }
 }
 

@@ -85,13 +85,20 @@ impl MoScheduler for HealthAwareScheduler {
     }
 
     fn pick(&mut self, ready: &[MoId], plan: &BioassayPlan, health: &HealthField) -> MoId {
-        *ready
-            .iter()
-            .max_by(|&&a, &&b| {
-                Self::corridor_health(plan, a, health)
-                    .total_cmp(&Self::corridor_health(plan, b, health))
-            })
-            .expect("ready list is non-empty")
+        // Seed the scan with the first ready MO instead of unwrapping a
+        // `max_by` — the engine's contract makes `ready` non-empty, and
+        // `>=` keeps the *last* maximum, matching `Iterator::max_by` (the
+        // FIFO-tiebreak tests depend on that).
+        let mut best = ready[0];
+        let mut best_health = Self::corridor_health(plan, best, health);
+        for &mo in &ready[1..] {
+            let h = Self::corridor_health(plan, mo, health);
+            if h.total_cmp(&best_health).is_ge() {
+                best = mo;
+                best_health = h;
+            }
+        }
+        best
     }
 }
 

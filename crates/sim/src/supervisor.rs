@@ -319,7 +319,10 @@ impl Supervisor {
                                 .bounds
                                 .expand(2)
                                 .intersection(chip_bounds)
-                                .expect("job bounds lie on the chip")
+                                // Never empty — attempt.bounds lies on the
+                                // chip — and the whole chip is a sound
+                                // fallback corridor regardless.
+                                .unwrap_or(chip_bounds)
                         }
                         _ => {
                             rungs.detour += 1;
@@ -327,7 +330,7 @@ impl Supervisor {
                                 .bounds
                                 .expand(2)
                                 .intersection(chip_bounds)
-                                .expect("job bounds lie on the chip")
+                                .unwrap_or(chip_bounds)
                         }
                     };
                     attempt =

@@ -142,8 +142,9 @@ mod tests {
             .collect();
         let body: Vec<&str> = lines.collect();
         assert_eq!(header[2], body.len(), "transition count matches");
-        // Choices: distinct (state, choice) pairs.
-        let mut pairs = std::collections::HashSet::new();
+        // Choices: distinct (state, choice) pairs. (BTreeSet keeps even
+        // test diagnostics deterministically ordered.)
+        let mut pairs = std::collections::BTreeSet::new();
         for line in &body {
             let mut tok = line.split_whitespace();
             let s: usize = tok.next().unwrap().parse().unwrap();
@@ -156,8 +157,8 @@ mod tests {
     #[test]
     fn per_choice_probabilities_sum_to_one() {
         let (_, prism) = model();
-        let mut sums: std::collections::HashMap<(usize, usize), f64> =
-            std::collections::HashMap::new();
+        let mut sums: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
         for line in prism.transitions.lines().skip(1) {
             let mut tok = line.split_whitespace();
             let s: usize = tok.next().unwrap().parse().unwrap();

@@ -1,4 +1,4 @@
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use meda_grid::Rect;
@@ -13,7 +13,7 @@ use crate::RoutingStrategy;
 /// notes `|Ŝ| > 10^77` states for a modest chip), so the library keys on
 /// the digest of the actually-observed **H** restricted to the job's hazard
 /// bounds — health changes elsewhere on the chip don't invalidate the entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LibraryKey {
     /// Start droplet `δ_s`.
     pub start: Rect,
@@ -53,7 +53,10 @@ pub struct LibraryKey {
 /// ```
 #[derive(Debug, Default)]
 pub struct StrategyLibrary {
-    entries: HashMap<LibraryKey, Arc<RoutingStrategy>>,
+    // BTreeMap rather than HashMap: any future iteration over the stored
+    // strategies (exports, reports) must be deterministic — `RandomState`
+    // hashing would order entries differently on every run.
+    entries: BTreeMap<LibraryKey, Arc<RoutingStrategy>>,
     hits: u64,
     misses: u64,
 }

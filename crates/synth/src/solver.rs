@@ -219,11 +219,56 @@ pub fn max_reach_probability(mdp: &RoutingMdp, options: SolverOptions) -> Solver
     };
 
     let (iterations, converged) = iterate(eval, &options, &mut values, &mut choice);
+    debug_certify(
+        mdp,
+        &values,
+        meda_audit::ValueKind::Reachability,
+        &options,
+        converged,
+    );
     SolverResult {
         values,
         choice,
         iterations,
         converged,
+    }
+}
+
+/// Dev-build certification hook: every converged solve leaving this module
+/// must pass `meda-audit`'s Bellman-residual certificate — one exact backup
+/// of the claimed operator, independent of the solver's trajectory (serial,
+/// warm-started, or parallel Jacobi alike).
+///
+/// Only the residual over finite states is asserted here: near the
+/// `Pmax ≥ 1 − 1e-6` seeding threshold a heavily degraded field can make
+/// the strict finite/infinite-consistency check disagree with the solver's
+/// thresholded seeding by design, and the hook must never fail a sound
+/// solve. The strict check runs in the audit CLI and the corpus tests,
+/// where the fields are controlled.
+#[allow(unused_variables)]
+fn debug_certify(
+    mdp: &RoutingMdp,
+    values: &[f64],
+    kind: meda_audit::ValueKind,
+    options: &SolverOptions,
+    converged: bool,
+) {
+    #[cfg(debug_assertions)]
+    if converged {
+        let artifact = meda_audit::ModelArtifact::from(mdp);
+        let cert = meda_audit::bellman_certificate(&artifact, values, kind);
+        // Gauss–Seidel's in-place sweep delta under-reports the true
+        // (Jacobi) residual; give the certificate three orders of
+        // magnitude of slack over the convergence threshold.
+        let tolerance = (options.epsilon * 1e3).max(1e-6);
+        debug_assert!(
+            cert.max_residual <= tolerance && cert.out_of_range.is_empty(),
+            "converged {kind:?} solve failed its Bellman certificate: \
+             residual {} > {tolerance} (worst state {:?}, {} out of range)",
+            cert.max_residual,
+            cert.worst_state,
+            cert.out_of_range.len(),
+        );
     }
 }
 
@@ -355,6 +400,13 @@ pub fn min_expected_cycles_with_reach(
             "warm-start seed was grossly above the Rmin fixed point"
         );
     }
+    debug_certify(
+        mdp,
+        &values,
+        meda_audit::ValueKind::ExpectedCycles,
+        &options,
+        converged,
+    );
 
     SolverResult {
         values,

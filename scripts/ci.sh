@@ -17,6 +17,12 @@ cargo build --workspace --release
 echo "==> cargo test"
 cargo test --workspace --quiet
 
+echo "==> meda-lint (determinism + robustness lint, fails on any finding)"
+cargo run --release -p meda-lint
+
+echo "==> audit smoke (meda audit over a freshly synthesized assay model)"
+cargo run --release -- audit covid-rat
+
 echo "==> bench smoke (bench_synthesis --smoke)"
 cargo run --release -p meda-bench --bin bench_synthesis -- --smoke
 

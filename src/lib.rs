@@ -11,6 +11,7 @@
 //! | [`degradation`] | `meda-degradation` | charge-trapping physics, `τ^(n/c)` health model |
 //! | [`core`] | `meda-core` | droplet/actuation model, frontier sets, SMG, routing MDP |
 //! | [`synth`] | `meda-synth` | value-iteration synthesis (Pmax / Rmin), strategy library |
+//! | [`audit`] | `meda-audit` | model well-formedness verifier, Bellman-residual certificates |
 //! | [`bioassay`] | `meda-bioassay` | sequencing graphs, MO→RJ helper, benchmark bioassays |
 //! | [`sim`] | `meda-sim` | biochip simulator, routers, schedulers, fault injection, sensing reconstruction, wear analysis, experiments |
 //!
@@ -48,6 +49,7 @@
 #[doc = include_str!("../TUTORIAL.md")]
 pub mod tutorial {}
 
+pub use meda_audit as audit;
 pub use meda_bioassay as bioassay;
 pub use meda_cell as cell;
 pub use meda_core as core;

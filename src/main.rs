@@ -6,13 +6,16 @@
 //! meda run <assay> [options]                 execute on a simulated chip
 //! meda synth [options]                       synthesize one routing job
 //! meda export-prism <assay> <job#> [--dir D] PRISM explicit-format export
+//! meda audit <assay> [--force F]             verify + certify every routed job
 //! meda wear <assay> [options]                run repeatedly, print wear map
 //! ```
 //!
 //! Run `meda <command> --help` (or no arguments) for the option lists.
+#![forbid(unsafe_code)]
 
 use std::process::ExitCode;
 
+use meda::audit::{audit_solution, ModelArtifact, ValueKind, CERTIFICATE_EPSILON};
 use meda::bioassay::{benchmarks, BioassayPlan, RjHelper, SequencingGraph};
 use meda::core::{ActionConfig, RoutingMdp, UniformField};
 use meda::grid::{ChipDims, Rect};
@@ -21,7 +24,10 @@ use meda::sim::{
     DegradationConfig, FaultMode, FaultPlan, FifoScheduler, RecoveryRouter, Router, RunConfig,
     Supervisor, SupervisorConfig,
 };
-use meda::synth::{synthesize, to_prism_explicit, Query};
+use meda::synth::{
+    max_reach_probability, min_expected_cycles_with_reach, synthesize, to_prism_explicit, Query,
+    SolverOptions,
+};
 use meda_rng::SeedableRng;
 
 const USAGE: &str = "\
@@ -35,6 +41,7 @@ USAGE:
                    [--k-max N] [--chaos] [--stuck-rate F] [--supervised]
   meda synth [--area WxH] [--droplet WxH] [--force F] [--query rmin|pmax]
   meda export-prism <assay> <job-index>
+  meda audit <assay> [--force F]
   meda wear <assay> [--runs N] [--seed N]
 
 Assays: master-mix, covid-rat, cep, covid-pcr, nuip, serial-dilution";
@@ -47,6 +54,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("synth") => cmd_synth(&args[1..]),
         Some("export-prism") => cmd_export(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
         Some("wear") => cmd_wear(&args[1..]),
         _ => {
             println!("{USAGE}");
@@ -308,6 +316,78 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
     println!("== {name}-{index}.sta ==\n{}", model.states);
     println!("== {name}-{index}.tra ==\n{}", model.transitions);
     println!("== {name}-{index}.lab ==\n{}", model.labels);
+    Ok(())
+}
+
+/// Audits every routed job of an assay: structural well-formedness of the
+/// induced MDP, then a Bellman-residual certificate over the Pmax and Rmin
+/// value vectors and a closure check on the synthesized strategy. Exits
+/// nonzero if any job fails, so CI can gate on it.
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .ok_or("usage: meda audit <assay> [--force F]")?;
+    let force: f64 = flag(args, "--force").map_or(Ok(0.9), |s| {
+        s.parse().map_err(|_| format!("bad force '{s}'"))
+    })?;
+    if !(force > 0.0 && force <= 1.0) {
+        return Err(format!("force must be in (0, 1], got {force}"));
+    }
+    let plan = plan_assay(name)?;
+    let field = UniformField::new(force);
+    let mut audited = 0usize;
+    let mut failed = 0usize;
+    for (index, job) in plan
+        .operations()
+        .iter()
+        .flat_map(|mo| mo.jobs.iter())
+        .filter(|j| !j.is_dispense())
+        .enumerate()
+    {
+        let mdp = RoutingMdp::build(
+            job.start,
+            job.goal,
+            job.bounds,
+            &field,
+            &ActionConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        let artifact = ModelArtifact::from(&mdp);
+        let options = SolverOptions::default();
+        let reach = max_reach_probability(&mdp, options.clone());
+        let cycles = min_expected_cycles_with_reach(&mdp, options, &reach);
+        let stats = mdp.stats();
+        for (kind, result) in [
+            (ValueKind::Reachability, &reach),
+            (ValueKind::ExpectedCycles, &cycles),
+        ] {
+            let report = audit_solution(
+                &artifact,
+                &result.values,
+                &result.choice,
+                kind,
+                CERTIFICATE_EPSILON,
+            );
+            audited += 1;
+            if report.is_clean() {
+                println!(
+                    "job {index} {} -> {} [{kind:?}]: ok ({} states, {} reachable)",
+                    job.start, job.goal, stats.states, report.census.reachable
+                );
+            } else {
+                failed += 1;
+                println!(
+                    "job {index} {} -> {} [{kind:?}]: FAILED",
+                    job.start, job.goal
+                );
+                print!("{report}");
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(format!("{failed} of {audited} audits failed"));
+    }
+    println!("{audited} audits clean");
     Ok(())
 }
 
