@@ -1,0 +1,213 @@
+//! Reusable domain arbitraries: grids, degradation/health matrices,
+//! rectangles, droplets, fault plans, and bioassay sequencing graphs.
+//!
+//! Everything shrinks toward the *small and pristine* corner of its
+//! domain: dimensions toward their minimum, droplets toward `1×1` at the
+//! low corner, degradation toward the healthy end of the generated range,
+//! fault plans toward empty, sequencing graphs toward the two-dispense
+//! minimum — so a shrunk counterexample is the simplest chip that still
+//! exhibits the bug.
+
+use meda_bioassay::SequencingGraph;
+use meda_cell::StuckBit;
+use meda_degradation::{quantize_health, HealthLevel};
+use meda_grid::{Cell, ChipDims, Grid, Rect};
+use meda_sim::{FaultPlan, IntermittentCell, SuddenDeath};
+
+use crate::gen::{boolean, choose, choose_i32, choose_u32, choose_usize, f64_range, vec_of, Gen};
+
+/// Chip dimensions with each side in `lo..=hi`, shrinking toward `lo×lo`.
+#[must_use]
+pub fn dims(lo: u32, hi: u32) -> Gen<ChipDims> {
+    choose_u32(lo, hi)
+        .zip(choose_u32(lo, hi))
+        .map(|&(w, h)| ChipDims::new(w, h))
+}
+
+/// A cell on the chip (1-based, like the paper).
+#[must_use]
+pub fn cell_in(dims: ChipDims) -> Gen<Cell> {
+    choose_i32(1, dims.width as i32)
+        .zip(choose_i32(1, dims.height as i32))
+        .map(|&(x, y)| Cell::new(x, y))
+}
+
+/// An unconstrained cell with both coordinates in `lo..=hi` (geometry
+/// tests exercise off-chip coordinates too).
+#[must_use]
+pub fn cell_within(lo: i32, hi: i32) -> Gen<Cell> {
+    choose_i32(lo, hi)
+        .zip(choose_i32(lo, hi))
+        .map(|&(x, y)| Cell::new(x, y))
+}
+
+/// A non-empty rectangle with its anchor in `lo..=hi` and each extent at
+/// most `max_extent` cells beyond the anchor.
+#[must_use]
+pub fn rect_within(lo: i32, hi: i32, max_extent: u32) -> Gen<Rect> {
+    let corner = choose_i32(lo, hi).zip(choose_i32(lo, hi));
+    let extent = choose_i32(0, max_extent as i32).zip(choose_i32(0, max_extent as i32));
+    corner
+        .zip(extent)
+        .map(|&((xa, ya), (w, h))| Rect::new(xa, ya, xa + w, ya + h))
+}
+
+/// A droplet of side `1..=max_side` placed anywhere inside `bounds`,
+/// shrinking toward a `1×1` droplet at the bounds' low corner.
+///
+/// # Panics
+///
+/// Panics if `bounds` is degenerate (empty on either axis).
+#[must_use]
+pub fn droplet_in(bounds: Rect, max_side: u32) -> Gen<Rect> {
+    let bw = bounds.width();
+    let bh = bounds.height();
+    assert!(bw >= 1 && bh >= 1, "droplet_in: degenerate bounds");
+    let side = choose_u32(1, max_side.min(bw)).zip(choose_u32(1, max_side.min(bh)));
+    side.flat_map(move |&(w, h)| {
+        let xs = choose_i32(bounds.xa, bounds.xb - w as i32 + 1);
+        let ys = choose_i32(bounds.ya, bounds.yb - h as i32 + 1);
+        xs.zip(ys).map(move |&(x, y)| Rect::with_size(x, y, w, h))
+    })
+}
+
+/// A ground-truth degradation matrix **D** with every cell in `[lo, hi)`,
+/// shrinking each cell toward `lo` (interpret `lo` as the healthy end:
+/// generate `1.0 - d` if shrinking should mean healing).
+#[must_use]
+pub fn degradation_matrix(dims: ChipDims, lo: f64, hi: f64) -> Gen<Grid<f64>> {
+    let n = dims.cell_count();
+    vec_of(f64_range(lo, hi), n, n).map(move |values| {
+        Grid::from_fn(dims, |c: Cell| dims.index_of(c).map_or(lo, |i| values[i]))
+    })
+}
+
+/// A quantized health matrix **H** = `⌊2^bits · D⌋` derived from a random
+/// degradation matrix — the sensed view of [`degradation_matrix`].
+#[must_use]
+pub fn health_matrix(dims: ChipDims, bits: u8) -> Gen<Grid<HealthLevel>> {
+    degradation_matrix(dims, 0.0, 1.0).map(move |d| d.map(|_, v| quantize_health(*v, bits)))
+}
+
+/// A sensor stuck bit anywhere on the chip; stuck-at-0 shrinks first
+/// (`reads: false` is the "hole" case the reconstruction handles best).
+#[must_use]
+pub fn stuck_bit(dims: ChipDims) -> Gen<StuckBit> {
+    cell_in(dims)
+        .zip(boolean())
+        .map(|&(cell, reads)| StuckBit { cell, reads })
+}
+
+/// A chaos fault plan: up to 6 stuck sensor bits, 3 scheduled electrode
+/// deaths, and 3 intermittent cells. Shrinks toward [`FaultPlan::none`].
+#[must_use]
+pub fn fault_plan(dims: ChipDims, k_max: u64) -> Gen<FaultPlan> {
+    let deaths = vec_of(
+        cell_in(dims)
+            .zip(choose(0, k_max.max(1) as i64))
+            .map(|&(cell, at)| SuddenDeath {
+                cell,
+                at_cycle: at.unsigned_abs(),
+            }),
+        0,
+        3,
+    );
+    let intermittent = vec_of(
+        cell_in(dims)
+            .zip(f64_range(0.0, 0.5))
+            .map(|&(cell, probability)| IntermittentCell { cell, probability }),
+        0,
+        3,
+    );
+    let stuck = vec_of(stuck_bit(dims), 0, 6);
+    stuck.zip(deaths).zip(intermittent).map(|t| {
+        let ((stuck_sensors, sudden_deaths), intermittent) = t;
+        FaultPlan {
+            sudden_deaths: sudden_deaths.clone(),
+            intermittent: intermittent.clone(),
+            stuck_sensors: stuck_sensors.clone(),
+        }
+    })
+}
+
+/// A small, always-valid bioassay sequencing graph: `2..=4` dispenses
+/// folded into a mix chain and terminated by an output. Shrinks toward
+/// the minimal two-dispense, one-mix assay.
+#[must_use]
+pub fn sequencing_graph(dims: ChipDims) -> Gen<SequencingGraph> {
+    let positions = vec_of(cell_in(dims), 3, 9);
+    let n_dispense = choose_usize(2, 4);
+    n_dispense.zip(positions).map(move |t| {
+        let (n, cells) = t;
+        let n = *n;
+        let at = |i: usize| -> (f64, f64) {
+            let c = cells[i % cells.len()];
+            (f64::from(c.x), f64::from(c.y))
+        };
+        let mut sg = SequencingGraph::new("generated");
+        let mut frontier = Vec::new();
+        for i in 0..n {
+            frontier.push(sg.dispense(at(i), (2, 2)));
+        }
+        let mut k = n;
+        while frontier.len() > 1 {
+            let a = frontier.remove(0);
+            let b = frontier.remove(0);
+            let m = sg.mix(&[a, b], at(k));
+            k += 1;
+            frontier.push(m);
+        }
+        let last = frontier[0];
+        sg.output(last, at(k));
+        sg
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meda_rng::{SeedableRng, StdRng};
+
+    #[test]
+    fn droplets_stay_inside_bounds_under_shrinking() {
+        let bounds = Rect::new(1, 1, 9, 7);
+        let g = droplet_in(bounds, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let t = g.generate(&mut rng);
+            let mut stack = vec![t];
+            let mut budget = 100;
+            while let Some(node) = stack.pop() {
+                assert!(bounds.contains_rect(*node.value()), "{}", node.value());
+                budget -= 1;
+                if budget == 0 {
+                    break;
+                }
+                stack.extend(node.children());
+            }
+        }
+    }
+
+    #[test]
+    fn generated_sequencing_graphs_validate() {
+        let g = sequencing_graph(ChipDims::PAPER);
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..50 {
+            let t = g.generate(&mut rng);
+            assert!(t.value().validate().is_ok());
+            for c in t.children() {
+                assert!(c.value().validate().is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn health_matrix_is_consistent_with_quantization() {
+        let g = health_matrix(ChipDims::new(4, 4), 2);
+        let mut rng = StdRng::seed_from_u64(13);
+        let t = g.generate(&mut rng);
+        for (_, h) in t.value().iter() {
+            assert!(h.level() <= 3);
+        }
+    }
+}

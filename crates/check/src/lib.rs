@@ -1,0 +1,51 @@
+//! `meda-check` — in-tree property-based testing for the MEDA workspace.
+//!
+//! Three layers, bottom to top:
+//!
+//! 1. **Shrink trees** ([`tree`]) — lazy rose trees pairing each generated
+//!    value with its shrink candidates, so shrinking is *integrated*:
+//!    every candidate is produced by the same generator pipeline as the
+//!    original and therefore satisfies the same invariants.
+//! 2. **Generators** ([`gen`], [`arb`]) — combinators over
+//!    [`meda_rng::StdRng`] (`map` / `flat_map` / `choose` / `vec_of` /
+//!    `weighted`, …) plus reusable arbitraries for the paper's domain:
+//!    chips, droplets, degradation and health matrices, fault plans, and
+//!    bioassay sequencing graphs.
+//! 3. **Runner & oracles** ([`runner`], [`oracle`]) — the `check` driver
+//!    with per-case seed streams, greedy tree shrinking, and a failure
+//!    corpus replayed first on every run; and the three differential
+//!    oracles of the paper stack (sim-vs-MDP step semantics, sensing
+//!    round-trip, supervisor dominance).
+//!
+//! Everything is deterministic given a seed: a failure report names the
+//! `(seed, case)` pair that regenerates the counterexample exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arb;
+pub mod gen;
+pub mod oracle;
+pub mod runner;
+pub mod tree;
+
+pub use gen::{
+    boolean, choose, choose_i32, choose_u32, choose_usize, element, f64_range, one_of, vec_of,
+    weighted, Gen,
+};
+pub use runner::{cases_from_env, check, run_property, Config, Failure, Outcome};
+pub use tree::Tree;
+
+use std::path::PathBuf;
+
+/// The shared failure corpus directory, `crates/check/tests/corpus/`.
+///
+/// Consuming crates may point [`Config::with_corpus`] anywhere, but the
+/// workspace convention is one shared corpus so that `meda check` and
+/// `cargo test` replay the same saved counterexamples.
+#[must_use]
+pub fn default_corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("corpus")
+}

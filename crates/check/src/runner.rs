@@ -1,0 +1,484 @@
+//! The property runner: case loop, greedy shrinking, corpus persistence.
+//!
+//! # Corpus lifecycle
+//!
+//! When a property fails, the runner writes a `.case` file into the
+//! configured corpus directory recording the property name, the failing
+//! `(seed, case)` pair, and the fully shrunk value's `Debug` rendering.
+//! Because generation is deterministic (see [`crate::gen`]), the pair is a
+//! complete serialization: replaying it regenerates the exact failing
+//! value. On every subsequent run the corpus is replayed *first* — a still
+//! failing entry short-circuits the run (regressions stay loud), and an
+//! entry that now passes is deleted (the bug is fixed, the corpus stays
+//! tidy). Corpus files are plain text and meant to be committed alongside
+//! the fix that retires them.
+
+use std::fmt::Debug;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use meda_rng::{SeedableRng, StdRng};
+
+use crate::gen::Gen;
+use crate::tree::Tree;
+
+/// Default number of cases when neither the caller nor the
+/// `MEDA_CHECK_CASES` environment variable says otherwise.
+const DEFAULT_CASES: usize = 64;
+
+/// Hard cap on property evaluations spent shrinking one failure.
+const DEFAULT_MAX_SHRINK_EVALS: usize = 4096;
+
+/// Stream-splitting constant (splitmix64 increment) for per-case seeds.
+const CASE_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Reads the extended-budget override: `MEDA_CHECK_CASES=N` scales every
+/// default-budget property run up (or down) without code changes.
+#[must_use]
+pub fn cases_from_env(default: usize) -> usize {
+    std::env::var("MEDA_CHECK_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of random cases to run (after corpus replay).
+    pub cases: usize,
+    /// Base seed; case `i` derives its own independent stream.
+    pub seed: u64,
+    /// Budget of property evaluations for the shrink search.
+    pub max_shrink_evals: usize,
+    /// Where failing cases persist; `None` disables persistence.
+    pub corpus: Option<PathBuf>,
+    /// Replay the corpus only — skip the random case loop.
+    pub replay_only: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self {
+            cases: cases_from_env(DEFAULT_CASES),
+            seed: 0x4D45_4441,
+            max_shrink_evals: DEFAULT_MAX_SHRINK_EVALS,
+            corpus: None,
+            replay_only: false,
+        }
+    }
+}
+
+impl Config {
+    /// Overrides the case budget (still subject to `MEDA_CHECK_CASES`
+    /// only if the caller routed it through [`cases_from_env`]).
+    #[must_use]
+    pub fn with_cases(mut self, cases: usize) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Overrides the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Enables failure persistence + replay under `dir`.
+    #[must_use]
+    pub fn with_corpus(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.corpus = Some(dir.into());
+        self
+    }
+
+    /// Replay persisted failures only; no new random cases.
+    #[must_use]
+    pub fn replay_only(mut self) -> Self {
+        self.replay_only = true;
+        self
+    }
+}
+
+/// A fully shrunk property failure.
+#[derive(Debug, Clone)]
+pub struct Failure<T> {
+    /// Property name (also the corpus key).
+    pub property: String,
+    /// Base seed of the run that found it.
+    pub seed: u64,
+    /// Case index within that run.
+    pub case: usize,
+    /// The originally generated counterexample.
+    pub original: T,
+    /// The counterexample after greedy shrinking.
+    pub shrunk: T,
+    /// Number of successful shrink steps taken.
+    pub shrink_steps: usize,
+    /// The property's failure message at the shrunk value.
+    pub message: String,
+}
+
+impl<T: Debug> Failure<T> {
+    /// Human-readable multi-line report, including replay instructions.
+    #[must_use]
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "property '{}' failed", self.property);
+        let _ = writeln!(
+            out,
+            "  seed {:#x}, case {} (replay: corpus entry or Config::with_seed)",
+            self.seed, self.case
+        );
+        let _ = writeln!(out, "  original: {:?}", self.original);
+        let _ = writeln!(
+            out,
+            "  shrunk ({} steps): {:?}",
+            self.shrink_steps, self.shrunk
+        );
+        let _ = writeln!(out, "  failure: {}", self.message);
+        out
+    }
+}
+
+/// Result of running one property.
+#[derive(Debug, Clone)]
+pub enum Outcome<T> {
+    /// Every case (and corpus replay) passed.
+    Passed {
+        /// Random cases executed.
+        cases: usize,
+        /// Corpus entries replayed (all passing; stale entries removed).
+        replayed: usize,
+    },
+    /// A case failed; the failure is fully shrunk (and persisted when a
+    /// corpus directory is configured).
+    Failed(Box<Failure<T>>),
+}
+
+impl<T> Outcome<T> {
+    /// Whether the property passed.
+    #[must_use]
+    pub fn is_pass(&self) -> bool {
+        matches!(self, Outcome::Passed { .. })
+    }
+}
+
+/// The independent RNG stream for `(seed, case)`.
+fn case_rng(seed: u64, case: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (case as u64).wrapping_mul(CASE_STREAM))
+}
+
+/// Runs `prop` over `config.cases` generated values, replaying the corpus
+/// first and shrinking + persisting any failure. Returns instead of
+/// panicking, so meta-tests (and the CLI) can inspect the outcome;
+/// test-suite callers usually want [`check`].
+pub fn run_property<T, P>(name: &str, config: &Config, gen: &Gen<T>, prop: P) -> Outcome<T>
+where
+    T: Clone + Debug + 'static,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let mut replayed = 0;
+    for entry in corpus_entries(config, name) {
+        let mut rng = case_rng(entry.seed, entry.case);
+        let tree = gen.generate(&mut rng);
+        match prop(tree.value()) {
+            Ok(()) => {
+                // Fixed: retire the corpus entry.
+                let _ = std::fs::remove_file(&entry.path);
+                replayed += 1;
+            }
+            Err(message) => {
+                let failure =
+                    shrink_failure(name, entry.seed, entry.case, &tree, &prop, message, config);
+                persist(config, &failure);
+                return Outcome::Failed(Box::new(failure));
+            }
+        }
+    }
+    if config.replay_only {
+        return Outcome::Passed { cases: 0, replayed };
+    }
+    for case in 0..config.cases {
+        let mut rng = case_rng(config.seed, case);
+        let tree = gen.generate(&mut rng);
+        if let Err(message) = prop(tree.value()) {
+            let failure = shrink_failure(name, config.seed, case, &tree, &prop, message, config);
+            persist(config, &failure);
+            return Outcome::Failed(Box::new(failure));
+        }
+    }
+    Outcome::Passed {
+        cases: config.cases,
+        replayed,
+    }
+}
+
+/// Runs [`run_property`] and panics with a readable report on failure —
+/// the `#[test]` entry point.
+///
+/// # Panics
+///
+/// Panics when the property fails; the message contains the seed, case
+/// index, original and shrunk counterexamples, and the failure text.
+pub fn check<T, P>(name: &str, config: &Config, gen: &Gen<T>, prop: P)
+where
+    T: Clone + Debug + 'static,
+    P: Fn(&T) -> Result<(), String>,
+{
+    if let Outcome::Failed(failure) = run_property(name, config, gen, prop) {
+        panic!("{}", failure.report());
+    }
+}
+
+/// Greedy descent through the shrink tree: repeatedly move to the first
+/// child that still fails, until no child fails or the eval budget runs
+/// out. Returns the fully shrunk failure.
+fn shrink_failure<T, P>(
+    name: &str,
+    seed: u64,
+    case: usize,
+    tree: &Tree<T>,
+    prop: &P,
+    first_message: String,
+    config: &Config,
+) -> Failure<T>
+where
+    T: Clone + Debug + 'static,
+    P: Fn(&T) -> Result<(), String>,
+{
+    let original = tree.value().clone();
+    let mut current = tree.clone();
+    let mut message = first_message;
+    let mut steps = 0;
+    let mut evals = 0;
+    'descend: loop {
+        for child in current.children() {
+            if evals >= config.max_shrink_evals {
+                break 'descend;
+            }
+            evals += 1;
+            if let Err(m) = prop(child.value()) {
+                current = child;
+                message = m;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    Failure {
+        property: name.to_string(),
+        seed,
+        case,
+        original,
+        shrunk: current.value().clone(),
+        shrink_steps: steps,
+        message,
+    }
+}
+
+/// One parsed corpus file.
+struct CorpusEntry {
+    path: PathBuf,
+    seed: u64,
+    case: usize,
+}
+
+/// Corpus filename for a property + case (name sanitized to kebab).
+fn corpus_file(dir: &Path, name: &str, case: usize) -> PathBuf {
+    let slug: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
+    dir.join(format!("{slug}-{case}.case"))
+}
+
+/// Reads, parses, and sorts this property's corpus entries. IO errors are
+/// treated as an absent corpus — replay is best-effort by design.
+fn corpus_entries(config: &Config, name: &str) -> Vec<CorpusEntry> {
+    let Some(dir) = config.corpus.as_deref() else {
+        return Vec::new();
+    };
+    let Ok(read) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut paths: Vec<PathBuf> = read
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "case"))
+        .collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let field = |key: &str| -> Option<String> {
+            text.lines()
+                .find_map(|l| l.strip_prefix(&format!("{key}=")).map(str::to_string))
+        };
+        if field("property").as_deref() != Some(name) {
+            continue;
+        }
+        let (Some(seed), Some(case)) = (
+            field("seed").and_then(|s| s.parse().ok()),
+            field("case").and_then(|s| s.parse().ok()),
+        ) else {
+            continue;
+        };
+        out.push(CorpusEntry { path, seed, case });
+    }
+    out
+}
+
+/// Writes the failure to the corpus (best effort; tests still fail loudly
+/// through the returned [`Outcome`] even if persistence is impossible).
+fn persist<T: Debug>(config: &Config, failure: &Failure<T>) {
+    let Some(dir) = config.corpus.as_deref() else {
+        return;
+    };
+    let _ = std::fs::create_dir_all(dir);
+    let path = corpus_file(dir, &failure.property, failure.case);
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('\n', "\\n");
+    let body = format!(
+        "property={}\nseed={}\ncase={}\nshrunk={}\nmessage={}\n",
+        failure.property,
+        failure.seed,
+        failure.case,
+        esc(&format!("{:?}", failure.shrunk)),
+        esc(&failure.message),
+    );
+    let _ = std::fs::write(path, body);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{choose, vec_of};
+
+    fn no_corpus() -> Config {
+        Config {
+            cases: 100,
+            seed: 1,
+            ..Config::default()
+        }
+    }
+
+    #[test]
+    fn passing_property_passes() {
+        let g = choose(0, 100);
+        let out = run_property("unit-pass", &no_corpus(), &g, |&v| {
+            if (0..=100).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("out of range: {v}"))
+            }
+        });
+        assert!(out.is_pass());
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_the_boundary() {
+        // "All values are < 37" fails and must shrink to exactly 37.
+        let g = choose(0, 1000);
+        let out = run_property("unit-boundary", &no_corpus(), &g, |&v| {
+            if v < 37 {
+                Ok(())
+            } else {
+                Err(format!("{v} >= 37"))
+            }
+        });
+        match out {
+            Outcome::Failed(f) => assert_eq!(f.shrunk, 37, "{}", f.report()),
+            Outcome::Passed { .. } => panic!("property should fail"),
+        }
+    }
+
+    #[test]
+    fn failing_vec_property_shrinks_to_minimal_witness() {
+        // "No vector sums to >= 50": minimal witness is a single element
+        // vector [50] (element shrunk to the boundary, length to 1).
+        let g = vec_of(choose(0, 30), 0, 8);
+        let out = run_property("unit-vecsum", &no_corpus(), &g, |v: &Vec<i64>| {
+            let s: i64 = v.iter().sum();
+            if s < 50 {
+                Ok(())
+            } else {
+                Err(format!("sum {s} >= 50"))
+            }
+        });
+        match out {
+            Outcome::Failed(f) => {
+                let s: i64 = f.shrunk.iter().sum();
+                assert!(s >= 50);
+                assert!(s <= 60, "poorly shrunk: {:?}", f.shrunk);
+                assert!(f.shrunk.len() <= 3, "poorly shrunk: {:?}", f.shrunk);
+            }
+            Outcome::Passed { .. } => panic!("property should fail"),
+        }
+    }
+
+    #[test]
+    fn corpus_roundtrip_replays_then_retires() {
+        let dir = std::env::temp_dir().join(format!("meda-check-corpus-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = Config {
+            cases: 50,
+            seed: 99,
+            corpus: Some(dir.clone()),
+            ..Config::default()
+        };
+        let g = choose(0, 1000);
+        // 1. Failing run persists a corpus entry.
+        let out = run_property("unit-corpus", &config, &g, |&v| {
+            if v < 500 {
+                Ok(())
+            } else {
+                Err("too big".into())
+            }
+        });
+        assert!(!out.is_pass());
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(files.len(), 1);
+        // 2. Replay-only run sees the failure again without new cases.
+        let replay = Config {
+            replay_only: true,
+            ..config.clone()
+        };
+        let out = run_property("unit-corpus", &replay, &g, |&v| {
+            if v < 500 {
+                Ok(())
+            } else {
+                Err("too big".into())
+            }
+        });
+        assert!(!out.is_pass());
+        // 3. Once the property is "fixed", replay passes and retires it.
+        let out = run_property("unit-corpus", &replay, &g, |_| Ok(()));
+        match out {
+            Outcome::Passed { replayed, cases } => {
+                assert_eq!(replayed, 1);
+                assert_eq!(cases, 0);
+            }
+            Outcome::Failed(f) => panic!("{}", f.report()),
+        }
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn runs_are_deterministic_given_a_seed() {
+        let g = vec_of(choose(0, 1000), 0, 10);
+        let run = || match run_property("unit-det", &no_corpus(), &g, |v: &Vec<i64>| {
+            if v.iter().sum::<i64>() < 1800 {
+                Ok(())
+            } else {
+                Err("sum".into())
+            }
+        }) {
+            Outcome::Failed(f) => format!("{:?}", f.shrunk),
+            Outcome::Passed { .. } => "pass".into(),
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,185 @@
+//! Lazy shrink trees — the data structure behind integrated shrinking.
+//!
+//! A [`Tree`] pairs a generated value with a *lazily computed* list of
+//! shrink candidates, each of which is itself a tree. Generators return
+//! whole trees, so every combinator ([`Tree::map`], [`bind`]) transports
+//! the shrink structure along with the value: a shrunk candidate is always
+//! produced by the same generator pipeline as the original, and therefore
+//! satisfies the same invariants. This is Hedgehog-style *integrated*
+//! shrinking, as opposed to QuickCheck-style post-hoc `shrink(value)`
+//! functions that know nothing about how the value was constructed.
+//!
+//! Children are behind `Rc<dyn Fn() -> …>` thunks so that building a tree
+//! is O(1): the (potentially exponential) candidate space is only explored
+//! along the single greedy path the shrinker actually walks.
+
+use std::rc::Rc;
+
+/// Thunk producing a node's shrink candidates on demand.
+type Children<T> = Rc<dyn Fn() -> Vec<Tree<T>>>;
+
+/// A generated value plus its lazily-expanded shrink candidates.
+///
+/// Candidates are ordered most-aggressive-first (e.g. an integer offers
+/// its origin before nearby values); the greedy shrinker in the runner
+/// takes the first candidate that still fails the property and recurses.
+pub struct Tree<T> {
+    value: T,
+    children: Children<T>,
+}
+
+impl<T: Clone> Clone for Tree<T> {
+    fn clone(&self) -> Self {
+        Self {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Tree<T> {
+    /// A tree with no shrink candidates.
+    pub fn leaf(value: T) -> Self {
+        Self {
+            value,
+            children: Rc::new(Vec::new),
+        }
+    }
+
+    /// A tree whose candidates are produced by `children` when (and only
+    /// when) the shrinker asks for them.
+    pub fn with_children(value: T, children: impl Fn() -> Vec<Tree<T>> + 'static) -> Self {
+        Self {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    /// The value at this node.
+    pub fn value(&self) -> &T {
+        &self.value
+    }
+
+    /// Forces this node's immediate shrink candidates.
+    #[must_use]
+    pub fn children(&self) -> Vec<Tree<T>> {
+        (self.children)()
+    }
+
+    /// Maps `f` over the value and, lazily, over every shrink candidate —
+    /// the functor law that lets generator invariants survive shrinking.
+    #[must_use]
+    pub fn map<U: Clone + 'static>(&self, f: Rc<dyn Fn(&T) -> U>) -> Tree<U> {
+        let value = f(&self.value);
+        let children = Rc::clone(&self.children);
+        Tree {
+            value,
+            children: Rc::new(move || children().iter().map(|c| c.map(Rc::clone(&f))).collect()),
+        }
+    }
+
+    /// Drops shrink candidates (recursively) whose value fails `keep`.
+    /// The root is kept unconditionally — the caller vouches for it.
+    #[must_use]
+    pub fn prune(&self, keep: Rc<dyn Fn(&T) -> bool>) -> Tree<T> {
+        let children = Rc::clone(&self.children);
+        Tree {
+            value: self.value.clone(),
+            children: Rc::new(move || {
+                children()
+                    .iter()
+                    .filter(|c| keep(c.value()))
+                    .map(|c| c.prune(Rc::clone(&keep)))
+                    .collect()
+            }),
+        }
+    }
+}
+
+/// A shared deterministic continuation from values to trees, as consumed
+/// by [`bind`].
+pub type Continuation<T, U> = Rc<dyn Fn(&T) -> Tree<U>>;
+
+/// Monadic bind: substitutes a whole tree for each value, shrinking the
+/// *outer* value first (rebuilding the inner tree from the shrunk outer
+/// value via `k`) and only then the inner one. `k` must be deterministic —
+/// the generator layer guarantees this by freezing the inner RNG seed.
+#[must_use]
+pub fn bind<T, U>(outer: &Tree<T>, k: Continuation<T, U>) -> Tree<U>
+where
+    T: Clone + 'static,
+    U: Clone + 'static,
+{
+    let inner = k(outer.value());
+    let outer_children = Rc::clone(&outer.children);
+    let inner_children = Rc::clone(&inner.children);
+    Tree {
+        value: inner.value,
+        children: Rc::new(move || {
+            let mut out: Vec<Tree<U>> = outer_children()
+                .iter()
+                .map(|c| bind(c, Rc::clone(&k)))
+                .collect();
+            out.extend(inner_children());
+            out
+        }),
+    }
+}
+
+/// Shrink candidates for an integer, moving toward `origin` by binary
+/// halving: for distance `d` the candidates are `origin`, `v - d/2`,
+/// `v - d/4`, …, `v - 1` — most aggressive first.
+#[must_use]
+pub fn halvings_toward(value: i64, origin: i64) -> Vec<i64> {
+    let mut out = Vec::new();
+    let mut step = value - origin;
+    while step != 0 {
+        let candidate = value - step;
+        if out.last() != Some(&candidate) {
+            out.push(candidate);
+        }
+        step /= 2;
+    }
+    out
+}
+
+/// The full integer shrink tree toward `origin`.
+#[must_use]
+pub fn int_tree(value: i64, origin: i64) -> Tree<i64> {
+    Tree::with_children(value, move || {
+        halvings_toward(value, origin)
+            .into_iter()
+            .map(|c| int_tree(c, origin))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halvings_reach_origin_first_and_neighbor_last() {
+        assert_eq!(halvings_toward(10, 0), vec![0, 5, 8, 9]);
+        assert_eq!(halvings_toward(-10, 0), vec![0, -5, -8, -9]);
+        assert_eq!(halvings_toward(3, 3), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn map_transports_shrinks() {
+        let t = int_tree(4, 0).map(Rc::new(|v| v * 10));
+        assert_eq!(*t.value(), 40);
+        let kids: Vec<i64> = t.children().iter().map(|c| *c.value()).collect();
+        assert_eq!(kids, vec![0, 20, 30]);
+    }
+
+    #[test]
+    fn bind_shrinks_outer_before_inner() {
+        // Outer 2 (toward 0), inner = outer * 10 with its own shrinks.
+        let t = bind(&int_tree(2, 0), Rc::new(|&v| int_tree(v * 10, v)));
+        assert_eq!(*t.value(), 20);
+        let kids: Vec<i64> = t.children().iter().map(|c| *c.value()).collect();
+        // Outer candidates first (0 -> 0, 1 -> 10), then inner's own.
+        assert_eq!(kids, vec![0, 10, 2, 11, 16, 18, 19]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Calibration of the sim-vs-MDP oracle against the audit corruption
+//! corpus: every mutation class `meda-audit`'s corpus tests inject must
+//! also be caught by [`meda_check::oracle::sim_vs_mdp`] on generated
+//! scenarios — within the default case budget, with a shrunk catching
+//! witness no larger than a 6×6 chip.
+//!
+//! The property is *inverted* so the shrinker works for us: "the oracle
+//! catches the mutant" is treated as the failure we minimize. A class
+//! whose property never "fails" is a class the oracle cannot detect —
+//! that is the calibration bug this test exists to expose.
+
+use meda_audit::ModelArtifact;
+use meda_check::oracle::{routing_scenario, sim_vs_mdp, McParams, RoutingScenario};
+use meda_check::{cases_from_env, run_property, Config, Outcome};
+use meda_core::Action;
+use meda_rng::{Rng, SeedableRng, StdRng};
+use meda_synth::{max_reach_probability, SolverOptions};
+
+/// States reachable from the initial state following only the strategy's
+/// chosen actions — the closure the strategy mutations pick their victim
+/// from (mirrors `audit_corpus.rs`).
+fn strategy_closure(art: &ModelArtifact, choice: &[Option<Action>]) -> Vec<usize> {
+    let mut seen = vec![false; art.states];
+    let mut stack = vec![art.init];
+    seen[art.init] = true;
+    while let Some(i) = stack.pop() {
+        let Some(action) = choice[i] else { continue };
+        let Some(c) = art
+            .choice_range(i)
+            .find(|&c| art.choice_action[c] == action)
+        else {
+            continue;
+        };
+        for b in art.branch_range(c) {
+            let t = art.branch_target[b] as usize;
+            if t < art.states && !seen[t] {
+                seen[t] = true;
+                stack.push(t);
+            }
+        }
+    }
+    (0..art.states).filter(|&i| seen[i]).collect()
+}
+
+type Apply = fn(&mut ModelArtifact, &mut Vec<Option<Action>>, &mut StdRng) -> bool;
+
+/// The eight corruption classes of the audit corpus, re-specified here so
+/// the calibration cannot silently drift from the corpus it calibrates
+/// against.
+const MUTATIONS: &[(&str, Apply)] = &[
+    ("offset-nonmonotone", |art, _, rng| {
+        if art.states < 2 {
+            return false;
+        }
+        let i = rng.gen_range(1..art.states);
+        if art.state_choice_start[i] == 0 {
+            return false;
+        }
+        art.state_choice_start[i] = 0;
+        true
+    }),
+    ("offset-semantic-shift", |art, _, rng| {
+        if art.choice_branch_start.len() < 3 {
+            return false;
+        }
+        let c = rng.gen_range(1..art.choice_branch_start.len() - 1);
+        art.choice_branch_start[c] += 1;
+        true
+    }),
+    ("probability-mass", |art, _, rng| {
+        if art.branch_prob.is_empty() {
+            return false;
+        }
+        let b = rng.gen_range(0..art.branch_prob.len());
+        art.branch_prob[b] *= 1.5;
+        true
+    }),
+    ("probability-nan", |art, _, rng| {
+        if art.branch_prob.is_empty() {
+            return false;
+        }
+        let b = rng.gen_range(0..art.branch_prob.len());
+        art.branch_prob[b] = f64::NAN;
+        true
+    }),
+    ("target-dangling", |art, _, rng| {
+        if art.branch_target.is_empty() {
+            return false;
+        }
+        let b = rng.gen_range(0..art.branch_target.len());
+        art.branch_target[b] = art.states as u32;
+        true
+    }),
+    ("goal-flip", |art, _, rng| {
+        if art.states == 0 {
+            return false;
+        }
+        let i = rng.gen_range(0..art.states);
+        art.goal_flags[i] = !art.goal_flags[i];
+        true
+    }),
+    ("strategy-erased", |art, choice, rng| {
+        let candidates: Vec<usize> = strategy_closure(art, choice)
+            .into_iter()
+            .filter(|&i| choice[i].is_some() && !art.goal_flags[i])
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let i = candidates[rng.gen_range(0..candidates.len())];
+        choice[i] = None;
+        true
+    }),
+    ("strategy-foreign-action", |art, choice, rng| {
+        let candidates: Vec<usize> = strategy_closure(art, choice)
+            .into_iter()
+            .filter(|&i| choice[i].is_some())
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let i = candidates[rng.gen_range(0..candidates.len())];
+        let offered: Vec<Action> = art.choice_range(i).map(|c| art.choice_action[c]).collect();
+        let foreign = Action::ALL.into_iter().find(|a| !offered.contains(a));
+        match foreign {
+            Some(a) => {
+                choice[i] = Some(a);
+                true
+            }
+            None => false,
+        }
+    }),
+];
+
+#[test]
+fn every_corruption_class_is_caught_with_a_small_witness() {
+    for &(name, apply) in MUTATIONS {
+        let gen = routing_scenario(4, 8);
+        let config = Config::default().with_cases(cases_from_env(48));
+        let out = run_property(
+            &format!("calibration-{name}"),
+            &config,
+            &gen,
+            move |s: &RoutingScenario| {
+                let mdp = s.build().map_err(|e| format!("{e:?}"))?;
+                let pristine = ModelArtifact::from(&mdp);
+                let reach = max_reach_probability(&mdp, SolverOptions::default());
+                let mut art = pristine.clone();
+                let mut choice = reach.choice.clone();
+                let mut mutation_rng = StdRng::seed_from_u64(7);
+                if !apply(&mut art, &mut choice, &mut mutation_rng) {
+                    return Ok(()); // Inapplicable on this scenario.
+                }
+                match sim_vs_mdp(s, &art, Some(&choice), &McParams::default()) {
+                    // Inverted: detection is the "failure" the shrinker minimizes.
+                    Err(detection) => Err(detection),
+                    Ok(()) => Ok(()),
+                }
+            },
+        );
+        match out {
+            Outcome::Failed(f) => {
+                let s = &f.shrunk;
+                assert!(
+                    s.dims.width <= 6 && s.dims.height <= 6,
+                    "{name}: catching witness failed to shrink below 6x6:\n{}",
+                    f.report()
+                );
+                assert!(
+                    s.start.width() <= 3 && s.start.height() <= 3,
+                    "{name}: droplet failed to shrink:\n{}",
+                    f.report()
+                );
+            }
+            Outcome::Passed { cases, .. } => {
+                panic!("{name}: mutant survived the oracle on all {cases} scenarios");
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! The three differential oracles at their default budgets.
+//!
+//! These are the same suite entries `meda check` runs: corpus replay is on
+//! (shared `tests/corpus/` directory), and `MEDA_CHECK_CASES` scales the
+//! budget without code changes.
+
+use meda_check::oracle::{check_sensing_round_trip, check_sim_vs_mdp, check_supervisor_dominance};
+use meda_check::{cases_from_env, default_corpus_dir, Config};
+
+fn config(default_cases: usize) -> Config {
+    Config::default()
+        .with_cases(cases_from_env(default_cases))
+        .with_corpus(default_corpus_dir())
+}
+
+#[test]
+fn sim_and_mdp_agree_on_step_semantics() {
+    let out = check_sim_vs_mdp(&config(48));
+    assert!(out.passed, "{}", out.report.unwrap_or_default());
+}
+
+#[test]
+fn sensing_round_trip_reconstructs_droplets() {
+    let out = check_sensing_round_trip(&config(64));
+    assert!(out.passed, "{}", out.report.unwrap_or_default());
+}
+
+#[test]
+fn supervised_execution_dominates_plain_runs() {
+    let out = check_supervisor_dominance(&config(4));
+    assert!(out.passed, "{}", out.report.unwrap_or_default());
+}

@@ -1,28 +1,47 @@
-//! Property-style tests for the droplet/actuation model: Table II frontier
-//! invariants, Section V-B probability laws, guard soundness, and MDP
-//! structure — replayed over a deterministic seeded input space.
+//! Property tests for the droplet/actuation model, driven by `meda-check`:
+//! Table II frontier invariants, Section V-B probability laws, guard
+//! soundness, and MDP structure. Failures shrink to minimal droplets and
+//! persist to the shared corpus for replay-first on subsequent runs.
 
+use meda_check::{
+    cases_from_env, check, choose_u32, default_corpus_dir, element, f64_range, Config, Gen,
+};
 use meda_core::{
     frontier_set, transitions, Action, ActionConfig, Dir, ForceProvider, RawField, RoutingMdp,
     UniformField,
 };
 use meda_grid::{ChipDims, Grid, Rect};
-use meda_rng::{Rng, SeedableRng, StdRng};
 
-const CASES: usize = 256;
-
-fn arb_droplet(rng: &mut StdRng) -> Rect {
-    let (xa, ya) = (rng.gen_range(5..30), rng.gen_range(5..30));
-    let (w, h) = (rng.gen_range(0..8), rng.gen_range(0..8));
-    Rect::new(xa, ya, xa + w, ya + h)
+fn config() -> Config {
+    Config::default()
+        .with_cases(cases_from_env(256))
+        .with_corpus(default_corpus_dir())
 }
 
-fn arb_force(rng: &mut StdRng) -> f64 {
-    rng.gen_range(0.0..=1.0)
+/// Droplets anchored well inside a notional chip, up to 8×8.
+fn droplet() -> Gen<Rect> {
+    let anchor = choose_u32(5, 29).zip(choose_u32(5, 29));
+    let extent = choose_u32(0, 7).zip(choose_u32(0, 7));
+    anchor.zip(extent).map(|&((xa, ya), (w, h))| {
+        let (xa, ya) = (xa as i32, ya as i32);
+        Rect::new(xa, ya, xa + w as i32, ya + h as i32)
+    })
 }
 
-fn arb_action(rng: &mut StdRng) -> Action {
-    Action::ALL[rng.gen_range(0..Action::ALL.len())]
+fn force() -> Gen<f64> {
+    f64_range(0.0, 1.0)
+}
+
+fn action() -> Gen<Action> {
+    element(Action::ALL.to_vec())
+}
+
+fn ensure(cond: bool, message: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(message.into())
+    }
 }
 
 /// Table II size formulas: cardinal frontiers span the full facing
@@ -30,9 +49,7 @@ fn arb_action(rng: &mut StdRng) -> Action {
 /// cell less.
 #[test]
 fn frontier_sizes_match_table_ii() {
-    let mut rng = StdRng::seed_from_u64(0xC0E0);
-    for _ in 0..CASES {
-        let delta = arb_droplet(&mut rng);
+    check("core-frontier-sizes", &config(), &droplet(), |&delta| {
         let w = delta.width();
         let h = delta.height();
         for action in Action::ALL {
@@ -51,14 +68,21 @@ fn frontier_sizes_match_table_ii() {
                     Action::Widen(_) => h - 1,
                     Action::Heighten(_) => w - 1,
                 };
-                assert_eq!(fr.area(), expected, "{action} {dir}");
+                ensure(fr.area() == expected, &format!("{action} {dir}: size"))?;
                 // Frontiers are always a single row or column.
-                assert!(fr.width() == 1 || fr.height() == 1);
+                ensure(
+                    fr.width() == 1 || fr.height() == 1,
+                    &format!("{action} {dir}: not a line"),
+                )?;
                 // And they never overlap the current droplet.
-                assert!(!fr.intersects(delta), "{action} {dir}");
+                ensure(
+                    !fr.intersects(delta),
+                    &format!("{action} {dir}: overlaps droplet"),
+                )?;
             }
         }
-    }
+        Ok(())
+    });
 }
 
 /// The success outcome of an action always contains every frontier it
@@ -66,70 +90,86 @@ fn frontier_sizes_match_table_ii() {
 /// double step, whose first-step frontier lies under the intermediate.
 #[test]
 fn frontiers_end_up_under_the_droplet() {
-    let mut rng = StdRng::seed_from_u64(0xC0E1);
-    for _ in 0..CASES {
-        let delta = arb_droplet(&mut rng);
-        let action = arb_action(&mut rng);
-        if !action.is_applicable(delta) {
-            continue;
-        }
-        let target = match action {
-            Action::MoveDouble(_) => action.intermediate(delta).unwrap(),
-            _ => action.apply(delta),
-        };
-        for dir in Dir::ALL {
-            if let Some(fr) = frontier_set(delta, action, dir) {
-                assert!(target.contains_rect(fr), "{action} {dir}");
+    let gen = droplet().zip(action());
+    check(
+        "core-frontier-landing",
+        &config(),
+        &gen,
+        |&(delta, action)| {
+            if !action.is_applicable(delta) {
+                return Ok(());
             }
-        }
-    }
+            let target = match action {
+                Action::MoveDouble(_) => action
+                    .intermediate(delta)
+                    .ok_or("double move without intermediate")?,
+                _ => action.apply(delta),
+            };
+            for dir in Dir::ALL {
+                if let Some(fr) = frontier_set(delta, action, dir) {
+                    ensure(
+                        target.contains_rect(fr),
+                        &format!("{action} {dir}: frontier escapes target"),
+                    )?;
+                }
+            }
+            Ok(())
+        },
+    );
 }
 
 /// Probabilities over outcomes always form a distribution, for any
 /// force field value.
 #[test]
 fn outcome_probabilities_form_a_distribution() {
-    let mut rng = StdRng::seed_from_u64(0xC0E2);
-    for _ in 0..CASES {
-        let delta = arb_droplet(&mut rng);
-        let force = arb_force(&mut rng);
-        let action = arb_action(&mut rng);
-        let field = UniformField::new(force);
-        let outcomes = transitions(delta, action, &field);
-        let total: f64 = outcomes.iter().map(|o| o.probability).sum();
-        assert!((total - 1.0).abs() < 1e-9);
-        for o in &outcomes {
-            assert!(o.probability >= -1e-12 && o.probability <= 1.0 + 1e-12);
-            // Every outcome preserves droplet area except morphing.
-            match action {
-                Action::Widen(_) | Action::Heighten(_) => {}
-                _ => assert_eq!(o.droplet.area(), delta.area()),
+    let gen = droplet().zip(force()).zip(action());
+    check(
+        "core-outcome-distribution",
+        &config(),
+        &gen,
+        |&((delta, force), action)| {
+            let field = UniformField::new(force);
+            let outcomes = transitions(delta, action, &field);
+            let total: f64 = outcomes.iter().map(|o| o.probability).sum();
+            ensure((total - 1.0).abs() < 1e-9, "mass not 1")?;
+            for o in &outcomes {
+                ensure(
+                    o.probability >= -1e-12 && o.probability <= 1.0 + 1e-12,
+                    "probability out of range",
+                )?;
+                // Every outcome preserves droplet area except morphing.
+                match action {
+                    Action::Widen(_) | Action::Heighten(_) => {}
+                    _ => ensure(o.droplet.area() == delta.area(), "area not preserved")?,
+                }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
 /// Monotonicity: more force never decreases the success probability.
 #[test]
 fn success_probability_is_monotone_in_force() {
-    let mut rng = StdRng::seed_from_u64(0xC0E3);
-    for _ in 0..CASES {
-        let delta = arb_droplet(&mut rng);
-        let action = arb_action(&mut rng);
-        let f1 = arb_force(&mut rng);
-        let f2 = arb_force(&mut rng);
-        if !action.is_applicable(delta) {
-            continue;
-        }
-        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
-        let p = |f: f64| {
-            transitions(delta, action, &UniformField::new(f))
-                .iter()
-                .find(|o| o.droplet == action.apply(delta))
-                .map_or(0.0, |o| o.probability)
-        };
-        assert!(p(lo) <= p(hi) + 1e-12);
-    }
+    let gen = droplet().zip(action()).zip(force().zip(force()));
+    check(
+        "core-success-monotone",
+        &config(),
+        &gen,
+        |&((delta, action), (f1, f2))| {
+            if !action.is_applicable(delta) {
+                return Ok(());
+            }
+            let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+            let p = |f: f64| {
+                transitions(delta, action, &UniformField::new(f))
+                    .iter()
+                    .find(|o| o.droplet == action.apply(delta))
+                    .map_or(0.0, |o| o.probability)
+            };
+            ensure(p(lo) <= p(hi) + 1e-12, "success probability decreased")
+        },
+    );
 }
 
 /// Guard soundness: an enabled action's successful outcome stays within
@@ -137,19 +177,25 @@ fn success_probability_is_monotone_in_force() {
 /// limit.
 #[test]
 fn enabled_actions_respect_bounds_and_aspect() {
-    let mut rng = StdRng::seed_from_u64(0xC0E4);
-    for _ in 0..CASES {
-        let delta = arb_droplet(&mut rng);
-        let action = arb_action(&mut rng);
-        let margin = rng.gen_range(0..6);
-        let bounds = delta.expand(margin + 2);
-        let config = ActionConfig::default();
-        if action.is_enabled(delta, bounds, &config) {
+    let gen = droplet().zip(action()).zip(choose_u32(0, 5));
+    check(
+        "core-guard-soundness",
+        &config(),
+        &gen,
+        |&((delta, action), margin)| {
+            let bounds = delta.expand(margin as i32 + 2);
+            let config = ActionConfig::default();
+            if !action.is_enabled(delta, bounds, &config) {
+                return Ok(());
+            }
             let out = action.apply(delta);
-            assert!(bounds.contains_rect(out));
+            ensure(bounds.contains_rect(out), "outcome escapes bounds")?;
             match action {
                 Action::Widen(_) | Action::Heighten(_) => {
-                    assert_eq!(out.width() + out.height(), delta.width() + delta.height());
+                    ensure(
+                        out.width() + out.height() == delta.width() + delta.height(),
+                        "half-perimeter changed",
+                    )?;
                     // The paper's guard is one-directional: it bounds the
                     // ratio in the direction the morph grows (so a morph
                     // may still *correct* an already-extreme droplet).
@@ -157,7 +203,10 @@ fn enabled_actions_respect_bounds_and_aspect() {
                         Action::Widen(_) => out.aspect_ratio(),
                         _ => 1.0 / out.aspect_ratio(),
                     };
-                    assert!(grown <= config.aspect_ratio_max + 1e-9);
+                    ensure(
+                        grown <= config.aspect_ratio_max + 1e-9,
+                        "aspect guard violated",
+                    )
                 }
                 Action::MoveDouble(d) => {
                     let extent = if d.is_vertical() {
@@ -165,68 +214,78 @@ fn enabled_actions_respect_bounds_and_aspect() {
                     } else {
                         delta.width()
                     };
-                    assert!(extent >= 4);
+                    ensure(extent >= 4, "double move on a thin droplet")
                 }
-                _ => {}
+                _ => Ok(()),
             }
-        }
-    }
+        },
+    );
 }
 
 /// The mean frontier force is the arithmetic mean of the per-cell
 /// forces, with off-chip cells contributing zero.
 #[test]
 fn mean_force_is_clipped_average() {
-    let mut rng = StdRng::seed_from_u64(0xC0E5);
-    for _ in 0..CASES {
-        let (xa, ya) = (rng.gen_range(1..12), rng.gen_range(1..12));
-        let len = rng.gen_range(1..6u32);
+    let gen = choose_u32(1, 11)
+        .zip(choose_u32(1, 11))
+        .zip(choose_u32(1, 5));
+    check("core-mean-force", &config(), &gen, |&((xa, ya), len)| {
         let dims = ChipDims::new(10, 10);
         let field = RawField::new(Grid::new(dims, 0.8));
-        let fr = Rect::with_size(xa, ya, 1, len);
+        let fr = Rect::with_size(xa as i32, ya as i32, 1, len);
         let on_chip = fr.intersection(dims.bounds()).map_or(0, |c| c.area());
         let expected = 0.8 * f64::from(on_chip) / f64::from(fr.area());
-        assert!((field.mean_force(fr) - expected).abs() < 1e-12);
-    }
+        ensure(
+            (field.mean_force(fr) - expected).abs() < 1e-12,
+            "mean force != clipped average",
+        )
+    });
 }
 
 /// Routing MDPs are well-formed for arbitrary geometry: states within
 /// bounds, distributions normalized, goal states absorbing.
 #[test]
 fn routing_mdp_is_well_formed() {
-    let mut rng = StdRng::seed_from_u64(0xC0E6);
-    for _ in 0..24 {
-        let w = rng.gen_range(6..14u32);
-        let h = rng.gen_range(6..14u32);
-        let droplet = rng.gen_range(2..4u32);
-        let force = rng.gen_range(0.05..1.0);
-        let bounds = Rect::new(1, 1, w as i32, h as i32);
-        let start = Rect::with_size(1, 1, droplet, droplet);
-        let goal = Rect::with_size(
-            w as i32 - droplet as i32 + 1,
-            h as i32 - droplet as i32 + 1,
-            droplet,
-            droplet,
-        );
-        let mdp = RoutingMdp::build(
-            start,
-            goal,
-            bounds,
-            &UniformField::new(force),
-            &ActionConfig::default(),
-        )
-        .unwrap();
-        for i in mdp.state_indices() {
-            assert!(bounds.contains_rect(mdp.state(i)));
-            if mdp.is_goal(i) {
-                assert!(mdp.choices(i).is_empty());
+    let gen = choose_u32(6, 13)
+        .zip(choose_u32(6, 13))
+        .zip(choose_u32(2, 3).zip(f64_range(0.05, 1.0)));
+    let small = config().with_cases(cases_from_env(24));
+    check(
+        "core-mdp-well-formed",
+        &small,
+        &gen,
+        |&((w, h), (droplet, force))| {
+            let bounds = Rect::new(1, 1, w as i32, h as i32);
+            let start = Rect::with_size(1, 1, droplet, droplet);
+            let goal = Rect::with_size(
+                w as i32 - droplet as i32 + 1,
+                h as i32 - droplet as i32 + 1,
+                droplet,
+                droplet,
+            );
+            let mdp = RoutingMdp::build(
+                start,
+                goal,
+                bounds,
+                &UniformField::new(force),
+                &ActionConfig::default(),
+            )
+            .map_err(|e| format!("build failed: {e:?}"))?;
+            for i in mdp.state_indices() {
+                ensure(bounds.contains_rect(mdp.state(i)), "state escapes bounds")?;
+                if mdp.is_goal(i) {
+                    ensure(mdp.choices(i).is_empty(), "goal state not absorbing")?;
+                }
+                for (_, branch) in mdp.choices(i) {
+                    let total: f64 = branch.iter().map(|(_, p)| p).sum();
+                    ensure((total - 1.0).abs() < 1e-9, "distribution not normalized")?;
+                }
             }
-            for (_, branch) in mdp.choices(i) {
-                let total: f64 = branch.iter().map(|(_, p)| p).sum();
-                assert!((total - 1.0).abs() < 1e-9);
-            }
-        }
-        let stats = mdp.stats();
-        assert!(stats.transitions >= stats.choices);
-    }
+            let stats = mdp.stats();
+            ensure(
+                stats.transitions >= stats.choices,
+                "fewer transitions than choices",
+            )
+        },
+    );
 }

@@ -1,187 +1,214 @@
-//! Property-style tests for the geometry substrate, driven by a
-//! deterministic seeded sampler (no external proptest dependency): each
-//! test replays the same randomized input space on every run.
+//! Property tests for the geometry substrate, driven by `meda-check`:
+//! deterministic seeded generators with integrated shrinking, so a failure
+//! is reported as a minimal counterexample and persisted to the shared
+//! corpus for replay-first on subsequent runs.
 
-use meda_grid::{Cell, ChipDims, Grid, Interval, Rect};
-use meda_rng::{Rng, SeedableRng, StdRng};
+use meda_check::{arb, cases_from_env, check, choose, choose_u32, default_corpus_dir, Config, Gen};
+use meda_grid::{Cell, Grid, Interval, Rect};
 
-const CASES: usize = 256;
-
-fn arb_cell(rng: &mut StdRng) -> Cell {
-    Cell::new(rng.gen_range(-100..100), rng.gen_range(-100..100))
+fn config() -> Config {
+    Config::default()
+        .with_cases(cases_from_env(256))
+        .with_corpus(default_corpus_dir())
 }
 
-fn arb_rect(rng: &mut StdRng) -> Rect {
-    let (xa, ya) = (rng.gen_range(-50..50), rng.gen_range(-50..50));
-    let (w, h) = (rng.gen_range(0..20), rng.gen_range(0..20));
-    Rect::new(xa, ya, xa + w, ya + h)
+fn cell() -> Gen<Cell> {
+    arb::cell_within(-100, 100)
 }
 
-fn arb_dims(rng: &mut StdRng) -> ChipDims {
-    ChipDims::new(rng.gen_range(1..40u32), rng.gen_range(1..40u32))
+fn rect() -> Gen<Rect> {
+    arb::rect_within(-50, 50, 20)
+}
+
+fn interval(lo: i32, hi: i32) -> Gen<Interval> {
+    choose(i64::from(lo), i64::from(hi))
+        .zip(choose(i64::from(lo), i64::from(hi)))
+        .map(|&(a, b)| Interval::new(a as i32, b as i32))
+}
+
+fn ensure(cond: bool, message: &str) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(message.into())
+    }
 }
 
 #[test]
 fn manhattan_distance_is_a_metric() {
-    let mut rng = StdRng::seed_from_u64(0xA110);
-    for _ in 0..CASES {
-        let (a, b, c) = (arb_cell(&mut rng), arb_cell(&mut rng), arb_cell(&mut rng));
-        assert_eq!(a.manhattan_distance(a), 0);
-        assert_eq!(a.manhattan_distance(b), b.manhattan_distance(a));
-        assert!(a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c));
-    }
+    let gen = cell().zip(cell()).zip(cell());
+    check("grid-manhattan-metric", &config(), &gen, |&((a, b), c)| {
+        ensure(a.manhattan_distance(a) == 0, "d(a,a) != 0")?;
+        ensure(
+            a.manhattan_distance(b) == b.manhattan_distance(a),
+            "not symmetric",
+        )?;
+        ensure(
+            a.manhattan_distance(c) <= a.manhattan_distance(b) + b.manhattan_distance(c),
+            "triangle inequality violated",
+        )
+    });
 }
 
 #[test]
 fn chebyshev_never_exceeds_manhattan() {
-    let mut rng = StdRng::seed_from_u64(0xA111);
-    for _ in 0..CASES {
-        let (a, b) = (arb_cell(&mut rng), arb_cell(&mut rng));
-        assert!(a.chebyshev_distance(b) <= a.manhattan_distance(b));
-        assert!(a.manhattan_distance(b) <= 2 * a.chebyshev_distance(b));
-    }
+    let gen = cell().zip(cell());
+    check("grid-chebyshev-bounds", &config(), &gen, |&(a, b)| {
+        ensure(
+            a.chebyshev_distance(b) <= a.manhattan_distance(b),
+            "chebyshev > manhattan",
+        )?;
+        ensure(
+            a.manhattan_distance(b) <= 2 * a.chebyshev_distance(b),
+            "manhattan > 2 * chebyshev",
+        )
+    });
 }
 
 #[test]
 fn interval_len_matches_iteration() {
-    let mut rng = StdRng::seed_from_u64(0xA112);
-    for _ in 0..CASES {
-        let iv = Interval::new(rng.gen_range(-50..50), rng.gen_range(-50..50));
-        assert_eq!(iv.len() as usize, iv.iter().count());
-        assert_eq!(iv.is_empty(), iv.iter().next().is_none());
-    }
+    check("grid-interval-len", &config(), &interval(-50, 50), |iv| {
+        ensure(iv.len() as usize == iv.iter().count(), "len != count")?;
+        ensure(
+            iv.is_empty() == iv.iter().next().is_none(),
+            "is_empty disagrees with iteration",
+        )
+    });
 }
 
 #[test]
 fn interval_intersection_is_commutative_and_contained() {
-    let mut rng = StdRng::seed_from_u64(0xA113);
-    for _ in 0..CASES {
-        let a = Interval::new(rng.gen_range(-30..30), rng.gen_range(-30..30));
-        let b = Interval::new(rng.gen_range(-30..30), rng.gen_range(-30..30));
-        assert_eq!(a.intersect(b), b.intersect(a));
+    let gen = interval(-30, 30).zip(interval(-30, 30));
+    check("grid-interval-intersect", &config(), &gen, |&(a, b)| {
+        ensure(a.intersect(b) == b.intersect(a), "not commutative")?;
         for v in a.intersect(b) {
-            assert!(a.contains(v) && b.contains(v));
+            ensure(a.contains(v) && b.contains(v), "value escapes operands")?;
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn rect_cells_count_equals_area() {
-    let mut rng = StdRng::seed_from_u64(0xA114);
-    for _ in 0..CASES {
-        let r = arb_rect(&mut rng);
-        assert_eq!(r.cells().count() as u32, r.area());
-        assert!(r.cells().all(|c| r.contains_cell(c)));
-    }
+    check("grid-rect-area", &config(), &rect(), |r| {
+        ensure(r.cells().count() as u32 == r.area(), "cell count != area")?;
+        ensure(r.cells().all(|c| r.contains_cell(c)), "cell escapes rect")
+    });
 }
 
 #[test]
 fn rect_union_contains_both_and_is_minimal_along_axes() {
-    let mut rng = StdRng::seed_from_u64(0xA115);
-    for _ in 0..CASES {
-        let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
+    let gen = rect().zip(rect());
+    check("grid-rect-union", &config(), &gen, |&(a, b)| {
         let u = a.union(b);
-        assert!(u.contains_rect(a));
-        assert!(u.contains_rect(b));
-        assert_eq!(u.xa, a.xa.min(b.xa));
-        assert_eq!(u.yb, a.yb.max(b.yb));
-    }
+        ensure(u.contains_rect(a) && u.contains_rect(b), "union too small")?;
+        ensure(u.xa == a.xa.min(b.xa), "xa not minimal")?;
+        ensure(u.yb == a.yb.max(b.yb), "yb not maximal")
+    });
 }
 
 #[test]
 fn rect_intersection_consistent_with_intersects() {
-    let mut rng = StdRng::seed_from_u64(0xA116);
-    for _ in 0..CASES {
-        let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
+    let gen = rect().zip(rect());
+    check("grid-rect-intersect", &config(), &gen, |&(a, b)| {
         match a.intersection(b) {
             Some(i) => {
-                assert!(a.intersects(b));
-                assert!(a.contains_rect(i) && b.contains_rect(i));
+                ensure(a.intersects(b), "Some but !intersects")?;
+                ensure(
+                    a.contains_rect(i) && b.contains_rect(i),
+                    "intersection escapes operands",
+                )
             }
-            None => assert!(!a.intersects(b)),
+            None => ensure(!a.intersects(b), "None but intersects"),
         }
-    }
+    });
 }
 
 #[test]
 fn rect_manhattan_gap_is_symmetric_and_zero_iff_intersecting() {
-    let mut rng = StdRng::seed_from_u64(0xA117);
-    for _ in 0..CASES {
-        let (a, b) = (arb_rect(&mut rng), arb_rect(&mut rng));
-        assert_eq!(a.manhattan_gap(b), b.manhattan_gap(a));
-        assert_eq!(a.manhattan_gap(b) == 0, a.intersects(b));
-    }
+    let gen = rect().zip(rect());
+    check("grid-rect-gap", &config(), &gen, |&(a, b)| {
+        ensure(a.manhattan_gap(b) == b.manhattan_gap(a), "not symmetric")?;
+        ensure(
+            (a.manhattan_gap(b) == 0) == a.intersects(b),
+            "gap zero iff intersecting violated",
+        )
+    });
 }
 
 #[test]
 fn rect_translate_preserves_shape() {
-    let mut rng = StdRng::seed_from_u64(0xA118);
-    for _ in 0..CASES {
-        let r = arb_rect(&mut rng);
-        let (dx, dy) = (rng.gen_range(-20..20), rng.gen_range(-20..20));
-        let t = r.translate(dx, dy);
-        assert_eq!(t.width(), r.width());
-        assert_eq!(t.height(), r.height());
-        assert_eq!(t.area(), r.area());
-        assert_eq!(t.translate(-dx, -dy), r);
-    }
+    let gen = rect().zip(arb::cell_within(-20, 20));
+    check("grid-rect-translate", &config(), &gen, |&(r, d)| {
+        let t = r.translate(d.x, d.y);
+        ensure(
+            t.width() == r.width() && t.height() == r.height() && t.area() == r.area(),
+            "shape changed",
+        )?;
+        ensure(t.translate(-d.x, -d.y) == r, "translate not invertible")
+    });
 }
 
 #[test]
 fn centered_at_roundtrips_center() {
-    let mut rng = StdRng::seed_from_u64(0xA119);
-    for _ in 0..CASES {
-        let cx = rng.gen_range(-20.0..20.0);
-        let cy = rng.gen_range(-20.0..20.0);
-        let (w, h) = (rng.gen_range(1..10u32), rng.gen_range(1..10u32));
-        // Snap the requested center to the representable half-cell grid.
-        let r = Rect::centered_at(cx, cy, w, h);
-        let (rx, ry) = r.center();
-        assert!((rx - cx).abs() <= 0.5 + 1e-9);
-        assert!((ry - cy).abs() <= 0.5 + 1e-9);
-        assert_eq!((r.width(), r.height()), (w, h));
-    }
+    let gen = meda_check::f64_range(-20.0, 20.0)
+        .zip(meda_check::f64_range(-20.0, 20.0))
+        .zip(choose_u32(1, 9).zip(choose_u32(1, 9)));
+    check(
+        "grid-centered-at",
+        &config(),
+        &gen,
+        |&((cx, cy), (w, h))| {
+            // Snap the requested center to the representable half-cell grid.
+            let r = Rect::centered_at(cx, cy, w, h);
+            let (rx, ry) = r.center();
+            ensure(
+                (rx - cx).abs() <= 0.5 + 1e-9 && (ry - cy).abs() <= 0.5 + 1e-9,
+                "center drifted more than half a cell",
+            )?;
+            ensure((r.width(), r.height()) == (w, h), "size changed")
+        },
+    );
 }
 
 #[test]
 fn dims_index_roundtrip() {
-    let mut rng = StdRng::seed_from_u64(0xA11A);
-    for _ in 0..64 {
-        let dims = arb_dims(&mut rng);
+    let small = config().with_cases(cases_from_env(64));
+    check("grid-dims-index", &small, &arb::dims(1, 39), |&dims| {
         for idx in 0..dims.cell_count() {
             let cell = dims.cell_at(idx);
-            assert_eq!(dims.index_of(cell), Some(idx));
-            assert!(dims.contains(cell));
+            ensure(dims.index_of(cell) == Some(idx), "index_of != cell_at")?;
+            ensure(dims.contains(cell), "cell_at escapes dims")?;
         }
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn grid_fill_rect_writes_exactly_the_clipped_intersection() {
-    let mut rng = StdRng::seed_from_u64(0xA11B);
-    for _ in 0..CASES {
-        let dims = arb_dims(&mut rng);
-        let r = arb_rect(&mut rng);
+    let gen = arb::dims(1, 39).zip(rect());
+    check("grid-fill-rect", &config(), &gen, |&(dims, r)| {
         let mut g = Grid::<bool>::new(dims, false);
         let written = g.fill_rect(r, true);
         let expected = r
             .intersection(dims.bounds())
             .map_or(0, |c| c.area() as usize);
-        assert_eq!(written, expected);
-        assert_eq!(g.count_set(), expected);
-    }
+        ensure(written == expected, "fill_rect return != clipped area")?;
+        ensure(g.count_set() == expected, "count_set != clipped area")
+    });
 }
 
 #[test]
 fn grid_map_preserves_structure() {
-    let mut rng = StdRng::seed_from_u64(0xA11C);
-    for _ in 0..64 {
-        let dims = arb_dims(&mut rng);
-        let offset = rng.gen_range(-5..5);
+    let small = config().with_cases(cases_from_env(64));
+    let gen = arb::dims(1, 39).zip(choose(-5, 5));
+    check("grid-map-structure", &small, &gen, |&(dims, offset)| {
+        let offset = offset as i32;
         let g = Grid::from_fn(dims, |c| c.x + c.y);
         let mapped = g.map(|_, v| v + offset);
         for (cell, v) in g.iter() {
-            assert_eq!(mapped[cell], v + offset);
+            ensure(mapped[cell] == v + offset, "map changed structure")?;
         }
-    }
+        Ok(())
+    });
 }

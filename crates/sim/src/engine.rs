@@ -2,7 +2,7 @@ use meda_rng::Rng;
 
 use meda_bioassay::{BioassayPlan, PlannedMo, RoutingJob};
 use meda_cell::apply_stuck_bits;
-use meda_core::{transitions, Action, DegradationField, Dir};
+use meda_core::{transitions, Action, DegradationField, Dir, ForceProvider};
 use meda_grid::{Cell, Grid, Rect};
 
 use crate::sensing::{locate_droplets, snap_to_size};
@@ -521,15 +521,7 @@ impl<'a, R: Rng> Exec<'a, R> {
             }
             DegradationField::new(grid)
         };
-        let outcomes = transitions(droplet, action, &field);
-        let mut roll: f64 = self.rng.gen();
-        for outcome in &outcomes {
-            if roll < outcome.probability {
-                return outcome.droplet;
-            }
-            roll -= outcome.probability;
-        }
-        outcomes.last().map_or(droplet, |o| o.droplet)
+        sample_outcome(droplet, action, &field, &mut self.rng)
     }
 
     /// Reads the location sensors: builds the **Y** matrix from the true
@@ -647,6 +639,33 @@ impl<'a, R: Rng> Exec<'a, R> {
             .min_by_key(|c| c.bounds.manhattan_gap(last_estimate))
             .map(|c| snap_to_size(c.bounds, last_estimate))
     }
+}
+
+/// Samples one movement-cycle outcome for `droplet` executing `action`
+/// under `field`, exactly as the simulator's inner loop does: a single
+/// uniform roll walks the Section V-B outcome distribution returned by
+/// [`transitions`] in order. This is the simulator's step semantics in
+/// isolation — differential tests draw from it directly and compare the
+/// empirical frequencies against the MDP's transition probabilities.
+///
+/// Consumes exactly one `f64` from `rng`. If the distribution's mass
+/// falls short of the roll (floating-point slack), the last outcome wins;
+/// an empty distribution leaves the droplet in place.
+pub fn sample_outcome<R: Rng>(
+    droplet: Rect,
+    action: Action,
+    field: &dyn ForceProvider,
+    rng: &mut R,
+) -> Rect {
+    let outcomes = transitions(droplet, action, field);
+    let mut roll: f64 = rng.gen();
+    for outcome in &outcomes {
+        if roll < outcome.probability {
+            return outcome.droplet;
+        }
+        roll -= outcome.probability;
+    }
+    outcomes.last().map_or(droplet, |o| o.droplet)
 }
 
 /// Whether every input rectangle is currently parked (multiset

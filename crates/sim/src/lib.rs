@@ -66,7 +66,7 @@ mod supervisor;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveRouter};
 pub use biochip::{Biochip, DegradationConfig};
-pub use engine::{BioassayRunner, RunConfig, RunOutcome, RunStatus};
+pub use engine::{sample_outcome, BioassayRunner, RunConfig, RunOutcome, RunStatus};
 pub use fault::{FaultMode, FaultPlan, IntermittentCell, SuddenDeath};
 pub use meda_cell::StuckBit;
 pub use recovery::RecoveryRouter;

@@ -23,6 +23,10 @@ cargo run --release -p meda-lint
 echo "==> audit smoke (meda audit over a freshly synthesized assay model)"
 cargo run --release -- audit covid-rat
 
+echo "==> check smoke (meda-check differential oracle suite)"
+# Default smoke budget is small; set MEDA_CHECK_CASES for an extended run.
+cargo run --release -- check --smoke
+
 echo "==> bench smoke (bench_synthesis --smoke)"
 cargo run --release -p meda-bench --bin bench_synthesis -- --smoke
 

@@ -14,6 +14,7 @@
 //! | [`audit`] | `meda-audit` | model well-formedness verifier, Bellman-residual certificates |
 //! | [`bioassay`] | `meda-bioassay` | sequencing graphs, MO→RJ helper, benchmark bioassays |
 //! | [`sim`] | `meda-sim` | biochip simulator, routers, schedulers, fault injection, sensing reconstruction, wear analysis, experiments |
+//! | [`check`] | `meda-check` | property-based testing: generators, integrated shrinking, differential sim/MDP oracles |
 //!
 //! # Quickstart
 //!
@@ -52,6 +53,7 @@ pub mod tutorial {}
 pub use meda_audit as audit;
 pub use meda_bioassay as bioassay;
 pub use meda_cell as cell;
+pub use meda_check as check;
 pub use meda_core as core;
 pub use meda_degradation as degradation;
 pub use meda_grid as grid;

@@ -43,6 +43,7 @@ USAGE:
   meda export-prism <assay> <job-index>
   meda audit <assay> [--force F]
   meda wear <assay> [--runs N] [--seed N]
+  meda check [--cases N] [--seed N] [--replay-only] [--smoke]
 
 Assays: master-mix, covid-rat, cep, covid-pcr, nuip, serial-dilution";
 
@@ -56,6 +57,7 @@ fn main() -> ExitCode {
         Some("export-prism") => cmd_export(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         Some("wear") => cmd_wear(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         _ => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -388,6 +390,53 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
         return Err(format!("{failed} of {audited} audits failed"));
     }
     println!("{audited} audits clean");
+    Ok(())
+}
+
+/// Runs the `meda-check` differential oracle suite: sim-vs-MDP step
+/// semantics, sensing round-trip, and supervisor dominance. Failures are
+/// shrunk and persisted to the shared corpus, which is replayed first on
+/// the next invocation. Exits nonzero on any failure, so CI can gate on
+/// it; `MEDA_CHECK_CASES` scales the budget without recompiling.
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    use meda::check::{cases_from_env, default_corpus_dir, Config};
+
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let default_cases = if smoke { 16 } else { 64 };
+    let cases: usize = flag(args, "--cases").map_or_else(
+        || Ok(cases_from_env(default_cases)),
+        |s| s.parse().map_err(|_| format!("bad case count '{s}'")),
+    )?;
+    let seed: u64 = flag(args, "--seed").map_or(Ok(0x4D45_4441), |s| {
+        s.parse().map_err(|_| format!("bad seed '{s}'"))
+    })?;
+    let mut config = Config::default()
+        .with_cases(cases)
+        .with_seed(seed)
+        .with_corpus(default_corpus_dir());
+    if args.iter().any(|a| a == "--replay-only") {
+        config = config.replay_only();
+    }
+
+    let outcomes = meda::check::oracle::run_suite(&config);
+    let mut failed = 0usize;
+    for out in &outcomes {
+        if out.passed {
+            println!(
+                "{:28} ok ({} cases, {} replayed)",
+                out.name, out.cases, out.replayed
+            );
+        } else {
+            failed += 1;
+            println!("{:28} FAILED", out.name);
+            if let Some(report) = &out.report {
+                print!("{report}");
+            }
+        }
+    }
+    if failed > 0 {
+        return Err(format!("{failed} of {} properties failed", outcomes.len()));
+    }
     Ok(())
 }
 
