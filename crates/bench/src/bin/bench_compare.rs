@@ -1,0 +1,121 @@
+//! CI benchmark-regression gate: diffs fresh `target/bench/BENCH_*.json`
+//! runs against the committed repo-root baselines and exits nonzero on a
+//! gating timing regression (see `meda_bench::compare` for the verdict
+//! policy and EXPERIMENTS.md for the re-bless flow).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_compare [NAME ...] [--baseline PATH] [--fresh PATH] [--threshold PCT]
+//! ```
+//!
+//! With no names, compares `synthesis`. `--baseline` / `--fresh` override
+//! the file locations (only sensible with a single name) — CI uses
+//! `--baseline` with a fixture to self-test that the gate actually fires.
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use meda_bench::{compare, render, BenchReport};
+
+struct Args {
+    names: Vec<String>,
+    baseline: Option<PathBuf>,
+    fresh: Option<PathBuf>,
+    threshold_pct: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        names: Vec::new(),
+        baseline: None,
+        fresh: None,
+        threshold_pct: 25.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut path_opt = |slot: &mut Option<PathBuf>, flag: &str| {
+            it.next()
+                .map(|v| *slot = Some(PathBuf::from(v)))
+                .ok_or(format!("{flag} needs a path"))
+        };
+        match arg.as_str() {
+            "--baseline" => path_opt(&mut args.baseline, "--baseline")?,
+            "--fresh" => path_opt(&mut args.fresh, "--fresh")?,
+            "--threshold" => {
+                args.threshold_pct = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--threshold needs a percentage")?;
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            name => args.names.push(name.to_string()),
+        }
+    }
+    if args.names.is_empty() {
+        args.names.push("synthesis".to_string());
+    }
+    if args.names.len() > 1 && (args.baseline.is_some() || args.fresh.is_some()) {
+        return Err("--baseline/--fresh only make sense with a single benchmark name".to_string());
+    }
+    Ok(args)
+}
+
+fn load(path: &PathBuf, role: &str, hint: &str) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {role} {}: {e} — {hint}", path.display()))?;
+    BenchReport::parse(&text).map_err(|e| format!("{role} {}: {e}", path.display()))
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let mut any_failed = false;
+    for name in &args.names {
+        let baseline_path = args
+            .baseline
+            .clone()
+            .unwrap_or_else(|| BenchReport::baseline_path(name));
+        let fresh_path = args
+            .fresh
+            .clone()
+            .unwrap_or_else(|| BenchReport::fresh_path(name));
+        let baseline = load(
+            &baseline_path,
+            "baseline",
+            "run the bench bin with --bless once to create it",
+        )?;
+        let fresh = load(
+            &fresh_path,
+            "fresh run",
+            "run the bench bin (e.g. `cargo run --release -p meda-bench --bin bench_synthesis -- --smoke`) first",
+        )?;
+        let cmp = compare(&baseline, &fresh, args.threshold_pct);
+        println!(
+            "== {name}: {} vs {} (threshold ±{:.0}% on *_ms/*_ns) ==",
+            baseline_path.display(),
+            fresh_path.display(),
+            args.threshold_pct
+        );
+        print!("{}", render(&cmp));
+        println!();
+        any_failed |= cmp.failures > 0;
+    }
+    Ok(any_failed)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => {
+            eprintln!("bench_compare: gating timing regression detected");
+            ExitCode::FAILURE
+        }
+        Err(msg) => {
+            eprintln!("bench_compare: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

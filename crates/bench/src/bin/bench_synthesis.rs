@@ -1,5 +1,7 @@
 //! Synthesis-performance benchmark: per-Table-V-cell model construction
-//! and solve wall-clock, written to `BENCH_synthesis.json`.
+//! and solve wall-clock, written to `target/bench/BENCH_synthesis.json`
+//! (and, under `--bless`, to the committed repo-root baseline — see
+//! EXPERIMENTS.md for the re-bless flow).
 //!
 //! Two builders are timed on identical inputs:
 //!
@@ -17,10 +19,9 @@
 #![forbid(unsafe_code)]
 
 use std::collections::HashMap;
-use std::fmt::Write as _;
 use std::time::Instant;
 
-use meda_bench::{banner, header, row};
+use meda_bench::{banner, header, row, BenchReport};
 use meda_core::{
     frontier_set, Action, ActionConfig, ForceProvider, HealthField, Outcome, RoutingMdp,
 };
@@ -267,41 +268,46 @@ fn measure_cell(area: (u32, u32), droplet: (u32, u32), reps: u32) -> CellResult 
     }
 }
 
-fn to_json(results: &[CellResult], mode: &str) -> String {
-    let mut out = String::from("{\n");
-    let _ = writeln!(out, "  \"benchmark\": \"synthesis\",");
-    let _ = writeln!(out, "  \"mode\": \"{mode}\",");
-    let _ = writeln!(
-        out,
-        "  \"note\": \"construct_hashmap_ms is the pre-rewrite HashMap/nested-Vec builder reimplemented as a baseline; construct_csr_ms is the dense-index/CSR builder; resolve_* re-solve the same geometry on a degraded field, cold vs warm-started from the healthy-field values\","
-    );
-    let _ = writeln!(out, "  \"cells\": [");
-    for (k, c) in results.iter().enumerate() {
-        let comma = if k + 1 < results.len() { "," } else { "" };
-        let _ = writeln!(
-            out,
-            "    {{\"area\": [{}, {}], \"droplet\": [{}, {}], \"states\": {}, \"choices\": {}, \"transitions\": {}, \"construct_hashmap_ms\": {:.4}, \"construct_csr_ms\": {:.4}, \"construct_speedup\": {:.2}, \"solve_cold_ms\": {:.4}, \"solve_cold_iterations\": {}, \"resolve_cold_ms\": {:.4}, \"resolve_cold_iterations\": {}, \"resolve_warm_ms\": {:.4}, \"resolve_warm_iterations\": {}}}{comma}",
-            c.area.0,
-            c.area.1,
-            c.droplet.0,
-            c.droplet.1,
-            c.states,
-            c.choices,
-            c.transitions,
+/// Flattens the per-cell results into the aggregated `meda-bench/1`
+/// schema: one `c<area>_d<droplet>.<measure>` metric per value, timings
+/// suffixed `_ms` so the regression gate thresholds them.
+fn to_report(results: &[CellResult], mode: &str) -> BenchReport {
+    let mut report = BenchReport::new("synthesis", mode);
+    report.note = "construct_hashmap_ms is the pre-rewrite HashMap/nested-Vec builder \
+                   reimplemented as a baseline; construct_csr_ms is the dense-index/CSR \
+                   builder; resolve_* re-solve the same geometry on a degraded field, \
+                   cold vs warm-started from the healthy-field values"
+        .to_string();
+    for c in results {
+        let cell = format!(
+            "c{}x{}_d{}x{}",
+            c.area.0, c.area.1, c.droplet.0, c.droplet.1
+        );
+        report.push(format!("{cell}.states"), c.states as f64);
+        report.push(format!("{cell}.choices"), c.choices as f64);
+        report.push(format!("{cell}.transitions"), c.transitions as f64);
+        report.push(
+            format!("{cell}.construct_hashmap_ms"),
             c.construct_hashmap_ms,
-            c.construct_csr_ms,
-            c.construct_hashmap_ms / c.construct_csr_ms,
-            c.solve_cold_ms,
-            c.solve_cold_iterations,
-            c.resolve_cold_ms,
-            c.resolve_cold_iterations,
-            c.resolve_warm_ms,
-            c.resolve_warm_iterations,
+        );
+        report.push(format!("{cell}.construct_csr_ms"), c.construct_csr_ms);
+        report.push(format!("{cell}.solve_cold_ms"), c.solve_cold_ms);
+        report.push(
+            format!("{cell}.solve_cold_iterations"),
+            c.solve_cold_iterations as f64,
+        );
+        report.push(format!("{cell}.resolve_cold_ms"), c.resolve_cold_ms);
+        report.push(
+            format!("{cell}.resolve_cold_iterations"),
+            c.resolve_cold_iterations as f64,
+        );
+        report.push(format!("{cell}.resolve_warm_ms"), c.resolve_warm_ms);
+        report.push(
+            format!("{cell}.resolve_warm_iterations"),
+            c.resolve_warm_iterations as f64,
         );
     }
-    let _ = writeln!(out, "  ]");
-    out.push_str("}\n");
-    out
+    report
 }
 
 /// One Table V cell: chip area (MCs) and droplet size (MCs).
@@ -309,6 +315,7 @@ type Cell = ((u32, u32), (u32, u32));
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let bless = std::env::args().any(|a| a == "--bless");
     banner(
         "Synthesis performance — HashMap baseline vs dense-index/CSR builder",
         "Per Table V cell: model size, construction time under both state\n\
@@ -368,8 +375,13 @@ fn main() {
         results.push(c);
     }
 
-    let json = to_json(&results, if smoke { "smoke" } else { "full" });
-    let path = "BENCH_synthesis.json";
-    std::fs::write(path, &json).expect("write BENCH_synthesis.json");
-    println!("\nWrote {path}");
+    let report = to_report(&results, if smoke { "smoke" } else { "full" });
+    let written = report.write(bless).expect("write bench report");
+    println!();
+    for path in written {
+        println!("Wrote {}", path.display());
+    }
+    if !bless {
+        println!("(baseline BENCH_synthesis.json untouched — pass --bless to refresh it)");
+    }
 }

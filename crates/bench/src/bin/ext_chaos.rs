@@ -23,7 +23,7 @@
 //! [`Supervisor`]: meda_sim::Supervisor
 #![forbid(unsafe_code)]
 
-use meda_bench::{banner, header, row};
+use meda_bench::{banner, header, row, BenchReport};
 use meda_bioassay::{benchmarks, RjHelper};
 use meda_grid::ChipDims;
 use meda_sim::experiment::{chaos_sweep, ChaosVariant};
@@ -32,6 +32,7 @@ use meda_sim::DegradationConfig;
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let full = std::env::args().any(|a| a == "--full");
+    let bless = std::env::args().any(|a| a == "--bless");
     let trials: u32 = if smoke {
         2
     } else if full {
@@ -119,4 +120,29 @@ fn main() {
          detours — and when a job is truly unrecoverable, aborts only \
          that operation, salvaging the independent lane."
     );
+
+    let mode = if smoke { "smoke" } else { "full" };
+    let mut report = BenchReport::new("chaos", mode);
+    report.note = "sensed-feedback chaos sweep: PoS and mean completed-operation \
+                   fraction per stuck-sensor rate and control stack; all values \
+                   are deterministic given the seeded RNG, so any drift means \
+                   behaviour changed"
+        .to_string();
+    for point in &points {
+        let prefix = format!(
+            "stuck{:.0}pct.{}",
+            point.stuck_rate * 100.0,
+            point.variant.name().replace(['-', ' '], "_")
+        );
+        report.push(format!("{prefix}.pos"), point.pos);
+        report.push(format!("{prefix}.mean_completion"), point.mean_completion);
+    }
+    let written = report.write(bless).expect("write bench report");
+    println!();
+    for path in written {
+        println!("Wrote {}", path.display());
+    }
+    if !bless {
+        println!("(baseline BENCH_chaos.json untouched — pass --bless to refresh it)");
+    }
 }

@@ -1,0 +1,261 @@
+//! Baseline comparison: diff a fresh [`BenchReport`] against a committed
+//! baseline with per-metric relative thresholds.
+//!
+//! Verdict policy (the CI regression gate):
+//!
+//! - **Timing metrics** (names ending `_ms` / `_ns`): a regression beyond
+//!   the threshold **fails** when both reports ran in `smoke` mode (the
+//!   only mode CI runs, on comparable machines) and **warns** otherwise.
+//!   Improvements beyond the threshold are OK but flagged for re-blessing.
+//! - **Count metrics** (everything else): these are deterministic model
+//!   sizes / iteration counts, so *any* drift warns — it means the code
+//!   changed shape and the baseline is stale.
+//! - Metrics missing on either side warn (schema drift, stale baseline).
+//! - A `mode` mismatch downgrades everything to warnings: `full` and
+//!   `smoke` runs are not comparable.
+
+use crate::report::BenchReport;
+
+/// Severity of one metric's comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within threshold (or an expected non-change).
+    Ok,
+    /// Suspicious but not gating.
+    Warn,
+    /// Gating regression — the comparison exits nonzero.
+    Fail,
+}
+
+/// One metric's delta.
+#[derive(Debug, Clone)]
+pub struct DeltaRow {
+    /// Metric name.
+    pub metric: String,
+    /// Baseline value, if present.
+    pub baseline: Option<f64>,
+    /// Fresh value, if present.
+    pub fresh: Option<f64>,
+    /// Relative change in percent (`100·(fresh−base)/base`), when both
+    /// sides exist and the baseline is nonzero.
+    pub delta_pct: Option<f64>,
+    /// Severity.
+    pub verdict: Verdict,
+    /// Short explanation for the table.
+    pub note: String,
+}
+
+/// The full comparison result.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Per-metric rows, baseline order then fresh-only extras.
+    pub rows: Vec<DeltaRow>,
+    /// Gating rows.
+    pub failures: usize,
+    /// Non-gating suspicious rows.
+    pub warnings: usize,
+    /// Whether the two reports ran in different modes.
+    pub mode_mismatch: bool,
+}
+
+fn is_timing(name: &str) -> bool {
+    name.ends_with("_ms") || name.ends_with("_ns")
+}
+
+/// Diffs `fresh` against `baseline` with a relative `threshold_pct` on
+/// timing metrics.
+#[must_use]
+pub fn compare(baseline: &BenchReport, fresh: &BenchReport, threshold_pct: f64) -> Comparison {
+    let mode_mismatch = baseline.mode != fresh.mode;
+    let gate_timings = !mode_mismatch && fresh.mode == "smoke";
+    let mut rows = Vec::new();
+
+    for (name, base) in &baseline.metrics {
+        let row = match fresh.metric(name) {
+            None => DeltaRow {
+                metric: name.clone(),
+                baseline: Some(*base),
+                fresh: None,
+                delta_pct: None,
+                verdict: Verdict::Warn,
+                note: "missing in fresh run (stale baseline? re-bless)".to_string(),
+            },
+            Some(new) => {
+                let delta_pct = if base.abs() > f64::EPSILON {
+                    Some(100.0 * (new - *base) / *base)
+                } else {
+                    None
+                };
+                let (verdict, note) = if is_timing(name) {
+                    match delta_pct {
+                        Some(d) if d > threshold_pct && gate_timings => (
+                            Verdict::Fail,
+                            format!("regression beyond +{threshold_pct:.0}%"),
+                        ),
+                        Some(d) if d > threshold_pct => (
+                            Verdict::Warn,
+                            format!("regression beyond +{threshold_pct:.0}% (non-smoke or mode mismatch: not gating)"),
+                        ),
+                        Some(d) if d < -threshold_pct => (
+                            Verdict::Ok,
+                            "improved — consider re-blessing".to_string(),
+                        ),
+                        _ => (Verdict::Ok, String::new()),
+                    }
+                } else if (new - *base).abs() > f64::EPSILON {
+                    (
+                        Verdict::Warn,
+                        "deterministic count drifted — re-bless with the code change".to_string(),
+                    )
+                } else {
+                    (Verdict::Ok, String::new())
+                };
+                DeltaRow {
+                    metric: name.clone(),
+                    baseline: Some(*base),
+                    fresh: Some(new),
+                    delta_pct,
+                    verdict,
+                    note,
+                }
+            }
+        };
+        rows.push(row);
+    }
+    for (name, new) in &fresh.metrics {
+        if baseline.metric(name).is_none() {
+            rows.push(DeltaRow {
+                metric: name.clone(),
+                baseline: None,
+                fresh: Some(*new),
+                delta_pct: None,
+                verdict: Verdict::Warn,
+                note: "not in baseline — re-bless to start tracking".to_string(),
+            });
+        }
+    }
+
+    let failures = rows.iter().filter(|r| r.verdict == Verdict::Fail).count();
+    let warnings = rows.iter().filter(|r| r.verdict == Verdict::Warn).count();
+    Comparison {
+        benchmark: baseline.benchmark.clone(),
+        rows,
+        failures,
+        warnings,
+        mode_mismatch,
+    }
+}
+
+/// Renders the per-metric delta table.
+#[must_use]
+pub fn render(cmp: &Comparison) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<34} {:>12} {:>12} {:>9}  {}\n",
+        "metric", "baseline", "fresh", "delta", "verdict"
+    ));
+    let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |v| format!("{v:.4}"));
+    for row in &cmp.rows {
+        let delta = row
+            .delta_pct
+            .map_or_else(|| "-".to_string(), |d| format!("{d:+.1}%"));
+        let verdict = match row.verdict {
+            Verdict::Ok => "ok",
+            Verdict::Warn => "WARN",
+            Verdict::Fail => "FAIL",
+        };
+        let note = if row.note.is_empty() {
+            String::new()
+        } else {
+            format!(" — {}", row.note)
+        };
+        out.push_str(&format!(
+            "{:<34} {:>12} {:>12} {:>9}  {verdict}{note}\n",
+            row.metric,
+            fmt(row.baseline),
+            fmt(row.fresh),
+            delta
+        ));
+    }
+    if cmp.mode_mismatch {
+        out.push_str("mode mismatch: timings not comparable, nothing gates\n");
+    }
+    out.push_str(&format!(
+        "{}: {} metrics, {} failures, {} warnings\n",
+        cmp.benchmark,
+        cmp.rows.len(),
+        cmp.failures,
+        cmp.warnings
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(mode: &str, metrics: &[(&str, f64)]) -> BenchReport {
+        let mut r = BenchReport::new("synthesis", mode);
+        for (n, v) in metrics {
+            r.push(*n, *v);
+        }
+        r
+    }
+
+    #[test]
+    fn smoke_timing_regression_fails() {
+        let base = report("smoke", &[("a.solve_ms", 1.0)]);
+        let fresh = report("smoke", &[("a.solve_ms", 1.5)]);
+        let cmp = compare(&base, &fresh, 25.0);
+        assert_eq!(cmp.failures, 1);
+        assert_eq!(cmp.rows[0].verdict, Verdict::Fail);
+        assert!((cmp.rows[0].delta_pct.unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let base = report("smoke", &[("a.solve_ms", 1.0), ("a.states", 64.0)]);
+        let fresh = report("smoke", &[("a.solve_ms", 1.2), ("a.states", 64.0)]);
+        let cmp = compare(&base, &fresh, 25.0);
+        assert_eq!(cmp.failures, 0);
+        assert_eq!(cmp.warnings, 0);
+    }
+
+    #[test]
+    fn improvement_is_ok_but_noted() {
+        let base = report("smoke", &[("a.solve_ms", 2.0)]);
+        let fresh = report("smoke", &[("a.solve_ms", 1.0)]);
+        let cmp = compare(&base, &fresh, 25.0);
+        assert_eq!(cmp.failures, 0);
+        assert!(cmp.rows[0].note.contains("re-bless"));
+    }
+
+    #[test]
+    fn full_mode_regression_only_warns() {
+        let base = report("full", &[("a.solve_ms", 1.0)]);
+        let fresh = report("full", &[("a.solve_ms", 2.0)]);
+        let cmp = compare(&base, &fresh, 25.0);
+        assert_eq!(cmp.failures, 0);
+        assert_eq!(cmp.warnings, 1);
+    }
+
+    #[test]
+    fn mode_mismatch_never_gates() {
+        let base = report("full", &[("a.solve_ms", 1.0)]);
+        let fresh = report("smoke", &[("a.solve_ms", 100.0)]);
+        let cmp = compare(&base, &fresh, 25.0);
+        assert!(cmp.mode_mismatch);
+        assert_eq!(cmp.failures, 0);
+    }
+
+    #[test]
+    fn count_drift_and_schema_drift_warn() {
+        let base = report("smoke", &[("a.states", 64.0), ("a.gone_ms", 1.0)]);
+        let fresh = report("smoke", &[("a.states", 65.0), ("a.new_ms", 1.0)]);
+        let cmp = compare(&base, &fresh, 25.0);
+        assert_eq!(cmp.failures, 0);
+        assert_eq!(cmp.warnings, 3);
+    }
+}

@@ -7,6 +7,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
+pub mod report;
+
+pub use compare::{compare, render, Comparison, DeltaRow, Verdict};
+pub use report::BenchReport;
+
 /// Prints a figure/table banner.
 pub fn banner(title: &str, caption: &str) {
     println!("\n=== {title} ===");

@@ -1,0 +1,181 @@
+//! The aggregated benchmark schema every bench bin emits, plus the
+//! output-path policy that fixes the baseline-drift hazard: fresh runs go
+//! to `target/bench/BENCH_<name>.json`; the committed repo-root
+//! `BENCH_<name>.json` baselines are only touched under `--bless`
+//! (EXPERIMENTS.md documents the re-bless flow).
+
+use std::path::PathBuf;
+
+use meda_telemetry::Json;
+
+/// Schema tag stamped into every report document.
+pub const SCHEMA: &str = "meda-bench/1";
+
+/// A flat named-metric benchmark result.
+///
+/// Metric naming convention: `<cell>.<measure>` with the unit as the
+/// suffix — names ending `_ms` / `_ns` are wall-clock timings (gated with
+/// a relative threshold by [`crate::compare`]); everything else is treated
+/// as a deterministic count (any drift is reported).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Benchmark name; the file stem is `BENCH_<benchmark>.json`.
+    pub benchmark: String,
+    /// `smoke` or `full`.
+    pub mode: String,
+    /// Free-text provenance note.
+    pub note: String,
+    /// `(name, value)` pairs, in insertion order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(benchmark: &str, mode: &str) -> Self {
+        Self {
+            benchmark: benchmark.to_string(),
+            mode: mode.to_string(),
+            note: String::new(),
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends one metric.
+    pub fn push(&mut self, name: impl Into<String>, value: f64) {
+        self.metrics.push((name.into(), value));
+    }
+
+    /// Looks up a metric by exact name.
+    #[must_use]
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.metrics
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Renders the report as its JSON document (single line + newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let metrics = Json::Obj(
+            self.metrics
+                .iter()
+                .map(|(n, v)| (n.clone(), Json::Num(*v)))
+                .collect(),
+        );
+        let mut fields = vec![
+            ("schema".to_string(), Json::str(SCHEMA)),
+            ("benchmark".to_string(), Json::str(&self.benchmark)),
+            ("mode".to_string(), Json::str(&self.mode)),
+        ];
+        if !self.note.is_empty() {
+            fields.push(("note".to_string(), Json::str(&self.note)));
+        }
+        fields.push(("metrics".to_string(), metrics));
+        let mut text = Json::Obj(fields).to_string();
+        text.push('\n');
+        text
+    }
+
+    /// Parses a report document.
+    ///
+    /// # Errors
+    ///
+    /// Malformed JSON, a missing/unknown `schema` tag, or missing fields.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let doc = Json::parse(text.trim())?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing \"schema\" tag (old-format baseline? re-bless it)")?;
+        if schema != SCHEMA {
+            return Err(format!("unknown schema {schema:?} (expected {SCHEMA:?})"));
+        }
+        let field = |name: &str| {
+            doc.get(name)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing \"{name}\""))
+        };
+        let metrics = doc
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .ok_or("missing \"metrics\" object")?
+            .iter()
+            .map(|(n, v)| {
+                v.as_f64()
+                    .map(|v| (n.clone(), v))
+                    .ok_or_else(|| format!("metric \"{n}\" is not a number"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self {
+            benchmark: field("benchmark")?,
+            mode: field("mode")?,
+            note: doc
+                .get("note")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            metrics,
+        })
+    }
+
+    /// Where fresh runs land: `target/bench/BENCH_<name>.json`.
+    #[must_use]
+    pub fn fresh_path(benchmark: &str) -> PathBuf {
+        PathBuf::from(format!("target/bench/BENCH_{benchmark}.json"))
+    }
+
+    /// The committed repo-root baseline: `BENCH_<name>.json`.
+    #[must_use]
+    pub fn baseline_path(benchmark: &str) -> PathBuf {
+        PathBuf::from(format!("BENCH_{benchmark}.json"))
+    }
+
+    /// Writes the report to [`BenchReport::fresh_path`] (creating
+    /// `target/bench/`) and — only when `bless` is set — also refreshes
+    /// the committed baseline. Returns the paths written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn write(&self, bless: bool) -> std::io::Result<Vec<PathBuf>> {
+        let text = self.to_json();
+        let fresh = Self::fresh_path(&self.benchmark);
+        if let Some(parent) = fresh.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(&fresh, &text)?;
+        let mut written = vec![fresh];
+        if bless {
+            let baseline = Self::baseline_path(&self.benchmark);
+            std::fs::write(&baseline, &text)?;
+            written.push(baseline);
+        }
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips() {
+        let mut r = BenchReport::new("demo", "smoke");
+        r.note = "a note".to_string();
+        r.push("c10x10.construct_csr_ms", 0.125);
+        r.push("c10x10.states", 64.0);
+        let back = BenchReport::parse(&r.to_json()).expect("parse");
+        assert_eq!(back, r);
+        assert_eq!(back.metric("c10x10.states"), Some(64.0));
+    }
+
+    #[test]
+    fn old_schema_is_rejected_with_a_hint() {
+        let err = BenchReport::parse("{\"benchmark\":\"synthesis\",\"cells\":[]}")
+            .expect_err("no schema tag");
+        assert!(err.contains("re-bless"), "{err}");
+    }
+}

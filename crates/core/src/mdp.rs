@@ -428,6 +428,11 @@ impl RoutingMdp {
             }
         }
 
+        // Observability only — the span/counters below never influence the
+        // constructed model (DESIGN.md §11).
+        let telemetry = meda_telemetry::global();
+        let _build_span = telemetry.span("mdp.build");
+
         // Capacity hints from the translation-only page of the start shape;
         // morphing configs grow past this, but the estimate removes the
         // bulk of reallocation churn either way.
@@ -539,6 +544,17 @@ impl RoutingMdp {
             state_choice_start.push(choice_action.len() as u32);
             frontier += 1;
         }
+
+        telemetry.add("core.mdp.builds", 1);
+        telemetry.add("core.mdp.states", states.len() as u64);
+        telemetry.add("core.mdp.choices", choice_action.len() as u64);
+        telemetry.add("core.mdp.transitions", branch_target.len() as u64);
+        telemetry.add(
+            "core.mdp.index_pages",
+            index.page_offset.iter().filter(|&&p| p != EMPTY).count() as u64,
+        );
+        telemetry.add("core.mdp.frontier_memo_hits", gen.hits);
+        telemetry.add("core.mdp.frontier_memo_misses", gen.misses);
 
         let mdp = Self {
             states,

@@ -175,6 +175,9 @@ pub(crate) struct TransitionCache<'f> {
     /// has exactly one shape, so this skips the page table entirely.
     last_shape: (usize, usize),
     last_base: usize,
+    /// Memo effectiveness, flushed to telemetry by the builder.
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
 }
 
 impl<'f> TransitionCache<'f> {
@@ -193,6 +196,8 @@ impl<'f> TransitionCache<'f> {
             means: Vec::new(),
             last_shape: (0, 0),
             last_base: 0,
+            hits: 0,
+            misses: 0,
         }
     }
 
@@ -223,6 +228,7 @@ impl<'f> TransitionCache<'f> {
         {
             // Outside the cacheable window (cannot arise from the builder,
             // which only expands in-bounds states).
+            self.misses += 1;
             return mean_force(r, Action::Move(d), d, self.field);
         }
         let base = if (w, h) == self.last_shape {
@@ -245,10 +251,12 @@ impl<'f> TransitionCache<'f> {
         let slot = base + (iy as usize * self.ax + ix as usize) * 4 + dir_slot(d);
         let cached = self.means[slot];
         if cached.is_nan() {
+            self.misses += 1;
             let m = mean_force(r, Action::Move(d), d, self.field);
             self.means[slot] = m;
             m
         } else {
+            self.hits += 1;
             cached
         }
     }

@@ -144,11 +144,15 @@ impl AdaptiveRouter {
             bounds: job.bounds,
             health_digest: digest,
         };
+        let telemetry = meda_telemetry::global();
         if self.config.use_library {
             if let Some(hit) = self.library.get(&key) {
+                telemetry.add("synth.library.hits", 1);
                 return Some(hit);
             }
+            telemetry.add("synth.library.misses", 1);
         }
+        let _job_span = telemetry.span("synth.job");
         let t0 = Instant::now();
         let result = (|| {
             let mdp = RoutingMdp::build(start, job.goal, job.bounds, health, &self.config.actions)

@@ -255,6 +255,36 @@ pub(crate) struct Exec<'a, R: Rng> {
     /// reaching its goal fails with the retryable [`RunStatus::Stalled`]
     /// instead of silently eating the global budget.
     pub(crate) attempt_budget: Option<u64>,
+    /// Per-run telemetry accumulators (flushed on drop).
+    tele: TelemetryAcc,
+}
+
+/// Local per-run observability counters. Kept as plain integers on the hot
+/// path and flushed to the global [`meda_telemetry`] registry exactly once,
+/// on drop — which covers both ways an [`Exec`] ends (the runner's
+/// [`Exec::finish`] and the supervisor building its report directly).
+/// Purely passive: never touches the RNG or any simulation output.
+#[derive(Debug, Default)]
+struct TelemetryAcc {
+    cycles: u64,
+    actuate_ns: u64,
+    sense_ns: u64,
+    sense_reads: u64,
+    sense_mismatches: u64,
+    dead_reckoned: u64,
+}
+
+impl Drop for TelemetryAcc {
+    fn drop(&mut self) {
+        let t = meda_telemetry::global();
+        t.add("sim.runs", 1);
+        t.add("sim.cycles", self.cycles);
+        t.add("sim.phase.actuate_ns", self.actuate_ns);
+        t.add("sim.phase.sense_ns", self.sense_ns);
+        t.add("sim.sense.reads", self.sense_reads);
+        t.add("sim.sense.mismatches", self.sense_mismatches);
+        t.add("sim.sense.dead_reckoned", self.dead_reckoned);
+    }
 }
 
 impl<'a, R: Rng> Exec<'a, R> {
@@ -278,6 +308,7 @@ impl<'a, R: Rng> Exec<'a, R> {
             trace: config.record_actuation.then(Vec::new),
             pending: None,
             attempt_budget: None,
+            tele: TelemetryAcc::default(),
         }
     }
 
@@ -487,6 +518,7 @@ impl<'a, R: Rng> Exec<'a, R> {
     /// The single point every cycle goes through: fire scheduled electrode
     /// deaths, wear the chip, advance the clock, record the trace.
     fn apply_cycle(&mut self, pattern: Grid<bool>) {
+        let sw = meda_telemetry::Stopwatch::start();
         while self.next_death < self.deaths.len()
             && self.deaths[self.next_death].at_cycle <= self.cycles
         {
@@ -498,6 +530,8 @@ impl<'a, R: Rng> Exec<'a, R> {
         if let Some(trace) = self.trace.as_mut() {
             trace.push(pattern);
         }
+        self.tele.cycles += 1;
+        self.tele.actuate_ns += sw.elapsed_ns();
     }
 
     /// Samples the droplet's next location from the Section V-B outcome
@@ -546,6 +580,27 @@ impl<'a, R: Rng> Exec<'a, R> {
         commanded: Rect,
         held: &[Rect],
     ) -> Result<Rect, RunStatus> {
+        let sw = meda_telemetry::Stopwatch::start();
+        let result = self.sense_inner(actual, last_sensed, commanded, held);
+        self.tele.sense_ns += sw.elapsed_ns();
+        self.tele.sense_reads += 1;
+        // A Y-reconstruction mismatch: the controller's estimate differs
+        // from the ground-truth droplet (the engine knows both; a real
+        // controller would not).
+        if result.is_ok_and(|estimate| estimate != actual) {
+            self.tele.sense_mismatches += 1;
+        }
+        result
+    }
+
+    /// [`Exec::sense`] without the telemetry wrapper.
+    fn sense_inner(
+        &mut self,
+        actual: Rect,
+        last_sensed: Rect,
+        commanded: Rect,
+        held: &[Rect],
+    ) -> Result<Rect, RunStatus> {
         let chaos = self.chaos;
         let mut y = Grid::new(self.chip.dims(), false);
         y.fill_rect(actual, true);
@@ -581,6 +636,7 @@ impl<'a, R: Rng> Exec<'a, R> {
             // pattern just means the subtraction occluded the droplet;
             // dead-reckon on the command until it re-emerges.
             if held.iter().any(|rect| rect.intersects(commanded)) {
+                self.tele.dead_reckoned += 1;
                 return Ok(commanded);
             }
             let merged = held

@@ -251,6 +251,13 @@ impl Supervisor {
             // graph can never release them.
             RunStatus::Deadlock
         };
+        let telemetry = meda_telemetry::global();
+        telemetry.add("sim.supervisor.runs", 1);
+        telemetry.add("sim.supervisor.rung.resense", rungs.resense);
+        telemetry.add("sim.supervisor.rung.resynth", rungs.resynth);
+        telemetry.add("sim.supervisor.rung.detour", rungs.detour);
+        telemetry.add("sim.supervisor.aborted_ops", rungs.aborted_ops);
+
         FailureReport {
             cycles: exec.cycles,
             status,
@@ -290,6 +297,9 @@ impl Supervisor {
             match result {
                 Ok(rect) => break Ok(rect),
                 Err(err) => {
+                    if err.status == RunStatus::Stalled {
+                        meda_telemetry::global().add("sim.supervisor.watchdog_fires", 1);
+                    }
                     *retries_out = retries;
                     if err.status == RunStatus::CycleLimit || retries >= self.config.retry_budget {
                         break Err(err);

@@ -71,12 +71,16 @@ where
     let parallel = options.parallel && n >= options.parallel_threshold;
     let mut iterations = 0;
     let mut converged = false;
+    // Residual trajectory, in log2 buckets over pico-units (a residual of
+    // 1e-9 lands near bucket 10, 1.0 near bucket 40). Observability only.
+    let residuals = meda_telemetry::global().histogram("synth.solve.residual_p12");
     if parallel {
         let mut next_values = values.clone();
         let mut next_choice = choice.clone();
         while iterations < options.max_iterations {
             iterations += 1;
             let delta = jacobi_sweep(&eval, values, choice, &mut next_values, &mut next_choice);
+            residuals.record(residual_p12(delta));
             std::mem::swap(values, &mut next_values);
             std::mem::swap(choice, &mut next_choice);
             if delta < options.epsilon {
@@ -98,6 +102,7 @@ where
                 values[i] = v;
                 choice[i] = a;
             }
+            residuals.record(residual_p12(delta));
             if delta < options.epsilon {
                 converged = true;
                 break;
@@ -105,6 +110,16 @@ where
         }
     }
     (iterations, converged)
+}
+
+/// Scales a sweep residual into pico-units for the log2 trajectory
+/// histogram; `∞` (an Rmin sweep touching an infinite state) saturates.
+fn residual_p12(delta: f64) -> u64 {
+    if delta <= 0.0 {
+        0
+    } else {
+        (delta * 1e12) as u64
+    }
 }
 
 /// One parallel Jacobi sweep: evaluates every state against the previous
@@ -188,6 +203,8 @@ where
 /// ```
 #[must_use]
 pub fn max_reach_probability(mdp: &RoutingMdp, options: SolverOptions) -> SolverResult {
+    let telemetry = meda_telemetry::global();
+    let _solve_span = telemetry.span("solve.pmax");
     let csr = mdp.csr();
     let n = mdp.len();
     let mut values: Vec<f64> = (0..n)
@@ -219,6 +236,8 @@ pub fn max_reach_probability(mdp: &RoutingMdp, options: SolverOptions) -> Solver
     };
 
     let (iterations, converged) = iterate(eval, &options, &mut values, &mut choice);
+    telemetry.add("synth.solve.pmax.count", 1);
+    telemetry.add("synth.solve.pmax.iterations", iterations as u64);
     debug_certify(
         mdp,
         &values,
@@ -309,10 +328,19 @@ pub fn min_expected_cycles_with_reach(
     options: SolverOptions,
     reach: &SolverResult,
 ) -> SolverResult {
+    let telemetry = meda_telemetry::global();
+    let _solve_span = telemetry.span("solve.rmin");
     let csr = mdp.csr();
     let n = mdp.len();
     assert_eq!(reach.values.len(), n, "reach result from a different MDP");
     let seed = options.warm_start.as_deref().filter(|s| s.len() == n);
+    if options.warm_start.is_some() {
+        if seed.is_some() {
+            telemetry.add("synth.solve.warm_start.used", 1);
+        } else {
+            telemetry.add("synth.solve.warm_start.rejected", 1);
+        }
+    }
     // Only states with Pmax = 1 admit finite expected time; seed the rest
     // with ∞ so the SSP iteration cannot cheat through them. The remainder
     // start from the warm-start seed (a lower bound — see
@@ -381,6 +409,8 @@ pub fn min_expected_cycles_with_reach(
     };
 
     let (iterations, converged) = iterate(eval, &options, &mut values, &mut choice);
+    telemetry.add("synth.solve.rmin.count", 1);
+    telemetry.add("synth.solve.rmin.iterations", iterations as u64);
 
     if let Some(s) = seed {
         // Degradation monotonicity makes an honestly-obtained seed an

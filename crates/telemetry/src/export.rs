@@ -1,0 +1,163 @@
+//! Export sinks: the aggregated `telemetry.json` summary and the JSONL
+//! span-event stream.
+//!
+//! Both sinks are deterministic given a [`Summary`] / event list: names are
+//! sorted (the registry's `BTreeMap`s guarantee it), object keys are
+//! emitted in a fixed order, and all times are run-relative nanoseconds —
+//! never wall-clock timestamps (DESIGN.md §11).
+
+use crate::histogram::bucket_floor;
+use crate::json::Json;
+use crate::registry::Summary;
+use crate::span::SpanEvent;
+
+/// Schema tag stamped into every aggregated summary document.
+pub const SCHEMA: &str = "meda-telemetry/1";
+
+/// Renders a [`Summary`] as the aggregated `telemetry.json` document.
+///
+/// Layout:
+/// ```json
+/// {"schema":"meda-telemetry/1",
+///  "spans":[{"path":..,"depth":..,"count":..,"total_ns":..,"min_ns":..,"max_ns":..}],
+///  "counters":[{"name":..,"value":..}],
+///  "histograms":[{"name":..,"count":..,"sum":..,"min":..,"max":..,
+///                 "buckets":[{"floor":..,"count":..}]}]}
+/// ```
+#[must_use]
+pub fn summary_to_json(summary: &Summary) -> Json {
+    let spans = summary
+        .spans
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("path".into(), Json::str(&s.path)),
+                ("depth".into(), Json::u64(s.depth as u64)),
+                ("count".into(), Json::u64(s.count)),
+                ("total_ns".into(), Json::u64(s.total_ns)),
+                ("min_ns".into(), Json::u64(s.min_ns)),
+                ("max_ns".into(), Json::u64(s.max_ns)),
+            ])
+        })
+        .collect();
+    let counters = summary
+        .counters
+        .iter()
+        .map(|c| {
+            Json::Obj(vec![
+                ("name".into(), Json::str(&c.name)),
+                ("value".into(), Json::u64(c.value)),
+            ])
+        })
+        .collect();
+    let histograms = summary
+        .histograms
+        .iter()
+        .map(|h| {
+            let buckets = h
+                .snapshot
+                .buckets
+                .iter()
+                .map(|&(idx, n)| {
+                    Json::Obj(vec![
+                        ("floor".into(), Json::u64(bucket_floor(idx))),
+                        ("count".into(), Json::u64(n)),
+                    ])
+                })
+                .collect();
+            Json::Obj(vec![
+                ("name".into(), Json::str(&h.name)),
+                ("count".into(), Json::u64(h.snapshot.count)),
+                ("sum".into(), Json::u64(h.snapshot.sum)),
+                ("min".into(), Json::u64(h.snapshot.min)),
+                ("max".into(), Json::u64(h.snapshot.max)),
+                ("buckets".into(), Json::Arr(buckets)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::str(SCHEMA)),
+        ("spans".into(), Json::Arr(spans)),
+        ("counters".into(), Json::Arr(counters)),
+        ("histograms".into(), Json::Arr(histograms)),
+    ])
+}
+
+/// Renders a [`Summary`] as a `telemetry.json` string (single line plus a
+/// trailing newline; byte-deterministic).
+#[must_use]
+pub fn summary_to_string(summary: &Summary) -> String {
+    let mut s = summary_to_json(summary).to_string();
+    s.push('\n');
+    s
+}
+
+/// Renders captured span events as a JSONL stream — one
+/// `{"path":..,"depth":..,"start_ns":..,"dur_ns":..}` object per line, in
+/// completion order. `start_ns` is relative to the registry epoch.
+#[must_use]
+pub fn events_to_jsonl(events: &[SpanEvent]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let line = Json::Obj(vec![
+            ("path".into(), Json::str(&e.path)),
+            ("depth".into(), Json::u64(e.depth as u64)),
+            ("start_ns".into(), Json::u64(e.start_ns)),
+            ("dur_ns".into(), Json::u64(e.dur_ns)),
+        ]);
+        out.push_str(&line.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn summary_document_has_stable_top_level_keys() {
+        let r = Registry::new();
+        r.add("a", 1);
+        r.histogram("h").record(3);
+        {
+            let _s = r.span("root");
+        }
+        let doc = summary_to_json(&r.summary());
+        let keys: Vec<&str> = doc
+            .as_obj()
+            .expect("object")
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["schema", "spans", "counters", "histograms"]);
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(SCHEMA),
+            "{doc}"
+        );
+        // Round-trips through the parser.
+        let text = summary_to_string(&r.summary());
+        let back = Json::parse(text.trim()).expect("parse");
+        assert_eq!(back.get("schema").and_then(Json::as_str), Some(SCHEMA));
+    }
+
+    #[test]
+    fn jsonl_emits_one_line_per_event() {
+        let r = Registry::new();
+        r.set_capture(true);
+        {
+            let _a = r.span("a");
+            let _b = r.span("b");
+        }
+        let text = events_to_jsonl(&r.take_events());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            let v = Json::parse(line).expect("each line parses");
+            assert!(v.get("path").is_some());
+            assert!(v.get("dur_ns").is_some());
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Fixed-bucket log2 histograms.
+//!
+//! 65 buckets cover the full `u64` range: bucket 0 holds exactly the value
+//! 0, and bucket `k ≥ 1` holds values `v` with `2^(k-1) ≤ v < 2^k` (so
+//! bucket 64 tops out at `u64::MAX`). Bucketing is a single
+//! `leading_zeros`, and all recording is lock-free atomics, so a histogram
+//! can sit on a hot path shared between threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one for zero plus one per bit position.
+pub const BUCKETS: usize = 65;
+
+/// A thread-safe log2 histogram over `u64` samples.
+///
+/// Tracks per-bucket counts plus exact `count`, `sum`, `min`, and `max`
+/// aggregates. `sum` wraps on overflow (only reachable with ≫ 2^64 total
+/// mass, acceptable for observability).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+/// The bucket index a value falls into: 0 for 0, else `64 - leading_zeros`.
+#[must_use]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The smallest value that lands in `bucket` (0 for bucket 0, else
+/// `2^(bucket-1)`).
+#[must_use]
+pub fn bucket_floor(bucket: usize) -> u64 {
+    if bucket == 0 {
+        0
+    } else {
+        1u64 << (bucket - 1)
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples (wrapping).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough snapshot for export (individual fields are read
+    /// atomically; cross-field skew is possible under concurrent writes and
+    /// fine for observability).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| {
+                    let n = b.load(Ordering::Relaxed);
+                    (n > 0).then_some((i, n))
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples (wrapping).
+    pub sum: u64,
+    /// Smallest sample, or 0 when empty.
+    pub min: u64,
+    /// Largest sample, or 0 when empty.
+    pub max: u64,
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_lands_in_bucket_zero() {
+        assert_eq!(bucket_of(0), 0);
+        let h = Histogram::new();
+        h.record(0);
+        assert_eq!(h.snapshot().buckets, vec![(0, 1)]);
+        assert_eq!(h.snapshot().min, 0);
+        assert_eq!(h.snapshot().max, 0);
+    }
+
+    #[test]
+    fn u64_max_lands_in_last_bucket() {
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().buckets, vec![(BUCKETS - 1, 1)]);
+        assert_eq!(h.snapshot().max, u64::MAX);
+    }
+
+    #[test]
+    fn powers_of_two_sit_on_bucket_boundaries() {
+        // 2^k opens bucket k+1; 2^k - 1 closes bucket k.
+        for k in 0..63usize {
+            let v = 1u64 << k;
+            assert_eq!(bucket_of(v), k + 1, "2^{k}");
+            if v > 1 {
+                assert_eq!(bucket_of(v - 1), k, "2^{k} - 1");
+            }
+            assert_eq!(bucket_floor(k + 1), v);
+        }
+        assert_eq!(bucket_of(1u64 << 63), 64);
+        assert_eq!(bucket_floor(0), 0);
+    }
+
+    #[test]
+    fn aggregates_track_min_max_sum() {
+        let h = Histogram::new();
+        for v in [5u64, 1, 9, 3] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum, 18);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 9);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 0);
+        assert!(s.buckets.is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+//! # meda-telemetry — zero-dependency observability
+//!
+//! Span timers with nesting, `u64` counters, and fixed-bucket log2
+//! histograms behind a thread-safe [`Registry`], plus two export sinks
+//! (aggregated `telemetry.json` and a JSONL span-event stream).
+//!
+//! Design rules (DESIGN.md §11):
+//!
+//! - **Durations only.** No wall-clock value is ever recorded; every time
+//!   is either a span duration or a nanosecond offset from the registry's
+//!   run-relative epoch. `std::time` is confined to [`perf`], the one file
+//!   meda-lint's wall-clock rule exempts.
+//! - **Passive.** Instrumentation must never influence simulation or
+//!   synthesis outputs — no RNG draws, no control flow on timings.
+//! - **Deterministic exports.** Metric names are `BTreeMap`-ordered and the
+//!   JSON writer is byte-stable, so two identical runs produce identical
+//!   documents modulo the timing values themselves.
+//!
+//! Typical use:
+//!
+//! ```
+//! let reg = meda_telemetry::global();
+//! {
+//!     let _build = reg.span("mdp.build");
+//!     reg.add("core.mdp.states", 1024);
+//! }
+//! let summary = reg.summary();
+//! assert_eq!(summary.counter("core.mdp.states"), Some(1024));
+//! let _doc = meda_telemetry::export::summary_to_string(&summary);
+//! ```
+
+pub mod export;
+pub mod histogram;
+pub mod json;
+pub mod perf;
+pub mod registry;
+pub mod span;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use json::Json;
+pub use perf::{Clock, Stopwatch};
+pub use registry::{Counter, CounterSummary, HistogramSummary, Registry, SpanSummary, Summary};
+pub use span::{Span, SpanEvent};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry all built-in instrumentation records into.
+/// Created lazily; its epoch is the first call.
+#[must_use]
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}

@@ -1,0 +1,83 @@
+//! Monotonic time sources — the only file in this crate allowed to touch
+//! `std::time` (meda-lint's wall-clock rule exempts `*/perf.rs`).
+//!
+//! Nothing here ever exposes an absolute wall-clock value: the [`Clock`]
+//! hands out nanosecond offsets from its own creation instant, and the
+//! [`Stopwatch`] hands out durations. Both are observability-only — no
+//! simulation or synthesis output may depend on them (DESIGN.md §11).
+
+use std::time::Instant;
+
+/// A monotonic clock that reports time as nanoseconds since its own
+/// construction (the *run-relative epoch*).
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    epoch: Instant,
+}
+
+impl Clock {
+    /// Starts a new clock; its epoch is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since this clock's epoch, saturating at
+    /// `u64::MAX` (≈ 584 years — unreachable in practice).
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A one-shot duration timer for instrumenting a code region without going
+/// through a [`crate::Registry`] span.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since [`Stopwatch::start`], saturating at
+    /// `u64::MAX`.
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let clock = Clock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn stopwatch_measures_something_nonnegative() {
+        let sw = Stopwatch::start();
+        let ns = sw.elapsed_ns();
+        assert!(ns < u64::MAX);
+    }
+}

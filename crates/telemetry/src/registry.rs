@@ -1,0 +1,380 @@
+//! The [`Registry`]: a thread-safe home for counters, histograms, and span
+//! aggregates, with an optional capture buffer of raw span events.
+//!
+//! Handles (`Arc<Counter>`, `Arc<Histogram>`) are looked up by name once
+//! and then recorded through lock-free atomics; only handle registration
+//! and span bookkeeping take a mutex. All names are `BTreeMap`-ordered so
+//! every export is deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::perf::Clock;
+use crate::span::{Span, SpanEvent};
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 to the counter.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Aggregate statistics for one span path.
+#[derive(Debug, Clone, Copy, Default)]
+struct SpanStat {
+    depth: usize,
+    count: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+/// Central metric store. One global instance lives behind
+/// [`crate::global`]; tests may build private ones.
+#[derive(Debug)]
+pub struct Registry {
+    clock: Clock,
+    capture: AtomicBool,
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    spans: Mutex<BTreeMap<String, SpanStat>>,
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A panic while holding one of these observability locks must not take
+    // the instrumented program down with it: recover the poisoned data.
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Registry {
+    /// Creates an empty registry whose epoch is "now".
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            clock: Clock::new(),
+            capture: AtomicBool::new(false),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Nanoseconds since this registry's epoch.
+    #[must_use]
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// Returns (registering on first use) the counter named `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        Arc::clone(
+            lock(&self.counters)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Counter::default())),
+        )
+    }
+
+    /// Convenience: `counter(name).add(n)` without keeping the handle.
+    pub fn add(&self, name: &str, n: u64) {
+        self.counter(name).add(n);
+    }
+
+    /// Returns (registering on first use) the histogram named `name`.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        Arc::clone(
+            lock(&self.histograms)
+                .entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new())),
+        )
+    }
+
+    /// Opens a nested timing span. The returned guard records its duration
+    /// on drop; nesting is tracked per thread, and the recorded path is the
+    /// `/`-joined chain of open span names on this thread.
+    ///
+    /// `name` must not contain `/` (it is the path separator).
+    #[must_use]
+    pub fn span(&self, name: &str) -> Span<'_> {
+        Span::open(self, name)
+    }
+
+    /// Enables or disables capture of raw [`SpanEvent`]s (aggregation is
+    /// always on; the event stream is opt-in because it grows unboundedly).
+    pub fn set_capture(&self, on: bool) {
+        self.capture.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether raw span events are being captured.
+    #[must_use]
+    pub fn capture_enabled(&self) -> bool {
+        self.capture.load(Ordering::Relaxed)
+    }
+
+    /// Drains and returns the captured span events (oldest first).
+    #[must_use]
+    pub fn take_events(&self) -> Vec<SpanEvent> {
+        std::mem::take(&mut *lock(&self.events))
+    }
+
+    /// Resets every metric and the capture buffer (the epoch and capture
+    /// flag are preserved). Used by `meda profile` to scope a run.
+    pub fn clear(&self) {
+        lock(&self.counters).clear();
+        lock(&self.histograms).clear();
+        lock(&self.spans).clear();
+        lock(&self.events).clear();
+    }
+
+    /// Called by [`Span`] on drop.
+    pub(crate) fn record_span(&self, path: &str, depth: usize, start_ns: u64, dur_ns: u64) {
+        {
+            let mut spans = lock(&self.spans);
+            let stat = spans.entry(path.to_string()).or_insert(SpanStat {
+                depth,
+                count: 0,
+                total_ns: 0,
+                min_ns: u64::MAX,
+                max_ns: 0,
+            });
+            stat.count += 1;
+            stat.total_ns = stat.total_ns.saturating_add(dur_ns);
+            stat.min_ns = stat.min_ns.min(dur_ns);
+            stat.max_ns = stat.max_ns.max(dur_ns);
+        }
+        if self.capture_enabled() {
+            lock(&self.events).push(SpanEvent {
+                path: path.to_string(),
+                depth,
+                start_ns,
+                dur_ns,
+            });
+        }
+    }
+
+    /// Snapshots every metric into a deterministic, export-ready summary.
+    #[must_use]
+    pub fn summary(&self) -> Summary {
+        let spans = lock(&self.spans)
+            .iter()
+            .map(|(path, s)| SpanSummary {
+                path: path.clone(),
+                depth: s.depth,
+                count: s.count,
+                total_ns: s.total_ns,
+                min_ns: s.min_ns,
+                max_ns: s.max_ns,
+            })
+            .collect();
+        let counters = lock(&self.counters)
+            .iter()
+            .map(|(name, c)| CounterSummary {
+                name: name.clone(),
+                value: c.get(),
+            })
+            .collect();
+        let histograms = lock(&self.histograms)
+            .iter()
+            .map(|(name, h)| HistogramSummary {
+                name: name.clone(),
+                snapshot: h.snapshot(),
+            })
+            .collect();
+        Summary {
+            spans,
+            counters,
+            histograms,
+        }
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Aggregated timing for one span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSummary {
+    /// `/`-joined nesting path, e.g. `total/run/synth.job`.
+    pub path: String,
+    /// Nesting depth (0 = root span).
+    pub depth: usize,
+    /// Number of times the span closed.
+    pub count: u64,
+    /// Total nanoseconds across all closures.
+    pub total_ns: u64,
+    /// Shortest single closure, ns.
+    pub min_ns: u64,
+    /// Longest single closure, ns.
+    pub max_ns: u64,
+}
+
+/// A named counter value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSummary {
+    /// Counter name.
+    pub name: String,
+    /// Value at snapshot time.
+    pub value: u64,
+}
+
+/// A named histogram snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Histogram name.
+    pub name: String,
+    /// Bucket counts and aggregates.
+    pub snapshot: HistogramSnapshot,
+}
+
+/// Deterministic point-in-time copy of a whole [`Registry`], ready for
+/// [`crate::export`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Summary {
+    /// All span paths, lexicographically sorted.
+    pub spans: Vec<SpanSummary>,
+    /// All counters, lexicographically sorted.
+    pub counters: Vec<CounterSummary>,
+    /// All histograms, lexicographically sorted.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl Summary {
+    /// Looks up a span summary by exact path.
+    #[must_use]
+    pub fn span(&self, path: &str) -> Option<&SpanSummary> {
+        self.spans.iter().find(|s| s.path == path)
+    }
+
+    /// Looks up a counter value by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_sort() {
+        let r = Registry::new();
+        r.add("b.two", 2);
+        r.add("a.one", 1);
+        r.add("b.two", 3);
+        let s = r.summary();
+        assert_eq!(s.counter("a.one"), Some(1));
+        assert_eq!(s.counter("b.two"), Some(5));
+        assert_eq!(s.counters[0].name, "a.one");
+    }
+
+    #[test]
+    fn spans_nest_and_aggregate() {
+        let r = Registry::new();
+        {
+            let _outer = r.span("outer");
+            {
+                let _inner = r.span("inner");
+            }
+            {
+                let _inner = r.span("inner");
+            }
+        }
+        let s = r.summary();
+        let outer = s.span("outer").expect("outer recorded");
+        let inner = s.span("outer/inner").expect("inner recorded");
+        assert_eq!(outer.count, 1);
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.count, 2);
+        assert_eq!(inner.depth, 1);
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(inner.min_ns <= inner.max_ns);
+    }
+
+    #[test]
+    fn capture_records_events_and_drains() {
+        let r = Registry::new();
+        r.set_capture(true);
+        {
+            let _s = r.span("only");
+        }
+        let events = r.take_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].path, "only");
+        assert!(r.take_events().is_empty());
+        r.set_capture(false);
+        {
+            let _s = r.span("ignored");
+        }
+        assert!(r.take_events().is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let r = Registry::new();
+        r.add("c", 7);
+        r.histogram("h").record(1);
+        {
+            let _s = r.span("s");
+        }
+        r.clear();
+        let s = r.summary();
+        assert!(s.counters.is_empty());
+        assert!(s.histograms.is_empty());
+        assert!(s.spans.is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_conserves_totals() {
+        let r = std::sync::Arc::new(Registry::new());
+        let threads = 8u64;
+        let per_thread = 1000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let r = std::sync::Arc::clone(&r);
+                scope.spawn(move || {
+                    let c = r.counter("shared.count");
+                    let h = r.histogram("shared.hist");
+                    for i in 0..per_thread {
+                        c.inc();
+                        h.record(t * per_thread + i);
+                        let _s = r.span("worker");
+                    }
+                });
+            }
+        });
+        let total = threads * per_thread;
+        let s = r.summary();
+        assert_eq!(s.counter("shared.count"), Some(total));
+        let h = &s.histograms[0].snapshot;
+        assert_eq!(h.count, total);
+        assert_eq!(h.buckets.iter().map(|(_, n)| n).sum::<u64>(), total);
+        assert_eq!(s.span("worker").map(|sp| sp.count), Some(total));
+    }
+}

@@ -1,0 +1,114 @@
+//! RAII span guards with per-thread nesting.
+//!
+//! Each thread keeps a stack of open span names; a span's recorded *path*
+//! is the `/`-joined chain from the outermost open span down to itself, so
+//! the same instrumented function shows up under whichever stage called it
+//! (`total/warmup/synth.job` vs `total/run/synth.job`).
+
+use std::cell::RefCell;
+
+use crate::registry::Registry;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A raw timing record, captured only while
+/// [`Registry::set_capture`](crate::Registry::set_capture) is on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// `/`-joined nesting path.
+    pub path: String,
+    /// Nesting depth (0 = root).
+    pub depth: usize,
+    /// Start time, nanoseconds since the registry epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// RAII guard returned by [`Registry::span`]; records its duration (and,
+/// under capture, a [`SpanEvent`]) when dropped.
+#[derive(Debug)]
+pub struct Span<'a> {
+    registry: &'a Registry,
+    path: String,
+    depth: usize,
+    start_ns: u64,
+}
+
+impl<'a> Span<'a> {
+    pub(crate) fn open(registry: &'a Registry, name: &str) -> Self {
+        debug_assert!(
+            !name.contains('/'),
+            "span name {name:?} must not contain '/'"
+        );
+        let (path, depth) = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = if stack.is_empty() {
+                name.to_string()
+            } else {
+                let mut p = stack.join("/");
+                p.push('/');
+                p.push_str(name);
+                p
+            };
+            let depth = stack.len();
+            stack.push(name.to_string());
+            (path, depth)
+        });
+        Self {
+            registry,
+            path,
+            depth,
+            start_ns: registry.now_ns(),
+        }
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        // Truncate (rather than pop) so an out-of-order drop can only
+        // shorten the stack — paths stay prefixes of real nesting.
+        SPAN_STACK.with(|stack| stack.borrow_mut().truncate(self.depth));
+        let dur_ns = self.registry.now_ns().saturating_sub(self.start_ns);
+        self.registry
+            .record_span(&self.path, self.depth, self.start_ns, dur_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_of_order_drop_does_not_corrupt_the_stack() {
+        let r = Registry::new();
+        let a = r.span("a");
+        let b = r.span("b");
+        drop(a); // truncates to depth 0, implicitly closing b's slot
+        drop(b);
+        {
+            let _c = r.span("c");
+        }
+        let s = r.summary();
+        // "c" opened after both drops must be a root span again.
+        assert!(s.span("c").is_some(), "c recorded at root: {:?}", s.spans);
+        assert_eq!(s.span("c").map(|sp| sp.depth), Some(0));
+    }
+
+    #[test]
+    fn sibling_threads_do_not_share_nesting() {
+        let r = std::sync::Arc::new(Registry::new());
+        let r2 = std::sync::Arc::clone(&r);
+        let _outer = r.span("outer");
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                let _t = r2.span("threaded");
+            });
+        });
+        let s = r.summary();
+        // The spawned thread has its own empty stack: no "outer/" prefix.
+        assert!(s.span("threaded").is_some(), "spans: {:?}", s.spans);
+    }
+}

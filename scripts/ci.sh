@@ -1,36 +1,105 @@
 #!/usr/bin/env bash
-# Offline CI gate: formatting, lints, tier-1 build + tests, bench smoke.
-# Everything runs without network access (the workspace has zero
-# third-party dependencies — see DESIGN.md §6).
+# Offline CI gate: formatting, lints, tier-1 build + tests, the meda-check
+# replay corpus, and (unless --quick) release bench/chaos smokes plus the
+# benchmark-regression gate. Everything runs without network access (the
+# workspace has zero third-party dependencies — see DESIGN.md §6).
+#
+# Usage: scripts/ci.sh [--quick]
+#   --quick   skip the release bench/chaos/profile smokes and the bench
+#             regression gate (the slow stages) — for fast local loops.
+#
+# Each stage is a named function run through `stage <name> <fn>`; a trap
+# prints the per-stage wall-time summary on exit, pass or fail.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+export CARGO_TERM_COLOR="${CARGO_TERM_COLOR:-always}"
 
-echo "==> cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "ci.sh: unknown argument '$arg' (supported: --quick)" >&2; exit 2 ;;
+  esac
+done
 
-echo "==> cargo build --release"
-cargo build --workspace --release
+STAGE_NAMES=()
+STAGE_TIMES=()
+CURRENT_STAGE=""
 
-echo "==> cargo test"
-cargo test --workspace --quiet
+summary() {
+  local status=$?
+  echo
+  echo "==> ci.sh stage summary"
+  local i
+  for ((i = 0; i < ${#STAGE_NAMES[@]}; i++)); do
+    printf '    %-24s %4ss\n' "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}"
+  done
+  if [ "$status" -ne 0 ] && [ -n "$CURRENT_STAGE" ]; then
+    printf '    %-24s FAILED\n' "$CURRENT_STAGE"
+    echo "ci.sh: FAILED in stage '$CURRENT_STAGE' (exit $status)"
+  elif [ "$status" -eq 0 ]; then
+    echo "ci.sh: all checks passed"
+  fi
+}
+trap summary EXIT
 
-echo "==> meda-lint (determinism + robustness lint, fails on any finding)"
-cargo run --release -p meda-lint
+stage() {
+  local name=$1
+  shift
+  CURRENT_STAGE=$name
+  echo
+  echo "==> $name"
+  local start=$SECONDS
+  "$@"
+  STAGE_NAMES+=("$name")
+  STAGE_TIMES+=("$((SECONDS - start))")
+  CURRENT_STAGE=""
+}
 
-echo "==> audit smoke (meda audit over a freshly synthesized assay model)"
-cargo run --release -- audit covid-rat
-
-echo "==> check smoke (meda-check differential oracle suite)"
+fmt()           { cargo fmt --all -- --check; }
+clippy()        { cargo clippy --workspace --all-targets -- -D warnings; }
+build_release() { cargo build --workspace --release; }
+# Early, cheap, and high-signal: every previously-shrunk counterexample in
+# crates/check/tests/corpus/ must still pass before the random suites run.
+replay_corpus() { cargo run --release -- check --replay-only; }
+tests()         { cargo test --workspace --quiet; }
+lint()          { cargo run --release -p meda-lint; }
+audit_smoke()   { cargo run --release -- audit covid-rat; }
 # Default smoke budget is small; set MEDA_CHECK_CASES for an extended run.
-cargo run --release -- check --smoke
+check_smoke()   { cargo run --release -- check --smoke; }
+bench_smoke()   { cargo run --release -p meda-bench --bin bench_synthesis -- --smoke; }
+chaos_smoke()   { cargo run --release -p meda-bench --bin ext_chaos -- --smoke; }
+profile_smoke() { cargo run --release -- profile covid-rat; }
+# Diff the fresh target/bench/ runs against the committed baselines;
+# >25% timing regressions in smoke mode fail (see EXPERIMENTS.md to re-bless).
+bench_gate()    { cargo run --release -p meda-bench --bin bench_compare -- synthesis chaos; }
+# Negative self-test: against a fixture baseline with 1 ns timings the gate
+# MUST fire; if it exits 0 the gate is broken and CI should say so.
+gate_selftest() {
+  if cargo run --release -p meda-bench --bin bench_compare -- synthesis \
+      --baseline scripts/bench_regression_fixture.json; then
+    echo "gate-selftest: bench_compare passed against the impossible fixture — the gate is broken" >&2
+    return 1
+  fi
+  echo "gate-selftest: gate fired against the fixture baseline, as it must"
+}
 
-echo "==> bench smoke (bench_synthesis --smoke)"
-cargo run --release -p meda-bench --bin bench_synthesis -- --smoke
-
-echo "==> chaos smoke (ext_chaos --smoke)"
-cargo run --release -p meda-bench --bin ext_chaos -- --smoke
-
-echo "ci.sh: all checks passed"
+stage "fmt"            fmt
+stage "clippy"         clippy
+stage "build-release"  build_release
+stage "replay-corpus"  replay_corpus
+stage "test"           tests
+stage "lint"           lint
+stage "audit-smoke"    audit_smoke
+stage "check-smoke"    check_smoke
+if [ "$QUICK" -eq 0 ]; then
+  stage "bench-smoke"    bench_smoke
+  stage "chaos-smoke"    chaos_smoke
+  stage "profile-smoke"  profile_smoke
+  stage "bench-gate"     bench_gate
+  stage "gate-selftest"  gate_selftest
+else
+  echo
+  echo "==> --quick: skipping bench-smoke, chaos-smoke, profile-smoke, bench-gate, gate-selftest"
+fi

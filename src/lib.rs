@@ -15,6 +15,8 @@
 //! | [`bioassay`] | `meda-bioassay` | sequencing graphs, MO→RJ helper, benchmark bioassays |
 //! | [`sim`] | `meda-sim` | biochip simulator, routers, schedulers, fault injection, sensing reconstruction, wear analysis, experiments |
 //! | [`check`] | `meda-check` | property-based testing: generators, integrated shrinking, differential sim/MDP oracles |
+//! | [`telemetry`] | `meda-telemetry` | span timers, counters, log2 histograms, JSON/JSONL export sinks |
+//! | [`profile`] | — | `meda profile` orchestration: per-stage time accounting over one assay |
 //!
 //! # Quickstart
 //!
@@ -50,6 +52,8 @@
 #[doc = include_str!("../TUTORIAL.md")]
 pub mod tutorial {}
 
+pub mod profile;
+
 pub use meda_audit as audit;
 pub use meda_bioassay as bioassay;
 pub use meda_cell as cell;
@@ -59,3 +63,4 @@ pub use meda_degradation as degradation;
 pub use meda_grid as grid;
 pub use meda_sim as sim;
 pub use meda_synth as synth;
+pub use meda_telemetry as telemetry;

@@ -8,6 +8,7 @@
 //! meda export-prism <assay> <job#> [--dir D] PRISM explicit-format export
 //! meda audit <assay> [--force F]             verify + certify every routed job
 //! meda wear <assay> [options]                run repeatedly, print wear map
+//! meda profile <assay> [--chaos]             per-stage time/percentage table
 //! ```
 //!
 //! Run `meda <command> --help` (or no arguments) for the option lists.
@@ -44,6 +45,8 @@ USAGE:
   meda audit <assay> [--force F]
   meda wear <assay> [--runs N] [--seed N]
   meda check [--cases N] [--seed N] [--replay-only] [--smoke]
+  meda profile <assay> [--chaos] [--seed N] [--k-max N]
+               [--json PATH] [--events PATH]
 
 Assays: master-mix, covid-rat, cep, covid-pcr, nuip, serial-dilution";
 
@@ -58,6 +61,7 @@ fn main() -> ExitCode {
         Some("audit") => cmd_audit(&args[1..]),
         Some("wear") => cmd_wear(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("profile") => cmd_profile(&args[1..]),
         _ => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -435,9 +439,71 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
         }
     }
     if failed > 0 {
-        return Err(format!("{failed} of {} properties failed", outcomes.len()));
+        return Err(format!(
+            "{failed} of {} properties failed (failure corpus: {})",
+            outcomes.len(),
+            default_corpus_dir().display()
+        ));
     }
     Ok(())
+}
+
+/// Profiles one assay under full telemetry capture: prints the per-stage
+/// time/percentage table, writes the aggregated `telemetry.json` summary
+/// (default `target/telemetry.json`, override with `--json`), and — with
+/// `--events PATH` — the raw JSONL span-event stream. Exits nonzero if
+/// less than 90% of the measured run time is attributed to named stages,
+/// so CI catches instrumentation rot.
+fn cmd_profile(args: &[String]) -> Result<(), String> {
+    let name = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("usage: meda profile <assay> [--chaos] [--seed N] [--k-max N] [--json PATH] [--events PATH]")?;
+    let mut options = meda::profile::ProfileOptions {
+        chaos: args.iter().any(|a| a == "--chaos"),
+        ..meda::profile::ProfileOptions::default()
+    };
+    if let Some(s) = flag(args, "--seed") {
+        options.seed = s.parse().map_err(|_| format!("bad seed '{s}'"))?;
+    }
+    if let Some(s) = flag(args, "--k-max") {
+        options.k_max = s.parse().map_err(|_| format!("bad k-max '{s}'"))?;
+    }
+    let json_path = flag(args, "--json").unwrap_or_else(|| "target/telemetry.json".into());
+
+    let report = meda::profile::profile_assay(name, &options)?;
+    println!("{}", report.outcome);
+    println!();
+    print!("{}", meda::profile::render_table(&report));
+
+    let doc = meda::telemetry::export::summary_to_string(&report.summary);
+    write_creating_parent(&json_path, &doc)?;
+    println!("\nwrote {json_path}");
+    if let Some(events_path) = flag(args, "--events") {
+        let stream = meda::telemetry::export::events_to_jsonl(&report.events);
+        write_creating_parent(&events_path, &stream)?;
+        println!("wrote {events_path} ({} events)", report.events.len());
+    }
+
+    if report.coverage < 0.9 {
+        return Err(format!(
+            "span coverage {:.1}% is below the 90% bar — instrumentation no \
+             longer covers the hot paths",
+            100.0 * report.coverage
+        ));
+    }
+    Ok(())
+}
+
+fn write_creating_parent(path: &str, contents: &str) -> Result<(), String> {
+    let path = std::path::Path::new(path);
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("creating {}: {e}", parent.display()))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| format!("writing {}: {e}", path.display()))
 }
 
 fn cmd_wear(args: &[String]) -> Result<(), String> {
