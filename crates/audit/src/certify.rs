@@ -93,6 +93,26 @@ pub fn bellman_certificate(art: &ModelArtifact, values: &[f64], kind: ValueKind)
     cert
 }
 
+/// Widens a single-precision value vector and certifies it against the
+/// exact `f64` Bellman operator — the acceptance gate of the solver's `f32`
+/// fast path. Returns the widened vector alongside its certificate so an
+/// accepted result can be used without a second conversion.
+///
+/// # Panics
+///
+/// Panics if `values.len()` differs from the artifact's state count (see
+/// [`bellman_certificate`]).
+#[must_use]
+pub fn certify_f32(
+    art: &ModelArtifact,
+    values: &[f32],
+    kind: ValueKind,
+) -> (Vec<f64>, Certificate) {
+    let wide: Vec<f64> = values.iter().map(|&v| f64::from(v)).collect();
+    let cert = bellman_certificate(art, &wide, kind);
+    (wide, cert)
+}
+
 /// One exact backup `T(v)_i` of the given operator.
 fn backup(art: &ModelArtifact, values: &[f64], kind: ValueKind, i: usize) -> f64 {
     if art.goal_flags[i] {

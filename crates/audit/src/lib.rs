@@ -56,7 +56,7 @@ mod report;
 mod strategy;
 
 pub use artifact::ModelArtifact;
-pub use certify::{audit_values, bellman_certificate, Certificate, ValueKind};
+pub use certify::{audit_values, bellman_certificate, certify_f32, Certificate, ValueKind};
 pub use model::{audit_model, census, MASS_EPSILON};
 pub use report::{AuditReport, Census, Violation};
 pub use strategy::audit_strategy;

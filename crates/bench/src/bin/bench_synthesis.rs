@@ -11,11 +11,18 @@
 //! * **csr** — the current [`meda_core::RoutingMdp`] builder (perfect
 //!   dense state index + CSR transition arrays).
 //!
-//! On the solver side, the cold Gauss–Seidel `Rmin` solve is compared
-//! against a warm-started re-solve on a degraded field seeded with the
-//! healthy-field values (the mid-job re-synthesis path).
+//! On the solver side, each cell times three engines on the cold `Rmin`
+//! query — the pre-PR whole-vector Gauss–Seidel baseline
+//! ([`SolverMethod::GaussSeidel`]), the structure-aware default
+//! (topological value iteration over the SCC condensation), and the
+//! certified `f32` fast path — and reports `construct_solve_speedup`,
+//! the construct+solve ratio of baseline over default engine (the
+//! ISSUE 6 ≥10x acceptance metric on the 90×90 rows). Warm re-solves on
+//! a degraded field run both the default engine and prioritized
+//! sweeping.
 //!
-//! Run with `--smoke` for a single small cell (CI wiring).
+//! Run with `--smoke` for a single small cell (CI wiring); full mode
+//! sweeps the paper-scale matrix (Table V geometries up to 90×90).
 #![forbid(unsafe_code)]
 
 use std::collections::HashMap;
@@ -27,7 +34,7 @@ use meda_core::{
 };
 use meda_degradation::HealthLevel;
 use meda_grid::{ChipDims, Grid, Rect};
-use meda_synth::{min_expected_cycles, SolverOptions};
+use meda_synth::{min_expected_cycles, SolverMethod, SolverOptions};
 
 /// The pre-rewrite outcome generation, kept verbatim for the baseline: a
 /// fresh `Vec` per match arm plus a second one in `merge`. The in-tree
@@ -193,12 +200,20 @@ struct CellResult {
     transitions: usize,
     construct_hashmap_ms: f64,
     construct_csr_ms: f64,
+    solve_gs_ms: f64,
+    solve_gs_iterations: usize,
     solve_cold_ms: f64,
     solve_cold_iterations: usize,
+    solve_f32_ms: f64,
+    solve_f32_iterations: usize,
+    solve_f32_certified: bool,
+    construct_solve_speedup: f64,
     resolve_cold_ms: f64,
     resolve_cold_iterations: usize,
     resolve_warm_ms: f64,
     resolve_warm_iterations: usize,
+    resolve_warm_pq_ms: f64,
+    resolve_warm_pq_iterations: usize,
 }
 
 fn measure_cell(area: (u32, u32), droplet: (u32, u32), reps: u32) -> CellResult {
@@ -220,8 +235,30 @@ fn measure_cell(area: (u32, u32), droplet: (u32, u32), reps: u32) -> CellResult 
         "builders disagree on model size"
     );
 
+    // The pre-PR engine: plain whole-vector Gauss–Seidel sweeps.
+    let gs_options = SolverOptions {
+        method: SolverMethod::GaussSeidel,
+        ..SolverOptions::default()
+    };
+    let (solve_gs_ms, gs) = best_of(reps, || min_expected_cycles(&mdp, gs_options.clone()));
+    // The structure-aware default (topological value iteration).
     let (solve_cold_ms, cold) =
         best_of(reps, || min_expected_cycles(&mdp, SolverOptions::default()));
+    assert!(
+        cold.converged && gs.converged,
+        "cold solves did not converge"
+    );
+    // The certified f32 fast path (certification time included — it is
+    // part of the path).
+    let f32_options = SolverOptions {
+        float32: true,
+        ..SolverOptions::default()
+    };
+    let (solve_f32_ms, f32_res) = best_of(reps, || min_expected_cycles(&mdp, f32_options.clone()));
+    // The acceptance ratio: end-to-end construct+solve, baseline engine
+    // over the new default, on the shared CSR builder.
+    let construct_solve_speedup =
+        (construct_csr_ms + solve_gs_ms) / (construct_csr_ms + solve_cold_ms);
 
     // Mid-job re-synthesis: same geometry on a degraded field, seeded with
     // the healthy values (a pointwise lower bound — health only decays).
@@ -246,10 +283,36 @@ fn measure_cell(area: (u32, u32), droplet: (u32, u32), reps: u32) -> CellResult 
             },
         )
     });
+    // The seed replaces the from-above ∞ start, and on ordinal models a
+    // from-below ascent burns down the seed gap geometrically at the
+    // partial-branch rate — slower at paper scale than the from-above
+    // start's near-exact first sweep. Warm full re-solves are therefore
+    // *measured* (the matrix shows cold winning), not asserted faster;
+    // the contract is fixed-point agreement.
     assert!(
-        warm2.iterations <= cold2.iterations,
-        "warm start took more sweeps"
+        cold2.converged && warm2.converged,
+        "degraded re-solves did not converge"
     );
+    for (c, w) in cold2.values.iter().zip(&warm2.values) {
+        assert!(
+            (!c.is_finite() && !w.is_finite()) || (c - w).abs() <= 1e-6,
+            "warm re-solve disagrees with cold ({c} vs {w})"
+        );
+    }
+    // The same warm re-solve through prioritized sweeping — the method's
+    // home turf is *local* patches; on this global-wear scenario it is
+    // measured, not asserted faster.
+    let (resolve_warm_pq_ms, warm_pq) = best_of(reps, || {
+        min_expected_cycles(
+            &mdp2,
+            SolverOptions {
+                method: SolverMethod::Prioritized,
+                warm_start: Some(seed.clone()),
+                ..SolverOptions::default()
+            },
+        )
+    });
+    assert!(warm_pq.converged, "prioritized re-solve did not converge");
 
     CellResult {
         area,
@@ -259,12 +322,20 @@ fn measure_cell(area: (u32, u32), droplet: (u32, u32), reps: u32) -> CellResult 
         transitions: stats.transitions,
         construct_hashmap_ms,
         construct_csr_ms,
+        solve_gs_ms,
+        solve_gs_iterations: gs.iterations,
         solve_cold_ms,
         solve_cold_iterations: cold.iterations,
+        solve_f32_ms,
+        solve_f32_iterations: f32_res.iterations,
+        solve_f32_certified: f32_res.float32,
+        construct_solve_speedup,
         resolve_cold_ms,
         resolve_cold_iterations: cold2.iterations,
         resolve_warm_ms,
         resolve_warm_iterations: warm2.iterations,
+        resolve_warm_pq_ms,
+        resolve_warm_pq_iterations: warm_pq.iterations,
     }
 }
 
@@ -275,8 +346,13 @@ fn to_report(results: &[CellResult], mode: &str) -> BenchReport {
     let mut report = BenchReport::new("synthesis", mode);
     report.note = "construct_hashmap_ms is the pre-rewrite HashMap/nested-Vec builder \
                    reimplemented as a baseline; construct_csr_ms is the dense-index/CSR \
-                   builder; resolve_* re-solve the same geometry on a degraded field, \
-                   cold vs warm-started from the healthy-field values"
+                   builder; solve_gs_ms is the pre-ISSUE-6 whole-vector Gauss-Seidel \
+                   engine, solve_cold_ms the topological default, solve_f32_ms the \
+                   certified f32 fast path; construct_solve_speedup = \
+                   (construct_csr + solve_gs) / (construct_csr + solve_cold); \
+                   resolve_* re-solve the same geometry on a degraded field, cold vs \
+                   warm-started from the healthy-field values (default engine and \
+                   prioritized sweeping)"
         .to_string();
     for c in results {
         let cell = format!(
@@ -291,10 +367,28 @@ fn to_report(results: &[CellResult], mode: &str) -> BenchReport {
             c.construct_hashmap_ms,
         );
         report.push(format!("{cell}.construct_csr_ms"), c.construct_csr_ms);
+        report.push(format!("{cell}.solve_gs_ms"), c.solve_gs_ms);
+        report.push(
+            format!("{cell}.solve_gs_iterations"),
+            c.solve_gs_iterations as f64,
+        );
         report.push(format!("{cell}.solve_cold_ms"), c.solve_cold_ms);
         report.push(
             format!("{cell}.solve_cold_iterations"),
             c.solve_cold_iterations as f64,
+        );
+        report.push(format!("{cell}.solve_f32_ms"), c.solve_f32_ms);
+        report.push(
+            format!("{cell}.solve_f32_iterations"),
+            c.solve_f32_iterations as f64,
+        );
+        report.push(
+            format!("{cell}.solve_f32_certified"),
+            f64::from(u8::from(c.solve_f32_certified)),
+        );
+        report.push(
+            format!("{cell}.construct_solve_speedup"),
+            c.construct_solve_speedup,
         );
         report.push(format!("{cell}.resolve_cold_ms"), c.resolve_cold_ms);
         report.push(
@@ -305,6 +399,11 @@ fn to_report(results: &[CellResult], mode: &str) -> BenchReport {
         report.push(
             format!("{cell}.resolve_warm_iterations"),
             c.resolve_warm_iterations as f64,
+        );
+        report.push(format!("{cell}.resolve_warm_pq_ms"), c.resolve_warm_pq_ms);
+        report.push(
+            format!("{cell}.resolve_warm_pq_iterations"),
+            c.resolve_warm_pq_iterations as f64,
         );
     }
     report
@@ -322,53 +421,57 @@ fn main() {
          indexes, and cold vs warm-started Rmin solve. Fastest of N runs.",
     );
 
-    let (cells, reps): (&[Cell], u32) = if smoke {
-        (&[((10, 10), (3, 3))], 2)
+    // Paper-scale matrix (full mode): the Table V geometries scaled up to
+    // the paper's 90×90 evaluation grids, multiple droplet sizes. Larger
+    // models get fewer reps — their timings are far above clock noise.
+    let cells: &[(Cell, u32)] = if smoke {
+        &[(((10, 10), (3, 3)), 2)]
     } else {
-        (
-            &[
-                ((10, 10), (3, 3)),
-                ((10, 10), (4, 4)),
-                ((20, 20), (3, 3)),
-                ((20, 20), (4, 4)),
-                ((20, 20), (6, 6)),
-                ((30, 30), (3, 3)),
-                ((30, 30), (4, 4)),
-                ((30, 30), (6, 6)),
-            ],
-            5,
-        )
+        &[
+            (((10, 10), (3, 3)), 5),
+            (((20, 20), (4, 4)), 5),
+            (((30, 30), (3, 3)), 5),
+            (((30, 30), (6, 6)), 5),
+            (((45, 45), (3, 3)), 3),
+            (((60, 60), (6, 6)), 3),
+            (((90, 45), (3, 3)), 3),
+            (((90, 90), (3, 3)), 2),
+            (((90, 90), (6, 6)), 2),
+            (((90, 90), (12, 12)), 2),
+        ]
     };
 
-    let widths = [8, 8, 8, 12, 11, 9, 9, 10, 10];
+    let widths = [8, 8, 8, 11, 9, 10, 10, 9, 8, 11];
     header(
         &[
             "area",
             "droplet",
             "#states",
-            "hashmap ms",
             "csr ms",
-            "speedup",
-            "solve ms",
-            "re-cold it",
-            "re-warm it",
+            "gs ms",
+            "gs it",
+            "topo ms",
+            "topo it",
+            "f32 ms",
+            "c+s speedup",
         ],
         &widths,
     );
     let mut results = Vec::new();
-    for &(area, droplet) in cells {
+    for &((area, droplet), reps) in cells {
         let c = measure_cell(area, droplet, reps);
         row(
             &[
                 format!("{}x{}", c.area.0, c.area.1),
                 format!("{}x{}", c.droplet.0, c.droplet.1),
                 format!("{}", c.states),
-                format!("{:.3}", c.construct_hashmap_ms),
                 format!("{:.3}", c.construct_csr_ms),
-                format!("{:.2}x", c.construct_hashmap_ms / c.construct_csr_ms),
+                format!("{:.3}", c.solve_gs_ms),
+                format!("{}", c.solve_gs_iterations),
                 format!("{:.3}", c.solve_cold_ms),
-                format!("{}", c.resolve_cold_iterations),
-                format!("{}", c.resolve_warm_iterations),
+                format!("{}", c.solve_cold_iterations),
+                format!("{:.3}", c.solve_f32_ms),
+                format!("{:.2}x", c.construct_solve_speedup),
             ],
             &widths,
         );

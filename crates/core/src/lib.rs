@@ -53,7 +53,8 @@ pub use force::{
 };
 pub use frontier::frontier_set;
 pub use mdp::{
-    Branch, BuildError, Choice, Choices, ChoicesIter, CsrView, HazardHandling, MdpStats, RoutingMdp,
+    Branch, BuildError, Choice, Choices, ChoicesIter, Condensation, CsrView, HazardHandling,
+    MdpStats, RoutingMdp,
 };
 pub use smg::{DegradationMove, GameState, MedaGame, Player};
 pub use transition::{transitions, transitions_into, Outcome};

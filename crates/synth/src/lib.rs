@@ -60,7 +60,7 @@ pub use library::{LibraryKey, StrategyLibrary};
 pub use perf::{measure_synthesis, PerfRecord};
 pub use query::Query;
 pub use solver::{
-    max_reach_probability, min_expected_cycles, min_expected_cycles_with_reach, SolverOptions,
-    SolverResult,
+    max_reach_probability, min_expected_cycles, min_expected_cycles_with_reach, SolverMethod,
+    SolverOptions, SolverResult,
 };
 pub use strategy::{synthesize, synthesize_with, RoutingStrategy, SynthesisError};

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # Offline CI gate: formatting, lints, tier-1 build + tests, the meda-check
-# replay corpus, and (unless --quick) release bench/chaos smokes plus the
-# benchmark-regression gate. Everything runs without network access (the
-# workspace has zero third-party dependencies — see DESIGN.md §6).
+# replay corpus, and (unless --quick) the full-mode paper-scale synthesis
+# bench, chaos/profile smokes, and the benchmark-regression gate.
+# Everything runs without network access (the workspace has zero
+# third-party dependencies — see DESIGN.md §6).
 #
 # Usage: scripts/ci.sh [--quick]
-#   --quick   skip the release bench/chaos/profile smokes and the bench
+#   --quick   skip the release bench/chaos/profile stages and the bench
 #             regression gate (the slow stages) — for fast local loops.
 #
 # Each stage is a named function run through `stage <name> <fn>`; a trap
@@ -68,7 +69,11 @@ lint()          { cargo run --release -p meda-lint; }
 audit_smoke()   { cargo run --release -- audit covid-rat; }
 # Default smoke budget is small; set MEDA_CHECK_CASES for an extended run.
 check_smoke()   { cargo run --release -- check --smoke; }
-bench_smoke()   { cargo run --release -p meda-bench --bin bench_synthesis -- --smoke; }
+# Full (non-smoke) mode: the paper-scale Table V matrix up to 90×90. The
+# committed BENCH_synthesis.json baseline is full-mode, and bench_compare
+# only gates timings when modes match — a smoke run here would downgrade
+# every paper-scale regression to a warning.
+bench_full()    { cargo run --release -p meda-bench --bin bench_synthesis; }
 chaos_smoke()   { cargo run --release -p meda-bench --bin ext_chaos -- --smoke; }
 profile_smoke() { cargo run --release -- profile covid-rat; }
 # Diff the fresh target/bench/ runs against the committed baselines;
@@ -94,12 +99,12 @@ stage "lint"           lint
 stage "audit-smoke"    audit_smoke
 stage "check-smoke"    check_smoke
 if [ "$QUICK" -eq 0 ]; then
-  stage "bench-smoke"    bench_smoke
+  stage "bench-full"     bench_full
   stage "chaos-smoke"    chaos_smoke
   stage "profile-smoke"  profile_smoke
   stage "bench-gate"     bench_gate
   stage "gate-selftest"  gate_selftest
 else
   echo
-  echo "==> --quick: skipping bench-smoke, chaos-smoke, profile-smoke, bench-gate, gate-selftest"
+  echo "==> --quick: skipping bench-full, chaos-smoke, profile-smoke, bench-gate, gate-selftest"
 fi
