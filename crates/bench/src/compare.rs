@@ -13,6 +13,12 @@
 //!   the ≥10x construct+solve claim stays proven: the blessed full-mode
 //!   baseline records the measured ratio, and any change that collapses
 //!   it trips the gate). Gains are OK with a re-bless reminder.
+//! - **Dominance metrics** (names ending `_dominance`): ratios or win
+//!   counts that prove one control stack dominates another (the chaos
+//!   degradation curve's reconfig-vs-supervised claim). Falling below
+//!   `1.0` **fails** outright in matching modes — the dominated stack
+//!   caught up — and a *drop* beyond the threshold fails like a ratio
+//!   metric (a shrinking margin is a curve regression even while ≥ 1).
 //! - **Count metrics** (everything else): these are deterministic model
 //!   sizes / iteration counts, so *any* drift warns — it means the code
 //!   changed shape and the baseline is stale.
@@ -76,6 +82,10 @@ fn is_ratio(name: &str) -> bool {
     name.ends_with("_speedup")
 }
 
+fn is_dominance(name: &str) -> bool {
+    name.ends_with("_dominance")
+}
+
 /// Diffs `fresh` against `baseline` with a relative `threshold_pct` on
 /// timing metrics.
 #[must_use]
@@ -115,6 +125,33 @@ pub fn compare(baseline: &BenchReport, fresh: &BenchReport, threshold_pct: f64) 
                             "improved — consider re-blessing".to_string(),
                         ),
                         _ => (Verdict::Ok, String::new()),
+                    }
+                } else if is_dominance(name) {
+                    if new < 1.0 && gate_timings {
+                        (Verdict::Fail, "dominance lost — fell below 1.0".to_string())
+                    } else if new < 1.0 {
+                        (
+                            Verdict::Warn,
+                            "dominance below 1.0 (mode mismatch: not gating)".to_string(),
+                        )
+                    } else {
+                        match delta_pct {
+                            Some(d) if d < -threshold_pct && gate_timings => (
+                                Verdict::Fail,
+                                format!("dominance margin dropped beyond -{threshold_pct:.0}%"),
+                            ),
+                            Some(d) if d < -threshold_pct => (
+                                Verdict::Warn,
+                                format!(
+                                    "dominance margin dropped beyond -{threshold_pct:.0}% (mode mismatch: not gating)"
+                                ),
+                            ),
+                            Some(d) if d > threshold_pct => (
+                                Verdict::Ok,
+                                "margin grew — consider re-blessing".to_string(),
+                            ),
+                            _ => (Verdict::Ok, String::new()),
+                        }
                     }
                 } else if is_ratio(name) {
                     match delta_pct {
@@ -308,6 +345,41 @@ mod tests {
         let cmp = compare(&base, &fresh, 25.0);
         assert_eq!(cmp.failures, 0);
         assert_eq!(cmp.warnings, 1);
+    }
+
+    #[test]
+    fn dominance_below_one_fails_same_mode_and_warns_across_modes() {
+        let base = report("full", &[("cluster.reconfig_vs_supervised_dominance", 1.2)]);
+        let lost = report("full", &[("cluster.reconfig_vs_supervised_dominance", 0.9)]);
+        let cmp = compare(&base, &lost, 25.0);
+        assert_eq!(cmp.failures, 1);
+        assert!(cmp.rows[0].note.contains("dominance lost"));
+        let smoke = report(
+            "smoke",
+            &[("cluster.reconfig_vs_supervised_dominance", 0.9)],
+        );
+        let cmp = compare(&base, &smoke, 25.0);
+        assert_eq!(cmp.failures, 0);
+        assert_eq!(cmp.warnings, 1);
+    }
+
+    #[test]
+    fn dominance_margin_collapse_fails_but_growth_is_ok() {
+        // Still ≥ 1.0, but the curve's margin shrank beyond the threshold:
+        // a degradation-curve regression even though dominance holds.
+        let base = report("full", &[("rowloss.reconfig_strict_wins_dominance", 4.0)]);
+        let drop = report("full", &[("rowloss.reconfig_strict_wins_dominance", 2.0)]);
+        let cmp = compare(&base, &drop, 25.0);
+        assert_eq!(cmp.failures, 1);
+        assert!(cmp.rows[0].note.contains("margin dropped"));
+        // +50% — strictly beyond the 25% band (the threshold is exclusive).
+        let gain = report("full", &[("rowloss.reconfig_strict_wins_dominance", 6.0)]);
+        let cmp = compare(&base, &gain, 25.0);
+        assert_eq!((cmp.failures, cmp.warnings), (0, 0));
+        assert!(cmp.rows[0].note.contains("re-bless"));
+        let steady = report("full", &[("rowloss.reconfig_strict_wins_dominance", 4.0)]);
+        let cmp = compare(&base, &steady, 25.0);
+        assert_eq!((cmp.failures, cmp.warnings), (0, 0));
     }
 
     #[test]

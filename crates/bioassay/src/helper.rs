@@ -59,6 +59,17 @@ impl BioassayPlan {
         &self.planned
     }
 
+    /// Mutable access to the planned operations, in topological order.
+    ///
+    /// Like [`BioassayPlan::from_parts`] this bypasses validation — the
+    /// caller owns coherence. The supervisor's reconfiguration rung uses it
+    /// to rewrite a relocated operation's restart jobs from the droplets'
+    /// actual positions (see [`RjHelper::relocate`]).
+    #[must_use]
+    pub fn operations_mut(&mut self) -> &mut [PlannedMo] {
+        &mut self.planned
+    }
+
     /// The routing jobs of one operation.
     ///
     /// # Panics
@@ -257,6 +268,117 @@ impl RjHelper {
         })
     }
 
+    /// Relocates one planned operation's target zone by `(dx, dy)` —
+    /// the Algorithm-1 re-entry used by the supervisor's reconfiguration
+    /// rung when an operation's original region has been swallowed by
+    /// faults and a healthy spare region exists elsewhere.
+    ///
+    /// The operation's goals and outputs translate wholesale; a job start
+    /// translates only if it *is* one of the moved rectangles (intra-MO
+    /// continuations like the dilute keep-phase), so droplets already
+    /// parked elsewhere — external inputs, split sources — stay put and
+    /// simply route further. Hazard bounds are recomputed with [`zone`].
+    /// Direct successors are re-derived one level deep: their patched
+    /// inputs replace the old ones, jobs starting at an old input re-base
+    /// onto the new one, and a successor split recenters its half-droplet
+    /// source on the relocated input.
+    ///
+    /// The update is all-or-nothing: every new rectangle is validated
+    /// against the chip first, and on [`PlanError::OffChip`] the plan is
+    /// left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError::OffChip`] when any translated or re-derived
+    /// rectangle leaves the chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for the plan.
+    pub fn relocate(
+        &self,
+        plan: &mut BioassayPlan,
+        id: MoId,
+        dx: i32,
+        dy: i32,
+    ) -> Result<(), PlanError> {
+        // Stage every change on a clone; commit only if all checks pass.
+        let mut planned = plan.planned.clone();
+        let moved: Vec<Rect> = planned[id]
+            .jobs
+            .iter()
+            .map(|j| j.goal)
+            .chain(planned[id].outputs.iter().copied())
+            .collect();
+        let shifted = |r: Rect| r.translate(dx, dy);
+
+        // The relocated operation itself.
+        {
+            let mo = &mut planned[id];
+            for job in &mut mo.jobs {
+                let goal = self.on_chip(id, shifted(job.goal))?;
+                let start = if !job.is_dispense() && moved.contains(&job.start) {
+                    self.on_chip(id, shifted(job.start))?
+                } else {
+                    job.start
+                };
+                let bounds = if start.is_off_chip_origin() {
+                    self.zone1(goal)
+                } else {
+                    zone(start, goal, self.dims)
+                };
+                *job = RoutingJob::new(start, goal, bounds);
+            }
+            for out in &mut mo.outputs {
+                *out = self.on_chip(id, shifted(*out))?;
+            }
+        }
+
+        // Direct successors: replay the consumption-order input resolution
+        // to find which of their input slots came from the relocated MO,
+        // then re-base the affected jobs.
+        let mut next_slot = vec![0usize; planned.len()];
+        for consumer in 0..planned.len() {
+            let pre = planned[consumer].pre.clone();
+            for (k, &p) in pre.iter().enumerate() {
+                let slot = next_slot[p];
+                next_slot[p] += 1;
+                if p != id || consumer == id {
+                    continue;
+                }
+                let old_input = planned[consumer].inputs[k];
+                let new_input = planned[id].outputs[slot];
+                if old_input == new_input {
+                    continue;
+                }
+                let mo = &mut planned[consumer];
+                mo.inputs[k] = new_input;
+                if mo.op == MoType::Split {
+                    // The half-droplet source recenters on the moved input.
+                    let (cx, cy) = new_input.center();
+                    let (w, h) = mo.jobs[0].droplet_size();
+                    let half = self.on_chip(consumer, Rect::centered_at(cx, cy, w, h))?;
+                    for job in &mut mo.jobs {
+                        *job = RoutingJob::new(half, job.goal, zone(half, job.goal, self.dims));
+                    }
+                } else {
+                    for job in &mut mo.jobs {
+                        if job.start == old_input {
+                            *job = RoutingJob::new(
+                                new_input,
+                                job.goal,
+                                zone(new_input, job.goal, self.dims),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        plan.planned = planned;
+        Ok(())
+    }
+
     /// Goal rectangle of the same size as `like`, centered at `loc`.
     fn sized_at(&self, id: MoId, loc: (f64, f64), like: Rect) -> Result<Rect, PlanError> {
         self.on_chip(
@@ -386,6 +508,86 @@ mod tests {
             Err(PlanError::OffChip { id: 0, .. }) => {}
             other => panic!("expected OffChip, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn relocate_translates_goals_and_rebases_consumers() {
+        let mut plan = RjHelper::new(DIMS).plan(&table_iv_graph()).unwrap();
+        let before = plan.clone();
+        RjHelper::new(DIMS).relocate(&mut plan, 2, 10, 5).unwrap();
+        // The mix goals and merged output move by (10, 5); the external
+        // input starts (dispense outputs) stay put.
+        for (old, new) in before.jobs_for(2).iter().zip(plan.jobs_for(2)) {
+            assert_eq!(new.goal, old.goal.translate(10, 5));
+            assert_eq!(new.start, old.start);
+            assert!(new.bounds.contains_rect(new.start) && new.bounds.contains_rect(new.goal));
+        }
+        assert_eq!(
+            plan.operations()[2].outputs[0],
+            before.operations()[2].outputs[0].translate(10, 5)
+        );
+        // The magnetic consumer re-bases onto the moved merged droplet.
+        assert_eq!(
+            plan.operations()[3].inputs[0],
+            plan.operations()[2].outputs[0]
+        );
+        assert_eq!(plan.jobs_for(3)[0].start, plan.operations()[2].outputs[0]);
+        assert_eq!(plan.jobs_for(3)[0].goal, before.jobs_for(3)[0].goal);
+    }
+
+    #[test]
+    fn relocate_moves_dilute_keep_phase_with_the_zone() {
+        let mut sg = SequencingGraph::new("dlt");
+        let a = sg.dispense((10.5, 10.5), (4, 4));
+        let b = sg.dispense((30.5, 10.5), (4, 4));
+        let d = sg.dilute(&[a, b], (20.5, 10.5), (20.5, 20.5));
+        sg.output(d, (3.5, 10.5));
+        sg.discard(d, (3.5, 20.5));
+        let mut plan = RjHelper::new(DIMS).plan(&sg).unwrap();
+        let before = plan.clone();
+        RjHelper::new(DIMS).relocate(&mut plan, d, 8, 4).unwrap();
+        let jobs = plan.jobs_for(d);
+        // The split-phase jobs start from the *moved* keep rectangle — it
+        // was one of the operation's own goals, so it travels with it.
+        assert_eq!(jobs[2].start, before.jobs_for(d)[2].start.translate(8, 4));
+        assert_eq!(jobs[3].start, before.jobs_for(d)[3].start.translate(8, 4));
+        // Both downstream consumers were re-based onto the moved outputs.
+        assert_eq!(
+            plan.jobs_for(d + 1)[0].start,
+            plan.operations()[d].outputs[0]
+        );
+        assert_eq!(
+            plan.jobs_for(d + 2)[0].start,
+            plan.operations()[d].outputs[1]
+        );
+    }
+
+    #[test]
+    fn relocate_recenters_a_successor_split_source() {
+        let mut sg = SequencingGraph::new("split-after-mag");
+        let a = sg.dispense((10.5, 10.5), (4, 4));
+        let m = sg.magnetic(a, (20.5, 10.5));
+        let s = sg.split(m, (30.5, 8.5), (30.5, 16.5));
+        sg.output(s, (40.5, 8.5));
+        sg.output(s, (40.5, 16.5));
+        let mut plan = RjHelper::new(DIMS).plan(&sg).unwrap();
+        let before = plan.clone();
+        RjHelper::new(DIMS).relocate(&mut plan, m, 0, 10).unwrap();
+        let (cx, cy) = plan.operations()[s].inputs[0].center();
+        let (w, h) = before.jobs_for(s)[0].droplet_size();
+        let expected = Rect::centered_at(cx, cy, w, h);
+        assert_eq!(plan.jobs_for(s)[0].start, expected);
+        assert_eq!(plan.jobs_for(s)[1].start, expected);
+        assert_eq!(plan.jobs_for(s)[0].goal, before.jobs_for(s)[0].goal);
+    }
+
+    #[test]
+    fn relocate_off_chip_is_rejected_and_leaves_the_plan_untouched() {
+        let mut plan = RjHelper::new(DIMS).plan(&table_iv_graph()).unwrap();
+        let before = plan.clone();
+        let err = RjHelper::new(DIMS).relocate(&mut plan, 2, 55, 0);
+        assert!(matches!(err, Err(PlanError::OffChip { id: 2, .. })));
+        assert_eq!(plan, before, "failed relocation must not mutate the plan");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use meda_bioassay::SequencingGraph;
 use meda_cell::StuckBit;
 use meda_degradation::{quantize_health, HealthLevel};
 use meda_grid::{Cell, ChipDims, Grid, Rect};
-use meda_sim::{FaultPlan, IntermittentCell, SuddenDeath};
+use meda_sim::{DefectFront, FaultPlan, IntermittentCell, SuddenDeath};
 
 use crate::gen::{boolean, choose, choose_i32, choose_u32, choose_usize, f64_range, vec_of, Gen};
 
@@ -98,19 +98,72 @@ pub fn stuck_bit(dims: ChipDims) -> Gen<StuckBit> {
         .map(|&(cell, reads)| StuckBit { cell, reads })
 }
 
-/// A chaos fault plan: up to 6 stuck sensor bits, 3 scheduled electrode
-/// deaths, and 3 intermittent cells. Shrinks toward [`FaultPlan::none`].
+/// A chaos fault plan drawing from every channel: up to 6 stuck sensor
+/// bits, 3 isolated scheduled deaths, 2 clustered `2 × 2` deaths, one
+/// whole-row loss, one growing defect front, and 3 intermittent cells.
+/// Shrinks toward [`FaultPlan::none`].
 #[must_use]
 pub fn fault_plan(dims: ChipDims, k_max: u64) -> Gen<FaultPlan> {
+    let hi = k_max.max(1) as i64;
     let deaths = vec_of(
         cell_in(dims)
-            .zip(choose(0, k_max.max(1) as i64))
+            .zip(choose(0, hi))
             .map(|&(cell, at)| SuddenDeath {
                 cell,
                 at_cycle: at.unsigned_abs(),
             }),
         0,
         3,
+    );
+    // Clustered deaths: one anchor cell expands into the chip-clipped
+    // `2 × 2` block, every cell dying in the same cycle.
+    let clusters = vec_of(
+        cell_in(dims).zip(choose(0, hi)).map(move |t| {
+            let &(anchor, at) = t;
+            let block = Rect::new(
+                anchor.x,
+                anchor.y,
+                (anchor.x + 1).min(dims.width as i32),
+                (anchor.y + 1).min(dims.height as i32),
+            );
+            block
+                .cells()
+                .map(|cell| SuddenDeath {
+                    cell,
+                    at_cycle: at.unsigned_abs(),
+                })
+                .collect::<Vec<_>>()
+        }),
+        0,
+        2,
+    );
+    // Whole-row loss: every cell of one row dies in one cycle.
+    let rows = vec_of(
+        choose_i32(1, dims.height as i32)
+            .zip(choose(0, hi))
+            .map(move |t| {
+                let &(y, at) = t;
+                (1..=dims.width as i32)
+                    .map(|x| SuddenDeath {
+                        cell: Cell::new(x, y),
+                        at_cycle: at.unsigned_abs(),
+                    })
+                    .collect::<Vec<_>>()
+            }),
+        0,
+        1,
+    );
+    let fronts = vec_of(
+        cell_in(dims)
+            .zip(choose(0, hi))
+            .zip(choose(1, (hi / 8).max(1)))
+            .map(|&((seed, start), period)| DefectFront {
+                seed,
+                start_cycle: start.unsigned_abs(),
+                period: period.unsigned_abs().max(1),
+            }),
+        0,
+        1,
     );
     let intermittent = vec_of(
         cell_in(dims)
@@ -120,14 +173,24 @@ pub fn fault_plan(dims: ChipDims, k_max: u64) -> Gen<FaultPlan> {
         3,
     );
     let stuck = vec_of(stuck_bit(dims), 0, 6);
-    stuck.zip(deaths).zip(intermittent).map(|t| {
-        let ((stuck_sensors, sudden_deaths), intermittent) = t;
-        FaultPlan {
-            sudden_deaths: sudden_deaths.clone(),
-            intermittent: intermittent.clone(),
-            stuck_sensors: stuck_sensors.clone(),
-        }
-    })
+    stuck
+        .zip(deaths)
+        .zip(intermittent)
+        .zip(clusters)
+        .zip(rows)
+        .zip(fronts)
+        .map(|t| {
+            let (((((stuck_sensors, isolated), intermittent), clusters), rows), fronts) = t;
+            let mut sudden_deaths = isolated.clone();
+            sudden_deaths.extend(clusters.iter().flatten().copied());
+            sudden_deaths.extend(rows.iter().flatten().copied());
+            FaultPlan {
+                sudden_deaths,
+                intermittent: intermittent.clone(),
+                stuck_sensors: stuck_sensors.clone(),
+                defect_fronts: fronts.clone(),
+            }
+        })
 }
 
 /// A small, always-valid bioassay sequencing graph: `2..=4` dispenses

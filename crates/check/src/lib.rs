@@ -13,9 +13,9 @@
 //!    bioassay sequencing graphs.
 //! 3. **Runner & oracles** ([`runner`], [`oracle`]) — the `check` driver
 //!    with per-case seed streams, greedy tree shrinking, and a failure
-//!    corpus replayed first on every run; and the three differential
+//!    corpus replayed first on every run; and the four differential
 //!    oracles of the paper stack (sim-vs-MDP step semantics, sensing
-//!    round-trip, supervisor dominance).
+//!    round-trip, supervisor dominance, reconfiguration dominance).
 //!
 //! Everything is deterministic given a seed: a failure report names the
 //! `(seed, case)` pair that regenerates the counterexample exactly.

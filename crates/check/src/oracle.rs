@@ -1,4 +1,4 @@
-//! The three differential oracles of the paper stack.
+//! The four differential oracles of the paper stack.
 //!
 //! Each oracle checks one *cross-layer agreement* the rest of the
 //! workspace silently relies on:
@@ -17,8 +17,13 @@
 //!    supervised execution must complete at least as many operations as
 //!    the unsupervised runner, and must succeed whenever it does (the
 //!    escalation ladder only engages after the shared prefix fails).
+//! 4. [`reconfig_dominance`] — arming the supervisor's reconfiguration
+//!    rung must dominate the plain ladder the same way: the rung only
+//!    fires where supervised-only has already committed to aborting, so
+//!    relocation can only add completions (one carve-out for a relocation
+//!    eating the shared cycle budget).
 //!
-//! All three are deterministic functions of their case (Monte-Carlo
+//! All four are deterministic functions of their case (Monte-Carlo
 //! sub-checks derive their stream from [`McParams::seed`]), so a failing
 //! `(seed, case)` pair replayed from the corpus reproduces bit-for-bit.
 
@@ -31,7 +36,7 @@ use meda_rng::{Rng, SeedableRng, StdRng};
 use meda_sim::sensing::{locate_droplets, snap_to_size};
 use meda_sim::{
     sample_outcome, AdaptiveConfig, AdaptiveRouter, BioassayRunner, Biochip, DegradationConfig,
-    FaultPlan, FifoScheduler, RunConfig, Supervisor, SupervisorConfig,
+    FaultPlan, FifoScheduler, RunConfig, RunStatus, Supervisor, SupervisorConfig,
 };
 use meda_synth::{max_reach_probability, SolverOptions};
 
@@ -749,6 +754,79 @@ pub fn supervisor_dominance(case: &DominanceCase) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Oracle 4: the reconfiguration rung dominates the plain ladder.
+// ---------------------------------------------------------------------------
+
+/// Differential oracle 4: on the same chip, fault plan, and seed, the
+/// supervised stack with the reconfiguration rung armed must dominate the
+/// supervised-only stack — succeed whenever it succeeds and complete at
+/// least as many operations.
+///
+/// Near-theorem, one principled carve-out: with the rung disarmed the two
+/// stacks are byte-for-byte the same code path, and the rung only fires
+/// where supervised-only has already committed to aborting the operation —
+/// so relocation can only add completions. The exception is the shared
+/// cycle budget: a relocation attempt burns cycles that supervised-only
+/// would have spent executing later operations, so when the reconfiguring
+/// run dies on [`RunStatus::CycleLimit`] the comparison is between
+/// different-length prefixes and dominance is not claimed.
+///
+/// # Errors
+///
+/// Returns a description of the dominance violation.
+pub fn reconfig_dominance(case: &DominanceCase) -> Result<(), String> {
+    let plan = master_mix_plan()?;
+    let run = RunConfig {
+        k_max: DOMINANCE_K_MAX,
+        record_actuation: false,
+        sensed_feedback: true,
+    };
+
+    let chip = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng)
+    };
+    let supervised_run = |reconfig_budget: u32| {
+        let mut chip = chip(case.chip_seed);
+        let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+        let mut rng = StdRng::seed_from_u64(case.run_seed);
+        Supervisor::new(SupervisorConfig {
+            run,
+            attempt_cycles: run.k_max,
+            reconfig_budget,
+            ..SupervisorConfig::default()
+        })
+        .run(&plan, &mut chip, &mut router, &case.faults, &mut rng)
+    };
+
+    let plain_ladder = supervised_run(0);
+    let reconfig = supervised_run(2);
+
+    if reconfig.status == RunStatus::CycleLimit {
+        // The relocation attempts ate the shared cycle budget; the two
+        // prefixes are no longer comparable (see the doc carve-out).
+        return Ok(());
+    }
+    if plain_ladder.is_success() && !reconfig.is_success() {
+        return Err(format!(
+            "supervised-only succeeded but reconfig ended {:?} after {} cycles ({} relocations)",
+            reconfig.status, reconfig.cycles, reconfig.rungs.reconfig
+        ));
+    }
+    if reconfig.completed_ops < plain_ladder.completed_ops {
+        return Err(format!(
+            "reconfig completed {}/{} operations ({} relocations), supervised-only completed {}/{}",
+            reconfig.completed_ops,
+            reconfig.total_ops,
+            reconfig.rungs.reconfig,
+            plain_ladder.completed_ops,
+            plain_ladder.total_ops
+        ));
+    }
+    Ok(())
+}
+
 /// The fixed bioassay both dominance runs execute.
 fn master_mix_plan() -> Result<BioassayPlan, String> {
     RjHelper::new(ChipDims::PAPER)
@@ -840,8 +918,22 @@ pub fn check_supervisor_dominance(config: &Config) -> SuiteOutcome {
     summarize("oracle-supervisor-dominance", &out)
 }
 
-/// Runs the full oracle suite. Oracle 3 runs at an eighth of the case
-/// budget (each of its cases executes two complete bioassays).
+/// Runs oracle 4 over generated chips and fault plans — like oracle 3,
+/// two full bioassays per case, so it gets the same reduced budget.
+#[must_use]
+pub fn check_reconfig_dominance(config: &Config) -> SuiteOutcome {
+    let gen = dominance_case();
+    let out = run_property(
+        "oracle-reconfig-dominance",
+        config,
+        &gen,
+        reconfig_dominance,
+    );
+    summarize("oracle-reconfig-dominance", &out)
+}
+
+/// Runs the full oracle suite. Oracles 3 and 4 run at an eighth of the
+/// case budget (each of their cases executes two complete bioassays).
 #[must_use]
 pub fn run_suite(config: &Config) -> Vec<SuiteOutcome> {
     let dominance = config.clone().with_cases((config.cases / 8).max(1));
@@ -849,6 +941,7 @@ pub fn run_suite(config: &Config) -> Vec<SuiteOutcome> {
         check_sim_vs_mdp(config),
         check_sensing_round_trip(config),
         check_supervisor_dominance(&dominance),
+        check_reconfig_dominance(&dominance),
     ]
 }
 

@@ -1,10 +1,13 @@
-//! The three differential oracles at their default budgets.
+//! The four differential oracles at their default budgets.
 //!
 //! These are the same suite entries `meda check` runs: corpus replay is on
 //! (shared `tests/corpus/` directory), and `MEDA_CHECK_CASES` scales the
 //! budget without code changes.
 
-use meda_check::oracle::{check_sensing_round_trip, check_sim_vs_mdp, check_supervisor_dominance};
+use meda_check::oracle::{
+    check_reconfig_dominance, check_sensing_round_trip, check_sim_vs_mdp,
+    check_supervisor_dominance,
+};
 use meda_check::{cases_from_env, default_corpus_dir, Config};
 
 fn config(default_cases: usize) -> Config {
@@ -28,5 +31,11 @@ fn sensing_round_trip_reconstructs_droplets() {
 #[test]
 fn supervised_execution_dominates_plain_runs() {
     let out = check_supervisor_dominance(&config(4));
+    assert!(out.passed, "{}", out.report.unwrap_or_default());
+}
+
+#[test]
+fn reconfiguration_rung_dominates_the_plain_ladder() {
+    let out = check_reconfig_dominance(&config(4));
     assert!(out.passed, "{}", out.report.unwrap_or_default());
 }

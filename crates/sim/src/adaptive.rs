@@ -159,12 +159,14 @@ impl AdaptiveRouter {
                 .ok()?;
             let mut options = SolverOptions::default();
             if self.config.query == Query::MinExpectedCycles {
-                // Warm-start re-synthesis from the superseded strategy:
-                // health only degrades, so its Rmin values lower-bound the
-                // new fixed point. Only valid for this query direction —
+                // Re-synthesis after a health patch runs as a warm
+                // prioritized re-solve: health only degrades, so the
+                // superseded strategy's Rmin values lower-bound the new
+                // fixed point, and the priority queue drains only the
+                // patched region. Only valid for this query direction —
                 // Pmax seeds are rejected by the solver.
                 if let Some(prev) = previous.filter(|p| p.query() == Query::MinExpectedCycles) {
-                    options.warm_start = Some(prev.warm_start_seed(&mdp));
+                    options = SolverOptions::patched(Some(prev.warm_start_seed(&mdp)));
                 }
             }
             let strategy = synthesize_with(&mdp, self.config.query, options)

@@ -6,7 +6,7 @@ use meda_core::{transitions, Action, DegradationField, Dir, ForceProvider};
 use meda_grid::{Cell, Grid, Rect};
 
 use crate::sensing::{locate_droplets, snap_to_size};
-use crate::{Biochip, FaultPlan, FifoScheduler, MoScheduler, Router, SuddenDeath};
+use crate::{Biochip, DefectFront, FaultPlan, FifoScheduler, MoScheduler, Router, SuddenDeath};
 
 /// Configuration of a bioassay execution run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -243,6 +243,9 @@ pub(crate) struct Exec<'a, R: Rng> {
     /// yet fired.
     deaths: Vec<SuddenDeath>,
     next_death: usize,
+    /// Growing defect fronts paired with the radius of their next unfired
+    /// Manhattan ring (ring `r` dies at `start_cycle + r · period`).
+    fronts: Vec<(DefectFront, u64)>,
     pub(crate) cycles: u64,
     pub(crate) resting: Vec<Rect>,
     pub(crate) trace: Option<Vec<Grid<bool>>>,
@@ -296,6 +299,7 @@ impl<'a, R: Rng> Exec<'a, R> {
     ) -> Self {
         let mut deaths = chaos.sudden_deaths.clone();
         deaths.sort_by_key(|d| d.at_cycle);
+        let fronts = chaos.defect_fronts.iter().map(|&f| (f, 0)).collect();
         Self {
             config,
             chip,
@@ -303,6 +307,7 @@ impl<'a, R: Rng> Exec<'a, R> {
             chaos,
             deaths,
             next_death: 0,
+            fronts,
             cycles: 0,
             resting: Vec::new(),
             trace: config.record_actuation.then(Vec::new),
@@ -421,6 +426,7 @@ impl<'a, R: Rng> Exec<'a, R> {
         let (dx, dy) = dir.delta();
         let mut droplet = goal.translate(-dx * dist, -dy * dist);
 
+        let attempt_start = self.cycles;
         while droplet != goal {
             if self.cycles >= self.config.k_max {
                 self.pending = Some(droplet);
@@ -428,6 +434,18 @@ impl<'a, R: Rng> Exec<'a, R> {
                     status: RunStatus::CycleLimit,
                     at: droplet,
                 });
+            }
+            // The supervisor's per-attempt watchdog applies here too: a
+            // dispense corridor severed by electrode death would otherwise
+            // spin against the dead cells until the global budget dies.
+            if let Some(limit) = self.attempt_budget {
+                if self.cycles - attempt_start >= limit {
+                    self.pending = Some(droplet);
+                    return Err(JobError {
+                        status: RunStatus::Stalled,
+                        at: droplet,
+                    });
+                }
             }
             let action = Action::Move(dir);
             self.actuate(action.apply(droplet), held);
@@ -516,7 +534,8 @@ impl<'a, R: Rng> Exec<'a, R> {
     }
 
     /// The single point every cycle goes through: fire scheduled electrode
-    /// deaths, wear the chip, advance the clock, record the trace.
+    /// deaths, spread defect fronts, wear the chip, advance the clock,
+    /// record the trace.
     fn apply_cycle(&mut self, pattern: Grid<bool>) {
         let sw = meda_telemetry::Stopwatch::start();
         while self.next_death < self.deaths.len()
@@ -524,6 +543,26 @@ impl<'a, R: Rng> Exec<'a, R> {
         {
             self.chip.kill_cell(self.deaths[self.next_death].cell);
             self.next_death += 1;
+        }
+        // Each front kills one Manhattan ring per period; rings beyond
+        // width+height lie entirely off-chip, so the cursor stops there.
+        let max_radius = u64::from(self.chip.dims().width) + u64::from(self.chip.dims().height);
+        for (front, next_radius) in &mut self.fronts {
+            while *next_radius <= max_radius
+                && self.cycles >= front.start_cycle + *next_radius * front.period.max(1)
+            {
+                let r = *next_radius as i32;
+                for dx in -r..=r {
+                    let dy = r - dx.abs();
+                    self.chip
+                        .kill_cell(Cell::new(front.seed.x + dx, front.seed.y + dy));
+                    if dy != 0 {
+                        self.chip
+                            .kill_cell(Cell::new(front.seed.x + dx, front.seed.y - dy));
+                    }
+                }
+                *next_radius += 1;
+            }
         }
         self.chip.apply_actuation(&pattern);
         self.cycles += 1;
@@ -1006,6 +1045,52 @@ mod tests {
             chip.degradation_at(victim),
             0.0,
             "the scheduled death must have fired"
+        );
+    }
+
+    #[test]
+    fn defect_front_spreads_one_ring_per_period() {
+        use meda_grid::Cell;
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::pristine(), &mut rng);
+        let seed_cell = Cell::new(30, 15);
+        let chaos = FaultPlan {
+            defect_fronts: vec![DefectFront {
+                seed: seed_cell,
+                start_cycle: 2,
+                period: 4,
+            }],
+            ..FaultPlan::none()
+        };
+        let mut router = BaselineRouter::new();
+        // A short budget keeps the fired radius small enough that every
+        // probe cell below stays on the chip.
+        let outcome = BioassayRunner::new(RunConfig {
+            k_max: 40,
+            ..RunConfig::default()
+        })
+        .run_with_chaos(
+            &plan(&benchmarks::master_mix()),
+            &mut chip,
+            &mut router,
+            &mut FifoScheduler::new(),
+            &chaos,
+            &mut rng,
+        );
+        // After c cycles the rings with 2 + 4r <= c - 1 have fired; the run
+        // comfortably outlives several periods, so the dead ball around the
+        // seed must match that radius exactly (ring r+1 still alive).
+        let fired = (outcome.cycles.saturating_sub(3) / 4) as i32;
+        assert!(fired >= 1, "run too short to grow the front");
+        for r in 0..=fired {
+            let probe = Cell::new(seed_cell.x + r, seed_cell.y);
+            assert_eq!(chip.degradation_at(probe), 0.0, "ring {r} must be dead");
+        }
+        let alive = Cell::new(seed_cell.x - (fired + 1), seed_cell.y);
+        assert!(
+            chip.degradation_at(alive) > 0.0,
+            "ring {} must not have fired yet",
+            fired + 1
         );
     }
 

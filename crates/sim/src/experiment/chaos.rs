@@ -2,17 +2,19 @@ use meda_rng::StdRng;
 use meda_rng::{Rng, SeedableRng};
 
 use meda_bioassay::BioassayPlan;
-use meda_grid::ChipDims;
+use meda_grid::{ChipDims, Rect};
 
 use crate::{
     AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip, DegradationConfig,
-    FaultPlan, FifoScheduler, RecoveryRouter, RunConfig, RungCounts, Supervisor, SupervisorConfig,
+    FaultPlan, FifoScheduler, RecoveryRouter, RunConfig, RungCounts, SuddenDeath, Supervisor,
+    SupervisorConfig,
 };
 
 /// One control stack evaluated by the chaos sweep. The first three run
 /// unsupervised (the first routing failure aborts the bioassay); the
-/// supervised variant wraps the adaptive router in the [`Supervisor`]'s
-/// escalation ladder and degrades gracefully instead.
+/// supervised variants wrap the adaptive router in the [`Supervisor`]'s
+/// escalation ladder and degrade gracefully instead — with or without the
+/// reconfiguration rung armed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ChaosVariant {
     /// Degradation-unaware shortest-path routing.
@@ -23,15 +25,19 @@ pub enum ChaosVariant {
     Adaptive,
     /// Adaptive routing under the supervisor's retry ladder.
     SupervisedAdaptive,
+    /// The full stack: the retry ladder plus the reconfiguration planner
+    /// that relocates swallowed target zones onto spare electrodes.
+    SupervisedReconfig,
 }
 
 impl ChaosVariant {
-    /// All four variants, in presentation order.
-    pub const ALL: [ChaosVariant; 4] = [
+    /// All five variants, in presentation order.
+    pub const ALL: [ChaosVariant; 5] = [
         ChaosVariant::Baseline,
         ChaosVariant::Recovery,
         ChaosVariant::Adaptive,
         ChaosVariant::SupervisedAdaptive,
+        ChaosVariant::SupervisedReconfig,
     ];
 
     /// Human-readable variant name.
@@ -42,6 +48,7 @@ impl ChaosVariant {
             ChaosVariant::Recovery => "recovery",
             ChaosVariant::Adaptive => "adaptive",
             ChaosVariant::SupervisedAdaptive => "supervised-adaptive",
+            ChaosVariant::SupervisedReconfig => "supervised-reconfig",
         }
     }
 
@@ -125,23 +132,147 @@ impl ChaosVariant {
                     report.rungs,
                 )
             }
+            ChaosVariant::SupervisedReconfig => {
+                let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+                let report = Supervisor::new(SupervisorConfig {
+                    run,
+                    detour_patience,
+                    reconfig_budget: 2,
+                    ..SupervisorConfig::default()
+                })
+                .run(plan, chip, &mut router, chaos, rng);
+                (
+                    report.is_success(),
+                    report.completion_fraction(),
+                    report.rungs,
+                )
+            }
         }
     }
 }
 
-/// One `(variant, rate index, trial)` sweep cell.
+/// A hard-chaos fault class for the degradation-curve matrix. Each class
+/// maps one *severity* knob in `[0, 1]` — roughly the fraction of the chip
+/// the faults reach — onto a concrete [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Stuck location-sensor bits at per-MC rate `severity` (the classic
+    /// sweep; corrupts sensing only).
+    StuckSensors,
+    /// Clustered electrode death: `8 × 8` dead patches (clumped `2 × 2`
+    /// clusters) covering `severity` of the chip.
+    ClusterDeath,
+    /// Whole-row electrode losses covering `severity` of the rows
+    /// (rounded up — any positive severity kills at least one row).
+    RowLoss,
+    /// One growing defect front paced to reach a dead ball of `severity`
+    /// of the chip area within roughly a third of the cycle budget.
+    DefectFront,
+}
+
+impl FaultClass {
+    /// All four classes, in presentation order.
+    pub const ALL: [FaultClass; 4] = [
+        FaultClass::StuckSensors,
+        FaultClass::ClusterDeath,
+        FaultClass::RowLoss,
+        FaultClass::DefectFront,
+    ];
+
+    /// Short metric-key name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::StuckSensors => "stuck",
+            FaultClass::ClusterDeath => "cluster",
+            FaultClass::RowLoss => "rowloss",
+            FaultClass::DefectFront => "front",
+        }
+    }
+
+    /// Inverse of [`FaultClass::name`] — parses a CLI/metric-key name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+
+    /// Builds the fault plan for one trial at the given severity. Severity
+    /// 0 is the shared fault-free point of every class's curve.
+    #[must_use]
+    pub fn plan(self, dims: ChipDims, severity: f64, k_max: u64, rng: &mut impl Rng) -> FaultPlan {
+        let severity = severity.clamp(0.0, 1.0);
+        if severity == 0.0 {
+            return FaultPlan::none();
+        }
+        let cells = dims.cell_count() as f64;
+        // Deaths land early — within the first sixteenth of the budget,
+        // well inside any assay's makespan — so the curve measures
+        // recovery from damage, not luck about whether the assay finished
+        // before the chip fell apart.
+        let window = (1, (k_max / 16).max(1));
+        match self {
+            FaultClass::StuckSensors => FaultPlan::none().with_stuck_sensors(dims, severity, rng),
+            FaultClass::ClusterDeath => {
+                // Each site clumps the channel's 2 × 2 clusters into one
+                // 8 × 8 dead patch — two droplet-widths on a side.
+                // Scattered 2 × 2 blocks merely thin a 4 × 4 droplet's
+                // frontier (the EWOD move still succeeds at reduced mean
+                // force), and even a single droplet-sized 4 × 4 block
+                // almost never lands *exactly* on a 4 × 4 landing zone —
+                // the supervised ladder detours around anything smaller.
+                // An 8 × 8 patch can swallow a target zone whole from any
+                // interior alignment, the failure only relocation fixes.
+                let sites = ((severity * cells / 64.0).round() as usize).max(1);
+                let mut plan = FaultPlan::none();
+                let max_x = (dims.width as i32 - 7).max(1);
+                let max_y = (dims.height as i32 - 7).max(1);
+                for _ in 0..sites {
+                    let x = rng.gen_range(1..=max_x);
+                    let y = rng.gen_range(1..=max_y);
+                    let at_cycle = rng.gen_range(window.0..=window.1);
+                    let block = Rect::new(
+                        x,
+                        y,
+                        (x + 7).min(dims.width as i32),
+                        (y + 7).min(dims.height as i32),
+                    );
+                    for cell in block.cells() {
+                        plan.sudden_deaths.push(SuddenDeath { cell, at_cycle });
+                    }
+                }
+                plan
+            }
+            FaultClass::RowLoss => {
+                let rows = (severity * f64::from(dims.height)).ceil() as usize;
+                FaultPlan::none().with_row_loss(dims, rows, window, rng)
+            }
+            FaultClass::DefectFront => {
+                let radius = (severity * cells / 2.0).sqrt().max(1.0);
+                let start = 32.min(k_max.max(1));
+                let horizon = (k_max / 8).max(1) as f64;
+                let period = ((horizon / radius).floor() as u64).max(1);
+                FaultPlan::none().with_defect_fronts(dims, 1, (start, start), period, rng)
+            }
+        }
+    }
+}
+
+/// One `(variant, severity index, trial)` sweep cell.
 type ChaosCell = (ChaosVariant, usize, u32);
 /// One trial's outcome: `(full success, completion fraction, ladder counts)`.
 type ChaosOutcome = (bool, f64, RungCounts);
 
-/// One aggregated point of the chaos sweep: a control stack at one stuck
-/// sensor-bit rate.
+/// One aggregated point of the chaos sweep: a control stack facing one
+/// fault class at one severity.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ChaosPoint {
     /// The control stack.
     pub variant: ChaosVariant,
-    /// Per-MC probability of a stuck sensor bit.
-    pub stuck_rate: f64,
+    /// The fault class the trials faced.
+    pub class: FaultClass,
+    /// The class's severity knob (for [`FaultClass::StuckSensors`], the
+    /// per-MC probability of a stuck sensor bit).
+    pub severity: f64,
     /// Fraction of trials that completed the whole bioassay.
     pub pos: f64,
     /// Mean fraction of microfluidic operations completed per trial —
@@ -152,14 +283,21 @@ pub struct ChaosPoint {
 }
 
 /// The `ext_chaos` experiment: probability of success and mean completion
-/// fraction under sensor faults, for each `(variant, stuck rate)` pair.
+/// fraction under one fault class, for each `(variant, severity)` pair.
 ///
-/// Every trial draws a fresh chip and a fresh [`FaultPlan`] whose stuck
-/// sensor bits corrupt the **Y** matrix behind
-/// [`RunConfig::sensed_feedback`] — the run itself is otherwise the
-/// Section VII-B reuse setup. Cells are independent and deterministically
-/// seeded, so the sweep parallelizes across cores with results identical
-/// to a serial loop.
+/// Every trial draws a fresh chip and a [`FaultPlan`] from the class's
+/// severity knob; stuck bits corrupt the **Y** matrix behind
+/// [`RunConfig::sensed_feedback`], electrode-death classes attack the
+/// ground-truth chip itself — the run is otherwise the Section VII-B
+/// reuse setup. Cells are independent and deterministically seeded, and
+/// the severity axis is *coupled*: neither the variant nor the severity
+/// enters the seed, so at a given trial every stack faces the identical
+/// chip at every severity, and the fault plan is drawn from a dedicated
+/// RNG stream whose draws nest across severities (the 2%-severity fault
+/// set is a subset of the 8% one for every channel) — the degradation
+/// curve measures the response to strictly growing damage, not
+/// chip-to-chip luck. The sweep parallelizes across cores with results
+/// identical to a serial loop.
 ///
 /// # Panics
 ///
@@ -170,7 +308,8 @@ pub fn chaos_sweep(
     dims: ChipDims,
     degradation: &DegradationConfig,
     variants: &[ChaosVariant],
-    stuck_rates: &[f64],
+    class: FaultClass,
+    severities: &[f64],
     trials: u32,
     k_max: u64,
     seed: u64,
@@ -178,22 +317,23 @@ pub fn chaos_sweep(
     assert!(trials > 0, "need at least one trial");
     let detour_patience = SupervisorConfig::default().detour_patience;
 
-    let run_cell = |(variant, rate_idx, trial): ChaosCell| {
-        let rate = stuck_rates[rate_idx];
-        // The variant does not enter the seed: every stack faces the same
-        // chip and the same fault plan at a given (rate, trial) cell.
-        let mut rng =
-            StdRng::seed_from_u64(seed ^ ((rate_idx as u64) << 40) ^ (u64::from(trial) << 8));
+    let run_cell = |(variant, sev_idx, trial): ChaosCell| {
+        let severity = severities[sev_idx];
+        // Neither the variant nor the severity enters a seed: per trial,
+        // every stack faces the same chip at every severity, with the
+        // fault plan drawn from its own stream so the run randomness stays
+        // aligned across severities and the fault sets nest.
+        let trial_seed = seed ^ (u64::from(trial) << 8);
+        let mut rng = StdRng::seed_from_u64(trial_seed);
         let mut chip = Biochip::generate(dims, degradation, &mut rng);
-        let chaos = FaultPlan::none().with_stuck_sensors(dims, rate, &mut rng);
+        let mut chaos_rng = StdRng::seed_from_u64(trial_seed ^ 0x9E37_79B9_7F4A_7C15);
+        let chaos = class.plan(dims, severity, k_max, &mut chaos_rng);
         variant.run_one(plan, &mut chip, &chaos, k_max, detour_patience, &mut rng)
     };
 
     let cells: Vec<ChaosCell> = variants
         .iter()
-        .flat_map(|&v| {
-            (0..stuck_rates.len()).flat_map(move |r| (0..trials).map(move |t| (v, r, t)))
-        })
+        .flat_map(|&v| (0..severities.len()).flat_map(move |r| (0..trials).map(move |t| (v, r, t))))
         .collect();
     let threads = std::thread::available_parallelism().map_or(1, usize::from);
     let chunk = cells.len().div_ceil(threads).max(1);
@@ -220,31 +360,30 @@ pub fn chaos_sweep(
         .iter()
         .flat_map(|&variant| {
             let per_cell = &per_cell;
-            stuck_rates
-                .iter()
-                .enumerate()
-                .map(move |(rate_idx, &rate)| {
-                    let mut successes = 0u32;
-                    let mut completion = 0.0f64;
-                    let mut rungs = RungCounts::default();
-                    for ((v, r, _), (ok, frac, counts)) in per_cell {
-                        if *v == variant && *r == rate_idx {
-                            successes += u32::from(*ok);
-                            completion += frac;
-                            rungs.resense += counts.resense;
-                            rungs.resynth += counts.resynth;
-                            rungs.detour += counts.detour;
-                            rungs.aborted_ops += counts.aborted_ops;
-                        }
+            severities.iter().enumerate().map(move |(sev_idx, &sev)| {
+                let mut successes = 0u32;
+                let mut completion = 0.0f64;
+                let mut rungs = RungCounts::default();
+                for ((v, r, _), (ok, frac, counts)) in per_cell {
+                    if *v == variant && *r == sev_idx {
+                        successes += u32::from(*ok);
+                        completion += frac;
+                        rungs.resense += counts.resense;
+                        rungs.resynth += counts.resynth;
+                        rungs.detour += counts.detour;
+                        rungs.reconfig += counts.reconfig;
+                        rungs.aborted_ops += counts.aborted_ops;
                     }
-                    ChaosPoint {
-                        variant,
-                        stuck_rate: rate,
-                        pos: f64::from(successes) / f64::from(trials),
-                        mean_completion: completion / f64::from(trials),
-                        rungs,
-                    }
-                })
+                }
+                ChaosPoint {
+                    variant,
+                    class,
+                    severity: sev,
+                    pos: f64::from(successes) / f64::from(trials),
+                    mean_completion: completion / f64::from(trials),
+                    rungs,
+                }
+            })
         })
         .collect()
 }
@@ -267,6 +406,7 @@ mod tests {
             ChipDims::PAPER,
             &DegradationConfig::pristine(),
             &ChaosVariant::ALL,
+            FaultClass::StuckSensors,
             &[0.0],
             2,
             2_000,
@@ -275,6 +415,45 @@ mod tests {
         for p in &points {
             assert_eq!(p.pos, 1.0, "{} failed with clean sensors", p.variant.name());
             assert_eq!(p.mean_completion, 1.0);
+        }
+    }
+
+    #[test]
+    fn fault_class_severity_zero_is_the_shared_clean_point() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for class in FaultClass::ALL {
+            assert!(class.plan(ChipDims::PAPER, 0.0, 2_000, &mut rng).is_none());
+        }
+    }
+
+    #[test]
+    fn fault_class_plans_are_on_chip_and_grow_with_severity() {
+        let dims = ChipDims::PAPER;
+        for class in FaultClass::ALL {
+            let mut lo_rng = StdRng::seed_from_u64(17);
+            let mut hi_rng = StdRng::seed_from_u64(17);
+            let lo = class.plan(dims, 0.02, 2_000, &mut lo_rng);
+            let hi = class.plan(dims, 0.08, 2_000, &mut hi_rng);
+            for plan in [&lo, &hi] {
+                assert!(plan.sudden_deaths.iter().all(|d| dims.contains(d.cell)));
+                assert!(plan.stuck_sensors.iter().all(|s| dims.contains(s.cell)));
+                assert!(plan.defect_fronts.iter().all(|f| dims.contains(f.seed)));
+            }
+            // More severity means more scheduled damage (for the front, a
+            // faster spread — smaller period — instead of more seeds).
+            match class {
+                FaultClass::StuckSensors => {
+                    assert!(hi.stuck_sensors.len() > lo.stuck_sensors.len());
+                }
+                FaultClass::ClusterDeath | FaultClass::RowLoss => {
+                    assert!(hi.sudden_deaths.len() > lo.sudden_deaths.len());
+                }
+                FaultClass::DefectFront => {
+                    assert_eq!(lo.defect_fronts.len(), 1);
+                    assert_eq!(hi.defect_fronts.len(), 1);
+                    assert!(hi.defect_fronts[0].period < lo.defect_fronts[0].period);
+                }
+            }
         }
     }
 
@@ -293,6 +472,7 @@ mod tests {
             ChipDims::PAPER,
             &DegradationConfig::paper(),
             &[ChaosVariant::Adaptive, ChaosVariant::SupervisedAdaptive],
+            FaultClass::StuckSensors,
             &[0.02],
             6,
             2_000,

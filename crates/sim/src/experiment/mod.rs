@@ -8,7 +8,7 @@ mod correlation;
 mod pos;
 mod trials;
 
-pub use chaos::{chaos_sweep, ChaosPoint, ChaosVariant};
+pub use chaos::{chaos_sweep, ChaosPoint, ChaosVariant, FaultClass};
 pub use correlation::{actuation_correlation, CorrelationPoint};
 pub use pos::{pos_sweep, PosPoint};
 pub use trials::{fault_trials, TrialStats};

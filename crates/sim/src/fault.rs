@@ -129,10 +129,28 @@ pub struct IntermittentCell {
     pub probability: f64,
 }
 
+/// A growing defect front: a seed electrode dies at `start_cycle`, and the
+/// dead region then spreads outward by one Manhattan ring every `period`
+/// cycles — the progressive dielectric-breakdown pattern where a damaged
+/// cell stresses its neighbours. Unlike [`SuddenDeath`] the damage is not
+/// scripted cell-by-cell; the engine expands the ball deterministically as
+/// the clock passes each ring's cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DefectFront {
+    /// The first cell to die.
+    pub seed: Cell,
+    /// The cycle at which the seed dies (ring radius 0).
+    pub start_cycle: u64,
+    /// Cycles between rings; ring `r` dies at `start_cycle + r · period`.
+    /// Clamped to at least 1 by the engine.
+    pub period: u64,
+}
+
 /// A scripted chaos scenario layered on top of the placement-time faults of
-/// [`FaultMode`]: scheduled electrode deaths, per-cycle intermittent
-/// glitches, and stuck location-sensor bits that corrupt the sensed **Y**
-/// matrix without ever touching the ground-truth **D**.
+/// [`FaultMode`]: scheduled electrode deaths (isolated, clustered `2 × 2`,
+/// or whole-row), growing defect fronts, per-cycle intermittent glitches,
+/// and stuck location-sensor bits that corrupt the sensed **Y** matrix
+/// without ever touching the ground-truth **D**.
 ///
 /// An empty plan ([`FaultPlan::none`]) is free: the execution engine skips
 /// every chaos hook, consuming no cycles and no randomness, so fault-free
@@ -145,6 +163,8 @@ pub struct FaultPlan {
     pub intermittent: Vec<IntermittentCell>,
     /// Location-sensor bits stuck at 0 or 1.
     pub stuck_sensors: Vec<StuckBit>,
+    /// Defect fronts that spread from a seed cell as cycles pass.
+    pub defect_fronts: Vec<DefectFront>,
 }
 
 impl FaultPlan {
@@ -160,20 +180,26 @@ impl FaultPlan {
         self.sudden_deaths.is_empty()
             && self.intermittent.is_empty()
             && self.stuck_sensors.is_empty()
+            && self.defect_fronts.is_empty()
     }
 
     /// Adds stuck sensor bits: each MC's location bit is stuck with
     /// probability `rate` (clamped to `[0, 1]`), at 0 or 1 with equal
     /// probability. Returns `self` for chaining.
+    ///
+    /// The RNG consumption is uniform — two draws per cell regardless of
+    /// outcome — so two calls on clones of the same RNG with rates
+    /// `r₁ ≤ r₂` produce *nested* stuck sets (every bit stuck at `r₁` is
+    /// stuck, with the same polarity, at `r₂`). The chaos bench leans on
+    /// this to couple its severity curves.
     #[must_use]
     pub fn with_stuck_sensors(mut self, dims: ChipDims, rate: f64, rng: &mut impl Rng) -> Self {
         let rate = rate.clamp(0.0, 1.0);
         for cell in dims.cells() {
-            if rng.gen_bool(rate) {
-                self.stuck_sensors.push(StuckBit {
-                    cell,
-                    reads: rng.gen(),
-                });
+            let hit = rng.gen_bool(rate);
+            let reads = rng.gen();
+            if hit {
+                self.stuck_sensors.push(StuckBit { cell, reads });
             }
         }
         self
@@ -220,19 +246,115 @@ impl FaultPlan {
         self
     }
 
+    /// Adds `count` clustered `2 × 2` electrode deaths: each cluster picks
+    /// a random anchor and kills the (chip-clipped) `2 × 2` block at one
+    /// random cycle in `cycle_window` — the correlated-failure pattern of
+    /// Section III-C, but mid-run instead of at placement time. Returns
+    /// `self` for chaining.
+    #[must_use]
+    pub fn with_cluster_deaths(
+        mut self,
+        dims: ChipDims,
+        count: usize,
+        cycle_window: (u64, u64),
+        rng: &mut impl Rng,
+    ) -> Self {
+        let (lo, hi) = cycle_window;
+        let hi = hi.max(lo);
+        let max_x = (dims.width as i32 - 1).max(1);
+        let max_y = (dims.height as i32 - 1).max(1);
+        for _ in 0..count {
+            let x = rng.gen_range(1..=max_x);
+            let y = rng.gen_range(1..=max_y);
+            let at_cycle = rng.gen_range(lo..=hi);
+            let block = Rect::new(
+                x,
+                y,
+                (x + 1).min(dims.width as i32),
+                (y + 1).min(dims.height as i32),
+            );
+            for cell in block.cells() {
+                self.sudden_deaths.push(SuddenDeath { cell, at_cycle });
+            }
+        }
+        self
+    }
+
+    /// Adds `count` whole-row electrode losses: every cell of a random row
+    /// dies at one random cycle in `cycle_window` — the shared-driver /
+    /// scan-line failure that cuts the chip in two. Returns `self` for
+    /// chaining.
+    #[must_use]
+    pub fn with_row_loss(
+        mut self,
+        dims: ChipDims,
+        count: usize,
+        cycle_window: (u64, u64),
+        rng: &mut impl Rng,
+    ) -> Self {
+        let (lo, hi) = cycle_window;
+        let hi = hi.max(lo);
+        for _ in 0..count {
+            let y = rng.gen_range(1..=dims.height as i32);
+            let at_cycle = rng.gen_range(lo..=hi);
+            for x in 1..=dims.width as i32 {
+                self.sudden_deaths.push(SuddenDeath {
+                    cell: Cell::new(x, y),
+                    at_cycle,
+                });
+            }
+        }
+        self
+    }
+
+    /// Adds `count` growing defect fronts at random seed cells, each
+    /// starting at a random cycle in `cycle_window` and spreading one ring
+    /// every `period` cycles (clamped to at least 1). Returns `self` for
+    /// chaining.
+    #[must_use]
+    pub fn with_defect_fronts(
+        mut self,
+        dims: ChipDims,
+        count: usize,
+        cycle_window: (u64, u64),
+        period: u64,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let (lo, hi) = cycle_window;
+        let hi = hi.max(lo);
+        for _ in 0..count {
+            self.defect_fronts.push(DefectFront {
+                seed: random_cell(dims, rng),
+                start_cycle: rng.gen_range(lo..=hi),
+                period: period.max(1),
+            });
+        }
+        self
+    }
+
     /// A random chaos scenario of bounded severity, for property tests and
     /// the chaos bench: up to ~2% stuck sensors, a handful of scheduled
-    /// deaths inside the first `k_max` cycles, and a few mildly
+    /// deaths (isolated and clustered), at most one row loss and one slow
+    /// defect front inside the first `k_max` cycles, and a few mildly
     /// intermittent cells.
     #[must_use]
     pub fn random(dims: ChipDims, k_max: u64, rng: &mut impl Rng) -> Self {
         let stuck_rate = rng.gen_range(0.0..0.02);
         let deaths = rng.gen_range(0..6usize);
+        let clusters = rng.gen_range(0..2usize);
+        let rows = rng.gen_range(0..2usize);
+        let fronts = rng.gen_range(0..2usize);
         let flaky = rng.gen_range(0..4usize);
         let flake_p = rng.gen_range(0.0..0.3);
+        let window = (1, k_max.max(1));
+        // A slow front: by k_max it has grown at most a handful of rings.
+        let period = (k_max.max(8) / 8).max(1);
         Self::none()
             .with_stuck_sensors(dims, stuck_rate, rng)
-            .with_sudden_deaths(dims, deaths, (1, k_max.max(1)), rng)
+            .with_sudden_deaths(dims, deaths, window, rng)
+            .with_cluster_deaths(dims, clusters, window, rng)
+            .with_row_loss(dims, rows, window, rng)
+            .with_defect_fronts(dims, fronts, window, period, rng)
             .with_intermittent(dims, flaky, flake_p, rng)
     }
 }
@@ -341,6 +463,26 @@ mod tests {
     }
 
     #[test]
+    fn stuck_sets_nest_across_rates_under_a_shared_seed() {
+        let draw = |rate: f64| {
+            let mut rng = StdRng::seed_from_u64(40);
+            FaultPlan::none()
+                .with_stuck_sensors(DIMS, rate, &mut rng)
+                .stuck_sensors
+        };
+        let lo = draw(0.02);
+        let hi = draw(0.08);
+        assert!(lo.len() < hi.len());
+        for bit in &lo {
+            assert!(
+                hi.iter()
+                    .any(|b| b.cell == bit.cell && b.reads == bit.reads),
+                "stuck bit {bit:?} at 2% missing (or flipped) at 8%"
+            );
+        }
+    }
+
+    #[test]
     fn random_plans_stay_on_chip_and_in_range() {
         for seed in 0..20 {
             let mut rng = StdRng::seed_from_u64(seed);
@@ -351,6 +493,75 @@ mod tests {
                 .iter()
                 .all(|i| DIMS.contains(i.cell) && (0.0..=1.0).contains(&i.probability)));
             assert!(plan.stuck_sensors.iter().all(|s| DIMS.contains(s.cell)));
+            assert!(plan.defect_fronts.iter().all(|f| DIMS.contains(f.seed)));
+            assert!(plan.defect_fronts.iter().all(|f| f.period >= 1));
         }
+    }
+
+    #[test]
+    fn cluster_deaths_come_in_synchronized_2x2_blocks() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let plan = FaultPlan::none().with_cluster_deaths(DIMS, 5, (1, 100), &mut rng);
+        assert_eq!(plan.sudden_deaths.len(), 20);
+        for chunk in plan.sudden_deaths.chunks(4) {
+            // Every cluster dies in one cycle, on the chip, as a 2×2 block.
+            assert!(chunk.iter().all(|d| d.at_cycle == chunk[0].at_cycle));
+            assert!(chunk.iter().all(|d| DIMS.contains(d.cell)));
+            assert!((1..=100).contains(&chunk[0].at_cycle));
+            let anchor = chunk[0].cell;
+            for d in chunk {
+                assert!((d.cell.x - anchor.x).abs() <= 1 && (d.cell.y - anchor.y).abs() <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_deaths_clip_to_one_wide_chips() {
+        let dims = ChipDims::new(1, 8);
+        let mut rng = StdRng::seed_from_u64(11);
+        let plan = FaultPlan::none().with_cluster_deaths(dims, 3, (1, 10), &mut rng);
+        assert!(!plan.sudden_deaths.is_empty());
+        assert!(plan.sudden_deaths.iter().all(|d| dims.contains(d.cell)));
+    }
+
+    #[test]
+    fn row_loss_kills_every_cell_of_one_row_in_one_cycle() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let plan = FaultPlan::none().with_row_loss(DIMS, 1, (5, 50), &mut rng);
+        assert_eq!(plan.sudden_deaths.len(), DIMS.width as usize);
+        let y = plan.sudden_deaths[0].cell.y;
+        let at = plan.sudden_deaths[0].at_cycle;
+        assert!((5..=50).contains(&at));
+        let xs: Vec<i32> = plan.sudden_deaths.iter().map(|d| d.cell.x).collect();
+        assert_eq!(xs, (1..=DIMS.width as i32).collect::<Vec<_>>());
+        assert!(plan
+            .sudden_deaths
+            .iter()
+            .all(|d| d.cell.y == y && d.at_cycle == at && DIMS.contains(d.cell)));
+    }
+
+    #[test]
+    fn defect_fronts_are_on_chip_in_window_and_clamped() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let plan = FaultPlan::none().with_defect_fronts(DIMS, 4, (10, 90), 0, &mut rng);
+        assert_eq!(plan.defect_fronts.len(), 4);
+        for f in &plan.defect_fronts {
+            assert!(DIMS.contains(f.seed));
+            assert!((10..=90).contains(&f.start_cycle));
+            assert_eq!(f.period, 1, "period 0 must clamp to 1");
+        }
+    }
+
+    #[test]
+    fn new_channels_are_deterministic_under_a_seed() {
+        let build = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            FaultPlan::none()
+                .with_cluster_deaths(DIMS, 2, (1, 200), &mut rng)
+                .with_row_loss(DIMS, 1, (1, 200), &mut rng)
+                .with_defect_fronts(DIMS, 2, (1, 200), 16, &mut rng)
+        };
+        assert_eq!(build(99), build(99));
+        assert_ne!(build(99), build(100));
     }
 }

@@ -18,10 +18,14 @@
 //!   repeated-trial fault-injection study, and the Fig 3 actuation
 //!   correlation analysis;
 //! * [`Supervisor`] — supervised execution with a per-job retry ladder
-//!   (re-sense → re-synthesize → detour → abort the operation) and a
-//!   structured [`FailureReport`] for graceful partial completion;
+//!   (re-sense → re-synthesize → detour → reconfigure onto spare area →
+//!   abort the operation) and a structured [`FailureReport`] for graceful
+//!   partial completion; [`SupervisorConfig::reconfig_budget`] arms the
+//!   reconfiguration rung, which relocates a failing operation's target
+//!   zone onto healthy spare electrodes via the bioassay placer;
 //! * [`FaultPlan`] — scripted chaos on top of placement-time faults:
-//!   scheduled electrode death, intermittent glitches, and stuck sensor
+//!   scheduled electrode death (isolated, clustered `2 × 2`, whole-row),
+//!   growing [`DefectFront`]s, intermittent glitches, and stuck sensor
 //!   bits corrupting the sensed **Y** matrix
 //!   ([`RunConfig::sensed_feedback`] closes that loop);
 //! * extras: [`RecoveryRouter`] (reactive error recovery, §II-C),
@@ -67,9 +71,9 @@ mod supervisor;
 pub use adaptive::{AdaptiveConfig, AdaptiveRouter};
 pub use biochip::{Biochip, DegradationConfig};
 pub use engine::{sample_outcome, BioassayRunner, RunConfig, RunOutcome, RunStatus};
-pub use fault::{FaultMode, FaultPlan, IntermittentCell, SuddenDeath};
+pub use fault::{DefectFront, FaultMode, FaultPlan, IntermittentCell, SuddenDeath};
 pub use meda_cell::StuckBit;
 pub use recovery::RecoveryRouter;
 pub use router::{BaselineRouter, Router};
 pub use scheduler::{FifoScheduler, HealthAwareScheduler, MoScheduler};
-pub use supervisor::{FailureReport, MoFailure, RungCounts, Supervisor, SupervisorConfig};
+pub use supervisor::{FailureReport, MoFailure, Rung, RungCounts, Supervisor, SupervisorConfig};

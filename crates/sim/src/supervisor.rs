@@ -12,14 +12,32 @@
 //! skipped, and the rest of the plan continued. The result is a structured
 //! [`FailureReport`] with a per-operation completion fraction instead of a
 //! single terminal status.
+//!
+//! With [`SupervisorConfig::reconfig_budget`] above zero a further rung
+//! sits between the detour and the abort: the *reconfiguration planner*.
+//! When the whole per-job ladder fails, the supervisor scans the quantized
+//! health matrix **H** for a healthy spare region large enough for the
+//! failing operation's target zone, relocates the zone there through the
+//! bioassay placer ([`RjHelper::relocate`] — the Algorithm-1 re-entry for
+//! the displaced subtree), rewrites the restart jobs from the droplets'
+//! actual positions, and re-dispatches the operation. Strategy-backed
+//! routers see fresh start/goal/bounds keys and re-synthesize
+//! automatically, with warm prioritized re-solves for the patched regions.
 
 use meda_rng::Rng;
 
-use meda_bioassay::{BioassayPlan, RoutingJob};
+use meda_bioassay::{BioassayPlan, PlannedMo, RjHelper, RoutingJob};
+use meda_core::ForceProvider;
 use meda_grid::Rect;
 
 use crate::engine::{Exec, JobError};
 use crate::{Biochip, FaultPlan, RecoveryRouter, Router, RunConfig, RunStatus};
+
+/// Minimum per-cell relative EWOD force for a cell to count as *spare* in
+/// the reconfiguration scan — at least half-strength under the
+/// conservative health interpretation (dead and nearly-dead cells are
+/// excluded; a pristine 2-bit cell reads 0.5625).
+const SPARE_MIN_FORCE: f64 = 0.25;
 
 /// Configuration of supervised execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,6 +56,10 @@ pub struct SupervisorConfig {
     /// eats the whole global `k_max` — terminal for supervised and
     /// unsupervised runs alike.
     pub attempt_cycles: u64,
+    /// Relocations allowed per operation on the reconfiguration rung
+    /// (0 — the default — disables the rung, leaving the classic
+    /// resense → resynth → detour → abort ladder byte-for-byte intact).
+    pub reconfig_budget: u32,
 }
 
 impl Default for SupervisorConfig {
@@ -47,6 +69,7 @@ impl Default for SupervisorConfig {
             retry_budget: 3,
             detour_patience: 4,
             attempt_cycles: 256,
+            reconfig_budget: 0,
         }
     }
 }
@@ -66,6 +89,23 @@ pub struct MoFailure {
     pub retries: u32,
 }
 
+/// The highest escalation rung an operation needed before it completed —
+/// the *winning* rung, as opposed to [`RungCounts`] which tallies attempts.
+/// Ordered by severity, so `max` folds per-job outcomes into a per-MO one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// Every routing job landed on its first attempt.
+    FirstTry,
+    /// Rung 1: a global re-sense relocated the droplet.
+    Resense,
+    /// Rung 2: re-synthesis with a widened corridor.
+    Resynth,
+    /// Rung 3: a reactive detour.
+    Detour,
+    /// Rung 4: the operation was relocated onto spare electrodes.
+    Reconfig,
+}
+
 /// How often each rung of the escalation ladder fired.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RungCounts {
@@ -76,7 +116,10 @@ pub struct RungCounts {
     pub resynth: u64,
     /// Rung 3: detour via a fresh reactive [`RecoveryRouter`].
     pub detour: u64,
-    /// Rung 4: operations aborted after the budget ran out.
+    /// Rung 4: relocations onto spare electrodes by the reconfiguration
+    /// planner.
+    pub reconfig: u64,
+    /// Rung 5: operations aborted after every budget ran out.
     pub aborted_ops: u64,
 }
 
@@ -101,6 +144,9 @@ pub struct FailureReport {
     pub skipped: Vec<usize>,
     /// Escalation-ladder statistics.
     pub rungs: RungCounts,
+    /// For every *completed* operation, the highest ladder rung it needed
+    /// (`(mo id, winning rung)`, in completion order).
+    pub resolved_by: Vec<(usize, Rung)>,
 }
 
 impl FailureReport {
@@ -178,13 +224,19 @@ impl Supervisor {
         let mut completed = 0usize;
         let mut failures: Vec<MoFailure> = Vec::new();
         let mut skipped: Vec<usize> = Vec::new();
+        let mut resolved_by: Vec<(usize, Rung)> = Vec::new();
         let mut rungs = RungCounts::default();
         let mut out_of_budget = false;
+        // Reconfiguration state: the plan is cloned lazily on the first
+        // relocation, so the fault-free path never allocates a copy.
+        let mut working: Option<BioassayPlan> = None;
+        let mut reconfigs_left = vec![self.config.reconfig_budget; total];
 
         loop {
             // Transitively skip the dependents of aborted operations. Plan
             // ids are topological (predecessors have smaller ids), so one
-            // increasing pass reaches a fixpoint.
+            // increasing pass reaches a fixpoint. Relocation never changes
+            // the dependency topology, so `plan` is authoritative here.
             for id in 0..total {
                 let mo = &plan.operations()[id];
                 if !done[id] && !failed[id] && mo.pre.iter().any(|&p| failed[p]) {
@@ -201,21 +253,63 @@ impl Supervisor {
             let Some(&picked) = ready.first() else {
                 break;
             };
-            let mo = &plan.operations()[picked];
 
-            let mut fail_job = 0usize;
-            let mut fail_retries = 0u32;
-            let result = exec.exec_mo(mo, &mut |e, job, held, job_idx| {
-                fail_job = job_idx;
-                fail_retries = 0;
-                self.run_job_with_ladder(e, job, router, held, &mut rungs, &mut fail_retries)
-            });
+            // Execute the picked operation, re-dispatching through the
+            // reconfiguration planner while its relocation budget lasts.
+            let mut mo_rung = Rung::FirstTry;
+            let result = loop {
+                let mo = working.as_ref().unwrap_or(plan).operations()[picked].clone();
+                let mut fail_job = 0usize;
+                let mut fail_retries = 0u32;
+                let mut arrived: Vec<Rect> = Vec::new();
+                let attempt = exec.exec_mo(&mo, &mut |e, job, held, job_idx| {
+                    fail_job = job_idx;
+                    fail_retries = 0;
+                    let landed = self.run_job_with_ladder(
+                        e,
+                        job,
+                        router,
+                        held,
+                        &mut rungs,
+                        &mut fail_retries,
+                        &mut mo_rung,
+                    );
+                    if let Ok(rect) = landed {
+                        arrived.push(rect);
+                    }
+                    landed
+                });
+                match attempt {
+                    Ok(()) => break Ok(()),
+                    Err(err) => {
+                        if err.status != RunStatus::CycleLimit
+                            && reconfigs_left[picked] > 0
+                            && self.try_reconfigure(
+                                &mut exec,
+                                plan,
+                                &mut working,
+                                picked,
+                                fail_job,
+                                &arrived,
+                                err.at,
+                            )
+                        {
+                            reconfigs_left[picked] -= 1;
+                            rungs.reconfig += 1;
+                            mo_rung = Rung::Reconfig;
+                            continue;
+                        }
+                        break Err((err, fail_job, fail_retries));
+                    }
+                }
+            };
             match result {
                 Ok(()) => {
                     done[picked] = true;
                     completed += 1;
+                    resolved_by.push((picked, mo_rung));
                 }
-                Err(err) => {
+                Err((err, fail_job, fail_retries)) => {
                     failures.push(MoFailure {
                         mo: picked,
                         job: fail_job,
@@ -256,6 +350,7 @@ impl Supervisor {
         telemetry.add("sim.supervisor.rung.resense", rungs.resense);
         telemetry.add("sim.supervisor.rung.resynth", rungs.resynth);
         telemetry.add("sim.supervisor.rung.detour", rungs.detour);
+        telemetry.add("sim.supervisor.rung.reconfig", rungs.reconfig);
         telemetry.add("sim.supervisor.aborted_ops", rungs.aborted_ops);
 
         FailureReport {
@@ -266,11 +361,197 @@ impl Supervisor {
             failures,
             skipped,
             rungs,
+            resolved_by,
         }
+    }
+
+    /// The reconfiguration rung: find a healthy spare region for the
+    /// failing operation's target zone, relocate the zone there through
+    /// the bioassay placer, and rewrite the restart jobs from the
+    /// droplets' actual positions. Returns `true` when the operation was
+    /// relocated and should be re-dispatched, `false` when no spare region
+    /// exists (the caller falls through to the abort path).
+    #[allow(clippy::too_many_arguments)]
+    fn try_reconfigure<R: Rng>(
+        &self,
+        exec: &mut Exec<'_, R>,
+        plan: &BioassayPlan,
+        working: &mut Option<BioassayPlan>,
+        picked: usize,
+        fail_job: usize,
+        arrived: &[Rect],
+        last_estimate: Rect,
+    ) -> bool {
+        let telemetry = meda_telemetry::global();
+        let mo = working.as_ref().unwrap_or(plan).operations()[picked].clone();
+        if mo.jobs.is_empty() {
+            return false;
+        }
+        let failed_dispense = mo.jobs[fail_job].is_dispense();
+        // The rung only helps against electrode *death*: when no cell of
+        // the operation's working region — corridors and targets alike —
+        // has failed outright, the failure is sensing- or
+        // congestion-shaped, and a relocation would burn shared cycle
+        // budget without fixing anything. Outright death (degradation
+        // exactly 0) is distinguishable from deep wear, which decays
+        // `τ^(n/c)` and never reaches 0 — in the fabricated design the
+        // sudden drop is what the health telemetry flags. Dispense is
+        // exempt from the gate: it has no sensing loop, so a stalled
+        // dispense already implicates its (unsensed, off-region) entry
+        // corridor.
+        if !failed_dispense {
+            let dims = exec.chip.dims();
+            let mut region: Option<Rect> = None;
+            for r in mo
+                .jobs
+                .iter()
+                .map(|j| j.bounds)
+                .chain(mo.outputs.iter().copied())
+            {
+                region = Some(region.map_or(r, |f| f.union(r)));
+            }
+            let no_dead_cells = region.is_none_or(|region| {
+                region
+                    .cells()
+                    .filter(|&c| dims.contains(c))
+                    .all(|c| exec.chip.degradation_at(c) > 0.0)
+            });
+            if no_dead_cells {
+                telemetry.add("sim.supervisor.reconfig.skipped_healthy", 1);
+                return false;
+            }
+        }
+        // Everything else physically on the chip: parked droplets, this
+        // operation's already-arrived partners, and its not-yet-started
+        // ones.
+        let mut held = exec.resting.clone();
+        held.extend(arrived.iter().copied());
+        held.extend(
+            mo.jobs[fail_job + 1..]
+                .iter()
+                .map(|j| j.start)
+                .filter(|r| !r.is_off_chip_origin()),
+        );
+        // A chip-wide re-sense pins down the failed droplet; if it is
+        // invisible (occluded / swallowed by stuck bits), restart from the
+        // last estimate — the detour rungs already failed from there, so
+        // there is nothing better. A failed dispense has no on-chip
+        // droplet to find: the half-dispensed volume is written off and
+        // the dispense restarts from the edge of the relocated zone.
+        let estimate = if failed_dispense {
+            last_estimate
+        } else {
+            exec.resense(last_estimate, &held).unwrap_or(last_estimate)
+        };
+
+        let displacement = {
+            let _scan = telemetry.span("sim.supervisor.reconfig.scan");
+            self.find_spare_region(exec, &mo, &held)
+        };
+        let Some((dx, dy)) = displacement else {
+            telemetry.add("sim.supervisor.reconfig.scan_misses", 1);
+            return false;
+        };
+
+        let wp = working.get_or_insert_with(|| plan.clone());
+        let dims = exec.chip.dims();
+        if RjHelper::new(dims).relocate(wp, picked, dx, dy).is_err() {
+            // The footprint fits, but a re-derived successor rectangle
+            // (e.g. a recentered split source) left the chip: give up on
+            // this relocation rather than commit half a plan.
+            telemetry.add("sim.supervisor.reconfig.scan_misses", 1);
+            return false;
+        }
+        telemetry
+            .histogram("sim.supervisor.reconfig.distance")
+            .record(u64::from(dx.unsigned_abs() + dy.unsigned_abs()));
+
+        // Rewrite the restart jobs from where the droplets actually are:
+        // already-arrived partners re-route from their (old) goals, the
+        // failed droplet from its re-sensed position, later jobs keep the
+        // starts the placer derived. Its inputs were consumed on the
+        // first dispatch, so the restart consumes none.
+        let mo = &mut wp.operations_mut()[picked];
+        mo.inputs.clear();
+        for (i, job) in mo.jobs.iter_mut().enumerate() {
+            let start = match i.cmp(&fail_job) {
+                std::cmp::Ordering::Less => arrived[i],
+                // The relocated dispense keeps its off-chip start; the
+                // placer already re-derived its entry zone.
+                std::cmp::Ordering::Equal if failed_dispense => job.start,
+                std::cmp::Ordering::Equal => estimate,
+                std::cmp::Ordering::Greater => job.start,
+            };
+            if i <= fail_job && !start.is_off_chip_origin() {
+                let bounds = meda_bioassay::zone(start, job.goal, dims);
+                *job = RoutingJob::new(start, job.goal, bounds);
+            }
+        }
+        // Physical continuity: the failed droplet's ground truth carries
+        // into the restart only when it is the first job to run again;
+        // otherwise an earlier restart job would wrongly inherit it. A
+        // half-dispensed droplet never carries over — the restart
+        // dispenses fresh volume from the edge.
+        if fail_job != 0 || failed_dispense {
+            exec.pending = None;
+        }
+        true
+    }
+
+    /// Scans the quantized health matrix for the nearest displacement
+    /// `(dx, dy)` that lands the operation's whole target footprint (goals
+    /// and outputs, plus a one-cell hazard rim) on spare electrodes —
+    /// every cell at least [`SPARE_MIN_FORCE`] — while keeping a two-cell
+    /// clearance from every held droplet.
+    fn find_spare_region<R: Rng>(
+        &self,
+        exec: &Exec<'_, R>,
+        mo: &PlannedMo,
+        held: &[Rect],
+    ) -> Option<(i32, i32)> {
+        let mut footprint: Option<Rect> = None;
+        for r in mo
+            .jobs
+            .iter()
+            .map(|j| j.goal)
+            .chain(mo.outputs.iter().copied())
+        {
+            footprint = Some(footprint.map_or(r, |f| f.union(r)));
+        }
+        let footprint = footprint?;
+        let dims = exec.chip.dims();
+        let health = exec.chip.health_field();
+        let mut best: Option<(u32, i32, i32)> = None;
+        for dx in (1 - footprint.xa)..=(dims.width as i32 - footprint.xb) {
+            for dy in (1 - footprint.ya)..=(dims.height as i32 - footprint.yb) {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let dist = dx.unsigned_abs() + dy.unsigned_abs();
+                if best.is_some_and(|(d, _, _)| d <= dist) {
+                    continue;
+                }
+                let target = footprint.translate(dx, dy);
+                let clearance = target.expand(2);
+                if held.iter().any(|r| clearance.intersection(*r).is_some()) {
+                    continue;
+                }
+                if target
+                    .expand(1)
+                    .cells()
+                    .filter(|&c| dims.contains(c))
+                    .all(|c| health.cell_force(c) >= SPARE_MIN_FORCE)
+                {
+                    best = Some((dist, dx, dy));
+                }
+            }
+        }
+        best.map(|(_, dx, dy)| (dx, dy))
     }
 
     /// One routing job under the escalation ladder. Dispense jobs are not
     /// retried (their only failure mode is the shared cycle budget).
+    #[allow(clippy::too_many_arguments)]
     fn run_job_with_ladder<R: Rng>(
         &self,
         exec: &mut Exec<'_, R>,
@@ -279,9 +560,22 @@ impl Supervisor {
         held: &[Rect],
         rungs: &mut RungCounts,
         retries_out: &mut u32,
+        mo_rung: &mut Rung,
     ) -> Result<Rect, JobError> {
         if job.is_dispense() {
-            return exec.run_dispense(job, held);
+            // Dispense has no sensing loop, so the retry rungs cannot help
+            // it — but the watchdog still applies, turning a dead entry
+            // corridor into a `Stalled` failure the reconfiguration rung
+            // can relocate instead of a silent global-budget burn.
+            exec.attempt_budget = Some(self.config.attempt_cycles);
+            let result = exec.run_dispense(job, held);
+            exec.attempt_budget = None;
+            if let Err(err) = &result {
+                if err.status == RunStatus::Stalled {
+                    meda_telemetry::global().add("sim.supervisor.watchdog_fires", 1);
+                }
+            }
+            return result;
         }
         let chip_bounds = exec.chip.dims().bounds();
         let mut attempt = *job;
@@ -295,7 +589,18 @@ impl Supervisor {
                 exec.run_routed(&attempt, router, held)
             };
             match result {
-                Ok(rect) => break Ok(rect),
+                Ok(rect) => {
+                    // Record the rung that finally landed this job; the
+                    // per-MO winner is the max over its jobs.
+                    let won = match retries {
+                        0 => Rung::FirstTry,
+                        1 => Rung::Resense,
+                        2 => Rung::Resynth,
+                        _ => Rung::Detour,
+                    };
+                    *mo_rung = (*mo_rung).max(won);
+                    break Ok(rect);
+                }
                 Err(err) => {
                     if err.status == RunStatus::Stalled {
                         meda_telemetry::global().add("sim.supervisor.watchdog_fires", 1);

@@ -7,7 +7,7 @@ use meda_grid::{Cell, ChipDims};
 use meda_rng::{Rng, SeedableRng, StdRng};
 use meda_sim::{
     AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip, DegradationConfig,
-    FaultPlan, RunConfig, RunStatus, SuddenDeath, Supervisor, SupervisorConfig,
+    FaultPlan, RunConfig, RunStatus, Rung, SuddenDeath, Supervisor, SupervisorConfig,
 };
 
 fn plan(sg: &meda_bioassay::SequencingGraph) -> BioassayPlan {
@@ -50,6 +50,16 @@ fn supervised_run_is_bit_identical_to_plain_runner_without_faults() {
                 &mut router,
                 &FaultPlan::none(),
                 &mut rng,
+            );
+            // No faults, no ladder: every operation must land first try.
+            assert_eq!(report.resolved_by.len(), report.total_ops);
+            assert!(
+                report
+                    .resolved_by
+                    .iter()
+                    .all(|&(_, rung)| rung == Rung::FirstTry),
+                "fault-free run climbed the ladder: {:?}",
+                report.resolved_by
             );
             (
                 report.cycles,
@@ -108,6 +118,119 @@ fn electrode_death_climbs_to_the_detour_rung() {
     assert!(
         !report.failures.is_empty() && report.failures[0].retries == config.retry_budget,
         "the failing job must consume the whole retry budget"
+    );
+    // The winning-rung record covers exactly the completed operations, and
+    // none of them needed the ladder — only the aborted MO was attacked.
+    assert_eq!(report.resolved_by.len(), report.completed_ops);
+    assert!(
+        report
+            .resolved_by
+            .iter()
+            .all(|&(_, rung)| rung == Rung::FirstTry),
+        "an untouched operation climbed the ladder: {:?}",
+        report.resolved_by
+    );
+}
+
+/// Electrode death over a routing goal with the reconfiguration rung
+/// armed: when all three recovery rungs fail, the planner must find a
+/// spare region on the (otherwise pristine) chip, relocate the target
+/// zone, and land the operation — no abort.
+#[test]
+fn reconfiguration_rung_relocates_a_dead_target_zone() {
+    let p = plan(&benchmarks::master_mix());
+    let victim = p
+        .operations()
+        .iter()
+        .flat_map(|mo| mo.jobs.iter())
+        .find(|job| !job.is_dispense())
+        .expect("master mix has routed jobs")
+        .goal;
+    let mut chaos = FaultPlan::none();
+    for cell in victim.cells() {
+        chaos.sudden_deaths.push(SuddenDeath { cell, at_cycle: 5 });
+    }
+
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::pristine(), &mut rng);
+    let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+    let config = SupervisorConfig {
+        run: RunConfig {
+            // Room for the full ladder plus a relocated re-dispatch.
+            k_max: 8_000,
+            sensed_feedback: true,
+            ..RunConfig::default()
+        },
+        reconfig_budget: 2,
+        ..SupervisorConfig::default()
+    };
+    let report = Supervisor::new(config).run(&p, &mut chip, &mut router, &chaos, &mut rng);
+
+    assert!(
+        report.rungs.reconfig >= 1,
+        "the reconfiguration rung never fired: {report:?}"
+    );
+    assert_eq!(report.rungs.aborted_ops, 0, "abort despite a spare region");
+    assert!(report.is_success(), "relocated run failed: {report:?}");
+    assert!(
+        report
+            .resolved_by
+            .iter()
+            .any(|&(_, rung)| rung == Rung::Reconfig),
+        "no operation credits the reconfiguration rung: {:?}",
+        report.resolved_by
+    );
+}
+
+/// A dispense whose target zone dies is invisible to the retry rungs (no
+/// sensing loop), but the watchdog must still trip it and the
+/// reconfiguration planner must relocate the entry zone onto live
+/// electrodes.
+#[test]
+fn reconfiguration_rung_relocates_a_dead_dispense_zone() {
+    let p = plan(&benchmarks::master_mix());
+    // Master-mix entry zones sit one cell from the chip edge, so each
+    // dispense lands within a couple of cycles. Kill the *last* dispense's
+    // zone at cycle 1 — the death fires during the first operation's
+    // dispense, guaranteed ahead of the victim's.
+    let victim = p
+        .operations()
+        .iter()
+        .flat_map(|mo| mo.jobs.iter())
+        .rfind(|job| job.is_dispense())
+        .expect("master mix has dispense jobs")
+        .goal;
+    let mut chaos = FaultPlan::none();
+    for cell in victim.cells() {
+        chaos.sudden_deaths.push(SuddenDeath { cell, at_cycle: 1 });
+    }
+
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::pristine(), &mut rng);
+    let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+    let config = SupervisorConfig {
+        run: RunConfig {
+            k_max: 8_000,
+            sensed_feedback: true,
+            ..RunConfig::default()
+        },
+        reconfig_budget: 2,
+        ..SupervisorConfig::default()
+    };
+    let report = Supervisor::new(config).run(&p, &mut chip, &mut router, &chaos, &mut rng);
+
+    assert!(
+        report.rungs.reconfig >= 1,
+        "the dead dispense zone never triggered reconfiguration: {report:?}"
+    );
+    assert!(report.is_success(), "relocated dispense failed: {report:?}");
+    assert!(
+        report
+            .resolved_by
+            .iter()
+            .any(|&(_, rung)| rung == Rung::Reconfig),
+        "no operation credits the reconfiguration rung: {:?}",
+        report.resolved_by
     );
 }
 
@@ -183,7 +306,7 @@ fn sensor_noise_drives_the_resense_rung() {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
         let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
-        let chaos = FaultPlan::none().with_stuck_sensors(ChipDims::PAPER, 0.02, &mut rng);
+        let chaos = FaultPlan::none().with_stuck_sensors(ChipDims::PAPER, 0.01, &mut rng);
         let config = SupervisorConfig {
             run: RunConfig {
                 sensed_feedback: true,

@@ -145,6 +145,25 @@ impl Default for SolverOptions {
     }
 }
 
+impl SolverOptions {
+    /// Options for a *patched-region* re-solve: a warm seed from the
+    /// superseded strategy plus [`SolverMethod::Prioritized`] sweeping, so
+    /// the residual queue drains only the region the health patch (or a
+    /// supervisor relocation) actually disturbed instead of re-sweeping
+    /// the whole model. This is the configuration where from-below warm
+    /// seeds earn their keep (see [`SolverOptions::warm_start`]); with no
+    /// seed the prioritized engine still localizes the work around the
+    /// goal set.
+    #[must_use]
+    pub fn patched(warm_start: Option<Vec<f64>>) -> Self {
+        Self {
+            warm_start,
+            method: SolverMethod::Prioritized,
+            ..Self::default()
+        }
+    }
+}
+
 /// The outcome of a value-iteration run: the per-state value vector and the
 /// optimizing action per state (`None` for absorbing/hopeless states).
 #[derive(Debug, Clone)]

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Offline CI gate: formatting, lints, tier-1 build + tests, the meda-check
 # replay corpus, and (unless --quick) the full-mode paper-scale synthesis
-# bench, chaos/profile smokes, and the benchmark-regression gate.
+# bench, the full-mode hard-chaos degradation matrix, the profile smoke,
+# and the benchmark-regression gate.
 # Everything runs without network access (the workspace has zero
 # third-party dependencies — see DESIGN.md §6).
 #
@@ -74,7 +75,11 @@ check_smoke()   { cargo run --release -- check --smoke; }
 # only gates timings when modes match — a smoke run here would downgrade
 # every paper-scale regression to a warning.
 bench_full()    { cargo run --release -p meda-bench --bin bench_synthesis; }
-chaos_smoke()   { cargo run --release -p meda-bench --bin ext_chaos -- --smoke; }
+# Full mode runs all four fault classes and self-checks the blessed
+# degradation-curve claims (monotone curves, reconfig dominance on the
+# electrode-killing classes) — it exits nonzero on a shape violation even
+# before bench_compare diffs the committed baseline.
+chaos_full()    { cargo run --release -p meda-bench --bin ext_chaos; }
 profile_smoke() { cargo run --release -- profile covid-rat; }
 # Diff the fresh target/bench/ runs against the committed baselines;
 # >25% timing regressions in smoke mode fail (see EXPERIMENTS.md to re-bless).
@@ -89,6 +94,17 @@ gate_selftest() {
   fi
   echo "gate-selftest: gate fired against the fixture baseline, as it must"
 }
+# Same negative self-test for the degradation-curve gate: the fixture
+# claims absurd reconfig dominance margins, so any real full-mode chaos run
+# must trip the dominance-collapse check in bench_compare.
+chaos_gate_selftest() {
+  if cargo run --release -p meda-bench --bin bench_compare -- chaos \
+      --baseline scripts/chaos_regression_fixture.json; then
+    echo "chaos-gate-selftest: bench_compare passed against the impossible fixture — the dominance gate is broken" >&2
+    return 1
+  fi
+  echo "chaos-gate-selftest: gate fired against the fixture baseline, as it must"
+}
 
 stage "fmt"            fmt
 stage "clippy"         clippy
@@ -99,12 +115,13 @@ stage "lint"           lint
 stage "audit-smoke"    audit_smoke
 stage "check-smoke"    check_smoke
 if [ "$QUICK" -eq 0 ]; then
-  stage "bench-full"     bench_full
-  stage "chaos-smoke"    chaos_smoke
-  stage "profile-smoke"  profile_smoke
-  stage "bench-gate"     bench_gate
-  stage "gate-selftest"  gate_selftest
+  stage "bench-full"           bench_full
+  stage "chaos-full"           chaos_full
+  stage "profile-smoke"        profile_smoke
+  stage "bench-gate"           bench_gate
+  stage "gate-selftest"        gate_selftest
+  stage "chaos-gate-selftest"  chaos_gate_selftest
 else
   echo
-  echo "==> --quick: skipping bench-full, chaos-smoke, profile-smoke, bench-gate, gate-selftest"
+  echo "==> --quick: skipping bench-full, chaos-full, profile-smoke, bench-gate, gate-selftest, chaos-gate-selftest"
 fi

@@ -21,9 +21,9 @@ use meda::bioassay::{benchmarks, BioassayPlan, RjHelper, SequencingGraph};
 use meda::core::{ActionConfig, RoutingMdp, UniformField};
 use meda::grid::{ChipDims, Rect};
 use meda::sim::{
-    render, AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip,
-    DegradationConfig, FaultMode, FaultPlan, FifoScheduler, RecoveryRouter, Router, RunConfig,
-    Supervisor, SupervisorConfig,
+    experiment::FaultClass, render, AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner,
+    Biochip, DegradationConfig, FaultMode, FaultPlan, FifoScheduler, RecoveryRouter, Router,
+    RunConfig, Supervisor, SupervisorConfig,
 };
 use meda::synth::{
     max_reach_probability, min_expected_cycles_with_reach, synthesize, to_prism_explicit, Query,
@@ -39,7 +39,8 @@ USAGE:
   meda plan <assay>
   meda run <assay> [--router adaptive|baseline|recovery] [--seed N]
                    [--faults uniform|clustered] [--fraction F] [--runs N]
-                   [--k-max N] [--chaos] [--stuck-rate F] [--supervised]
+                   [--k-max N] [--chaos[=stuck|cluster|rowloss|front]]
+                   [--severity F] [--stuck-rate F] [--supervised] [--reconfig]
   meda synth [--area WxH] [--droplet WxH] [--force F] [--query rmin|pmax]
   meda export-prism <assay> <job-index>
   meda audit <assay> [--force F]
@@ -176,12 +177,32 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     };
 
     // Chaos mode closes the sensing loop: the router sees Y-matrix
-    // reconstructions, and stuck sensor bits corrupt Y at --stuck-rate.
-    let chaos_on = args.iter().any(|a| a == "--chaos");
+    // reconstructions, and the chosen fault class corrupts the run at
+    // --severity. Bare `--chaos` keeps the classic stuck-sensor sweep;
+    // `--chaos=<class>` selects a hard-chaos class from the degradation
+    // matrix (see DESIGN.md §13).
+    let chaos_class = args
+        .iter()
+        .find_map(|a| {
+            if a == "--chaos" {
+                Some(Ok(FaultClass::StuckSensors))
+            } else {
+                a.strip_prefix("--chaos=").map(|name| {
+                    FaultClass::from_name(name).ok_or_else(|| {
+                        format!("unknown chaos class '{name}' (stuck|cluster|rowloss|front)")
+                    })
+                })
+            }
+        })
+        .transpose()?;
+    let chaos_on = chaos_class.is_some();
     let supervised = args.iter().any(|a| a == "--supervised");
-    let stuck_rate: f64 = flag(args, "--stuck-rate").map_or(Ok(0.02), |s| {
-        s.parse().map_err(|_| format!("bad stuck rate '{s}'"))
-    })?;
+    let reconfig = args.iter().any(|a| a == "--reconfig");
+    let severity: f64 = flag(args, "--severity")
+        .or_else(|| flag(args, "--stuck-rate"))
+        .map_or(Ok(0.02), |s| {
+            s.parse().map_err(|_| format!("bad severity '{s}'"))
+        })?;
 
     let mut rng = meda_rng::StdRng::seed_from_u64(seed);
     let mut chip = Biochip::generate(ChipDims::PAPER, &degradation, &mut rng);
@@ -191,20 +212,20 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         sensed_feedback: chaos_on,
     };
     for run in 1..=runs {
-        let chaos = if chaos_on {
-            FaultPlan::none().with_stuck_sensors(ChipDims::PAPER, stuck_rate, &mut rng)
-        } else {
-            FaultPlan::none()
+        let chaos = match chaos_class {
+            Some(class) => class.plan(ChipDims::PAPER, severity, k_max, &mut rng),
+            None => FaultPlan::none(),
         };
         if supervised {
             let report = Supervisor::new(SupervisorConfig {
                 run: config,
+                reconfig_budget: if reconfig { 2 } else { 0 },
                 ..SupervisorConfig::default()
             })
             .run(&plan, &mut chip, router.as_mut(), &chaos, &mut rng);
             println!(
                 "run {run}: {:?} in {} cycles — {}/{} ops complete, \
-                 ladder resense/resynth/detour/abort {}/{}/{}/{}",
+                 ladder resense/resynth/detour/reconfig/abort {}/{}/{}/{}/{}",
                 report.status,
                 report.cycles,
                 report.completed_ops,
@@ -212,6 +233,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
                 report.rungs.resense,
                 report.rungs.resynth,
                 report.rungs.detour,
+                report.rungs.reconfig,
                 report.rungs.aborted_ops
             );
             for failure in &report.failures {
