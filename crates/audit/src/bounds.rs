@@ -1,0 +1,959 @@
+//! Certified `[lo, hi]` value bounds by interval iteration over the
+//! maximal-end-component quotient (DESIGN.md §14).
+//!
+//! The Bellman-residual certificate ([`crate::bellman_certificate`]) only
+//! proves a vector is an ε-fixed-point — it says **nothing** about the
+//! distance to the true value. The `Pmax` operator can have a whole family
+//! of fixed points (one per end component the process can linger in;
+//! Haddad & Monmège), so a solver can converge, residual-certify, and
+//! still be arbitrarily wrong. This module computes *sound* bounds
+//! instead:
+//!
+//! - `Pmax`: graph-only qualitative analysis pins the certain states
+//!   (cannot-reach-goal → 0, almost-sure-reach → 1), the MEC
+//!   decomposition from `meda-core` collapses every end component to one
+//!   quotient state (in-component branches become analytically factored
+//!   self-loops), and on the quotient the operator has a **unique** fixed
+//!   point — so the 0-seeded ascent and 1-seeded descent converge to the
+//!   same limit, squeezing `v*` inside `[lo, hi]`.
+//! - `Rmin`: after the `Prob1` double fixed point identifies the states
+//!   with an almost-surely-reaching (proper) strategy, its witness policy
+//!   is evaluated *exactly* ([`crate::eval`]) to seed the descent with a
+//!   finite over-approximation (∞-seeded iteration can stall on cyclic
+//!   proper policies), while the ascent starts from 0; unit step costs
+//!   make every improper policy infinite, so the restricted operator has
+//!   a unique fixed point and both iterates converge to it.
+//!
+//! Iteration stops when `hi − lo ≤ 2ε` everywhere, so reporting the
+//! midpoint is within `ε` of the truth — a claim about the *value*, not
+//! the trajectory. [`verify_bounds`] re-checks a claimed certificate from
+//! scratch via one monotone backup (Knaster–Tarski: a post-fixed point
+//! bounds the least fixed point from below on the quotient, a pre-fixed
+//! point bounds it from above), which is what the corruption corpus
+//! attacks.
+
+use meda_core::{mec_decomposition, Action, Dir, MecDecomposition, NO_MEC};
+
+use crate::eval::evaluate_pick_exact;
+use crate::{ModelArtifact, ValueKind, Violation};
+
+/// Absolute slack used when re-verifying a certificate's inequalities:
+/// covers f64 rounding of the monotone backups without admitting any
+/// mutation the corpus generates (those are ≥ 1e-3 off).
+pub const BOUNDS_SLACK: f64 = 1e-7;
+
+/// Iteration budget for [`compute_bounds`] (matches the solver's default).
+pub const BOUNDS_MAX_ITERATIONS: usize = 100_000;
+
+/// Sound per-state value bounds: `lo[i] ≤ v*(i) ≤ hi[i]` (up to f64
+/// rounding of the monotone backups), produced by [`compute_bounds`] and
+/// re-checkable from scratch by [`verify_bounds`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundsCertificate {
+    /// Operator the bounds certify.
+    pub kind: ValueKind,
+    /// Target half-width: iteration stops at `hi − lo ≤ 2ε`.
+    pub epsilon: f64,
+    /// Lower bound per state (from-below iterate).
+    pub lo: Vec<f64>,
+    /// Upper bound per state (from-above iterate; `∞` for `Rmin` states
+    /// with no almost-surely-reaching strategy).
+    pub hi: Vec<f64>,
+    /// Sweeps performed (each sweep advances both iterates once).
+    pub iterations: usize,
+    /// Whether the width target was met within the iteration budget.
+    pub converged: bool,
+    /// Largest finite `hi − lo` over the states at termination.
+    pub width: f64,
+    /// Number of maximal end components of the model.
+    pub mecs: usize,
+    /// Size of the largest maximal end component (0 when none).
+    pub largest_mec: usize,
+}
+
+impl BoundsCertificate {
+    /// The interval width at state `i`; two infinite endpoints agree
+    /// exactly, so their width is 0.
+    #[must_use]
+    pub fn width_at(&self, i: usize) -> f64 {
+        if self.lo[i].is_infinite() && self.hi[i].is_infinite() {
+            0.0
+        } else {
+            self.hi[i] - self.lo[i]
+        }
+    }
+
+    /// Whether `value` lies within `[lo − tol, hi + tol]` at state `i`.
+    /// An infinite `value` needs an infinite upper bound.
+    #[must_use]
+    pub fn contains(&self, i: usize, value: f64, tol: f64) -> bool {
+        if value.is_nan() {
+            return false;
+        }
+        if value.is_infinite() {
+            return self.hi[i].is_infinite();
+        }
+        self.lo[i] - tol <= value && value <= self.hi[i] + tol
+    }
+}
+
+/// Computes a sound [`BoundsCertificate`] for the artifact by interval
+/// iteration (see the module docs for the construction per operator).
+///
+/// The artifact must have passed [`crate::audit_model`] — the qualitative
+/// analyses and sweeps index the CSR arrays directly.
+#[must_use]
+pub fn compute_bounds(
+    art: &ModelArtifact,
+    kind: ValueKind,
+    epsilon: f64,
+    max_iterations: usize,
+) -> BoundsCertificate {
+    let telemetry = meda_telemetry::global();
+    let _span = telemetry.span("audit.bounds");
+    let mec = {
+        let _mec_span = telemetry.span("audit.bounds.mec");
+        mec_decomposition(
+            &art.state_choice_start,
+            &art.choice_branch_start,
+            &art.branch_target,
+        )
+    };
+    telemetry.add("audit.bounds.mecs", mec.mecs() as u64);
+    let mut cert = match kind {
+        ValueKind::Reachability => pmax_bounds(art, &mec, epsilon, max_iterations),
+        ValueKind::ExpectedCycles => rmin_bounds(art, epsilon, max_iterations),
+    };
+    cert.mecs = mec.mecs();
+    cert.largest_mec = mec.largest();
+    telemetry.add("audit.bounds.iterations", cert.iterations as u64);
+    cert
+}
+
+/// Re-derives every soundness obligation of a claimed certificate from
+/// scratch — qualitative sets, MEC quotient, and one monotone backup per
+/// bound — so a corrupted `[lo, hi]` is caught even though it may be a
+/// perfectly consistent-looking pair of vectors:
+///
+/// - both vectors sized, finite where required, `lo ≤ hi`;
+/// - `Pmax`: the upper bound is a pre-fixed point of the plain operator
+///   (`T(hi) ≤ hi` ⟹ `hi ≥ lfp = v*`), and the lower bound, projected
+///   onto the MEC quotient, is a post-fixed point of the quotient
+///   operator, whose fixed point is unique (`lo ≤ T_q(lo)` ⟹ `lo ≤ v*`);
+/// - `Rmin`: `hi` must be `∞` exactly outside the `Prob1` set, and on it
+///   both bounds must satisfy the corresponding inequality of the
+///   `Prob1`-restricted operator (unique fixed point under unit costs);
+/// - the final width must meet the `2ε` target.
+#[must_use]
+pub fn verify_bounds(art: &ModelArtifact, cert: &BoundsCertificate) -> Vec<Violation> {
+    let n = art.states;
+    let mut violations = Vec::new();
+    for (which, v) in [("bounds.lo", &cert.lo), ("bounds.hi", &cert.hi)] {
+        if v.len() != n {
+            violations.push(Violation::BoundsLength {
+                which,
+                expected: n,
+                found: v.len(),
+            });
+        }
+    }
+    if !violations.is_empty() {
+        return violations;
+    }
+    for i in 0..n {
+        let (lo, hi) = (cert.lo[i], cert.hi[i]);
+        for v in [lo, hi] {
+            let bad = v.is_nan()
+                || match cert.kind {
+                    ValueKind::Reachability => !(-BOUNDS_SLACK..=1.0 + BOUNDS_SLACK).contains(&v),
+                    ValueKind::ExpectedCycles => v < -BOUNDS_SLACK,
+                };
+            if bad {
+                violations.push(Violation::BoundOutOfRange { state: i, value: v });
+            }
+        }
+        let slack = crossing_slack(lo, hi);
+        if !(lo.is_infinite() && hi.is_infinite()) && lo > hi + slack {
+            violations.push(Violation::BoundsCrossed { state: i, lo, hi });
+        }
+    }
+    if !violations.is_empty() {
+        return violations;
+    }
+    match cert.kind {
+        ValueKind::Reachability => verify_pmax(art, cert, &mut violations),
+        ValueKind::ExpectedCycles => verify_rmin(art, cert, &mut violations),
+    }
+    let width = (0..n).map(|i| cert.width_at(i)).fold(0.0_f64, f64::max);
+    // NaN widths must also trip the violation, hence the explicit is_nan arm.
+    if width.is_nan() || width > 2.0 * cert.epsilon + BOUNDS_SLACK {
+        violations.push(Violation::BoundsNotConverged {
+            width,
+            epsilon: cert.epsilon,
+        });
+    }
+    violations
+}
+
+/// Checks that a value vector lies inside the certified interval at every
+/// state — the differential obligation between the (fast, unsound on its
+/// own) solver and the (sound) bounds pass.
+#[must_use]
+pub fn bracket_violations(cert: &BoundsCertificate, values: &[f64], tol: f64) -> Vec<Violation> {
+    if values.len() != cert.lo.len() || cert.lo.len() != cert.hi.len() {
+        return vec![Violation::ValueLength {
+            expected: cert.lo.len(),
+            found: values.len(),
+        }];
+    }
+    values
+        .iter()
+        .enumerate()
+        .filter(|&(i, &v)| {
+            let scale = if v.is_finite() { v.abs() } else { 0.0 };
+            !cert.contains(i, v, tol + 1e-9 * scale)
+        })
+        .map(|(i, &v)| Violation::ValueOutsideBounds {
+            state: i,
+            value: v,
+            lo: cert.lo[i],
+            hi: cert.hi[i],
+        })
+        .collect()
+}
+
+fn crossing_slack(lo: f64, hi: f64) -> f64 {
+    let scale = [lo, hi]
+        .into_iter()
+        .filter(|v| v.is_finite())
+        .fold(0.0_f64, |a, v| a.max(v.abs()));
+    BOUNDS_SLACK + 1e-9 * scale
+}
+
+// ---------------------------------------------------------------------------
+// Qualitative (graph-only) analyses.
+// ---------------------------------------------------------------------------
+
+/// States from which some path reaches a goal state — backward BFS over
+/// the reversed branch relation. The complement is the exact `Pmax = 0`
+/// set.
+fn can_reach_goal(art: &ModelArtifact) -> Vec<bool> {
+    let n = art.states;
+    let branches = art.branch_target.len();
+    // Reverse adjacency by counting sort: rev_src groups branch sources by
+    // their target.
+    let mut rev_start = vec![0u32; n + 1];
+    for &t in &art.branch_target {
+        rev_start[t as usize + 1] += 1;
+    }
+    for i in 1..=n {
+        rev_start[i] += rev_start[i - 1];
+    }
+    let mut cursor = rev_start.clone();
+    let mut rev_src = vec![0u32; branches];
+    for i in 0..n {
+        for c in art.choice_range(i) {
+            for b in art.branch_range(c) {
+                let t = art.branch_target[b] as usize;
+                rev_src[cursor[t] as usize] =
+                    u32::try_from(i).expect("state index exceeds the u32 address space");
+                cursor[t] += 1;
+            }
+        }
+    }
+    let mut reach = vec![false; n];
+    let mut queue: Vec<u32> = Vec::new();
+    for (i, &goal) in art.goal_flags.iter().enumerate() {
+        if goal {
+            reach[i] = true;
+            queue.push(u32::try_from(i).expect("state index exceeds the u32 address space"));
+        }
+    }
+    while let Some(t) = queue.pop() {
+        let t = t as usize;
+        for &s in &rev_src[rev_start[t] as usize..rev_start[t + 1] as usize] {
+            if !reach[s as usize] {
+                reach[s as usize] = true;
+                queue.push(s);
+            }
+        }
+    }
+    reach
+}
+
+/// The `Prob1` set — states with a strategy reaching the goal almost
+/// surely — by the standard greatest/least double fixed point, plus a
+/// *witness* choice per member recorded in the final inner pass. The
+/// witness policy is proper: every recorded choice keeps all its branches
+/// inside the set and has positive probability of progressing toward a
+/// state added earlier, so following it reaches the goal with
+/// probability 1.
+fn prob1(art: &ModelArtifact) -> (Vec<bool>, Vec<Option<usize>>) {
+    let n = art.states;
+    let mut u = vec![true; n];
+    loop {
+        let mut v = vec![false; n];
+        let mut witness = vec![None; n];
+        for (i, &goal) in art.goal_flags.iter().enumerate() {
+            if goal {
+                v[i] = true;
+            }
+        }
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                if v[i] || !u[i] {
+                    continue;
+                }
+                for c in art.choice_range(i) {
+                    let mut all_in_u = true;
+                    let mut some_in_v = false;
+                    for b in art.branch_range(c) {
+                        let t = art.branch_target[b] as usize;
+                        if !u[t] {
+                            all_in_u = false;
+                            break;
+                        }
+                        if v[t] {
+                            some_in_v = true;
+                        }
+                    }
+                    if all_in_u && some_in_v {
+                        v[i] = true;
+                        witness[i] = Some(c);
+                        changed = true;
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if v == u {
+            return (v, witness);
+        }
+        u = v;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pmax: interval iteration on the MEC quotient.
+// ---------------------------------------------------------------------------
+
+/// Quotient bookkeeping: non-MEC states are singleton quotient states,
+/// every MEC collapses to one. `pin` fixes the quotient states decided by
+/// the qualitative analyses; only unpinned ones iterate.
+struct PmaxQuotient {
+    q_of: Vec<u32>,
+    q_start: Vec<u32>,
+    q_members: Vec<u32>,
+    pin: Vec<Option<f64>>,
+}
+
+fn pmax_quotient(art: &ModelArtifact, mec: &MecDecomposition) -> PmaxQuotient {
+    let n = art.states;
+    let mut q_of = vec![0u32; n];
+    let mut mec_q = vec![NO_MEC; mec.mecs()];
+    let mut q_count = 0u32;
+    for (i, q) in q_of.iter_mut().enumerate() {
+        let m = mec.mec_of[i];
+        if m == NO_MEC {
+            *q = q_count;
+            q_count += 1;
+        } else if mec_q[m as usize] == NO_MEC {
+            mec_q[m as usize] = q_count;
+            *q = q_count;
+            q_count += 1;
+        } else {
+            *q = mec_q[m as usize];
+        }
+    }
+    let qn = q_count as usize;
+    let mut q_start = vec![0u32; qn + 1];
+    for &q in &q_of {
+        q_start[q as usize + 1] += 1;
+    }
+    for k in 1..=qn {
+        q_start[k] += q_start[k - 1];
+    }
+    let mut cursor = q_start.clone();
+    let mut q_members = vec![0u32; n];
+    for (i, &q) in q_of.iter().enumerate() {
+        q_members[cursor[q as usize] as usize] =
+            u32::try_from(i).expect("state index exceeds the u32 address space");
+        cursor[q as usize] += 1;
+    }
+    // Qualitative pins: Pmax, being constant within a MEC (members are
+    // mutually almost-surely reachable), is well-defined per quotient
+    // state — derive it from the first member.
+    let reach = can_reach_goal(art);
+    let (p1, _) = prob1(art);
+    let mut pin = vec![None; qn];
+    for (q, p) in pin.iter_mut().enumerate() {
+        let first = q_members[q_start[q] as usize] as usize;
+        if art.goal_flags[first] || p1[first] {
+            *p = Some(1.0);
+        } else if !reach[first] {
+            *p = Some(0.0);
+        }
+    }
+    PmaxQuotient {
+        q_of,
+        q_start,
+        q_members,
+        pin,
+    }
+}
+
+/// One quotient backup of the `Pmax` operator at quotient state `q`,
+/// evaluated simultaneously on both iterate vectors. Exiting choices only
+/// (in-MEC choices are self-loops on the quotient and carry no
+/// information); mass staying inside the quotient state is factored
+/// analytically. A choice whose factored denominator vanishes to f64 zero
+/// contributes the conservative `(0, 1)` pair.
+fn pmax_quotient_backup(
+    art: &ModelArtifact,
+    mec: &MecDecomposition,
+    quot: &PmaxQuotient,
+    lo: &[f64],
+    hi: &[f64],
+    q: usize,
+) -> (f64, f64) {
+    let mut best_lo = 0.0_f64;
+    let mut best_hi = 0.0_f64;
+    let members = &quot.q_members[quot.q_start[q] as usize..quot.q_start[q + 1] as usize];
+    for &i in members {
+        let i = i as usize;
+        for c in art.choice_range(i) {
+            if mec.internal_choice[c] {
+                continue;
+            }
+            let mut p_self = 0.0_f64;
+            let mut sum_lo = 0.0_f64;
+            let mut sum_hi = 0.0_f64;
+            for b in art.branch_range(c) {
+                let t = art.branch_target[b] as usize;
+                let p = art.branch_prob[b];
+                let qt = quot.q_of[t] as usize;
+                if qt == q {
+                    p_self += p;
+                } else {
+                    sum_lo += p * lo[qt];
+                    sum_hi += p * hi[qt];
+                }
+            }
+            let denom = 1.0 - p_self;
+            let (vl, vh) = if denom <= 1e-12 {
+                (0.0, 1.0)
+            } else {
+                (
+                    (sum_lo / denom).clamp(0.0, 1.0),
+                    (sum_hi / denom).clamp(0.0, 1.0),
+                )
+            };
+            best_lo = best_lo.max(vl);
+            best_hi = best_hi.max(vh);
+        }
+    }
+    (best_lo, best_hi)
+}
+
+fn pmax_bounds(
+    art: &ModelArtifact,
+    mec: &MecDecomposition,
+    epsilon: f64,
+    max_iterations: usize,
+) -> BoundsCertificate {
+    let quot = pmax_quotient(art, mec);
+    let qn = quot.pin.len();
+    let mut lo: Vec<f64> = quot.pin.iter().map(|p| p.unwrap_or(0.0)).collect();
+    let mut hi: Vec<f64> = quot.pin.iter().map(|p| p.unwrap_or(1.0)).collect();
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut width = (0..qn)
+        .filter(|&q| quot.pin[q].is_none())
+        .map(|q| hi[q] - lo[q])
+        .fold(0.0_f64, f64::max);
+    if width <= 2.0 * epsilon {
+        converged = true;
+    }
+    while !converged && iterations < max_iterations {
+        iterations += 1;
+        width = 0.0;
+        for q in 0..qn {
+            if quot.pin[q].is_some() {
+                continue;
+            }
+            let (vl, vh) = pmax_quotient_backup(art, mec, &quot, &lo, &hi, q);
+            // Enforce monotone trajectories (sound: both new values are
+            // valid bounds, and so were the old ones).
+            lo[q] = lo[q].max(vl);
+            hi[q] = hi[q].min(vh);
+            width = width.max(hi[q] - lo[q]);
+        }
+        if width <= 2.0 * epsilon {
+            converged = true;
+        }
+    }
+    let lo_states: Vec<f64> = quot.q_of.iter().map(|&q| lo[q as usize]).collect();
+    let hi_states: Vec<f64> = quot.q_of.iter().map(|&q| hi[q as usize]).collect();
+    BoundsCertificate {
+        kind: ValueKind::Reachability,
+        epsilon,
+        lo: lo_states,
+        hi: hi_states,
+        iterations,
+        converged,
+        width,
+        mecs: 0,
+        largest_mec: 0,
+    }
+}
+
+fn verify_pmax(art: &ModelArtifact, cert: &BoundsCertificate, violations: &mut Vec<Violation>) {
+    let n = art.states;
+    // Upper bound: pre-fixed point of the plain operator on the original
+    // graph — Knaster–Tarski gives `hi ≥ lfp = v*` directly.
+    for i in 0..n {
+        let t = crate::certify::backup(art, &cert.hi, ValueKind::Reachability, i);
+        if t > cert.hi[i] + BOUNDS_SLACK {
+            violations.push(Violation::BoundUnsound {
+                upper: true,
+                state: i,
+                value: cert.hi[i],
+                backup: t,
+            });
+        }
+    }
+    // Lower bound: post-fixed point on the MEC quotient, where the fixed
+    // point is unique. Project by the tightest (largest) member value so a
+    // per-state bound is covered by the quotient claim.
+    let mec = mec_decomposition(
+        &art.state_choice_start,
+        &art.choice_branch_start,
+        &art.branch_target,
+    );
+    let quot = pmax_quotient(art, &mec);
+    let qn = quot.pin.len();
+    let mut qlo = vec![0.0_f64; qn];
+    for (i, &q) in quot.q_of.iter().enumerate() {
+        qlo[q as usize] = qlo[q as usize].max(cert.lo[i]);
+    }
+    for q in 0..qn {
+        let first = quot.q_members[quot.q_start[q] as usize] as usize;
+        let t = if art.goal_flags[first] {
+            1.0
+        } else {
+            // Under-approximating backup: vanished denominators contribute
+            // 0, so acceptance is never granted generously.
+            let mut best = 0.0_f64;
+            let members = &quot.q_members[quot.q_start[q] as usize..quot.q_start[q + 1] as usize];
+            for &i in members {
+                let i = i as usize;
+                for c in art.choice_range(i) {
+                    if mec.internal_choice[c] {
+                        continue;
+                    }
+                    let mut p_self = 0.0_f64;
+                    let mut sum = 0.0_f64;
+                    for b in art.branch_range(c) {
+                        let t = art.branch_target[b] as usize;
+                        let p = art.branch_prob[b];
+                        if quot.q_of[t] as usize == q {
+                            p_self += p;
+                        } else {
+                            sum += p * qlo[quot.q_of[t] as usize];
+                        }
+                    }
+                    let denom = 1.0 - p_self;
+                    if denom > 0.0 {
+                        best = best.max(sum / denom);
+                    }
+                }
+            }
+            best
+        };
+        if qlo[q] > t + BOUNDS_SLACK {
+            let worst = quot.q_members[quot.q_start[q] as usize..quot.q_start[q + 1] as usize]
+                .iter()
+                .map(|&i| i as usize)
+                .max_by(|&a, &b| cert.lo[a].total_cmp(&cert.lo[b]))
+                .unwrap_or(first);
+            violations.push(Violation::BoundUnsound {
+                upper: false,
+                state: worst,
+                value: qlo[q],
+                backup: t,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rmin: dual iterates on the Prob1-restricted domain.
+// ---------------------------------------------------------------------------
+
+/// The `Rmin` backup restricted to choices whose branches all stay inside
+/// the `Prob1` set, with the self-loop mass factored analytically. Reads
+/// `values` only at `Prob1` states. Returns `∞` when no restricted choice
+/// remains or every denominator vanishes.
+fn rmin_restricted_backup(art: &ModelArtifact, p1: &[bool], values: &[f64], i: usize) -> f64 {
+    if art.goal_flags[i] {
+        return 0.0;
+    }
+    let mut best = f64::INFINITY;
+    'choices: for c in art.choice_range(i) {
+        let mut p_self = 0.0_f64;
+        let mut rest = 0.0_f64;
+        for b in art.branch_range(c) {
+            let t = art.branch_target[b] as usize;
+            let p = art.branch_prob[b];
+            if !p1[t] {
+                continue 'choices;
+            }
+            if t == i {
+                p_self += p;
+            } else {
+                rest += p * values[t];
+            }
+        }
+        let denom = 1.0 - p_self;
+        if denom > 0.0 {
+            best = best.min((1.0 + rest) / denom);
+        }
+    }
+    best
+}
+
+fn rmin_bounds(art: &ModelArtifact, epsilon: f64, max_iterations: usize) -> BoundsCertificate {
+    let telemetry = meda_telemetry::global();
+    let n = art.states;
+    let (p1, witness) = prob1(art);
+    let mut lo = vec![f64::INFINITY; n];
+    let mut hi = vec![f64::INFINITY; n];
+    for i in 0..n {
+        if p1[i] {
+            lo[i] = 0.0;
+        }
+        if art.goal_flags[i] {
+            hi[i] = 0.0;
+        }
+    }
+    // ∞-seeded descent stalls when the proper policy is cyclic (every
+    // backup sees an infinite successor and skips), so collapse the seed
+    // to the witness policy's *exact* cost first: finite on the whole
+    // Prob1 set and ≥ v* by definition of the minimum.
+    let mut seeded = false;
+    match evaluate_pick_exact(art, &witness, ValueKind::ExpectedCycles) {
+        Ok(eval) => {
+            seeded = true;
+            for i in 0..n {
+                if p1[i] && !art.goal_flags[i] {
+                    // Tiny inflation absorbs the elimination's rounding so
+                    // the seed stays an upper bound.
+                    hi[i] = eval.values[i] * (1.0 + 1e-12) + 1e-9;
+                }
+            }
+        }
+        Err(_) => {
+            telemetry.add("audit.bounds.seed_overflow", 1);
+        }
+    }
+    let mut iterations = 0usize;
+    let mut converged = false;
+    let mut width = f64::INFINITY;
+    while !converged && iterations < max_iterations {
+        iterations += 1;
+        width = 0.0;
+        for i in 0..n {
+            if !p1[i] || art.goal_flags[i] {
+                continue;
+            }
+            lo[i] = lo[i].max(rmin_restricted_backup(art, &p1, &lo, i));
+            if seeded {
+                hi[i] = hi[i].min(rmin_restricted_backup(art, &p1, &hi, i));
+            }
+            width = width.max(hi[i] - lo[i]);
+        }
+        if width <= 2.0 * epsilon {
+            converged = true;
+        }
+        if !seeded {
+            break; // lo alone can never close the interval
+        }
+    }
+    BoundsCertificate {
+        kind: ValueKind::ExpectedCycles,
+        epsilon,
+        lo,
+        hi,
+        iterations,
+        converged,
+        width,
+        mecs: 0,
+        largest_mec: 0,
+    }
+}
+
+fn verify_rmin(art: &ModelArtifact, cert: &BoundsCertificate, violations: &mut Vec<Violation>) {
+    let n = art.states;
+    let (p1, _) = prob1(art);
+    for i in 0..n {
+        if !p1[i] {
+            // No almost-surely-reaching strategy exists: the true value is
+            // ∞, so any finite upper bound under-claims it.
+            if cert.hi[i].is_finite() {
+                violations.push(Violation::BoundUnsound {
+                    upper: true,
+                    state: i,
+                    value: cert.hi[i],
+                    backup: f64::INFINITY,
+                });
+            }
+            continue;
+        }
+        let slack = |v: f64| BOUNDS_SLACK + 1e-9 * if v.is_finite() { v.abs() } else { 0.0 };
+        let t_hi = rmin_restricted_backup(art, &p1, &cert.hi, i);
+        if t_hi > cert.hi[i] + slack(cert.hi[i]) {
+            violations.push(Violation::BoundUnsound {
+                upper: true,
+                state: i,
+                value: cert.hi[i],
+                backup: t_hi,
+            });
+        }
+        let t_lo = rmin_restricted_backup(art, &p1, &cert.lo, i);
+        if cert.lo[i] > t_lo + slack(cert.lo[i]) {
+            violations.push(Violation::BoundUnsound {
+                upper: false,
+                state: i,
+                value: cert.lo[i],
+                backup: t_lo,
+            });
+        }
+    }
+}
+
+/// The packaged unsoundness demonstration replayed by `meda audit
+/// selftest-unsound` and the CI `audit-sound-selftest` stage.
+///
+/// Returns the end-component trap (Haddad–Monmège flavor): states 0 and 1
+/// can shuttle probability between themselves forever, and state 1 can
+/// also gamble 50/50 between the goal (2) and a dead state (3). True
+/// `Pmax` is 0.5 from 0 and 1, but **any** constant `v0 = v1 = c ≥ 0.5`
+/// is an *exact* fixed point of the plain operator — residual 0 — because
+/// the shuttle end component reproduces whatever value it is assigned.
+///
+/// The returned value vector `(0.9, 0.9, 1, 0)` therefore passes
+/// [`crate::bellman_certificate`] while sitting 0.4 above the truth, and
+/// the returned strategy is greedy with respect to those bogus values (at
+/// state 1 the shuttle backs up 0.9 while the gamble backs up 0.5), so it
+/// loops forever and never reaches the goal. The plain
+/// [`crate::audit_solution`] accepts the whole solution;
+/// [`crate::audit_solution_sound`] must reject both the values and the
+/// strategy.
+#[must_use]
+pub fn unsound_vi_fixture() -> (ModelArtifact, Vec<f64>, Vec<Option<Action>>) {
+    let artifact = ModelArtifact {
+        states: 4,
+        init: 0,
+        // State 3 is the dead side of the gamble: absorbing, non-goal,
+        // declared as the sink so the structural audit stays clean.
+        sink: Some(3),
+        goal_flags: vec![false, false, true, false],
+        // state 0: one choice {0.5→1, 0.5→0}; state 1: shuttle
+        // {0.5→0, 0.5→1} and gamble {0.5→2, 0.5→3}; 2 goal, 3 dead.
+        state_choice_start: vec![0, 1, 3, 3, 3],
+        choice_action: vec![
+            Action::Move(Dir::E),
+            Action::Move(Dir::W),
+            Action::Move(Dir::N),
+        ],
+        choice_branch_start: vec![0, 2, 4, 6],
+        branch_target: vec![1, 0, 0, 1, 2, 3],
+        branch_prob: vec![0.5; 6],
+    };
+    let bogus_values = vec![0.9, 0.9, 1.0, 0.0];
+    let bogus_strategy = vec![
+        Some(Action::Move(Dir::E)),
+        Some(Action::Move(Dir::W)),
+        None,
+        None,
+    ];
+    (artifact, bogus_values, bogus_strategy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CERTIFICATE_EPSILON;
+
+    fn east() -> Action {
+        Action::Move(Dir::E)
+    }
+
+    fn corridor() -> ModelArtifact {
+        let west = Action::Move(Dir::W);
+        ModelArtifact {
+            states: 3,
+            init: 0,
+            sink: None,
+            goal_flags: vec![false, false, true],
+            state_choice_start: vec![0, 1, 3, 3],
+            choice_action: vec![east(), east(), west],
+            choice_branch_start: vec![0, 2, 4, 6],
+            branch_target: vec![1, 0, 2, 1, 0, 1],
+            branch_prob: vec![0.8, 0.2, 0.8, 0.2, 0.8, 0.2],
+        }
+    }
+
+    fn ec_trap() -> ModelArtifact {
+        unsound_vi_fixture().0
+    }
+
+    #[test]
+    fn corridor_pmax_bounds_converge_to_one() {
+        let art = corridor();
+        let cert = compute_bounds(
+            &art,
+            ValueKind::Reachability,
+            CERTIFICATE_EPSILON,
+            BOUNDS_MAX_ITERATIONS,
+        );
+        assert!(cert.converged, "width {}", cert.width);
+        for i in 0..3 {
+            assert!(cert.lo[i] > 1.0 - 1e-9, "lo[{i}] = {}", cert.lo[i]);
+            assert!((cert.hi[i] - 1.0).abs() < 1e-9);
+        }
+        assert!(verify_bounds(&art, &cert).is_empty());
+    }
+
+    #[test]
+    fn corridor_rmin_bounds_bracket_the_exact_value() {
+        let art = corridor();
+        let cert = compute_bounds(
+            &art,
+            ValueKind::ExpectedCycles,
+            CERTIFICATE_EPSILON,
+            BOUNDS_MAX_ITERATIONS,
+        );
+        assert!(cert.converged);
+        assert!(
+            cert.lo[0] <= 2.5 && 2.5 <= cert.hi[0],
+            "[{}, {}]",
+            cert.lo[0],
+            cert.hi[0]
+        );
+        assert!(cert.lo[1] <= 1.25 && 1.25 <= cert.hi[1]);
+        assert!(cert.width <= 2.0 * CERTIFICATE_EPSILON);
+        assert!(verify_bounds(&art, &cert).is_empty());
+    }
+
+    #[test]
+    fn ec_trap_bounds_find_the_true_half() {
+        let art = ec_trap();
+        let cert = compute_bounds(
+            &art,
+            ValueKind::Reachability,
+            CERTIFICATE_EPSILON,
+            BOUNDS_MAX_ITERATIONS,
+        );
+        assert!(cert.converged);
+        assert!(cert.mecs >= 1, "the shuttle must be detected as a MEC");
+        assert!(
+            cert.contains(0, 0.5, 1e-9),
+            "[{}, {}]",
+            cert.lo[0],
+            cert.hi[0]
+        );
+        assert!(cert.hi[0] < 0.5 + 1e-6);
+        assert!(verify_bounds(&art, &cert).is_empty());
+    }
+
+    #[test]
+    fn ec_trap_spurious_fixed_point_certifies_residual_but_fails_bounds() {
+        // The unsoundness demonstration the CI self-test stage replays:
+        // v = (0.9, 0.9, 1, 0) has residual 0 — the plain certificate
+        // accepts it — yet it is 0.4 above the truth. The sound pass must
+        // reject it as a claimed certificate and as a bracketed value.
+        let art = ec_trap();
+        let bogus = vec![0.9, 0.9, 1.0, 0.0];
+        let residual = crate::bellman_certificate(&art, &bogus, ValueKind::Reachability);
+        assert!(
+            residual.certifies(CERTIFICATE_EPSILON),
+            "the residual certificate is fooled by the EC fixed point"
+        );
+        let cert = compute_bounds(
+            &art,
+            ValueKind::Reachability,
+            CERTIFICATE_EPSILON,
+            BOUNDS_MAX_ITERATIONS,
+        );
+        let bracket = bracket_violations(&cert, &bogus, CERTIFICATE_EPSILON);
+        assert!(
+            bracket
+                .iter()
+                .any(|v| matches!(v, Violation::ValueOutsideBounds { .. })),
+            "sound bounds must reject the spurious fixed point"
+        );
+        // And a forged certificate claiming [0.9, 0.9] as a lower bound is
+        // caught by the quotient post-fixed-point check.
+        let mut forged = cert.clone();
+        forged.lo[0] = 0.9;
+        forged.lo[1] = 0.9;
+        forged.hi[0] = 0.9;
+        forged.hi[1] = 0.9;
+        assert!(verify_bounds(&art, &forged)
+            .iter()
+            .any(|v| matches!(v, Violation::BoundUnsound { upper: false, .. })));
+    }
+
+    #[test]
+    fn rmin_hopeless_states_get_infinite_bounds() {
+        // Cut the corridor's goal edge: state 1's east now stays forever.
+        let mut art = corridor();
+        art.branch_target[2] = 1;
+        art.branch_prob[2] = 0.8;
+        let cert = compute_bounds(
+            &art,
+            ValueKind::ExpectedCycles,
+            CERTIFICATE_EPSILON,
+            BOUNDS_MAX_ITERATIONS,
+        );
+        assert!(cert.lo[0].is_infinite() && cert.hi[0].is_infinite());
+        assert_eq!(cert.width_at(0), 0.0);
+    }
+
+    #[test]
+    fn forged_rmin_bounds_are_rejected() {
+        let art = corridor();
+        let cert = compute_bounds(
+            &art,
+            ValueKind::ExpectedCycles,
+            CERTIFICATE_EPSILON,
+            BOUNDS_MAX_ITERATIONS,
+        );
+        assert!(verify_bounds(&art, &cert).is_empty());
+
+        let mut inflated = cert.clone();
+        inflated.lo[0] += 0.5; // claims the strategy needs more cycles
+        inflated.hi[0] += 0.5;
+        assert!(verify_bounds(&art, &inflated)
+            .iter()
+            .any(|v| matches!(v, Violation::BoundUnsound { upper: false, .. })));
+
+        let mut deflated = cert.clone();
+        deflated.lo[0] -= 0.5;
+        deflated.hi[0] -= 0.5; // claims the strategy is cheaper than possible
+        assert!(verify_bounds(&art, &deflated)
+            .iter()
+            .any(|v| matches!(v, Violation::BoundUnsound { upper: true, .. })));
+
+        let mut crossed = cert.clone();
+        crossed.lo[0] = crossed.hi[0] + 1.0;
+        assert!(verify_bounds(&art, &crossed)
+            .iter()
+            .any(|v| matches!(v, Violation::BoundsCrossed { .. })));
+    }
+}

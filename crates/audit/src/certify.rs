@@ -1,13 +1,22 @@
 //! Bellman-residual certificates and strategy audits.
 //!
-//! A value-iteration result can be *certified* independently of how it was
-//! produced: a vector `v` is the answer to `Pmax[◇goal]` (or `Rmin[◇goal]`)
-//! iff it is a fixed point of the corresponding Bellman operator `T`. The
-//! certificate applies one exact backup and reports `max_i |T(v)_i − v_i|` —
-//! a warm-started or parallel-Jacobi solve that took a completely different
-//! trajectory through value space is accepted iff it landed on the same
-//! fixed point. This is the classic certify-don't-trust split: the solver
-//! is optimized for speed, the checker for obviousness.
+//! A value-iteration result can be *checked* independently of how it was
+//! produced: the certificate applies one exact backup of the claimed
+//! Bellman operator `T` and reports `max_i |T(v)_i − v_i|` — a
+//! warm-started or parallel-Jacobi solve that took a completely different
+//! trajectory through value space gets the same residual as a cold serial
+//! one.
+//!
+//! **Scope of the claim.** A small residual proves `v` is an
+//! ε-*fixed-point* of `T`; it does **not** bound the distance to the true
+//! value. The `Pmax` operator has one fixed point per end component the
+//! process can linger in, so a vector can have residual exactly 0 and
+//! still be arbitrarily wrong (Haddad–Monmège; see the `ec_trap` fixture
+//! in `bounds.rs`). The residual certificate is a cheap consistency gate
+//! — it catches corrupted vectors, mismatched operators, and divergent
+//! solves. For a sound statement about the *value*, use
+//! [`crate::compute_bounds`] / [`crate::BoundsCertificate`], whose
+//! interval-iteration bounds certify `lo ≤ v* ≤ hi`.
 
 use crate::{ModelArtifact, Violation};
 
@@ -42,9 +51,15 @@ pub struct Certificate {
 }
 
 impl Certificate {
-    /// Whether the vector is certified as an `epsilon`-fixed-point: the
+    /// Whether the vector is an `epsilon`-fixed-point of the operator: the
     /// residual is within `epsilon` and there are no finite/infinite or
     /// range disagreements.
+    ///
+    /// This is a *consistency* property, **not** a value guarantee — an
+    /// end-component fixed point passes with residual 0 while being far
+    /// from the true value. Callers that need `|v − v*| ≤ ε` must check
+    /// the [`crate::BoundsCertificate`] from [`crate::compute_bounds`]
+    /// instead.
     #[must_use]
     pub fn certifies(&self, epsilon: f64) -> bool {
         self.max_residual <= epsilon && self.inconsistent.is_empty() && self.out_of_range.is_empty()
@@ -113,8 +128,10 @@ pub fn certify_f32(
     (wide, cert)
 }
 
-/// One exact backup `T(v)_i` of the given operator.
-fn backup(art: &ModelArtifact, values: &[f64], kind: ValueKind, i: usize) -> f64 {
+/// One exact backup `T(v)_i` of the given operator. Also used by the
+/// bounds pass as the plain (un-quotiented) operator for its pre-fixed
+/// point check.
+pub(crate) fn backup(art: &ModelArtifact, values: &[f64], kind: ValueKind, i: usize) -> f64 {
     if art.goal_flags[i] {
         return match kind {
             ValueKind::Reachability => 1.0,

@@ -15,17 +15,28 @@
 //!   negative/NaN probabilities), goal/sink absorption, and a full
 //!   reachability census (unreachable and dead states listed, not counted).
 //! - [`audit_values`] / [`bellman_certificate`] — a one-backup
-//!   ε-fixed-point certificate. A warm-started or parallel-Jacobi solve is
-//!   accepted iff it landed on the same fixed point a cold serial solve
-//!   would have — the certificate is independent of solver trajectory.
+//!   ε-fixed-point *consistency* certificate, independent of solver
+//!   trajectory. Note this is not a value guarantee: a vector stuck on an
+//!   end-component fixed point has residual 0 while being far from `v*`.
+//! - [`compute_bounds`] / [`verify_bounds`] — **sound** certified
+//!   `[lo, hi]` value bounds by interval iteration over the maximal
+//!   end-component quotient ([`meda_core::mec_decomposition`]), with
+//!   `hi − lo ≤ 2ε` on convergence; this is the pass that actually bounds
+//!   the distance to the true value.
 //! - [`audit_strategy`] — totality and closure of the synthesized
 //!   memoryless strategy over the states it can actually reach.
+//! - [`evaluate_strategy`] / [`audit_strategy_value`] — exact evaluation
+//!   of the strategy's induced Markov chain (SCC-blocked sparse Gaussian
+//!   elimination), proving the shipped strategy attains a value inside
+//!   the certified interval.
 //!
-//! [`audit_solution`] bundles all three for the common case; the `meda
-//! audit` CLI subcommand and `scripts/ci.sh` drive it over freshly
-//! synthesized models. In debug builds the builder and solver also invoke
-//! these checks through `debug_assert!`-level hooks, so corruption is
-//! caught at construction during development.
+//! [`audit_solution`] bundles the structural, residual, and strategy
+//! checks for the common case; [`audit_solution_sound`] layers the bounds
+//! certificate, bracket check, and exact strategy evaluation on top. The
+//! `meda audit` CLI subcommand and `scripts/ci.sh` drive both over
+//! freshly synthesized models. In debug builds the builder and solver
+//! also invoke these checks through `debug_assert!`-level hooks, so
+//! corruption is caught at construction during development.
 //!
 //! # Examples
 //!
@@ -50,13 +61,20 @@
 #![warn(missing_docs)]
 
 mod artifact;
+mod bounds;
 mod certify;
+mod eval;
 mod model;
 mod report;
 mod strategy;
 
 pub use artifact::ModelArtifact;
+pub use bounds::{
+    bracket_violations, compute_bounds, unsound_vi_fixture, verify_bounds, BoundsCertificate,
+    BOUNDS_MAX_ITERATIONS, BOUNDS_SLACK,
+};
 pub use certify::{audit_values, bellman_certificate, certify_f32, Certificate, ValueKind};
+pub use eval::{audit_strategy_value, evaluate_strategy, StrategyEvaluation, MAX_CHAIN_BLOCK};
 pub use model::{audit_model, census, MASS_EPSILON};
 pub use report::{AuditReport, Census, Violation};
 pub use strategy::audit_strategy;
@@ -94,6 +112,40 @@ pub fn audit_solution(
             .extend(audit_strategy(art, choice, values, kind));
     }
     report
+}
+
+/// The sound certification pass: structural audit, certified `[lo, hi]`
+/// interval bounds re-verified from scratch, a bracket check that the
+/// solver's value vector lies inside the interval at every state, and an
+/// exact evaluation of the shipped strategy's induced chain whose initial
+/// value must also land inside the interval.
+///
+/// Returns the merged report plus the bounds certificate when the
+/// structural audit allowed the bounds pass to run. Unlike
+/// [`audit_solution`], a clean report here *does* bound the distance to
+/// the true value: `|v_i − v*_i| ≤ 2ε` for every state and the strategy
+/// provably attains a value inside `[lo, hi]` at init.
+#[must_use]
+pub fn audit_solution_sound(
+    art: &ModelArtifact,
+    values: &[f64],
+    choice: &[Option<Action>],
+    kind: ValueKind,
+    epsilon: f64,
+) -> (AuditReport, Option<BoundsCertificate>) {
+    let mut report = audit_model(art);
+    if !report.is_clean() {
+        return (report, None);
+    }
+    let cert = compute_bounds(art, kind, epsilon, BOUNDS_MAX_ITERATIONS);
+    report.violations.extend(verify_bounds(art, &cert));
+    report
+        .violations
+        .extend(bracket_violations(&cert, values, epsilon));
+    report
+        .violations
+        .extend(audit_strategy_value(art, choice, kind, &cert));
+    (report, Some(cert))
 }
 
 #[cfg(test)]

@@ -173,6 +173,83 @@ pub enum Violation {
         /// The out-of-range successor.
         target: u32,
     },
+    /// A bounds-certificate vector has the wrong length.
+    BoundsLength {
+        /// Which vector (`"bounds.lo"` / `"bounds.hi"`).
+        which: &'static str,
+        /// Length the artifact requires.
+        expected: usize,
+        /// Length actually found.
+        found: usize,
+    },
+    /// A bound is NaN or outside the operator's value range.
+    BoundOutOfRange {
+        /// The offending state.
+        state: usize,
+        /// The offending bound value.
+        value: f64,
+    },
+    /// A certified interval is inverted: the lower bound exceeds the
+    /// upper bound beyond tolerance.
+    BoundsCrossed {
+        /// The offending state.
+        state: usize,
+        /// The claimed lower bound.
+        lo: f64,
+        /// The claimed upper bound.
+        hi: f64,
+    },
+    /// A claimed bound fails its monotone-backup soundness check: an
+    /// upper bound must dominate one backup of itself (pre-fixed point),
+    /// a lower bound must be dominated by one (post-fixed point, on the
+    /// MEC quotient / Prob1 restriction where the fixed point is unique).
+    BoundUnsound {
+        /// `true` for the upper bound, `false` for the lower.
+        upper: bool,
+        /// The state (for quotient checks: the tightest member) at fault.
+        state: usize,
+        /// The claimed bound value.
+        value: f64,
+        /// The backup value that contradicts the claim.
+        backup: f64,
+    },
+    /// The certified interval is wider than the advertised `2ε` target.
+    BoundsNotConverged {
+        /// Largest finite interval width.
+        width: f64,
+        /// The certificate's ε.
+        epsilon: f64,
+    },
+    /// A value vector leaves the certified `[lo, hi]` interval — the
+    /// solver's answer is provably not the true value.
+    ValueOutsideBounds {
+        /// The offending state.
+        state: usize,
+        /// The value claimed by the solver.
+        value: f64,
+        /// Certified lower bound at that state.
+        lo: f64,
+        /// Certified upper bound at that state.
+        hi: f64,
+    },
+    /// The exact value attained by the shipped strategy at the initial
+    /// state lies outside the certified interval.
+    StrategyValueOutsideBounds {
+        /// Exact induced-chain value at the initial state.
+        value: f64,
+        /// Certified lower bound at the initial state.
+        lo: f64,
+        /// Certified upper bound at the initial state.
+        hi: f64,
+    },
+    /// The strategy's induced chain contains a strongly connected block
+    /// too large to eliminate densely.
+    StrategyChainBlockTooLarge {
+        /// Size of the offending block.
+        block: usize,
+        /// The configured limit.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -272,6 +349,53 @@ impl fmt::Display for Violation {
             Self::StrategyEscapes { state, target } => write!(
                 f,
                 "strategy at state {state} reaches out-of-range successor {target}"
+            ),
+            Self::BoundsLength {
+                which,
+                expected,
+                found,
+            } => write!(f, "{which} has {found} entries, expected {expected}"),
+            Self::BoundOutOfRange { state, value } => {
+                write!(f, "bound at state {state} is out of range: {value}")
+            }
+            Self::BoundsCrossed { state, lo, hi } => {
+                write!(f, "bounds at state {state} cross: lo {lo} exceeds hi {hi}")
+            }
+            Self::BoundUnsound {
+                upper,
+                state,
+                value,
+                backup,
+            } => {
+                let side = if *upper { "upper" } else { "lower" };
+                write!(
+                    f,
+                    "{side} bound {value} at state {state} fails its monotone backup \
+                     check (T = {backup})"
+                )
+            }
+            Self::BoundsNotConverged { width, epsilon } => write!(
+                f,
+                "bounds width {width} exceeds the 2ε target (ε = {epsilon})"
+            ),
+            Self::ValueOutsideBounds {
+                state,
+                value,
+                lo,
+                hi,
+            } => write!(
+                f,
+                "value {value} at state {state} leaves the certified interval [{lo}, {hi}]"
+            ),
+            Self::StrategyValueOutsideBounds { value, lo, hi } => write!(
+                f,
+                "exact strategy value {value} at the initial state leaves the certified \
+                 interval [{lo}, {hi}]"
+            ),
+            Self::StrategyChainBlockTooLarge { block, limit } => write!(
+                f,
+                "strategy chain has a strongly connected block of {block} states \
+                 (limit {limit})"
             ),
         }
     }

@@ -28,6 +28,10 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use meda_audit::{
+    compute_bounds, verify_bounds, ModelArtifact, ValueKind, BOUNDS_MAX_ITERATIONS,
+    CERTIFICATE_EPSILON,
+};
 use meda_bench::{banner, header, row, BenchReport};
 use meda_core::{
     frontier_set, Action, ActionConfig, ForceProvider, HealthField, Outcome, RoutingMdp,
@@ -207,6 +211,9 @@ struct CellResult {
     solve_f32_ms: f64,
     solve_f32_iterations: usize,
     solve_f32_certified: bool,
+    certify_ms: f64,
+    certify_width: f64,
+    certify_iterations: usize,
     construct_solve_speedup: f64,
     resolve_cold_ms: f64,
     resolve_cold_iterations: usize,
@@ -255,6 +262,38 @@ fn measure_cell(area: (u32, u32), droplet: (u32, u32), reps: u32) -> CellResult 
         ..SolverOptions::default()
     };
     let (solve_f32_ms, f32_res) = best_of(reps, || min_expected_cycles(&mdp, f32_options.clone()));
+    // The sound certification pass: certified [lo, hi] interval-iteration
+    // bounds over the MEC quotient plus the from-scratch re-verification —
+    // the full cost of turning the Rmin answer into a value claim
+    // (DESIGN.md §14). Verification is timed too because `meda audit
+    // --sound` always runs both.
+    let artifact = ModelArtifact::from(&mdp);
+    let (certify_ms, cert) = best_of(reps, || {
+        let cert = compute_bounds(
+            &artifact,
+            ValueKind::ExpectedCycles,
+            CERTIFICATE_EPSILON,
+            BOUNDS_MAX_ITERATIONS,
+        );
+        assert!(
+            verify_bounds(&artifact, &cert).is_empty(),
+            "fresh bounds failed their own re-verification"
+        );
+        cert
+    });
+    assert!(
+        cert.converged && cert.width <= 2.0 * CERTIFICATE_EPSILON,
+        "bounds did not converge (width {})",
+        cert.width
+    );
+    assert!(
+        cert.contains(
+            artifact.init,
+            cold.values[artifact.init],
+            CERTIFICATE_EPSILON
+        ),
+        "certified interval excludes the solver's init value"
+    );
     // The acceptance ratio: end-to-end construct+solve, baseline engine
     // over the new default, on the shared CSR builder.
     let construct_solve_speedup =
@@ -329,6 +368,9 @@ fn measure_cell(area: (u32, u32), droplet: (u32, u32), reps: u32) -> CellResult 
         solve_f32_ms,
         solve_f32_iterations: f32_res.iterations,
         solve_f32_certified: f32_res.float32,
+        certify_ms,
+        certify_width: cert.width,
+        certify_iterations: cert.iterations,
         construct_solve_speedup,
         resolve_cold_ms,
         resolve_cold_iterations: cold2.iterations,
@@ -350,6 +392,9 @@ fn to_report(results: &[CellResult], mode: &str) -> BenchReport {
                    engine, solve_cold_ms the topological default, solve_f32_ms the \
                    certified f32 fast path; construct_solve_speedup = \
                    (construct_csr + solve_gs) / (construct_csr + solve_cold); \
+                   certify_ms is the sound certification pass (interval-iteration \
+                   bounds over the MEC quotient plus from-scratch re-verification, \
+                   DESIGN.md \u{a7}14) and certify_width the certified interval width; \
                    resolve_* re-solve the same geometry on a degraded field, cold vs \
                    warm-started from the healthy-field values (default engine and \
                    prioritized sweeping)"
@@ -385,6 +430,12 @@ fn to_report(results: &[CellResult], mode: &str) -> BenchReport {
         report.push(
             format!("{cell}.solve_f32_certified"),
             f64::from(u8::from(c.solve_f32_certified)),
+        );
+        report.push(format!("{cell}.certify_ms"), c.certify_ms);
+        report.push(format!("{cell}.certify_width"), c.certify_width);
+        report.push(
+            format!("{cell}.certify_iterations"),
+            c.certify_iterations as f64,
         );
         report.push(
             format!("{cell}.construct_solve_speedup"),
@@ -441,7 +492,7 @@ fn main() {
         ]
     };
 
-    let widths = [8, 8, 8, 11, 9, 10, 10, 9, 8, 11];
+    let widths = [8, 8, 8, 11, 9, 10, 10, 9, 8, 8, 11];
     header(
         &[
             "area",
@@ -453,6 +504,7 @@ fn main() {
             "topo ms",
             "topo it",
             "f32 ms",
+            "cert ms",
             "c+s speedup",
         ],
         &widths,
@@ -471,6 +523,7 @@ fn main() {
                 format!("{:.3}", c.solve_cold_ms),
                 format!("{}", c.solve_cold_iterations),
                 format!("{:.3}", c.solve_f32_ms),
+                format!("{:.3}", c.certify_ms),
                 format!("{:.2}x", c.construct_solve_speedup),
             ],
             &widths,

@@ -1,4 +1,4 @@
-//! The four differential oracles of the paper stack.
+//! The five differential oracles of the paper stack.
 //!
 //! Each oracle checks one *cross-layer agreement* the rest of the
 //! workspace silently relies on:
@@ -22,12 +22,18 @@
 //!    fires where supervised-only has already committed to aborting, so
 //!    relocation can only add completions (one carve-out for a relocation
 //!    eating the shared cycle budget).
+//! 5. [`bounds_bracket_solver`] — for every generated routing model, the
+//!    sound certification pass (`meda-audit` interval iteration over the
+//!    MEC quotient) must converge to width `≤ 2ε`, survive its own
+//!    from-scratch re-verification, and bracket both the solver's value
+//!    vectors and the exact induced-chain value of its strategy — for
+//!    `Pmax` and `Rmin` alike.
 //!
 //! All four are deterministic functions of their case (Monte-Carlo
 //! sub-checks derive their stream from [`McParams::seed`]), so a failing
 //! `(seed, case)` pair replayed from the corpus reproduces bit-for-bit.
 
-use meda_audit::ModelArtifact;
+use meda_audit::{audit_solution_sound, ModelArtifact, ValueKind, CERTIFICATE_EPSILON};
 use meda_bioassay::{benchmarks, BioassayPlan, RjHelper};
 use meda_cell::{apply_stuck_bits, CellParams, OperationalCycle};
 use meda_core::{transitions, Action, ActionConfig, BuildError, DegradationField, RoutingMdp};
@@ -38,7 +44,7 @@ use meda_sim::{
     sample_outcome, AdaptiveConfig, AdaptiveRouter, BioassayRunner, Biochip, DegradationConfig,
     FaultPlan, FifoScheduler, RunConfig, RunStatus, Supervisor, SupervisorConfig,
 };
-use meda_synth::{max_reach_probability, SolverOptions};
+use meda_synth::{max_reach_probability, min_expected_cycles_with_reach, SolverOptions};
 
 use crate::arb;
 use crate::gen::{boolean, choose, choose_i32, element, vec_of, Gen};
@@ -838,6 +844,59 @@ fn master_mix_plan() -> Result<BioassayPlan, String> {
 // Suite driver (shared by `meda check` and the test harness).
 // ---------------------------------------------------------------------------
 
+// ---------------------------------------------------------------------------
+// Oracle 5: certified interval bounds vs the solver.
+// ---------------------------------------------------------------------------
+
+/// Oracle 5: the sound certification pass must bracket the solver.
+///
+/// Builds the scenario's reference MDP, solves `Pmax` and `Rmin`, and runs
+/// [`audit_solution_sound`] on each solution: the interval-iteration
+/// bounds must verify from scratch, the solver's values must lie inside
+/// `[lo, hi]`, the exact induced-chain value of the shipped strategy must
+/// too, and the certificate must have converged to width `≤ 2ε`. A
+/// failure here means the solver and the certifier disagree about a value
+/// — exactly the class of bug the Bellman-residual certificate is blind
+/// to (see `meda-audit`'s `unsound_vi_fixture`).
+///
+/// # Errors
+///
+/// Returns the combined audit report (or the non-convergence diagnosis)
+/// of the first query that fails.
+pub fn bounds_bracket_solver(scenario: &RoutingScenario) -> Result<(), String> {
+    let mdp = scenario
+        .build()
+        .map_err(|e| format!("model failed to build: {e:?}"))?;
+    let art = ModelArtifact::from(&mdp);
+    let reach = max_reach_probability(&mdp, SolverOptions::default());
+    let cycles = min_expected_cycles_with_reach(&mdp, SolverOptions::default(), &reach);
+    for (kind, result) in [
+        (ValueKind::Reachability, &reach),
+        (ValueKind::ExpectedCycles, &cycles),
+    ] {
+        let (report, cert) = audit_solution_sound(
+            &art,
+            &result.values,
+            &result.choice,
+            kind,
+            CERTIFICATE_EPSILON,
+        );
+        if !report.is_clean() {
+            return Err(format!(
+                "[{kind:?}] sound audit rejected the solver's own solution:\n{report}"
+            ));
+        }
+        let cert = cert.ok_or_else(|| format!("[{kind:?}] clean report without a certificate"))?;
+        if !cert.converged {
+            return Err(format!(
+                "[{kind:?}] bounds did not converge: width {} after {} iterations",
+                cert.width, cert.iterations
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Outcome of one suite property, reduced to what the CLI reports.
 #[derive(Debug, Clone)]
 pub struct SuiteOutcome {
@@ -932,16 +991,34 @@ pub fn check_reconfig_dominance(config: &Config) -> SuiteOutcome {
     summarize("oracle-reconfig-dominance", &out)
 }
 
+/// Runs oracle 5 over generated scenarios. Each case runs two solves plus
+/// two interval-iteration certifications of the same model, so it gets a
+/// quarter of the case budget (see [`run_suite`]).
+#[must_use]
+pub fn check_bounds_bracket_solver(config: &Config) -> SuiteOutcome {
+    let gen = routing_scenario(4, 8);
+    let out = run_property(
+        "oracle-bounds-bracket-solver",
+        config,
+        &gen,
+        bounds_bracket_solver,
+    );
+    summarize("oracle-bounds-bracket-solver", &out)
+}
+
 /// Runs the full oracle suite. Oracles 3 and 4 run at an eighth of the
-/// case budget (each of their cases executes two complete bioassays).
+/// case budget (each of their cases executes two complete bioassays);
+/// oracle 5 runs at a quarter (two solves + two certifications per case).
 #[must_use]
 pub fn run_suite(config: &Config) -> Vec<SuiteOutcome> {
     let dominance = config.clone().with_cases((config.cases / 8).max(1));
+    let bounds = config.clone().with_cases((config.cases / 4).max(1));
     vec![
         check_sim_vs_mdp(config),
         check_sensing_round_trip(config),
         check_supervisor_dominance(&dominance),
         check_reconfig_dominance(&dominance),
+        check_bounds_bracket_solver(&bounds),
     ]
 }
 

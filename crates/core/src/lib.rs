@@ -43,6 +43,7 @@ mod config;
 mod force;
 mod frontier;
 mod mdp;
+mod mec;
 mod smg;
 mod transition;
 
@@ -56,5 +57,6 @@ pub use mdp::{
     Branch, BuildError, Choice, Choices, ChoicesIter, Condensation, CsrView, HazardHandling,
     MdpStats, RoutingMdp,
 };
+pub use mec::{mec_decomposition, MecDecomposition, NO_MEC};
 pub use smg::{DegradationMove, GameState, MedaGame, Player};
 pub use transition::{transitions, transitions_into, Outcome};

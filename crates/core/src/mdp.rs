@@ -886,6 +886,24 @@ impl RoutingMdp {
         }
     }
 
+    /// Computes the maximal end components of this MDP's transition
+    /// structure — see [`crate::mec_decomposition`]. Under
+    /// [`HazardHandling::GuardDisable`] the non-goal wander region is
+    /// typically one large MEC (failed moves hold position, so the region
+    /// is closed and strongly connected); the quotient of this
+    /// decomposition is what gives from-above value iteration a unique
+    /// fixed point.
+    #[must_use]
+    pub fn maximal_end_components(&self) -> crate::MecDecomposition {
+        let telemetry = meda_telemetry::global();
+        let _span = telemetry.span("mdp.mec");
+        crate::mec_decomposition(
+            &self.state_choice_start,
+            &self.choice_branch_start,
+            &self.branch_target,
+        )
+    }
+
     /// The goal region `δ_g`.
     #[must_use]
     pub fn goal(&self) -> Rect {

@@ -214,6 +214,55 @@ mod tests {
     }
 
     #[test]
+    fn lossy_cast_flagged_only_in_the_kernel_set() {
+        let narrowing = "fn f(x: usize) -> u32 { x as u32 }\n";
+        let found = lint_str("crates/core/src/mec.rs", narrowing);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::LossyCast);
+        // Widening casts in a kernel file are fine.
+        assert!(lint_str(
+            "crates/core/src/mec.rs",
+            "fn f(x: u32) -> usize { x as usize }\n"
+        )
+        .is_empty());
+        assert!(lint_str(
+            "crates/core/src/mec.rs",
+            "fn f(x: u32) -> f64 { x as f64 }\n"
+        )
+        .is_empty());
+        // The same narrowing cast outside the hot-path set is out of scope.
+        assert!(lint_str("crates/grid/src/rect.rs", narrowing).is_empty());
+        // An identifier merely starting with a target name is not a cast.
+        assert!(lint_str(
+            "crates/core/src/mec.rs",
+            "fn f(x: U32x4) -> U32x4 { x as U32x4 }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unchecked_index_flagged_only_in_the_kernel_set() {
+        let indexed = "fn f(xs: &[f64], i: usize) -> f64 { xs[i] }\n";
+        let found = lint_str("crates/audit/src/bounds.rs", indexed);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].rule, Rule::UncheckedIndex);
+        // Attributes, macros, and slice types don't trip the detector.
+        for benign in [
+            "#[must_use]\n",
+            "fn f() -> Vec<u32> { vec![1, 2] }\n",
+            "fn f(xs: &[u32]) {}\n",
+            "fn f(xs: &[f64], i: usize) -> Option<f64> { xs.get(i).copied() }\n",
+        ] {
+            assert!(
+                lint_str("crates/audit/src/bounds.rs", benign).is_empty(),
+                "false positive on {benign:?}"
+            );
+        }
+        // Indexing outside the hot-path set is out of scope for this rule.
+        assert!(lint_str("crates/grid/src/rect.rs", indexed).is_empty());
+    }
+
+    #[test]
     fn float_eq_against_literal_is_flagged() {
         assert_eq!(
             lint_str("crates/x/src/a.rs", "fn f(x: f64) -> bool { x == 0.0 }\n").len(),

@@ -29,6 +29,20 @@ pub enum Rule {
     /// Every crate root (`lib.rs` / `main.rs` / `src/bin/*.rs`) carries
     /// `#![forbid(unsafe_code)]`.
     ForbidUnsafe,
+    /// No bare `as` cast to a narrower numeric type (`f32`, or any
+    /// integer of 32 bits or less) in the numeric-kernel hot-path set: a
+    /// silently truncating or precision-dropping cast inside a solver or
+    /// certification loop corrupts values instead of failing. Deliberate
+    /// narrowing (the certified `f32` fast path, the `u32` state address
+    /// space) must carry an allowlist entry citing the invariant that
+    /// makes it lossless.
+    LossyCast,
+    /// Bare slice indexing (`xs[i]`) in the numeric-kernel hot-path set:
+    /// every kernel file whose unchecked indexing is justified (CSR
+    /// offsets validated by `audit_model`, construction invariants) must
+    /// appear in the allowlist with the argument spelled out — a new
+    /// kernel file starts from checked access.
+    UncheckedIndex,
 }
 
 impl Rule {
@@ -41,16 +55,20 @@ impl Rule {
             Self::WallClock => "wall-clock",
             Self::FloatEq => "float-eq",
             Self::ForbidUnsafe => "forbid-unsafe",
+            Self::LossyCast => "lossy-cast",
+            Self::UncheckedIndex => "unchecked-index",
         }
     }
 
     /// All rules, for reporting.
-    pub const ALL: [Rule; 5] = [
+    pub const ALL: [Rule; 7] = [
         Self::NoUnwrap,
         Self::HashOrder,
         Self::WallClock,
         Self::FloatEq,
         Self::ForbidUnsafe,
+        Self::LossyCast,
+        Self::UncheckedIndex,
     ];
 }
 
@@ -137,6 +155,12 @@ pub fn check_file(path: &str, scope: Scope, scanned: &ScannedFile, raw: &str) ->
         if scope == Scope::Lib && has_float_comparison(text) {
             push(Rule::FloatEq, n);
         }
+        if is_numeric_kernel(path) && has_lossy_cast(text) {
+            push(Rule::LossyCast, n);
+        }
+        if is_numeric_kernel(path) && has_bare_index(text) {
+            push(Rule::UncheckedIndex, n);
+        }
     }
     if is_crate_root(path) && !scanned.sanitized.contains("#![forbid(unsafe_code)]") {
         findings.push(Finding {
@@ -147,6 +171,63 @@ pub fn check_file(path: &str, scope: Scope, scanned: &ScannedFile, raw: &str) ->
         });
     }
     findings
+}
+
+/// The numeric-kernel hot-path set: the solver and certification inner
+/// loops where `as` casts and bare indexing are performance-deliberate.
+/// Files listed here are subject to [`Rule::LossyCast`] and
+/// [`Rule::UncheckedIndex`]; their accepted sites must be argued in
+/// `lint-allow.toml`.
+fn is_numeric_kernel(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/synth/src/solver.rs"
+            | "crates/core/src/mdp.rs"
+            | "crates/core/src/mec.rs"
+            | "crates/audit/src/bounds.rs"
+            | "crates/audit/src/eval.rs"
+            | "crates/audit/src/certify.rs"
+    )
+}
+
+/// Numeric types an `as` cast can narrow into on this workspace's 64-bit
+/// value paths (`f64` values, `usize` indices): anything 32 bits or less.
+const NARROWING_TARGETS: [&str; 7] = ["f32", "u32", "i32", "u16", "i16", "u8", "i8"];
+
+/// Detects ` as <narrow>` casts. Lexical: the source type is unknowable
+/// here, so widening casts spelled with a narrow target (e.g. `u8 as u32`
+/// — which reads as a cast *to* `u32` and is fine) still need an allowlist
+/// entry; in kernel code that trade is deliberate.
+fn has_lossy_cast(text: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = text[from..].find(" as ") {
+        let after = &text[from + pos + 4..];
+        let target: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if NARROWING_TARGETS.contains(&target.as_str()) {
+            return true;
+        }
+        from += pos + 4;
+    }
+    false
+}
+
+/// Detects bare indexing: `[` immediately preceded by an identifier
+/// character, `)`, or `]` (so `xs[i]`, `f(x)[0]`, `m[r][c]` match while
+/// attributes `#[...]`, macros `vec![...]`, and slice types `&[T]` don't).
+/// Range slicing (`&xs[a..b]`) matches too — it panics just the same.
+fn has_bare_index(text: &str) -> bool {
+    let ident = |c: char| c.is_alphanumeric() || c == '_';
+    let mut prev = ' ';
+    for c in text.chars() {
+        if c == '[' && (ident(prev) || prev == ')' || prev == ']') {
+            return true;
+        }
+        prev = c;
+    }
+    false
 }
 
 /// Whether `path` is a crate root that must forbid unsafe code.

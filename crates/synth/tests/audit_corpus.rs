@@ -13,8 +13,9 @@
 //!    by the combined auditor. No mutant may slip through clean.
 
 use meda_audit::{
-    audit_model, audit_solution, audit_strategy, bellman_certificate, ModelArtifact, ValueKind,
-    CERTIFICATE_EPSILON,
+    audit_model, audit_solution, audit_solution_sound, audit_strategy, bellman_certificate,
+    compute_bounds, verify_bounds, BoundsCertificate, ModelArtifact, ValueKind, Violation,
+    BOUNDS_MAX_ITERATIONS, CERTIFICATE_EPSILON,
 };
 use meda_core::{Action, ActionConfig, HazardHandling, RawField, RoutingMdp, UniformField};
 use meda_grid::{ChipDims, Grid, Rect};
@@ -435,6 +436,208 @@ fn every_corruption_is_flagged() {
     // 8 classes over 7 fixtures at 3 seeds, minus the strategy classes on
     // the one all-hopeless fixture: the corpus must stay this size or grow.
     assert!(applied >= 150, "corpus shrank: only {applied} mutants ran");
+}
+
+#[test]
+fn sound_pass_certifies_every_pristine_fixture() {
+    // Control for the forgery tests below, and the fixture-level mirror of
+    // the `meda audit --sound` acceptance criterion: certified bounds
+    // converge to width ≤ 2ε, the solver's values sit inside them, and the
+    // shipped strategy's exact induced-chain value does too.
+    for (name, mdp) in fixtures() {
+        let artifact = ModelArtifact::from(&mdp);
+        let (reach, cycles) = solve_both(&mdp, SolverOptions::default());
+        for (kind, result) in [
+            (ValueKind::Reachability, &reach),
+            (ValueKind::ExpectedCycles, &cycles),
+        ] {
+            let (report, cert) = audit_solution_sound(
+                &artifact,
+                &result.values,
+                &result.choice,
+                kind,
+                CERTIFICATE_EPSILON,
+            );
+            assert!(report.is_clean(), "{name} [{kind:?}]:\n{report}");
+            let cert = cert.expect("clean structural audit yields a certificate");
+            assert!(
+                cert.converged && cert.width <= 2.0 * CERTIFICATE_EPSILON,
+                "{name} [{kind:?}]: width {} after {} iterations",
+                cert.width,
+                cert.iterations
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Bound-certificate corpus: forged interval certificates and off-policy
+// strategy redirects must be rejected by the sound pass, which re-derives
+// every claim from scratch (MEC quotient, monotone backups, exact
+// induced-chain evaluation).
+// ---------------------------------------------------------------------------
+
+/// One-step factored `Rmin` backup of a *specific* choice `c` at state `i`
+/// — used to find enabled actions that are strictly worse than the
+/// solver's pick.
+fn rmin_choice_backup(art: &ModelArtifact, v: &[f64], i: usize, c: usize) -> f64 {
+    let mut p_self = 0.0;
+    let mut rest = 0.0;
+    for b in art.branch_range(c) {
+        let j = art.branch_target[b] as usize;
+        let p = art.branch_prob[b];
+        if j == i {
+            p_self += p;
+        } else if v[j].is_infinite() {
+            return f64::INFINITY;
+        } else {
+            rest += p * v[j];
+        }
+    }
+    if p_self >= 1.0 - 1e-12 {
+        return f64::INFINITY;
+    }
+    (1.0 + rest) / (1.0 - p_self)
+}
+
+#[test]
+fn forged_bound_certificates_are_rejected() {
+    // Three forgery classes per fixture per seed: an inflated lower bound
+    // (claims the strategy needs more cycles than it provably can), a
+    // deflated upper bound (claims cheaper than possible), and a crossed
+    // interval. verify_bounds must catch each one from the certificate
+    // alone — it never sees which field was touched.
+    let mut checked = 0usize;
+    for (name, mdp) in fixtures() {
+        let artifact = ModelArtifact::from(&mdp);
+        let cert = compute_bounds(
+            &artifact,
+            ValueKind::ExpectedCycles,
+            CERTIFICATE_EPSILON,
+            BOUNDS_MAX_ITERATIONS,
+        );
+        assert!(cert.converged, "{name}: fresh bounds did not converge");
+        assert!(
+            verify_bounds(&artifact, &cert).is_empty(),
+            "{name}: fresh bounds fail their own verification"
+        );
+        let sites: Vec<usize> = (0..artifact.states)
+            .filter(|&i| !artifact.goal_flags[i] && cert.hi[i].is_finite() && cert.hi[i] >= 1.0)
+            .collect();
+        if sites.is_empty() {
+            // The all-hopeless fixture: every non-goal state is ∞/∞, so
+            // there is no finite bound to forge.
+            continue;
+        }
+        let rejected_as =
+            |forged: &BoundsCertificate, label: &str, pred: fn(&Violation) -> bool| {
+                let violations = verify_bounds(&artifact, forged);
+                assert!(
+                    violations.iter().any(pred),
+                    "{name}/{label}: forged certificate not rejected as expected: {violations:?}"
+                );
+            };
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let i = sites[rng.gen_range(0..sites.len())];
+
+            let mut inflated = cert.clone();
+            inflated.lo[i] += 1.0;
+            inflated.hi[i] = inflated.hi[i].max(inflated.lo[i]);
+            rejected_as(&inflated, "inflated-lo", |v| {
+                matches!(v, Violation::BoundUnsound { upper: false, .. })
+            });
+
+            let mut deflated = cert.clone();
+            deflated.hi[i] -= 1.0;
+            deflated.lo[i] = deflated.lo[i].min(deflated.hi[i]);
+            rejected_as(&deflated, "deflated-hi", |v| {
+                matches!(v, Violation::BoundUnsound { upper: true, .. })
+            });
+
+            let mut crossed = cert.clone();
+            crossed.lo[i] = crossed.hi[i] + 1.0;
+            rejected_as(&crossed, "crossed", |v| {
+                matches!(v, Violation::BoundsCrossed { .. })
+            });
+
+            checked += 3;
+        }
+    }
+    // 3 classes x 3 seeds over the six fixtures with finite values.
+    assert!(
+        checked >= 54,
+        "bound corpus shrank: only {checked} forgeries ran"
+    );
+}
+
+#[test]
+fn off_policy_strategy_redirect_is_rejected_by_the_sound_pass() {
+    // Redirect the strategy at a closure state to an enabled-but-worse
+    // action. The plain closure audit cannot see it (the action is legal
+    // and the walk stays total); the sound pass evaluates the induced
+    // chain exactly and must find the attained value outside the
+    // certified interval.
+    let mut applicable = 0usize;
+    for (name, mdp) in fixtures() {
+        let artifact = ModelArtifact::from(&mdp);
+        let (_, cycles) = solve_both(&mdp, SolverOptions::default());
+        let v = &cycles.values;
+        // Candidate redirects: closure states with an enabled alternative
+        // whose one-step backup is clearly worse than the optimal value
+        // (so the induced-chain detour is detectable far beyond 2ε).
+        let mut candidates: Vec<(usize, Action)> = Vec::new();
+        for i in strategy_closure(&artifact, &cycles.choice) {
+            let Some(current) = cycles.choice[i] else {
+                continue;
+            };
+            for c in artifact.choice_range(i) {
+                let action = artifact.choice_action[c];
+                if action != current && rmin_choice_backup(&artifact, v, i, c) > v[i] + 0.25 {
+                    candidates.push((i, action));
+                }
+            }
+        }
+        if candidates.is_empty() {
+            continue;
+        }
+        applicable += 1;
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let (i, action) = candidates[rng.gen_range(0..candidates.len())];
+            let mut choice = cycles.choice.clone();
+            choice[i] = Some(action);
+            let plain = audit_solution(
+                &artifact,
+                v,
+                &choice,
+                ValueKind::ExpectedCycles,
+                CERTIFICATE_EPSILON,
+            );
+            assert!(
+                plain.is_clean(),
+                "{name}/seed{seed}: the redirect must be invisible to the closure audit:\n{plain}"
+            );
+            let (report, _) = audit_solution_sound(
+                &artifact,
+                v,
+                &choice,
+                ValueKind::ExpectedCycles,
+                CERTIFICATE_EPSILON,
+            );
+            assert!(
+                report
+                    .violations
+                    .iter()
+                    .any(|vi| matches!(vi, Violation::StrategyValueOutsideBounds { .. })),
+                "{name}/seed{seed}: off-policy redirect at state {i} survived the sound pass"
+            );
+        }
+    }
+    assert!(
+        applicable >= 3,
+        "only {applicable} fixtures offered a worse enabled action"
+    );
 }
 
 #[test]

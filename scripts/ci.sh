@@ -68,6 +68,22 @@ replay_corpus() { cargo run --release -- check --replay-only; }
 tests()         { cargo test --workspace --quiet; }
 lint()          { cargo run --release -p meda-lint; }
 audit_smoke()   { cargo run --release -- audit covid-rat; }
+# Sound certification pass: certified [lo, hi] interval-iteration bounds
+# over the MEC quotient plus an exact induced-chain strategy evaluation
+# for every routed job (DESIGN.md §14).
+audit_sound()   { cargo run --release -- audit covid-rat --sound; }
+# Negative self-test: the packaged end-component trap is an exact fixed
+# point of the plain Pmax operator, so the residual certificate MUST
+# accept it (exit 0) while the sound pass MUST reject it (exit nonzero).
+# Either outcome flipping means a certification gate is broken.
+audit_sound_selftest() {
+  cargo run --release -- audit selftest-unsound
+  if cargo run --release -- audit selftest-unsound --sound; then
+    echo "audit-sound-selftest: the sound pass accepted the end-component trap — the bounds gate is broken" >&2
+    return 1
+  fi
+  echo "audit-sound-selftest: sound pass rejected the trap the residual certificate accepts, as it must"
+}
 # Default smoke budget is small; set MEDA_CHECK_CASES for an extended run.
 check_smoke()   { cargo run --release -- check --smoke; }
 # Full (non-smoke) mode: the paper-scale Table V matrix up to 90×90. The
@@ -113,6 +129,8 @@ stage "replay-corpus"  replay_corpus
 stage "test"           tests
 stage "lint"           lint
 stage "audit-smoke"    audit_smoke
+stage "audit-sound"    audit_sound
+stage "audit-sound-selftest" audit_sound_selftest
 stage "check-smoke"    check_smoke
 if [ "$QUICK" -eq 0 ]; then
   stage "bench-full"           bench_full

@@ -6,7 +6,7 @@
 //! meda run <assay> [options]                 execute on a simulated chip
 //! meda synth [options]                       synthesize one routing job
 //! meda export-prism <assay> <job#> [--dir D] PRISM explicit-format export
-//! meda audit <assay> [--force F]             verify + certify every routed job
+//! meda audit <assay> [--force F] [--sound]   verify + certify every routed job
 //! meda wear <assay> [options]                run repeatedly, print wear map
 //! meda profile <assay> [--chaos]             per-stage time/percentage table
 //! ```
@@ -16,7 +16,10 @@
 
 use std::process::ExitCode;
 
-use meda::audit::{audit_solution, ModelArtifact, ValueKind, CERTIFICATE_EPSILON};
+use meda::audit::{
+    audit_solution, audit_solution_sound, evaluate_strategy, unsound_vi_fixture, ModelArtifact,
+    ValueKind, CERTIFICATE_EPSILON,
+};
 use meda::bioassay::{benchmarks, BioassayPlan, RjHelper, SequencingGraph};
 use meda::core::{ActionConfig, RoutingMdp, UniformField};
 use meda::grid::{ChipDims, Rect};
@@ -43,7 +46,8 @@ USAGE:
                    [--severity F] [--stuck-rate F] [--supervised] [--reconfig]
   meda synth [--area WxH] [--droplet WxH] [--force F] [--query rmin|pmax]
   meda export-prism <assay> <job-index>
-  meda audit <assay> [--force F]
+  meda audit <assay> [--force F] [--sound]
+  meda audit selftest-unsound [--sound]
   meda wear <assay> [--runs N] [--seed N]
   meda check [--cases N] [--seed N] [--replay-only] [--smoke]
   meda profile <assay> [--chaos] [--seed N] [--k-max N]
@@ -349,12 +353,23 @@ fn cmd_export(args: &[String]) -> Result<(), String> {
 
 /// Audits every routed job of an assay: structural well-formedness of the
 /// induced MDP, then a Bellman-residual certificate over the Pmax and Rmin
-/// value vectors and a closure check on the synthesized strategy. Exits
-/// nonzero if any job fails, so CI can gate on it.
+/// value vectors and a closure check on the synthesized strategy. With
+/// `--sound`, additionally computes certified `[lo, hi]` interval-iteration
+/// bounds over the MEC quotient, re-verifies them from scratch, and checks
+/// that the shipped strategy's exact induced-chain value lies inside the
+/// interval (DESIGN.md §14). The pseudo-assay `selftest-unsound` replays a
+/// packaged end-component trap the residual certificate provably accepts:
+/// it must pass the plain audit and be rejected under `--sound`, which is
+/// what the CI `audit-sound-selftest` stage asserts. Exits nonzero if any
+/// job fails, so CI can gate on it.
 fn cmd_audit(args: &[String]) -> Result<(), String> {
     let name = args
         .first()
-        .ok_or("usage: meda audit <assay> [--force F]")?;
+        .ok_or("usage: meda audit <assay> [--force F] [--sound]")?;
+    let sound = args.iter().any(|a| a == "--sound");
+    if name == "selftest-unsound" {
+        return audit_unsound_selftest(sound);
+    }
     let force: f64 = flag(args, "--force").map_or(Ok(0.9), |s| {
         s.parse().map_err(|_| format!("bad force '{s}'"))
     })?;
@@ -389,19 +404,48 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
             (ValueKind::Reachability, &reach),
             (ValueKind::ExpectedCycles, &cycles),
         ] {
-            let report = audit_solution(
-                &artifact,
-                &result.values,
-                &result.choice,
-                kind,
-                CERTIFICATE_EPSILON,
-            );
+            let (report, cert) = if sound {
+                audit_solution_sound(
+                    &artifact,
+                    &result.values,
+                    &result.choice,
+                    kind,
+                    CERTIFICATE_EPSILON,
+                )
+            } else {
+                let report = audit_solution(
+                    &artifact,
+                    &result.values,
+                    &result.choice,
+                    kind,
+                    CERTIFICATE_EPSILON,
+                );
+                (report, None)
+            };
             audited += 1;
             if report.is_clean() {
-                println!(
-                    "job {index} {} -> {} [{kind:?}]: ok ({} states, {} reachable)",
-                    job.start, job.goal, stats.states, report.census.reachable
-                );
+                if let Some(cert) = &cert {
+                    let attained = evaluate_strategy(&artifact, &result.choice, kind)
+                        .map_or(f64::NAN, |eval| eval.values[artifact.init]);
+                    println!(
+                        "job {index} {} -> {} [{kind:?}]: sound \
+                         (init in [{:.9}, {:.9}], width {:.3e} <= 2eps, \
+                         strategy attains {:.9}, {} iterations, {} MECs)",
+                        job.start,
+                        job.goal,
+                        cert.lo[artifact.init],
+                        cert.hi[artifact.init],
+                        cert.width,
+                        attained,
+                        cert.iterations,
+                        cert.mecs
+                    );
+                } else {
+                    println!(
+                        "job {index} {} -> {} [{kind:?}]: ok ({} states, {} reachable)",
+                        job.start, job.goal, stats.states, report.census.reachable
+                    );
+                }
             } else {
                 failed += 1;
                 println!(
@@ -417,6 +461,45 @@ fn cmd_audit(args: &[String]) -> Result<(), String> {
     }
     println!("{audited} audits clean");
     Ok(())
+}
+
+/// Replays the packaged end-component trap ([`unsound_vi_fixture`]): a
+/// value vector that is an exact fixed point of the plain `Pmax` operator
+/// (residual 0, so the Bellman-residual certificate accepts it) yet 0.4
+/// above the true value, together with the strategy greedy with respect to
+/// those bogus values, which never reaches the goal. The plain audit must
+/// accept the whole solution — demonstrating the residual certificate's
+/// blind spot — and `--sound` must reject it with a nonzero exit.
+fn audit_unsound_selftest(sound: bool) -> Result<(), String> {
+    let (artifact, values, strategy) = unsound_vi_fixture();
+    let kind = ValueKind::Reachability;
+    if !sound {
+        let report = audit_solution(&artifact, &values, &strategy, kind, CERTIFICATE_EPSILON);
+        if !report.is_clean() {
+            println!("{report}");
+            return Err("selftest fixture unexpectedly failed the plain audit".into());
+        }
+        println!(
+            "selftest-unsound [{kind:?}]: ok — the residual certificate accepts a value \
+             0.4 above the truth (an end-component fixed point); rerun with --sound to \
+             see it rejected"
+        );
+        return Ok(());
+    }
+    let (report, cert) =
+        audit_solution_sound(&artifact, &values, &strategy, kind, CERTIFICATE_EPSILON);
+    if report.is_clean() {
+        return Err("selftest fixture was NOT rejected by the sound audit".into());
+    }
+    if let Some(cert) = &cert {
+        println!(
+            "selftest-unsound [{kind:?}]: certified interval [{:.9}, {:.9}] at init \
+             excludes the claimed value {:.1}",
+            cert.lo[artifact.init], cert.hi[artifact.init], values[artifact.init]
+        );
+    }
+    println!("{report}");
+    Err("selftest-unsound rejected by the sound audit, as intended".into())
 }
 
 /// Runs the `meda-check` differential oracle suite: sim-vs-MDP step
