@@ -96,6 +96,40 @@ impl BioassayPlan {
             .map(RoutingJob::center_distance)
             .sum()
     }
+
+    /// The plan's dependency levels: level 0 holds the operations with no
+    /// predecessors, level `k` the operations whose deepest predecessor
+    /// sits at level `k − 1`. Operations within a level share no data
+    /// dependency, so a concurrent engine may dispatch them together; ids
+    /// within each level ascend (topological order is by id).
+    ///
+    /// This is a *schedulability* structure, not a schedule — fluidic
+    /// separation can still serialize two level-mates at runtime.
+    #[must_use]
+    pub fn dependency_levels(&self) -> Vec<Vec<MoId>> {
+        let mut level_of = vec![0usize; self.planned.len()];
+        let mut levels: Vec<Vec<MoId>> = Vec::new();
+        for mo in &self.planned {
+            let level = mo.pre.iter().map(|&p| level_of[p] + 1).max().unwrap_or(0);
+            level_of[mo.id] = level;
+            if levels.len() <= level {
+                levels.resize_with(level + 1, Vec::new);
+            }
+            levels[level].push(mo.id);
+        }
+        levels
+    }
+
+    /// The widest dependency level — an upper bound on how many operations
+    /// the fleet engine can ever usefully run at once for this plan.
+    #[must_use]
+    pub fn max_parallelism(&self) -> usize {
+        self.dependency_levels()
+            .iter()
+            .map(Vec::len)
+            .max()
+            .unwrap_or(0)
+    }
 }
 
 /// Error planning a bioassay.
@@ -588,6 +622,14 @@ mod tests {
         let err = RjHelper::new(DIMS).relocate(&mut plan, 2, 55, 0);
         assert!(matches!(err, Err(PlanError::OffChip { id: 2, .. })));
         assert_eq!(plan, before, "failed relocation must not mutate the plan");
+    }
+
+    #[test]
+    fn dependency_levels_stratify_the_table_iv_graph() {
+        let plan = RjHelper::new(DIMS).plan(&table_iv_graph()).unwrap();
+        // Two dispenses → one mix → one magnetic.
+        assert_eq!(plan.dependency_levels(), vec![vec![0, 1], vec![2], vec![3]]);
+        assert_eq!(plan.max_parallelism(), 2);
     }
 
     #[test]

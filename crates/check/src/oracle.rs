@@ -28,9 +28,16 @@
 //!    from-scratch re-verification, and bracket both the solver's value
 //!    vectors and the exact induced-chain value of its strategy — for
 //!    `Pmax` and `Rmin` alike.
+//! 6. [`fleet_separation`] — concurrent fleet runs must never violate the
+//!    static/dynamic fluidic separation rules in any cycle, and on a
+//!    pristine chip concurrency must never cost a completion the serial
+//!    fleet achieves (no mutual-blocking livelock).
+//! 7. [`fleet_serial_equivalence`] — the fleet engine at width 1 must be
+//!    bit-identical to the serial runner: status, cycles, every actuation
+//!    pattern, chip wear, and RNG draw count.
 //!
-//! All four are deterministic functions of their case (Monte-Carlo
-//! sub-checks derive their stream from [`McParams::seed`]), so a failing
+//! All are deterministic functions of their case (Monte-Carlo sub-checks
+//! derive their stream from [`McParams::seed`]), so a failing
 //! `(seed, case)` pair replayed from the corpus reproduces bit-for-bit.
 
 use meda_audit::{audit_solution_sound, ModelArtifact, ValueKind, CERTIFICATE_EPSILON};
@@ -41,8 +48,9 @@ use meda_grid::{Cell, ChipDims, Grid, Rect};
 use meda_rng::{Rng, SeedableRng, StdRng};
 use meda_sim::sensing::{locate_droplets, snap_to_size};
 use meda_sim::{
-    sample_outcome, AdaptiveConfig, AdaptiveRouter, BioassayRunner, Biochip, DegradationConfig,
-    FaultPlan, FifoScheduler, RunConfig, RunStatus, Supervisor, SupervisorConfig,
+    dependency_exemption, sample_outcome, AdaptiveConfig, AdaptivePool, AdaptiveRouter,
+    BaselineRouter, BioassayRunner, Biochip, ClonePool, DegradationConfig, FaultPlan,
+    FifoScheduler, FleetConfig, FleetRunner, RunConfig, RunStatus, Supervisor, SupervisorConfig,
 };
 use meda_synth::{max_reach_probability, min_expected_cycles_with_reach, SolverOptions};
 
@@ -841,6 +849,224 @@ fn master_mix_plan() -> Result<BioassayPlan, String> {
 }
 
 // ---------------------------------------------------------------------------
+// Oracle 6: concurrent fleet separation (and completion parity).
+// ---------------------------------------------------------------------------
+
+/// One concurrent-fleet trial: a generated chip, a fleet width, an assay,
+/// and the execution seed.
+#[derive(Debug, Clone)]
+pub struct FleetCase {
+    /// Seed of the chip's degradation landscape.
+    pub chip_seed: u64,
+    /// Seed of the execution randomness.
+    pub run_seed: u64,
+    /// Fleet width (`max_active`), 2–4; shrinks toward 2.
+    pub width: usize,
+    /// Run the parallel multiplex in-vitro panel instead of the (mostly
+    /// sequential) master mix.
+    pub multiplex: bool,
+}
+
+/// Generates fleet cases on the paper's 60×30 chip: seeds shrink toward 0,
+/// the width toward 2, and the assay toward the master mix.
+#[must_use]
+pub fn fleet_case() -> Gen<FleetCase> {
+    choose(0, 1 << 20)
+        .zip(choose(0, 1 << 20))
+        .zip(choose(2, 4))
+        .zip(boolean())
+        .map(|t| {
+            let (((chip_seed, run_seed), width), ref multiplex) = t;
+            FleetCase {
+                chip_seed: chip_seed.unsigned_abs(),
+                run_seed: run_seed.unsigned_abs(),
+                width: width.unsigned_abs() as usize,
+                multiplex: *multiplex,
+            }
+        })
+}
+
+/// The plan a fleet case executes.
+fn fleet_plan(case: &FleetCase) -> Result<BioassayPlan, String> {
+    let sg = if case.multiplex {
+        benchmarks::multiplex_invitro((4, 4))
+    } else {
+        benchmarks::master_mix()
+    };
+    RjHelper::new(ChipDims::PAPER)
+        .plan(&sg)
+        .map_err(|e| format!("fleet plan failed: {e:?}"))
+}
+
+/// Oracle 6: concurrent fleet routing never violates the fluidic
+/// separation rules, and concurrency never costs completions on a clean
+/// chip.
+///
+/// Two claims per case. **Separation**: a concurrent run on the generated
+/// degraded chip, with every in-flight position recorded, must pass the
+/// static + dynamic [`meda_sim::FluidicConstraints`] audit (dependency
+/// handoffs exempt — the same physical droplet changes MO id at a
+/// producer→consumer boundary). **Completion parity**: on a pristine chip,
+/// whenever the serial fleet completes the assay the concurrent fleet must
+/// too — a mutual-blocking livelock that burns the cycle budget would
+/// surface here as a `CycleLimit`.
+///
+/// # Errors
+///
+/// Returns a description of the separation violation or completion loss.
+pub fn fleet_separation(case: &FleetCase) -> Result<(), String> {
+    let plan = fleet_plan(case)?;
+    let run = RunConfig {
+        k_max: DOMINANCE_K_MAX,
+        record_actuation: false,
+        sensed_feedback: false,
+    };
+    let fleet_run = |width: usize, degradation: &DegradationConfig, movers: bool| {
+        let mut rng = StdRng::seed_from_u64(case.chip_seed);
+        let mut chip = Biochip::generate(ChipDims::PAPER, degradation, &mut rng);
+        let mut rng = StdRng::seed_from_u64(case.run_seed);
+        let mut pool = ClonePool::new(BaselineRouter::new());
+        FleetRunner::new(FleetConfig {
+            record_movers: movers,
+            ..FleetConfig::concurrent(width, run)
+        })
+        .run(
+            &plan,
+            &mut chip,
+            &mut pool,
+            &mut FifoScheduler::new(),
+            &FaultPlan::none(),
+            &mut rng,
+        )
+    };
+
+    let concurrent = fleet_run(case.width, &DegradationConfig::paper(), true);
+    let log = concurrent.movers.as_deref().unwrap_or(&[]);
+    if let Some(v) = FleetConfig::default()
+        .constraints
+        .audit_exempting(log, dependency_exemption(&plan))
+    {
+        return Err(format!(
+            "fluidic separation violated at width {}: {v:?}",
+            case.width
+        ));
+    }
+
+    let serial = fleet_run(1, &DegradationConfig::pristine(), false);
+    let clean = fleet_run(case.width, &DegradationConfig::pristine(), false);
+    if serial.is_success() && !clean.is_success() {
+        return Err(format!(
+            "serial fleet succeeded in {} cycles but width {} ended {:?} ({}/{} ops) after {}",
+            serial.cycles,
+            case.width,
+            clean.status,
+            clean.completed_ops,
+            clean.total_ops,
+            clean.cycles
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Oracle 7: the serial fleet is the serial engine, bit for bit.
+// ---------------------------------------------------------------------------
+
+/// Differential oracle 7: with `max_active = 1` the fleet engine must be
+/// *bit-identical* to the serial [`BioassayRunner`] — same status, same
+/// cycle count, same per-cycle actuation patterns, same total electrode
+/// actuations, and the same number of RNG draws — on the same chip, fault
+/// plan, and seed, with sensed feedback closed.
+///
+/// This is the refactor-safety theorem of the fleet engine: every
+/// concurrent mechanism (hazard reservations, screening, stall
+/// escalation) must be provably inert at width 1, so the concurrent
+/// scheduler can replace the serial path without re-validating the entire
+/// paper evaluation.
+///
+/// # Errors
+///
+/// Returns the first divergence between the two engines.
+pub fn fleet_serial_equivalence(case: &DominanceCase) -> Result<(), String> {
+    let plan = master_mix_plan()?;
+    let run = RunConfig {
+        k_max: DOMINANCE_K_MAX,
+        record_actuation: true,
+        sensed_feedback: true,
+    };
+    let chip = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng)
+    };
+
+    let (serial, serial_wear, serial_draw) = {
+        let mut chip = chip(case.chip_seed);
+        let mut router = AdaptiveRouter::new(AdaptiveConfig::paper());
+        let mut rng = StdRng::seed_from_u64(case.run_seed);
+        let out = BioassayRunner::new(run).run_with_chaos(
+            &plan,
+            &mut chip,
+            &mut router,
+            &mut FifoScheduler::new(),
+            &case.faults,
+            &mut rng,
+        );
+        (out, chip.total_actuations(), rng.gen::<u64>())
+    };
+    let (fleet, fleet_wear, fleet_draw) = {
+        let mut chip = chip(case.chip_seed);
+        let mut pool = AdaptivePool::new(AdaptiveConfig::paper());
+        let mut rng = StdRng::seed_from_u64(case.run_seed);
+        let out = FleetRunner::new(FleetConfig::serial(run)).run(
+            &plan,
+            &mut chip,
+            &mut pool,
+            &mut FifoScheduler::new(),
+            &case.faults,
+            &mut rng,
+        );
+        (out, chip.total_actuations(), rng.gen::<u64>())
+    };
+
+    if (serial.status, serial.cycles, serial.completed_ops)
+        != (fleet.status, fleet.cycles, fleet.completed_ops)
+    {
+        return Err(format!(
+            "outcome diverged: serial {:?}/{} cycles/{} ops, fleet {:?}/{} cycles/{} ops",
+            serial.status,
+            serial.cycles,
+            serial.completed_ops,
+            fleet.status,
+            fleet.cycles,
+            fleet.completed_ops
+        ));
+    }
+    let (st, ft) = (
+        serial.trace.as_deref().unwrap_or(&[]),
+        fleet.trace.as_deref().unwrap_or(&[]),
+    );
+    if st.len() != ft.len() {
+        return Err(format!(
+            "trace lengths diverged: serial {}, fleet {}",
+            st.len(),
+            ft.len()
+        ));
+    }
+    if let Some(cycle) = st.iter().zip(ft).position(|(a, b)| a != b) {
+        return Err(format!("actuation patterns diverged at cycle {cycle}"));
+    }
+    if serial_wear != fleet_wear {
+        return Err(format!(
+            "chip wear diverged: serial {serial_wear} actuations, fleet {fleet_wear}"
+        ));
+    }
+    if serial_draw != fleet_draw {
+        return Err("RNG streams diverged (different draw counts)".to_string());
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
 // Suite driver (shared by `meda check` and the test harness).
 // ---------------------------------------------------------------------------
 
@@ -1006,9 +1232,33 @@ pub fn check_bounds_bracket_solver(config: &Config) -> SuiteOutcome {
     summarize("oracle-bounds-bracket-solver", &out)
 }
 
-/// Runs the full oracle suite. Oracles 3 and 4 run at an eighth of the
+/// Runs oracle 6 over generated fleet cases — three fleet runs per case,
+/// all with the fast baseline router, so it gets a quarter of the budget.
+#[must_use]
+pub fn check_fleet_separation(config: &Config) -> SuiteOutcome {
+    let gen = fleet_case();
+    let out = run_property("oracle-fleet-separation", config, &gen, fleet_separation);
+    summarize("oracle-fleet-separation", &out)
+}
+
+/// Runs oracle 7 over generated chips and fault plans — two full adaptive
+/// bioassays per case, so it gets the dominance oracles' reduced budget.
+#[must_use]
+pub fn check_fleet_serial_equivalence(config: &Config) -> SuiteOutcome {
+    let gen = dominance_case();
+    let out = run_property(
+        "oracle-fleet-serial-equivalence",
+        config,
+        &gen,
+        fleet_serial_equivalence,
+    );
+    summarize("oracle-fleet-serial-equivalence", &out)
+}
+
+/// Runs the full oracle suite. Oracles 3, 4, and 7 run at an eighth of the
 /// case budget (each of their cases executes two complete bioassays);
-/// oracle 5 runs at a quarter (two solves + two certifications per case).
+/// oracles 5 and 6 run at a quarter (two solves + two certifications, or
+/// three fleet runs, per case).
 #[must_use]
 pub fn run_suite(config: &Config) -> Vec<SuiteOutcome> {
     let dominance = config.clone().with_cases((config.cases / 8).max(1));
@@ -1019,6 +1269,8 @@ pub fn run_suite(config: &Config) -> Vec<SuiteOutcome> {
         check_supervisor_dominance(&dominance),
         check_reconfig_dominance(&dominance),
         check_bounds_bracket_solver(&bounds),
+        check_fleet_separation(&bounds),
+        check_fleet_serial_equivalence(&dominance),
     ]
 }
 

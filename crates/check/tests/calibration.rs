@@ -178,3 +178,111 @@ fn every_corruption_class_is_caught_with_a_small_witness() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Separation-oracle calibration: a fleet run with the fluidic screening
+// disabled must be *caught* by the separation audit.
+// ---------------------------------------------------------------------------
+
+/// A head-on crossing on a small chip: two independent operations route
+/// toward each other along the same row. With the engine's screening
+/// disabled they pass through each other; the audit (at the default ring)
+/// must flag that.
+#[derive(Debug, Clone)]
+struct CrossingCase {
+    dims: meda_grid::ChipDims,
+    row: i32,
+    size: u32,
+}
+
+fn crossing_case() -> meda_check::Gen<CrossingCase> {
+    use meda_check::{choose_i32, choose_u32};
+    choose_u32(8, 14)
+        .zip(choose_u32(6, 10))
+        .flat_map(|&(w, h)| {
+            choose_u32(1, 2).flat_map(move |&size| {
+                choose_i32(1, h as i32 - size as i32 + 1).map(move |&row| CrossingCase {
+                    dims: meda_grid::ChipDims::new(w, h),
+                    row,
+                    size,
+                })
+            })
+        })
+}
+
+fn crossing_plan(case: &CrossingCase) -> meda_bioassay::BioassayPlan {
+    use meda_bioassay::{BioassayPlan, MoType, PlannedMo, RoutingJob};
+    use meda_grid::Rect;
+    let s = case.size;
+    let bounds = case.dims.bounds();
+    let left = Rect::with_size(1, case.row, s, s);
+    let right = Rect::with_size(case.dims.width as i32 - s as i32 + 1, case.row, s, s);
+    let mo = |id: usize, start: Rect, goal: Rect| PlannedMo {
+        id,
+        op: MoType::Magnetic,
+        pre: vec![],
+        inputs: vec![],
+        jobs: vec![RoutingJob::new(start, goal, bounds)],
+        outputs: vec![goal],
+    };
+    BioassayPlan::from_parts("crossing", vec![mo(0, left, right), mo(1, right, left)])
+}
+
+#[test]
+fn disabled_screening_is_caught_by_the_separation_audit() {
+    use meda_sim::{
+        BaselineRouter, Biochip, ClonePool, DegradationConfig, FaultPlan, FifoScheduler,
+        FleetConfig, FleetRunner, FluidicConstraints, RunConfig,
+    };
+    let config = Config::default().with_cases(cases_from_env(32));
+    let out = run_property(
+        "calibration-fleet-separation",
+        &config,
+        &crossing_case(),
+        |case: &CrossingCase| {
+            let plan = crossing_plan(case);
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut chip = Biochip::generate(case.dims, &DegradationConfig::pristine(), &mut rng);
+            let mut pool = ClonePool::new(BaselineRouter::new());
+            let outcome = FleetRunner::new(FleetConfig {
+                constraints: FluidicConstraints::disabled(),
+                record_movers: true,
+                ..FleetConfig::concurrent(
+                    2,
+                    RunConfig {
+                        k_max: 200,
+                        ..RunConfig::default()
+                    },
+                )
+            })
+            .run(
+                &plan,
+                &mut chip,
+                &mut pool,
+                &mut FifoScheduler::new(),
+                &FaultPlan::none(),
+                &mut rng,
+            );
+            let log = outcome.movers.as_deref().unwrap_or(&[]);
+            match FluidicConstraints::default().audit(log) {
+                // Inverted: detection is the "failure" the shrinker minimizes.
+                Some(v) => Err(format!("caught: {v:?}")),
+                None => Ok(()),
+            }
+        },
+    );
+    match out {
+        Outcome::Failed(f) => {
+            let s = &f.shrunk;
+            assert!(
+                s.dims.width <= 8 && s.dims.height <= 6,
+                "catching witness failed to shrink to the minimal crossing:\n{}",
+                f.report()
+            );
+            assert_eq!(s.size, 1, "droplet failed to shrink:\n{}", f.report());
+        }
+        Outcome::Passed { cases, .. } => {
+            panic!("screening-disabled fleet evaded the separation audit on all {cases} cases");
+        }
+    }
+}

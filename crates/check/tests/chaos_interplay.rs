@@ -1,0 +1,52 @@
+//! Satellite of the fleet-routing PR: the supervisor-dominance and
+//! reconfig-dominance oracles must keep holding when the chaos plan is
+//! drawn from the *hard* fault classes specifically — clustered `2 × 2`
+//! electrode deaths and whole-row losses — rather than the mixed
+//! random-chaos generator the property sweep uses. Both oracles carry a
+//! documented `CycleLimit` carve-out (a stalled droplet, or a peer
+//! squatting on the only detour corridor, can eat the shared cycle budget
+//! and make the two prefixes incomparable); these checks exercise exactly
+//! that boundary.
+
+use meda_check::oracle::{reconfig_dominance, supervisor_dominance, DominanceCase};
+use meda_grid::ChipDims;
+use meda_rng::{SeedableRng, StdRng};
+use meda_sim::FaultPlan;
+
+/// Hard chaos only: clusters and row losses inside the first 200 cycles,
+/// when the master-mix assay is in full flight.
+fn hard_cases() -> Vec<DominanceCase> {
+    (0..8u64)
+        .map(|i| {
+            let mut rng = StdRng::seed_from_u64(0x5EED + i);
+            let clusters = 1 + (i as usize % 3);
+            let rows = (i as usize) % 2;
+            let faults = FaultPlan::none()
+                .with_cluster_deaths(ChipDims::PAPER, clusters, (5, 200), &mut rng)
+                .with_row_loss(ChipDims::PAPER, rows, (20, 200), &mut rng);
+            DominanceCase {
+                chip_seed: 11 * i + 1,
+                run_seed: 97 * i + 3,
+                faults,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn supervisor_dominance_holds_under_cluster_and_rowloss_chaos() {
+    for (i, case) in hard_cases().iter().enumerate() {
+        if let Err(e) = supervisor_dominance(case) {
+            panic!("hard-chaos case {i}: {e}");
+        }
+    }
+}
+
+#[test]
+fn reconfig_dominance_holds_under_cluster_and_rowloss_chaos() {
+    for (i, case) in hard_cases().iter().enumerate() {
+        if let Err(e) = reconfig_dominance(case) {
+            panic!("hard-chaos case {i}: {e}");
+        }
+    }
+}

@@ -1,12 +1,12 @@
-//! The four differential oracles at their default budgets.
+//! The differential oracles at their default budgets.
 //!
 //! These are the same suite entries `meda check` runs: corpus replay is on
 //! (shared `tests/corpus/` directory), and `MEDA_CHECK_CASES` scales the
 //! budget without code changes.
 
 use meda_check::oracle::{
-    check_reconfig_dominance, check_sensing_round_trip, check_sim_vs_mdp,
-    check_supervisor_dominance,
+    check_fleet_separation, check_fleet_serial_equivalence, check_reconfig_dominance,
+    check_sensing_round_trip, check_sim_vs_mdp, check_supervisor_dominance,
 };
 use meda_check::{cases_from_env, default_corpus_dir, Config};
 
@@ -37,5 +37,17 @@ fn supervised_execution_dominates_plain_runs() {
 #[test]
 fn reconfiguration_rung_dominates_the_plain_ladder() {
     let out = check_reconfig_dominance(&config(4));
+    assert!(out.passed, "{}", out.report.unwrap_or_default());
+}
+
+#[test]
+fn concurrent_fleets_respect_fluidic_separation() {
+    let out = check_fleet_separation(&config(16));
+    assert!(out.passed, "{}", out.report.unwrap_or_default());
+}
+
+#[test]
+fn serial_fleet_is_bit_identical_to_the_serial_engine() {
+    let out = check_fleet_serial_equivalence(&config(4));
     assert!(out.passed, "{}", out.report.unwrap_or_default());
 }

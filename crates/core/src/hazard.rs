@@ -1,0 +1,187 @@
+//! Moving hazard zones for concurrent fleet routing.
+//!
+//! When several droplets route on one chip at once, every peer droplet's
+//! reserved corridor is a region the MDP should *prefer to avoid*: entering
+//! it risks a fluidic-separation stall against the peer (see
+//! `meda-sim`'s `FluidicConstraints`). The fleet engine encodes each peer
+//! corridor as a time-expanded [`HazardBox`] — the union of the cells the
+//! peer may occupy over its reservation window, expanded by the
+//! interference ring — and synthesis runs against a [`HazardedField`] that
+//! attenuates the EWOD force inside those boxes.
+//!
+//! Attenuation, not exclusion: a reduced force makes moves into the box
+//! likely to fail (the droplet holds), so `Rmin` routes around it whenever
+//! a detour exists, but the box never renders a job spuriously infeasible —
+//! the peer will eventually vacate, and the runtime separation checker is
+//! the hard safety net. A `factor` of `0.0` turns the box into a wall
+//! (used for persistently blocking peers after a stall-patience timeout).
+
+use meda_grid::{Cell, Rect};
+
+use crate::ForceProvider;
+
+/// One time-expanded hazard zone: a rectangle of cells whose EWOD force is
+/// scaled by `factor ∈ [0, 1]` during synthesis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HazardBox {
+    /// The hazard region (a peer droplet's reserved corridor, already
+    /// expanded by the fluidic interference ring).
+    pub rect: Rect,
+    /// Force multiplier inside the region: `0.0` is a hard wall, values in
+    /// `(0, 1)` a soft deterrent, `1.0` a no-op.
+    pub factor: f64,
+}
+
+impl HazardBox {
+    /// A soft hazard (force scaled, region still traversable).
+    #[must_use]
+    pub fn soft(rect: Rect, factor: f64) -> Self {
+        Self { rect, factor }
+    }
+
+    /// A hard wall (zero force: moves into the region cannot succeed).
+    #[must_use]
+    pub fn wall(rect: Rect) -> Self {
+        Self { rect, factor: 0.0 }
+    }
+}
+
+/// A force field with [`HazardBox`] attenuation layered over a base
+/// [`ForceProvider`]: the force at a cell is the base force times the
+/// *smallest* factor of any box containing the cell (overlapping hazards
+/// compound pessimistically, not multiplicatively — two soft corridors
+/// crossing are no worse than the softer of the two).
+///
+/// # Examples
+///
+/// ```
+/// use meda_core::{ForceProvider, HazardBox, HazardedField, UniformField};
+/// use meda_grid::{Cell, Rect};
+///
+/// let base = UniformField::pristine();
+/// let boxes = [HazardBox::soft(Rect::new(3, 3, 5, 5), 0.25)];
+/// let field = HazardedField::new(&base, &boxes);
+/// assert_eq!(field.cell_force(Cell::new(1, 1)), 1.0);
+/// assert_eq!(field.cell_force(Cell::new(4, 4)), 0.25);
+/// ```
+#[derive(Clone, Copy)]
+pub struct HazardedField<'a> {
+    base: &'a dyn ForceProvider,
+    boxes: &'a [HazardBox],
+}
+
+impl std::fmt::Debug for HazardedField<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HazardedField")
+            .field("boxes", &self.boxes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> HazardedField<'a> {
+    /// Wraps `base` with hazard attenuation.
+    #[must_use]
+    pub fn new(base: &'a dyn ForceProvider, boxes: &'a [HazardBox]) -> Self {
+        Self { base, boxes }
+    }
+}
+
+impl ForceProvider for HazardedField<'_> {
+    fn cell_force(&self, cell: Cell) -> f64 {
+        let base = self.base.cell_force(cell);
+        let factor = self
+            .boxes
+            .iter()
+            .filter(|b| b.rect.contains_cell(cell))
+            .map(|b| b.factor)
+            .fold(1.0_f64, f64::min);
+        base * factor
+    }
+}
+
+/// A deterministic digest of the hazard boxes that intersect `region` —
+/// mixed into the strategy-library health digest so a corridor shift
+/// triggers the hybrid scheduler's warm re-solve exactly like a health
+/// change does. Returns `0` when no box intersects the region, keeping
+/// hazard-free synthesis byte-identical to the serial path.
+#[must_use]
+pub fn hazard_digest(boxes: &[HazardBox], region: Rect) -> u64 {
+    let mut hash: u64 = 0;
+    let mut any = false;
+    for b in boxes.iter().filter(|b| b.rect.intersects(region)) {
+        if !any {
+            hash = 0xcbf2_9ce4_8422_2325; // FNV-1a basis
+            any = true;
+        }
+        for word in [
+            b.rect.xa as u64,
+            b.rect.ya as u64,
+            b.rect.xb as u64,
+            b.rect.yb as u64,
+            b.factor.to_bits(),
+        ] {
+            hash ^= word;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniformField;
+
+    #[test]
+    fn attenuation_applies_only_inside_boxes() {
+        let base = UniformField::new(0.8);
+        let boxes = [HazardBox::soft(Rect::new(2, 2, 4, 4), 0.5)];
+        let f = HazardedField::new(&base, &boxes);
+        assert!((f.cell_force(Cell::new(3, 3)) - 0.4).abs() < 1e-12);
+        assert!((f.cell_force(Cell::new(5, 5)) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapping_boxes_take_the_smallest_factor() {
+        let base = UniformField::pristine();
+        let boxes = [
+            HazardBox::soft(Rect::new(1, 1, 6, 6), 0.5),
+            HazardBox::soft(Rect::new(4, 4, 8, 8), 0.25),
+        ];
+        let f = HazardedField::new(&base, &boxes);
+        assert!((f.cell_force(Cell::new(5, 5)) - 0.25).abs() < 1e-12);
+        assert!((f.cell_force(Cell::new(2, 2)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wall_zeroes_force() {
+        let base = UniformField::pristine();
+        let boxes = [HazardBox::wall(Rect::new(3, 3, 3, 3))];
+        let f = HazardedField::new(&base, &boxes);
+        assert_eq!(f.cell_force(Cell::new(3, 3)), 0.0);
+    }
+
+    #[test]
+    fn digest_is_zero_without_intersecting_boxes() {
+        let region = Rect::new(1, 1, 5, 5);
+        assert_eq!(hazard_digest(&[], region), 0);
+        let far = [HazardBox::soft(Rect::new(20, 20, 22, 22), 0.5)];
+        assert_eq!(hazard_digest(&far, region), 0);
+    }
+
+    #[test]
+    fn digest_distinguishes_boxes_and_factors() {
+        let region = Rect::new(1, 1, 10, 10);
+        let a = [HazardBox::soft(Rect::new(2, 2, 4, 4), 0.5)];
+        let b = [HazardBox::soft(Rect::new(2, 2, 4, 5), 0.5)];
+        let c = [HazardBox::soft(Rect::new(2, 2, 4, 4), 0.25)];
+        let da = hazard_digest(&a, region);
+        assert_ne!(da, hazard_digest(&b, region));
+        assert_ne!(da, hazard_digest(&c, region));
+        assert_ne!(da, 0);
+        // Region-scoped: a far-away extra box changes nothing.
+        let mut widened = a.to_vec();
+        widened.push(HazardBox::soft(Rect::new(30, 30, 31, 31), 0.1));
+        assert_eq!(da, hazard_digest(&widened, region));
+    }
+}

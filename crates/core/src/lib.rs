@@ -42,6 +42,7 @@ mod action;
 mod config;
 mod force;
 mod frontier;
+mod hazard;
 mod mdp;
 mod mec;
 mod smg;
@@ -53,6 +54,7 @@ pub use force::{
     DegradationField, ForceProvider, HealthField, HealthInterpretation, RawField, UniformField,
 };
 pub use frontier::frontier_set;
+pub use hazard::{hazard_digest, HazardBox, HazardedField};
 pub use mdp::{
     Branch, BuildError, Choice, Choices, ChoicesIter, Condensation, CsrView, HazardHandling,
     MdpStats, RoutingMdp,

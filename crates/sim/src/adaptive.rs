@@ -2,7 +2,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use meda_bioassay::{BioassayPlan, RoutingJob};
-use meda_core::{Action, ActionConfig, HealthField, RoutingMdp};
+use meda_core::{
+    hazard_digest, Action, ActionConfig, HazardBox, HazardedField, HealthField, RoutingMdp,
+};
 use meda_grid::Rect;
 use meda_synth::{
     synthesize, synthesize_with, LibraryKey, Query, RoutingStrategy, SolverOptions, StrategyLibrary,
@@ -71,6 +73,17 @@ pub struct AdaptiveRouter {
     strategy: Option<Arc<RoutingStrategy>>,
     resynth_count: u64,
     synthesis_time: Duration,
+    /// Fleet hazard zones (peer corridors). Empty on the serial path, in
+    /// which case every digest and synthesis below reduces byte-identically
+    /// to the hazard-free behaviour.
+    hazards: Vec<HazardBox>,
+    /// Whether the superseded strategy's values still lower-bound the next
+    /// Rmin fixed point. Health only degrades, so this is normally true —
+    /// but *releasing* a hazard box improves the field, and a warm seed
+    /// above the new fixed point would trip the solver's soundness guard.
+    /// Cleared by a weakening [`AdaptiveRouter::set_hazards`], restored by
+    /// the next completed synthesis.
+    warm_valid: bool,
 }
 
 impl AdaptiveRouter {
@@ -87,7 +100,17 @@ impl AdaptiveRouter {
             strategy: None,
             resynth_count: 0,
             synthesis_time: Duration::ZERO,
+            hazards: Vec::new(),
+            warm_valid: true,
         }
+    }
+
+    /// The combined health + hazard digest over `bounds` — the quantity
+    /// whose change triggers a (warm prioritized) re-solve. With no hazard
+    /// intersecting the bounds this is exactly the health digest, keeping
+    /// the serial path bit-identical.
+    fn scoped_digest(&self, health: &HealthField, bounds: Rect) -> u64 {
+        health.digest(bounds) ^ hazard_digest(&self.hazards, bounds)
     }
 
     /// Pre-populates the strategy library offline for every routed job of a
@@ -137,7 +160,10 @@ impl AdaptiveRouter {
         health: &HealthField,
         previous: Option<&RoutingStrategy>,
     ) -> Option<Arc<RoutingStrategy>> {
-        let digest = health.digest(job.bounds);
+        // Peer-corridor hazards fold into the library key: a corridor
+        // shift changes the digest exactly like a health change, so stale
+        // strategies are never replayed against a moved hazard.
+        let digest = self.scoped_digest(health, job.bounds);
         let key = LibraryKey {
             start,
             goal: job.goal,
@@ -148,15 +174,28 @@ impl AdaptiveRouter {
         if self.config.use_library {
             if let Some(hit) = self.library.get(&key) {
                 telemetry.add("synth.library.hits", 1);
+                // The hit was synthesized under a field with this very
+                // digest, so its values are consistent with the current
+                // field again.
+                self.warm_valid = true;
                 return Some(hit);
             }
             telemetry.add("synth.library.misses", 1);
         }
+        let previous = previous.filter(|_| self.warm_valid);
         let _job_span = telemetry.span("synth.job");
         let t0 = Instant::now();
         let result = (|| {
-            let mdp = RoutingMdp::build(start, job.goal, job.bounds, health, &self.config.actions)
-                .ok()?;
+            let hazarded;
+            let field: &dyn meda_core::ForceProvider =
+                if self.hazards.iter().any(|b| b.rect.intersects(job.bounds)) {
+                    hazarded = HazardedField::new(health, &self.hazards);
+                    &hazarded
+                } else {
+                    health
+                };
+            let mdp =
+                RoutingMdp::build(start, job.goal, job.bounds, field, &self.config.actions).ok()?;
             let mut options = SolverOptions::default();
             if self.config.query == Query::MinExpectedCycles {
                 // Re-synthesis after a health patch runs as a warm
@@ -178,6 +217,7 @@ impl AdaptiveRouter {
             Some(strategy)
         })();
         self.synthesis_time += t0.elapsed();
+        self.warm_valid = true;
         let strategy = result?;
         if self.config.use_library {
             Some(self.library.insert(key, strategy))
@@ -193,7 +233,7 @@ impl Router for AdaptiveRouter {
     }
 
     fn begin_job(&mut self, job: &RoutingJob, health: &HealthField) -> bool {
-        self.digest = health.digest(job.bounds);
+        self.digest = self.scoped_digest(health, job.bounds);
         self.strategy = self.synthesize_for(job, job.start, health, None);
         self.job = Some(*job);
         self.strategy.is_some()
@@ -202,7 +242,7 @@ impl Router for AdaptiveRouter {
     fn next_action(&mut self, droplet: Rect, health: &HealthField) -> Option<Action> {
         let job = self.job?;
         if self.config.resynthesize {
-            let digest = health.digest(job.bounds);
+            let digest = self.scoped_digest(health, job.bounds);
             if digest != self.digest {
                 self.digest = digest;
                 // Re-synthesize from the droplet's *current* location,
@@ -228,6 +268,24 @@ impl Router for AdaptiveRouter {
             self.strategy = Some(refreshed);
             action
         })
+    }
+
+    fn set_hazards(&mut self, boxes: &[HazardBox]) {
+        // A purely-strengthening shift (every old box survives at least as
+        // strongly) keeps the old values as valid Rmin lower bounds; any
+        // release or weakening forces the next synthesis to run cold.
+        let strengthening = self.hazards.iter().all(|o| {
+            boxes
+                .iter()
+                .any(|n| n.rect == o.rect && n.factor <= o.factor)
+        });
+        if !strengthening {
+            self.warm_valid = false;
+        }
+        self.hazards = boxes.to_vec();
+        // The next `next_action` sees a changed scoped digest and re-solves
+        // from the droplet's current position — warm via the prioritized
+        // sweep when the shift only tightened the field, cold otherwise.
     }
 }
 
@@ -364,6 +422,55 @@ mod tests {
         assert!(r.library().is_empty());
         assert_eq!(r.library().hits(), 0);
         assert!(r.synthesis_time() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn hazard_shift_triggers_resynthesis_like_a_health_change() {
+        let dims = ChipDims::new(20, 10);
+        let health = full_health(dims);
+        let mut r = AdaptiveRouter::new(AdaptiveConfig::paper());
+        assert!(r.begin_job(&job(), &health));
+        // A peer corridor appears inside the bounds mid-job: the scoped
+        // digest changes and the next action re-solves warm.
+        r.set_hazards(&[meda_core::HazardBox::soft(Rect::new(6, 1, 9, 6), 0.3)]);
+        let _ = r.next_action(Rect::new(2, 1, 4, 3), &health);
+        assert_eq!(r.resynth_count(), 1);
+        // Releasing the corridor is another shift.
+        r.set_hazards(&[]);
+        let _ = r.next_action(Rect::new(3, 1, 5, 3), &health);
+        assert_eq!(r.resynth_count(), 2);
+    }
+
+    #[test]
+    fn hazards_outside_the_bounds_do_not_perturb_the_job() {
+        let dims = ChipDims::new(20, 10);
+        let health = full_health(dims);
+        let mut r = AdaptiveRouter::new(AdaptiveConfig::paper());
+        assert!(r.begin_job(&job(), &health));
+        r.set_hazards(&[meda_core::HazardBox::wall(Rect::new(18, 9, 19, 10))]);
+        let _ = r.next_action(Rect::new(2, 1, 4, 3), &health);
+        assert_eq!(r.resynth_count(), 0, "far-away hazard must be invisible");
+    }
+
+    #[test]
+    fn hazard_wall_still_reaches_the_goal_through_the_gap() {
+        let dims = ChipDims::new(20, 10);
+        let health = full_health(dims);
+        let mut r = AdaptiveRouter::new(AdaptiveConfig::paper());
+        // Wall off rows 1..=6 of column 8 with a hazard instead of dead
+        // cells: same detour behaviour as `avoids_dead_wall_when_gap_exists`
+        // — the job stays feasible and completes via the row 7–8 gap.
+        r.set_hazards(&[meda_core::HazardBox::wall(Rect::new(8, 1, 8, 6))]);
+        assert!(r.begin_job(&job(), &health), "hazard must not kill the job");
+        let mut droplet = Rect::new(1, 1, 3, 3);
+        for _ in 0..100 {
+            if job().goal.contains_rect(droplet) {
+                return;
+            }
+            let a = r.next_action(droplet, &health).expect("action");
+            droplet = a.apply(droplet);
+        }
+        panic!("never reached the goal");
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Fluidic-constraint separation for concurrent fleet routing.
+//!
+//! When several droplets move on one chip in the same cycle, two droplets
+//! that come too close risk unintended merging and make the sensed **Y**
+//! matrix ambiguous (their clusters fuse). The classic DMFB fluidic
+//! constraints forbid that both within a cycle (*static*) and across the
+//! cycle boundary (*dynamic*, the "straddle" rule): a droplet may not enter
+//! the interference ring of another droplet's old *or* new position.
+//!
+//! Scope: the rules apply between the *concurrently moving* droplets of
+//! distinct micro-operations. Droplets parked under a hold pattern are
+//! exempt blockers — the physical model has no droplet collisions and the
+//! controller subtracts its own commanded holds from **Y** (see
+//! `Exec::sense`), so passing over a parked droplet is well-defined; it is
+//! simultaneous *motion* in close quarters that the checker must prevent.
+//! Droplets of the same micro-operation are exempt too: mix and merge
+//! partners are *meant* to meet.
+
+use meda_bioassay::MoId;
+use meda_grid::Rect;
+
+/// Static + dynamic droplet-separation rules for concurrent routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FluidicConstraints {
+    /// Interference-ring width in cells: another droplet may not appear
+    /// within this many cells of a mover's rectangle. The MEDA default
+    /// is 2 (one guard cell plus one sensing cell).
+    ring: i32,
+}
+
+impl Default for FluidicConstraints {
+    fn default() -> Self {
+        Self { ring: 2 }
+    }
+}
+
+/// Which separation rule a violation broke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two concurrent movers within one ring at the same cycle.
+    Static,
+    /// A mover within one ring of a peer's position from the previous
+    /// cycle (the t→t+1 straddle rule).
+    Dynamic,
+}
+
+/// A recorded separation violation (from [`FluidicConstraints::audit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeparationViolation {
+    /// Cycle index into the audited position log.
+    pub cycle: usize,
+    /// The two offending micro-operations.
+    pub mos: (MoId, MoId),
+    /// Their droplet rectangles at the violating instant.
+    pub rects: (Rect, Rect),
+    /// Static (same cycle) or dynamic (straddling the cycle boundary).
+    pub kind: ViolationKind,
+}
+
+impl FluidicConstraints {
+    /// Constraints with an explicit ring width (in cells).
+    #[must_use]
+    pub fn new(ring: u32) -> Self {
+        Self { ring: ring as i32 }
+    }
+
+    /// A disabled checker (ring 0 still forbids overlap; this admits even
+    /// that) — used by the calibration meta-test to seed violations.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { ring: -1 }
+    }
+
+    /// The interference-ring width in cells.
+    #[must_use]
+    pub fn ring(&self) -> i32 {
+        self.ring
+    }
+
+    /// Whether this checker enforces anything at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.ring >= 0
+    }
+
+    /// Whether two droplet rectangles satisfy the separation rule: `b`
+    /// must lie strictly outside `a`'s `ring`-cell interference ring
+    /// (symmetric in its arguments).
+    #[must_use]
+    pub fn separated(&self, a: Rect, b: Rect) -> bool {
+        !self.is_enabled() || !a.expand(self.ring).intersects(b)
+    }
+
+    /// Whether a mover may step from `cur` to `next` given one concurrent
+    /// peer: the new position must clear the peer's *current* ring
+    /// (dynamic straddle — the peer has not vacated yet) and, when the
+    /// peer is itself moving, its *next* ring (static rule at t+1). The
+    /// peer's own straddle (`peer_next` vs `cur`) is checked from the
+    /// peer's side when it commits its move.
+    #[must_use]
+    pub fn admissible_against(&self, next: Rect, peer_cur: Rect, peer_next: Option<Rect>) -> bool {
+        self.separated(next, peer_cur) && peer_next.is_none_or(|p| self.separated(next, p))
+    }
+
+    /// Audits a per-cycle log of concurrently-moving droplets (MO id and
+    /// post-move rectangle, as recorded by the fleet engine) against both
+    /// rules. Same-MO pairs are exempt (intentional mixes/splits). Returns
+    /// the first violation found, scanning cycles in order.
+    #[must_use]
+    pub fn audit(&self, log: &[Vec<(MoId, Rect)>]) -> Option<SeparationViolation> {
+        self.audit_exempting(log, |_, _| false)
+    }
+
+    /// [`audit`](Self::audit) with an extra pair exemption. The fleet
+    /// engine's callers exempt *dependency-linked* operations: a consumer's
+    /// first droplet is the producer's parked output, so across the handoff
+    /// boundary the log shows the same physical droplet under two MO ids
+    /// one cell apart — a false dynamic "violation". Dependent operations
+    /// are never concurrently in flight, so the exemption costs no
+    /// detection power against genuine concurrent interference.
+    #[must_use]
+    pub fn audit_exempting(
+        &self,
+        log: &[Vec<(MoId, Rect)>],
+        exempt: impl Fn(MoId, MoId) -> bool,
+    ) -> Option<SeparationViolation> {
+        for (cycle, movers) in log.iter().enumerate() {
+            // Static rule within the cycle.
+            for (i, &(mo_a, a)) in movers.iter().enumerate() {
+                for &(mo_b, b) in &movers[i + 1..] {
+                    if mo_a != mo_b && !exempt(mo_a, mo_b) && !self.separated(a, b) {
+                        return Some(SeparationViolation {
+                            cycle,
+                            mos: (mo_a, mo_b),
+                            rects: (a, b),
+                            kind: ViolationKind::Static,
+                        });
+                    }
+                }
+            }
+            // Dynamic rule across the boundary to the previous cycle: a
+            // mover's new rectangle against every distinct-MO rectangle of
+            // cycle-1 (where those droplets stood when this cycle began).
+            if cycle == 0 {
+                continue;
+            }
+            for &(mo_a, a) in movers {
+                for &(mo_b, b) in &log[cycle - 1] {
+                    if mo_a != mo_b && !exempt(mo_a, mo_b) && !self.separated(a, b) {
+                        return Some(SeparationViolation {
+                            cycle,
+                            mos: (mo_a, mo_b),
+                            rects: (a, b),
+                            kind: ViolationKind::Dynamic,
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separation_requires_a_clear_ring() {
+        let c = FluidicConstraints::default();
+        let a = Rect::new(5, 5, 7, 7);
+        // Two empty cells between droplets: separated.
+        assert!(c.separated(a, Rect::new(10, 5, 12, 7)));
+        // One empty cell: inside the 2-cell ring.
+        assert!(!c.separated(a, Rect::new(9, 5, 11, 7)));
+        // Touching and overlapping: clearly not.
+        assert!(!c.separated(a, Rect::new(8, 5, 10, 7)));
+        assert!(!c.separated(a, a));
+    }
+
+    #[test]
+    fn disabled_checker_admits_everything() {
+        let c = FluidicConstraints::disabled();
+        let a = Rect::new(5, 5, 7, 7);
+        assert!(c.separated(a, a));
+        assert!(c.audit(&[vec![(0, a), (1, a)]]).is_none());
+    }
+
+    #[test]
+    fn audit_catches_static_violations() {
+        let c = FluidicConstraints::default();
+        let log = vec![
+            vec![(0, Rect::new(1, 1, 2, 2)), (1, Rect::new(10, 10, 11, 11))],
+            vec![(0, Rect::new(8, 10, 9, 11)), (1, Rect::new(10, 10, 11, 11))],
+        ];
+        let v = c.audit(&log).expect("violation");
+        assert_eq!(v.kind, ViolationKind::Static);
+        assert_eq!(v.cycle, 1);
+        assert_eq!(v.mos, (0, 1));
+    }
+
+    #[test]
+    fn audit_catches_dynamic_straddles() {
+        let c = FluidicConstraints::default();
+        // Cycle 0: mover 1 sits at (10,10). Cycle 1: mover 1 left east,
+        // mover 0 stepped into where mover 1 *was* — statically fine at
+        // t+1, but a straddle of the boundary.
+        let log = vec![
+            vec![(0, Rect::new(4, 10, 5, 11)), (1, Rect::new(10, 10, 11, 11))],
+            vec![(0, Rect::new(8, 10, 9, 11)), (1, Rect::new(14, 10, 15, 11))],
+        ];
+        let v = c.audit(&log).expect("violation");
+        assert_eq!(v.kind, ViolationKind::Dynamic);
+        assert_eq!(v.cycle, 1);
+    }
+
+    #[test]
+    fn same_mo_partners_are_exempt() {
+        let c = FluidicConstraints::default();
+        let log = vec![vec![(3, Rect::new(5, 5, 6, 6)), (3, Rect::new(7, 5, 8, 6))]];
+        assert!(c.audit(&log).is_none(), "mix partners may meet");
+    }
+
+    #[test]
+    fn admissible_against_checks_both_peer_positions() {
+        let c = FluidicConstraints::default();
+        let next = Rect::new(5, 5, 6, 6);
+        let far = Rect::new(12, 5, 13, 6);
+        let near = Rect::new(8, 5, 9, 6);
+        assert!(c.admissible_against(next, far, Some(far)));
+        assert!(!c.admissible_against(next, near, Some(far)));
+        assert!(!c.admissible_against(next, far, Some(near)));
+        assert!(c.admissible_against(next, far, None));
+    }
+}

@@ -536,7 +536,7 @@ impl<'a, R: Rng> Exec<'a, R> {
     /// The single point every cycle goes through: fire scheduled electrode
     /// deaths, spread defect fronts, wear the chip, advance the clock,
     /// record the trace.
-    fn apply_cycle(&mut self, pattern: Grid<bool>) {
+    pub(crate) fn apply_cycle(&mut self, pattern: Grid<bool>) {
         let sw = meda_telemetry::Stopwatch::start();
         while self.next_death < self.deaths.len()
             && self.deaths[self.next_death].at_cycle <= self.cycles
@@ -579,7 +579,7 @@ impl<'a, R: Rng> Exec<'a, R> {
     /// one `gen_bool` per intermittent cell plus the outcome roll — and
     /// exactly the outcome roll when the plan has no intermittent cells,
     /// preserving seed reproducibility.
-    fn sample(&mut self, droplet: Rect, action: Action) -> Rect {
+    pub(crate) fn sample(&mut self, droplet: Rect, action: Action) -> Rect {
         let chaos = self.chaos;
         let field = if chaos.intermittent.is_empty() {
             self.chip.degradation_field()
@@ -612,7 +612,7 @@ impl<'a, R: Rng> Exec<'a, R> {
     /// explain the blank read is the failure class returned: the droplet
     /// vanished next to a parked droplet ([`RunStatus::DropletMerged`]) or
     /// is simply gone from the sensors ([`RunStatus::DropletLost`]).
-    fn sense(
+    pub(crate) fn sense(
         &mut self,
         actual: Rect,
         last_sensed: Rect,

@@ -58,9 +58,11 @@
 mod adaptive;
 pub mod analysis;
 mod biochip;
+mod constraints;
 mod engine;
 pub mod experiment;
 mod fault;
+mod fleet;
 mod recovery;
 pub mod render;
 mod router;
@@ -70,8 +72,13 @@ mod supervisor;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveRouter};
 pub use biochip::{Biochip, DegradationConfig};
+pub use constraints::{FluidicConstraints, SeparationViolation, ViolationKind};
 pub use engine::{sample_outcome, BioassayRunner, RunConfig, RunOutcome, RunStatus};
 pub use fault::{DefectFront, FaultMode, FaultPlan, IntermittentCell, SuddenDeath};
+pub use fleet::{
+    dependency_exemption, AdaptivePool, ClonePool, FleetConfig, FleetOutcome, FleetRunner,
+    RouterPool,
+};
 pub use meda_cell::StuckBit;
 pub use recovery::RecoveryRouter;
 pub use router::{BaselineRouter, Router};

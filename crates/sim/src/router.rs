@@ -1,5 +1,5 @@
 use meda_bioassay::RoutingJob;
-use meda_core::{Action, Dir, HealthField};
+use meda_core::{Action, Dir, HazardBox, HealthField};
 use meda_grid::Rect;
 
 /// A droplet router: the control seam between the scheduler and the chip.
@@ -20,6 +20,14 @@ pub trait Router {
     /// (the engine aborts the run; goal arrival is detected by the engine
     /// before asking).
     fn next_action(&mut self, droplet: Rect, health: &HealthField) -> Option<Action>;
+
+    /// Installs the current set of fleet hazard zones (peer droplets'
+    /// reserved corridors, see [`HazardBox`]). Called by the concurrent
+    /// fleet engine whenever a peer corridor appears, shifts, or is
+    /// released; never called on the serial path. Routers that don't plan
+    /// ahead (the greedy baseline) may ignore it — the runtime fluidic
+    /// checker still enforces separation.
+    fn set_hazards(&mut self, _boxes: &[HazardBox]) {}
 }
 
 /// The degradation-unaware baseline of Section VII-A: a shortest-path

@@ -16,6 +16,33 @@ pub trait MoScheduler {
 
     /// Chooses one of `ready` (non-empty, ascending ids) to execute next.
     fn pick(&mut self, ready: &[MoId], plan: &BioassayPlan, health: &HealthField) -> MoId;
+
+    /// Chooses up to `slots` of `ready` (non-empty, ascending ids) to
+    /// dispatch concurrently, in priority order — the fleet engine fills
+    /// its active queue from this set and keeps the rest pending (the
+    /// stalled queue lives engine-side: a *dispatched* MO that cannot move
+    /// this cycle holds in place, it is not returned to the scheduler).
+    ///
+    /// The default iterates [`MoScheduler::pick`] over the shrinking ready
+    /// set, so a scheduler's serial preference order and its dispatch
+    /// order can never disagree — which is what makes `FleetConfig`'s
+    /// serial mode bit-identical to the serial engine.
+    fn dispatch(
+        &mut self,
+        ready: &[MoId],
+        plan: &BioassayPlan,
+        health: &HealthField,
+        slots: usize,
+    ) -> Vec<MoId> {
+        let mut remaining = ready.to_vec();
+        let mut out = Vec::new();
+        while out.len() < slots && !remaining.is_empty() {
+            let mo = self.pick(&remaining, plan, health);
+            remaining.retain(|&m| m != mo);
+            out.push(mo);
+        }
+        out
+    }
 }
 
 /// Plan-order scheduling: always the lowest-id ready operation — the
@@ -86,14 +113,18 @@ impl MoScheduler for HealthAwareScheduler {
 
     fn pick(&mut self, ready: &[MoId], plan: &BioassayPlan, health: &HealthField) -> MoId {
         // Seed the scan with the first ready MO instead of unwrapping a
-        // `max_by` — the engine's contract makes `ready` non-empty, and
-        // `>=` keeps the *last* maximum, matching `Iterator::max_by` (the
-        // FIFO-tiebreak tests depend on that).
+        // `max_by` — the engine's contract makes `ready` non-empty.
+        // Strict `>` keeps the *first* maximum: equal-health corridors
+        // resolve to the lowest MoId, a pure function of the tie set. (The
+        // old `>=` kept the last maximum — the *slice-order* tail of the
+        // ties, which under concurrent stalls depends on dispatch history:
+        // the same tie set could order differently depending on which
+        // peers happened to be in flight.)
         let mut best = ready[0];
         let mut best_health = Self::corridor_health(plan, best, health);
         for &mo in &ready[1..] {
             let h = Self::corridor_health(plan, mo, health);
-            if h.total_cmp(&best_health).is_ge() {
+            if h.total_cmp(&best_health).is_gt() {
                 best = mo;
                 best_health = h;
             }
@@ -128,12 +159,40 @@ mod tests {
 
     #[test]
     fn health_aware_matches_fifo_on_a_uniform_chip() {
-        // With identical corridor health, max_by keeps the last maximum;
-        // either way the pick must be a ready op.
+        // With identical corridor health the tie-break is the lowest MoId
+        // — exactly FIFO's choice.
         let (plan, health) = setup();
         let mut s = HealthAwareScheduler::new();
-        let pick = s.pick(&[4, 5], &plan, &health);
-        assert!(pick == 4 || pick == 5);
+        assert_eq!(s.pick(&[4, 5], &plan, &health), 4);
+    }
+
+    #[test]
+    fn equal_health_ties_resolve_by_mo_id_not_slice_history() {
+        // Regression for the concurrent-stall tie-break: under the fleet
+        // engine the ready set's *contents* vary with which peers are in
+        // flight, so the tie-break must be a pure function of the tie set
+        // (lowest MoId), not of where a tie happens to sit in the slice.
+        let (plan, health) = setup();
+        let mut s = HealthAwareScheduler::new();
+        // The multiplex assay's mixes 4 and 5 have equal corridor health
+        // on a uniform chip.
+        let h4 = HealthAwareScheduler::corridor_health(&plan, 4, &health);
+        let h5 = HealthAwareScheduler::corridor_health(&plan, 5, &health);
+        assert_eq!(h4.total_cmp(&h5), std::cmp::Ordering::Equal);
+        // Whatever subset of the ties is ready, the lowest id wins …
+        assert_eq!(s.pick(&[4, 5], &plan, &health), 4);
+        assert_eq!(s.pick(&[5], &plan, &health), 5);
+        // … and the dispatch set enumerates ties in id order.
+        assert_eq!(s.dispatch(&[4, 5], &plan, &health, 2), vec![4, 5]);
+    }
+
+    #[test]
+    fn default_dispatch_respects_slots_and_pick_order() {
+        let (plan, health) = setup();
+        let mut fifo = FifoScheduler::new();
+        assert_eq!(fifo.dispatch(&[2, 5, 7], &plan, &health, 2), vec![2, 5]);
+        assert_eq!(fifo.dispatch(&[2], &plan, &health, 4), vec![2]);
+        assert!(fifo.dispatch(&[2, 5], &plan, &health, 0).is_empty());
     }
 
     #[test]

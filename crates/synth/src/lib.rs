@@ -50,6 +50,7 @@ mod horizon;
 mod library;
 mod perf;
 mod query;
+mod reservations;
 mod solver;
 mod strategy;
 
@@ -59,6 +60,7 @@ pub use horizon::{bounded_reach_probability, HorizonValues};
 pub use library::{LibraryKey, StrategyLibrary};
 pub use perf::{measure_synthesis, PerfRecord};
 pub use query::Query;
+pub use reservations::CorridorReservations;
 pub use solver::{
     max_reach_probability, min_expected_cycles, min_expected_cycles_with_reach, SolverMethod,
     SolverOptions, SolverResult,

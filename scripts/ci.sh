@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Offline CI gate: formatting, lints, tier-1 build + tests, the meda-check
-# replay corpus, and (unless --quick) the full-mode paper-scale synthesis
-# bench, the full-mode hard-chaos degradation matrix, the profile smoke,
-# and the benchmark-regression gate.
+# replay corpus, the concurrent-fleet smoke, and (unless --quick) the
+# full-mode paper-scale synthesis bench, the full-mode hard-chaos
+# degradation matrix, the full-mode concurrent-makespan bench, the profile
+# smoke, and the benchmark-regression gate.
 # Everything runs without network access (the workspace has zero
 # third-party dependencies — see DESIGN.md §6).
 #
@@ -86,6 +87,9 @@ audit_sound_selftest() {
 }
 # Default smoke budget is small; set MEDA_CHECK_CASES for an extended run.
 check_smoke()   { cargo run --release -- check --smoke; }
+# End-to-end concurrent-fleet smoke: N=4 must complete master-mix no slower
+# than serial with a clean fluidic-separation audit (exits nonzero either way).
+fleet_smoke()   { cargo run --release -- fleet --smoke; }
 # Full (non-smoke) mode: the paper-scale Table V matrix up to 90×90. The
 # committed BENCH_synthesis.json baseline is full-mode, and bench_compare
 # only gates timings when modes match — a smoke run here would downgrade
@@ -96,10 +100,15 @@ bench_full()    { cargo run --release -p meda-bench --bin bench_synthesis; }
 # electrode-killing classes) — it exits nonzero on a shape violation even
 # before bench_compare diffs the committed baseline.
 chaos_full()    { cargo run --release -p meda-bench --bin ext_chaos; }
+# Full mode runs CEP, COVID-PCR, and the multiplex assay at N ∈ {1,2,4,8}
+# and self-checks that every N ≥ 2 strictly beats the serial makespan —
+# it exits nonzero on a throughput regression even before bench_compare
+# diffs the committed baseline.
+makespan_full() { cargo run --release -p meda-bench --bin bench_makespan; }
 profile_smoke() { cargo run --release -- profile covid-rat; }
 # Diff the fresh target/bench/ runs against the committed baselines;
 # >25% timing regressions in smoke mode fail (see EXPERIMENTS.md to re-bless).
-bench_gate()    { cargo run --release -p meda-bench --bin bench_compare -- synthesis chaos; }
+bench_gate()    { cargo run --release -p meda-bench --bin bench_compare -- synthesis chaos makespan; }
 # Negative self-test: against a fixture baseline with 1 ns timings the gate
 # MUST fire; if it exits 0 the gate is broken and CI should say so.
 gate_selftest() {
@@ -121,6 +130,17 @@ chaos_gate_selftest() {
   fi
   echo "chaos-gate-selftest: gate fired against the fixture baseline, as it must"
 }
+# Same negative self-test for the concurrent-makespan gate: the fixture
+# claims absurd serial-vs-concurrent dominance margins, so any real
+# full-mode makespan run must trip the dominance-collapse check.
+makespan_gate_selftest() {
+  if cargo run --release -p meda-bench --bin bench_compare -- makespan \
+      --baseline scripts/makespan_regression_fixture.json; then
+    echo "makespan-gate-selftest: bench_compare passed against the impossible fixture — the concurrent-makespan gate is broken" >&2
+    return 1
+  fi
+  echo "makespan-gate-selftest: gate fired against the fixture baseline, as it must"
+}
 
 stage "fmt"            fmt
 stage "clippy"         clippy
@@ -132,14 +152,17 @@ stage "audit-smoke"    audit_smoke
 stage "audit-sound"    audit_sound
 stage "audit-sound-selftest" audit_sound_selftest
 stage "check-smoke"    check_smoke
+stage "fleet-smoke"    fleet_smoke
 if [ "$QUICK" -eq 0 ]; then
-  stage "bench-full"           bench_full
-  stage "chaos-full"           chaos_full
-  stage "profile-smoke"        profile_smoke
-  stage "bench-gate"           bench_gate
-  stage "gate-selftest"        gate_selftest
-  stage "chaos-gate-selftest"  chaos_gate_selftest
+  stage "bench-full"              bench_full
+  stage "chaos-full"              chaos_full
+  stage "makespan-full"           makespan_full
+  stage "profile-smoke"           profile_smoke
+  stage "bench-gate"              bench_gate
+  stage "gate-selftest"           gate_selftest
+  stage "chaos-gate-selftest"     chaos_gate_selftest
+  stage "makespan-gate-selftest"  makespan_gate_selftest
 else
   echo
-  echo "==> --quick: skipping bench-full, chaos-full, profile-smoke, bench-gate, gate-selftest, chaos-gate-selftest"
+  echo "==> --quick: skipping bench-full, chaos-full, makespan-full, profile-smoke, bench-gate, gate-selftest, chaos-gate-selftest, makespan-gate-selftest"
 fi

@@ -8,6 +8,7 @@
 //! meda export-prism <assay> <job#> [--dir D] PRISM explicit-format export
 //! meda audit <assay> [--force F] [--sound]   verify + certify every routed job
 //! meda wear <assay> [options]                run repeatedly, print wear map
+//! meda fleet <assay> [--n N] [--smoke]       concurrent fleet vs serial makespan
 //! meda profile <assay> [--chaos]             per-stage time/percentage table
 //! ```
 //!
@@ -24,8 +25,9 @@ use meda::bioassay::{benchmarks, BioassayPlan, RjHelper, SequencingGraph};
 use meda::core::{ActionConfig, RoutingMdp, UniformField};
 use meda::grid::{ChipDims, Rect};
 use meda::sim::{
-    experiment::FaultClass, render, AdaptiveConfig, AdaptiveRouter, BaselineRouter, BioassayRunner,
-    Biochip, DegradationConfig, FaultMode, FaultPlan, FifoScheduler, RecoveryRouter, Router,
+    dependency_exemption, experiment::FaultClass, render, AdaptiveConfig, AdaptivePool,
+    AdaptiveRouter, BaselineRouter, BioassayRunner, Biochip, DegradationConfig, FaultMode,
+    FaultPlan, FifoScheduler, FleetConfig, FleetOutcome, FleetRunner, RecoveryRouter, Router,
     RunConfig, Supervisor, SupervisorConfig,
 };
 use meda::synth::{
@@ -49,6 +51,7 @@ USAGE:
   meda audit <assay> [--force F] [--sound]
   meda audit selftest-unsound [--sound]
   meda wear <assay> [--runs N] [--seed N]
+  meda fleet <assay> [--n N] [--seed N] [--k-max N] [--smoke]
   meda check [--cases N] [--seed N] [--replay-only] [--smoke]
   meda profile <assay> [--chaos] [--seed N] [--k-max N]
                [--json PATH] [--events PATH]
@@ -65,6 +68,7 @@ fn main() -> ExitCode {
         Some("export-prism") => cmd_export(&args[1..]),
         Some("audit") => cmd_audit(&args[1..]),
         Some("wear") => cmd_wear(&args[1..]),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
         _ => {
@@ -638,5 +642,98 @@ fn cmd_wear(args: &[String]) -> Result<(), String> {
     println!("{}", render::wear_map(&chip));
     println!("\nhealth map:");
     println!("{}", render::health_map(&chip.health_field(), &[]));
+    Ok(())
+}
+
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let name = match args.first().map(String::as_str) {
+        Some(n) if !n.starts_with("--") => n.to_string(),
+        Some(_) | None if smoke => "master-mix".to_string(),
+        _ => {
+            return Err("usage: meda fleet <assay> [--n N] [--seed N] [--k-max N] [--smoke]".into())
+        }
+    };
+    let plan = plan_assay(&name)?;
+    let n: usize = flag(args, "--n").map_or(Ok(4), |s| {
+        s.parse().map_err(|_| format!("bad fleet size '{s}'"))
+    })?;
+    let seed: u64 =
+        flag(args, "--seed").map_or(Ok(1), |s| s.parse().map_err(|_| format!("bad seed '{s}'")))?;
+    let k_max: u64 = flag(args, "--k-max").map_or(Ok(6_000), |s| {
+        s.parse().map_err(|_| format!("bad cycle budget '{s}'"))
+    })?;
+
+    let run_at = |fleet_size: usize| -> FleetOutcome {
+        let run = RunConfig {
+            k_max,
+            ..RunConfig::default()
+        };
+        let cfg = FleetConfig {
+            record_movers: true,
+            ..FleetConfig::concurrent(fleet_size, run)
+        };
+        let mut rng = meda_rng::StdRng::seed_from_u64(seed);
+        let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
+        let mut pool = AdaptivePool::new(AdaptiveConfig::paper());
+        FleetRunner::new(cfg).run(
+            &plan,
+            &mut chip,
+            &mut pool,
+            &mut FifoScheduler::new(),
+            &FaultPlan::none(),
+            &mut rng,
+        )
+    };
+
+    println!("fleet makespan for {name} (seed {seed}, paper-degraded 60x30 chip):");
+    println!(
+        "{:>4} {:>10} {:>6} {:>8} {:>9} {:>10}",
+        "N", "cycles", "peak", "stalls", "speedup", "status"
+    );
+    let serial = run_at(1);
+    let concurrent = run_at(n);
+    for (size, outcome) in [(1, &serial), (n, &concurrent)] {
+        println!(
+            "{:>4} {:>10} {:>6} {:>8} {:>8.2}x {:>10}",
+            size,
+            outcome.cycles,
+            outcome.peak_active,
+            outcome.stall_cycles,
+            serial.cycles as f64 / outcome.cycles as f64,
+            format!("{:?}", outcome.status),
+        );
+    }
+
+    // Separation audit over the concurrent run's movers log — the same
+    // check the fleet oracle enforces, here as an end-to-end smoke.
+    let log = concurrent.movers.as_ref().expect("recording enabled");
+    let exempt = dependency_exemption(&plan);
+    if let Some(v) = FleetConfig::default()
+        .constraints
+        .audit_exempting(log, exempt)
+    {
+        return Err(format!("fluidic separation violated: {v:?}"));
+    }
+    println!("separation audit: clean over {} cycles", log.len());
+
+    if smoke {
+        if !concurrent.is_success() {
+            return Err(format!(
+                "smoke: concurrent fleet (N={n}) ended {:?}",
+                concurrent.status
+            ));
+        }
+        if concurrent.cycles > serial.cycles {
+            return Err(format!(
+                "smoke: concurrent makespan {} exceeds serial {}",
+                concurrent.cycles, serial.cycles
+            ));
+        }
+        println!(
+            "smoke: N={n} makespan {} <= serial {} with a clean separation audit",
+            concurrent.cycles, serial.cycles
+        );
+    }
     Ok(())
 }

@@ -153,3 +153,106 @@ fn execution_traces_match_golden_files() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Fleet-engine golden traces.
+// ---------------------------------------------------------------------------
+
+use meda::sim::{AdaptivePool, FaultPlan, FleetConfig, FleetRunner};
+
+/// Runs the master-mix fixture through the fleet engine and renders the
+/// same digest body as [`render_trace`] (no header comments).
+fn render_fleet_body(seed: u64, width: usize) -> String {
+    let plan = RjHelper::new(ChipDims::PAPER)
+        .plan(&meda::bioassay::benchmarks::master_mix())
+        .expect("master mix plans");
+    let mut rng = meda_rng::StdRng::seed_from_u64(seed);
+    let mut chip = Biochip::generate(ChipDims::PAPER, &DegradationConfig::paper(), &mut rng);
+    let mut pool = AdaptivePool::new(AdaptiveConfig::paper());
+    let run = RunConfig {
+        k_max: 2_000,
+        record_actuation: true,
+        sensed_feedback: false,
+    };
+    let outcome = FleetRunner::new(FleetConfig::concurrent(width, run)).run(
+        &plan,
+        &mut chip,
+        &mut pool,
+        &mut FifoScheduler::new(),
+        &FaultPlan::none(),
+        &mut rng,
+    );
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "status={:?} cycles={} completed={}/{}",
+        outcome.status, outcome.cycles, outcome.completed_ops, outcome.total_ops
+    );
+    let trace = outcome.trace.expect("recording was enabled");
+    for (cycle, pattern) in trace.iter().enumerate() {
+        let _ = writeln!(
+            text,
+            "cycle {cycle}: set={} hash={:016x}",
+            pattern.count_set(),
+            pattern_hash(pattern)
+        );
+    }
+    text
+}
+
+/// The serial-equivalence pin: the fleet engine at width 1 must reproduce
+/// the *checked-in* master-mix golden trace byte for byte (not merely
+/// match a fresh serial run), so the serial path cannot drift under the
+/// fleet refactor without failing a reviewed fixture.
+#[test]
+fn serial_fleet_reproduces_the_master_mix_golden_trace() {
+    let path = golden_path("master-mix", 1);
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {} — generate it with MEDA_BLESS=1 cargo test --test golden",
+            path.display()
+        )
+    });
+    let golden_body: String = golden
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    let fleet_body = render_fleet_body(1, 1);
+    assert_eq!(
+        fleet_body, golden_body,
+        "width-1 fleet trace diverged from the serial golden fixture"
+    );
+}
+
+/// The concurrent fixture: master mix at fleet width 4, pinned like the
+/// serial traces (re-bless with `MEDA_BLESS=1 cargo test --test golden`).
+#[test]
+fn concurrent_fleet_trace_matches_golden_file() {
+    let path = golden_path("fleet-master-mix-n4", 1);
+    let mut actual = String::new();
+    let _ = writeln!(
+        actual,
+        "# golden trace: assay=master-mix seed=1 router=adaptive-pool fleet_width=4 k_max=2000"
+    );
+    let _ = writeln!(
+        actual,
+        "# regenerate with: MEDA_BLESS=1 cargo test --test golden"
+    );
+    actual.push_str(&render_fleet_body(1, 4));
+    if std::env::var_os("MEDA_BLESS").is_some() {
+        std::fs::write(&path, &actual).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        panic!(
+            "missing golden file {} — generate it with MEDA_BLESS=1 cargo test --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual, expected,
+        "fleet trace diverged — if intended, re-bless with MEDA_BLESS=1 cargo test --test golden"
+    );
+}
