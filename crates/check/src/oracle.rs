@@ -1,4 +1,4 @@
-//! The five differential oracles of the paper stack.
+//! The differential oracles of the paper stack.
 //!
 //! Each oracle checks one *cross-layer agreement* the rest of the
 //! workspace silently relies on:
@@ -35,12 +35,20 @@
 //! 7. [`fleet_serial_equivalence`] — the fleet engine at width 1 must be
 //!    bit-identical to the serial runner: status, cycles, every actuation
 //!    pattern, chip wear, and RNG draw count.
+//! 8. [`cache_transparency`] — the persistent canonical strategy cache
+//!    must be value-transparent: a strategy persisted in the canonical
+//!    frame, reloaded by a *fresh* cache instance (so it round-trips
+//!    through disk and the load-time audit), and materialized back into
+//!    the original frame must have the same exact induced-chain value
+//!    (`meda-audit`'s exact evaluation) as cold synthesis.
 //!
 //! All are deterministic functions of their case (Monte-Carlo sub-checks
 //! derive their stream from [`McParams::seed`]), so a failing
 //! `(seed, case)` pair replayed from the corpus reproduces bit-for-bit.
 
-use meda_audit::{audit_solution_sound, ModelArtifact, ValueKind, CERTIFICATE_EPSILON};
+use meda_audit::{
+    audit_solution_sound, evaluate_strategy, ModelArtifact, ValueKind, CERTIFICATE_EPSILON,
+};
 use meda_bioassay::{benchmarks, BioassayPlan, RjHelper};
 use meda_cell::{apply_stuck_bits, CellParams, OperationalCycle};
 use meda_core::{transitions, Action, ActionConfig, BuildError, DegradationField, RoutingMdp};
@@ -52,7 +60,10 @@ use meda_sim::{
     BaselineRouter, BioassayRunner, Biochip, ClonePool, DegradationConfig, FaultPlan,
     FifoScheduler, FleetConfig, FleetRunner, RunConfig, RunStatus, Supervisor, SupervisorConfig,
 };
-use meda_synth::{max_reach_probability, min_expected_cycles_with_reach, SolverOptions};
+use meda_synth::{
+    canonicalize, materialize, max_reach_probability, min_expected_cycles_with_reach, synthesize,
+    PersistentCache, Query, SolverOptions,
+};
 
 use crate::arb;
 use crate::gen::{boolean, choose, choose_i32, element, vec_of, Gen};
@@ -1123,6 +1134,121 @@ pub fn bounds_bracket_solver(scenario: &RoutingScenario) -> Result<(), String> {
     Ok(())
 }
 
+// ---------------------------------------------------------------------------
+// Oracle 8: the persistent strategy cache is value-transparent.
+// ---------------------------------------------------------------------------
+
+/// Oracle 8: warm-cache routing must match cold synthesis exactly.
+///
+/// Synthesizes the scenario cold in its original frame and evaluates the
+/// strategy's *exact* induced-chain value. Then drives the whole persistent
+/// pipeline: canonicalize, synthesize in the canonical frame, persist to
+/// disk, reload through a **fresh** [`PersistentCache`] instance (so the
+/// entry round-trips through the serialized form and the load-time audit),
+/// and materialize back into the original frame. The reloaded strategy's
+/// exact value at the initial state must equal the cold value — the two
+/// frames may pick different optimal actions and sum floats in different
+/// orders, so equality is up to a `1e-6` relative tolerance, three orders
+/// of magnitude above the solver's `1e-9` convergence threshold.
+///
+/// A failure here means the cache changed what gets routed — a broken
+/// symmetry map, a lossy entry encoding, or a load-time audit that let a
+/// wrong strategy through.
+///
+/// # Errors
+///
+/// Returns a description of the first divergence: a spurious cold hit, a
+/// warm miss or rejection, a materialization failure, or a value mismatch.
+pub fn cache_transparency(scenario: &RoutingScenario) -> Result<(), String> {
+    let mdp = scenario
+        .build()
+        .map_err(|e| format!("model failed to build: {e:?}"))?;
+    let Ok(cold) = synthesize(&mdp, Query::MinExpectedCycles) else {
+        // Goal unreachable with certainty: nothing the cache could serve.
+        return Ok(());
+    };
+    let art = ModelArtifact::from(&mdp);
+    let cold_choice: Vec<Option<Action>> =
+        (0..mdp.len()).map(|i| cold.decide(mdp.state(i))).collect();
+    let cold_eval = evaluate_strategy(&art, &cold_choice, ValueKind::ExpectedCycles)
+        .map_err(|v| format!("cold strategy failed exact evaluation: {v:?}"))?;
+    let cold_value = cold_eval.values[art.init];
+
+    let (cjob, transform) = canonicalize(
+        scenario.start,
+        scenario.goal,
+        scenario.bounds(),
+        &scenario.field(),
+        &[],
+        &scenario.config,
+        Query::MinExpectedCycles,
+    );
+    let dir = std::path::PathBuf::from(format!(
+        "target/check-cache/{}-{:016x}",
+        std::process::id(),
+        cjob.digest()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let outcome = (|| -> Result<(), String> {
+        // Cold pass: miss, synthesize canonically, persist.
+        let mut cache =
+            PersistentCache::open(&dir, 8).map_err(|e| format!("cache open failed: {e}"))?;
+        if cache.get(&cjob).is_some() {
+            return Err("empty cache reported a hit before any insert".to_string());
+        }
+        let canon = cjob.synthesize().ok_or_else(|| {
+            "canonical frame failed to synthesize where the original frame succeeded".to_string()
+        })?;
+        cache
+            .insert(&cjob, canon)
+            .map_err(|e| format!("cache insert failed: {e}"))?;
+        drop(cache);
+
+        // Warm pass: a fresh instance has an empty memory tier, so the hit
+        // must come off disk, through the load-time audit.
+        let mut warm =
+            PersistentCache::open(&dir, 8).map_err(|e| format!("cache reopen failed: {e}"))?;
+        let loaded = warm.get(&cjob).ok_or_else(|| {
+            format!(
+                "warm cache missed the persisted entry (rejected: {})",
+                warm.stats().rejected
+            )
+        })?;
+        if warm.stats().disk_hits != 1 {
+            return Err(format!("expected one disk hit, stats: {:?}", warm.stats()));
+        }
+        let warm_strategy = materialize(&loaded, &transform, mdp).ok_or_else(|| {
+            "loaded canonical strategy failed to materialize into the original frame".to_string()
+        })?;
+        let warm_choice: Vec<Option<Action>> = (0..warm_strategy.mdp().len())
+            .map(|i| warm_strategy.decide(warm_strategy.mdp().state(i)))
+            .collect();
+        let warm_eval = evaluate_strategy(&art, &warm_choice, ValueKind::ExpectedCycles)
+            .map_err(|v| format!("warm strategy failed exact evaluation: {v:?}"))?;
+        let warm_value = warm_eval.values[art.init];
+
+        if !cold_value.is_finite() || !warm_value.is_finite() {
+            return if cold_value.is_finite() == warm_value.is_finite() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "finiteness diverged: cold {cold_value}, warm {warm_value}"
+                ))
+            };
+        }
+        let scale = cold_value.abs().max(1.0);
+        if (warm_value - cold_value).abs() > 1e-6 * scale {
+            return Err(format!(
+                "cache broke value transparency: cold {cold_value}, warm {warm_value}"
+            ));
+        }
+        Ok(())
+    })();
+    let _ = std::fs::remove_dir_all(&dir);
+    outcome
+}
+
 /// Outcome of one suite property, reduced to what the CLI reports.
 #[derive(Debug, Clone)]
 pub struct SuiteOutcome {
@@ -1255,10 +1381,26 @@ pub fn check_fleet_serial_equivalence(config: &Config) -> SuiteOutcome {
     summarize("oracle-fleet-serial-equivalence", &out)
 }
 
+/// Runs oracle 8 over generated scenarios — two synthesis runs, two exact
+/// strategy evaluations, and a disk round-trip per case, so it gets the
+/// same quarter budget as oracle 5.
+#[must_use]
+pub fn check_cache_transparency(config: &Config) -> SuiteOutcome {
+    let gen = routing_scenario(4, 8);
+    let out = run_property(
+        "oracle-cache-transparency",
+        config,
+        &gen,
+        cache_transparency,
+    );
+    summarize("oracle-cache-transparency", &out)
+}
+
 /// Runs the full oracle suite. Oracles 3, 4, and 7 run at an eighth of the
 /// case budget (each of their cases executes two complete bioassays);
-/// oracles 5 and 6 run at a quarter (two solves + two certifications, or
-/// three fleet runs, per case).
+/// oracles 5, 6, and 8 run at a quarter (two solves + two certifications,
+/// three fleet runs, or two synthesis runs plus a disk round-trip, per
+/// case).
 #[must_use]
 pub fn run_suite(config: &Config) -> Vec<SuiteOutcome> {
     let dominance = config.clone().with_cases((config.cases / 8).max(1));
@@ -1271,6 +1413,7 @@ pub fn run_suite(config: &Config) -> Vec<SuiteOutcome> {
         check_bounds_bracket_solver(&bounds),
         check_fleet_separation(&bounds),
         check_fleet_serial_equivalence(&dominance),
+        check_cache_transparency(&bounds),
     ]
 }
 

@@ -286,3 +286,75 @@ fn disabled_screening_is_caught_by_the_separation_audit() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Cache-transparency calibration: the load-time audit that oracle 8
+// (`cache_transparency`) trusts must actually reject a corrupted entry —
+// a forged value under the original (totality/closure-clean) choice
+// structure, exactly the corruption the strategy audit alone cannot see.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn corrupted_cache_entry_is_rejected_on_load() {
+    use meda_synth::{canonicalize, PersistentCache, Query};
+    use std::fs;
+    use std::path::PathBuf;
+
+    let gen = routing_scenario(4, 6);
+    let mut rng = StdRng::seed_from_u64(13);
+    let dir = PathBuf::from(format!(
+        "target/test-calibration-cache/{}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+
+    // The generator occasionally produces unreachable goals whose jobs
+    // refuse to synthesize; scan a few scenarios for a cacheable one.
+    let mut exercised = false;
+    for _ in 0..32 {
+        let tree = gen.generate(&mut rng);
+        let s = tree.value();
+        let (cjob, _tf) = canonicalize(
+            s.start,
+            s.goal,
+            s.bounds(),
+            &s.field(),
+            &[],
+            &s.config,
+            Query::MinExpectedCycles,
+        );
+        let Some(canon) = cjob.synthesize() else {
+            continue;
+        };
+        let mut cache = PersistentCache::open(&dir, 4).expect("open cache");
+        cache.insert(&cjob, canon).expect("persist entry");
+        drop(cache);
+
+        // Flip one hex digit of the first persisted value: the choice
+        // structure stays audit-clean, only the value payload is forged.
+        let path = dir.join(format!("{:016x}.json", cjob.digest()));
+        let text = fs::read_to_string(&path).expect("read entry");
+        let idx = text.find("\"values\":[\"").expect("values field") + "\"values\":[\"".len();
+        let mut bytes = text.into_bytes();
+        bytes[idx] = if bytes[idx] == b'0' { b'f' } else { b'0' };
+        fs::write(&path, &bytes).expect("rewrite entry");
+
+        let mut warm = PersistentCache::open(&dir, 4).expect("reopen cache");
+        assert!(
+            warm.get(&cjob).is_none(),
+            "forged entry was served from the warm cache"
+        );
+        assert_eq!(warm.stats().rejected, 1, "{:?}", warm.stats());
+        assert_eq!(warm.stats().hits(), 0, "{:?}", warm.stats());
+        // The store-level sweep (`meda serve --check-cache`) must flag the
+        // same file.
+        let errors = warm
+            .validate_all()
+            .expect_err("store audit missed the forgery");
+        assert!(errors.iter().any(|(p, _)| p == &path), "{errors:?}");
+        exercised = true;
+        break;
+    }
+    let _ = fs::remove_dir_all(&dir);
+    assert!(exercised, "no generated scenario synthesized in 32 tries");
+}

@@ -5,8 +5,9 @@
 //! budget without code changes.
 
 use meda_check::oracle::{
-    check_fleet_separation, check_fleet_serial_equivalence, check_reconfig_dominance,
-    check_sensing_round_trip, check_sim_vs_mdp, check_supervisor_dominance,
+    check_cache_transparency, check_fleet_separation, check_fleet_serial_equivalence,
+    check_reconfig_dominance, check_sensing_round_trip, check_sim_vs_mdp,
+    check_supervisor_dominance,
 };
 use meda_check::{cases_from_env, default_corpus_dir, Config};
 
@@ -49,5 +50,11 @@ fn concurrent_fleets_respect_fluidic_separation() {
 #[test]
 fn serial_fleet_is_bit_identical_to_the_serial_engine() {
     let out = check_fleet_serial_equivalence(&config(4));
+    assert!(out.passed, "{}", out.report.unwrap_or_default());
+}
+
+#[test]
+fn warm_cache_routing_is_value_transparent() {
+    let out = check_cache_transparency(&config(16));
     assert!(out.passed, "{}", out.report.unwrap_or_default());
 }

@@ -44,6 +44,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cache;
+mod canonical;
 mod export;
 mod game;
 mod horizon;
@@ -51,9 +53,15 @@ mod library;
 mod perf;
 mod query;
 mod reservations;
+mod serve;
 mod solver;
 mod strategy;
 
+pub use cache::{CacheStats, PersistentCache, CACHE_SCHEMA};
+pub use canonical::{
+    canonicalize, canonicalize_strategy, materialize, CanonicalJob, CanonicalJobKey, JobTransform,
+    D4,
+};
 pub use export::{to_prism_explicit, PrismModel};
 pub use game::{RobustGame, RobustValues};
 pub use horizon::{bounded_reach_probability, HorizonValues};
@@ -61,6 +69,9 @@ pub use library::{LibraryKey, StrategyLibrary};
 pub use perf::{measure_synthesis, PerfRecord};
 pub use query::Query;
 pub use reservations::CorridorReservations;
+pub use serve::{
+    parse_request, run_batch, run_stream, BatchOutcome, ServeEngine, ServeOp, ServeRequest,
+};
 pub use solver::{
     max_reach_probability, min_expected_cycles, min_expected_cycles_with_reach, SolverMethod,
     SolverOptions, SolverResult,

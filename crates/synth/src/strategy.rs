@@ -126,6 +126,29 @@ pub fn synthesize_with(
 }
 
 impl RoutingStrategy {
+    /// Reassembles a strategy from its parts — the rehydration path of the
+    /// persistent cache and the canonical-frame materializer. Returns
+    /// `None` when the vectors do not match the model's state count; any
+    /// deeper validation (totality/closure/value soundness) is the
+    /// caller's job via `meda-audit` before trusting the result.
+    #[must_use]
+    pub fn from_parts(
+        mdp: RoutingMdp,
+        choice: Vec<Option<Action>>,
+        values: Vec<f64>,
+        query: Query,
+    ) -> Option<Self> {
+        if choice.len() != mdp.len() || values.len() != mdp.len() {
+            return None;
+        }
+        Some(Self {
+            mdp,
+            choice,
+            values,
+            query,
+        })
+    }
+
     /// The action `π(δ)` for the droplet at `droplet`, or `None` if the
     /// location is a goal state, is hopeless, or was never enumerated.
     #[must_use]

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Offline CI gate: formatting, lints, tier-1 build + tests, the meda-check
-# replay corpus, the concurrent-fleet smoke, and (unless --quick) the
-# full-mode paper-scale synthesis bench, the full-mode hard-chaos
-# degradation matrix, the full-mode concurrent-makespan bench, the profile
-# smoke, and the benchmark-regression gate.
+# replay corpus, the concurrent-fleet smoke, the synthesis-service smoke,
+# and (unless --quick) the full-mode paper-scale synthesis bench, the
+# full-mode hard-chaos degradation matrix, the full-mode concurrent-makespan
+# bench, the full-mode serve-latency bench, the profile smoke, and the
+# benchmark-regression gate.
 # Everything runs without network access (the workspace has zero
 # third-party dependencies — see DESIGN.md §6).
 #
@@ -90,6 +91,29 @@ check_smoke()   { cargo run --release -- check --smoke; }
 # End-to-end concurrent-fleet smoke: N=4 must complete master-mix no slower
 # than serial with a clean fluidic-separation audit (exits nonzero either way).
 fleet_smoke()   { cargo run --release -- fleet --smoke; }
+# End-to-end synthesis-service smoke over the committed request fixture
+# (repeated + translated jobs): the batch must produce at least one
+# canonical cache hit, two runs over the same persistent cache must be
+# byte-identical on stdout, and after corrupting a cached entry the store
+# audit (`meda serve --check-cache`) must exit nonzero.
+serve_smoke() {
+  local dir=target/ci-serve-cache
+  rm -rf "$dir"
+  cargo run --release -- serve --batch scripts/serve_smoke_requests.jsonl \
+    --cache-dir "$dir" --min-hits 1 > target/serve_smoke_run1.out
+  cargo run --release -- serve --batch scripts/serve_smoke_requests.jsonl \
+    --cache-dir "$dir" --min-hits 1 > target/serve_smoke_run2.out
+  cmp target/serve_smoke_run1.out target/serve_smoke_run2.out \
+    || { echo "serve-smoke: warm rerun is not byte-identical to the cold run" >&2; return 1; }
+  local entry
+  entry=$(ls "$dir"/*.json | head -n 1)
+  sed -i 's/"values":\["/"values":["f/' "$entry"
+  if cargo run --release -- serve --check-cache --cache-dir "$dir"; then
+    echo "serve-smoke: --check-cache accepted a corrupted entry — the load audit is broken" >&2
+    return 1
+  fi
+  echo "serve-smoke: cache hits, byte-identical reruns, and corruption detection all hold"
+}
 # Full (non-smoke) mode: the paper-scale Table V matrix up to 90×90. The
 # committed BENCH_synthesis.json baseline is full-mode, and bench_compare
 # only gates timings when modes match — a smoke run here would downgrade
@@ -105,10 +129,15 @@ chaos_full()    { cargo run --release -p meda-bench --bin ext_chaos; }
 # it exits nonzero on a throughput regression even before bench_compare
 # diffs the committed baseline.
 makespan_full() { cargo run --release -p meda-bench --bin bench_makespan; }
+# Full mode runs the three-assay translated-geometry mix and self-checks
+# the headline claims (every warm request hits the canonical cache, warm
+# hits are >= 10x faster than cold synthesis) — it exits nonzero on a
+# cache regression even before bench_compare diffs the committed baseline.
+serve_full()    { cargo run --release -p meda-bench --bin bench_serve; }
 profile_smoke() { cargo run --release -- profile covid-rat; }
 # Diff the fresh target/bench/ runs against the committed baselines;
 # >25% timing regressions in smoke mode fail (see EXPERIMENTS.md to re-bless).
-bench_gate()    { cargo run --release -p meda-bench --bin bench_compare -- synthesis chaos makespan; }
+bench_gate()    { cargo run --release -p meda-bench --bin bench_compare -- synthesis chaos makespan serve; }
 # Negative self-test: against a fixture baseline with 1 ns timings the gate
 # MUST fire; if it exits 0 the gate is broken and CI should say so.
 gate_selftest() {
@@ -141,6 +170,17 @@ makespan_gate_selftest() {
   fi
   echo "makespan-gate-selftest: gate fired against the fixture baseline, as it must"
 }
+# Same negative self-test for the serve gate: the fixture claims 1 ns
+# latencies, a 1e9x warm-hit speedup, and a 0.0 hit rate, so any real
+# full-mode bench_serve run must trip the timing and speedup gates.
+serve_gate_selftest() {
+  if cargo run --release -p meda-bench --bin bench_compare -- serve \
+      --baseline scripts/serve_regression_fixture.json; then
+    echo "serve-gate-selftest: bench_compare passed against the impossible fixture — the serve gate is broken" >&2
+    return 1
+  fi
+  echo "serve-gate-selftest: gate fired against the fixture baseline, as it must"
+}
 
 stage "fmt"            fmt
 stage "clippy"         clippy
@@ -153,16 +193,19 @@ stage "audit-sound"    audit_sound
 stage "audit-sound-selftest" audit_sound_selftest
 stage "check-smoke"    check_smoke
 stage "fleet-smoke"    fleet_smoke
+stage "serve-smoke"    serve_smoke
 if [ "$QUICK" -eq 0 ]; then
   stage "bench-full"              bench_full
   stage "chaos-full"              chaos_full
   stage "makespan-full"           makespan_full
+  stage "serve-full"              serve_full
   stage "profile-smoke"           profile_smoke
   stage "bench-gate"              bench_gate
   stage "gate-selftest"           gate_selftest
   stage "chaos-gate-selftest"     chaos_gate_selftest
   stage "makespan-gate-selftest"  makespan_gate_selftest
+  stage "serve-gate-selftest"     serve_gate_selftest
 else
   echo
-  echo "==> --quick: skipping bench-full, chaos-full, makespan-full, profile-smoke, bench-gate, gate-selftest, chaos-gate-selftest, makespan-gate-selftest"
+  echo "==> --quick: skipping bench-full, chaos-full, makespan-full, serve-full, profile-smoke, bench-gate, gate-selftest, chaos-gate-selftest, makespan-gate-selftest, serve-gate-selftest"
 fi

@@ -10,6 +10,7 @@
 //! meda wear <assay> [options]                run repeatedly, print wear map
 //! meda fleet <assay> [--n N] [--smoke]       concurrent fleet vs serial makespan
 //! meda profile <assay> [--chaos]             per-stage time/percentage table
+//! meda serve [--batch F] [--socket P]        synthesis service over the strategy cache
 //! ```
 //!
 //! Run `meda <command> --help` (or no arguments) for the option lists.
@@ -55,6 +56,8 @@ USAGE:
   meda check [--cases N] [--seed N] [--replay-only] [--smoke]
   meda profile <assay> [--chaos] [--seed N] [--k-max N]
                [--json PATH] [--events PATH]
+  meda serve [--batch FILE] [--socket PATH] [--cache-dir DIR] [--workers N]
+             [--capacity N] [--min-hits N] [--check-cache]
 
 Assays: master-mix, covid-rat, cep, covid-pcr, nuip, serial-dilution";
 
@@ -71,6 +74,7 @@ fn main() -> ExitCode {
         Some("fleet") => cmd_fleet(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
         Some("profile") => cmd_profile(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         _ => {
             println!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -734,6 +738,120 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
             "smoke: N={n} makespan {} <= serial {} with a clean separation audit",
             concurrent.cycles, serial.cycles
         );
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use meda::synth::{run_batch, run_stream, ServeEngine};
+    use std::io::Write;
+
+    let cache_dir = std::path::PathBuf::from(
+        flag(args, "--cache-dir").unwrap_or_else(|| "target/meda-cache".to_string()),
+    );
+    let capacity: usize = flag(args, "--capacity")
+        .map(|s| s.parse().map_err(|_| format!("bad --capacity '{s}'")))
+        .transpose()?
+        .unwrap_or(256);
+    let workers: usize = flag(args, "--workers")
+        .map(|s| s.parse().map_err(|_| format!("bad --workers '{s}'")))
+        .transpose()?
+        .unwrap_or(4);
+    let min_hits: u64 = flag(args, "--min-hits")
+        .map(|s| s.parse().map_err(|_| format!("bad --min-hits '{s}'")))
+        .transpose()?
+        .unwrap_or(0);
+
+    if args.iter().any(|a| a == "--check-cache") {
+        let engine = ServeEngine::open(&cache_dir, capacity).map_err(|e| e.to_string())?;
+        return match engine.validate_cache() {
+            Ok(n) => {
+                println!(
+                    "cache {} sound: {n} entr{}",
+                    cache_dir.display(),
+                    if n == 1 { "y" } else { "ies" }
+                );
+                Ok(())
+            }
+            Err(bad) => {
+                for (path, reason) in &bad {
+                    eprintln!("corrupt entry {}: {reason}", path.display());
+                }
+                Err(format!("{} corrupt cache entr(ies)", bad.len()))
+            }
+        };
+    }
+
+    if let Some(batch) = flag(args, "--batch") {
+        let text = std::fs::read_to_string(&batch).map_err(|e| format!("read {batch}: {e}"))?;
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let outcome =
+            run_batch(&lines, &cache_dir, capacity, workers).map_err(|e| e.to_string())?;
+        let stdout = std::io::stdout();
+        let mut out = stdout.lock();
+        for response in &outcome.responses {
+            if !response.is_empty() {
+                writeln!(out, "{response}").map_err(|e| e.to_string())?;
+            }
+        }
+        out.flush().map_err(|e| e.to_string())?;
+        let s = outcome.stats;
+        eprintln!(
+            "serve: {} requests, {} hits ({} mem, {} disk), {} misses, {} rejected, {} inserted",
+            outcome.responses.iter().filter(|r| !r.is_empty()).count(),
+            s.hits(),
+            s.mem_hits,
+            s.disk_hits,
+            s.misses,
+            s.rejected,
+            s.inserts,
+        );
+        if s.hits() < min_hits {
+            return Err(format!(
+                "cache hits {} below --min-hits {min_hits}",
+                s.hits()
+            ));
+        }
+        return Ok(());
+    }
+
+    #[cfg(unix)]
+    if let Some(socket) = flag(args, "--socket") {
+        use std::os::unix::net::UnixListener;
+        let _ = std::fs::remove_file(&socket);
+        let listener = UnixListener::bind(&socket).map_err(|e| format!("bind {socket}: {e}"))?;
+        eprintln!("serve: listening on {socket}");
+        for conn in listener.incoming() {
+            let conn = conn.map_err(|e| e.to_string())?;
+            let reader = std::io::BufReader::new(conn.try_clone().map_err(|e| e.to_string())?);
+            let stats =
+                run_stream(reader, conn, &cache_dir, capacity).map_err(|e| e.to_string())?;
+            eprintln!(
+                "serve: connection done, {} hits / {} misses",
+                stats.hits(),
+                stats.misses
+            );
+        }
+        return Ok(());
+    }
+
+    let stdin = std::io::stdin();
+    let stats = run_stream(stdin.lock(), std::io::stdout(), &cache_dir, capacity)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "serve: {} hits ({} mem, {} disk), {} misses, {} rejected, {} inserted",
+        stats.hits(),
+        stats.mem_hits,
+        stats.disk_hits,
+        stats.misses,
+        stats.rejected,
+        stats.inserts,
+    );
+    if stats.hits() < min_hits {
+        return Err(format!(
+            "cache hits {} below --min-hits {min_hits}",
+            stats.hits()
+        ));
     }
     Ok(())
 }
